@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation (Sec. VIII, PipeLLM/Tan et al. [19][125]): parallelizing
+ * the software encryption with multiple worker threads, and varying
+ * the bounce-buffer chunk size.  Reports the CC H2D steady-state
+ * bandwidth as both sweep dimensions move.
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "pcie/link.hpp"
+#include "tee/secure_channel.hpp"
+#include "tee/spdm.hpp"
+#include "tee/tdx.hpp"
+
+namespace {
+
+double
+bandwidth(int workers, hcc::Bytes chunk)
+{
+    using namespace hcc;
+    tee::ChannelConfig cfg;
+    cfg.crypto_workers = workers;
+    cfg.chunk_bytes = chunk;
+    const auto session = tee::SpdmSession::establish(9);
+    tee::SecureChannel ch(cfg, session);
+    pcie::PcieLink link;
+    tee::TdxModule tdx(true);
+    const Bytes total = size::gib(1);
+    const auto t = ch.scheduleTransfer(
+        0, total, pcie::Direction::HostToDevice, link, tdx);
+    return bandwidthGBs(total, t.total.duration());
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace hcc;
+
+    TextTable t("Ablation — parallel encryption workers x chunk size "
+                "(1 GiB H2D, GB/s)");
+    t.header({"workers", "256KiB", "1MiB", "4MiB", "16MiB"});
+    for (int w : {1, 2, 4, 8, 16}) {
+        t.row({std::to_string(w),
+               TextTable::num(bandwidth(w, size::kib(256)), 2),
+               TextTable::num(bandwidth(w, size::mib(1)), 2),
+               TextTable::num(bandwidth(w, size::mib(4)), 2),
+               TextTable::num(bandwidth(w, size::mib(16)), 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\nOne worker pins the path at ~3 GB/s (the paper's "
+                 "measurement); 8+ workers saturate the PCIe link, "
+                 "matching the PipeLLM-style optimization's promise. "
+                 "Small chunks lose to per-chunk setup; big chunks "
+                 "lose pipeline fill.\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: run an app
+ * under base/CC (x UVM) configurations and tabulate paper-style
+ * ratios.
+ */
+
+#ifndef HCC_BENCH_BENCH_UTIL_HPP
+#define HCC_BENCH_BENCH_UTIL_HPP
+
+#include <string>
+#include <vector>
+
+#include "runtime/context.hpp"
+#include "workloads/workload.hpp"
+
+namespace hcc::bench {
+
+/** Base (regular VM) system configuration. */
+inline rt::SystemConfig
+baseSystem(std::uint64_t seed = 1)
+{
+    rt::SystemConfig cfg;
+    cfg.cc = false;
+    cfg.seed = seed;
+    return cfg;
+}
+
+/** CC (TD + CC-mode GPU) system configuration. */
+inline rt::SystemConfig
+ccSystem(std::uint64_t seed = 1)
+{
+    rt::SystemConfig cfg;
+    cfg.cc = true;
+    cfg.seed = seed;
+    return cfg;
+}
+
+/** Paired base/CC results for one app. */
+struct AppPair
+{
+    workloads::WorkloadResult base;
+    workloads::WorkloadResult cc;
+};
+
+/** Run one app under base and CC with identical workload params. */
+inline AppPair
+runPair(const std::string &app, bool uvm = false,
+        std::uint64_t seed = 1)
+{
+    workloads::WorkloadParams params;
+    params.uvm = uvm;
+    params.seed = seed;
+    AppPair pair;
+    pair.base = workloads::runWorkload(app, baseSystem(seed), params);
+    pair.cc = workloads::runWorkload(app, ccSystem(seed), params);
+    return pair;
+}
+
+/** Safe ratio helper (0 when the denominator is 0). */
+inline double
+ratio(double num, double den)
+{
+    return den > 0.0 ? num / den : 0.0;
+}
+
+} // namespace hcc::bench
+
+#endif // HCC_BENCH_BENCH_UTIL_HPP

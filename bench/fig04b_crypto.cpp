@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fig. 4b: single-core encryption/authentication throughput on the
+ * two modeled CPUs (Intel EMR, NVIDIA Grace), alongside the actual
+ * measured throughput of this library's functional (table-based,
+ * non-AES-NI) implementations for reference.
+ */
+
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "crypto/cpu_crypto_model.hpp"
+#include "crypto/gcm.hpp"
+#include "crypto/xts.hpp"
+
+namespace {
+
+/** Wall-clock GB/s of the functional AES-GCM seal path. */
+double
+measureFunctionalGcm()
+{
+    using namespace hcc;
+    std::vector<std::uint8_t> key(16, 0x42);
+    crypto::AesGcm gcm(key);
+    std::vector<std::uint8_t> pt(1 << 20, 0xa5);
+    std::vector<std::uint8_t> ct(pt.size());
+    std::uint8_t tag[crypto::kGcmTagLen];
+    crypto::GcmIv iv{};
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t total = 0;
+    for (int i = 0; i < 32; ++i) {
+        iv[0] = static_cast<std::uint8_t>(i);
+        gcm.seal(iv, {}, pt, ct, tag);
+        total += pt.size();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration<double>(t1 - t0).count();
+    return static_cast<double>(total) / secs / 1e9;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace hcc;
+    using crypto::CpuKind;
+
+    TextTable t("Fig. 4b — single-core crypto throughput (GB/s)");
+    t.header({"algorithm", "Intel EMR", "NVIDIA Grace"});
+    crypto::CpuCryptoModel emr(CpuKind::IntelEmr);
+    crypto::CpuCryptoModel grace(CpuKind::NvidiaGrace);
+    for (auto algo : crypto::allCipherAlgos()) {
+        t.row({crypto::cipherAlgoName(algo),
+               TextTable::num(emr.throughputGBs(algo), 2),
+               TextTable::num(grace.throughputGBs(algo), 2)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nKey points (paper): AES-GCM-128 peaks at 3.36 "
+                 "GB/s on EMR — below even the CC transfer demand; "
+                 "GHASH-only (GMAC) reaches 8.9 GB/s at the cost of "
+                 "confidentiality.\n";
+
+    std::cout << "\nReference: this library's functional table-based "
+                 "AES-GCM (no AES-NI) measures "
+              << TextTable::num(measureFunctionalGcm(), 3)
+              << " GB/s on this machine (simulation charges the "
+                 "calibrated model instead).\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fig. 8: where the time inside a TD-mode cudaLaunchKernel goes.
+ * The paper derives a flame graph with perf; we reconstruct the same
+ * breakdown from the TDX module's accounting: hypercall round trips,
+ * dma_direct_alloc, set_memory_decrypted, against total KLO.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "runtime/context.hpp"
+#include "trace/analysis.hpp"
+
+namespace {
+
+void
+profileLaunches(bool cc)
+{
+    using namespace hcc;
+    rt::Context ctx(cc ? bench::ccSystem() : bench::baseSystem());
+    ctx.tdx().resetStats();
+
+    gpu::KernelDesc k{"profiled_kernel", {}, time::us(50), 0, 0,
+                      size::mib(2)};
+    const int launches = 100;
+    for (int i = 0; i < launches; ++i)
+        ctx.launchKernel(k);
+    ctx.deviceSynchronize();
+
+    const auto m = trace::analyze(ctx.tracer());
+    const auto &s = ctx.tdx().stats();
+
+    std::cout << "\n-- cudaLaunchKernel call profile ("
+              << (cc ? "TD / CC-on" : "regular VM") << ", "
+              << launches << " launches) --\n";
+    TextTable t;
+    t.header({"frame", "count", "time", "share of sum(KLO)"});
+    const auto total = static_cast<double>(m.sumKlo());
+    auto row = [&](const char *name, std::uint64_t count,
+                   SimTime time) {
+        t.row({name, std::to_string(count), formatTime(time),
+               TextTable::pct(100.0 * static_cast<double>(time)
+                              / total)});
+    };
+    t.row({"cudaLaunchKernel -> ioctl -> nvidia_ioctl",
+           std::to_string(launches), formatTime(m.sumKlo()), "100%"});
+    if (cc) {
+        row("  tdx_hypercall (incl. #VE MMIO doorbell)",
+            s.hypercalls, s.hypercall_time);
+        row("  dma_direct_alloc (bounce carve-out)", s.dma_allocs,
+            s.dma_alloc_time);
+        row("  set_memory_decrypted (page conversion)",
+            s.pages_converted, s.page_convert_time);
+        row("  seamcall (TDX module transitions)", s.seamcalls,
+            s.seamcall_time);
+    } else {
+        // With VFIO passthrough the doorbell MMIO is direct-mapped:
+        // no guest exits on the warm launch path.
+        row("  vmexit (none: passthrough MMIO)", s.vmexits,
+            s.vmexit_time);
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Fig. 8 — simplified launch call-stack breakdown "
+                 "(perf/flame-graph equivalent)\n";
+    profileLaunches(false);
+    profileLaunches(true);
+    std::cout << "\nPaper: TDX-related frames (hypercalls, "
+                 "dma_direct_alloc, set_memory_decrypted) appear "
+                 "only in the TD profile and account for the KLO "
+                 "increase; a tdx_hypercall costs >470% of a plain "
+                 "vmcall.\n";
+    return 0;
+}

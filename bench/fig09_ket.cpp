@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig. 9: kernel execution time (KET), normalized to the non-CC
+ * non-UVM baseline, for all four configurations: base, CC, UVM and
+ * CC-UVM (encrypted paging).
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+int
+main()
+{
+    using namespace hcc;
+
+    TextTable table(
+        "Fig. 9 — total KET normalized to non-CC non-UVM");
+    table.header({"app", "cc", "uvm", "cc-uvm"});
+
+    std::vector<double> cc_r, uvm_r, ccuvm_r;
+    for (const auto &app : workloads::evaluationApps()) {
+        const auto pair = bench::runPair(app);
+        const double base_ket = pair.base.metrics.ket.sum();
+        const double cc_ket = pair.cc.metrics.ket.sum();
+        const double cc_ratio = bench::ratio(cc_ket, base_ket);
+        cc_r.push_back(cc_ratio);
+
+        const auto *w = workloads::WorkloadRegistry::instance()
+                            .find(app);
+        std::string uvm_cell = "-", ccuvm_cell = "-";
+        if (w != nullptr && w->supportsUvm()) {
+            const auto upair = bench::runPair(app, /*uvm=*/true);
+            const double u =
+                bench::ratio(upair.base.metrics.ket.sum(), base_ket);
+            const double cu =
+                bench::ratio(upair.cc.metrics.ket.sum(), base_ket);
+            uvm_r.push_back(u);
+            ccuvm_r.push_back(cu);
+            uvm_cell = TextTable::ratio(u);
+            ccuvm_cell = TextTable::ratio(cu);
+        }
+        table.row({app, TextTable::ratio(cc_ratio), uvm_cell,
+                   ccuvm_cell});
+    }
+    table.print(std::cout);
+
+    double max_ccuvm = 0.0, min_ccuvm = 1e30;
+    for (double r : ccuvm_r) {
+        max_ccuvm = std::max(max_ccuvm, r);
+        min_ccuvm = std::min(min_ccuvm, r);
+    }
+    std::cout << "\nSummary (paper: non-UVM CC +0.48%; UVM base "
+                 "5.29x; CC-UVM avg 188.87x, range 1.08x-164030x)\n"
+              << "  measured: non-UVM CC "
+              << TextTable::pct((mean(cc_r) - 1.0) * 100.0, 2)
+              << ", UVM base " << TextTable::ratio(geomean(uvm_r))
+              << " (geomean), CC-UVM "
+              << TextTable::ratio(geomean(ccuvm_r))
+              << " (geomean), range " << TextTable::ratio(min_ccuvm)
+              << " - " << TextTable::ratio(max_ccuvm) << "\n";
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fig. 12: microbenchmark studies (Sec. VII-A).
+ *   (a) per-launch KLO across 100 launches of K0 then K1;
+ *   (b) fusion sweep: fixed total KET split over 1..256 launches;
+ *   (c) overlapping: 1..64 streams, 512MB/1GB, KET 1ms/100ms.
+ * Triangle = base, square = CC in the paper's plots.
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "workloads/micro.hpp"
+
+int
+main()
+{
+    using namespace hcc;
+    using namespace hcc::workloads;
+
+    // ------------------------------------------------------- 12a
+    std::cout << "-- Fig. 12a: KLO vs launch index (100x K0 then "
+                 "100x K1) --\n";
+    for (bool cc : {false, true}) {
+        const auto r = runLaunchIndexMicro(cc, 100);
+        auto show = [&](const char *name,
+                        const std::vector<SimTime> &klo) {
+            std::cout << (cc ? "  cc   " : "  base ") << name << ":";
+            for (std::size_t i : {0u, 1u, 2u, 4u, 9u, 49u, 99u}) {
+                std::cout << " [" << i << "]="
+                          << TextTable::num(time::toUs(
+                                 static_cast<double>(klo[i])), 1);
+            }
+            std::cout << " us\n";
+        };
+        show("K0", r.k0_klo);
+        show("K1", r.k1_klo);
+    }
+    std::cout << "  (first launches of each new kernel spike; "
+                 "subsequent launches settle)\n";
+
+    // ------------------------------------------------------- 12b
+    std::cout << "\n-- Fig. 12b: fusion sweep (total KET fixed at "
+                 "200 ms) --\n";
+    TextTable t;
+    t.header({"launches", "sum KLO", "sum LQT", "end-to-end",
+              "sum KLO(cc)", "sum LQT(cc)", "end-to-end(cc)"});
+    const std::vector<int> counts = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+    const auto base_pts = runFusionSweep(false, time::ms(200.0),
+                                         counts);
+    const auto cc_pts = runFusionSweep(true, time::ms(200.0), counts);
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        t.row({std::to_string(counts[i]),
+               formatTime(base_pts[i].sum_klo),
+               formatTime(base_pts[i].sum_lqt),
+               formatTime(base_pts[i].end_to_end),
+               formatTime(cc_pts[i].sum_klo),
+               formatTime(cc_pts[i].sum_lqt),
+               formatTime(cc_pts[i].end_to_end)});
+    }
+    t.print(std::cout);
+    std::cout << "  (KLO grows with launch count while the fully "
+                 "fused single launch pays the first-launch spike: "
+                 "the optimum is in between — Observation 7)\n";
+
+    // ------------------------------------------------------- 12c
+    std::cout << "\n-- Fig. 12c: overlap efficiency vs streams --\n";
+    TextTable o;
+    o.header({"streams", "bytes", "KET", "alpha(base)", "alpha(cc)",
+              "time(base)", "time(cc)"});
+    for (Bytes total : {size::mib(512), size::gib(1)}) {
+        for (SimTime ket : {time::ms(1.0), time::ms(100.0)}) {
+            for (int s : {1, 2, 4, 8, 16, 32, 64}) {
+                const auto b = runOverlapMicro(false, s, total, ket);
+                const auto c = runOverlapMicro(true, s, total, ket);
+                o.row({std::to_string(s), formatBytes(total),
+                       formatTime(ket), TextTable::num(b.alpha, 2),
+                       TextTable::num(c.alpha, 2),
+                       formatTime(b.end_to_end),
+                       formatTime(c.end_to_end)});
+            }
+        }
+    }
+    o.print(std::cout);
+    std::cout << "  (overlap is harder under CC and with short KETs; "
+                 "raising the compute-to-IO ratio restores it — "
+                 "Observation 8)\n";
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Fig. 13: CNN training throughput and training time for six models,
+ * batch sizes 64 and 1024, FP32/AMP (+FP16 at 1024), base vs CC.
+ * Training time is normalized to the non-CC FP32 time at the same
+ * batch size, as in the paper.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "ml/cnn.hpp"
+
+namespace {
+
+hcc::ml::CnnTrainResult
+run(hcc::ml::CnnModel model, int batch, hcc::ml::Precision prec,
+    bool cc)
+{
+    using namespace hcc;
+    rt::Context ctx(cc ? bench::ccSystem() : bench::baseSystem());
+    ml::CnnTrainConfig cfg;
+    cfg.model = model;
+    cfg.batch_size = batch;
+    cfg.precision = prec;
+    return ml::trainCnn(ctx, cfg);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace hcc;
+    using ml::Precision;
+
+    std::vector<double> drop64, drop1024, amp64_delta, fp16_gain;
+
+    for (int batch : {64, 1024}) {
+        TextTable table("Fig. 13 — batch " + std::to_string(batch)
+                        + " (throughput img/s; time normalized to "
+                          "non-CC FP32)");
+        table.header({"model", "fp32", "fp32(cc)", "amp", "amp(cc)",
+                      "fp16", "fp16(cc)", "time-fp32cc", "time-ampcc",
+                      "time-fp16cc"});
+        for (auto model : ml::allCnnModels()) {
+            const auto fp32 = run(model, batch, Precision::Fp32,
+                                  false);
+            const auto fp32cc = run(model, batch, Precision::Fp32,
+                                    true);
+            const auto amp = run(model, batch, Precision::Amp, false);
+            const auto ampcc = run(model, batch, Precision::Amp,
+                                   true);
+            const auto fp16 = run(model, batch, Precision::Fp16,
+                                  false);
+            const auto fp16cc = run(model, batch, Precision::Fp16,
+                                    true);
+
+            const double norm =
+                static_cast<double>(fp32.train_time_200_epochs);
+            table.row({ml::cnnModelName(model),
+                       TextTable::num(fp32.throughput, 0),
+                       TextTable::num(fp32cc.throughput, 0),
+                       TextTable::num(amp.throughput, 0),
+                       TextTable::num(ampcc.throughput, 0),
+                       TextTable::num(fp16.throughput, 0),
+                       TextTable::num(fp16cc.throughput, 0),
+                       TextTable::ratio(
+                           fp32cc.train_time_200_epochs / norm),
+                       TextTable::ratio(
+                           ampcc.train_time_200_epochs / norm),
+                       TextTable::ratio(
+                           fp16cc.train_time_200_epochs / norm)});
+
+            const double drop =
+                1.0 - fp32cc.throughput / fp32.throughput;
+            (batch == 64 ? drop64 : drop1024).push_back(drop);
+            if (batch == 64) {
+                amp64_delta.push_back(
+                    1.0 - ampcc.throughput / fp32cc.throughput);
+            } else {
+                fp16_gain.push_back(
+                    1.0 - static_cast<double>(
+                              fp16cc.train_time_200_epochs)
+                        / static_cast<double>(
+                              ampcc.train_time_200_epochs));
+            }
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "Summary (paper: b64 CC throughput -24% avg; b1024 "
+                 "-7.3% avg; AMP@64 hurts under CC; FP16@1024 cuts "
+                 "training time 27.7% avg)\n"
+              << "  measured: b64 " << TextTable::pct(
+                     mean(drop64) * 100.0)
+              << ", b1024 " << TextTable::pct(mean(drop1024) * 100.0)
+              << ", AMP@64 extra loss " << TextTable::pct(
+                     mean(amp64_delta) * 100.0)
+              << ", FP16@1024 time cut vs AMP "
+              << TextTable::pct(mean(fp16_gain) * 100.0) << "\n";
+    return 0;
+}

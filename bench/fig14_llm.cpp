@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fig. 14: Llama-3-8B serving throughput speedup of every
+ * (backend, quant, CC) configuration over the HF | BF16 | CC-off
+ * baseline at the same batch size.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "ml/llm.hpp"
+
+namespace {
+
+double
+tput(hcc::ml::LlmBackend backend, hcc::ml::LlmQuant quant, int batch,
+     bool cc)
+{
+    using namespace hcc;
+    rt::Context ctx(cc ? bench::ccSystem() : bench::baseSystem());
+    ml::LlmConfig cfg;
+    cfg.backend = backend;
+    cfg.quant = quant;
+    cfg.batch = batch;
+    return ml::serveLlm(ctx, cfg).tokens_per_s;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace hcc;
+    using ml::LlmBackend;
+    using ml::LlmQuant;
+
+    const std::vector<int> batches = {1, 8, 16, 32, 64, 128};
+
+    TextTable table(
+        "Fig. 14 — vLLM speedup over HF|BF16|CC-off at same batch");
+    table.header({"batch", "hf-bf16-ccoff(tok/s)", "vllm-bf16-ccoff",
+                  "vllm-bf16-ccon", "vllm-awq-ccoff",
+                  "vllm-awq-ccon", "hf-awq-ccoff/hf-bf16"});
+
+    bool vllm_always_wins = true;
+    bool ccon_worse = true;
+    bool awq_wins_small = false, bf16_wins_large = true;
+
+    for (int b : batches) {
+        const double hf_bf16 =
+            tput(LlmBackend::HuggingFace, LlmQuant::Bf16, b, false);
+        const double v_bf16_off =
+            tput(LlmBackend::Vllm, LlmQuant::Bf16, b, false);
+        const double v_bf16_on =
+            tput(LlmBackend::Vllm, LlmQuant::Bf16, b, true);
+        const double v_awq_off =
+            tput(LlmBackend::Vllm, LlmQuant::Awq4, b, false);
+        const double v_awq_on =
+            tput(LlmBackend::Vllm, LlmQuant::Awq4, b, true);
+        const double hf_awq_off =
+            tput(LlmBackend::HuggingFace, LlmQuant::Awq4, b, false);
+
+        table.row({std::to_string(b),
+                   TextTable::num(hf_bf16, 1),
+                   TextTable::ratio(v_bf16_off / hf_bf16),
+                   TextTable::ratio(v_bf16_on / hf_bf16),
+                   TextTable::ratio(v_awq_off / hf_bf16),
+                   TextTable::ratio(v_awq_on / hf_bf16),
+                   TextTable::ratio(hf_awq_off / hf_bf16)});
+
+        vllm_always_wins &= (v_bf16_off > hf_bf16)
+            && (v_bf16_on > hf_bf16) && (v_awq_off > hf_awq_off);
+        ccon_worse &= (v_bf16_on < v_bf16_off)
+            && (v_awq_on < v_awq_off);
+        if (b <= 16 && v_awq_off > v_bf16_off)
+            awq_wins_small = true;
+        if (b >= 64)
+            bf16_wins_large &= (v_bf16_off > v_awq_off);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nSummary (paper: vLLM beats HF everywhere; CC-on "
+                 "< CC-off; AWQ wins small batch, BF16 wins at "
+                 "64/128)\n"
+              << "  vLLM always faster: "
+              << (vllm_always_wins ? "yes" : "NO") << "\n"
+              << "  CC-on below CC-off: " << (ccon_worse ? "yes" : "NO")
+              << "\n"
+              << "  AWQ wins small batch: "
+              << (awq_wins_small ? "yes" : "NO") << "\n"
+              << "  BF16 wins at 64/128: "
+              << (bf16_wins_large ? "yes" : "NO") << "\n";
+    return 0;
+}

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * google-benchmark suite over the functional crypto primitives: real
+ * throughput of the from-scratch AES/GCM/XTS/GHASH code and of the
+ * end-to-end SecureChannel functional path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "crypto/aes.hpp"
+#include "crypto/ctr.hpp"
+#include "crypto/gcm.hpp"
+#include "crypto/ghash.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/chacha.hpp"
+#include "crypto/xts.hpp"
+#include "tee/secure_channel.hpp"
+#include "tee/spdm.hpp"
+
+namespace {
+
+using namespace hcc;
+
+void
+BM_AesEncryptBlock(benchmark::State &state)
+{
+    std::vector<std::uint8_t> key(
+        static_cast<std::size_t>(state.range(0)), 0x42);
+    crypto::Aes aes(key);
+    std::uint8_t block[16] = {1, 2, 3};
+    for (auto _ : state) {
+        aes.encryptBlock(block, block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_AesEncryptBlock)->Arg(16)->Arg(24)->Arg(32);
+
+void
+BM_AesDecryptBlock(benchmark::State &state)
+{
+    std::vector<std::uint8_t> key(16, 0x17);
+    crypto::Aes aes(key);
+    std::uint8_t block[16] = {9, 8, 7};
+    for (auto _ : state) {
+        aes.decryptBlock(block, block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_AesDecryptBlock);
+
+void
+BM_GcmSeal(benchmark::State &state)
+{
+    std::vector<std::uint8_t> key(16, 0x33);
+    crypto::AesGcm gcm(key);
+    std::vector<std::uint8_t> pt(
+        static_cast<std::size_t>(state.range(0)), 0x5a);
+    std::vector<std::uint8_t> ct(pt.size());
+    std::uint8_t tag[crypto::kGcmTagLen];
+    crypto::GcmIv iv{};
+    for (auto _ : state) {
+        gcm.seal(iv, {}, pt, ct, tag);
+        benchmark::DoNotOptimize(ct.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations())
+        * state.range(0));
+}
+BENCHMARK(BM_GcmSeal)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void
+BM_GcmOpen(benchmark::State &state)
+{
+    std::vector<std::uint8_t> key(16, 0x33);
+    crypto::AesGcm gcm(key);
+    std::vector<std::uint8_t> pt(
+        static_cast<std::size_t>(state.range(0)), 0x5a);
+    std::vector<std::uint8_t> ct(pt.size());
+    std::vector<std::uint8_t> back(pt.size());
+    std::uint8_t tag[crypto::kGcmTagLen];
+    crypto::GcmIv iv{};
+    gcm.seal(iv, {}, pt, ct, tag);
+    for (auto _ : state) {
+        const bool ok = gcm.open(iv, {}, ct, tag, back);
+        benchmark::DoNotOptimize(ok);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations())
+        * state.range(0));
+}
+BENCHMARK(BM_GcmOpen)->Arg(65536);
+
+void
+BM_Ghash(benchmark::State &state)
+{
+    std::uint8_t h[16] = {0x66, 0xe9, 0x4b};
+    crypto::Ghash ghash(h);
+    std::vector<std::uint8_t> data(
+        static_cast<std::size_t>(state.range(0)), 0x77);
+    for (auto _ : state) {
+        ghash.update(data);
+        std::uint8_t out[16];
+        ghash.digest(out);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations())
+        * state.range(0));
+}
+BENCHMARK(BM_Ghash)->Arg(65536);
+
+void
+BM_XtsEncrypt(benchmark::State &state)
+{
+    std::vector<std::uint8_t> key(32, 0x21);
+    crypto::AesXts xts(key);
+    std::vector<std::uint8_t> data(
+        static_cast<std::size_t>(state.range(0)), 0x99);
+    for (auto _ : state) {
+        xts.encrypt(7, data, data);
+        benchmark::DoNotOptimize(data.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations())
+        * state.range(0));
+}
+BENCHMARK(BM_XtsEncrypt)->Arg(4096)->Arg(65536);
+
+void
+BM_CtrXcrypt(benchmark::State &state)
+{
+    std::vector<std::uint8_t> key(16, 0x44);
+    crypto::Aes aes(key);
+    std::uint8_t ctr[16] = {};
+    std::vector<std::uint8_t> data(
+        static_cast<std::size_t>(state.range(0)), 0x88);
+    for (auto _ : state) {
+        crypto::ctrXcrypt(aes, ctr, data, data);
+        benchmark::DoNotOptimize(data.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations())
+        * state.range(0));
+}
+BENCHMARK(BM_CtrXcrypt)->Arg(65536);
+
+void
+BM_ChaChaPolySeal(benchmark::State &state)
+{
+    std::vector<std::uint8_t> key(32, 0x42);
+    crypto::ChaChaPoly aead(key);
+    std::uint8_t nonce[12] = {1};
+    std::vector<std::uint8_t> pt(
+        static_cast<std::size_t>(state.range(0)), 0x5a);
+    std::vector<std::uint8_t> ct(pt.size());
+    std::uint8_t tag[crypto::kPolyTagLen];
+    for (auto _ : state) {
+        aead.seal(nonce, {}, pt, ct, tag);
+        benchmark::DoNotOptimize(ct.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations())
+        * state.range(0));
+}
+BENCHMARK(BM_ChaChaPolySeal)->Arg(65536)->Arg(1 << 20);
+
+void
+BM_Sha256(benchmark::State &state)
+{
+    std::vector<std::uint8_t> data(
+        static_cast<std::size_t>(state.range(0)), 0x31);
+    for (auto _ : state) {
+        auto d = crypto::Sha256::digest(data);
+        benchmark::DoNotOptimize(d);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations())
+        * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(65536);
+
+void
+BM_SecureChannelFunctional(benchmark::State &state)
+{
+    tee::ChannelConfig cfg;
+    const auto session = tee::SpdmSession::establish(5);
+    tee::SecureChannel ch(cfg, session);
+    std::vector<std::uint8_t> src(
+        static_cast<std::size_t>(state.range(0)), 0xab);
+    std::vector<std::uint8_t> dst(src.size());
+    for (auto _ : state) {
+        const bool ok = ch.transferFunctional(src, dst);
+        benchmark::DoNotOptimize(ok);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations())
+        * state.range(0));
+}
+BENCHMARK(BM_SecureChannelFunctional)->Arg(1 << 20);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * google-benchmark suite over the simulation kernel and runtime hot
+ * paths: timeline reservations, event-queue churn, full launch and
+ * memcpy round trips (simulator throughput, i.e. how fast the
+ * simulator itself runs).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "runtime/context.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/timeline.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace hcc;
+
+void
+BM_TimelineReserve(benchmark::State &state)
+{
+    sim::Timeline t;
+    SimTime ready = 0;
+    for (auto _ : state) {
+        const auto iv = t.reserve(ready, 100);
+        ready = iv.end - 50;
+        benchmark::DoNotOptimize(iv);
+    }
+}
+BENCHMARK(BM_TimelineReserve);
+
+void
+BM_TimelinePoolReserve(benchmark::State &state)
+{
+    sim::TimelinePool pool("p", static_cast<int>(state.range(0)));
+    SimTime ready = 0;
+    for (auto _ : state) {
+        const auto iv = pool.reserve(ready, 100);
+        ready += 10;
+        benchmark::DoNotOptimize(iv);
+    }
+}
+BENCHMARK(BM_TimelinePoolReserve)->Arg(2)->Arg(16);
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue q;
+        int acc = 0;
+        for (int i = 0; i < 1000; ++i)
+            q.schedule(i, [&acc](SimTime) { ++acc; });
+        q.runAll();
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_KernelLaunch(benchmark::State &state)
+{
+    rt::SystemConfig cfg;
+    cfg.cc = state.range(0) != 0;
+    rt::Context ctx(cfg);
+    gpu::KernelDesc k{"bench_kernel", {}, time::us(10), 0, 0};
+    for (auto _ : state)
+        ctx.launchKernel(k);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KernelLaunch)->Arg(0)->Arg(1);
+
+void
+BM_Memcpy(benchmark::State &state)
+{
+    rt::SystemConfig cfg;
+    cfg.cc = state.range(0) != 0;
+    rt::Context ctx(cfg);
+    auto h = ctx.hostPageable(size::mib(1));
+    auto d = ctx.mallocDevice(size::mib(1));
+    for (auto _ : state)
+        ctx.memcpy(d, h, size::mib(1));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Memcpy)->Arg(0)->Arg(1);
+
+void
+BM_FullWorkload(benchmark::State &state)
+{
+    const auto &w =
+        workloads::WorkloadRegistry::instance().get("2mm");
+    for (auto _ : state) {
+        rt::SystemConfig cfg;
+        cfg.cc = state.range(0) != 0;
+        const auto r = workloads::runWorkload(w, cfg);
+        benchmark::DoNotOptimize(r.end_to_end);
+    }
+}
+BENCHMARK(BM_FullWorkload)->Arg(0)->Arg(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table I: the modeled confidential-computing system setup, plus the
+ * derived simulator parameters (calibration constants in effect).
+ */
+
+#include <iostream>
+
+#include "common/calibration.hpp"
+#include "common/table.hpp"
+#include "tee/spdm.hpp"
+
+int
+main()
+{
+    using namespace hcc;
+
+    TextTable t("Table I — Confidential Computing System Setup "
+                "(modeled)");
+    t.header({"Component", "Configuration"});
+    t.row({"CPU", "2x 5th Gen Intel Xeon 6530 Gold @2.1GHz, 32 cores"});
+    t.row({"Memory", "16x 64GB DDR5 4800MHz (1TB)"});
+    t.row({"TME-MK", "Auto bypass enabled (AES-XTS, key-id 0 clear)"});
+    t.row({"System", "Supermicro SYS-421GE-TNRT3 (PCIe 5.0)"});
+    t.row({"OS", "Ubuntu 22.04.5 LTS (Linux 6.2.0, tdx patched)"});
+    t.row({"Hypervisor", "QEMU 7.2.0 (tdx patched)"});
+    t.row({"TDX Tools", "TDX 1.5 (tag 2023ww15)"});
+    t.row({"GPU", "NVIDIA H100 NVL, 94GB HBM3, PCIe 5.0 x16"});
+    t.row({"", "CUDA 12.4-equivalent runtime model"});
+    t.print(std::cout);
+
+    TextTable c("Derived simulator calibration (selected)");
+    c.header({"Parameter", "Value"});
+    c.row({"PCIe pinned bandwidth (base)",
+           TextTable::num(calib::kPciePinnedGBs, 1) + " GB/s"});
+    c.row({"AES-GCM-128 single core (EMR)",
+           TextTable::num(calib::kEmrAesGcm128GBs, 2) + " GB/s"});
+    c.row({"tdx_hypercall round trip",
+           formatTime(calib::kTdxHypercallLatency)});
+    c.row({"vmcall round trip", formatTime(calib::kVmcallLatency)});
+    c.row({"set_memory_decrypted / 4KiB page",
+           formatTime(calib::kPageConvertPerPage)});
+    c.row({"UVM far-fault latency",
+           formatTime(calib::kUvmFaultLatencyBase)});
+    c.row({"UVM batch pages (base / CC)",
+           std::to_string(calib::kUvmBatchPagesBase) + " / "
+               + std::to_string(calib::kUvmBatchPagesCc)});
+    c.row({"cmd decode (base / CC)",
+           formatTime(calib::kCmdProcDecodeBase) + " / "
+               + formatTime(calib::kCmdProcDecodeCc)});
+    c.row({"SPDM handshake (one-time)",
+           formatTime(tee::SpdmSession::kHandshakeCost)});
+    c.print(std::cout);
+    return 0;
+}

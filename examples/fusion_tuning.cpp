@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tuning a launch-bound loop for CC: fusion and overlap in practice.
+ *
+ * Takes a 3dconv-style iterative app (many short kernels, low
+ * kernel-to-launch ratio) and applies the paper's two Sec. VII-A
+ * optimizations step by step:
+ *   step 0: naive loop,
+ *   step 1: kernel fusion (merge 4 iterations per kernel),
+ *   step 2: graph launch fusion (one launch per 32 iterations),
+ *   step 3: overlap the input transfer with a second stream.
+ *
+ *   ./examples/fusion_tuning
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "runtime/context.hpp"
+
+namespace {
+
+using namespace hcc;
+
+constexpr int kIterations = 256;
+constexpr SimTime kIterKet = time::us(4.0);
+constexpr Bytes kInput = size::mib(8);
+
+rt::Context
+makeCtx(bool cc)
+{
+    rt::SystemConfig cfg;
+    cfg.cc = cc;
+    return rt::Context(cfg);
+}
+
+SimTime
+naiveLoop(bool cc)
+{
+    auto ctx = makeCtx(cc);
+    auto host = ctx.hostPageable(kInput);
+    auto dev = ctx.mallocDevice(kInput);
+    const SimTime t0 = ctx.now();
+    ctx.memcpy(dev, host, kInput);
+    gpu::KernelDesc k{"conv_iter", {}, kIterKet, 0, 0};
+    for (int i = 0; i < kIterations; ++i)
+        ctx.launchKernel(k);
+    ctx.deviceSynchronize();
+    return ctx.now() - t0;
+}
+
+SimTime
+fusedKernels(bool cc, int fuse)
+{
+    auto ctx = makeCtx(cc);
+    auto host = ctx.hostPageable(kInput);
+    auto dev = ctx.mallocDevice(kInput);
+    const SimTime t0 = ctx.now();
+    ctx.memcpy(dev, host, kInput);
+    gpu::KernelDesc k{"conv_fused", {}, kIterKet * fuse, 0, 0};
+    for (int i = 0; i < kIterations / fuse; ++i)
+        ctx.launchKernel(k);
+    ctx.deviceSynchronize();
+    return ctx.now() - t0;
+}
+
+SimTime
+graphLaunch(bool cc, int fuse, int per_graph)
+{
+    // Fused kernels (so the device is not decode-bound) replayed as
+    // a graph (so the host is not launch-bound).
+    auto ctx = makeCtx(cc);
+    auto host = ctx.hostPageable(kInput);
+    auto dev = ctx.mallocDevice(kInput);
+    const SimTime t0 = ctx.now();
+    ctx.memcpy(dev, host, kInput);
+    gpu::KernelDesc k{"conv_fused", {}, kIterKet * fuse, 0, 0};
+    auto g = ctx.instantiateGraph(
+        "conv_loop", std::vector<gpu::KernelDesc>(
+                         static_cast<std::size_t>(per_graph), k));
+    for (int i = 0; i < kIterations / (fuse * per_graph); ++i)
+        ctx.launchGraph(g);
+    ctx.deviceSynchronize();
+    return ctx.now() - t0;
+}
+
+SimTime
+overlapped(bool cc, int fuse, int per_graph)
+{
+    auto ctx = makeCtx(cc);
+    // Pinned staging + a copy stream: the transfer rides alongside
+    // the compute of the first graph batches (raising alpha).
+    auto host = ctx.mallocHost(kInput);
+    auto dev = ctx.mallocDevice(kInput);
+    auto copy_stream = ctx.createStream();
+    const SimTime t0 = ctx.now();
+    ctx.memcpyAsync(dev, host, kInput, copy_stream);
+    gpu::KernelDesc k{"conv_fused", {}, kIterKet * fuse, 0, 0};
+    auto g = ctx.instantiateGraph(
+        "conv_loop", std::vector<gpu::KernelDesc>(
+                         static_cast<std::size_t>(per_graph), k));
+    for (int i = 0; i < kIterations / (fuse * per_graph); ++i)
+        ctx.launchGraph(g);
+    ctx.deviceSynchronize();
+    return ctx.now() - t0;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Tuning a low-KLR loop (" << kIterations << " x "
+              << formatTime(kIterKet) << " kernels, "
+              << formatBytes(kInput) << " input) for CC\n\n";
+
+    TextTable t("end-to-end time by optimization step");
+    t.header({"step", "base", "cc", "cc/base"});
+    auto row = [&](const char *name, SimTime b, SimTime c) {
+        t.row({name, formatTime(b), formatTime(c),
+               TextTable::ratio(static_cast<double>(c)
+                                / static_cast<double>(b))});
+    };
+    row("0: naive loop", naiveLoop(false), naiveLoop(true));
+    row("1: fuse 4 iters/kernel", fusedKernels(false, 4),
+        fusedKernels(true, 4));
+    row("2: + graph, 32 iters/launch", graphLaunch(false, 4, 8),
+        graphLaunch(true, 4, 8));
+    row("3: + overlap transfer", overlapped(false, 4, 8),
+        overlapped(true, 4, 8));
+    t.print(std::cout);
+
+    std::cout << "\nEach step shrinks the CC-sensitive terms of the "
+                 "performance model: fusion cuts sum(KLO + LQT), "
+                 "graphs amortize the launch path, and overlap "
+                 "raises alpha so the encrypted transfer hides under "
+                 "compute.\n";
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Data-parallel training across GPUs under CC.
+ *
+ * Each training step computes local gradients per GPU and then
+ * all-reduces them.  Without CC the reduction rides PCIe P2P; in CC
+ * mode each GPU is bound to its TD and peer traffic must bounce
+ * through host memory encrypted in both directions — the collective
+ * becomes the bottleneck long before compute does.
+ *
+ *   ./examples/multi_gpu_training
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "multigpu/multi_gpu.hpp"
+
+namespace {
+
+using namespace hcc;
+
+/** One data-parallel step: local compute then gradient all-reduce. */
+SimTime
+step(multigpu::MultiGpuSystem &sys, Bytes grad_bytes,
+     SimTime compute)
+{
+    // Local compute happens in parallel on every GPU; the collective
+    // starts when the slowest finishes.
+    const auto reduce = sys.allReduce(grad_bytes, compute);
+    return reduce.total.end;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Data-parallel training: gradient all-reduce "
+                 "under CC\n\n";
+
+    const Bytes grads = size::mib(100);      // ~ResNet50 FP32 grads
+    const SimTime compute = time::ms(30.0);  // per-step local work
+
+    TextTable t("per-step time (30 ms local compute + 100 MiB "
+                "gradient all-reduce)");
+    t.header({"gpus", "base", "cc", "cc/base",
+              "collective share (cc)"});
+    for (int n : {2, 4, 8}) {
+        multigpu::MultiGpuConfig base_cfg, cc_cfg;
+        base_cfg.gpus = cc_cfg.gpus = n;
+        cc_cfg.cc = true;
+        multigpu::MultiGpuSystem base(base_cfg), cc(cc_cfg);
+
+        const SimTime tb = step(base, grads, compute);
+        const SimTime tc = step(cc, grads, compute);
+        t.row({std::to_string(n), formatTime(tb), formatTime(tc),
+               TextTable::ratio(static_cast<double>(tc)
+                                / static_cast<double>(tb)),
+               TextTable::pct(
+                   100.0
+                   * static_cast<double>(tc - compute)
+                   / static_cast<double>(tc))});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nWithout P2P, every gradient byte crosses the "
+                 "host twice through the software-encrypted path; "
+                 "scaling out makes it worse, not better.  This is "
+                 "why multi-GPU TEE designs ([83], [132]) focus on "
+                 "hardware-assisted peer encryption.\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Secure LLM inference: the paper's motivating cloud scenario.
+ *
+ * A tenant wants Llama-3-8B served on confidential hardware.  This
+ * example walks the serving decisions under CC: which backend, which
+ * quantization, what batch size — and prints the throughput cost of
+ * confidentiality for each choice.
+ *
+ *   ./examples/secure_inference
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "ml/llm.hpp"
+#include "runtime/context.hpp"
+
+namespace {
+
+double
+throughput(hcc::ml::LlmBackend backend, hcc::ml::LlmQuant quant,
+           int batch, bool cc)
+{
+    using namespace hcc;
+    rt::SystemConfig sys;
+    sys.cc = cc;
+    rt::Context ctx(sys);
+    ml::LlmConfig cfg;
+    cfg.backend = backend;
+    cfg.quant = quant;
+    cfg.batch = batch;
+    return ml::serveLlm(ctx, cfg).tokens_per_s;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace hcc;
+    using ml::LlmBackend;
+    using ml::LlmQuant;
+
+    std::cout << "Serving Llama-3-8B confidentially: what does CC "
+                 "cost, and what wins it back?\n\n";
+
+    TextTable t("tokens/s by configuration");
+    t.header({"batch", "backend", "quant", "CC-off", "CC-on",
+              "CC tax"});
+    for (int batch : {1, 16, 64}) {
+        for (auto backend :
+             {LlmBackend::HuggingFace, LlmBackend::Vllm}) {
+            for (auto quant : {LlmQuant::Bf16, LlmQuant::Awq4}) {
+                const double off =
+                    throughput(backend, quant, batch, false);
+                const double on =
+                    throughput(backend, quant, batch, true);
+                t.row({std::to_string(batch),
+                       ml::llmBackendName(backend),
+                       ml::llmQuantName(quant),
+                       TextTable::num(off, 0),
+                       TextTable::num(on, 0),
+                       TextTable::pct((1.0 - on / off) * 100.0)});
+            }
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nTakeaways (match the paper's Observation 9):\n"
+              << "  - the serving backend matters more than CC: "
+                 "vLLM under CC still beats HF without CC;\n"
+              << "  - AWQ 4-bit wins at small batch (memory-bound "
+                 "decode), BF16 wins at large batch;\n"
+              << "  - the CC tax shrinks as batch grows and decode "
+                 "becomes compute-bound.\n";
+    return 0;
+}

@@ -1,0 +1,277 @@
+#include "cli/options.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "common/table.hpp"
+#include "perfmodel/model.hpp"
+#include "perfmodel/projector.hpp"
+#include "trace/compare.hpp"
+#include "trace/export.hpp"
+#include "workloads/spec.hpp"
+#include "workloads/spec_file.hpp"
+#include "workloads/workload.hpp"
+
+namespace hcc::cli {
+
+std::string
+usage()
+{
+    return
+        "hccsim — CC-on-GPU overhead simulator (ISPASS'25 repro)\n"
+        "\n"
+        "usage:\n"
+        "  hccsim list                      list workloads\n"
+        "  hccsim run --app NAME [opts]     run one workload\n"
+        "  hccsim compare --app NAME [opts] run base and CC, diff\n"
+        "  hccsim trace --app NAME [opts]   dump the event trace\n"
+        "  hccsim project --app NAME [opts] predict the CC slowdown\n"
+        "                                   from a base run\n"
+        "\n"
+        "options:\n"
+        "  --spec FILE      run a user-defined spec file instead\n"
+        "                   of a built-in --app workload\n"
+        "  --cc             run inside a TD (CC mode)\n"
+        "  --uvm            use the managed-memory variant\n"
+        "  --scale X        problem-size multiplier (default 1.0)\n"
+        "  --seed N         RNG seed (default 42)\n"
+        "  --format json|csv   trace format (default json)\n"
+        "  --crypto-workers N  parallel encryption threads (CC)\n"
+        "  --tee-io            model the TEE-IO hardware path (CC)\n";
+}
+
+std::optional<Options>
+parseArgs(const std::vector<std::string> &args, std::string &error)
+{
+    Options opt;
+    if (args.empty()) {
+        error = "missing command";
+        return std::nullopt;
+    }
+    const std::string &cmd = args[0];
+    if (cmd == "list") {
+        opt.command = Command::List;
+    } else if (cmd == "run") {
+        opt.command = Command::Run;
+    } else if (cmd == "compare") {
+        opt.command = Command::Compare;
+    } else if (cmd == "trace") {
+        opt.command = Command::Trace;
+    } else if (cmd == "project") {
+        opt.command = Command::Project;
+    } else if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+        opt.command = Command::Help;
+        return opt;
+    } else {
+        error = "unknown command '" + cmd + "'";
+        return std::nullopt;
+    }
+
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&](const char *what) -> const std::string * {
+            if (i + 1 >= args.size()) {
+                error = std::string(what) + " requires a value";
+                return nullptr;
+            }
+            return &args[++i];
+        };
+        if (a == "--app") {
+            const auto *v = next("--app");
+            if (!v)
+                return std::nullopt;
+            opt.app = *v;
+        } else if (a == "--spec") {
+            const auto *v = next("--spec");
+            if (!v)
+                return std::nullopt;
+            opt.spec_file = *v;
+        } else if (a == "--cc") {
+            opt.cc = true;
+        } else if (a == "--tee-io") {
+            opt.tee_io = true;
+        } else if (a == "--crypto-workers") {
+            const auto *v = next("--crypto-workers");
+            if (!v)
+                return std::nullopt;
+            try {
+                opt.crypto_workers = std::stoi(*v);
+            } catch (...) {
+                error = "bad --crypto-workers value '" + *v + "'";
+                return std::nullopt;
+            }
+            if (opt.crypto_workers < 1) {
+                error = "--crypto-workers must be >= 1";
+                return std::nullopt;
+            }
+        } else if (a == "--uvm") {
+            opt.uvm = true;
+        } else if (a == "--scale") {
+            const auto *v = next("--scale");
+            if (!v)
+                return std::nullopt;
+            try {
+                opt.scale = std::stod(*v);
+            } catch (...) {
+                error = "bad --scale value '" + *v + "'";
+                return std::nullopt;
+            }
+            if (opt.scale <= 0.0) {
+                error = "--scale must be positive";
+                return std::nullopt;
+            }
+        } else if (a == "--seed") {
+            const auto *v = next("--seed");
+            if (!v)
+                return std::nullopt;
+            try {
+                opt.seed = std::stoull(*v);
+            } catch (...) {
+                error = "bad --seed value '" + *v + "'";
+                return std::nullopt;
+            }
+        } else if (a == "--format") {
+            const auto *v = next("--format");
+            if (!v)
+                return std::nullopt;
+            opt.format = *v;
+            if (opt.format != "json" && opt.format != "csv") {
+                error = "--format must be json or csv";
+                return std::nullopt;
+            }
+        } else {
+            error = "unknown option '" + a + "'";
+            return std::nullopt;
+        }
+    }
+
+    if (opt.command != Command::List && opt.app.empty()
+        && opt.spec_file.empty()) {
+        error = "this command requires --app or --spec";
+        return std::nullopt;
+    }
+    if (!opt.app.empty() && !opt.spec_file.empty()) {
+        error = "--app and --spec are mutually exclusive";
+        return std::nullopt;
+    }
+    return opt;
+}
+
+namespace {
+
+workloads::WorkloadResult
+runOnce(const Options &opt, bool cc)
+{
+    rt::SystemConfig sys;
+    sys.cc = cc;
+    sys.seed = opt.seed;
+    sys.channel.crypto_workers = opt.crypto_workers;
+    sys.channel.tee_io = opt.tee_io;
+    workloads::WorkloadParams params;
+    params.uvm = opt.uvm;
+    params.scale = opt.scale;
+    params.seed = opt.seed;
+    if (!opt.spec_file.empty()) {
+        const workloads::SpecWorkload workload(
+            workloads::loadSpecFile(opt.spec_file));
+        return workloads::runWorkload(workload, sys, params);
+    }
+    return workloads::runWorkload(opt.app, sys, params);
+}
+
+void
+printSummary(const workloads::WorkloadResult &res, std::ostream &os)
+{
+    const auto &m = res.metrics;
+    TextTable t(res.name + (res.cc ? " [cc]" : " [base]")
+                + (res.uvm ? " [uvm]" : ""));
+    t.header({"metric", "value"});
+    t.row({"end-to-end", formatTime(m.end_to_end)});
+    t.row({"launches", std::to_string(m.launches)});
+    t.row({"sum KLO", formatTime(m.sumKlo())});
+    t.row({"sum LQT", formatTime(m.sumLqt())});
+    t.row({"sum KQT", formatTime(m.sumKqt())});
+    t.row({"sum KET", formatTime(m.sumKet())});
+    t.row({"copy (h2d/d2h/d2d)",
+           formatTime(m.copy_h2d) + " / " + formatTime(m.copy_d2h)
+               + " / " + formatTime(m.copy_d2d)});
+    t.row({"alloc/free", formatTime(m.alloc_device + m.alloc_host
+                                    + m.alloc_managed)
+                             + " / " + formatTime(m.free_time)});
+    t.row({"tdx hypercalls", std::to_string(res.tdx.hypercalls)});
+    t.print(os);
+}
+
+} // namespace
+
+int
+runCli(const Options &opt, std::ostream &os)
+{
+    switch (opt.command) {
+      case Command::Help:
+        os << usage();
+        return 0;
+
+      case Command::List: {
+        TextTable t("workloads");
+        t.header({"name", "suite", "uvm"});
+        for (const auto *w :
+             workloads::WorkloadRegistry::instance().all()) {
+            t.row({w->name(), w->suite(),
+                   w->supportsUvm() ? "yes" : "no"});
+        }
+        t.print(os);
+        return 0;
+      }
+
+      case Command::Run: {
+        const auto res = runOnce(opt, opt.cc);
+        printSummary(res, os);
+        const auto d = perfmodel::decompose(res.trace);
+        os << "\nperformance-model decomposition:\n" << d.report();
+        return 0;
+      }
+
+      case Command::Compare: {
+        const auto base = runOnce(opt, false);
+        const auto cc = runOnce(opt, true);
+        printSummary(base, os);
+        os << "\n";
+        printSummary(cc, os);
+        const double r = static_cast<double>(cc.end_to_end)
+            / static_cast<double>(base.end_to_end);
+        os << "\nCC slowdown: " << TextTable::ratio(r) << "\n\n"
+           << "event-level diff (Sec. VI-B style):\n"
+           << trace::compareTraces(base.trace, cc.trace, 5).report();
+        return 0;
+      }
+
+      case Command::Trace: {
+        const auto res = runOnce(opt, opt.cc);
+        if (opt.format == "csv")
+            trace::exportCsv(res.trace, os);
+        else
+            trace::exportChromeTrace(res.trace, os);
+        return 0;
+      }
+
+      case Command::Project: {
+        const auto base = runOnce(opt, false);
+        const auto projection = perfmodel::projectCc(base.trace);
+        os << "projecting '" << opt.app
+           << "' from a base (non-CC) run into CC mode:\n"
+           << projection.report();
+        const auto actual = runOnce(opt, true);
+        const double actual_slowdown =
+            static_cast<double>(actual.end_to_end)
+            / static_cast<double>(base.end_to_end);
+        os << "actual CC run: " << formatTime(actual.end_to_end)
+           << " (" << TextTable::ratio(actual_slowdown) << ")\n";
+        return 0;
+      }
+    }
+    return 1;
+}
+
+} // namespace hcc::cli

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Command-line interface of the `hccsim` tool: list workloads, run
+ * one under a chosen configuration, compare base vs CC, or export a
+ * trace.  Parsing and execution are library functions so they are
+ * unit-testable; tools/hccsim.cpp is a thin main().
+ */
+
+#ifndef HCC_CLI_OPTIONS_HPP
+#define HCC_CLI_OPTIONS_HPP
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hcc::cli {
+
+/** Supported subcommands. */
+enum class Command { List, Run, Compare, Trace, Project, Help };
+
+/** Parsed invocation. */
+struct Options
+{
+    Command command = Command::Help;
+    /** Workload name (Run/Compare/Trace). */
+    std::string app;
+    /** Path to a user spec file (alternative to --app). */
+    std::string spec_file;
+    /** Run inside a TD with the GPU in CC mode. */
+    bool cc = false;
+    /** Use the managed-memory (UVM) variant. */
+    bool uvm = false;
+    /** Problem-size multiplier. */
+    double scale = 1.0;
+    /** RNG seed. */
+    std::uint64_t seed = 42;
+    /** Trace export format: "json" (Chrome) or "csv". */
+    std::string format = "json";
+    /** Parallel encryption workers in the CC transfer path. */
+    int crypto_workers = 1;
+    /** Model the hypothetical TEE-IO hardware path. */
+    bool tee_io = false;
+};
+
+/**
+ * Parse argv (excluding argv[0]).
+ * @return the options, or an error message on invalid input.
+ */
+std::optional<Options> parseArgs(const std::vector<std::string> &args,
+                                 std::string &error);
+
+/** Execute a parsed invocation, writing output to @p os.
+ *  @return process exit code. */
+int runCli(const Options &options, std::ostream &os);
+
+/** The usage/help text. */
+std::string usage();
+
+} // namespace hcc::cli
+
+#endif // HCC_CLI_OPTIONS_HPP

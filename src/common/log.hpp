@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal logging and error-reporting facilities, gem5-flavoured.
+ *
+ * fatal() is for user errors (bad configuration, invalid parameters):
+ * it throws FatalError so tests can assert on misuse.  panic() is for
+ * internal invariant violations (simulator bugs): it aborts.
+ */
+
+#ifndef HCC_COMMON_LOG_HPP
+#define HCC_COMMON_LOG_HPP
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace hcc {
+
+/** Exception thrown by fatal() on unrecoverable user errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+enum class LogLevel { Debug, Info, Warn, Error, Silent };
+
+/** Set the global log threshold; messages below it are dropped. */
+void setLogLevel(LogLevel level);
+
+/** Current global log threshold. */
+LogLevel logLevel();
+
+/** printf-style logging at the given level. */
+void logf(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Informational message for the user. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Something is suspicious but the simulation can proceed. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Unrecoverable user error (bad config/arguments).
+ * @throws FatalError always.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Internal invariant violation: a simulator bug. Aborts the process.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace hcc
+
+/** Assert an internal invariant; panics with location info on failure. */
+#define HCC_ASSERT(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::hcc::panic("assertion failed at %s:%d: %s (%s)",              \
+                         __FILE__, __LINE__, #cond, msg);                   \
+        }                                                                   \
+    } while (0)
+
+#endif // HCC_COMMON_LOG_HPP

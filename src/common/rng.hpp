@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic random number generation for the simulator.
+ *
+ * We use PCG32 (O'Neill) rather than std::mt19937 so that streams are
+ * cheap to fork per component and results are identical across
+ * standard-library implementations.
+ */
+
+#ifndef HCC_COMMON_RNG_HPP
+#define HCC_COMMON_RNG_HPP
+
+#include <cstdint>
+
+namespace hcc {
+
+/**
+ * PCG32 generator: 64-bit state, 32-bit output, selectable stream.
+ */
+class Rng
+{
+  public:
+    /** Construct from a seed and an optional stream id. */
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+    /** Next raw 32-bit value. */
+    std::uint32_t next32();
+
+    /** Next raw 64-bit value (two 32-bit draws). */
+    std::uint64_t next64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal via Box-Muller (cached second draw). */
+    double normal();
+
+    /** Normal with mean @p mu and standard deviation @p sigma. */
+    double normal(double mu, double sigma);
+
+    /**
+     * Lognormal draw parameterized directly by the desired median and
+     * multiplicative spread sigma (log-space standard deviation).
+     * Used for launch-overhead jitter whose distribution has a long
+     * right tail, as observed in the paper's Fig. 11a.
+     */
+    double lognormal(double median, double sigma);
+
+    /** Fork a child generator with an independent stream. */
+    Rng fork(std::uint64_t stream_salt);
+
+  private:
+    std::uint64_t state_;
+    std::uint64_t inc_;
+    bool hasSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace hcc
+
+#endif // HCC_COMMON_RNG_HPP

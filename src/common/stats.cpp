@@ -1,0 +1,175 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/log.hpp"
+
+namespace hcc {
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+SampleSet::add(double x)
+{
+    samples_.push_back(x);
+    sorted_ = false;
+}
+
+void
+SampleSet::addAll(const std::vector<double> &xs)
+{
+    samples_.insert(samples_.end(), xs.begin(), xs.end());
+    sorted_ = false;
+}
+
+double
+SampleSet::sum() const
+{
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double
+SampleSet::mean() const
+{
+    return samples_.empty()
+        ? 0.0 : sum() / static_cast<double>(samples_.size());
+}
+
+double
+SampleSet::min() const
+{
+    ensureSorted();
+    return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double
+SampleSet::max() const
+{
+    ensureSorted();
+    return samples_.empty() ? 0.0 : samples_.back();
+}
+
+void
+SampleSet::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+SampleSet::percentile(double p) const
+{
+    HCC_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    if (samples_.size() == 1)
+        return samples_[0];
+    const double rank =
+        p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= samples_.size())
+        return samples_.back();
+    return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+std::vector<double>
+SampleSet::sorted() const
+{
+    ensureSorted();
+    return samples_;
+}
+
+std::vector<std::pair<double, double>>
+SampleSet::cdf(std::size_t drop_top) const
+{
+    ensureSorted();
+    std::vector<std::pair<double, double>> pts;
+    if (samples_.empty())
+        return pts;
+    const std::size_t n = samples_.size() > drop_top
+        ? samples_.size() - drop_top : 0;
+    pts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        pts.emplace_back(samples_[i],
+                         static_cast<double>(i + 1)
+                             / static_cast<double>(n));
+    }
+    return pts;
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs) {
+        HCC_ASSERT(x > 0.0, "geomean requires positive values");
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return std::accumulate(xs.begin(), xs.end(), 0.0)
+        / static_cast<double>(xs.size());
+}
+
+} // namespace hcc

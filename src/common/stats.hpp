@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Statistics helpers used throughout the measurement layer: running
+ * summary statistics, exact percentiles over retained samples, CDFs
+ * (the paper's Fig. 11), and geometric means for normalized ratios.
+ */
+
+#ifndef HCC_COMMON_STATS_HPP
+#define HCC_COMMON_STATS_HPP
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace hcc {
+
+/**
+ * Welford-style running summary: count, mean, variance, min, max.
+ * O(1) memory; used for high-volume event streams.
+ */
+class RunningStats
+{
+  public:
+    void add(double x);
+    void merge(const RunningStats &other);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Sample set retaining all values: exact percentiles, CDF extraction.
+ */
+class SampleSet
+{
+  public:
+    void add(double x);
+    void addAll(const std::vector<double> &xs);
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+    double sum() const;
+    double mean() const;
+    double min() const;
+    double max() const;
+
+    /**
+     * Exact percentile with linear interpolation.
+     * @param p in [0, 100].
+     */
+    double percentile(double p) const;
+    double median() const { return percentile(50.0); }
+
+    /** Sorted copy of the samples. */
+    std::vector<double> sorted() const;
+
+    /**
+     * Empirical CDF as (value, cumulative fraction) points, one per
+     * sample, matching how the paper plots Fig. 11.
+     * @param drop_top number of largest samples to exclude from the
+     *        plotted points (the paper drops the top 5 launch
+     *        durations for scale); the mean is never affected.
+     */
+    std::vector<std::pair<double, double>> cdf(std::size_t drop_top = 0)
+        const;
+
+    const std::vector<double> &values() const { return samples_; }
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+
+    void ensureSorted() const;
+};
+
+/** Geometric mean of strictly-positive values; 0 if empty. */
+double geomean(const std::vector<double> &xs);
+
+/** Arithmetic mean; 0 if empty. */
+double mean(const std::vector<double> &xs);
+
+} // namespace hcc
+
+#endif // HCC_COMMON_STATS_HPP

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Plain-text table and CSV emitters used by the benchmark harnesses to
+ * print paper-style rows/series.
+ */
+
+#ifndef HCC_COMMON_TABLE_HPP
+#define HCC_COMMON_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hcc {
+
+/**
+ * Fixed-column text table with an optional title, printed with aligned
+ * columns.  Cells are strings; helpers format numbers consistently.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "");
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cols);
+
+    /** Append a data row; must match the header arity if one is set. */
+    void row(std::vector<std::string> cells);
+
+    /** Render to a stream with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string. */
+    std::string str() const;
+
+    /** Emit as CSV (header first if present). */
+    std::string csv() const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Format a double with @p decimals places. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Format a ratio as "N.NNx". */
+    static std::string ratio(double v, int decimals = 2);
+
+    /** Format a percentage as "N.N%". */
+    static std::string pct(double v, int decimals = 1);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace hcc
+
+#endif // HCC_COMMON_TABLE_HPP

@@ -1,0 +1,64 @@
+#include "common/units.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace hcc {
+
+SimTime
+transferTime(Bytes bytes, double gb_per_s)
+{
+    if (bytes == 0)
+        return 0;
+    if (gb_per_s <= 0.0)
+        return 0;
+    // bytes / (GB/s) = seconds * 1e-9; convert to picoseconds.
+    const double ps = static_cast<double>(bytes) / gb_per_s * 1e3;
+    return std::max<SimTime>(1, static_cast<SimTime>(ps));
+}
+
+double
+bandwidthGBs(Bytes bytes, SimTime elapsed)
+{
+    if (elapsed <= 0)
+        return 0.0;
+    return static_cast<double>(bytes) / (static_cast<double>(elapsed) * 1e-3);
+}
+
+std::string
+formatTime(SimTime t)
+{
+    char buf[64];
+    const double a = std::abs(static_cast<double>(t));
+    if (a >= 1e12)
+        std::snprintf(buf, sizeof(buf), "%.3f s", time::toSec(t));
+    else if (a >= 1e9)
+        std::snprintf(buf, sizeof(buf), "%.3f ms", time::toMs(t));
+    else if (a >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.3f us", time::toUs(t));
+    else if (a >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.3f ns", time::toNs(t));
+    else
+        std::snprintf(buf, sizeof(buf), "%lld ps",
+                      static_cast<long long>(t));
+    return buf;
+}
+
+std::string
+formatBytes(Bytes b)
+{
+    char buf[64];
+    if (b >= (1ull << 30))
+        std::snprintf(buf, sizeof(buf), "%.2f GiB", size::toGiB(b));
+    else if (b >= (1ull << 20))
+        std::snprintf(buf, sizeof(buf), "%.2f MiB", size::toMiB(b));
+    else if (b >= (1ull << 10))
+        std::snprintf(buf, sizeof(buf), "%.2f KiB", size::toKiB(b));
+    else
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(b));
+    return buf;
+}
+
+} // namespace hcc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Simulation time and data-size units.
+ *
+ * All simulated time is kept as a 64-bit signed count of picoseconds.
+ * Picosecond resolution is required because small PCIe transactions
+ * (e.g. a 64 B payload at ~25 GB/s) complete in a few nanoseconds and we
+ * accumulate many of them; double-precision seconds would silently lose
+ * precision over multi-second traces.
+ */
+
+#ifndef HCC_COMMON_UNITS_HPP
+#define HCC_COMMON_UNITS_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace hcc {
+
+/** Simulated time in picoseconds. */
+using SimTime = std::int64_t;
+
+/** Data sizes in bytes. */
+using Bytes = std::uint64_t;
+
+namespace time {
+
+constexpr SimTime ps(double v) { return static_cast<SimTime>(v); }
+constexpr SimTime ns(double v) { return static_cast<SimTime>(v * 1e3); }
+constexpr SimTime us(double v) { return static_cast<SimTime>(v * 1e6); }
+constexpr SimTime ms(double v) { return static_cast<SimTime>(v * 1e9); }
+constexpr SimTime sec(double v) { return static_cast<SimTime>(v * 1e12); }
+
+constexpr double toNs(SimTime t) { return static_cast<double>(t) * 1e-3; }
+constexpr double toUs(SimTime t) { return static_cast<double>(t) * 1e-6; }
+constexpr double toMs(SimTime t) { return static_cast<double>(t) * 1e-9; }
+constexpr double toSec(SimTime t) { return static_cast<double>(t) * 1e-12; }
+
+} // namespace time
+
+namespace size {
+
+constexpr Bytes kib(double v) { return static_cast<Bytes>(v * 1024.0); }
+constexpr Bytes mib(double v)
+{
+    return static_cast<Bytes>(v * 1024.0 * 1024.0);
+}
+constexpr Bytes gib(double v)
+{
+    return static_cast<Bytes>(v * 1024.0 * 1024.0 * 1024.0);
+}
+
+constexpr double toKiB(Bytes b) { return static_cast<double>(b) / 1024.0; }
+constexpr double toMiB(Bytes b)
+{
+    return static_cast<double>(b) / (1024.0 * 1024.0);
+}
+constexpr double toGiB(Bytes b)
+{
+    return static_cast<double>(b) / (1024.0 * 1024.0 * 1024.0);
+}
+
+} // namespace size
+
+/**
+ * Time to move @p bytes at @p gbps gigabytes per second (decimal GB).
+ * Returns at least 1 ps for non-zero sizes so durations never degenerate
+ * to zero-length intervals.
+ */
+SimTime transferTime(Bytes bytes, double gb_per_s);
+
+/** Effective bandwidth in GB/s for @p bytes moved in @p elapsed. */
+double bandwidthGBs(Bytes bytes, SimTime elapsed);
+
+/** Render a time as a human-readable string ("1.23 ms"). */
+std::string formatTime(SimTime t);
+
+/** Render a byte count as a human-readable string ("64.0 MiB"). */
+std::string formatBytes(Bytes b);
+
+} // namespace hcc
+
+#endif // HCC_COMMON_UNITS_HPP

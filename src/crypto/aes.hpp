@@ -1,0 +1,67 @@
+/**
+ * @file
+ * AES block cipher (FIPS-197), implemented from scratch.
+ *
+ * The simulator charges *modeled* time for bulk encryption (see
+ * cpu_crypto_model.hpp); this functional implementation is used to
+ * actually encrypt, authenticate and verify the bytes that flow
+ * through the confidential-computing transfer path, so that tests can
+ * assert end-to-end confidentiality and integrity invariants rather
+ * than trusting the model.
+ *
+ * This is a straightforward byte-oriented implementation (S-box +
+ * xtime MixColumns), optimized for clarity and reviewability, not for
+ * throughput.  It is constant-table, not constant-time; it protects a
+ * simulation, not production secrets.
+ */
+
+#ifndef HCC_CRYPTO_AES_HPP
+#define HCC_CRYPTO_AES_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace hcc::crypto {
+
+/** AES block size in bytes. */
+constexpr std::size_t kAesBlock = 16;
+
+/**
+ * AES-128/192/256 block cipher with precomputed key schedule.
+ */
+class Aes
+{
+  public:
+    /**
+     * Expand the key schedule.
+     * @param key 16, 24 or 32 bytes.
+     * @throws FatalError on any other length.
+     */
+    explicit Aes(std::span<const std::uint8_t> key);
+
+    /** Encrypt one 16-byte block (in and out may alias). */
+    void encryptBlock(const std::uint8_t in[kAesBlock],
+                      std::uint8_t out[kAesBlock]) const;
+
+    /** Decrypt one 16-byte block (in and out may alias). */
+    void decryptBlock(const std::uint8_t in[kAesBlock],
+                      std::uint8_t out[kAesBlock]) const;
+
+    /** Number of rounds (10, 12 or 14). */
+    int rounds() const { return rounds_; }
+
+    /** Key length in bytes (16, 24 or 32). */
+    std::size_t keyBytes() const { return key_bytes_; }
+
+  private:
+    int rounds_ = 0;
+    std::size_t key_bytes_ = 0;
+    // Round keys: (rounds+1) * 16 bytes; max 15 * 16 = 240.
+    std::array<std::uint8_t, 240> rk_{};
+};
+
+} // namespace hcc::crypto
+
+#endif // HCC_CRYPTO_AES_HPP

@@ -1,0 +1,298 @@
+#include "crypto/chacha.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace hcc::crypto {
+
+namespace {
+
+std::uint32_t
+rotl(std::uint32_t x, int n)
+{
+    return (x << n) | (x >> (32 - n));
+}
+
+void
+quarterRound(std::uint32_t &a, std::uint32_t &b, std::uint32_t &c,
+             std::uint32_t &d)
+{
+    a += b; d ^= a; d = rotl(d, 16);
+    c += d; b ^= c; b = rotl(b, 12);
+    a += b; d ^= a; d = rotl(d, 8);
+    c += d; b ^= c; b = rotl(b, 7);
+}
+
+std::uint32_t
+loadLe32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0])
+        | (static_cast<std::uint32_t>(p[1]) << 8)
+        | (static_cast<std::uint32_t>(p[2]) << 16)
+        | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void
+storeLe32(std::uint32_t v, std::uint8_t *p)
+{
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+    p[2] = static_cast<std::uint8_t>(v >> 16);
+    p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void
+storeLe64(std::uint64_t v, std::uint8_t *p)
+{
+    for (int i = 0; i < 8; ++i) {
+        p[i] = static_cast<std::uint8_t>(v & 0xff);
+        v >>= 8;
+    }
+}
+
+/** One 64-byte ChaCha20 block. */
+void
+chachaBlock(const std::uint8_t key[kChaChaKeyLen],
+            const std::uint8_t nonce[kChaChaNonceLen],
+            std::uint32_t counter, std::uint8_t out[64])
+{
+    std::uint32_t s[16];
+    s[0] = 0x61707865;
+    s[1] = 0x3320646e;
+    s[2] = 0x79622d32;
+    s[3] = 0x6b206574;
+    for (int i = 0; i < 8; ++i)
+        s[4 + i] = loadLe32(key + 4 * i);
+    s[12] = counter;
+    for (int i = 0; i < 3; ++i)
+        s[13 + i] = loadLe32(nonce + 4 * i);
+
+    std::uint32_t w[16];
+    std::memcpy(w, s, sizeof(w));
+    for (int round = 0; round < 10; ++round) {
+        quarterRound(w[0], w[4], w[8], w[12]);
+        quarterRound(w[1], w[5], w[9], w[13]);
+        quarterRound(w[2], w[6], w[10], w[14]);
+        quarterRound(w[3], w[7], w[11], w[15]);
+        quarterRound(w[0], w[5], w[10], w[15]);
+        quarterRound(w[1], w[6], w[11], w[12]);
+        quarterRound(w[2], w[7], w[8], w[13]);
+        quarterRound(w[3], w[4], w[9], w[14]);
+    }
+    for (int i = 0; i < 16; ++i)
+        storeLe32(w[i] + s[i], out + 4 * i);
+}
+
+} // namespace
+
+void
+chacha20Xor(const std::uint8_t key[kChaChaKeyLen],
+            const std::uint8_t nonce[kChaChaNonceLen],
+            std::uint32_t counter, std::span<const std::uint8_t> in,
+            std::span<std::uint8_t> out)
+{
+    HCC_ASSERT(out.size() >= in.size(), "chacha output too small");
+    std::uint8_t ks[64];
+    std::size_t off = 0;
+    while (off < in.size()) {
+        chachaBlock(key, nonce, counter++, ks);
+        const std::size_t n =
+            std::min<std::size_t>(64, in.size() - off);
+        for (std::size_t i = 0; i < n; ++i)
+            out[off + i] = in[off + i] ^ ks[i];
+        off += n;
+    }
+}
+
+void
+poly1305(const std::uint8_t key[32],
+         std::span<const std::uint8_t> message,
+         std::uint8_t tag[kPolyTagLen])
+{
+    using u128 = unsigned __int128;
+
+    // r with the RFC 8439 clamping; s is the final addend.
+    std::uint8_t rb[16];
+    std::memcpy(rb, key, 16);
+    rb[3] &= 15; rb[7] &= 15; rb[11] &= 15; rb[15] &= 15;
+    rb[4] &= 252; rb[8] &= 252; rb[12] &= 252;
+
+    // 26-bit limbs of r.
+    const std::uint64_t r0 = loadLe32(rb) & 0x3ffffff;
+    const std::uint64_t r1 = (loadLe32(rb + 3) >> 2) & 0x3ffffff;
+    const std::uint64_t r2 = (loadLe32(rb + 6) >> 4) & 0x3ffffff;
+    const std::uint64_t r3 = (loadLe32(rb + 9) >> 6) & 0x3ffffff;
+    const std::uint64_t r4 = (loadLe32(rb + 12) >> 8) & 0x3ffffff;
+    const std::uint64_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5,
+                        s4 = r4 * 5;
+
+    std::uint64_t h0 = 0, h1 = 0, h2 = 0, h3 = 0, h4 = 0;
+
+    std::size_t off = 0;
+    while (off < message.size()) {
+        std::uint8_t block[17] = {};
+        const std::size_t n =
+            std::min<std::size_t>(16, message.size() - off);
+        std::memcpy(block, message.data() + off, n);
+        block[n] = 1;  // the 2^(8*n) bit
+        off += n;
+
+        h0 += loadLe32(block) & 0x3ffffff;
+        h1 += (loadLe32(block + 3) >> 2) & 0x3ffffff;
+        h2 += (loadLe32(block + 6) >> 4) & 0x3ffffff;
+        h3 += (loadLe32(block + 9) >> 6) & 0x3ffffff;
+        h4 += (loadLe32(block + 12) >> 8)
+            | (static_cast<std::uint64_t>(block[16]) << 24);
+
+        const u128 d0 = static_cast<u128>(h0) * r0
+            + static_cast<u128>(h1) * s4 + static_cast<u128>(h2) * s3
+            + static_cast<u128>(h3) * s2 + static_cast<u128>(h4) * s1;
+        const u128 d1 = static_cast<u128>(h0) * r1
+            + static_cast<u128>(h1) * r0 + static_cast<u128>(h2) * s4
+            + static_cast<u128>(h3) * s3 + static_cast<u128>(h4) * s2;
+        const u128 d2 = static_cast<u128>(h0) * r2
+            + static_cast<u128>(h1) * r1 + static_cast<u128>(h2) * r0
+            + static_cast<u128>(h3) * s4 + static_cast<u128>(h4) * s3;
+        const u128 d3 = static_cast<u128>(h0) * r3
+            + static_cast<u128>(h1) * r2 + static_cast<u128>(h2) * r1
+            + static_cast<u128>(h3) * r0 + static_cast<u128>(h4) * s4;
+        const u128 d4 = static_cast<u128>(h0) * r4
+            + static_cast<u128>(h1) * r3 + static_cast<u128>(h2) * r2
+            + static_cast<u128>(h3) * r1 + static_cast<u128>(h4) * r0;
+
+        std::uint64_t c;
+        c = static_cast<std::uint64_t>(d0 >> 26);
+        h0 = static_cast<std::uint64_t>(d0) & 0x3ffffff;
+        const u128 e1 = d1 + c;
+        c = static_cast<std::uint64_t>(e1 >> 26);
+        h1 = static_cast<std::uint64_t>(e1) & 0x3ffffff;
+        const u128 e2 = d2 + c;
+        c = static_cast<std::uint64_t>(e2 >> 26);
+        h2 = static_cast<std::uint64_t>(e2) & 0x3ffffff;
+        const u128 e3 = d3 + c;
+        c = static_cast<std::uint64_t>(e3 >> 26);
+        h3 = static_cast<std::uint64_t>(e3) & 0x3ffffff;
+        const u128 e4 = d4 + c;
+        c = static_cast<std::uint64_t>(e4 >> 26);
+        h4 = static_cast<std::uint64_t>(e4) & 0x3ffffff;
+        h0 += c * 5;
+        c = h0 >> 26;
+        h0 &= 0x3ffffff;
+        h1 += c;
+    }
+
+    // Full carry and reduction mod 2^130 - 5.
+    std::uint64_t c = h1 >> 26; h1 &= 0x3ffffff;
+    h2 += c; c = h2 >> 26; h2 &= 0x3ffffff;
+    h3 += c; c = h3 >> 26; h3 &= 0x3ffffff;
+    h4 += c; c = h4 >> 26; h4 &= 0x3ffffff;
+    h0 += c * 5; c = h0 >> 26; h0 &= 0x3ffffff;
+    h1 += c;
+
+    // Compute h + -p and select.
+    std::uint64_t g0 = h0 + 5; c = g0 >> 26; g0 &= 0x3ffffff;
+    std::uint64_t g1 = h1 + c; c = g1 >> 26; g1 &= 0x3ffffff;
+    std::uint64_t g2 = h2 + c; c = g2 >> 26; g2 &= 0x3ffffff;
+    std::uint64_t g3 = h3 + c; c = g3 >> 26; g3 &= 0x3ffffff;
+    std::uint64_t g4 = h4 + c - (1ull << 26);
+    const std::uint64_t mask =
+        (g4 >> 63) - 1;  // all-ones iff g4 did not underflow
+    h0 = (h0 & ~mask) | (g0 & mask);
+    h1 = (h1 & ~mask) | (g1 & mask);
+    h2 = (h2 & ~mask) | (g2 & mask);
+    h3 = (h3 & ~mask) | (g3 & mask);
+    h4 = (h4 & ~mask) | (g4 & mask);
+
+    // Serialize h and add s (mod 2^128).
+    const std::uint64_t lo =
+        h0 | (h1 << 26) | (h2 << 52);
+    const std::uint64_t hi =
+        (h2 >> 12) | (h3 << 14) | (h4 << 40);
+
+    std::uint64_t s_lo = 0, s_hi = 0;
+    for (int i = 7; i >= 0; --i) {
+        s_lo = (s_lo << 8) | key[16 + i];
+        s_hi = (s_hi << 8) | key[24 + i];
+    }
+    const std::uint64_t out_lo = lo + s_lo;
+    const std::uint64_t out_hi = hi + s_hi + (out_lo < lo ? 1 : 0);
+    storeLe64(out_lo, tag);
+    storeLe64(out_hi, tag + 8);
+}
+
+ChaChaPoly::ChaChaPoly(std::span<const std::uint8_t> key)
+{
+    if (key.size() != kChaChaKeyLen)
+        fatal("chacha20-poly1305 key must be 32 bytes, got %zu",
+              key.size());
+    std::copy(key.begin(), key.end(), key_.begin());
+}
+
+void
+ChaChaPoly::computeTag(const std::uint8_t nonce[kChaChaNonceLen],
+                       std::span<const std::uint8_t> aad,
+                       std::span<const std::uint8_t> ciphertext,
+                       std::uint8_t tag[kPolyTagLen]) const
+{
+    // One-time Poly1305 key: first 32 bytes of block counter 0.
+    std::uint8_t otk_block[64] = {};
+    std::uint8_t zeros[64] = {};
+    chacha20Xor(key_.data(), nonce, 0, zeros, otk_block);
+
+    // MAC input: aad || pad16 || ct || pad16 || len64(aad)||len64(ct).
+    std::vector<std::uint8_t> mac;
+    mac.reserve(aad.size() + ciphertext.size() + 48);
+    mac.insert(mac.end(), aad.begin(), aad.end());
+    mac.resize((mac.size() + 15) / 16 * 16, 0);
+    mac.insert(mac.end(), ciphertext.begin(), ciphertext.end());
+    mac.resize((mac.size() + 15) / 16 * 16, 0);
+    std::uint8_t lens[16];
+    storeLe64(aad.size(), lens);
+    storeLe64(ciphertext.size(), lens + 8);
+    mac.insert(mac.end(), lens, lens + 16);
+
+    poly1305(otk_block, mac, tag);
+}
+
+void
+ChaChaPoly::seal(const std::uint8_t nonce[kChaChaNonceLen],
+                 std::span<const std::uint8_t> aad,
+                 std::span<const std::uint8_t> plaintext,
+                 std::span<std::uint8_t> ciphertext,
+                 std::uint8_t tag[kPolyTagLen]) const
+{
+    HCC_ASSERT(ciphertext.size() >= plaintext.size(),
+               "chachapoly ciphertext buffer too small");
+    chacha20Xor(key_.data(), nonce, 1, plaintext,
+                ciphertext.subspan(0, plaintext.size()));
+    computeTag(nonce, aad, ciphertext.subspan(0, plaintext.size()),
+               tag);
+}
+
+bool
+ChaChaPoly::open(const std::uint8_t nonce[kChaChaNonceLen],
+                 std::span<const std::uint8_t> aad,
+                 std::span<const std::uint8_t> ciphertext,
+                 const std::uint8_t tag[kPolyTagLen],
+                 std::span<std::uint8_t> plaintext) const
+{
+    HCC_ASSERT(plaintext.size() >= ciphertext.size(),
+               "chachapoly plaintext buffer too small");
+    std::uint8_t expect[kPolyTagLen];
+    computeTag(nonce, aad, ciphertext, expect);
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < kPolyTagLen; ++i)
+        acc |= static_cast<std::uint8_t>(expect[i] ^ tag[i]);
+    if (acc != 0) {
+        std::memset(plaintext.data(), 0, plaintext.size());
+        return false;
+    }
+    chacha20Xor(key_.data(), nonce, 1, ciphertext,
+                plaintext.subspan(0, ciphertext.size()));
+    return true;
+}
+
+} // namespace hcc::crypto

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * ChaCha20-Poly1305 AEAD (RFC 8439), implemented from scratch.
+ *
+ * The paper's Observation 2 weighs alternative ciphers for the CC
+ * transfer path; this functional implementation backs the
+ * ablation_crypto study the same way the AES-GCM implementation
+ * backs the stock path.
+ */
+
+#ifndef HCC_CRYPTO_CHACHA_HPP
+#define HCC_CRYPTO_CHACHA_HPP
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace hcc::crypto {
+
+/** ChaCha20 key length. */
+constexpr std::size_t kChaChaKeyLen = 32;
+/** ChaCha20 nonce length (IETF variant). */
+constexpr std::size_t kChaChaNonceLen = 12;
+/** Poly1305 tag length. */
+constexpr std::size_t kPolyTagLen = 16;
+
+/**
+ * Generate/apply the ChaCha20 keystream: out = in XOR keystream.
+ * @param counter initial 32-bit block counter.
+ */
+void chacha20Xor(const std::uint8_t key[kChaChaKeyLen],
+                 const std::uint8_t nonce[kChaChaNonceLen],
+                 std::uint32_t counter,
+                 std::span<const std::uint8_t> in,
+                 std::span<std::uint8_t> out);
+
+/** One-shot Poly1305 MAC with a 32-byte one-time key. */
+void poly1305(const std::uint8_t key[32],
+              std::span<const std::uint8_t> message,
+              std::uint8_t tag[kPolyTagLen]);
+
+/**
+ * ChaCha20-Poly1305 AEAD bound to one key.
+ */
+class ChaChaPoly
+{
+  public:
+    explicit ChaChaPoly(std::span<const std::uint8_t> key);
+
+    /** Encrypt and authenticate (RFC 8439 construction). */
+    void seal(const std::uint8_t nonce[kChaChaNonceLen],
+              std::span<const std::uint8_t> aad,
+              std::span<const std::uint8_t> plaintext,
+              std::span<std::uint8_t> ciphertext,
+              std::uint8_t tag[kPolyTagLen]) const;
+
+    /** Verify and decrypt; zeroes plaintext and returns false on
+     *  authentication failure. */
+    [[nodiscard]] bool open(const std::uint8_t
+                                nonce[kChaChaNonceLen],
+                            std::span<const std::uint8_t> aad,
+                            std::span<const std::uint8_t> ciphertext,
+                            const std::uint8_t tag[kPolyTagLen],
+                            std::span<std::uint8_t> plaintext) const;
+
+  private:
+    void computeTag(const std::uint8_t nonce[kChaChaNonceLen],
+                    std::span<const std::uint8_t> aad,
+                    std::span<const std::uint8_t> ciphertext,
+                    std::uint8_t tag[kPolyTagLen]) const;
+
+    std::array<std::uint8_t, kChaChaKeyLen> key_{};
+};
+
+} // namespace hcc::crypto
+
+#endif // HCC_CRYPTO_CHACHA_HPP

@@ -1,0 +1,102 @@
+#include "crypto/cpu_crypto_model.hpp"
+
+#include <cmath>
+
+#include "common/calibration.hpp"
+#include "common/log.hpp"
+
+namespace hcc::crypto {
+
+std::string
+cipherAlgoName(CipherAlgo algo)
+{
+    switch (algo) {
+      case CipherAlgo::AesGcm128: return "aes-gcm-128";
+      case CipherAlgo::AesGcm256: return "aes-gcm-256";
+      case CipherAlgo::AesCtr128: return "aes-ctr-128";
+      case CipherAlgo::GhashOnly: return "ghash";
+      case CipherAlgo::AesXts128: return "aes-xts-128";
+      case CipherAlgo::Sha256: return "sha-256";
+      case CipherAlgo::ChaCha20Poly1305: return "chacha20-poly1305";
+    }
+    return "?";
+}
+
+std::string
+cpuKindName(CpuKind cpu)
+{
+    switch (cpu) {
+      case CpuKind::IntelEmr: return "Intel EMR Xeon 6530";
+      case CpuKind::NvidiaGrace: return "NVIDIA Grace";
+    }
+    return "?";
+}
+
+const std::vector<CipherAlgo> &
+allCipherAlgos()
+{
+    static const std::vector<CipherAlgo> algos = {
+        CipherAlgo::AesGcm128, CipherAlgo::AesGcm256,
+        CipherAlgo::AesCtr128, CipherAlgo::GhashOnly,
+        CipherAlgo::AesXts128, CipherAlgo::Sha256,
+        CipherAlgo::ChaCha20Poly1305,
+    };
+    return algos;
+}
+
+CpuCryptoModel::CpuCryptoModel(CpuKind cpu)
+    : cpu_(cpu)
+{}
+
+double
+CpuCryptoModel::throughputGBs(CipherAlgo algo) const
+{
+    using namespace calib;
+    if (cpu_ == CpuKind::IntelEmr) {
+        switch (algo) {
+          case CipherAlgo::AesGcm128: return kEmrAesGcm128GBs;
+          case CipherAlgo::AesGcm256: return kEmrAesGcm256GBs;
+          case CipherAlgo::AesCtr128: return kEmrAesCtr128GBs;
+          case CipherAlgo::GhashOnly: return kEmrGhashGBs;
+          case CipherAlgo::AesXts128: return kEmrAesXts128GBs;
+          case CipherAlgo::Sha256: return kEmrSha256GBs;
+          case CipherAlgo::ChaCha20Poly1305: return kEmrChaChaPolyGBs;
+        }
+    } else {
+        switch (algo) {
+          case CipherAlgo::AesGcm128: return kGraceAesGcm128GBs;
+          case CipherAlgo::AesGcm256: return kGraceAesGcm256GBs;
+          case CipherAlgo::AesCtr128: return kGraceAesCtr128GBs;
+          case CipherAlgo::GhashOnly: return kGraceGhashGBs;
+          case CipherAlgo::AesXts128: return kGraceAesXts128GBs;
+          case CipherAlgo::Sha256: return kGraceSha256GBs;
+          case CipherAlgo::ChaCha20Poly1305: return kGraceChaChaPolyGBs;
+        }
+    }
+    panic("unreachable cipher algo");
+}
+
+double
+CpuCryptoModel::effectiveGBs(CipherAlgo algo, int workers) const
+{
+    if (workers < 1)
+        fatal("crypto worker count must be >= 1, got %d", workers);
+    // Geometric efficiency decay: worker i contributes eff^(i-1).
+    double scale = 0.0;
+    double f = 1.0;
+    for (int i = 0; i < workers; ++i) {
+        scale += f;
+        f *= kWorkerEfficiency;
+    }
+    return throughputGBs(algo) * scale;
+}
+
+SimTime
+CpuCryptoModel::cost(CipherAlgo algo, Bytes bytes, int workers) const
+{
+    if (bytes == 0)
+        return kSetupCost;
+    return kSetupCost + transferTime(bytes, effectiveGBs(algo, workers));
+}
+
+} // namespace hcc::crypto

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Calibrated CPU crypto throughput model (paper Fig. 4b).
+ *
+ * The functional AES in this library is byte-oriented C++ and runs
+ * far below AES-NI speeds, so the simulator charges time from this
+ * model instead: single-core bulk throughputs measured in the paper
+ * for an Intel Emerald Rapids Xeon and an NVIDIA Grace CPU, plus a
+ * per-operation setup cost and an optional multi-worker scaling law
+ * (for the PipeLLM-style parallel-encryption ablation).
+ */
+
+#ifndef HCC_CRYPTO_CPU_CRYPTO_MODEL_HPP
+#define HCC_CRYPTO_CPU_CRYPTO_MODEL_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace hcc::crypto {
+
+/** CPUs the paper measures in Fig. 4b. */
+enum class CpuKind { IntelEmr, NvidiaGrace };
+
+/** Crypto algorithms in the Fig. 4b comparison. */
+enum class CipherAlgo
+{
+    AesGcm128,
+    AesGcm256,
+    AesCtr128,
+    GhashOnly,  //!< GMAC construction: integrity without secrecy.
+    AesXts128,  //!< TME-MK algorithm.
+    Sha256,
+    ChaCha20Poly1305,
+};
+
+/** Human-readable algorithm name (matches the paper's labels). */
+std::string cipherAlgoName(CipherAlgo algo);
+
+/** Human-readable CPU name. */
+std::string cpuKindName(CpuKind cpu);
+
+/** All modeled algorithms, in Fig. 4b presentation order. */
+const std::vector<CipherAlgo> &allCipherAlgos();
+
+/**
+ * Throughput/latency model for software crypto on a given CPU.
+ */
+class CpuCryptoModel
+{
+  public:
+    explicit CpuCryptoModel(CpuKind cpu = CpuKind::IntelEmr);
+
+    /** Calibrated single-core bulk throughput in GB/s. */
+    double throughputGBs(CipherAlgo algo) const;
+
+    /**
+     * Time to process @p bytes with @p workers parallel threads.
+     * Parallel scaling is sub-linear (synchronization + memory
+     * bandwidth contention): efficiency decays per added worker.
+     */
+    SimTime cost(CipherAlgo algo, Bytes bytes, int workers = 1) const;
+
+    /** Effective aggregate GB/s with @p workers threads. */
+    double effectiveGBs(CipherAlgo algo, int workers) const;
+
+    CpuKind cpu() const { return cpu_; }
+
+    /** Fixed per-invocation setup (key/IV schedule, dispatch). */
+    static constexpr SimTime kSetupCost = time::ns(450.0);
+
+    /** Per-added-worker parallel efficiency. */
+    static constexpr double kWorkerEfficiency = 0.88;
+
+  private:
+    CpuKind cpu_;
+};
+
+} // namespace hcc::crypto
+
+#endif // HCC_CRYPTO_CPU_CRYPTO_MODEL_HPP

@@ -1,0 +1,39 @@
+#include "crypto/ctr.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace hcc::crypto {
+
+void
+inc32(std::uint8_t counter[16])
+{
+    for (int i = 15; i >= 12; --i) {
+        if (++counter[i] != 0)
+            break;
+    }
+}
+
+void
+ctrXcrypt(const Aes &aes, const std::uint8_t counter0[16],
+          std::span<const std::uint8_t> in, std::span<std::uint8_t> out)
+{
+    HCC_ASSERT(out.size() >= in.size(), "ctr output too small");
+    std::uint8_t ctr[16];
+    std::memcpy(ctr, counter0, 16);
+
+    std::size_t off = 0;
+    std::uint8_t ks[16];
+    while (off < in.size()) {
+        aes.encryptBlock(ctr, ks);
+        inc32(ctr);
+        const std::size_t n = std::min<std::size_t>(16, in.size() - off);
+        for (std::size_t i = 0; i < n; ++i)
+            out[off + i] = in[off + i] ^ ks[i];
+        off += n;
+    }
+}
+
+} // namespace hcc::crypto

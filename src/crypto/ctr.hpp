@@ -1,0 +1,31 @@
+/**
+ * @file
+ * AES-CTR keystream encryption (NIST SP 800-38A) with the 32-bit
+ * big-endian counter increment GCM uses (inc32).
+ */
+
+#ifndef HCC_CRYPTO_CTR_HPP
+#define HCC_CRYPTO_CTR_HPP
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/aes.hpp"
+
+namespace hcc::crypto {
+
+/** Increment the last 32 bits of a 16-byte counter block (mod 2^32). */
+void inc32(std::uint8_t counter[16]);
+
+/**
+ * XOR @p in with the AES-CTR keystream generated from @p counter0,
+ * writing to @p out (may alias @p in).  The counter block is
+ * incremented with inc32 per block; the caller's copy is not mutated.
+ */
+void ctrXcrypt(const Aes &aes, const std::uint8_t counter0[16],
+               std::span<const std::uint8_t> in,
+               std::span<std::uint8_t> out);
+
+} // namespace hcc::crypto
+
+#endif // HCC_CRYPTO_CTR_HPP

@@ -1,0 +1,138 @@
+#include "crypto/gcm.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+#include "crypto/ctr.hpp"
+#include "crypto/ghash.hpp"
+
+namespace hcc::crypto {
+
+namespace {
+
+void
+storeBe64(std::uint64_t v, std::uint8_t *p)
+{
+    for (int i = 7; i >= 0; --i) {
+        p[i] = static_cast<std::uint8_t>(v & 0xff);
+        v >>= 8;
+    }
+}
+
+// Constant-time-ish tag comparison (single pass, no early exit).
+bool
+tagsEqual(const std::uint8_t *a, const std::uint8_t *b)
+{
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < kGcmTagLen; ++i)
+        acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+    return acc == 0;
+}
+
+} // namespace
+
+AesGcm::AesGcm(std::span<const std::uint8_t> key)
+    : aes_(key)
+{
+    if (key.size() != 16 && key.size() != 32)
+        fatal("AES-GCM key must be 16 or 32 bytes, got %zu", key.size());
+    const std::uint8_t zero[16] = {};
+    aes_.encryptBlock(zero, h_.data());
+}
+
+void
+AesGcm::computeTag(const GcmIv &iv, std::span<const std::uint8_t> aad,
+                   std::span<const std::uint8_t> ciphertext,
+                   std::uint8_t tag[kGcmTagLen]) const
+{
+    Ghash ghash(h_.data());
+    ghash.update(aad);
+    ghash.update(ciphertext);
+
+    std::uint8_t len_block[16];
+    storeBe64(static_cast<std::uint64_t>(aad.size()) * 8, len_block);
+    storeBe64(static_cast<std::uint64_t>(ciphertext.size()) * 8,
+              len_block + 8);
+    ghash.updateBlock(len_block);
+
+    std::uint8_t s[16];
+    ghash.digest(s);
+
+    // J0 for a 96-bit IV: IV || 0^31 || 1.
+    std::uint8_t j0[16] = {};
+    std::memcpy(j0, iv.data(), iv.size());
+    j0[15] = 1;
+
+    std::uint8_t ekj0[16];
+    aes_.encryptBlock(j0, ekj0);
+    for (std::size_t i = 0; i < kGcmTagLen; ++i)
+        tag[i] = s[i] ^ ekj0[i];
+}
+
+void
+AesGcm::seal(const GcmIv &iv, std::span<const std::uint8_t> aad,
+             std::span<const std::uint8_t> plaintext,
+             std::span<std::uint8_t> ciphertext,
+             std::uint8_t tag[kGcmTagLen]) const
+{
+    HCC_ASSERT(ciphertext.size() >= plaintext.size(),
+               "gcm ciphertext buffer too small");
+
+    // Encryption counter starts at inc32(J0).
+    std::uint8_t ctr[16] = {};
+    std::memcpy(ctr, iv.data(), iv.size());
+    ctr[15] = 1;
+    inc32(ctr);
+    ctrXcrypt(aes_, ctr, plaintext,
+              ciphertext.subspan(0, plaintext.size()));
+
+    computeTag(iv, aad, ciphertext.subspan(0, plaintext.size()), tag);
+}
+
+bool
+AesGcm::open(const GcmIv &iv, std::span<const std::uint8_t> aad,
+             std::span<const std::uint8_t> ciphertext,
+             const std::uint8_t tag[kGcmTagLen],
+             std::span<std::uint8_t> plaintext) const
+{
+    HCC_ASSERT(plaintext.size() >= ciphertext.size(),
+               "gcm plaintext buffer too small");
+
+    std::uint8_t expect[kGcmTagLen];
+    computeTag(iv, aad, ciphertext, expect);
+    if (!tagsEqual(expect, tag)) {
+        std::memset(plaintext.data(), 0, plaintext.size());
+        return false;
+    }
+
+    std::uint8_t ctr[16] = {};
+    std::memcpy(ctr, iv.data(), iv.size());
+    ctr[15] = 1;
+    inc32(ctr);
+    ctrXcrypt(aes_, ctr, ciphertext,
+              plaintext.subspan(0, ciphertext.size()));
+    return true;
+}
+
+GcmIvSequence::GcmIvSequence(std::uint32_t channel_id)
+    : channel_(channel_id)
+{}
+
+GcmIv
+GcmIvSequence::next()
+{
+    GcmIv iv{};
+    iv[0] = static_cast<std::uint8_t>(channel_ >> 24);
+    iv[1] = static_cast<std::uint8_t>(channel_ >> 16);
+    iv[2] = static_cast<std::uint8_t>(channel_ >> 8);
+    iv[3] = static_cast<std::uint8_t>(channel_);
+    std::uint64_t c = counter_++;
+    for (int i = 11; i >= 4; --i) {
+        iv[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(c & 0xff);
+        c >>= 8;
+    }
+    return iv;
+}
+
+} // namespace hcc::crypto

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * AES-GCM authenticated encryption (NIST SP 800-38D).
+ *
+ * This is the algorithm NVIDIA's CC stack uses in software (with
+ * AES-NI) for all CPU<->GPU PCIe traffic; the SecureChannel in
+ * src/tee runs real bytes through this implementation so integrity
+ * violations (bounce-buffer tampering) are actually detected.
+ */
+
+#ifndef HCC_CRYPTO_GCM_HPP
+#define HCC_CRYPTO_GCM_HPP
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/aes.hpp"
+
+namespace hcc::crypto {
+
+/** GCM authentication tag length used throughout (full 16 bytes). */
+constexpr std::size_t kGcmTagLen = 16;
+
+/** A 96-bit GCM IV. */
+using GcmIv = std::array<std::uint8_t, 12>;
+
+/**
+ * AES-GCM context bound to one key.
+ */
+class AesGcm
+{
+  public:
+    /** @param key 16 or 32 bytes (AES-128-GCM or AES-256-GCM). */
+    explicit AesGcm(std::span<const std::uint8_t> key);
+
+    /**
+     * Encrypt and authenticate.
+     * @param iv 96-bit nonce; must be unique per key.
+     * @param aad additional authenticated (but not encrypted) data.
+     * @param plaintext input.
+     * @param ciphertext output, same length as plaintext.
+     * @param tag output authentication tag.
+     */
+    void seal(const GcmIv &iv, std::span<const std::uint8_t> aad,
+              std::span<const std::uint8_t> plaintext,
+              std::span<std::uint8_t> ciphertext,
+              std::uint8_t tag[kGcmTagLen]) const;
+
+    /**
+     * Verify and decrypt.
+     * @return true if the tag verified and @p plaintext was written;
+     *         false on authentication failure (plaintext is zeroed).
+     */
+    [[nodiscard]] bool open(const GcmIv &iv,
+                            std::span<const std::uint8_t> aad,
+                            std::span<const std::uint8_t> ciphertext,
+                            const std::uint8_t tag[kGcmTagLen],
+                            std::span<std::uint8_t> plaintext) const;
+
+  private:
+    void computeTag(const GcmIv &iv, std::span<const std::uint8_t> aad,
+                    std::span<const std::uint8_t> ciphertext,
+                    std::uint8_t tag[kGcmTagLen]) const;
+
+    Aes aes_;
+    std::array<std::uint8_t, 16> h_{};
+};
+
+/**
+ * Monotonic IV source: a per-channel invocation counter, mirroring
+ * how the driver derives unique nonces for each PCIe transfer.
+ */
+class GcmIvSequence
+{
+  public:
+    explicit GcmIvSequence(std::uint32_t channel_id = 0);
+
+    /** Next unique IV. */
+    GcmIv next();
+
+    std::uint64_t issued() const { return counter_; }
+
+  private:
+    std::uint32_t channel_;
+    std::uint64_t counter_ = 0;
+};
+
+} // namespace hcc::crypto
+
+#endif // HCC_CRYPTO_GCM_HPP

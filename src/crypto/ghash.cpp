@@ -1,0 +1,133 @@
+#include "crypto/ghash.hpp"
+
+#include <cstring>
+
+namespace hcc::crypto {
+
+namespace {
+
+std::uint64_t
+loadBe64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+void
+storeBe64(std::uint64_t v, std::uint8_t *p)
+{
+    for (int i = 7; i >= 0; --i) {
+        p[i] = static_cast<std::uint8_t>(v & 0xff);
+        v >>= 8;
+    }
+}
+
+// Reduction constants for a 4-bit shift in the reflected GCM field:
+// last4[r] = r * 0xE1 << (some alignment), per Shoup's method.
+constexpr std::uint64_t kLast4[16] = {
+    0x0000, 0x1c20, 0x3840, 0x2460,
+    0x7080, 0x6ca0, 0x48c0, 0x54e0,
+    0xe100, 0xfd20, 0xd940, 0xc560,
+    0x9180, 0x8da0, 0xa9c0, 0xb5e0,
+};
+
+} // namespace
+
+Ghash::Ghash(const std::uint8_t h[16])
+{
+    std::uint64_t vh = loadBe64(h);
+    std::uint64_t vl = loadBe64(h + 8);
+
+    // Table entry 8 (MSB-of-nibble position) holds H itself.
+    hl_[8] = vl;
+    hh_[8] = vh;
+
+    for (int i = 4; i > 0; i >>= 1) {
+        const std::uint32_t t =
+            static_cast<std::uint32_t>(vl & 1) * 0xe1000000u;
+        vl = (vh << 63) | (vl >> 1);
+        vh = (vh >> 1) ^ (static_cast<std::uint64_t>(t) << 32);
+        hl_[static_cast<std::size_t>(i)] = vl;
+        hh_[static_cast<std::size_t>(i)] = vh;
+    }
+    for (int i = 2; i <= 8; i *= 2) {
+        for (int j = 1; j < i; ++j) {
+            const auto base = static_cast<std::size_t>(i);
+            const auto off = static_cast<std::size_t>(j);
+            hh_[base + off] = hh_[base] ^ hh_[off];
+            hl_[base + off] = hl_[base] ^ hl_[off];
+        }
+    }
+}
+
+void
+Ghash::reset()
+{
+    zl_ = 0;
+    zh_ = 0;
+}
+
+void
+Ghash::mulH()
+{
+    std::uint8_t x[16];
+    storeBe64(zh_, x);
+    storeBe64(zl_, x + 8);
+
+    std::uint8_t lo = x[15] & 0xf;
+    std::uint64_t zh = hh_[lo];
+    std::uint64_t zl = hl_[lo];
+
+    for (int i = 15; i >= 0; --i) {
+        lo = x[i] & 0xf;
+        const std::uint8_t hi = x[i] >> 4;
+        if (i != 15) {
+            const std::uint64_t rem = zl & 0xf;
+            zl = (zh << 60) | (zl >> 4);
+            zh = (zh >> 4) ^ (kLast4[rem] << 48);
+            zh ^= hh_[lo];
+            zl ^= hl_[lo];
+        }
+        const std::uint64_t rem = zl & 0xf;
+        zl = (zh << 60) | (zl >> 4);
+        zh = (zh >> 4) ^ (kLast4[rem] << 48);
+        zh ^= hh_[hi];
+        zl ^= hl_[hi];
+    }
+    zh_ = zh;
+    zl_ = zl;
+}
+
+void
+Ghash::updateBlock(const std::uint8_t block[16])
+{
+    zh_ ^= loadBe64(block);
+    zl_ ^= loadBe64(block + 8);
+    mulH();
+}
+
+void
+Ghash::update(std::span<const std::uint8_t> data)
+{
+    std::size_t off = 0;
+    while (off + 16 <= data.size()) {
+        updateBlock(data.data() + off);
+        off += 16;
+    }
+    if (off < data.size()) {
+        std::uint8_t last[16] = {};
+        std::memcpy(last, data.data() + off, data.size() - off);
+        updateBlock(last);
+    }
+}
+
+void
+Ghash::digest(std::uint8_t out[16]) const
+{
+    storeBe64(zh_, out);
+    storeBe64(zl_, out + 8);
+}
+
+} // namespace hcc::crypto

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * GHASH: the universal hash over GF(2^128) used by GCM and GMAC
+ * (NIST SP 800-38D).  Uses Shoup's 4-bit table method so functional
+ * benchmarking is not absurdly slow.
+ */
+
+#ifndef HCC_CRYPTO_GHASH_HPP
+#define HCC_CRYPTO_GHASH_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace hcc::crypto {
+
+/**
+ * Incremental GHASH computation keyed by H = E_K(0^128).
+ */
+class Ghash
+{
+  public:
+    /** Construct from the 16-byte hash subkey H. */
+    explicit Ghash(const std::uint8_t h[16]);
+
+    /** Reset the accumulator to zero (key tables are retained). */
+    void reset();
+
+    /**
+     * Absorb data; internally zero-pads the final partial block of
+     * each update, so callers must feed whole logical fields (GCM
+     * feeds AAD, then ciphertext, then the length block).
+     */
+    void update(std::span<const std::uint8_t> data);
+
+    /** Absorb exactly one 16-byte block. */
+    void updateBlock(const std::uint8_t block[16]);
+
+    /** Copy the current accumulator value out (does not finalize). */
+    void digest(std::uint8_t out[16]) const;
+
+  private:
+    // Z <- (Z ^ X) * H via 4-bit tables.
+    void mulH();
+
+    std::array<std::uint64_t, 16> hl_{};
+    std::array<std::uint64_t, 16> hh_{};
+    std::uint64_t zl_ = 0;
+    std::uint64_t zh_ = 0;
+};
+
+} // namespace hcc::crypto
+
+#endif // HCC_CRYPTO_GHASH_HPP

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4), implemented from scratch.
+ *
+ * Used functionally by the attestation layer (measurement registers,
+ * HMAC-signed quotes) and benchmarked alongside the ciphers; the
+ * simulator charges modeled time (cpu_crypto_model.hpp) for bulk
+ * hashing.
+ */
+
+#ifndef HCC_CRYPTO_SHA256_HPP
+#define HCC_CRYPTO_SHA256_HPP
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace hcc::crypto {
+
+/** SHA-256 digest length in bytes. */
+constexpr std::size_t kSha256DigestLen = 32;
+
+/** A SHA-256 digest. */
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestLen>;
+
+/**
+ * Incremental SHA-256.
+ */
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Absorb data (any length, any number of calls). */
+    void update(std::span<const std::uint8_t> data);
+
+    /** Finalize and return the digest; the object is then reset. */
+    Sha256Digest finalize();
+
+    /** One-shot convenience. */
+    static Sha256Digest digest(std::span<const std::uint8_t> data);
+
+  private:
+    void processBlock(const std::uint8_t block[64]);
+    void reset();
+
+    std::array<std::uint32_t, 8> state_{};
+    std::array<std::uint8_t, 64> buffer_{};
+    std::size_t buffered_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * HMAC-SHA-256 (RFC 2104): keyed MAC used to stand in for the quote
+ * signature in the attestation model.
+ */
+Sha256Digest hmacSha256(std::span<const std::uint8_t> key,
+                        std::span<const std::uint8_t> message);
+
+} // namespace hcc::crypto
+
+#endif // HCC_CRYPTO_SHA256_HPP

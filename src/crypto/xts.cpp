@@ -1,0 +1,93 @@
+#include "crypto/xts.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace hcc::crypto {
+
+namespace {
+
+std::span<const std::uint8_t>
+firstHalf(std::span<const std::uint8_t> key)
+{
+    if (key.size() != 32 && key.size() != 64)
+        fatal("AES-XTS key must be 32 or 64 bytes, got %zu", key.size());
+    return key.subspan(0, key.size() / 2);
+}
+
+std::span<const std::uint8_t>
+secondHalf(std::span<const std::uint8_t> key)
+{
+    return key.subspan(key.size() / 2);
+}
+
+} // namespace
+
+void
+xtsMulAlpha(std::uint8_t tweak[16])
+{
+    // Little-endian polynomial: shift left by one bit across bytes;
+    // on carry out of byte 15, reduce with x^128 = x^7 + x^2 + x + 1.
+    std::uint8_t carry = 0;
+    for (int i = 0; i < 16; ++i) {
+        const std::uint8_t next_carry = tweak[i] >> 7;
+        tweak[i] = static_cast<std::uint8_t>((tweak[i] << 1) | carry);
+        carry = next_carry;
+    }
+    if (carry)
+        tweak[0] ^= 0x87;
+}
+
+AesXts::AesXts(std::span<const std::uint8_t> key)
+    : dataAes_(firstHalf(key)), tweakAes_(secondHalf(key))
+{}
+
+void
+AesXts::crypt(std::uint64_t data_unit, std::span<const std::uint8_t> in,
+              std::span<std::uint8_t> out, Dir dir) const
+{
+    if (in.empty() || in.size() % kAesBlock != 0) {
+        fatal("AES-XTS data unit length %zu is not a positive multiple "
+              "of 16", in.size());
+    }
+    HCC_ASSERT(out.size() >= in.size(), "xts output too small");
+
+    // Tweak: data unit number, little-endian, zero padded, encrypted
+    // under K2.
+    std::uint8_t tweak[16] = {};
+    for (int i = 0; i < 8; ++i) {
+        tweak[i] = static_cast<std::uint8_t>(data_unit & 0xff);
+        data_unit >>= 8;
+    }
+    tweakAes_.encryptBlock(tweak, tweak);
+
+    std::uint8_t block[16];
+    for (std::size_t off = 0; off < in.size(); off += kAesBlock) {
+        for (std::size_t i = 0; i < kAesBlock; ++i)
+            block[i] = in[off + i] ^ tweak[i];
+        if (dir == Dir::Encrypt)
+            dataAes_.encryptBlock(block, block);
+        else
+            dataAes_.decryptBlock(block, block);
+        for (std::size_t i = 0; i < kAesBlock; ++i)
+            out[off + i] = block[i] ^ tweak[i];
+        xtsMulAlpha(tweak);
+    }
+}
+
+void
+AesXts::encrypt(std::uint64_t data_unit, std::span<const std::uint8_t> in,
+                std::span<std::uint8_t> out) const
+{
+    crypt(data_unit, in, out, Dir::Encrypt);
+}
+
+void
+AesXts::decrypt(std::uint64_t data_unit, std::span<const std::uint8_t> in,
+                std::span<std::uint8_t> out) const
+{
+    crypt(data_unit, in, out, Dir::Decrypt);
+}
+
+} // namespace hcc::crypto

@@ -1,0 +1,15 @@
+#include "gpu/compute_engine.hpp"
+
+namespace hcc::gpu {
+
+ComputeEngine::ComputeEngine(int concurrent_kernels)
+    : slots_("gpu.sm", concurrent_kernels)
+{}
+
+sim::Interval
+ComputeEngine::execute(SimTime ready, SimTime duration)
+{
+    return slots_.reserve(ready, duration);
+}
+
+} // namespace hcc::gpu

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Compute engine model: the pool of GPCs/SMs that executes kernels.
+ *
+ * Kernel execution time is supplied by the kernel descriptor (plus
+ * UVM service time computed by the device); the engine models
+ * *concurrency*: up to a fixed number of kernels can be resident at
+ * once (across streams), beyond which kernels queue — this is what
+ * lets multi-stream overlap (Fig. 12c) actually overlap, while
+ * same-stream kernels are serialized by the stream logic above.
+ */
+
+#ifndef HCC_GPU_COMPUTE_ENGINE_HPP
+#define HCC_GPU_COMPUTE_ENGINE_HPP
+
+#include "common/units.hpp"
+#include "sim/timeline.hpp"
+
+namespace hcc::gpu {
+
+/**
+ * Fixed-width kernel execution resource.
+ */
+class ComputeEngine
+{
+  public:
+    /** @param concurrent_kernels max kernels resident at once. */
+    explicit ComputeEngine(int concurrent_kernels = 16);
+
+    /**
+     * Execute a kernel of @p duration becoming ready at @p ready.
+     * @return the occupied interval on the granting slot.
+     */
+    sim::Interval execute(SimTime ready, SimTime duration);
+
+    int concurrency() const { return slots_.size(); }
+    SimTime earliestFree() const { return slots_.earliestFree(); }
+    void reset() { slots_.reset(); }
+
+  private:
+    sim::TimelinePool slots_;
+};
+
+} // namespace hcc::gpu
+
+#endif // HCC_GPU_COMPUTE_ENGINE_HPP

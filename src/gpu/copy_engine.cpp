@@ -1,0 +1,80 @@
+#include "gpu/copy_engine.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace hcc::gpu {
+
+CopyEngine::CopyEngine(int engines)
+    : engines_("gpu.ce", engines), staging_("host.staging")
+{}
+
+CopyTiming
+CopyEngine::basePinned(SimTime ready, Bytes bytes, pcie::Direction dir,
+                       TransferContext &ctx)
+{
+    // One guest->host trip to program the engine, then a single DMA
+    // at line rate, tracked on both the engine and the link.
+    SimTime t = ready + ctx.tdx.mmioDoorbell();
+    const auto dma = ctx.link.dma(t, bytes, dir);
+    engines_.reserve(t, dma.end - t);
+    return {{ready, dma.end}, false};
+}
+
+CopyTiming
+CopyEngine::basePageable(SimTime ready, Bytes bytes,
+                         pcie::Direction dir, TransferContext &ctx)
+{
+    // Chunked pipeline: host memcpy into the driver's pinned staging
+    // buffer overlapped with the DMA of the previous chunk.  The
+    // memcpy stage is the bottleneck.
+    SimTime t = ready + ctx.tdx.mmioDoorbell();
+    if (bytes == 0)
+        return {{ready, t}, false};
+
+    SimTime done = t;
+    Bytes remaining = bytes;
+    while (remaining > 0) {
+        const Bytes chunk =
+            std::min<Bytes>(remaining, calib::kBounceChunkBytes);
+        remaining -= chunk;
+        const auto stage = staging_.reserve(
+            t, transferTime(chunk, calib::kHostMemcpyGBs));
+        const auto dma = ctx.link.dma(stage.end, chunk, dir);
+        engines_.reserve(stage.end, dma.end - stage.end);
+        done = std::max(done, dma.end);
+    }
+    return {{ready, done}, false};
+}
+
+CopyTiming
+CopyEngine::copy(SimTime ready, Bytes bytes, pcie::Direction dir,
+                 HostMemKind host_kind, TransferContext &ctx)
+{
+    if (ctx.cc()) {
+        // Every host<->device copy rides the encrypted path; pinned
+        // and managed memory degrade to encrypted paging semantics
+        // (Observation 1 / Fig. 5's "managed" reclassification).
+        const auto timing = ctx.channel->scheduleTransfer(
+            ready, bytes, dir, ctx.link, ctx.tdx);
+        engines_.reserve(timing.total.start,
+                         timing.total.duration());
+        const bool paging = host_kind != HostMemKind::Pageable;
+        return {timing.total, paging};
+    }
+    if (host_kind == HostMemKind::Pinned)
+        return basePinned(ready, bytes, dir, ctx);
+    return basePageable(ready, bytes, dir, ctx);
+}
+
+CopyTiming
+CopyEngine::copyD2D(SimTime ready, Bytes bytes, TransferContext &ctx)
+{
+    const SimTime t = ready + ctx.tdx.mmioDoorbell();
+    const auto iv = engines_.reserve(
+        t, transferTime(bytes, calib::kHbmD2DGBs));
+    return {{ready, iv.end}, false};
+}
+
+} // namespace hcc::gpu

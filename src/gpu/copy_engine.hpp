@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Copy engine (DMA) model and the memory transfer paths.
+ *
+ * Non-CC paths:
+ *   - pinned:   direct DMA at line rate (Fig. 4a upper curve);
+ *   - pageable: the driver stages user pages through an internal
+ *     pinned buffer, pipelining a host memcpy with the DMA — the
+ *     memcpy is the bottleneck (Fig. 4a middle curve);
+ *   - D2D: HBM-to-HBM blit at HBM bandwidth.
+ * CC paths delegate to the SecureChannel (software AES-GCM through
+ * the bounce buffer); pinned memory has no privileged path under TDX
+ * and behaves like the encrypted pageable path (Observation 1).
+ */
+
+#ifndef HCC_GPU_COPY_ENGINE_HPP
+#define HCC_GPU_COPY_ENGINE_HPP
+
+#include "common/calibration.hpp"
+#include "common/units.hpp"
+#include "pcie/link.hpp"
+#include "sim/timeline.hpp"
+#include "tee/secure_channel.hpp"
+#include "tee/tdx.hpp"
+
+namespace hcc::gpu {
+
+/** Host memory kinds with distinct transfer behaviour. */
+enum class HostMemKind { Pageable, Pinned, Managed };
+
+/** Everything a transfer needs to charge costs to. */
+struct TransferContext
+{
+    pcie::PcieLink &link;
+    tee::TdxModule &tdx;
+    /** Non-null iff the device is in CC mode. */
+    tee::SecureChannel *channel = nullptr;
+
+    bool cc() const { return channel != nullptr; }
+};
+
+/** Result of scheduling a copy. */
+struct CopyTiming
+{
+    sim::Interval total;
+    /** True when the copy went through the encrypted UVM-style path
+     *  (reported as "managed"/D2D by the profiler, per Fig. 5). */
+    bool encrypted_paging = false;
+};
+
+/**
+ * The device's copy engines plus the host-side staging resources.
+ */
+class CopyEngine
+{
+  public:
+    explicit CopyEngine(int engines = 2);
+
+    /** Schedule a host-to-device or device-to-host copy. */
+    CopyTiming copy(SimTime ready, Bytes bytes, pcie::Direction dir,
+                    HostMemKind host_kind, TransferContext &ctx);
+
+    /** Schedule a device-to-device copy. */
+    CopyTiming copyD2D(SimTime ready, Bytes bytes,
+                       TransferContext &ctx);
+
+    int engineCount() const { return engines_.size(); }
+
+  private:
+    CopyTiming basePinned(SimTime ready, Bytes bytes,
+                          pcie::Direction dir, TransferContext &ctx);
+    CopyTiming basePageable(SimTime ready, Bytes bytes,
+                            pcie::Direction dir, TransferContext &ctx);
+
+    sim::TimelinePool engines_;
+    sim::Timeline staging_;
+};
+
+} // namespace hcc::gpu
+
+#endif // HCC_GPU_COPY_ENGINE_HPP

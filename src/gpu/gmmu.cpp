@@ -1,0 +1,98 @@
+#include "gpu/gmmu.hpp"
+
+#include "common/log.hpp"
+
+namespace hcc::gpu {
+
+Gmmu::Gmmu(int tlb_entries)
+    : tlb_capacity_(tlb_entries)
+{
+    if (tlb_entries <= 0)
+        fatal("GMMU TLB needs at least one entry");
+}
+
+void
+Gmmu::map(std::uint64_t vpn, std::uint64_t pfn, std::uint64_t pages)
+{
+    for (std::uint64_t i = 0; i < pages; ++i)
+        table_[vpn + i] = pfn + i;
+}
+
+void
+Gmmu::unmap(std::uint64_t vpn, std::uint64_t pages)
+{
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        table_.erase(vpn + i);
+        tlbInvalidate(vpn + i);
+    }
+}
+
+bool
+Gmmu::isMapped(std::uint64_t vpn) const
+{
+    return table_.find(vpn) != table_.end();
+}
+
+void
+Gmmu::tlbInsert(std::uint64_t vpn, std::uint64_t pfn)
+{
+    const auto it = tlb_index_.find(vpn);
+    if (it != tlb_index_.end()) {
+        tlb_lru_.erase(it->second);
+        tlb_index_.erase(it);
+    }
+    tlb_lru_.emplace_front(vpn, pfn);
+    tlb_index_[vpn] = tlb_lru_.begin();
+    if (static_cast<int>(tlb_lru_.size()) > tlb_capacity_) {
+        tlb_index_.erase(tlb_lru_.back().first);
+        tlb_lru_.pop_back();
+    }
+}
+
+bool
+Gmmu::tlbLookup(std::uint64_t vpn, std::uint64_t &pfn)
+{
+    const auto it = tlb_index_.find(vpn);
+    if (it == tlb_index_.end())
+        return false;
+    pfn = it->second->second;
+    // Move to MRU position.
+    tlb_lru_.splice(tlb_lru_.begin(), tlb_lru_, it->second);
+    return true;
+}
+
+void
+Gmmu::tlbInvalidate(std::uint64_t vpn)
+{
+    const auto it = tlb_index_.find(vpn);
+    if (it != tlb_index_.end()) {
+        tlb_lru_.erase(it->second);
+        tlb_index_.erase(it);
+    }
+}
+
+Translation
+Gmmu::translate(std::uint64_t vpn)
+{
+    Translation t;
+    if (tlbLookup(vpn, t.pfn)) {
+        ++tlb_hits_;
+        t.result = TranslateResult::TlbHit;
+        t.latency = kTlbHitLatency;
+        return t;
+    }
+    ++tlb_misses_;
+    const auto it = table_.find(vpn);
+    t.latency = kTlbHitLatency + kWalkLevelLatency * kWalkLevels;
+    if (it == table_.end()) {
+        ++far_faults_;
+        t.result = TranslateResult::FarFault;
+        return t;
+    }
+    t.result = TranslateResult::TlbMissWalkHit;
+    t.pfn = it->second;
+    tlbInsert(vpn, t.pfn);
+    return t;
+}
+
+} // namespace hcc::gpu

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * GPU memory management unit (GMMU) model.
+ *
+ * Functional multi-level page table over the device virtual address
+ * space plus a TLB cost model: translations hit the TLB for a cheap
+ * fixed cost or walk the (4-level) radix table, and accesses to
+ * unmapped managed pages report a far fault — the signal the UVM
+ * manager turns into migration batches (Sec. II-B).
+ */
+
+#ifndef HCC_GPU_GMMU_HPP
+#define HCC_GPU_GMMU_HPP
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/units.hpp"
+
+namespace hcc::gpu {
+
+/** GMMU page size (64 KiB big pages, the driver's default). */
+constexpr Bytes kGmmuPageBytes = 64 * 1024;
+
+/** Outcome of a translation. */
+enum class TranslateResult
+{
+    TlbHit,
+    TlbMissWalkHit,  //!< walked the page table, found a mapping
+    FarFault,        //!< no mapping: page is not device resident
+};
+
+/** One translation's accounting. */
+struct Translation
+{
+    TranslateResult result = TranslateResult::FarFault;
+    /** Physical frame number (valid unless FarFault). */
+    std::uint64_t pfn = 0;
+    /** Latency charged for this translation. */
+    SimTime latency = 0;
+};
+
+/**
+ * Per-GPU-context MMU: radix page table + small fully-associative
+ * LRU TLB.
+ */
+class Gmmu
+{
+  public:
+    /** @param tlb_entries TLB capacity (translations cached). */
+    explicit Gmmu(int tlb_entries = 64);
+
+    /**
+     * Map @p pages pages starting at virtual page number @p vpn to
+     * consecutive physical frames starting at @p pfn.
+     */
+    void map(std::uint64_t vpn, std::uint64_t pfn,
+             std::uint64_t pages);
+
+    /** Remove mappings (and shoot down affected TLB entries). */
+    void unmap(std::uint64_t vpn, std::uint64_t pages);
+
+    /** Translate a device virtual address's page. */
+    Translation translate(std::uint64_t vpn);
+
+    /** Whether a virtual page is currently mapped. */
+    bool isMapped(std::uint64_t vpn) const;
+
+    std::uint64_t mappedPages() const { return table_.size(); }
+    std::uint64_t tlbHits() const { return tlb_hits_; }
+    std::uint64_t tlbMisses() const { return tlb_misses_; }
+    std::uint64_t farFaults() const { return far_faults_; }
+
+    /** TLB hit latency. */
+    static constexpr SimTime kTlbHitLatency = time::ns(4.0);
+    /** Per-level page walk latency (4 levels). */
+    static constexpr SimTime kWalkLevelLatency = time::ns(90.0);
+    /** Radix levels walked on a TLB miss. */
+    static constexpr int kWalkLevels = 4;
+
+  private:
+    void tlbInsert(std::uint64_t vpn, std::uint64_t pfn);
+    bool tlbLookup(std::uint64_t vpn, std::uint64_t &pfn);
+    void tlbInvalidate(std::uint64_t vpn);
+
+    // Functional page table (sparse radix collapsed into a map:
+    // level structure only affects the modeled walk cost).
+    std::unordered_map<std::uint64_t, std::uint64_t> table_;
+
+    // LRU TLB: list front = most recent; map -> list iterator.
+    int tlb_capacity_;
+    std::list<std::pair<std::uint64_t, std::uint64_t>> tlb_lru_;
+    std::unordered_map<
+        std::uint64_t,
+        std::list<std::pair<std::uint64_t, std::uint64_t>>::iterator>
+        tlb_index_;
+
+    std::uint64_t tlb_hits_ = 0;
+    std::uint64_t tlb_misses_ = 0;
+    std::uint64_t far_faults_ = 0;
+};
+
+} // namespace hcc::gpu
+
+#endif // HCC_GPU_GMMU_HPP

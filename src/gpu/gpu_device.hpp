@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The GPU device: aggregates the command processor, compute engine,
+ * copy engines and UVM manager, and exposes the scheduling entry
+ * points the runtime drives.
+ */
+
+#ifndef HCC_GPU_GPU_DEVICE_HPP
+#define HCC_GPU_GPU_DEVICE_HPP
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "gpu/command_processor.hpp"
+#include "gpu/compute_engine.hpp"
+#include "gpu/copy_engine.hpp"
+#include "gpu/kernel.hpp"
+#include "gpu/uvm.hpp"
+
+namespace hcc::gpu {
+
+/** Static device configuration. */
+struct GpuConfig
+{
+    /** Device in CC mode (set before binding to a TD). */
+    bool cc_mode = false;
+    /** Number of DMA copy engines. */
+    int copy_engines = 2;
+    /** Max concurrently resident kernels. */
+    int concurrent_kernels = 16;
+    /** RNG seed for per-kernel CC execution jitter. */
+    std::uint64_t seed = 0x600dcafe;
+    /** UVM subsystem tunables. */
+    UvmConfig uvm;
+};
+
+/**
+ * One GPU (Table I: H100 NVL class).
+ */
+class GpuDevice
+{
+  public:
+    explicit GpuDevice(const GpuConfig &config = GpuConfig{});
+
+    /**
+     * Execute a kernel whose launch command arrives at
+     * @p cmd_arrival and whose stream ordering allows execution no
+     * earlier than @p stream_ready.  UVM faults for the kernel's
+     * touch set are serviced as part of its execution time.
+     */
+    KernelSchedule executeKernel(SimTime cmd_arrival,
+                                 SimTime stream_ready,
+                                 const KernelDesc &kernel,
+                                 TransferContext &ctx);
+
+    /** Schedule a host<->device copy (command decode + transfer). */
+    CopyTiming executeCopy(SimTime cmd_arrival, Bytes bytes,
+                           pcie::Direction dir, HostMemKind host_kind,
+                           TransferContext &ctx);
+
+    /** Schedule a device-to-device copy. */
+    CopyTiming executeCopyD2D(SimTime cmd_arrival, Bytes bytes,
+                              TransferContext &ctx);
+
+    bool ccMode() const { return config_.cc_mode; }
+    const GpuConfig &config() const { return config_; }
+
+    CommandProcessor &commandProcessor() { return cmd_proc_; }
+    ComputeEngine &computeEngine() { return compute_; }
+    CopyEngine &copyEngine() { return copy_; }
+    UvmManager &uvm() { return uvm_; }
+    const UvmManager &uvm() const { return uvm_; }
+
+  private:
+    /** Per-kernel execution-time perturbation under CC. */
+    SimTime perturbDuration(SimTime duration);
+
+    GpuConfig config_;
+    CommandProcessor cmd_proc_;
+    ComputeEngine compute_;
+    CopyEngine copy_;
+    UvmManager uvm_;
+    Rng rng_;
+};
+
+} // namespace hcc::gpu
+
+#endif // HCC_GPU_GPU_DEVICE_HPP

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Kernel descriptors: what the runtime hands the GPU when launching.
+ *
+ * Kernels carry an explicit execution-time model rather than code.
+ * For the paper's purposes a kernel is characterized by its duration
+ * (the KET it would have on an idle non-CC device) and its unified-
+ * memory behaviour (how many managed bytes it touches and how many of
+ * them are already resident); everything else the figures measure —
+ * KLO, LQT, KQT, UVM amplification — is produced by the machinery the
+ * kernel passes through.
+ */
+
+#ifndef HCC_GPU_KERNEL_HPP
+#define HCC_GPU_KERNEL_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace hcc::gpu {
+
+/** Launch configuration (informational; occupancy not modeled). */
+struct LaunchDims
+{
+    int grid_x = 1;
+    int grid_y = 1;
+    int grid_z = 1;
+    int block_x = 128;
+    int block_y = 1;
+    int block_z = 1;
+
+    std::int64_t
+    totalThreads() const
+    {
+        return static_cast<std::int64_t>(grid_x) * grid_y * grid_z
+            * block_x * block_y * block_z;
+    }
+};
+
+/** A kernel to launch. */
+struct KernelDesc
+{
+    /** Kernel symbol name (first-launch tracking is keyed by this). */
+    std::string name;
+    /** Launch configuration. */
+    LaunchDims dims;
+    /**
+     * Execution time on an idle, non-CC device with resident data.
+     * When 0, the duration is derived from the roofline model (the
+     * gflops / mem_bytes fields below must then describe the kernel).
+     */
+    SimTime duration = 0;
+    /**
+     * Managed (UVM) bytes this kernel touches.  Zero for non-UVM
+     * kernels.  Non-resident pages are migrated on demand and their
+     * service time is added to the kernel's execution.
+     */
+    Bytes uvm_touch_bytes = 0;
+    /** Handle of the managed allocation touched (0 = none). */
+    std::uint64_t uvm_alloc = 0;
+    /**
+     * Compiled module (SASS image) size uploaded on first launch;
+     * 0 selects the calibrated default.
+     */
+    Bytes module_bytes = 0;
+    /** FP32 work for the roofline model (GFLOP); used when
+     *  duration == 0. */
+    double gflops = 0.0;
+    /** HBM traffic for the roofline model (bytes read + written);
+     *  used when duration == 0. */
+    Bytes mem_bytes = 0;
+};
+
+/**
+ * Roofline duration: the kernel is bound by whichever of compute
+ * (FP32 at occupancy-scaled peak) and memory (HBM bandwidth) takes
+ * longer.  Occupancy scales with the launch's thread count.
+ */
+SimTime rooflineDuration(const KernelDesc &kernel);
+
+/** Result of scheduling one kernel on the device. */
+struct KernelSchedule
+{
+    /** When the launch command reached the command processor. */
+    SimTime enqueued = 0;
+    /** Execution start on the compute engine. */
+    SimTime start = 0;
+    /** Execution end. */
+    SimTime end = 0;
+    /**
+     * Kernel queuing time: command arrival to dispatch (decode and
+     * channel queueing), as the profiler reports it.  Waiting on a
+     * same-stream predecessor is an execution dependency, not queue
+     * time, and is excluded.
+     */
+    SimTime queue_time = 0;
+    SimTime kqt() const { return queue_time; }
+    /** Executed duration (the KET, including any UVM service). */
+    SimTime ket() const { return end - start; }
+    /** Portion of the KET that was UVM fault servicing. */
+    SimTime uvm_service = 0;
+    /** Far-fault batches serviced during execution. */
+    int fault_batches = 0;
+};
+
+} // namespace hcc::gpu
+
+#endif // HCC_GPU_KERNEL_HPP

@@ -1,0 +1,33 @@
+#include "gpu/kernel.hpp"
+
+#include <algorithm>
+
+#include "common/calibration.hpp"
+
+namespace hcc::gpu {
+
+SimTime
+rooflineDuration(const KernelDesc &kernel)
+{
+    // Occupancy: a launch needs roughly one warp-heavy block per SM
+    // to saturate the device; scale with available parallelism.
+    const double threads =
+        static_cast<double>(kernel.dims.totalThreads());
+    const double full = static_cast<double>(calib::kNumSms) * 2048.0;
+    const double occupancy =
+        std::min(1.0, std::max(threads / full, 1.0 / 128.0));
+
+    const double peak_gflops = static_cast<double>(calib::kNumSms)
+        * calib::kSmGflops * occupancy;
+    const double compute_s =
+        peak_gflops > 0.0 ? kernel.gflops / peak_gflops : 0.0;
+    const double memory_s = static_cast<double>(kernel.mem_bytes)
+        / (calib::kHbmGBs * 1e9);
+
+    // A kernel never finishes faster than a launch quantum.
+    const SimTime floor = time::us(1.5);
+    return std::max(floor,
+                    time::sec(std::max(compute_s, memory_s)));
+}
+
+} // namespace hcc::gpu

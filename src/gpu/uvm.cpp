@@ -1,0 +1,214 @@
+#include "gpu/uvm.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace hcc::gpu {
+
+UvmManager::UvmManager(const UvmConfig &config)
+    : config_(config)
+{
+    if (config_.batch_pages_base <= 0 || config_.batch_pages_cc <= 0)
+        fatal("UVM batch sizes must be positive");
+}
+
+std::uint64_t
+UvmManager::gmmuPages(Bytes bytes)
+{
+    return (bytes + kGmmuPageBytes - 1) / kGmmuPageBytes;
+}
+
+void
+UvmManager::syncMappings(Allocation &alloc, Bytes new_resident)
+{
+    const std::uint64_t old_pages = gmmuPages(alloc.resident);
+    const std::uint64_t new_pages = gmmuPages(new_resident);
+    if (new_pages > old_pages) {
+        gmmu_.map(alloc.base_vpn + old_pages, next_pfn_,
+                  new_pages - old_pages);
+        next_pfn_ += new_pages - old_pages;
+    } else if (new_pages < old_pages) {
+        gmmu_.unmap(alloc.base_vpn + new_pages,
+                    old_pages - new_pages);
+    }
+    total_resident_ += new_resident;
+    total_resident_ -= alloc.resident;
+    alloc.resident = new_resident;
+}
+
+void
+UvmManager::touchLru(std::uint64_t handle)
+{
+    const auto it = std::find(lru_.begin(), lru_.end(), handle);
+    if (it != lru_.end())
+        lru_.erase(it);
+    lru_.push_back(handle);
+}
+
+SimTime
+UvmManager::makeRoom(std::uint64_t requester, Bytes needed,
+                     TransferContext &ctx, Bytes &evicted)
+{
+    SimTime cost = 0;
+    // Evict least-recently-touched allocations (not the requester)
+    // until the new pages fit.
+    for (std::size_t i = 0;
+         i < lru_.size()
+         && total_resident_ + needed > config_.device_capacity;
+         /* advance inside */) {
+        const std::uint64_t victim = lru_[i];
+        if (victim == requester) {
+            ++i;
+            continue;
+        }
+        auto &alloc = allocs_.at(victim);
+        const Bytes writeback = alloc.resident;
+        if (writeback > 0) {
+            // Dirty pages go home through the D2H path — which is
+            // the expensive direction under CC.
+            if (ctx.cc()) {
+                cost += ctx.channel->transferDuration(
+                    writeback, ctx.link,
+                    pcie::Direction::DeviceToHost);
+            } else {
+                cost += ctx.link.dmaDuration(writeback);
+            }
+            evicted += writeback;
+            total_evicted_ += writeback;
+            syncMappings(alloc, 0);
+        }
+        lru_.erase(lru_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    return cost;
+}
+
+std::uint64_t
+UvmManager::createAllocation(Bytes bytes)
+{
+    const std::uint64_t handle = next_handle_++;
+    Allocation alloc;
+    alloc.bytes = bytes;
+    alloc.resident = 0;
+    alloc.base_vpn = next_vpn_;
+    next_vpn_ += gmmuPages(bytes) + 1;  // +1: guard page gap
+    allocs_[handle] = alloc;
+    lru_.push_back(handle);
+    return handle;
+}
+
+void
+UvmManager::freeAllocation(std::uint64_t handle)
+{
+    const auto it = allocs_.find(handle);
+    if (it == allocs_.end())
+        fatal("freeing unknown managed allocation %llu",
+              static_cast<unsigned long long>(handle));
+    syncMappings(it->second, 0);
+    allocs_.erase(it);
+    const auto lit = std::find(lru_.begin(), lru_.end(), handle);
+    if (lit != lru_.end())
+        lru_.erase(lit);
+}
+
+Bytes
+UvmManager::allocationBytes(std::uint64_t handle) const
+{
+    const auto it = allocs_.find(handle);
+    if (it == allocs_.end())
+        fatal("unknown managed allocation %llu",
+              static_cast<unsigned long long>(handle));
+    return it->second.bytes;
+}
+
+Bytes
+UvmManager::residentBytes(std::uint64_t handle) const
+{
+    const auto it = allocs_.find(handle);
+    if (it == allocs_.end())
+        fatal("unknown managed allocation %llu",
+              static_cast<unsigned long long>(handle));
+    return it->second.resident;
+}
+
+void
+UvmManager::invalidateDeviceResidency(std::uint64_t handle)
+{
+    const auto it = allocs_.find(handle);
+    if (it == allocs_.end())
+        fatal("unknown managed allocation %llu",
+              static_cast<unsigned long long>(handle));
+    syncMappings(it->second, 0);
+}
+
+void
+UvmManager::markResident(std::uint64_t handle, Bytes bytes)
+{
+    const auto it = allocs_.find(handle);
+    if (it == allocs_.end())
+        fatal("unknown managed allocation %llu",
+              static_cast<unsigned long long>(handle));
+    touchLru(handle);
+    syncMappings(it->second,
+                 std::min(it->second.bytes,
+                          std::max(it->second.resident, bytes)));
+}
+
+FaultService
+UvmManager::touchOnDevice(std::uint64_t handle, Bytes touch_bytes,
+                          TransferContext &ctx)
+{
+    auto it = allocs_.find(handle);
+    if (it == allocs_.end())
+        fatal("unknown managed allocation %llu",
+              static_cast<unsigned long long>(handle));
+    auto &alloc = it->second;
+    touch_bytes = std::min(touch_bytes, alloc.bytes);
+    touchLru(handle);
+
+    FaultService svc;
+    if (touch_bytes <= alloc.resident)
+        return svc;
+
+    const Bytes miss_bytes = touch_bytes - alloc.resident;
+
+    // Capacity pressure: evict before faulting new pages in.
+    if (total_resident_ + miss_bytes > config_.device_capacity)
+        svc.added += makeRoom(handle, miss_bytes, ctx, svc.evicted);
+
+    const Bytes pages =
+        (miss_bytes + calib::kUvmPageBytes - 1) / calib::kUvmPageBytes;
+
+    const int batch_pages = ctx.cc() ? config_.batch_pages_cc
+                                     : config_.batch_pages_base;
+    const Bytes batch_bytes =
+        static_cast<Bytes>(batch_pages) * calib::kUvmPageBytes;
+    const auto batches = static_cast<int>(
+        (pages + static_cast<Bytes>(batch_pages) - 1)
+        / static_cast<Bytes>(batch_pages));
+
+    Bytes left = miss_bytes;
+    for (int b = 0; b < batches; ++b) {
+        const Bytes this_batch = std::min(batch_bytes, left);
+        left -= this_batch;
+        svc.added += config_.fault_latency;
+        if (ctx.cc()) {
+            // Fault report + mapping update cross the TD boundary,
+            // then the pages migrate through the encrypted path.
+            svc.added += ctx.tdx.guestHostRoundTrips(
+                calib::kUvmCcHypercallsPerBatch);
+            svc.added +=
+                ctx.channel->transferDuration(this_batch, ctx.link);
+        } else {
+            svc.added += ctx.link.dmaDuration(this_batch);
+        }
+    }
+    svc.batches = batches;
+    svc.migrated = miss_bytes;
+    syncMappings(alloc, touch_bytes);
+    total_batches_ += static_cast<std::uint64_t>(batches);
+    total_migrated_ += miss_bytes;
+    return svc;
+}
+
+} // namespace hcc::gpu

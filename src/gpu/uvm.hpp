@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unified Virtual Memory manager model (Sec. II-B).
+ *
+ * Managed allocations migrate to the GPU on demand: a kernel touching
+ * a non-resident page raises a far fault serviced by the host UVM
+ * driver (20-50 us each, [52]-[54]).  Faults are serviced in batches:
+ * the prefetcher coalesces 64 pages per batch in normal operation,
+ * but under CC ("encrypted paging") prefetching is defeated — every
+ * little batch must round-trip through the bounce buffer with
+ * per-batch hypercalls and software crypto, which is the mechanism
+ * behind the paper's 188.87x average (up to 164030x) UVM KET blowup
+ * (Fig. 9, Observation 5).
+ */
+
+#ifndef HCC_GPU_UVM_HPP
+#define HCC_GPU_UVM_HPP
+
+#include <cstdint>
+#include <map>
+
+#include "common/calibration.hpp"
+#include "common/units.hpp"
+#include "gpu/copy_engine.hpp"
+#include "gpu/gmmu.hpp"
+
+namespace hcc::gpu {
+
+/** Tunables of the UVM subsystem (defaults from calibration). */
+struct UvmConfig
+{
+    /** Pages per fault-service batch, non-CC. */
+    int batch_pages_base = calib::kUvmBatchPagesBase;
+    /** Pages per batch under CC encrypted paging. */
+    int batch_pages_cc = calib::kUvmBatchPagesCc;
+    /** Far-fault service latency. */
+    SimTime fault_latency = calib::kUvmFaultLatencyBase;
+    /** Device memory available to managed data (oversubscription
+     *  beyond this evicts the least-recently-touched allocation). */
+    Bytes device_capacity = calib::kHbmCapacity;
+};
+
+/** Result of servicing the faults of one kernel's touch set. */
+struct FaultService
+{
+    /** Time added to the kernel's execution. */
+    SimTime added = 0;
+    /** Fault batches serviced. */
+    int batches = 0;
+    /** Bytes migrated host -> device. */
+    Bytes migrated = 0;
+    /** Bytes evicted (written back) to make room. */
+    Bytes evicted = 0;
+};
+
+/**
+ * Per-device manager of managed (cudaMallocManaged) memory.
+ */
+class UvmManager
+{
+  public:
+    explicit UvmManager(const UvmConfig &config = UvmConfig{});
+
+    /** Register a managed allocation; returns its handle. */
+    std::uint64_t createAllocation(Bytes bytes);
+
+    /** Tear down an allocation. */
+    void freeAllocation(std::uint64_t handle);
+
+    /** Allocation size; fatal on unknown handle. */
+    Bytes allocationBytes(std::uint64_t handle) const;
+
+    /** Device-resident bytes of an allocation. */
+    Bytes residentBytes(std::uint64_t handle) const;
+
+    /**
+     * A kernel touches the first @p touch_bytes of @p handle on the
+     * device: service the far faults for the non-resident portion.
+     * Residency is updated; a second touch of the same range is free.
+     */
+    FaultService touchOnDevice(std::uint64_t handle, Bytes touch_bytes,
+                               TransferContext &ctx);
+
+    /**
+     * The CPU touches the allocation (or it is prefetched back):
+     * device residency is dropped, so the next device touch faults
+     * again.
+     */
+    void invalidateDeviceResidency(std::uint64_t handle);
+
+    /**
+     * Mark the first @p bytes device-resident without fault service
+     * (an explicit memcpy/prefetch already moved them).
+     */
+    void markResident(std::uint64_t handle, Bytes bytes);
+
+    /** Number of live allocations. */
+    std::size_t liveAllocations() const { return allocs_.size(); }
+
+    /** Total fault batches serviced on this device. */
+    std::uint64_t totalBatches() const { return total_batches_; }
+    /** Total bytes migrated on demand. */
+    Bytes totalMigrated() const { return total_migrated_; }
+
+    /** The device MMU backing the managed mappings. */
+    Gmmu &gmmu() { return gmmu_; }
+    const Gmmu &gmmu() const { return gmmu_; }
+
+    /** Total managed bytes currently device-resident. */
+    Bytes totalResident() const { return total_resident_; }
+    /** Total bytes evicted under capacity pressure. */
+    Bytes totalEvicted() const { return total_evicted_; }
+    const UvmConfig &config() const { return config_; }
+
+  private:
+    struct Allocation
+    {
+        Bytes bytes = 0;
+        Bytes resident = 0;
+        /** Base virtual page (GMMU big pages) of the range. */
+        std::uint64_t base_vpn = 0;
+    };
+
+    /** GMMU big pages covering @p bytes. */
+    static std::uint64_t gmmuPages(Bytes bytes);
+
+    /** Update the GMMU to reflect @p alloc's residency change. */
+    void syncMappings(Allocation &alloc, Bytes new_resident);
+
+    /**
+     * Evict least-recently-touched allocations until @p needed bytes
+     * fit; charges the writeback to @p ctx's D2H path.
+     * @return time spent writing back.
+     */
+    SimTime makeRoom(std::uint64_t requester, Bytes needed,
+                     TransferContext &ctx, Bytes &evicted);
+
+    /** Move @p handle to the back (most recent) of the LRU order. */
+    void touchLru(std::uint64_t handle);
+
+    UvmConfig config_;
+    std::map<std::uint64_t, Allocation> allocs_;
+    /** Front = least recently touched. */
+    std::vector<std::uint64_t> lru_;
+    std::uint64_t next_handle_ = 1;
+    std::uint64_t total_batches_ = 0;
+    Bytes total_migrated_ = 0;
+    Bytes total_resident_ = 0;
+    Bytes total_evicted_ = 0;
+    Gmmu gmmu_;
+    std::uint64_t next_vpn_ = 1;
+    std::uint64_t next_pfn_ = 1;
+};
+
+} // namespace hcc::gpu
+
+#endif // HCC_GPU_UVM_HPP

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * CNN training model (Sec. VII-B, Fig. 13).
+ *
+ * Six CIFAR-100 models are described by per-image compute cost and
+ * per-step kernel count; a training step is driven through the real
+ * runtime (batch H2D, layer kernel launches, loss readback), so the
+ * CC launch and transfer taxes shape the step time exactly as they
+ * shape the microbenchmarks.  Precision modes change the arithmetic
+ * throughput, the kernel count (AMP inserts cast kernels) and the
+ * transferred bytes (FP16 halves the input payload).
+ */
+
+#ifndef HCC_ML_CNN_HPP
+#define HCC_ML_CNN_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "runtime/context.hpp"
+
+namespace hcc::ml {
+
+/** The six evaluated models. */
+enum class CnnModel
+{
+    Vgg16,
+    ResNet50,
+    MobileNetV2,
+    SqueezeNet,
+    Attention92,
+    InceptionV4,
+};
+
+/** Training numeric configuration. */
+enum class Precision { Fp32, Amp, Fp16 };
+
+std::string cnnModelName(CnnModel model);
+std::string precisionName(Precision precision);
+const std::vector<CnnModel> &allCnnModels();
+
+/** Static per-model characteristics. */
+struct CnnModelSpec
+{
+    /** Forward+backward compute per image (GFLOP, CIFAR-100 input). */
+    double gflop_per_image = 0.0;
+    /** Kernel launches per training step at FP32. */
+    int kernels_per_step = 0;
+    /** Parameter bytes (optimizer state update traffic). */
+    Bytes param_bytes = 0;
+};
+
+/** Lookup of the calibrated model spec. */
+const CnnModelSpec &cnnModelSpec(CnnModel model);
+
+/** One training run's configuration. */
+struct CnnTrainConfig
+{
+    CnnModel model = CnnModel::Vgg16;
+    int batch_size = 64;
+    Precision precision = Precision::Fp32;
+    /** Steps to simulate (steady state is reached quickly). */
+    int steps = 30;
+};
+
+/** Training measurement. */
+struct CnnTrainResult
+{
+    /** Mean steady-state step time. */
+    SimTime step_time = 0;
+    /** Images per second. */
+    double throughput = 0.0;
+    /** Extrapolated time for 200 CIFAR-100 epochs. */
+    SimTime train_time_200_epochs = 0;
+};
+
+/** Run @p config's training loop in @p ctx and measure. */
+CnnTrainResult trainCnn(rt::Context &ctx, const CnnTrainConfig &config);
+
+/** CIFAR-100 training-set size (for epoch extrapolation). */
+constexpr int kCifarTrainImages = 50000;
+
+} // namespace hcc::ml
+
+#endif // HCC_ML_CNN_HPP

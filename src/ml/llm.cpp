@@ -1,0 +1,163 @@
+#include "ml/llm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/calibration.hpp"
+#include "common/log.hpp"
+
+namespace hcc::ml {
+
+namespace {
+
+/** Weight footprint per format. */
+Bytes
+weightBytes(LlmQuant quant)
+{
+    if (quant == LlmQuant::Bf16)
+        return static_cast<Bytes>(kLlamaParams * 2.0);
+    // 4-bit weights + per-group scales/zeros.
+    return static_cast<Bytes>(kLlamaParams * 0.5 * 1.12);
+}
+
+/** Effective dense throughput (TFLOP/s) per backend/format. */
+double
+effTflops(LlmBackend backend, LlmQuant quant)
+{
+    const double base =
+        backend == LlmBackend::Vllm ? 500.0 : 300.0;
+    // AWQ pays a dequantization tax on every GEMM.
+    return quant == LlmQuant::Awq4 ? base * 0.72 : base;
+}
+
+/** Fixed per-decode-step dequantization overhead for AWQ. */
+constexpr SimTime kAwqDequantFixed = time::us(1200.0);
+
+/** Kernel launches per decode step. */
+int
+launchesPerStep(LlmBackend backend)
+{
+    // 32 transformer layers: HF runs ~7 kernels per layer; vLLM's
+    // fused attention/MLP kernels run ~3.
+    return backend == LlmBackend::Vllm ? 96 : 224;
+}
+
+/** Framework (CPU-side scheduling) overhead per decode step. */
+SimTime
+frameworkStepCost(LlmBackend backend, int batch)
+{
+    if (backend == LlmBackend::Vllm) {
+        // Continuous batching scheduler: cheap, mildly batch-dep.
+        return time::us(400.0) + time::us(2.0) * batch;
+    }
+    // HF python loop + padding bookkeeping per element.
+    return time::us(2500.0) + time::us(18.0) * batch;
+}
+
+} // namespace
+
+std::string
+llmBackendName(LlmBackend backend)
+{
+    return backend == LlmBackend::Vllm ? "vLLM" : "HF";
+}
+
+std::string
+llmQuantName(LlmQuant quant)
+{
+    return quant == LlmQuant::Awq4 ? "AWQ" : "BF16";
+}
+
+LlmResult
+serveLlm(rt::Context &ctx, const LlmConfig &config)
+{
+    if (config.batch <= 0 || config.gen_len <= 0)
+        fatal("llm serving needs positive batch and generation len");
+
+    const Bytes weights = weightBytes(config.quant);
+    const double tflops =
+        effTflops(config.backend, config.quant);
+    const int launches = launchesPerStep(config.backend);
+
+    // Decode-step device time: memory-bound term (stream all weights
+    // once per token) vs compute-bound term (2*P FLOPs per token per
+    // sequence), plus AWQ's dequant overhead.
+    const SimTime weight_stream =
+        transferTime(weights, calib::kHbmGBs);
+    const double step_gflop =
+        2.0 * kLlamaParams * config.batch / 1e9;
+    const SimTime compute = time::sec(step_gflop / (tflops * 1e3));
+    SimTime device_step = std::max(weight_stream, compute);
+    if (config.quant == LlmQuant::Awq4)
+        device_step += kAwqDequantFixed;
+    const SimTime per_kernel = std::max<SimTime>(
+        time::us(2.0), device_step / launches);
+
+    // Device state: weights + KV cache.
+    auto weights_dev = ctx.mallocDevice(weights);
+    const Bytes kv_bytes = static_cast<Bytes>(config.batch)
+        * static_cast<Bytes>(config.prompt_len + config.gen_len)
+        * size::kib(128.0) / 1024;  // ~128 B/token/layer x 32 layers
+    auto kv_dev = ctx.mallocDevice(std::max<Bytes>(kv_bytes, 4096));
+
+    // Request ingress: prompts cross the host-device boundary.
+    const Bytes prompt_bytes = static_cast<Bytes>(config.batch)
+        * static_cast<Bytes>(config.prompt_len) * 4;
+    auto prompt_host = ctx.hostPageable(std::max<Bytes>(prompt_bytes,
+                                                        4096));
+    auto prompt_dev =
+        ctx.mallocDevice(std::max<Bytes>(prompt_bytes, 4096));
+    auto token_dev = ctx.mallocDevice(4096);
+    auto token_host = ctx.hostPageable(4096);
+
+    const SimTime serve_start = ctx.now();
+    ctx.memcpy(prompt_dev, prompt_host, prompt_dev.bytes);
+
+    // Prefill: one compute-bound pass over the prompt.
+    const double prefill_gflop = 2.0 * kLlamaParams * config.batch
+        * config.prompt_len / 1e9;
+    const SimTime prefill =
+        time::sec(prefill_gflop / (tflops * 1e3));
+    {
+        gpu::KernelDesc kd;
+        kd.name = llmBackendName(config.backend) + "_prefill";
+        kd.duration = prefill;
+        ctx.launchKernel(kd);
+        ctx.deviceSynchronize();
+    }
+
+    // Decode loop.
+    SimTime framework_total = 0;
+    for (int step = 0; step < config.gen_len; ++step) {
+        for (int k = 0; k < launches; ++k) {
+            gpu::KernelDesc kd;
+            kd.name = llmBackendName(config.backend) + "_decode";
+            kd.duration = per_kernel;
+            ctx.launchKernel(kd);
+        }
+        ctx.deviceSynchronize();
+        // Sampled token ids come back every step.
+        ctx.memcpy(token_host, token_dev,
+                   static_cast<Bytes>(config.batch) * 8);
+        framework_total += frameworkStepCost(config.backend,
+                                             config.batch);
+    }
+    const SimTime total =
+        (ctx.now() - serve_start) + framework_total;
+
+    LlmResult result;
+    result.step_time = total / config.gen_len;
+    result.tokens_per_s =
+        static_cast<double>(config.batch) * config.gen_len
+        / time::toSec(total);
+
+    ctx.free(weights_dev);
+    ctx.free(kv_dev);
+    ctx.free(prompt_host);
+    ctx.free(prompt_dev);
+    ctx.free(token_dev);
+    ctx.free(token_host);
+    return result;
+}
+
+} // namespace hcc::ml

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * LLM serving model (Sec. VII-B, Fig. 14): Llama-3-8B inference on
+ * two backends (HuggingFace, vLLM) with BF16 or AWQ 4-bit weights.
+ *
+ * Decode steps are memory-bound at small batch (every token streams
+ * the full weight set from HBM — where AWQ's 4x smaller weights win)
+ * and compute-bound at large batch (where AWQ's dequantization
+ * overhead makes BF16 win back, the paper's batch-64/128 crossover).
+ * The serving loop runs through the real runtime so CC launch and
+ * I/O taxes apply per decode step; vLLM's fused kernels and
+ * continuous batching give it fewer launches and less per-step
+ * framework overhead than HF in every configuration.
+ */
+
+#ifndef HCC_ML_LLM_HPP
+#define HCC_ML_LLM_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "runtime/context.hpp"
+
+namespace hcc::ml {
+
+/** Serving frameworks compared in Fig. 14. */
+enum class LlmBackend { HuggingFace, Vllm };
+
+/** Weight formats compared in Fig. 14. */
+enum class LlmQuant { Bf16, Awq4 };
+
+std::string llmBackendName(LlmBackend backend);
+std::string llmQuantName(LlmQuant quant);
+
+/** One serving configuration. */
+struct LlmConfig
+{
+    LlmBackend backend = LlmBackend::HuggingFace;
+    LlmQuant quant = LlmQuant::Bf16;
+    /** Concurrent request batch size. */
+    int batch = 1;
+    /** Prompt tokens per request. */
+    int prompt_len = 512;
+    /** Generated tokens per request. */
+    int gen_len = 64;
+};
+
+/** Measured serving throughput. */
+struct LlmResult
+{
+    /** Generated tokens per second across the batch. */
+    double tokens_per_s = 0.0;
+    /** Mean decode step time. */
+    SimTime step_time = 0;
+};
+
+/** Run the serving loop for @p config inside @p ctx. */
+LlmResult serveLlm(rt::Context &ctx, const LlmConfig &config);
+
+/** Llama-3-8B parameter count. */
+constexpr double kLlamaParams = 8.03e9;
+
+} // namespace hcc::ml
+
+#endif // HCC_ML_LLM_HPP

@@ -1,0 +1,142 @@
+#include "multigpu/multi_gpu.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace hcc::multigpu {
+
+MultiGpuSystem::MultiGpuSystem(const MultiGpuConfig &config)
+    : config_(config), tdx_(config.cc)
+{
+    if (config_.gpus < 2)
+        fatal("multi-GPU system needs at least 2 GPUs, got %d",
+              config_.gpus);
+    links_.reserve(static_cast<std::size_t>(config_.gpus));
+    for (int i = 0; i < config_.gpus; ++i) {
+        links_.push_back(
+            std::make_unique<pcie::PcieLink>(config_.link));
+        p2p_lanes_.emplace_back("p2p[" + std::to_string(i) + "]");
+        if (config_.cc) {
+            channels_.push_back(std::make_unique<tee::SecureChannel>(
+                config_.channel,
+                tee::SpdmSession::establish(
+                    config_.seed
+                    + static_cast<std::uint64_t>(i))));
+        }
+    }
+}
+
+pcie::PcieLink &
+MultiGpuSystem::link(int gpu)
+{
+    HCC_ASSERT(gpu >= 0 && gpu < config_.gpus, "bad gpu index");
+    return *links_[static_cast<std::size_t>(gpu)];
+}
+
+tee::SecureChannel &
+MultiGpuSystem::channel(int gpu)
+{
+    HCC_ASSERT(config_.cc, "no channels outside CC mode");
+    HCC_ASSERT(gpu >= 0 && gpu < config_.gpus, "bad gpu index");
+    return *channels_[static_cast<std::size_t>(gpu)];
+}
+
+PeerTiming
+MultiGpuSystem::peerCopy(int src_gpu, int dst_gpu, Bytes bytes,
+                         SimTime ready)
+{
+    if (src_gpu == dst_gpu)
+        fatal("peer copy needs two distinct GPUs");
+
+    PeerTiming t;
+    if (!config_.cc) {
+        // Direct PCIe P2P on the source's dedicated lane.
+        const SimTime dur = config_.link.dma_latency
+            + transferTime(bytes, config_.p2p_gbps);
+        const auto iv =
+            p2p_lanes_[static_cast<std::size_t>(src_gpu)].reserve(
+                ready, dur);
+        t.total = iv;
+        return t;
+    }
+
+    // CC: the GPU is bound to one TD; peers cannot DMA each other.
+    // Data leaves the source through the encrypted D2H path into
+    // TD-private memory, then re-enters the destination through the
+    // encrypted H2D path.
+    const auto down = channel(src_gpu).scheduleTransfer(
+        ready, bytes, pcie::Direction::DeviceToHost, link(src_gpu),
+        tdx_);
+    const auto up = channel(dst_gpu).scheduleTransfer(
+        down.total.end, bytes, pcie::Direction::HostToDevice,
+        link(dst_gpu), tdx_);
+    t.total = {ready, up.total.end};
+    t.host_staged = bytes;
+    return t;
+}
+
+PeerTiming
+MultiGpuSystem::allReduce(Bytes bytes, SimTime ready)
+{
+    // Ring all-reduce: 2*(N-1) steps, each moving bytes/N between
+    // every neighbour pair simultaneously.  Steps are barriers: the
+    // slowest pair gates the next step.
+    const int n = config_.gpus;
+    const Bytes chunk =
+        std::max<Bytes>(1, bytes / static_cast<Bytes>(n));
+    PeerTiming t;
+    SimTime step_ready = ready;
+    for (int step = 0; step < 2 * (n - 1); ++step) {
+        SimTime step_end = step_ready;
+        if (!config_.cc) {
+            for (int g = 0; g < n; ++g) {
+                const auto leg =
+                    peerCopy(g, (g + 1) % n, chunk, step_ready);
+                step_end = std::max(step_end, leg.total.end);
+            }
+        } else {
+            // Schedule every leg's D2H half before any H2D half so
+            // the per-channel crypto workers interleave both
+            // directions within the step (the reservation order
+            // would otherwise serialize them).
+            std::vector<SimTime> down_done(
+                static_cast<std::size_t>(n));
+            for (int g = 0; g < n; ++g) {
+                const auto down = channel(g).scheduleTransfer(
+                    step_ready, chunk,
+                    pcie::Direction::DeviceToHost, link(g), tdx_);
+                down_done[static_cast<std::size_t>(g)] =
+                    down.total.end;
+            }
+            for (int g = 0; g < n; ++g) {
+                const int dst = (g + 1) % n;
+                const auto up = channel(dst).scheduleTransfer(
+                    down_done[static_cast<std::size_t>(g)], chunk,
+                    pcie::Direction::HostToDevice, link(dst), tdx_);
+                step_end = std::max(step_end, up.total.end);
+                t.host_staged += chunk;
+            }
+        }
+        step_ready = step_end;
+    }
+    t.total = {ready, step_ready};
+    return t;
+}
+
+PeerTiming
+MultiGpuSystem::broadcast(Bytes bytes, SimTime ready)
+{
+    // Chain broadcast 0 -> 1 -> ... -> N-1.
+    PeerTiming t;
+    SimTime cursor = ready;
+    for (int g = 0; g + 1 < config_.gpus; ++g) {
+        const auto leg = peerCopy(g, g + 1, bytes, cursor);
+        cursor = leg.total.end;
+        t.host_staged += leg.host_staged;
+    }
+    t.total = {ready, cursor};
+    return t;
+}
+
+} // namespace hcc::multigpu

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Multi-GPU system model (Sec. VIII / [83], [132]).
+ *
+ * The platform hosts two H100s on separate sockets (Table I).  In
+ * normal operation peers exchange data directly over PCIe P2P; in CC
+ * mode the H100 is exclusively bound to one TD and P2P is
+ * unavailable — peer traffic must bounce through TD-private host
+ * memory, paying the encrypted D2H path on the source and the
+ * encrypted H2D path on the destination.  This module models peer
+ * copies and ring collectives under both regimes, quantifying the
+ * multi-GPU CC tax the paper's related-work section points at.
+ */
+
+#ifndef HCC_MULTIGPU_MULTI_GPU_HPP
+#define HCC_MULTIGPU_MULTI_GPU_HPP
+
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "pcie/link.hpp"
+#include "tee/secure_channel.hpp"
+#include "tee/tdx.hpp"
+
+namespace hcc::multigpu {
+
+/** Configuration of the multi-GPU system. */
+struct MultiGpuConfig
+{
+    /** Number of GPUs (>= 2). */
+    int gpus = 2;
+    /** Whole system in CC mode. */
+    bool cc = false;
+    /** Effective PCIe P2P bandwidth between peers (GB/s). */
+    double p2p_gbps = 20.0;
+    /** Per-link configuration (one link per GPU). */
+    pcie::LinkConfig link;
+    /** Channel tunables for the CC paths. */
+    tee::ChannelConfig channel;
+    std::uint64_t seed = 7;
+};
+
+/** Timing result of a peer copy or collective. */
+struct PeerTiming
+{
+    sim::Interval total;
+    /** Bytes that crossed host memory (0 for direct P2P). */
+    Bytes host_staged = 0;
+};
+
+/**
+ * N GPUs attached to one host.
+ */
+class MultiGpuSystem
+{
+  public:
+    explicit MultiGpuSystem(const MultiGpuConfig &config);
+
+    /**
+     * Copy @p bytes from @p src_gpu to @p dst_gpu starting at
+     * @p ready.  Direct P2P normally; encrypted double-bounce through
+     * the host under CC.
+     */
+    PeerTiming peerCopy(int src_gpu, int dst_gpu, Bytes bytes,
+                        SimTime ready);
+
+    /**
+     * Ring all-reduce of @p bytes per GPU: 2*(N-1) peer transfers of
+     * bytes/N per step, steps overlapping across ring neighbours.
+     */
+    PeerTiming allReduce(Bytes bytes, SimTime ready);
+
+    /** Broadcast @p bytes from GPU 0 to all others (chain). */
+    PeerTiming broadcast(Bytes bytes, SimTime ready);
+
+    int gpuCount() const { return config_.gpus; }
+    bool cc() const { return config_.cc; }
+    const tee::TdxStats &tdxStats() const { return tdx_.stats(); }
+
+  private:
+    pcie::PcieLink &link(int gpu);
+    tee::SecureChannel &channel(int gpu);
+
+    MultiGpuConfig config_;
+    tee::TdxModule tdx_;
+    std::vector<std::unique_ptr<pcie::PcieLink>> links_;
+    std::vector<std::unique_ptr<tee::SecureChannel>> channels_;
+    /** Dedicated P2P lanes between ring neighbours (non-CC). */
+    std::vector<sim::Timeline> p2p_lanes_;
+};
+
+} // namespace hcc::multigpu
+
+#endif // HCC_MULTIGPU_MULTI_GPU_HPP

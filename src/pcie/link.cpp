@@ -1,0 +1,62 @@
+#include "pcie/link.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace hcc::pcie {
+
+PcieLink::PcieLink(const LinkConfig &config)
+    : config_(config), h2d_("pcie.h2d"), d2h_("pcie.d2h")
+{
+    if (config_.effective_gbps <= 0.0)
+        fatal("pcie link bandwidth must be positive");
+}
+
+sim::Timeline &
+PcieLink::lane(Direction dir)
+{
+    return dir == Direction::HostToDevice ? h2d_ : d2h_;
+}
+
+const sim::Timeline &
+PcieLink::lane(Direction dir) const
+{
+    return dir == Direction::HostToDevice ? h2d_ : d2h_;
+}
+
+SimTime
+PcieLink::dmaDuration(Bytes bytes, double gbps) const
+{
+    const double rate = gbps > 0.0
+        ? std::min(gbps, config_.effective_gbps)
+        : config_.effective_gbps;
+    return config_.dma_latency + transferTime(bytes, rate);
+}
+
+sim::Interval
+PcieLink::dma(SimTime ready, Bytes bytes, Direction dir, double gbps)
+{
+    return lane(dir).reserve(ready, dmaDuration(bytes, gbps));
+}
+
+SimTime
+PcieLink::busyTime(Direction dir) const
+{
+    return lane(dir).busyTime();
+}
+
+std::size_t
+PcieLink::transactions(Direction dir) const
+{
+    return lane(dir).reservations();
+}
+
+void
+PcieLink::reset()
+{
+    h2d_.reset();
+    d2h_.reset();
+}
+
+} // namespace hcc::pcie

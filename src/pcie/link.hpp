@@ -1,0 +1,81 @@
+/**
+ * @file
+ * PCIe interconnect model.
+ *
+ * A full-duplex point-to-point link (Table I: PCIe 5.0 x16) with one
+ * timeline per direction.  DMA payload time is bandwidth-limited;
+ * every transaction additionally pays a fixed round-trip latency,
+ * which is what bends the Fig. 4a bandwidth curve down for small
+ * transfer sizes.
+ */
+
+#ifndef HCC_PCIE_LINK_HPP
+#define HCC_PCIE_LINK_HPP
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "sim/timeline.hpp"
+
+namespace hcc::pcie {
+
+/** Transfer direction over the link. */
+enum class Direction { HostToDevice, DeviceToHost };
+
+/** Static link parameters. */
+struct LinkConfig
+{
+    /** PCIe generation (informational). */
+    int gen = 5;
+    /** Lane count (informational). */
+    int lanes = 16;
+    /** Effective DMA bandwidth for pinned pages, GB/s. */
+    double effective_gbps = 26.0;
+    /** Fixed per-DMA-transaction latency (doorbell to first data). */
+    SimTime dma_latency = time::us(1.2);
+};
+
+/**
+ * The link: owns one timeline per direction and converts byte counts
+ * into occupancy intervals.
+ */
+class PcieLink
+{
+  public:
+    explicit PcieLink(const LinkConfig &config = LinkConfig{});
+
+    /**
+     * Schedule a DMA of @p bytes in @p dir becoming ready at
+     * @p ready, possibly at a throttled @p gbps (e.g. a CC pipeline
+     * feeding the link slower than line rate).  @p gbps <= 0 means
+     * line rate.
+     * @return the granted link interval (includes the fixed latency).
+     */
+    sim::Interval dma(SimTime ready, Bytes bytes, Direction dir,
+                      double gbps = 0.0);
+
+    /** Pure duration of a DMA of @p bytes (latency + payload). */
+    SimTime dmaDuration(Bytes bytes, double gbps = 0.0) const;
+
+    const LinkConfig &config() const { return config_; }
+
+    /** Accumulated busy time in a direction. */
+    SimTime busyTime(Direction dir) const;
+
+    /** Number of DMA transactions issued in a direction. */
+    std::size_t transactions(Direction dir) const;
+
+    void reset();
+
+  private:
+    sim::Timeline &lane(Direction dir);
+    const sim::Timeline &lane(Direction dir) const;
+
+    LinkConfig config_;
+    sim::Timeline h2d_;
+    sim::Timeline d2h_;
+};
+
+} // namespace hcc::pcie
+
+#endif // HCC_PCIE_LINK_HPP

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The paper's GPU performance model (Sec. V, Fig. 3).
+ *
+ * End-to-end time P decomposes into four parts:
+ *   A: (1 - alpha) * T_mem           — non-overlapped data transfer
+ *   B: sum(KLO + LQT)                — launch operations and queuing
+ *   C: sum((1 - beta_i)(KET + KQT))  — kernel time not hidden by B
+ *   D: T_other                       — alloc/free/sync residue
+ * alpha is the fraction of memcpy time overlapped with other work;
+ * beta_i is the fraction of kernel i's (KQT + KET) interval that is
+ * hidden under launch activity.  Both are estimated from the trace by
+ * exact interval intersection, then the model's prediction is
+ * compared against the measured end-to-end span.
+ */
+
+#ifndef HCC_PERFMODEL_MODEL_HPP
+#define HCC_PERFMODEL_MODEL_HPP
+
+#include <string>
+
+#include "common/units.hpp"
+#include "trace/tracer.hpp"
+
+namespace hcc::perfmodel {
+
+/** The four-part decomposition plus the estimated overlap factors. */
+struct Decomposition
+{
+    SimTime t_mem = 0;          //!< total memcpy time (part A, raw)
+    SimTime t_launch = 0;       //!< sum(KLO + LQT)  (part B)
+    SimTime t_kernel = 0;       //!< sum(KET + KQT)  (part C, raw)
+    SimTime t_other = 0;        //!< alloc + free + non-overlapped sync
+    SimTime end_to_end = 0;     //!< measured P
+
+    double alpha = 0.0;         //!< memcpy overlap fraction
+    double beta_mean = 0.0;     //!< mean kernel-hidden fraction
+
+    /** Model-predicted P. */
+    SimTime predicted = 0;
+    /** Anything the four parts do not explain (host idle, API). */
+    SimTime residual = 0;
+
+    /** |predicted - measured| / measured. */
+    double relativeError() const;
+
+    /** Render a human-readable report. */
+    std::string report() const;
+};
+
+/** Run the decomposition over a trace. */
+Decomposition decompose(const trace::Tracer &tracer);
+
+} // namespace hcc::perfmodel
+
+#endif // HCC_PERFMODEL_MODEL_HPP

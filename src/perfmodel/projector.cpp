@@ -1,0 +1,193 @@
+#include "perfmodel/projector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/calibration.hpp"
+#include "crypto/cpu_crypto_model.hpp"
+#include "runtime/host_costs.hpp"
+#include "tee/tdx.hpp"
+
+namespace hcc::perfmodel {
+
+namespace {
+
+using namespace calib;
+
+/** Effective CC transfer rate per direction (the pipeline
+ *  bottleneck, see SecureChannel::workerChunkCost). */
+double
+ccRateGbps(bool d2h)
+{
+    crypto::CpuCryptoModel model(crypto::CpuKind::IntelEmr);
+    const double gcm =
+        model.throughputGBs(crypto::CipherAlgo::AesGcm128);
+    // Per-MiB worker time: encrypt + bounce copy (+ inbound page
+    // scrubbing on D2H).
+    const double mib = 1024.0 * 1024.0;
+    double us_per_mib = mib / (gcm * 1e3) + mib / (kBounceCopyGBs * 1e3);
+    if (d2h) {
+        us_per_mib += static_cast<double>(kCcInboundPerPage) * 1e-6
+            * (mib / static_cast<double>(kUvmPageBytes));
+    }
+    return mib / (us_per_mib * 1e3);
+}
+
+/** Expected (deterministic) part of a warm launch's cost. */
+double
+warmLaunchMean(bool cc)
+{
+    // Lognormal mean = median * exp(sigma^2 / 2).
+    const double sigma = cc ? kLaunchSigmaCc : kLaunchSigmaBase;
+    double t = static_cast<double>(kLaunchMedianBase)
+        * std::exp(sigma * sigma / 2.0);
+    if (cc)
+        t += static_cast<double>(kLaunchCcExtra);
+    // Amortized doorbell share.
+    t += static_cast<double>(cc ? kMmioDoorbellTd
+                                : kMmioDoorbellBase)
+        / kLaunchDoorbellBatch;
+    return t;
+}
+
+} // namespace
+
+std::string
+CcProjection::report() const
+{
+    std::ostringstream oss;
+    oss << "base P       " << formatTime(base) << "\n"
+        << "projected P  " << formatTime(projected) << "  ("
+        << slowdown() << "x)\n"
+        << "  transfers  +" << formatTime(mem_delta) << "\n"
+        << "  launches   +" << formatTime(launch_delta) << "\n"
+        << "  kernels    +" << formatTime(kernel_delta) << "\n"
+        << "  alloc/free +" << formatTime(alloc_delta) << "\n";
+    if (uvm_seen)
+        oss << "  WARNING: managed memory seen — projection "
+               "unreliable\n";
+    return oss.str();
+}
+
+CcProjection
+projectCc(const trace::Tracer &base_trace)
+{
+    using trace::EventKind;
+
+    CcProjection p;
+    p.base = base_trace.span();
+
+    // Scratch TDX modules so the alloc/free re-costing uses the very
+    // same functions the simulator charges.
+    tee::TdxModule vm(false), td(true);
+
+    const double h2d_cc = ccRateGbps(false);
+    const double d2h_cc = ccRateGbps(true);
+    const double launch_scale =
+        warmLaunchMean(true) / warmLaunchMean(false);
+    const double decode_scale =
+        static_cast<double>(kCmdProcDecodeCc)
+        / static_cast<double>(kCmdProcDecodeBase);
+
+    std::map<std::string, int> first_seen;
+
+    for (const auto &e : base_trace.events()) {
+        if (e.encrypted_paging)
+            p.uvm_seen = true;
+        switch (e.kind) {
+          case EventKind::MemcpyH2D:
+          case EventKind::MemcpyD2H: {
+            const bool d2h = e.kind == EventKind::MemcpyD2H;
+            const SimTime cc_time = kMemcpySetupBase
+                + kMmioDoorbellTd + kTdxHypercallLatency
+                + transferTime(e.bytes, d2h ? d2h_cc : h2d_cc);
+            p.mem_delta += std::max<SimTime>(0,
+                                             cc_time - e.duration());
+            break;
+          }
+          case EventKind::MemcpyD2D:
+            // HBM blit unchanged; doorbell trap delta only.
+            p.mem_delta += kMmioDoorbellTd - kMmioDoorbellBase;
+            break;
+          case EventKind::Launch:
+          case EventKind::GraphLaunch: {
+            // Warm part scales; the first launch of each symbol
+            // additionally pays the CC module-upload delta.
+            const double warm_delta =
+                static_cast<double>(e.duration())
+                * (launch_scale - 1.0);
+            p.launch_delta += static_cast<SimTime>(warm_delta);
+            // Dispatch gap (LQT share) scales too.
+            p.launch_delta += static_cast<SimTime>(
+                static_cast<double>(e.queue_wait)
+                * (kCcDispatchFactor - 1.0));
+            // First launches in the decay window pay the CC module
+            // upload delta; the very first also carves a bounce
+            // buffer and converts the staging window.
+            const int occurrence = first_seen[e.name]++;
+            if (occurrence < kFirstLaunchWindow) {
+                const Bytes module =
+                    e.bytes > 0 ? e.bytes : kDefaultModuleBytes;
+                const SimTime base_x =
+                    transferTime(module, kModuleUploadBaseGBs);
+                const SimTime cc_x =
+                    transferTime(module, kModuleUploadCcGBs);
+                p.launch_delta += static_cast<SimTime>(
+                    static_cast<double>(cc_x - base_x)
+                    * std::pow(kFirstLaunchDecay, occurrence));
+                if (occurrence == 0) {
+                    p.launch_delta +=
+                        kDmaAllocFixed + kPageConvertPerPage;
+                    if (module > size::kib(256.0)) {
+                        const Bytes conv =
+                            std::min(module, kModuleConvertCap);
+                        p.launch_delta += kPageConvertPerPage
+                            * static_cast<SimTime>(
+                                  conv / kUvmPageBytes);
+                    }
+                }
+            }
+            break;
+          }
+          case EventKind::Kernel: {
+            p.kernel_delta += static_cast<SimTime>(
+                static_cast<double>(e.duration())
+                * kKetCcJitterMean);
+            // KQT (decode) amplification.
+            p.kernel_delta += static_cast<SimTime>(
+                static_cast<double>(e.queue_wait)
+                * (decode_scale - 1.0));
+            break;
+          }
+          case EventKind::MallocDevice:
+            p.alloc_delta += rt::deviceAllocCost(e.bytes, td)
+                - rt::deviceAllocCost(e.bytes, vm);
+            break;
+          case EventKind::MallocHost:
+            p.alloc_delta += rt::hostAllocCost(e.bytes, td)
+                - rt::hostAllocCost(e.bytes, vm);
+            break;
+          case EventKind::MallocManaged:
+            p.uvm_seen = true;
+            p.alloc_delta += rt::managedAllocCost(e.bytes, td)
+                - rt::managedAllocCost(e.bytes, vm);
+            break;
+          case EventKind::Free:
+            // The trace does not distinguish managed frees; use the
+            // plain path (managed apps are flagged unreliable).
+            p.alloc_delta += rt::freeCost(e.bytes, td)
+                - rt::freeCost(e.bytes, vm);
+            break;
+          case EventKind::Sync:
+            break;
+        }
+    }
+
+    p.projected = p.base + p.mem_delta + p.launch_delta
+        + p.kernel_delta + p.alloc_delta;
+    return p;
+}
+
+} // namespace hcc::perfmodel

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * CC-overhead projector: predict how an application measured in a
+ * regular VM would perform inside a TD, from its base trace alone.
+ *
+ * This is the actionable corollary of the paper's model: each traced
+ * event is re-costed through the same mechanism models the simulator
+ * charges under CC (encrypted transfer path per direction, hypercall
+ * taxes on allocation/free, warm-launch and first-launch deltas,
+ * decode amplification), and the deltas are accumulated onto the
+ * measured end-to-end time.  It assumes the base run's overlap
+ * structure carries over (accurate for copy-then-execute apps; the
+ * projection degrades for heavily overlapped or UVM workloads, which
+ * is reported via the `uvm_seen` flag).
+ */
+
+#ifndef HCC_PERFMODEL_PROJECTOR_HPP
+#define HCC_PERFMODEL_PROJECTOR_HPP
+
+#include <string>
+
+#include "common/units.hpp"
+#include "trace/tracer.hpp"
+
+namespace hcc::perfmodel {
+
+/** Outcome of projecting a base trace into CC mode. */
+struct CcProjection
+{
+    /** Measured base end-to-end. */
+    SimTime base = 0;
+    /** Projected CC end-to-end. */
+    SimTime projected = 0;
+
+    // Accumulated per-category deltas (projected - base).
+    SimTime mem_delta = 0;
+    SimTime launch_delta = 0;
+    SimTime kernel_delta = 0;
+    SimTime alloc_delta = 0;
+
+    /** Managed/encrypted-paging events were present: projection is
+     *  unreliable (demand paging re-costs are footprint-dependent). */
+    bool uvm_seen = false;
+
+    /** Projected slowdown factor. */
+    double
+    slowdown() const
+    {
+        return base > 0
+            ? static_cast<double>(projected)
+                  / static_cast<double>(base)
+            : 1.0;
+    }
+
+    /** Human-readable summary. */
+    std::string report() const;
+};
+
+/** Project a base (non-CC) trace into CC mode. */
+CcProjection projectCc(const trace::Tracer &base_trace);
+
+} // namespace hcc::perfmodel
+
+#endif // HCC_PERFMODEL_PROJECTOR_HPP

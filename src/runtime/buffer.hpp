@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Buffer handles used by the runtime API.
+ *
+ * Buffers are opaque accounting objects (the simulator does not carry
+ * application payloads on this path — functional data flow is tested
+ * through the SecureChannel directly).  A buffer knows where it lives
+ * and how big it is; that is all the transfer and UVM machinery needs.
+ */
+
+#ifndef HCC_RUNTIME_BUFFER_HPP
+#define HCC_RUNTIME_BUFFER_HPP
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace hcc::rt {
+
+/** Memory spaces distinguished by the transfer paths. */
+enum class MemSpace
+{
+    HostPageable,  //!< plain malloc'd host memory
+    HostPinned,    //!< cudaMallocHost
+    Device,        //!< cudaMalloc
+    Managed,       //!< cudaMallocManaged (UVM)
+};
+
+/** Printable space name. */
+const char *memSpaceName(MemSpace space);
+
+/** Handle to an allocation made through the Context. */
+struct Buffer
+{
+    std::uint64_t id = 0;
+    MemSpace space = MemSpace::HostPageable;
+    Bytes bytes = 0;
+    /** UVM allocation handle (Managed buffers only). */
+    std::uint64_t uvm_handle = 0;
+
+    bool valid() const { return id != 0; }
+};
+
+} // namespace hcc::rt
+
+#endif // HCC_RUNTIME_BUFFER_HPP

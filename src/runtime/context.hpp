@@ -1,0 +1,275 @@
+/**
+ * @file
+ * The public runtime API: a CUDA-like interface over the simulated
+ * CC system.  This is the library's main entry point.
+ *
+ * A Context stands for one guest (regular VM or TD) with one GPU
+ * passed through.  Every API call advances the simulated host clock
+ * by its modeled cost and records a trace event; device work is
+ * scheduled onto the GPU's engines.  Construct two contexts — one
+ * with cc=false, one with cc=true — run the same workload, and the
+ * traces diff into every figure of the paper.
+ *
+ * Typical use:
+ * @code
+ *   rt::SystemConfig cfg;
+ *   cfg.cc = true;
+ *   rt::Context ctx(cfg);
+ *   auto dev = ctx.mallocDevice(hcc::size::mib(64));
+ *   auto host = ctx.hostPageable(hcc::size::mib(64));
+ *   ctx.memcpy(dev, host, dev.bytes);          // H2D, encrypted
+ *   gpu::KernelDesc k{.name = "saxpy", .duration = hcc::time::us(50)};
+ *   ctx.launchKernel(k);
+ *   ctx.deviceSynchronize();
+ *   auto metrics = trace::analyze(ctx.tracer());
+ * @endcode
+ */
+
+#ifndef HCC_RUNTIME_CONTEXT_HPP
+#define HCC_RUNTIME_CONTEXT_HPP
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "gpu/gpu_device.hpp"
+#include "pcie/link.hpp"
+#include "runtime/buffer.hpp"
+#include "runtime/graph.hpp"
+#include "tee/secure_channel.hpp"
+#include "tee/spdm.hpp"
+#include "tee/tdx.hpp"
+#include "trace/tracer.hpp"
+
+namespace hcc::rt {
+
+/** Whole-system configuration (Table I knobs that matter). */
+struct SystemConfig
+{
+    /** Run inside a TD with the GPU in CC mode. */
+    bool cc = false;
+    /** PCIe link parameters. */
+    pcie::LinkConfig link;
+    /** CC transfer-path tunables (ignored when cc == false). */
+    tee::ChannelConfig channel;
+    /** GPU device parameters (cc_mode is forced to match cc). */
+    gpu::GpuConfig gpu;
+    /** Master seed for all stochastic costs. */
+    std::uint64_t seed = 1;
+};
+
+/** Opaque stream handle. */
+class Stream
+{
+  public:
+    int id() const { return id_; }
+
+  private:
+    friend class Context;
+    explicit Stream(int id) : id_(id) {}
+    int id_;
+};
+
+/** Opaque recorded-event handle. */
+class Event
+{
+  public:
+    std::uint64_t id() const { return id_; }
+
+  private:
+    friend class Context;
+    Event(std::uint64_t id, SimTime when, std::uint64_t seq)
+        : id_(id), when_(when), seq_(seq)
+    {}
+    std::uint64_t id_;
+    /** Device completion point captured at record time. */
+    SimTime when_;
+    /** Program-order sequence number (for elapsed-time checks). */
+    std::uint64_t seq_;
+};
+
+/**
+ * One guest + one GPU.  See file comment for usage.
+ */
+class Context
+{
+  public:
+    explicit Context(const SystemConfig &config = SystemConfig{});
+
+    // ------------------------------------------------------- memory
+
+    /** cudaMalloc. */
+    Buffer mallocDevice(Bytes bytes);
+    /** cudaMallocHost (pinned). */
+    Buffer mallocHost(Bytes bytes);
+    /** cudaMallocManaged (UVM). */
+    Buffer mallocManaged(Bytes bytes);
+    /** Plain malloc'd host memory (no driver involvement, free). */
+    Buffer hostPageable(Bytes bytes);
+    /** cudaFree (any driver allocation). */
+    void free(Buffer &buffer);
+
+    /**
+     * The CPU writes a managed buffer: device residency is dropped
+     * and the next device access will fault pages back over.
+     */
+    void cpuTouchManaged(const Buffer &buffer);
+
+    // ---------------------------------------------------- transfers
+
+    /**
+     * Blocking cudaMemcpy; direction inferred from the buffer
+     * spaces.  @p bytes must not exceed either buffer.
+     */
+    void memcpy(const Buffer &dst, const Buffer &src, Bytes bytes);
+
+    /** Async copy ordered on @p stream. */
+    void memcpyAsync(const Buffer &dst, const Buffer &src, Bytes bytes,
+                     const Stream &stream);
+
+    /**
+     * cudaMemPrefetchAsync analog: migrate a managed buffer's pages
+     * to the device (@p to_device) or back to the host, through the
+     * same transfer path demand faults would use — but in bulk.
+     */
+    void memPrefetch(const Buffer &buffer, bool to_device);
+
+    /**
+     * cudaMemset analog: device-side fill of the first @p bytes of a
+     * device buffer; runs as a small fill kernel at HBM bandwidth.
+     */
+    void memsetDevice(const Buffer &buffer, Bytes bytes);
+
+    // ------------------------------------------------------ kernels
+
+    /** Launch on the default stream. */
+    void launchKernel(const gpu::KernelDesc &kernel);
+    /** Launch on a specific stream. */
+    void launchKernel(const gpu::KernelDesc &kernel,
+                      const Stream &stream);
+
+    // ------------------------------------------------------- graphs
+
+    /** Capture + instantiate a linear graph of kernel nodes. */
+    GraphExec instantiateGraph(std::string name,
+                               std::vector<gpu::KernelDesc> nodes);
+    /** Replay an instantiated graph with one launch operation. */
+    void launchGraph(const GraphExec &graph, const Stream &stream);
+    void launchGraph(const GraphExec &graph);
+
+    // ------------------------------------------------------ streams
+
+    Stream createStream();
+    Stream defaultStream() const { return Stream(0); }
+
+    // ------------------------------------------------------- events
+
+    /**
+     * cudaEventRecord analog: capture the point at which all work
+     * currently queued on @p stream completes.
+     */
+    Event recordEvent(const Stream &stream);
+    /** Record on the default stream. */
+    Event recordEvent();
+
+    /**
+     * cudaEventElapsedTime analog: device-side time between two
+     * recorded events, in simulated time.  Fatal if @p later was
+     * recorded (in program order) before @p earlier.
+     */
+    SimTime eventElapsed(const Event &earlier,
+                         const Event &later) const;
+
+    /**
+     * cudaStreamWaitEvent analog: work later queued on @p stream may
+     * not start before @p event's captured completion point.
+     */
+    void streamWaitEvent(const Stream &stream, const Event &event);
+
+    /** Block the host until the event's work completed. */
+    void eventSynchronize(const Event &event);
+
+    // --------------------------------------------------------- sync
+
+    /** Block until @p stream drains. */
+    void streamSynchronize(const Stream &stream);
+    /** Block until all device work drains. */
+    void deviceSynchronize();
+
+    // -------------------------------------------------- inspection
+
+    /** Current simulated host time. */
+    SimTime now() const { return host_now_; }
+    bool cc() const { return config_.cc; }
+    const SystemConfig &config() const { return config_; }
+
+    trace::Tracer &tracer() { return tracer_; }
+    const trace::Tracer &tracer() const { return tracer_; }
+    tee::TdxModule &tdx() { return tdx_; }
+    const tee::TdxModule &tdx() const { return tdx_; }
+    gpu::GpuDevice &device() { return gpu_; }
+    pcie::PcieLink &link() { return link_; }
+    tee::SecureChannel *channel() { return channel_.get(); }
+
+    /** Live driver allocations (leak checking in tests). */
+    std::size_t liveAllocations() const { return allocs_.size(); }
+
+  private:
+    struct StreamState
+    {
+        /** Device-side completion time of the last operation. */
+        SimTime device_ready = 0;
+        /** Completion times of in-flight kernels (launch queue). */
+        std::deque<SimTime> pending;
+    };
+
+    struct AllocInfo
+    {
+        MemSpace space;
+        Bytes bytes;
+        std::uint64_t uvm_handle = 0;
+    };
+
+    StreamState &streamState(const Stream &stream);
+    gpu::TransferContext transferContext();
+    gpu::HostMemKind hostKindOf(MemSpace space) const;
+
+    /** Shared body of blocking/async memcpy. */
+    void memcpyImpl(const Buffer &dst, const Buffer &src, Bytes bytes,
+                    StreamState *async_stream);
+
+    /** Shared launch body; returns the kernel completion time. */
+    SimTime launchImpl(const gpu::KernelDesc &kernel,
+                       StreamState &stream);
+
+    SystemConfig config_;
+    tee::TdxModule tdx_;
+    pcie::PcieLink link_;
+    std::unique_ptr<tee::SecureChannel> channel_;
+    gpu::GpuDevice gpu_;
+    trace::Tracer tracer_;
+    Rng rng_;
+
+    SimTime host_now_ = 0;
+    std::vector<StreamState> streams_;
+    std::map<std::uint64_t, AllocInfo> allocs_;
+    std::uint64_t next_buffer_id_ = 1;
+    std::uint64_t next_graph_id_ = 1;
+    std::uint64_t next_event_id_ = 1;
+    std::uint64_t next_event_seq_ = 1;
+    /** Launches seen per kernel symbol (first-launch extras). */
+    std::map<std::string, int> kernel_launch_counts_;
+    /** Global launch ordinal (doorbell batching). */
+    int launch_index_ = 0;
+    /** Whether any launch happened yet (inter-launch gap). */
+    bool any_launch_ = false;
+};
+
+} // namespace hcc::rt
+
+#endif // HCC_RUNTIME_CONTEXT_HPP

@@ -1,0 +1,9 @@
+#include "runtime/graph.hpp"
+
+// GraphExec is a passive container; all behaviour lives in Context.
+// This translation unit exists to anchor the class's vtable-free
+// definition and keep the build layout uniform.
+
+namespace hcc::rt {
+
+} // namespace hcc::rt

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * CUDA-graph-style launch fusion (Sec. VII-A).
+ *
+ * A graph captures a sequence of kernel nodes once, pays an
+ * instantiation cost, and then replays the whole sequence with a
+ * single host-side launch operation — trading instantiation time for
+ * per-kernel KLO/LQT, the trade-off the fusion ablation explores.
+ */
+
+#ifndef HCC_RUNTIME_GRAPH_HPP
+#define HCC_RUNTIME_GRAPH_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "gpu/kernel.hpp"
+
+namespace hcc::rt {
+
+/**
+ * An instantiated executable graph.  Create via
+ * Context::instantiateGraph(); launch via Context::launchGraph().
+ */
+class GraphExec
+{
+  public:
+    GraphExec() = default;
+
+    const std::vector<gpu::KernelDesc> &nodes() const { return nodes_; }
+    std::size_t nodeCount() const { return nodes_.size(); }
+    const std::string &name() const { return name_; }
+    std::uint64_t id() const { return id_; }
+    /** Instantiation cost that was charged at creation. */
+    SimTime instantiateCost() const { return instantiate_cost_; }
+
+  private:
+    friend class Context;
+
+    std::uint64_t id_ = 0;
+    std::string name_;
+    std::vector<gpu::KernelDesc> nodes_;
+    SimTime instantiate_cost_ = 0;
+};
+
+} // namespace hcc::rt
+
+#endif // HCC_RUNTIME_GRAPH_HPP

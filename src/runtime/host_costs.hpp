@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Host-side driver cost model: what the CPU pays inside each runtime
+ * API call, before any device work happens.  Allocation and free
+ * costs charge their guest<->host round trips to the TdxModule, so a
+ * Fig. 8-style breakdown of where CC time goes falls out of the TDX
+ * counters.
+ */
+
+#ifndef HCC_RUNTIME_HOST_COSTS_HPP
+#define HCC_RUNTIME_HOST_COSTS_HPP
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "tee/tdx.hpp"
+
+namespace hcc::rt {
+
+/** Cost of cudaMalloc(bytes). */
+SimTime deviceAllocCost(Bytes bytes, tee::TdxModule &tdx);
+
+/** Cost of cudaMallocHost(bytes) (pinned allocation). */
+SimTime hostAllocCost(Bytes bytes, tee::TdxModule &tdx);
+
+/** Cost of cudaMallocManaged(bytes). */
+SimTime managedAllocCost(Bytes bytes, tee::TdxModule &tdx);
+
+/** Cost of cudaFree on a device or pinned allocation. */
+SimTime freeCost(Bytes bytes, tee::TdxModule &tdx);
+
+/** Cost of cudaFree on a managed allocation. */
+SimTime managedFreeCost(Bytes bytes, tee::TdxModule &tdx);
+
+/**
+ * Host-side cost of one cudaLaunchKernel call (the KLO).
+ * @param prior_launches how many times this kernel symbol launched
+ *        before (first launches pay module-upload extras that are
+ *        strongly amplified under CC — Fig. 12a / dwt2d's 5.31x).
+ * @param launch_index global launch ordinal (doorbell batching).
+ * @param module_bytes kernel module size (0 = calibrated default);
+ *        uploaded through the encrypted path on CC first launches.
+ */
+SimTime launchOverhead(int prior_launches, int launch_index,
+                       Bytes module_bytes, tee::TdxModule &tdx,
+                       Rng &rng);
+
+/** Host-side dispatch gap between consecutive launches. */
+SimTime interLaunchGap(bool cc, Rng &rng);
+
+} // namespace hcc::rt
+
+#endif // HCC_RUNTIME_HOST_COSTS_HPP

@@ -1,0 +1,61 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace hcc::sim {
+
+void
+EventQueue::schedule(SimTime when, EventFn fn)
+{
+    HCC_ASSERT(when >= now_, "event scheduled in the past");
+    heap_.push(Entry{when, seq_++, std::move(fn)});
+}
+
+SimTime
+EventQueue::nextTime() const
+{
+    return heap_.empty() ? -1 : heap_.top().when;
+}
+
+std::size_t
+EventQueue::runUntil(SimTime until)
+{
+    std::size_t executed = 0;
+    while (!heap_.empty() && heap_.top().when <= until) {
+        // Copy out before popping: the callback may schedule more.
+        Entry e = heap_.top();
+        heap_.pop();
+        now_ = e.when;
+        e.fn(now_);
+        ++executed;
+    }
+    if (until > now_)
+        now_ = until;
+    return executed;
+}
+
+std::size_t
+EventQueue::runAll()
+{
+    std::size_t executed = 0;
+    while (!heap_.empty()) {
+        Entry e = heap_.top();
+        heap_.pop();
+        now_ = e.when;
+        e.fn(now_);
+        ++executed;
+    }
+    return executed;
+}
+
+void
+EventQueue::reset()
+{
+    heap_ = {};
+    seq_ = 0;
+    now_ = 0;
+}
+
+} // namespace hcc::sim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A small discrete-event kernel.
+ *
+ * Most of the simulator uses resource timelines (timeline.hpp) and
+ * needs no callbacks, but a few mechanisms are genuinely event-driven:
+ * asynchronous stream completions, overlap accounting, and deferred
+ * UVM fault servicing.  This queue provides deterministic ordering:
+ * ties are broken by insertion sequence number.
+ */
+
+#ifndef HCC_SIM_EVENT_QUEUE_HPP
+#define HCC_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace hcc::sim {
+
+/** Callback invoked when its scheduled time is reached. */
+using EventFn = std::function<void(SimTime now)>;
+
+/**
+ * Deterministic min-heap event queue.
+ */
+class EventQueue
+{
+  public:
+    /** Schedule @p fn at absolute time @p when. */
+    void schedule(SimTime when, EventFn fn);
+
+    /** Time of the earliest pending event; -1 if empty. */
+    SimTime nextTime() const;
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Current simulated time (advanced by run* methods). */
+    SimTime now() const { return now_; }
+
+    /**
+     * Execute events up to and including time @p until.
+     * @return number of events executed.
+     */
+    std::size_t runUntil(SimTime until);
+
+    /** Execute everything. @return number of events executed. */
+    std::size_t runAll();
+
+    /** Drop all pending events and reset the clock. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        SimTime when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::uint64_t seq_ = 0;
+    SimTime now_ = 0;
+};
+
+} // namespace hcc::sim
+
+#endif // HCC_SIM_EVENT_QUEUE_HPP

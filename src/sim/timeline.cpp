@@ -1,0 +1,83 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace hcc::sim {
+
+Timeline::Timeline(std::string name)
+    : name_(std::move(name))
+{}
+
+Interval
+Timeline::reserve(SimTime ready, SimTime duration)
+{
+    HCC_ASSERT(ready >= 0, "reservation in negative time");
+    HCC_ASSERT(duration >= 0, "negative duration");
+    Interval iv;
+    iv.start = std::max(ready, free_at_);
+    iv.end = iv.start + duration;
+    queuing_ += iv.start - ready;
+    busy_ += duration;
+    free_at_ = iv.end;
+    ++count_;
+    return iv;
+}
+
+void
+Timeline::reset()
+{
+    free_at_ = 0;
+    busy_ = 0;
+    queuing_ = 0;
+    count_ = 0;
+}
+
+TimelinePool::TimelinePool(std::string name, int members)
+    : name_(std::move(name))
+{
+    if (members <= 0)
+        fatal("timeline pool '%s' needs at least one member",
+              name_.c_str());
+    members_.reserve(static_cast<std::size_t>(members));
+    for (int i = 0; i < members; ++i)
+        members_.emplace_back(name_ + "[" + std::to_string(i) + "]");
+}
+
+Interval
+TimelinePool::reserve(SimTime ready, SimTime duration)
+{
+    int member = 0;
+    return reserve(ready, duration, member);
+}
+
+Interval
+TimelinePool::reserve(SimTime ready, SimTime duration, int &member)
+{
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < members_.size(); ++i) {
+        if (members_[i].freeAt() < members_[best].freeAt())
+            best = i;
+    }
+    member = static_cast<int>(best);
+    return members_[best].reserve(ready, duration);
+}
+
+SimTime
+TimelinePool::earliestFree() const
+{
+    SimTime best = members_.front().freeAt();
+    for (const auto &m : members_)
+        best = std::min(best, m.freeAt());
+    return best;
+}
+
+void
+TimelinePool::reset()
+{
+    for (auto &m : members_)
+        m.reset();
+}
+
+} // namespace hcc::sim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Resource timelines: the core scheduling primitive of the simulator.
+ *
+ * Every hardware resource (host CPU thread, copy engine, compute
+ * engine, PCIe link, crypto worker, command processor) is modeled as a
+ * timeline on which operations reserve contiguous busy intervals.  An
+ * operation that becomes ready at time R on a resource free at F
+ * starts at max(R, F); the gap F - R (when positive) is queuing delay,
+ * which is exactly the quantity the paper's KQT/LQT metrics measure.
+ */
+
+#ifndef HCC_SIM_TIMELINE_HPP
+#define HCC_SIM_TIMELINE_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace hcc::sim {
+
+/** A reserved busy interval on a timeline. */
+struct Interval
+{
+    SimTime start = 0;
+    SimTime end = 0;
+
+    SimTime duration() const { return end - start; }
+};
+
+/**
+ * Single-server FIFO resource.  Reservations are strictly ordered:
+ * each new reservation starts no earlier than the previous one ended.
+ */
+class Timeline
+{
+  public:
+    explicit Timeline(std::string name = "timeline");
+
+    /**
+     * Reserve @p duration starting no earlier than @p ready.
+     * @return the granted interval; the implied queuing delay is
+     *         interval.start - ready.
+     */
+    Interval reserve(SimTime ready, SimTime duration);
+
+    /** Earliest time a new reservation could start. */
+    SimTime freeAt() const { return free_at_; }
+
+    /** Total busy time reserved so far. */
+    SimTime busyTime() const { return busy_; }
+
+    /** Number of reservations made. */
+    std::size_t reservations() const { return count_; }
+
+    /** Sum of queuing delays suffered by reservations. */
+    SimTime totalQueuing() const { return queuing_; }
+
+    const std::string &name() const { return name_; }
+
+    /** Reset to an idle state at time zero. */
+    void reset();
+
+  private:
+    std::string name_;
+    SimTime free_at_ = 0;
+    SimTime busy_ = 0;
+    SimTime queuing_ = 0;
+    std::size_t count_ = 0;
+};
+
+/**
+ * Pool of identical single-server timelines (e.g. the H100's multiple
+ * copy engines): each reservation is granted on the member that can
+ * start it earliest.
+ */
+class TimelinePool
+{
+  public:
+    TimelinePool(std::string name, int members);
+
+    /** Reserve on the earliest-available member. */
+    Interval reserve(SimTime ready, SimTime duration);
+
+    /** Reserve and report which member served it. */
+    Interval reserve(SimTime ready, SimTime duration, int &member);
+
+    int size() const { return static_cast<int>(members_.size()); }
+    const Timeline &member(int i) const { return members_.at(i); }
+    SimTime earliestFree() const;
+    void reset();
+
+  private:
+    std::string name_;
+    std::vector<Timeline> members_;
+};
+
+} // namespace hcc::sim
+
+#endif // HCC_SIM_TIMELINE_HPP

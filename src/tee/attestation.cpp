@@ -1,0 +1,88 @@
+#include "tee/attestation.hpp"
+
+#include <cstring>
+
+namespace hcc::tee {
+
+MeasurementRegister::MeasurementRegister() = default;
+
+void
+MeasurementRegister::extend(std::span<const std::uint8_t> data)
+{
+    const auto event = crypto::Sha256::digest(data);
+    crypto::Sha256 h;
+    h.update(value_);
+    h.update(event);
+    value_ = h.finalize();
+    ++extensions_;
+}
+
+void
+MeasurementRegister::extendComponent(const std::string &name,
+                                     std::span<const std::uint8_t>
+                                         data)
+{
+    std::vector<std::uint8_t> measured(name.begin(), name.end());
+    measured.push_back(0);
+    measured.insert(measured.end(), data.begin(), data.end());
+    extend(measured);
+}
+
+AttestationService::AttestationService(
+    std::span<const std::uint8_t> platform_key)
+    : key_(platform_key.begin(), platform_key.end())
+{}
+
+std::vector<std::uint8_t>
+AttestationService::serialize(const Quote &quote) const
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(3 * crypto::kSha256DigestLen + 8);
+    out.insert(out.end(), quote.mrtd.begin(), quote.mrtd.end());
+    out.insert(out.end(), quote.rtmr.begin(), quote.rtmr.end());
+    out.insert(out.end(), quote.gpu_fw.begin(), quote.gpu_fw.end());
+    std::uint64_t n = quote.nonce;
+    for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<std::uint8_t>(n & 0xff));
+        n >>= 8;
+    }
+    return out;
+}
+
+Quote
+AttestationService::generateQuote(const MeasurementRegister &mrtd,
+                                  const MeasurementRegister &rtmr,
+                                  const MeasurementRegister &gpu_fw,
+                                  std::uint64_t nonce) const
+{
+    Quote q;
+    q.mrtd = mrtd.value();
+    q.rtmr = rtmr.value();
+    q.gpu_fw = gpu_fw.value();
+    q.nonce = nonce;
+    q.signature = crypto::hmacSha256(key_, serialize(q));
+    return q;
+}
+
+bool
+AttestationService::verifyQuote(
+    const Quote &quote, std::uint64_t expected_nonce,
+    const crypto::Sha256Digest &golden_mrtd,
+    const crypto::Sha256Digest &golden_rtmr,
+    const crypto::Sha256Digest &golden_gpu_fw) const
+{
+    const auto expect = crypto::hmacSha256(key_, serialize(quote));
+    // Single-pass comparison (no early exit on the signature).
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        acc |= static_cast<std::uint8_t>(expect[i]
+                                         ^ quote.signature[i]);
+    if (acc != 0)
+        return false;
+    if (quote.nonce != expected_nonce)
+        return false;
+    return quote.mrtd == golden_mrtd && quote.rtmr == golden_rtmr
+        && quote.gpu_fw == golden_gpu_fw;
+}
+
+} // namespace hcc::tee

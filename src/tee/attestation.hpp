@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Attestation model: measurement registers and signed quotes.
+ *
+ * Before a tenant trusts a TD + CC-GPU pair, it verifies evidence:
+ * the TDX module measures the TD (MRTD/RTMRs) and the GPU attests its
+ * firmware over SPDM (Sec. III).  This model implements the evidence
+ * chain functionally — real SHA-256 measurement extension and an
+ * HMAC-SHA-256 "signature" standing in for the ECDSA quote — so tests
+ * can demonstrate that tampered software stacks are rejected, plus a
+ * verification-latency cost for end-to-end accounting.
+ */
+
+#ifndef HCC_TEE_ATTESTATION_HPP
+#define HCC_TEE_ATTESTATION_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "crypto/sha256.hpp"
+
+namespace hcc::tee {
+
+/**
+ * A measurement register: extend-only SHA-256 chain, like a TPM PCR
+ * or TDX RTMR.
+ */
+class MeasurementRegister
+{
+  public:
+    MeasurementRegister();
+
+    /** Extend with a measured component: r = H(r || H(data)). */
+    void extend(std::span<const std::uint8_t> data);
+
+    /** Extend with a named component (name bytes are measured). */
+    void extendComponent(const std::string &name,
+                         std::span<const std::uint8_t> data);
+
+    const crypto::Sha256Digest &value() const { return value_; }
+    std::size_t extensions() const { return extensions_; }
+
+  private:
+    crypto::Sha256Digest value_{};
+    std::size_t extensions_ = 0;
+};
+
+/** Evidence produced by the platform for one TD + GPU binding. */
+struct Quote
+{
+    /** TD measurement (MRTD analog). */
+    crypto::Sha256Digest mrtd{};
+    /** Runtime measurement (RTMR analog: driver, CUDA stack). */
+    crypto::Sha256Digest rtmr{};
+    /** GPU firmware measurement (SPDM evidence). */
+    crypto::Sha256Digest gpu_fw{};
+    /** Freshness nonce supplied by the verifier. */
+    std::uint64_t nonce = 0;
+    /** HMAC-SHA-256 over the above under the platform key. */
+    crypto::Sha256Digest signature{};
+};
+
+/**
+ * Quote generation/verification with a shared platform key (the
+ * functional stand-in for the PKI chain).
+ */
+class AttestationService
+{
+  public:
+    /** @param platform_key provisioning secret (e.g. from SPDM). */
+    explicit AttestationService(
+        std::span<const std::uint8_t> platform_key);
+
+    /** Produce a quote over the current measurements. */
+    Quote generateQuote(const MeasurementRegister &mrtd,
+                        const MeasurementRegister &rtmr,
+                        const MeasurementRegister &gpu_fw,
+                        std::uint64_t nonce) const;
+
+    /**
+     * Verify a quote: signature valid, nonce matches, measurements
+     * equal the verifier's golden values.
+     */
+    [[nodiscard]] bool verifyQuote(
+        const Quote &quote, std::uint64_t expected_nonce,
+        const crypto::Sha256Digest &golden_mrtd,
+        const crypto::Sha256Digest &golden_rtmr,
+        const crypto::Sha256Digest &golden_gpu_fw) const;
+
+    /** Modeled wall-clock cost of generating a quote. */
+    static constexpr SimTime kQuoteGenCost = time::ms(12.0);
+    /** Modeled wall-clock cost of verifying a quote. */
+    static constexpr SimTime kQuoteVerifyCost = time::ms(3.5);
+
+  private:
+    std::vector<std::uint8_t> serialize(const Quote &quote) const;
+
+    std::vector<std::uint8_t> key_;
+};
+
+} // namespace hcc::tee
+
+#endif // HCC_TEE_ATTESTATION_HPP

@@ -1,0 +1,67 @@
+#include "tee/bounce_buffer.hpp"
+
+#include "common/log.hpp"
+
+namespace hcc::tee {
+
+BounceBufferPool::BounceBufferPool(Bytes slot_bytes, int slots)
+    : slot_bytes_(slot_bytes)
+{
+    if (slot_bytes == 0 || slots <= 0)
+        fatal("bounce pool requires positive slot size and count");
+    buffers_.resize(static_cast<std::size_t>(slots));
+    free_.reserve(static_cast<std::size_t>(slots));
+    for (int i = slots - 1; i >= 0; --i)
+        free_.push_back(i);
+}
+
+BounceSlot
+BounceBufferPool::acquire(SimTime ready)
+{
+    BounceSlot slot;
+    if (!free_.empty()) {
+        slot.index = free_.back();
+        free_.pop_back();
+        slot.acquired_at = ready;
+        return slot;
+    }
+    // Wait for the earliest release.
+    HCC_ASSERT(!busy_until_heap_.empty(), "pool has no slots at all");
+    const auto [release_time, index] = busy_until_heap_.top();
+    busy_until_heap_.pop();
+    slot.index = index;
+    slot.acquired_at = std::max(ready, release_time);
+    if (slot.acquired_at > ready) {
+        ++contention_;
+        contention_time_ += slot.acquired_at - ready;
+    }
+    return slot;
+}
+
+void
+BounceBufferPool::release(const BounceSlot &slot, SimTime when)
+{
+    HCC_ASSERT(slot.index >= 0
+               && slot.index < static_cast<int>(buffers_.size()),
+               "invalid bounce slot");
+    // Released slots park on the min-heap keyed by release time and
+    // are recycled by acquire(): the heap pop hands back the slot
+    // with the earliest release, waiting for it if necessary.  The
+    // free list only holds never-used slots, so the two sets stay
+    // disjoint by construction.
+    busy_until_heap_.emplace(when, slot.index);
+}
+
+std::vector<std::uint8_t> &
+BounceBufferPool::storage(const BounceSlot &slot)
+{
+    HCC_ASSERT(slot.index >= 0
+               && slot.index < static_cast<int>(buffers_.size()),
+               "invalid bounce slot");
+    auto &buf = buffers_[static_cast<std::size_t>(slot.index)];
+    if (buf.size() != slot_bytes_)
+        buf.resize(slot_bytes_);
+    return buf;
+}
+
+} // namespace hcc::tee

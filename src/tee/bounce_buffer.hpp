@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Bounce-buffer (swiotlb-style) pool model.
+ *
+ * Under TDX the GPU's DMA engines cannot reach the TD's private
+ * memory, so every transfer stages through hypervisor-managed shared
+ * memory — the bounce buffer (Sec. II-A).  This pool models a fixed
+ * carve-out of shared slots: acquisition is cheap while slots are
+ * free, and when the pool is exhausted callers must wait for the
+ * earliest release (back-pressure that throttles deep async
+ * pipelines).  The pool also carries real byte storage so the
+ * functional SecureChannel path can stage actual ciphertext.
+ */
+
+#ifndef HCC_TEE_BOUNCE_BUFFER_HPP
+#define HCC_TEE_BOUNCE_BUFFER_HPP
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace hcc::tee {
+
+/** Handle to an acquired bounce slot. */
+struct BounceSlot
+{
+    int index = -1;
+    /** Time at which the slot became usable by the caller. */
+    SimTime acquired_at = 0;
+};
+
+/**
+ * Fixed pool of equally-sized shared-memory slots.
+ */
+class BounceBufferPool
+{
+  public:
+    /**
+     * @param slot_bytes size of each slot (the staging chunk size).
+     * @param slots number of slots (pool capacity / slot size).
+     */
+    BounceBufferPool(Bytes slot_bytes, int slots);
+
+    /**
+     * Acquire a slot at time @p ready; if all slots are busy, the
+     * acquisition time is pushed to the earliest outstanding release.
+     */
+    BounceSlot acquire(SimTime ready);
+
+    /** Release a slot at time @p when. */
+    void release(const BounceSlot &slot, SimTime when);
+
+    /** Mutable access to a slot's backing storage (functional path). */
+    std::vector<std::uint8_t> &storage(const BounceSlot &slot);
+
+    Bytes slotBytes() const { return slot_bytes_; }
+    int slotCount() const { return static_cast<int>(free_.size()
+        + busy_until_heap_.size()); }
+    int freeSlots() const { return static_cast<int>(free_.size()); }
+
+    /** Total times a caller had to wait for a slot. */
+    std::uint64_t contentionEvents() const { return contention_; }
+    /** Total time callers spent waiting for slots. */
+    SimTime contentionTime() const { return contention_time_; }
+
+  private:
+    Bytes slot_bytes_;
+    std::vector<std::vector<std::uint8_t>> buffers_;
+    std::vector<int> free_;
+    // Min-heap of (release_time, slot) for busy slots.
+    std::priority_queue<std::pair<SimTime, int>,
+                        std::vector<std::pair<SimTime, int>>,
+                        std::greater<>> busy_until_heap_;
+    std::uint64_t contention_ = 0;
+    SimTime contention_time_ = 0;
+};
+
+} // namespace hcc::tee
+
+#endif // HCC_TEE_BOUNCE_BUFFER_HPP

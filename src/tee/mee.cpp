@@ -1,0 +1,77 @@
+#include "tee/mee.hpp"
+
+#include "common/log.hpp"
+
+namespace hcc::tee {
+
+MemoryEncryptionEngine::MemoryEncryptionEngine() = default;
+
+void
+MemoryEncryptionEngine::provisionKey(std::uint16_t key_id,
+                                     std::span<const std::uint8_t> key)
+{
+    if (key_id == 0)
+        fatal("key id 0 is reserved for bypass (shared pages)");
+    keys_.emplace(key_id, crypto::AesXts(key));
+}
+
+bool
+MemoryEncryptionEngine::hasKey(std::uint16_t key_id) const
+{
+    return keys_.find(key_id) != keys_.end();
+}
+
+const crypto::AesXts &
+MemoryEncryptionEngine::cipherFor(std::uint16_t key_id) const
+{
+    const auto it = keys_.find(key_id);
+    if (it == keys_.end())
+        fatal("no key provisioned for key id %u", key_id);
+    return it->second;
+}
+
+std::vector<std::uint8_t>
+MemoryEncryptionEngine::writeLine(std::uint16_t key_id,
+                                  std::uint64_t line_addr,
+                                  std::span<const std::uint8_t> data)
+{
+    std::vector<std::uint8_t> out(data.begin(), data.end());
+    if (key_id == 0) {
+        ++bypassed_;
+        return out;
+    }
+    if (data.size() % kMeeLineBytes != 0) {
+        fatal("MEE write of %zu bytes is not line aligned",
+              data.size());
+    }
+    const auto &xts = cipherFor(key_id);
+    for (Bytes off = 0; off < data.size(); off += kMeeLineBytes) {
+        std::span<std::uint8_t> line(out.data() + off, kMeeLineBytes);
+        xts.encrypt(line_addr + off / kMeeLineBytes, line, line);
+        ++lines_;
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+MemoryEncryptionEngine::readLine(std::uint16_t key_id,
+                                 std::uint64_t line_addr,
+                                 std::span<const std::uint8_t> data)
+{
+    std::vector<std::uint8_t> out(data.begin(), data.end());
+    if (key_id == 0) {
+        ++bypassed_;
+        return out;
+    }
+    if (data.size() % kMeeLineBytes != 0)
+        fatal("MEE read of %zu bytes is not line aligned", data.size());
+    const auto &xts = cipherFor(key_id);
+    for (Bytes off = 0; off < data.size(); off += kMeeLineBytes) {
+        std::span<std::uint8_t> line(out.data() + off, kMeeLineBytes);
+        xts.decrypt(line_addr + off / kMeeLineBytes, line, line);
+        ++lines_;
+    }
+    return out;
+}
+
+} // namespace hcc::tee

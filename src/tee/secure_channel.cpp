@@ -1,0 +1,196 @@
+#include "tee/secure_channel.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace hcc::tee {
+
+SecureChannel::SecureChannel(const ChannelConfig &config,
+                             const SpdmSession &session)
+    : config_(config),
+      cpu_model_(config.cpu),
+      crypto_workers_("cc.crypto", std::max(1, config.crypto_workers)),
+      gpu_crypto_("cc.gpu_crypto"),
+      pool_(config.chunk_bytes, config.bounce_slots),
+      gcm_(session.key()),
+      iv_seq_(static_cast<std::uint32_t>(session.sessionId()))
+{
+    if (config.chunk_bytes == 0)
+        fatal("secure channel chunk size must be positive");
+    if (config.crypto_workers < 1)
+        fatal("secure channel needs at least one crypto worker");
+}
+
+SimTime
+SecureChannel::workerChunkCost(Bytes bytes, pcie::Direction dir) const
+{
+    // Steps b + c run serially on one worker: authenticated
+    // encryption at the modeled single-core rate, then a streaming
+    // copy of the ciphertext into the shared slot.
+    const SimTime encrypt = cpu_model_.cost(config_.algo, bytes, 1);
+    SimTime copy = transferTime(bytes, config_.bounce_copy_gbps);
+    if (dir == pcie::Direction::DeviceToHost) {
+        // Inbound data lands in shared bounce pages and must be
+        // scrubbed into TD-private pages with per-page handling.
+        const Bytes pages =
+            (bytes + calib::kUvmPageBytes - 1) / calib::kUvmPageBytes;
+        copy += calib::kCcInboundPerPage
+            * static_cast<SimTime>(pages);
+    }
+    return encrypt + copy;
+}
+
+TransferTiming
+SecureChannel::scheduleTransfer(SimTime ready, Bytes bytes,
+                                pcie::Direction dir,
+                                pcie::PcieLink &link, TdxModule &tdx)
+{
+    TransferTiming timing;
+    bytes_ += bytes;
+
+    // Fixed per-transfer control path: command submission doorbell
+    // plus a guest<->host round trip to program the copy engine.
+    SimTime t = ready;
+    t += tdx.mmioDoorbell();
+    t += tdx.guestHostRoundTrips(1);
+    timing.fixed_overhead = t - ready;
+
+    if (bytes == 0) {
+        timing.total = {ready, t};
+        return timing;
+    }
+
+    if (config_.tee_io) {
+        // Hardware link encryption: DMA straight from private memory
+        // at a small bandwidth tax, no software stages.
+        const double gbps =
+            link.config().effective_gbps * calib::kTeeIoEfficiency;
+        const auto iv = link.dma(t, bytes, dir, gbps);
+        timing.dma_busy = iv.duration();
+        timing.chunks = 1;
+        timing.total = {ready, iv.end};
+        return timing;
+    }
+
+    // Chunked pipeline: worker (encrypt+copy) -> DMA -> GPU crypto.
+    // For D2H the stages run in the reverse order with the same
+    // bottleneck structure; we model both with the same three-stage
+    // chain since only the bottleneck and fill time matter.
+    SimTime done = t;
+    Bytes remaining = bytes;
+    while (remaining > 0) {
+        const Bytes chunk =
+            std::min<Bytes>(remaining, config_.chunk_bytes);
+        remaining -= chunk;
+        ++timing.chunks;
+
+        const auto worker =
+            crypto_workers_.reserve(t, workerChunkCost(chunk, dir));
+        timing.encrypt_busy += worker.duration();
+
+        // The ciphertext needs a bounce slot from the moment the
+        // copy lands until the DMA drains it.
+        auto slot = pool_.acquire(worker.end);
+        const auto dma = link.dma(slot.acquired_at, chunk, dir);
+        timing.dma_busy += dma.duration();
+        pool_.release(slot, dma.end);
+
+        const auto gpu = gpu_crypto_.reserve(
+            dma.end, transferTime(chunk, config_.gpu_crypto_gbps));
+        timing.gpu_crypto_busy += gpu.duration();
+        done = std::max(done, gpu.end);
+    }
+
+    timing.total = {ready, done};
+    return timing;
+}
+
+double
+SecureChannel::steadyStateGbps(const pcie::PcieLink &link,
+                               pcie::Direction dir) const
+{
+    if (config_.tee_io)
+        return link.config().effective_gbps * calib::kTeeIoEfficiency;
+    // One worker processes a chunk in workerChunkCost; with w workers
+    // w chunks are in flight, scaling the stage rate by w.
+    const double one_worker_gbps =
+        static_cast<double>(config_.chunk_bytes)
+        / (static_cast<double>(
+               workerChunkCost(config_.chunk_bytes, dir))
+           * 1e-3);
+    const double worker_stage = one_worker_gbps
+        * static_cast<double>(crypto_workers_.size());
+    return std::min({worker_stage, link.config().effective_gbps,
+                     config_.gpu_crypto_gbps});
+}
+
+SimTime
+SecureChannel::transferDuration(Bytes bytes, const pcie::PcieLink &link,
+                                pcie::Direction dir) const
+{
+    if (bytes == 0)
+        return 0;
+    if (config_.tee_io) {
+        return link.dmaDuration(
+            bytes,
+            link.config().effective_gbps * calib::kTeeIoEfficiency);
+    }
+    SimTime total = 0;
+    Bytes remaining = bytes;
+    while (remaining > 0) {
+        const Bytes chunk =
+            std::min<Bytes>(remaining, config_.chunk_bytes);
+        remaining -= chunk;
+        total += workerChunkCost(chunk, dir);
+        total += link.dmaDuration(chunk);
+        total += transferTime(chunk, config_.gpu_crypto_gbps);
+    }
+    return total;
+}
+
+bool
+SecureChannel::transferFunctional(
+    std::span<const std::uint8_t> src, std::span<std::uint8_t> dst,
+    const std::function<void(std::vector<std::uint8_t> &)> &tamper)
+{
+    HCC_ASSERT(dst.size() >= src.size(),
+               "functional transfer destination too small");
+
+    bool ok = true;
+    std::size_t off = 0;
+    while (off < src.size()) {
+        const std::size_t chunk = std::min<std::size_t>(
+            config_.chunk_bytes, src.size() - off);
+
+        // Step b: seal the chunk.
+        const auto iv = iv_seq_.next();
+        auto slot = pool_.acquire(0);
+        auto &stage = pool_.storage(slot);
+        if (stage.size() < chunk + crypto::kGcmTagLen)
+            stage.resize(chunk + crypto::kGcmTagLen);
+        std::uint8_t tag[crypto::kGcmTagLen];
+        gcm_.seal(iv, {}, src.subspan(off, chunk),
+                  std::span<std::uint8_t>(stage.data(), chunk), tag);
+        std::copy(tag, tag + crypto::kGcmTagLen,
+                  stage.begin() + static_cast<std::ptrdiff_t>(chunk));
+
+        // Step c/d: the ciphertext sits in untrusted shared memory;
+        // a malicious hypervisor may do anything to it here.
+        if (tamper)
+            tamper(stage);
+
+        // Step e: the far side authenticates and decrypts.
+        const bool chunk_ok = gcm_.open(
+            iv, {},
+            std::span<const std::uint8_t>(stage.data(), chunk),
+            stage.data() + chunk, dst.subspan(off, chunk));
+        ok = ok && chunk_ok;
+
+        pool_.release(slot, 0);
+        off += chunk;
+    }
+    return ok;
+}
+
+} // namespace hcc::tee

@@ -1,0 +1,18 @@
+#include "tee/spdm.hpp"
+
+#include "common/rng.hpp"
+
+namespace hcc::tee {
+
+SpdmSession
+SpdmSession::establish(std::uint64_t seed)
+{
+    SpdmSession s;
+    Rng rng(seed, 0x5d4a);
+    s.session_id_ = rng.next64();
+    for (auto &b : s.key_)
+        b = static_cast<std::uint8_t>(rng.next32());
+    return s;
+}
+
+} // namespace hcc::tee

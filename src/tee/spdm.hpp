@@ -1,0 +1,52 @@
+/**
+ * @file
+ * SPDM session model.
+ *
+ * PCIe 5.0 has no native link encryption (IDE arrived later), so
+ * NVIDIA CC attests the GPU and derives the AES-GCM transfer keys
+ * over SPDM (Sec. III).  We model the handshake as a one-time cost
+ * at CC-mode device initialization and functionally derive a shared
+ * session key both ends use for the SecureChannel.
+ */
+
+#ifndef HCC_TEE_SPDM_HPP
+#define HCC_TEE_SPDM_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace hcc::tee {
+
+/** Established SPDM session state. */
+class SpdmSession
+{
+  public:
+    /** Session key length (AES-256-GCM per the H100 CC design). */
+    static constexpr std::size_t kKeyLen = 32;
+
+    /**
+     * Run the attestation + key-exchange handshake.
+     * @param seed deterministic seed standing in for the DH exchange.
+     */
+    static SpdmSession establish(std::uint64_t seed);
+
+    /** One-time wall-clock cost of the handshake (measurement, cert
+     *  chain verification, key schedule). */
+    static constexpr SimTime kHandshakeCost = time::ms(180.0);
+
+    const std::array<std::uint8_t, kKeyLen> &key() const { return key_; }
+
+    std::uint64_t sessionId() const { return session_id_; }
+
+  private:
+    SpdmSession() = default;
+
+    std::array<std::uint8_t, kKeyLen> key_{};
+    std::uint64_t session_id_ = 0;
+};
+
+} // namespace hcc::tee
+
+#endif // HCC_TEE_SPDM_HPP

@@ -1,0 +1,79 @@
+#include "tee/tdx.hpp"
+
+#include "common/log.hpp"
+
+namespace hcc::tee {
+
+TdxModule::TdxModule(bool cc_enabled)
+    : cc_(cc_enabled)
+{}
+
+SimTime
+TdxModule::guestHostRoundTrips(int count)
+{
+    HCC_ASSERT(count >= 0, "negative round-trip count");
+    if (count == 0)
+        return 0;
+    if (cc_) {
+        const SimTime t = calib::kTdxHypercallLatency * count;
+        stats_.hypercalls += static_cast<std::uint64_t>(count);
+        stats_.hypercall_time += t;
+        return t;
+    }
+    const SimTime t = calib::kVmcallLatency * count;
+    stats_.vmexits += static_cast<std::uint64_t>(count);
+    stats_.vmexit_time += t;
+    return t;
+}
+
+SimTime
+TdxModule::seamcalls(int count)
+{
+    HCC_ASSERT(count >= 0, "negative seamcall count");
+    if (!cc_ || count == 0)
+        return 0;
+    const SimTime t = calib::kSeamcallLatency * count;
+    stats_.seamcalls += static_cast<std::uint64_t>(count);
+    stats_.seamcall_time += t;
+    return t;
+}
+
+SimTime
+TdxModule::convertPages(Bytes bytes)
+{
+    if (!cc_ || bytes == 0)
+        return 0;
+    const Bytes pages =
+        (bytes + calib::kUvmPageBytes - 1) / calib::kUvmPageBytes;
+    const SimTime t =
+        calib::kPageConvertPerPage * static_cast<SimTime>(pages);
+    stats_.pages_converted += pages;
+    stats_.page_convert_time += t;
+    return t;
+}
+
+SimTime
+TdxModule::dmaAlloc(Bytes bytes)
+{
+    if (!cc_)
+        return 0;
+    SimTime t = calib::kDmaAllocFixed;
+    stats_.dma_allocs += 1;
+    stats_.dma_alloc_time += calib::kDmaAllocFixed;
+    t += convertPages(bytes);
+    return t;
+}
+
+SimTime
+TdxModule::mmioDoorbell()
+{
+    if (cc_) {
+        // Trapped via #VE and forwarded as a hypercall.
+        stats_.hypercalls += 1;
+        stats_.hypercall_time += calib::kMmioDoorbellTd;
+        return calib::kMmioDoorbellTd;
+    }
+    return calib::kMmioDoorbellBase;
+}
+
+} // namespace hcc::tee

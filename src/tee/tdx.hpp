@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Intel TDX cost and accounting model.
+ *
+ * A TD cannot touch the outside world directly: every interaction
+ * with the hypervisor or a device MMIO region traps through the TDX
+ * module (#VE -> tdx_hypercall -> SEAM root -> host and back).  The
+ * paper attributes the bulk of the CC kernel-launch and allocation
+ * overheads to these transitions ([16]: a tdx_hypercall costs >470%
+ * of a plain vmcall).  This class converts "number of guest<->host
+ * round trips" into simulated time and keeps auditable counters, and
+ * also prices page-attribute conversion (set_memory_decrypted) and
+ * bounce-buffer carve-outs (dma_direct_alloc) — the two dominant
+ * callees in the paper's Fig. 8 launch flame graph.
+ */
+
+#ifndef HCC_TEE_TDX_HPP
+#define HCC_TEE_TDX_HPP
+
+#include <cstdint>
+
+#include "common/calibration.hpp"
+#include "common/units.hpp"
+
+namespace hcc::tee {
+
+/** Counters of TDX-related transitions, for Fig. 8-style breakdowns. */
+struct TdxStats
+{
+    std::uint64_t hypercalls = 0;
+    std::uint64_t seamcalls = 0;
+    std::uint64_t vmexits = 0;           //!< non-TD guest exits
+    std::uint64_t pages_converted = 0;
+    std::uint64_t dma_allocs = 0;
+    SimTime hypercall_time = 0;
+    SimTime seamcall_time = 0;
+    SimTime vmexit_time = 0;
+    SimTime page_convert_time = 0;
+    SimTime dma_alloc_time = 0;
+
+    SimTime
+    totalTime() const
+    {
+        return hypercall_time + seamcall_time + vmexit_time
+            + page_convert_time + dma_alloc_time;
+    }
+};
+
+/**
+ * The TDX module boundary for one TD (or, with cc disabled, the plain
+ * VMX boundary for a regular VM).  All cost methods return the time
+ * charged and update counters.
+ */
+class TdxModule
+{
+  public:
+    /** @param cc_enabled true for a TD, false for a regular VM. */
+    explicit TdxModule(bool cc_enabled);
+
+    bool ccEnabled() const { return cc_; }
+
+    /**
+     * Charge @p count guest->host round trips.  Under CC these are
+     * tdx_hypercalls; in a regular VM they are plain vmexits.
+     */
+    SimTime guestHostRoundTrips(int count);
+
+    /** Charge @p count TD<->TDX-module transitions (seamcalls). */
+    SimTime seamcalls(int count);
+
+    /**
+     * Charge conversion of @p bytes of private memory to shared (or
+     * back): set_memory_decrypted page-attribute walks.  No-op (zero
+     * cost) when CC is off.
+     */
+    SimTime convertPages(Bytes bytes);
+
+    /**
+     * Charge a dma_direct_alloc bounce-buffer carve-out of @p bytes,
+     * including the page conversion of the carved region.  No-op when
+     * CC is off.
+     */
+    SimTime dmaAlloc(Bytes bytes);
+
+    /** Cost of one MMIO doorbell write from the guest. */
+    SimTime mmioDoorbell();
+
+    const TdxStats &stats() const { return stats_; }
+    void resetStats() { stats_ = TdxStats{}; }
+
+  private:
+    bool cc_;
+    TdxStats stats_;
+};
+
+} // namespace hcc::tee
+
+#endif // HCC_TEE_TDX_HPP

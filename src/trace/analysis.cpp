@@ -1,0 +1,137 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hcc::trace {
+
+AppMetrics
+analyze(const Tracer &tracer)
+{
+    AppMetrics m;
+    for (const auto &e : tracer.events()) {
+        const auto d = static_cast<double>(e.duration());
+        switch (e.kind) {
+          case EventKind::Launch:
+            m.klo.add(d);
+            m.lqt.add(static_cast<double>(e.queue_wait));
+            ++m.launches;
+            break;
+          case EventKind::GraphLaunch:
+            m.klo.add(d);
+            m.lqt.add(static_cast<double>(e.queue_wait));
+            ++m.launches;
+            break;
+          case EventKind::Kernel:
+            m.kqt.add(static_cast<double>(e.queue_wait));
+            m.ket.add(d);
+            ++m.kernels;
+            break;
+          case EventKind::MemcpyH2D:
+            m.copy_h2d += e.duration();
+            break;
+          case EventKind::MemcpyD2H:
+            m.copy_d2h += e.duration();
+            break;
+          case EventKind::MemcpyD2D:
+            m.copy_d2d += e.duration();
+            break;
+          case EventKind::MallocDevice:
+            m.alloc_device += e.duration();
+            break;
+          case EventKind::MallocHost:
+            m.alloc_host += e.duration();
+            break;
+          case EventKind::MallocManaged:
+            m.alloc_managed += e.duration();
+            break;
+          case EventKind::Free:
+            m.free_time += e.duration();
+            break;
+          case EventKind::Sync:
+            m.sync_time += e.duration();
+            break;
+        }
+    }
+    m.end_to_end = tracer.span();
+    return m;
+}
+
+SimTime
+unionCoverage(std::vector<std::pair<SimTime, SimTime>> spans)
+{
+    if (spans.empty())
+        return 0;
+    std::sort(spans.begin(), spans.end());
+    SimTime covered = 0;
+    SimTime cur_start = spans.front().first;
+    SimTime cur_end = spans.front().second;
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+        const auto &[s, e] = spans[i];
+        if (s > cur_end) {
+            covered += cur_end - cur_start;
+            cur_start = s;
+            cur_end = e;
+        } else {
+            cur_end = std::max(cur_end, e);
+        }
+    }
+    covered += cur_end - cur_start;
+    return covered;
+}
+
+SimTime
+overlapWith(SimTime s, SimTime e,
+            const std::vector<std::pair<SimTime, SimTime>> &spans)
+{
+    if (e <= s)
+        return 0;
+    std::vector<std::pair<SimTime, SimTime>> clipped;
+    clipped.reserve(spans.size());
+    for (const auto &[a, b] : spans) {
+        const SimTime lo = std::max(a, s);
+        const SimTime hi = std::min(b, e);
+        if (hi > lo)
+            clipped.emplace_back(lo, hi);
+    }
+    return unionCoverage(std::move(clipped));
+}
+
+std::vector<EventPoint>
+eventScatter(const Tracer &tracer, EventKind kind,
+             std::size_t drop_longest)
+{
+    auto events = tracer.ofKind(kind);
+    if (drop_longest > 0 && drop_longest < events.size()) {
+        std::sort(events.begin(), events.end(),
+                  [](const TraceEvent &a, const TraceEvent &b) {
+                      return a.duration() > b.duration();
+                  });
+        events.erase(events.begin(),
+                     events.begin()
+                         + static_cast<std::ptrdiff_t>(drop_longest));
+    }
+    std::sort(events.begin(), events.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  return a.start < b.start;
+              });
+    std::vector<EventPoint> pts;
+    pts.reserve(events.size());
+    for (const auto &e : events) {
+        pts.push_back({time::toUs(e.start),
+                       time::toUs(e.duration())});
+    }
+    return pts;
+}
+
+double
+kernelToLaunchRatio(const AppMetrics &m)
+{
+    const double denom =
+        static_cast<double>(m.sumKlo() + m.sumLqt());
+    if (denom <= 0.0)
+        return std::numeric_limits<double>::max();
+    return static_cast<double>(m.sumKet()) / denom;
+}
+
+} // namespace hcc::trace

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Trace analysis: extracts the paper's metrics from a Tracer.
+ *
+ * Definitions follow Sec. V / Fig. 3:
+ *   KLO — duration of a host-side launch operation,
+ *   LQT — wait before the next consecutive launch can start,
+ *   KQT — wait between kernel enqueue and execution start,
+ *   KET — kernel execution duration,
+ *   T_mem — memcpy time, T_other — alloc/free/sync.
+ */
+
+#ifndef HCC_TRACE_ANALYSIS_HPP
+#define HCC_TRACE_ANALYSIS_HPP
+
+#include <utility>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "trace/tracer.hpp"
+
+namespace hcc::trace {
+
+/** Per-application summary of the paper's metrics. */
+struct AppMetrics
+{
+    // Launch-side (part B).
+    SampleSet klo;   //!< per-launch overheads
+    SampleSet lqt;   //!< per-gap launch queuing times
+    // Kernel-side (part C).
+    SampleSet kqt;   //!< per-kernel queuing times
+    SampleSet ket;   //!< per-kernel execution times
+    // Memory (parts A and D).
+    SimTime copy_h2d = 0;
+    SimTime copy_d2h = 0;
+    SimTime copy_d2d = 0;
+    SimTime alloc_device = 0;
+    SimTime alloc_host = 0;
+    SimTime alloc_managed = 0;
+    SimTime free_time = 0;
+    SimTime sync_time = 0;
+    /** End-to-end span of the trace. */
+    SimTime end_to_end = 0;
+    int launches = 0;
+    int kernels = 0;
+
+    SimTime copyTotal() const { return copy_h2d + copy_d2h + copy_d2d; }
+    SimTime sumKlo() const { return static_cast<SimTime>(klo.sum()); }
+    SimTime sumLqt() const { return static_cast<SimTime>(lqt.sum()); }
+    SimTime sumKqt() const { return static_cast<SimTime>(kqt.sum()); }
+    SimTime sumKet() const { return static_cast<SimTime>(ket.sum()); }
+};
+
+/** Extract the per-app metrics from a trace. */
+AppMetrics analyze(const Tracer &tracer);
+
+/**
+ * Merge intervals and return total covered time — used for the
+ * overlap (alpha/beta) estimation in the performance model.
+ */
+SimTime unionCoverage(std::vector<std::pair<SimTime, SimTime>> spans);
+
+/**
+ * Time of interval [s, e) covered by the union of @p spans.
+ */
+SimTime overlapWith(SimTime s, SimTime e,
+                    const std::vector<std::pair<SimTime, SimTime>>
+                        &spans);
+
+/** An (x = start us, y = duration us) point for Fig. 10 scatters. */
+struct EventPoint
+{
+    double start_us = 0.0;
+    double duration_us = 0.0;
+};
+
+/**
+ * Fig. 10 scatter series for one event kind, with the longest
+ * @p drop_longest events removed for display (paper's method).
+ */
+std::vector<EventPoint> eventScatter(const Tracer &tracer,
+                                     EventKind kind,
+                                     std::size_t drop_longest = 1);
+
+/**
+ * Kernel-to-Launch Ratio (Observation 6): sum(KET) over
+ * sum(KLO + LQT).  Returns +inf-like large value when the
+ * denominator is zero.
+ */
+double kernelToLaunchRatio(const AppMetrics &m);
+
+} // namespace hcc::trace
+
+#endif // HCC_TRACE_ANALYSIS_HPP

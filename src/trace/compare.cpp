@@ -1,0 +1,107 @@
+#include "trace/compare.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hcc::trace {
+
+namespace {
+
+const std::vector<EventKind> &
+allKinds()
+{
+    static const std::vector<EventKind> kinds = {
+        EventKind::Launch, EventKind::GraphLaunch, EventKind::Kernel,
+        EventKind::MemcpyH2D, EventKind::MemcpyD2H,
+        EventKind::MemcpyD2D, EventKind::MallocDevice,
+        EventKind::MallocHost, EventKind::MallocManaged,
+        EventKind::Free, EventKind::Sync,
+    };
+    return kinds;
+}
+
+} // namespace
+
+std::string
+TraceDiff::report() const
+{
+    std::ostringstream oss;
+    oss << "end-to-end: " << formatTime(span_a) << " -> "
+        << formatTime(span_b) << " ("
+        << (span_a > 0 ? static_cast<double>(span_b)
+                     / static_cast<double>(span_a)
+                       : 0.0)
+        << "x)\n\nper event kind:\n";
+    for (const auto &k : kinds) {
+        oss << "  " << eventKindName(k.kind) << ": "
+            << formatTime(k.total_a) << " -> "
+            << formatTime(k.total_b) << " (+"
+            << formatTime(k.delta()) << ", " << k.count_a << "/"
+            << k.count_b << " events)\n";
+    }
+    if (!top_events.empty()) {
+        oss << "\nworst individual regressions:\n";
+        for (const auto &e : top_events) {
+            oss << "  " << eventKindName(e.kind) << " '" << e.name
+                << "' #" << e.index << ": "
+                << formatTime(e.duration_a) << " -> "
+                << formatTime(e.duration_b) << " (+"
+                << formatTime(e.delta()) << ")\n";
+        }
+    }
+    if (unaligned > 0)
+        oss << "\n(" << unaligned << " events had no counterpart)\n";
+    return oss.str();
+}
+
+TraceDiff
+compareTraces(const Tracer &a, const Tracer &b, std::size_t top_n)
+{
+    TraceDiff diff;
+    diff.span_a = a.span();
+    diff.span_b = b.span();
+
+    std::vector<EventDelta> candidates;
+    for (const auto kind : allKinds()) {
+        const auto ea = a.ofKind(kind);
+        const auto eb = b.ofKind(kind);
+        if (ea.empty() && eb.empty())
+            continue;
+
+        KindDelta kd;
+        kd.kind = kind;
+        kd.count_a = ea.size();
+        kd.count_b = eb.size();
+        for (const auto &e : ea)
+            kd.total_a += e.duration();
+        for (const auto &e : eb)
+            kd.total_b += e.duration();
+        diff.kinds.push_back(kd);
+
+        const std::size_t aligned = std::min(ea.size(), eb.size());
+        diff.unaligned += std::max(ea.size(), eb.size()) - aligned;
+        for (std::size_t i = 0; i < aligned; ++i) {
+            EventDelta ed;
+            ed.kind = kind;
+            ed.name = eb[i].name;
+            ed.index = i;
+            ed.duration_a = ea[i].duration();
+            ed.duration_b = eb[i].duration();
+            candidates.push_back(std::move(ed));
+        }
+    }
+
+    std::sort(candidates.begin(), candidates.end(),
+              [](const EventDelta &x, const EventDelta &y) {
+                  return x.delta() > y.delta();
+              });
+    if (candidates.size() > top_n)
+        candidates.resize(top_n);
+    // Drop non-regressions from the "worst" list.
+    while (!candidates.empty() && candidates.back().delta() <= 0)
+        candidates.pop_back();
+    diff.top_events = std::move(candidates);
+    return diff;
+}
+
+} // namespace hcc::trace

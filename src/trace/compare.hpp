@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Trace comparison: the paper's event-level analysis (Sec. VI-B) as
+ * a tool.  Aligns a base and a CC trace of the same program by event
+ * order within each kind and reports where the extra time went —
+ * per event kind and for the worst individual offenders.
+ */
+
+#ifndef HCC_TRACE_COMPARE_HPP
+#define HCC_TRACE_COMPARE_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "trace/tracer.hpp"
+
+namespace hcc::trace {
+
+/** Aggregate delta for one event kind. */
+struct KindDelta
+{
+    EventKind kind = EventKind::Launch;
+    std::size_t count_a = 0;
+    std::size_t count_b = 0;
+    SimTime total_a = 0;
+    SimTime total_b = 0;
+
+    SimTime delta() const { return total_b - total_a; }
+    double
+    ratio() const
+    {
+        return total_a > 0
+            ? static_cast<double>(total_b)
+                  / static_cast<double>(total_a)
+            : 0.0;
+    }
+};
+
+/** One aligned event pair with a large delta. */
+struct EventDelta
+{
+    EventKind kind = EventKind::Launch;
+    std::string name;
+    /** Ordinal of the event within its kind. */
+    std::size_t index = 0;
+    SimTime duration_a = 0;
+    SimTime duration_b = 0;
+
+    SimTime delta() const { return duration_b - duration_a; }
+};
+
+/** Full comparison result. */
+struct TraceDiff
+{
+    /** End-to-end spans. */
+    SimTime span_a = 0;
+    SimTime span_b = 0;
+    /** Per-kind aggregates (only kinds present in either trace). */
+    std::vector<KindDelta> kinds;
+    /** The largest individual regressions, sorted by delta. */
+    std::vector<EventDelta> top_events;
+    /** Events that could not be aligned (count mismatch), per kind. */
+    std::size_t unaligned = 0;
+
+    /** Render a human-readable report. */
+    std::string report() const;
+};
+
+/**
+ * Compare two traces of the same program (a = baseline, b = changed,
+ * e.g. base vs CC).  Events are aligned by order within each kind;
+ * differing counts are tolerated (extras counted as unaligned).
+ * @param top_n how many worst event regressions to retain.
+ */
+TraceDiff compareTraces(const Tracer &a, const Tracer &b,
+                        std::size_t top_n = 10);
+
+} // namespace hcc::trace
+
+#endif // HCC_TRACE_COMPARE_HPP

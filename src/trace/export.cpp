@@ -1,0 +1,96 @@
+#include "trace/export.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace hcc::trace {
+
+namespace {
+
+/** JSON-escape a label (our names are simple, but be safe). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+bool
+isHostSide(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Launch:
+      case EventKind::GraphLaunch:
+      case EventKind::MallocDevice:
+      case EventKind::MallocHost:
+      case EventKind::MallocManaged:
+      case EventKind::Free:
+      case EventKind::Sync:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+void
+exportChromeTrace(const Tracer &tracer, std::ostream &os)
+{
+    os << "[\n";
+    bool first = true;
+    for (const auto &e : tracer.events()) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        const bool host = isHostSide(e.kind);
+        const int pid = host ? 1 : 2;
+        const int tid = host ? 0 : (e.stream < 0 ? 0 : e.stream);
+        os << "  {\"name\": \"" << jsonEscape(e.name) << "\", "
+           << "\"cat\": \"" << eventKindName(e.kind) << "\", "
+           << "\"ph\": \"X\", "
+           << "\"ts\": " << time::toUs(e.start) << ", "
+           << "\"dur\": " << time::toUs(e.duration()) << ", "
+           << "\"pid\": " << pid << ", \"tid\": " << tid << ", "
+           << "\"args\": {\"bytes\": " << e.bytes
+           << ", \"queue_wait_us\": " << time::toUs(e.queue_wait)
+           << ", \"correlation\": " << e.correlation
+           << ", \"encrypted_paging\": "
+           << (e.encrypted_paging ? "true" : "false") << "}}";
+    }
+    os << "\n]\n";
+}
+
+std::string
+chromeTraceJson(const Tracer &tracer)
+{
+    std::ostringstream oss;
+    exportChromeTrace(tracer, oss);
+    return oss.str();
+}
+
+void
+exportCsv(const Tracer &tracer, std::ostream &os)
+{
+    os << "kind,name,start_us,end_us,duration_us,stream,"
+          "correlation,bytes,queue_wait_us,encrypted_paging\n";
+    for (const auto &e : tracer.events()) {
+        os << eventKindName(e.kind) << ',' << e.name << ','
+           << time::toUs(e.start) << ',' << time::toUs(e.end) << ','
+           << time::toUs(e.duration()) << ',' << e.stream << ','
+           << e.correlation << ',' << e.bytes << ','
+           << time::toUs(e.queue_wait) << ','
+           << (e.encrypted_paging ? 1 : 0) << '\n';
+    }
+}
+
+} // namespace hcc::trace

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Trace export: Chrome trace-event JSON (loadable in Perfetto /
+ * chrome://tracing) and CSV, so simulated timelines can be inspected
+ * with the same tooling people use on real Nsight exports.
+ */
+
+#ifndef HCC_TRACE_EXPORT_HPP
+#define HCC_TRACE_EXPORT_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/tracer.hpp"
+
+namespace hcc::trace {
+
+/**
+ * Emit the trace as a Chrome trace-event JSON array of complete ("X")
+ * events.  Tracks: host API activity (launch/alloc/sync, pid 1) and
+ * device activity per stream (kernels/copies, pid 2, tid = stream).
+ */
+void exportChromeTrace(const Tracer &tracer, std::ostream &os);
+
+/** Convenience: render the Chrome trace to a string. */
+std::string chromeTraceJson(const Tracer &tracer);
+
+/** Emit the raw events as CSV (one row per event). */
+void exportCsv(const Tracer &tracer, std::ostream &os);
+
+} // namespace hcc::trace
+
+#endif // HCC_TRACE_EXPORT_HPP

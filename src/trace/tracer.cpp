@@ -1,0 +1,82 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace hcc::trace {
+
+std::string
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Launch: return "Launch";
+      case EventKind::Kernel: return "Kernel";
+      case EventKind::MemcpyH2D: return "MemcpyH2D";
+      case EventKind::MemcpyD2H: return "MemcpyD2H";
+      case EventKind::MemcpyD2D: return "MemcpyD2D";
+      case EventKind::MallocDevice: return "MallocDevice";
+      case EventKind::MallocHost: return "MallocHost";
+      case EventKind::MallocManaged: return "MallocManaged";
+      case EventKind::Free: return "Free";
+      case EventKind::Sync: return "Sync";
+      case EventKind::GraphLaunch: return "GraphLaunch";
+    }
+    return "?";
+}
+
+std::uint64_t
+Tracer::record(TraceEvent event)
+{
+    HCC_ASSERT(event.end >= event.start, "event ends before it starts");
+    if (event.correlation == 0)
+        event.correlation = next_correlation_++;
+    else
+        next_correlation_ = std::max(next_correlation_,
+                                     event.correlation + 1);
+    const std::uint64_t id = event.correlation;
+    events_.push_back(std::move(event));
+    return id;
+}
+
+std::vector<TraceEvent>
+Tracer::ofKind(EventKind kind) const
+{
+    std::vector<TraceEvent> out;
+    for (const auto &e : events_) {
+        if (e.kind == kind)
+            out.push_back(e);
+    }
+    return out;
+}
+
+SimTime
+Tracer::firstStart() const
+{
+    if (events_.empty())
+        return 0;
+    SimTime t = events_.front().start;
+    for (const auto &e : events_)
+        t = std::min(t, e.start);
+    return t;
+}
+
+SimTime
+Tracer::lastEnd() const
+{
+    if (events_.empty())
+        return 0;
+    SimTime t = events_.front().end;
+    for (const auto &e : events_)
+        t = std::max(t, e.end);
+    return t;
+}
+
+void
+Tracer::clear()
+{
+    events_.clear();
+    next_correlation_ = 1;
+}
+
+} // namespace hcc::trace

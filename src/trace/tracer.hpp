@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Event tracer: the simulator's Nsight Systems.
+ *
+ * Every runtime API call and device activity is recorded as a timed
+ * event.  The analysis layer (analysis.hpp) extracts the paper's
+ * metrics — KLO, LQT, KQT, KET, copy/alloc breakdowns and CDFs —
+ * from these traces, exactly as the paper derives them from Nsight
+ * reports.
+ */
+
+#ifndef HCC_TRACE_TRACER_HPP
+#define HCC_TRACE_TRACER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace hcc::trace {
+
+/** Categories of traced events. */
+enum class EventKind
+{
+    Launch,        //!< host-side cudaLaunchKernel (duration = KLO)
+    Kernel,        //!< device-side execution (duration = KET)
+    MemcpyH2D,
+    MemcpyD2H,
+    MemcpyD2D,
+    MallocDevice,  //!< cudaMalloc
+    MallocHost,    //!< cudaMallocHost
+    MallocManaged, //!< cudaMallocManaged
+    Free,          //!< cudaFree
+    Sync,          //!< host blocked in a synchronize call
+    GraphLaunch,   //!< cudaGraphLaunch batch submission
+};
+
+/** Printable kind name. */
+std::string eventKindName(EventKind kind);
+
+/** One traced event. */
+struct TraceEvent
+{
+    EventKind kind = EventKind::Launch;
+    /** Kernel or API label. */
+    std::string name;
+    SimTime start = 0;
+    SimTime end = 0;
+    /** Stream the event belongs to (-1: none). */
+    int stream = -1;
+    /** Links a Launch to its Kernel event. */
+    std::uint64_t correlation = 0;
+    /** Payload size for memory events. */
+    Bytes bytes = 0;
+    /**
+     * Queue wait attributed to the event: for Kernel events the KQT;
+     * for Launch events the LQT that preceded this launch.
+     */
+    SimTime queue_wait = 0;
+    /** Copy reclassified as encrypted paging (Fig. 5 "managed"). */
+    bool encrypted_paging = false;
+
+    SimTime duration() const { return end - start; }
+};
+
+/**
+ * Append-only event sink for one application run.
+ */
+class Tracer
+{
+  public:
+    /** Record an event; returns its correlation id. */
+    std::uint64_t record(TraceEvent event);
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return events_.size(); }
+
+    /** All events of one kind, in record order. */
+    std::vector<TraceEvent> ofKind(EventKind kind) const;
+
+    /** Earliest start over all events (0 if empty). */
+    SimTime firstStart() const;
+    /** Latest end over all events (0 if empty). */
+    SimTime lastEnd() const;
+    /** lastEnd - firstStart. */
+    SimTime span() const { return lastEnd() - firstStart(); }
+
+    void clear();
+
+  private:
+    std::vector<TraceEvent> events_;
+    std::uint64_t next_correlation_ = 1;
+};
+
+} // namespace hcc::trace
+
+#endif // HCC_TRACE_TRACER_HPP

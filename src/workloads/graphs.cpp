@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Graph-processing application specs: GraphBIG [94] and Tigr [95].
+ *
+ * Graph apps are the UVM-heavy end of the evaluation: irregular
+ * access over large adjacency structures, so in managed mode most of
+ * the footprint faults over during traversal.
+ */
+
+#include "common/units.hpp"
+#include "workloads/spec.hpp"
+
+namespace hcc::workloads {
+
+namespace {
+
+using hcc::size::mib;
+using hcc::time::us;
+
+} // namespace
+
+void
+registerGraphSuites()
+{
+    // GraphBIG BFS: level-synchronous, two kernels per level.
+    registerSpec(AppSpec{
+        .name = "graphbig_bfs",
+        .suite = "graphbig",
+        .pinned_host = false,
+        .inputs = {mib(96)},
+        .outputs = {mib(8)},
+        .d2d_copies = {},
+        .scratch = mib(8),
+        .phases = {{"bfs_topdown_kernel", 15, us(400.0), 0.5, 0,
+                    false},
+                   {"bfs_update_kernel", 15, us(400.0), 0.4, 0,
+                    false}},
+        .uvm_capable = true,
+        .uvm_touch_override = mib(104),
+    });
+
+    // GraphBIG PageRank: heavier per-iteration kernels.
+    registerSpec(AppSpec{
+        .name = "graphbig_pr",
+        .suite = "graphbig",
+        .pinned_host = false,
+        .inputs = {mib(96)},
+        .outputs = {mib(8)},
+        .d2d_copies = {},
+        .scratch = mib(16),
+        .phases = {{"pagerank_kernel", 30, us(600.0), 0.25, 0,
+                    false}},
+        .uvm_capable = true,
+        .uvm_touch_override = mib(104),
+    });
+
+    // Tigr BFS: transformed-graph traversal.
+    registerSpec(AppSpec{
+        .name = "tigr_bfs",
+        .suite = "tigr",
+        .pinned_host = false,
+        .inputs = {mib(64)},
+        .outputs = {mib(4)},
+        .d2d_copies = {},
+        .scratch = mib(4),
+        .phases = {{"tigr_bfs_kernel", 18, us(250.0), 0.5, 0, false},
+                   {"tigr_bfs_relabel", 18, us(250.0), 0.4, 0,
+                    false}},
+        .uvm_capable = true,
+        .uvm_touch_override = mib(68),
+    });
+
+    // Tigr SSSP: more rounds, single kernel per round.
+    registerSpec(AppSpec{
+        .name = "tigr_sssp",
+        .suite = "tigr",
+        .pinned_host = false,
+        .inputs = {mib(64)},
+        .outputs = {mib(4)},
+        .d2d_copies = {},
+        .scratch = mib(4),
+        .phases = {{"tigr_sssp_kernel", 40, us(350.0), 0.4, 0,
+                    false}},
+        .uvm_capable = true,
+        .uvm_touch_override = mib(68),
+    });
+}
+
+} // namespace hcc::workloads

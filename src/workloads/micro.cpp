@@ -1,0 +1,115 @@
+#include "workloads/micro.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "perfmodel/model.hpp"
+#include "trace/analysis.hpp"
+
+namespace hcc::workloads {
+
+namespace {
+
+rt::SystemConfig
+microConfig(bool cc, std::uint64_t seed)
+{
+    rt::SystemConfig cfg;
+    cfg.cc = cc;
+    cfg.seed = seed;
+    return cfg;
+}
+
+} // namespace
+
+LaunchIndexResult
+runLaunchIndexMicro(bool cc, int n, std::uint64_t seed)
+{
+    if (n <= 0)
+        fatal("launch-index micro needs a positive launch count");
+    rt::Context ctx(microConfig(cc, seed));
+
+    gpu::KernelDesc k0{"sleep_k0", {}, time::ms(100.0), 0, 0};
+    gpu::KernelDesc k1{"sleep_k1", {}, time::ms(100.0), 0, 0};
+    for (int i = 0; i < n; ++i)
+        ctx.launchKernel(k0);
+    for (int i = 0; i < n; ++i)
+        ctx.launchKernel(k1);
+    ctx.deviceSynchronize();
+
+    LaunchIndexResult result;
+    for (const auto &e :
+         ctx.tracer().ofKind(trace::EventKind::Launch)) {
+        if (e.name == "sleep_k0")
+            result.k0_klo.push_back(e.duration());
+        else
+            result.k1_klo.push_back(e.duration());
+    }
+    return result;
+}
+
+std::vector<FusionPoint>
+runFusionSweep(bool cc, SimTime total_ket,
+               const std::vector<int> &launch_counts,
+               std::uint64_t seed)
+{
+    std::vector<FusionPoint> points;
+    points.reserve(launch_counts.size());
+    for (int n : launch_counts) {
+        if (n <= 0)
+            fatal("fusion sweep launch count must be positive");
+        rt::Context ctx(microConfig(cc, seed));
+        const SimTime start = ctx.now();
+        gpu::KernelDesc k{"fused_sleep", {}, total_ket / n, 0, 0};
+        for (int i = 0; i < n; ++i)
+            ctx.launchKernel(k);
+        ctx.deviceSynchronize();
+
+        const auto m = trace::analyze(ctx.tracer());
+        FusionPoint p;
+        p.launches = n;
+        p.sum_klo = m.sumKlo();
+        p.sum_lqt = m.sumLqt();
+        p.end_to_end = ctx.now() - start;
+        points.push_back(p);
+    }
+    return points;
+}
+
+OverlapPoint
+runOverlapMicro(bool cc, int streams, Bytes total_bytes, SimTime ket,
+                std::uint64_t seed)
+{
+    if (streams <= 0)
+        fatal("overlap micro needs at least one stream");
+    rt::Context ctx(microConfig(cc, seed));
+
+    const Bytes per_stream = total_bytes / static_cast<Bytes>(streams);
+    std::vector<rt::Stream> ss;
+    std::vector<rt::Buffer> host, dev;
+    for (int i = 0; i < streams; ++i) {
+        ss.push_back(ctx.createStream());
+        host.push_back(ctx.mallocHost(per_stream));
+        dev.push_back(ctx.mallocDevice(per_stream));
+    }
+
+    const SimTime start = ctx.now();
+    // Listing 2: per stream, queue the copy then the kernel.
+    for (int i = 0; i < streams; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        ctx.memcpyAsync(dev[idx], host[idx], per_stream, ss[idx]);
+        gpu::KernelDesc k{"overlap_sleep", {}, ket, 0, 0};
+        ctx.launchKernel(k, ss[idx]);
+    }
+    ctx.deviceSynchronize();
+    const SimTime end = ctx.now();
+
+    OverlapPoint p;
+    p.streams = streams;
+    p.total_bytes = total_bytes;
+    p.ket = ket;
+    p.end_to_end = end - start;
+    p.alpha = perfmodel::decompose(ctx.tracer()).alpha;
+    return p;
+}
+
+} // namespace hcc::workloads

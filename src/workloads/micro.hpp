@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Microbenchmarks of Sec. VII-A (Fig. 12): nanosleep-style kernels of
+ * controlled duration used to study launch-count effects, kernel
+ * fusion and transfer/compute overlapping.
+ */
+
+#ifndef HCC_WORKLOADS_MICRO_HPP
+#define HCC_WORKLOADS_MICRO_HPP
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "runtime/context.hpp"
+
+namespace hcc::workloads {
+
+/** Fig. 12a: per-launch KLO for two kernels launched back to back. */
+struct LaunchIndexResult
+{
+    /** KLO of launch i of kernel K0 (first), then K1 (second). */
+    std::vector<SimTime> k0_klo;
+    std::vector<SimTime> k1_klo;
+};
+
+/**
+ * Launch K0 @p n times then K1 @p n times (Listing 1 style) and
+ * report each launch's KLO.
+ */
+LaunchIndexResult runLaunchIndexMicro(bool cc, int n,
+                                      std::uint64_t seed = 1);
+
+/** One point of the Fig. 12b fusion sweep. */
+struct FusionPoint
+{
+    int launches = 0;
+    SimTime sum_klo = 0;
+    SimTime sum_lqt = 0;
+    SimTime end_to_end = 0;
+};
+
+/**
+ * Fig. 12b: keep total KET fixed and split it across 1..N launches
+ * (fusing kernels reduces the launch count; a fully fused kernel is
+ * a single launch).
+ */
+std::vector<FusionPoint> runFusionSweep(bool cc, SimTime total_ket,
+                                        const std::vector<int>
+                                            &launch_counts,
+                                        std::uint64_t seed = 1);
+
+/** One point of the Fig. 12c overlap study. */
+struct OverlapPoint
+{
+    int streams = 0;
+    Bytes total_bytes = 0;
+    SimTime ket = 0;
+    SimTime end_to_end = 0;
+    /**
+     * The performance model's alpha: fraction of total memcpy time
+     * overlapped with kernel/launch activity.  0 = fully exposed
+     * transfers, 1 = fully hidden.
+     */
+    double alpha = 0.0;
+};
+
+/**
+ * Fig. 12c (Listing 2): split @p total_bytes across @p streams, each
+ * stream doing async H2D then a kernel of @p ket; measure how much
+ * of the transfer is hidden.
+ */
+OverlapPoint runOverlapMicro(bool cc, int streams, Bytes total_bytes,
+                             SimTime ket, std::uint64_t seed = 1);
+
+} // namespace hcc::workloads
+
+#endif // HCC_WORKLOADS_MICRO_HPP

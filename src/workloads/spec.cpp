@@ -1,0 +1,253 @@
+#include "workloads/spec.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <numeric>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace hcc::workloads {
+
+// Defined in the per-suite translation units.
+void registerPolybench();
+void registerRodinia();
+void registerGraphSuites();
+
+void
+ensureSuitesRegistered()
+{
+    static bool done = false;
+    if (done)
+        return;
+    done = true;  // set first: registration paths re-enter here
+    registerPolybench();
+    registerRodinia();
+    registerGraphSuites();
+}
+
+Bytes
+AppSpec::totalInputBytes() const
+{
+    return std::accumulate(inputs.begin(), inputs.end(), Bytes{0});
+}
+
+Bytes
+AppSpec::totalOutputBytes() const
+{
+    return std::accumulate(outputs.begin(), outputs.end(), Bytes{0});
+}
+
+int
+AppSpec::totalLaunches() const
+{
+    int n = 0;
+    for (const auto &p : phases)
+        n += p.launches;
+    return n;
+}
+
+SpecWorkload::SpecWorkload(AppSpec spec)
+    : spec_(std::move(spec))
+{
+    if (spec_.name.empty() || spec_.phases.empty())
+        fatal("app spec needs a name and at least one phase");
+}
+
+namespace {
+
+Bytes
+scaled(Bytes bytes, double scale)
+{
+    return static_cast<Bytes>(static_cast<double>(bytes) * scale);
+}
+
+SimTime
+scaledTime(SimTime t, double scale)
+{
+    return static_cast<SimTime>(static_cast<double>(t) * scale);
+}
+
+/** Deterministic KET jitter, identical across base and CC runs. */
+Rng
+ketRng(const AppSpec &spec, const WorkloadParams &params)
+{
+    const std::uint64_t h =
+        std::hash<std::string>{}(spec.name) ^ params.seed;
+    return Rng(h, 0x4b45544a49545231ULL);
+}
+
+} // namespace
+
+void
+SpecWorkload::run(rt::Context &ctx, const WorkloadParams &params) const
+{
+    if (params.uvm) {
+        if (!spec_.uvm_capable)
+            fatal("workload '%s' has no UVM variant",
+                  spec_.name.c_str());
+        runUvm(ctx, params);
+    } else {
+        runExplicit(ctx, params);
+    }
+}
+
+void
+SpecWorkload::runExplicit(rt::Context &ctx,
+                          const WorkloadParams &params) const
+{
+    Rng rng = ketRng(spec_, params);
+
+    // Allocate host and device buffers.
+    std::vector<rt::Buffer> host_in, host_out, dev_in, dev_out;
+    for (Bytes b : spec_.inputs) {
+        const Bytes n = scaled(b, params.scale);
+        host_in.push_back(spec_.pinned_host ? ctx.mallocHost(n)
+                                            : ctx.hostPageable(n));
+        dev_in.push_back(ctx.mallocDevice(n));
+    }
+    for (Bytes b : spec_.outputs) {
+        const Bytes n = scaled(b, params.scale);
+        host_out.push_back(spec_.pinned_host ? ctx.mallocHost(n)
+                                             : ctx.hostPageable(n));
+        dev_out.push_back(ctx.mallocDevice(n));
+    }
+    rt::Buffer scratch;
+    if (spec_.scratch > 0)
+        scratch = ctx.mallocDevice(scaled(spec_.scratch, params.scale));
+
+    // Per-iteration readback staging, if any phase needs it.
+    Bytes iter_bytes = 0;
+    for (const auto &p : spec_.phases)
+        iter_bytes = std::max(iter_bytes, p.d2h_per_iter);
+    rt::Buffer iter_dev, iter_host;
+    if (iter_bytes > 0) {
+        iter_dev = ctx.mallocDevice(iter_bytes);
+        iter_host = spec_.pinned_host ? ctx.mallocHost(iter_bytes)
+                                      : ctx.hostPageable(iter_bytes);
+    }
+
+    // Copy-then-execute: H2D inputs, optional D2D shuffles.
+    for (std::size_t i = 0; i < dev_in.size(); ++i)
+        ctx.memcpy(dev_in[i], host_in[i], dev_in[i].bytes);
+    std::vector<rt::Buffer> d2d_bufs;
+    for (Bytes b : spec_.d2d_copies) {
+        const Bytes n = scaled(b, params.scale);
+        auto src = ctx.mallocDevice(n);
+        auto dst = ctx.mallocDevice(n);
+        ctx.memcpy(dst, src, n);
+        d2d_bufs.push_back(src);
+        d2d_bufs.push_back(dst);
+    }
+
+    // Kernel phases.
+    for (const auto &phase : spec_.phases) {
+        for (int i = 0; i < phase.launches; ++i) {
+            gpu::KernelDesc k;
+            k.name = phase.kernel;
+            k.module_bytes = phase.module_bytes;
+            if (phase.ket > 0) {
+                k.duration = static_cast<SimTime>(rng.lognormal(
+                    static_cast<double>(
+                        scaledTime(phase.ket, params.scale)),
+                    phase.jitter_sigma));
+            } else {
+                // Roofline phase: scale work, derive duration on
+                // the device.
+                k.gflops = phase.gflops * params.scale;
+                k.mem_bytes = scaled(phase.mem_bytes, params.scale);
+                k.dims.grid_x = static_cast<int>(
+                    phase.threads / 256);
+                k.dims.block_x = 256;
+            }
+            ctx.launchKernel(k);
+            if (phase.d2h_per_iter > 0) {
+                ctx.memcpy(iter_host, iter_dev, phase.d2h_per_iter);
+            }
+        }
+        if (phase.sync_after)
+            ctx.deviceSynchronize();
+    }
+    ctx.deviceSynchronize();
+
+    // Results home, then teardown.
+    for (std::size_t i = 0; i < dev_out.size(); ++i)
+        ctx.memcpy(host_out[i], dev_out[i], dev_out[i].bytes);
+    for (auto &b : dev_in)
+        ctx.free(b);
+    for (auto &b : dev_out)
+        ctx.free(b);
+    for (auto &b : d2d_bufs)
+        ctx.free(b);
+    if (scratch.valid())
+        ctx.free(scratch);
+    if (iter_dev.valid())
+        ctx.free(iter_dev);
+    if (iter_host.valid())
+        ctx.free(iter_host);
+    for (auto &b : host_in)
+        ctx.free(b);
+    for (auto &b : host_out)
+        ctx.free(b);
+}
+
+void
+SpecWorkload::runUvm(rt::Context &ctx,
+                     const WorkloadParams &params) const
+{
+    Rng rng = ketRng(spec_, params);
+
+    // One managed region covers inputs + outputs; pages fault over on
+    // first kernel touch instead of explicit copies.
+    const Bytes data_bytes = scaled(
+        spec_.totalInputBytes() + spec_.totalOutputBytes(),
+        params.scale);
+    auto managed = ctx.mallocManaged(std::max<Bytes>(data_bytes, 4096));
+    rt::Buffer scratch;
+    if (spec_.scratch > 0)
+        scratch = ctx.mallocDevice(scaled(spec_.scratch, params.scale));
+
+    const Bytes touch = spec_.uvm_touch_override > 0
+        ? scaled(spec_.uvm_touch_override, params.scale)
+        : scaled(spec_.totalInputBytes(), params.scale);
+
+    for (const auto &phase : spec_.phases) {
+        for (int i = 0; i < phase.launches; ++i) {
+            gpu::KernelDesc k;
+            k.name = phase.kernel;
+            k.module_bytes = phase.module_bytes;
+            if (phase.ket > 0) {
+                k.duration = static_cast<SimTime>(rng.lognormal(
+                    static_cast<double>(
+                        scaledTime(phase.ket, params.scale)),
+                    phase.jitter_sigma));
+            } else {
+                k.gflops = phase.gflops * params.scale;
+                k.mem_bytes = scaled(phase.mem_bytes, params.scale);
+                k.dims.grid_x = static_cast<int>(
+                    phase.threads / 256);
+                k.dims.block_x = 256;
+            }
+            k.uvm_alloc = managed.uvm_handle;
+            k.uvm_touch_bytes = std::min(touch, managed.bytes);
+            ctx.launchKernel(k);
+        }
+        if (phase.sync_after)
+            ctx.deviceSynchronize();
+    }
+    ctx.deviceSynchronize();
+
+    if (scratch.valid())
+        ctx.free(scratch);
+    ctx.free(managed);
+}
+
+void
+registerSpec(AppSpec spec)
+{
+    WorkloadRegistry::instance().add(
+        std::make_unique<SpecWorkload>(std::move(spec)));
+}
+
+} // namespace hcc::workloads

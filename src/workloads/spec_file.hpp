@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Text format for user-defined workloads, so downstream users can
+ * model their own applications without recompiling:
+ *
+ * @code
+ * # my_app.spec — lines are "key value...", '#' comments
+ * name my_app
+ * suite custom
+ * pinned_host true
+ * input 64MiB
+ * input 256KiB
+ * output 64MiB
+ * d2d 8MiB
+ * scratch 16MiB
+ * uvm_touch 96MiB
+ * # phase <kernel> <launches> <ket> [jitter] [d2h_per_iter] [module]
+ * phase stencil_k 120 45us 0.1
+ * phase reduce_k 120 8us 0.15 4KiB
+ * phase final_k 1 2ms 0.05 0 6MiB
+ * @endcode
+ *
+ * Sizes accept B/KiB/MiB/GiB suffixes; times accept ns/us/ms/s.
+ */
+
+#ifndef HCC_WORKLOADS_SPEC_FILE_HPP
+#define HCC_WORKLOADS_SPEC_FILE_HPP
+
+#include <string>
+
+#include "workloads/spec.hpp"
+
+namespace hcc::workloads {
+
+/**
+ * Parse the spec text format.
+ * @throws FatalError with a line-numbered message on any syntax or
+ *         semantic error.
+ */
+AppSpec parseSpecText(const std::string &text);
+
+/** Load and parse a spec file from disk. */
+AppSpec loadSpecFile(const std::string &path);
+
+/** Parse "64MiB"-style size literals. */
+Bytes parseSize(const std::string &token);
+
+/** Parse "45us"-style duration literals. */
+SimTime parseDuration(const std::string &token);
+
+} // namespace hcc::workloads
+
+#endif // HCC_WORKLOADS_SPEC_FILE_HPP

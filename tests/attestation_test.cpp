@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the attestation model: measurement-register semantics and
+ * quote generation/verification, including rejection of tampered
+ * stacks, replayed nonces and forged signatures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tee/attestation.hpp"
+
+namespace hcc::tee {
+namespace {
+
+std::vector<std::uint8_t>
+bytes(const std::string &s)
+{
+    return {s.begin(), s.end()};
+}
+
+std::vector<std::uint8_t>
+key()
+{
+    return std::vector<std::uint8_t>(32, 0x5a);
+}
+
+struct Platform
+{
+    MeasurementRegister mrtd;
+    MeasurementRegister rtmr;
+    MeasurementRegister gpu_fw;
+
+    void
+    bootGolden()
+    {
+        mrtd.extendComponent("td-kernel", bytes("linux-6.2-tdx"));
+        mrtd.extendComponent("td-initrd", bytes("initrd-v1"));
+        rtmr.extendComponent("nvidia-driver", bytes("550.127.05"));
+        rtmr.extendComponent("cuda-runtime", bytes("12.4"));
+        gpu_fw.extendComponent("gsp-firmware", bytes("gsp-535.cc"));
+    }
+};
+
+TEST(MeasurementRegisterTest, StartsZero)
+{
+    MeasurementRegister r;
+    for (auto b : r.value())
+        EXPECT_EQ(b, 0);
+    EXPECT_EQ(r.extensions(), 0u);
+}
+
+TEST(MeasurementRegisterTest, ExtendIsOrderSensitive)
+{
+    MeasurementRegister ab, ba;
+    ab.extend(bytes("a"));
+    ab.extend(bytes("b"));
+    ba.extend(bytes("b"));
+    ba.extend(bytes("a"));
+    EXPECT_NE(ab.value(), ba.value());
+    EXPECT_EQ(ab.extensions(), 2u);
+}
+
+TEST(MeasurementRegisterTest, DeterministicReplay)
+{
+    Platform a, b;
+    a.bootGolden();
+    b.bootGolden();
+    EXPECT_EQ(a.mrtd.value(), b.mrtd.value());
+    EXPECT_EQ(a.rtmr.value(), b.rtmr.value());
+}
+
+TEST(MeasurementRegisterTest, ComponentNameIsMeasured)
+{
+    MeasurementRegister a, b;
+    a.extendComponent("driver", bytes("blob"));
+    b.extendComponent("rootkit", bytes("blob"));
+    EXPECT_NE(a.value(), b.value());
+}
+
+TEST(AttestationTest, GoldenStackVerifies)
+{
+    Platform p;
+    p.bootGolden();
+    AttestationService svc(key());
+    const auto quote =
+        svc.generateQuote(p.mrtd, p.rtmr, p.gpu_fw, 777);
+
+    Platform golden;
+    golden.bootGolden();
+    EXPECT_TRUE(svc.verifyQuote(quote, 777, golden.mrtd.value(),
+                                golden.rtmr.value(),
+                                golden.gpu_fw.value()));
+}
+
+TEST(AttestationTest, TamperedDriverIsRejected)
+{
+    Platform p;
+    p.mrtd.extendComponent("td-kernel", bytes("linux-6.2-tdx"));
+    p.mrtd.extendComponent("td-initrd", bytes("initrd-v1"));
+    p.rtmr.extendComponent("nvidia-driver",
+                           bytes("550.127.05-BACKDOORED"));
+    p.rtmr.extendComponent("cuda-runtime", bytes("12.4"));
+    p.gpu_fw.extendComponent("gsp-firmware", bytes("gsp-535.cc"));
+
+    AttestationService svc(key());
+    const auto quote =
+        svc.generateQuote(p.mrtd, p.rtmr, p.gpu_fw, 1);
+
+    Platform golden;
+    golden.bootGolden();
+    EXPECT_FALSE(svc.verifyQuote(quote, 1, golden.mrtd.value(),
+                                 golden.rtmr.value(),
+                                 golden.gpu_fw.value()));
+}
+
+TEST(AttestationTest, WrongNonceIsRejected)
+{
+    Platform p;
+    p.bootGolden();
+    AttestationService svc(key());
+    const auto quote =
+        svc.generateQuote(p.mrtd, p.rtmr, p.gpu_fw, 42);
+    EXPECT_FALSE(svc.verifyQuote(quote, 43, p.mrtd.value(),
+                                 p.rtmr.value(), p.gpu_fw.value()));
+}
+
+TEST(AttestationTest, ForgedSignatureIsRejected)
+{
+    Platform p;
+    p.bootGolden();
+    AttestationService svc(key());
+    auto quote = svc.generateQuote(p.mrtd, p.rtmr, p.gpu_fw, 5);
+    quote.signature[0] ^= 1;
+    EXPECT_FALSE(svc.verifyQuote(quote, 5, p.mrtd.value(),
+                                 p.rtmr.value(), p.gpu_fw.value()));
+}
+
+TEST(AttestationTest, MeasurementSwapAfterSigningIsRejected)
+{
+    // Attacker replaces the measurements inside a signed quote.
+    Platform p;
+    p.bootGolden();
+    AttestationService svc(key());
+    auto quote = svc.generateQuote(p.mrtd, p.rtmr, p.gpu_fw, 5);
+    quote.rtmr[3] ^= 0xff;
+    EXPECT_FALSE(svc.verifyQuote(quote, 5, p.mrtd.value(),
+                                 quote.rtmr, p.gpu_fw.value()))
+        << "signature must bind the measurements";
+}
+
+TEST(AttestationTest, DifferentPlatformKeyCannotVerify)
+{
+    Platform p;
+    p.bootGolden();
+    AttestationService genuine(key());
+    std::vector<std::uint8_t> other_key(32, 0x11);
+    AttestationService impostor(other_key);
+    const auto quote =
+        impostor.generateQuote(p.mrtd, p.rtmr, p.gpu_fw, 9);
+    EXPECT_FALSE(genuine.verifyQuote(quote, 9, p.mrtd.value(),
+                                     p.rtmr.value(),
+                                     p.gpu_fw.value()));
+}
+
+TEST(AttestationTest, CostsAreModeled)
+{
+    EXPECT_GT(AttestationService::kQuoteGenCost, 0);
+    EXPECT_GT(AttestationService::kQuoteVerifyCost, 0);
+}
+
+} // namespace
+} // namespace hcc::tee

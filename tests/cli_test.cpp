@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the hccsim CLI: argument parsing and command execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cli/options.hpp"
+#include "common/log.hpp"
+
+namespace hcc::cli {
+namespace {
+
+std::optional<Options>
+parse(std::initializer_list<const char *> args, std::string *err
+      = nullptr)
+{
+    std::vector<std::string> v;
+    for (const char *a : args)
+        v.emplace_back(a);
+    std::string e;
+    auto r = parseArgs(v, e);
+    if (err)
+        *err = e;
+    return r;
+}
+
+// --------------------------------------------------------- parsing
+
+TEST(CliParse, ListCommand)
+{
+    const auto o = parse({"list"});
+    ASSERT_TRUE(o);
+    EXPECT_EQ(o->command, Command::List);
+}
+
+TEST(CliParse, RunWithAllOptions)
+{
+    const auto o = parse({"run", "--app", "sc", "--cc", "--uvm",
+                          "--scale", "2.5", "--seed", "7"});
+    ASSERT_TRUE(o);
+    EXPECT_EQ(o->command, Command::Run);
+    EXPECT_EQ(o->app, "sc");
+    EXPECT_TRUE(o->cc);
+    EXPECT_TRUE(o->uvm);
+    EXPECT_DOUBLE_EQ(o->scale, 2.5);
+    EXPECT_EQ(o->seed, 7u);
+}
+
+TEST(CliParse, HelpVariants)
+{
+    for (const char *h : {"help", "--help", "-h"}) {
+        const auto o = parse({h});
+        ASSERT_TRUE(o);
+        EXPECT_EQ(o->command, Command::Help);
+    }
+}
+
+TEST(CliParse, MissingAppIsError)
+{
+    std::string err;
+    EXPECT_FALSE(parse({"run"}, &err));
+    EXPECT_NE(err.find("--app"), std::string::npos);
+}
+
+TEST(CliParse, UnknownCommandAndOption)
+{
+    std::string err;
+    EXPECT_FALSE(parse({"frobnicate"}, &err));
+    EXPECT_FALSE(parse({"run", "--app", "sc", "--what"}, &err));
+    EXPECT_NE(err.find("--what"), std::string::npos);
+}
+
+TEST(CliParse, BadNumericValues)
+{
+    EXPECT_FALSE(parse({"run", "--app", "sc", "--scale", "zero"}));
+    EXPECT_FALSE(parse({"run", "--app", "sc", "--scale", "-1"}));
+    EXPECT_FALSE(parse({"run", "--app", "sc", "--seed", "xyz"}));
+    EXPECT_FALSE(parse({"run", "--app", "sc", "--scale"}));
+}
+
+TEST(CliParse, BadFormat)
+{
+    EXPECT_FALSE(parse({"trace", "--app", "sc", "--format", "xml"}));
+    const auto o = parse({"trace", "--app", "sc", "--format", "csv"});
+    ASSERT_TRUE(o);
+    EXPECT_EQ(o->format, "csv");
+}
+
+TEST(CliParse, ChannelKnobs)
+{
+    const auto o = parse({"compare", "--app", "gemm",
+                          "--crypto-workers", "8", "--tee-io"});
+    ASSERT_TRUE(o);
+    EXPECT_EQ(o->crypto_workers, 8);
+    EXPECT_TRUE(o->tee_io);
+    EXPECT_FALSE(parse({"run", "--app", "x", "--crypto-workers",
+                        "0"}));
+    EXPECT_FALSE(parse({"run", "--app", "x", "--crypto-workers",
+                        "many"}));
+}
+
+TEST(CliRun, WorkersReduceCcSlowdown)
+{
+    auto slowdown = [](int workers) {
+        Options o;
+        o.command = Command::Compare;
+        o.app = "gemm";
+        o.crypto_workers = workers;
+        std::ostringstream oss;
+        runCli(o, oss);
+        const auto out = oss.str();
+        const auto pos = out.find("CC slowdown: ");
+        return std::stod(out.substr(pos + 13));
+    };
+    EXPECT_LT(slowdown(8), slowdown(1) * 0.7);
+}
+
+TEST(CliParse, EmptyArgsIsError)
+{
+    EXPECT_FALSE(parse({}));
+}
+
+// ------------------------------------------------------- execution
+
+TEST(CliRun, ListShowsKnownApps)
+{
+    Options o;
+    o.command = Command::List;
+    std::ostringstream oss;
+    EXPECT_EQ(runCli(o, oss), 0);
+    const auto out = oss.str();
+    EXPECT_NE(out.find("2dconv"), std::string::npos);
+    EXPECT_NE(out.find("sc"), std::string::npos);
+    EXPECT_NE(out.find("graphbig_bfs"), std::string::npos);
+}
+
+TEST(CliRun, RunPrintsSummaryAndModel)
+{
+    Options o;
+    o.command = Command::Run;
+    o.app = "2mm";
+    std::ostringstream oss;
+    EXPECT_EQ(runCli(o, oss), 0);
+    const auto out = oss.str();
+    EXPECT_NE(out.find("end-to-end"), std::string::npos);
+    EXPECT_NE(out.find("P (model)"), std::string::npos);
+}
+
+TEST(CliRun, CompareShowsSlowdown)
+{
+    Options o;
+    o.command = Command::Compare;
+    o.app = "atax";
+    std::ostringstream oss;
+    EXPECT_EQ(runCli(o, oss), 0);
+    EXPECT_NE(oss.str().find("CC slowdown:"), std::string::npos);
+}
+
+TEST(CliRun, TraceJsonAndCsv)
+{
+    Options o;
+    o.command = Command::Trace;
+    o.app = "2mm";
+    {
+        std::ostringstream oss;
+        EXPECT_EQ(runCli(o, oss), 0);
+        EXPECT_EQ(oss.str().front(), '[');
+    }
+    o.format = "csv";
+    {
+        std::ostringstream oss;
+        EXPECT_EQ(runCli(o, oss), 0);
+        EXPECT_EQ(oss.str().find("kind,name"), 0u);
+    }
+}
+
+TEST(CliRun, UnknownAppThrowsFatal)
+{
+    Options o;
+    o.command = Command::Run;
+    o.app = "not-a-workload";
+    std::ostringstream oss;
+    EXPECT_THROW(runCli(o, oss), hcc::FatalError);
+}
+
+TEST(CliRun, HelpMentionsAllCommands)
+{
+    Options o;
+    std::ostringstream oss;
+    EXPECT_EQ(runCli(o, oss), 0);
+    for (const char *cmd : {"list", "run", "compare", "trace"})
+        EXPECT_NE(oss.str().find(cmd), std::string::npos) << cmd;
+}
+
+} // namespace
+} // namespace hcc::cli

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests for runtime events (record/elapsed/wait) and UVM
+ * oversubscription/eviction behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+#include "gpu/uvm.hpp"
+#include "pcie/link.hpp"
+#include "runtime/context.hpp"
+#include "tee/secure_channel.hpp"
+#include "tee/spdm.hpp"
+#include "tee/tdx.hpp"
+
+namespace hcc {
+namespace {
+
+rt::SystemConfig
+sys(bool cc)
+{
+    rt::SystemConfig c;
+    c.cc = cc;
+    return c;
+}
+
+// ---------------------------------------------------------- events
+
+TEST(Events, ElapsedMeasuresKernelTime)
+{
+    rt::Context ctx(sys(false));
+    const auto before = ctx.recordEvent();
+    gpu::KernelDesc k{"k", {}, time::ms(5.0), 0, 0};
+    ctx.launchKernel(k);
+    const auto after = ctx.recordEvent();
+    const SimTime elapsed = ctx.eventElapsed(before, after);
+    // Elapsed covers KQT + KET (device-side completion points).
+    EXPECT_GE(elapsed, time::ms(5.0));
+    EXPECT_LT(elapsed, time::ms(6.0));
+}
+
+TEST(Events, ElapsedZeroOnIdleStream)
+{
+    rt::Context ctx(sys(false));
+    const auto a = ctx.recordEvent();
+    const auto b = ctx.recordEvent();
+    EXPECT_EQ(ctx.eventElapsed(a, b), 0);
+}
+
+TEST(Events, ReversedOrderIsFatal)
+{
+    rt::Context ctx(sys(false));
+    const auto a = ctx.recordEvent();
+    gpu::KernelDesc k{"k", {}, time::us(10.0), 0, 0};
+    ctx.launchKernel(k);
+    const auto b = ctx.recordEvent();
+    EXPECT_THROW(ctx.eventElapsed(b, a), FatalError);
+}
+
+TEST(Events, StreamWaitEventCreatesCrossStreamDependency)
+{
+    rt::Context ctx(sys(false));
+    auto producer = ctx.createStream();
+    auto consumer = ctx.createStream();
+
+    gpu::KernelDesc big{"producer_k", {}, time::ms(10.0), 0, 0};
+    ctx.launchKernel(big, producer);
+    const auto done = ctx.recordEvent(producer);
+
+    ctx.streamWaitEvent(consumer, done);
+    gpu::KernelDesc small{"consumer_k", {}, time::us(10.0), 0, 0};
+    ctx.launchKernel(small, consumer);
+    ctx.deviceSynchronize();
+
+    const auto kernels = ctx.tracer().ofKind(trace::EventKind::Kernel);
+    ASSERT_EQ(kernels.size(), 2u);
+    EXPECT_GE(kernels[1].start, kernels[0].end)
+        << "consumer must wait for the producer's event";
+}
+
+TEST(Events, WithoutWaitStreamsOverlap)
+{
+    rt::Context ctx(sys(false));
+    auto s1 = ctx.createStream();
+    auto s2 = ctx.createStream();
+    gpu::KernelDesc big{"k", {}, time::ms(10.0), 0, 0};
+    ctx.launchKernel(big, s1);
+    ctx.launchKernel(big, s2);
+    ctx.deviceSynchronize();
+    const auto kernels = ctx.tracer().ofKind(trace::EventKind::Kernel);
+    EXPECT_LT(kernels[1].start, kernels[0].end);
+}
+
+TEST(Events, EventSynchronizeAdvancesHost)
+{
+    rt::Context ctx(sys(false));
+    gpu::KernelDesc k{"k", {}, time::ms(3.0), 0, 0};
+    ctx.launchKernel(k);
+    const auto done = ctx.recordEvent();
+    const SimTime before = ctx.now();
+    ctx.eventSynchronize(done);
+    EXPECT_GE(ctx.now() - before, time::ms(2.5));
+}
+
+// --------------------------------------------------------- memset
+
+TEST(Memset, FillsAtHbmSpeed)
+{
+    rt::Context ctx(sys(false));
+    auto d = ctx.mallocDevice(size::gib(1));
+    const SimTime t0 = ctx.now();
+    ctx.memsetDevice(d, size::gib(1));
+    const double gbps = bandwidthGBs(size::gib(1), ctx.now() - t0);
+    EXPECT_GT(gbps, 1000.0);
+}
+
+TEST(Memset, NearlyFreeUnderCc)
+{
+    // Device-side fills never cross the boundary: no CC tax beyond
+    // the trapped doorbell.
+    rt::Context base(sys(false)), cc(sys(true));
+    auto db = base.mallocDevice(size::mib(256));
+    auto dc = cc.mallocDevice(size::mib(256));
+    const SimTime t0b = base.now();
+    base.memsetDevice(db, size::mib(256));
+    const SimTime tb = base.now() - t0b;
+    const SimTime t0c = cc.now();
+    cc.memsetDevice(dc, size::mib(256));
+    const SimTime tc = cc.now() - t0c;
+    EXPECT_LT(static_cast<double>(tc) / static_cast<double>(tb),
+              1.2);
+}
+
+TEST(Memset, RejectsMisuse)
+{
+    rt::Context ctx(sys(false));
+    auto h = ctx.mallocHost(1024);
+    EXPECT_THROW(ctx.memsetDevice(h, 10), FatalError);
+    auto d = ctx.mallocDevice(100);
+    EXPECT_THROW(ctx.memsetDevice(d, 101), FatalError);
+}
+
+// ------------------------------------------------------ uvm eviction
+
+gpu::TransferContext
+baseCtx(pcie::PcieLink &link, tee::TdxModule &tdx)
+{
+    return gpu::TransferContext{link, tdx, nullptr};
+}
+
+TEST(UvmEviction, OversubscriptionEvictsLru)
+{
+    gpu::UvmConfig cfg;
+    cfg.device_capacity = size::mib(10);
+    gpu::UvmManager uvm(cfg);
+    pcie::PcieLink link;
+    tee::TdxModule tdx(false);
+    auto ctx = baseCtx(link, tdx);
+
+    const auto a = uvm.createAllocation(size::mib(6));
+    const auto b = uvm.createAllocation(size::mib(6));
+    uvm.touchOnDevice(a, size::mib(6), ctx);
+    EXPECT_EQ(uvm.residentBytes(a), size::mib(6));
+
+    const auto svc = uvm.touchOnDevice(b, size::mib(6), ctx);
+    EXPECT_EQ(svc.evicted, size::mib(6)) << "a must be evicted";
+    EXPECT_EQ(uvm.residentBytes(a), 0u);
+    EXPECT_EQ(uvm.residentBytes(b), size::mib(6));
+    EXPECT_LE(uvm.totalResident(), cfg.device_capacity);
+}
+
+TEST(UvmEviction, LruOrderRespectsTouches)
+{
+    gpu::UvmConfig cfg;
+    cfg.device_capacity = size::mib(10);
+    gpu::UvmManager uvm(cfg);
+    pcie::PcieLink link;
+    tee::TdxModule tdx(false);
+    auto ctx = baseCtx(link, tdx);
+
+    const auto a = uvm.createAllocation(size::mib(4));
+    const auto b = uvm.createAllocation(size::mib(4));
+    const auto c = uvm.createAllocation(size::mib(4));
+    uvm.touchOnDevice(a, size::mib(4), ctx);
+    uvm.touchOnDevice(b, size::mib(4), ctx);
+    uvm.touchOnDevice(a, size::mib(4), ctx);  // a is now MRU
+    uvm.touchOnDevice(c, size::mib(4), ctx);  // must evict b
+    EXPECT_EQ(uvm.residentBytes(b), 0u);
+    EXPECT_EQ(uvm.residentBytes(a), size::mib(4));
+}
+
+TEST(UvmEviction, ThrashingCostsWritebackTime)
+{
+    gpu::UvmConfig cfg;
+    cfg.device_capacity = size::mib(8);
+    gpu::UvmManager uvm(cfg);
+    pcie::PcieLink link;
+    tee::TdxModule tdx(false);
+    auto ctx = baseCtx(link, tdx);
+
+    const auto a = uvm.createAllocation(size::mib(6));
+    const auto b = uvm.createAllocation(size::mib(6));
+    const auto first = uvm.touchOnDevice(a, size::mib(6), ctx);
+    const auto thrash = uvm.touchOnDevice(b, size::mib(6), ctx);
+    EXPECT_GT(thrash.added, first.added)
+        << "eviction writeback must add time";
+    EXPECT_GT(uvm.totalEvicted(), 0u);
+}
+
+TEST(UvmEviction, CcWritebackIsMoreExpensive)
+{
+    auto run = [](bool cc) {
+        gpu::UvmConfig cfg;
+        cfg.device_capacity = size::mib(8);
+        gpu::UvmManager uvm(cfg);
+        pcie::PcieLink link;
+        tee::TdxModule tdx(cc);
+        std::unique_ptr<tee::SecureChannel> ch;
+        gpu::TransferContext ctx{link, tdx, nullptr};
+        if (cc) {
+            ch = std::make_unique<tee::SecureChannel>(
+                tee::ChannelConfig{}, tee::SpdmSession::establish(1));
+            ctx.channel = ch.get();
+        }
+        const auto a = uvm.createAllocation(size::mib(6));
+        const auto b = uvm.createAllocation(size::mib(6));
+        uvm.touchOnDevice(a, size::mib(6), ctx);
+        return uvm.touchOnDevice(b, size::mib(6), ctx).added;
+    };
+    EXPECT_GT(run(true), 10 * run(false))
+        << "encrypted-paging eviction (D2H!) is the slow direction";
+}
+
+TEST(UvmEviction, NoEvictionBelowCapacity)
+{
+    gpu::UvmManager uvm;  // default: 94 GB capacity
+    pcie::PcieLink link;
+    tee::TdxModule tdx(false);
+    auto ctx = baseCtx(link, tdx);
+    const auto a = uvm.createAllocation(size::mib(64));
+    const auto svc = uvm.touchOnDevice(a, size::mib(64), ctx);
+    EXPECT_EQ(svc.evicted, 0u);
+    EXPECT_EQ(uvm.totalEvicted(), 0u);
+}
+
+TEST(UvmEviction, RejectsBadBatchConfig)
+{
+    gpu::UvmConfig cfg;
+    cfg.batch_pages_cc = 0;
+    EXPECT_THROW(gpu::UvmManager{cfg}, FatalError);
+}
+
+TEST(UvmEviction, ConfigurableBatchSizeChangesServiceTime)
+{
+    // The ablation knob: larger CC batches amortize fault latency.
+    auto service = [](int batch_pages) {
+        gpu::UvmConfig cfg;
+        cfg.batch_pages_cc = batch_pages;
+        gpu::UvmManager uvm(cfg);
+        pcie::PcieLink link;
+        tee::TdxModule tdx(true);
+        tee::SecureChannel ch(tee::ChannelConfig{},
+                              tee::SpdmSession::establish(2));
+        gpu::TransferContext ctx{link, tdx, &ch};
+        const auto h = uvm.createAllocation(size::mib(16));
+        return uvm.touchOnDevice(h, size::mib(16), ctx).added;
+    };
+    EXPECT_GT(service(2), 5 * service(64));
+}
+
+} // namespace
+} // namespace hcc

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the trace exporters (Chrome trace JSON, CSV).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/compare.hpp"
+#include "trace/export.hpp"
+#include "trace/tracer.hpp"
+
+namespace hcc::trace {
+namespace {
+
+Tracer
+sampleTrace()
+{
+    Tracer t;
+    TraceEvent launch;
+    launch.kind = EventKind::Launch;
+    launch.name = "my_kernel";
+    launch.start = time::us(10.0);
+    launch.end = time::us(18.0);
+    launch.stream = 0;
+    launch.queue_wait = time::us(2.0);
+    const auto corr = t.record(launch);
+
+    TraceEvent kernel;
+    kernel.kind = EventKind::Kernel;
+    kernel.name = "my_kernel";
+    kernel.start = time::us(20.0);
+    kernel.end = time::us(120.0);
+    kernel.stream = 0;
+    kernel.correlation = corr;
+    kernel.queue_wait = time::us(3.0);
+    t.record(kernel);
+
+    TraceEvent copy;
+    copy.kind = EventKind::MemcpyH2D;
+    copy.name = "memcpy";
+    copy.start = time::us(130.0);
+    copy.end = time::us(200.0);
+    copy.bytes = 4096;
+    copy.encrypted_paging = true;
+    t.record(copy);
+    return t;
+}
+
+TEST(ChromeExport, ProducesValidLookingJson)
+{
+    const auto json = chromeTraceJson(sampleTrace());
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json[json.size() - 2], ']');
+    EXPECT_NE(json.find("\"name\": \"my_kernel\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\": \"Kernel\""), std::string::npos);
+    EXPECT_NE(json.find("\"encrypted_paging\": true"),
+              std::string::npos);
+    // Balanced braces.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(ChromeExport, HostAndDeviceTracksSeparated)
+{
+    const auto json = chromeTraceJson(sampleTrace());
+    // Launch on pid 1 (host), kernel/copy on pid 2 (device).
+    EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"pid\": 2"), std::string::npos);
+}
+
+TEST(ChromeExport, EscapesSpecialCharacters)
+{
+    Tracer t;
+    TraceEvent e;
+    e.kind = EventKind::Kernel;
+    e.name = "weird\"name\\with\nstuff";
+    e.start = 0;
+    e.end = 1;
+    t.record(e);
+    const auto json = chromeTraceJson(t);
+    EXPECT_NE(json.find("weird\\\"name\\\\with\\nstuff"),
+              std::string::npos);
+}
+
+TEST(ChromeExport, EmptyTraceIsEmptyArray)
+{
+    Tracer t;
+    const auto json = chromeTraceJson(t);
+    EXPECT_NE(json.find('['), std::string::npos);
+    EXPECT_EQ(json.find('{'), std::string::npos);
+}
+
+TEST(CsvExport, HeaderAndRows)
+{
+    std::ostringstream oss;
+    exportCsv(sampleTrace(), oss);
+    const std::string csv = oss.str();
+    EXPECT_EQ(csv.find("kind,name,start_us"), 0u);
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+    EXPECT_NE(csv.find("MemcpyH2D,memcpy"), std::string::npos);
+    EXPECT_NE(csv.find(",4096,"), std::string::npos);
+}
+
+// --------------------------------------------------------- compare
+
+Tracer
+mkTrace(SimTime launch_dur, SimTime kernel_dur, int n)
+{
+    Tracer t;
+    SimTime cursor = 0;
+    for (int i = 0; i < n; ++i) {
+        TraceEvent l;
+        l.kind = EventKind::Launch;
+        l.name = "k";
+        l.start = cursor;
+        l.end = cursor + launch_dur;
+        t.record(l);
+        TraceEvent k;
+        k.kind = EventKind::Kernel;
+        k.name = "k";
+        k.start = l.end;
+        k.end = l.end + kernel_dur;
+        t.record(k);
+        cursor = k.end;
+    }
+    return t;
+}
+
+TEST(Compare, AggregatesPerKind)
+{
+    const auto a = mkTrace(time::us(6), time::us(100), 10);
+    const auto b = mkTrace(time::us(9), time::us(100), 10);
+    const auto d = compareTraces(a, b);
+    ASSERT_EQ(d.kinds.size(), 2u);
+    const auto &launch = d.kinds[0];
+    EXPECT_EQ(launch.kind, EventKind::Launch);
+    EXPECT_EQ(launch.count_a, 10u);
+    EXPECT_EQ(launch.delta(), time::us(30));
+    EXPECT_NEAR(launch.ratio(), 1.5, 1e-9);
+    const auto &kernel = d.kinds[1];
+    EXPECT_EQ(kernel.delta(), 0);
+    EXPECT_EQ(d.unaligned, 0u);
+}
+
+TEST(Compare, TopEventsAreWorstRegressions)
+{
+    auto a = mkTrace(time::us(5), time::us(50), 5);
+    auto b = mkTrace(time::us(5), time::us(50), 5);
+    // Inject one big regression into b.
+    TraceEvent big;
+    big.kind = EventKind::Launch;
+    big.name = "spike";
+    big.start = time::ms(1);
+    big.end = time::ms(3);
+    b.record(big);
+    TraceEvent small;
+    small.kind = EventKind::Launch;
+    small.name = "spike";
+    small.start = time::ms(1);
+    small.end = time::ms(1) + time::us(5);
+    a.record(small);
+    const auto d = compareTraces(a, b, 3);
+    ASSERT_FALSE(d.top_events.empty());
+    EXPECT_EQ(d.top_events.front().name, "spike");
+    EXPECT_NEAR(static_cast<double>(d.top_events.front().delta()),
+                static_cast<double>(time::ms(2) - time::us(5)),
+                1e3);
+}
+
+TEST(Compare, ToleratesCountMismatch)
+{
+    const auto a = mkTrace(time::us(5), time::us(50), 3);
+    const auto b = mkTrace(time::us(5), time::us(50), 5);
+    const auto d = compareTraces(a, b);
+    EXPECT_EQ(d.unaligned, 4u);  // 2 launches + 2 kernels extra
+}
+
+TEST(Compare, ImprovementsExcludedFromTopList)
+{
+    const auto a = mkTrace(time::us(50), time::us(50), 3);
+    const auto b = mkTrace(time::us(5), time::us(50), 3);  // faster!
+    const auto d = compareTraces(a, b);
+    EXPECT_TRUE(d.top_events.empty());
+}
+
+TEST(Compare, ReportMentionsKindsAndSpans)
+{
+    const auto a = mkTrace(time::us(5), time::us(50), 2);
+    const auto b = mkTrace(time::us(9), time::us(50), 2);
+    const auto r = compareTraces(a, b).report();
+    EXPECT_NE(r.find("end-to-end"), std::string::npos);
+    EXPECT_NE(r.find("Launch"), std::string::npos);
+    EXPECT_NE(r.find("Kernel"), std::string::npos);
+}
+
+} // namespace
+} // namespace hcc::trace

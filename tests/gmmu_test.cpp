@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the GMMU: mapping semantics, TLB hit/miss behaviour, LRU
+ * eviction, far-fault reporting, and integration with the UVM
+ * manager's residency tracking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+#include "gpu/gmmu.hpp"
+#include "gpu/uvm.hpp"
+#include "pcie/link.hpp"
+#include "tee/tdx.hpp"
+
+namespace hcc::gpu {
+namespace {
+
+TEST(GmmuTest, UnmappedPageFaults)
+{
+    Gmmu mmu;
+    const auto t = mmu.translate(100);
+    EXPECT_EQ(t.result, TranslateResult::FarFault);
+    EXPECT_EQ(mmu.farFaults(), 1u);
+    EXPECT_GT(t.latency, Gmmu::kTlbHitLatency)
+        << "a fault still pays the failed walk";
+}
+
+TEST(GmmuTest, MapThenWalkThenHit)
+{
+    Gmmu mmu;
+    mmu.map(10, 500, 1);
+    const auto first = mmu.translate(10);
+    EXPECT_EQ(first.result, TranslateResult::TlbMissWalkHit);
+    EXPECT_EQ(first.pfn, 500u);
+    EXPECT_EQ(first.latency,
+              Gmmu::kTlbHitLatency
+                  + Gmmu::kWalkLevelLatency * Gmmu::kWalkLevels);
+
+    const auto second = mmu.translate(10);
+    EXPECT_EQ(second.result, TranslateResult::TlbHit);
+    EXPECT_EQ(second.pfn, 500u);
+    EXPECT_EQ(second.latency, Gmmu::kTlbHitLatency);
+}
+
+TEST(GmmuTest, RangeMappingIsContiguous)
+{
+    Gmmu mmu;
+    mmu.map(0, 1000, 16);
+    for (std::uint64_t i = 0; i < 16; ++i) {
+        const auto t = mmu.translate(i);
+        EXPECT_NE(t.result, TranslateResult::FarFault);
+        EXPECT_EQ(t.pfn, 1000 + i);
+    }
+    EXPECT_EQ(mmu.mappedPages(), 16u);
+}
+
+TEST(GmmuTest, UnmapShootsDownTlb)
+{
+    Gmmu mmu;
+    mmu.map(7, 70, 1);
+    mmu.translate(7);  // warm the TLB
+    mmu.unmap(7, 1);
+    const auto t = mmu.translate(7);
+    EXPECT_EQ(t.result, TranslateResult::FarFault)
+        << "stale TLB entries must not survive unmap";
+    EXPECT_FALSE(mmu.isMapped(7));
+}
+
+TEST(GmmuTest, LruEviction)
+{
+    Gmmu mmu(4);
+    mmu.map(0, 100, 8);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        mmu.translate(i);  // fills TLB; vpn 0 evicted by vpn 4
+    const auto again = mmu.translate(0);
+    EXPECT_EQ(again.result, TranslateResult::TlbMissWalkHit);
+    // vpn 4 is still cached (most recent before the re-walk of 0).
+    const auto four = mmu.translate(4);
+    EXPECT_EQ(four.result, TranslateResult::TlbHit);
+}
+
+TEST(GmmuTest, LruTouchOnHit)
+{
+    Gmmu mmu(2);
+    mmu.map(0, 100, 3);
+    mmu.translate(0);
+    mmu.translate(1);
+    mmu.translate(0);  // touch 0: now MRU
+    mmu.translate(2);  // evicts 1, not 0
+    EXPECT_EQ(mmu.translate(0).result, TranslateResult::TlbHit);
+    EXPECT_EQ(mmu.translate(1).result,
+              TranslateResult::TlbMissWalkHit);
+}
+
+TEST(GmmuTest, StatsAccumulate)
+{
+    Gmmu mmu;
+    mmu.map(0, 1, 1);
+    mmu.translate(0);
+    mmu.translate(0);
+    mmu.translate(99);
+    EXPECT_EQ(mmu.tlbHits(), 1u);
+    EXPECT_EQ(mmu.tlbMisses(), 2u);
+    EXPECT_EQ(mmu.farFaults(), 1u);
+}
+
+TEST(GmmuTest, RejectsEmptyTlb)
+{
+    EXPECT_THROW(Gmmu{0}, FatalError);
+}
+
+// ---------------------------------------------- uvm integration
+
+TEST(UvmGmmu, ResidencyDrivesMappings)
+{
+    UvmManager uvm;
+    pcie::PcieLink link;
+    tee::TdxModule tdx(false);
+    TransferContext ctx{link, tdx, nullptr};
+
+    const Bytes bytes = size::mib(8);  // 128 GMMU big pages
+    const auto h = uvm.createAllocation(bytes);
+    EXPECT_EQ(uvm.gmmu().mappedPages(), 0u);
+
+    uvm.touchOnDevice(h, bytes, ctx);
+    EXPECT_EQ(uvm.gmmu().mappedPages(), bytes / kGmmuPageBytes);
+
+    uvm.invalidateDeviceResidency(h);
+    EXPECT_EQ(uvm.gmmu().mappedPages(), 0u);
+}
+
+TEST(UvmGmmu, FreeUnmapsEverything)
+{
+    UvmManager uvm;
+    pcie::PcieLink link;
+    tee::TdxModule tdx(false);
+    TransferContext ctx{link, tdx, nullptr};
+
+    const auto a = uvm.createAllocation(size::mib(4));
+    const auto b = uvm.createAllocation(size::mib(4));
+    uvm.touchOnDevice(a, size::mib(4), ctx);
+    uvm.touchOnDevice(b, size::mib(4), ctx);
+    const auto mapped = uvm.gmmu().mappedPages();
+    uvm.freeAllocation(a);
+    EXPECT_EQ(uvm.gmmu().mappedPages(), mapped / 2);
+    uvm.freeAllocation(b);
+    EXPECT_EQ(uvm.gmmu().mappedPages(), 0u);
+}
+
+TEST(UvmGmmu, PartialResidencyMapsPrefixOnly)
+{
+    UvmManager uvm;
+    pcie::PcieLink link;
+    tee::TdxModule tdx(false);
+    TransferContext ctx{link, tdx, nullptr};
+
+    const auto h = uvm.createAllocation(size::mib(8));
+    uvm.touchOnDevice(h, size::mib(2), ctx);
+    EXPECT_EQ(uvm.gmmu().mappedPages(),
+              size::mib(2) / kGmmuPageBytes);
+}
+
+TEST(UvmGmmu, AllocationsDoNotAliasPages)
+{
+    UvmManager uvm;
+    pcie::PcieLink link;
+    tee::TdxModule tdx(false);
+    TransferContext ctx{link, tdx, nullptr};
+
+    const auto a = uvm.createAllocation(size::mib(1));
+    const auto b = uvm.createAllocation(size::mib(1));
+    uvm.touchOnDevice(a, size::mib(1), ctx);
+    uvm.touchOnDevice(b, size::mib(1), ctx);
+    EXPECT_EQ(uvm.gmmu().mappedPages(),
+              2 * (size::mib(1) / kGmmuPageBytes));
+}
+
+} // namespace
+} // namespace hcc::gpu

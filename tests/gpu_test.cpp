@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Tests for the GPU device model: command processor, compute engine
+ * concurrency, copy paths, UVM fault economics, and kernel scheduling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/calibration.hpp"
+#include "common/log.hpp"
+#include "gpu/command_processor.hpp"
+#include "gpu/compute_engine.hpp"
+#include "gpu/copy_engine.hpp"
+#include "gpu/gpu_device.hpp"
+#include "gpu/kernel.hpp"
+#include "gpu/uvm.hpp"
+#include "pcie/link.hpp"
+#include "tee/secure_channel.hpp"
+#include "tee/spdm.hpp"
+#include "tee/tdx.hpp"
+
+namespace hcc::gpu {
+namespace {
+
+/** Shared fixture wiring a link + TDX + optional channel. */
+class GpuFixture : public ::testing::Test
+{
+  protected:
+    TransferContext
+    baseCtx()
+    {
+        return TransferContext{link_, vm_tdx_, nullptr};
+    }
+
+    TransferContext
+    ccCtx()
+    {
+        if (!channel_) {
+            channel_ = std::make_unique<tee::SecureChannel>(
+                tee::ChannelConfig{}, tee::SpdmSession::establish(1));
+        }
+        return TransferContext{link_, td_tdx_, channel_.get()};
+    }
+
+    pcie::PcieLink link_;
+    tee::TdxModule vm_tdx_{false};
+    tee::TdxModule td_tdx_{true};
+    std::unique_ptr<tee::SecureChannel> channel_;
+};
+
+// ------------------------------------------------------ roofline
+
+TEST(Roofline, MemoryBoundKernel)
+{
+    // Stream 1 GiB through HBM with negligible compute: duration is
+    // the HBM time.
+    KernelDesc k;
+    k.name = "streaming";
+    k.dims = {1024, 1, 1, 256, 1, 1};
+    k.mem_bytes = size::gib(1);
+    const SimTime d = rooflineDuration(k);
+    EXPECT_NEAR(bandwidthGBs(size::gib(1), d), calib::kHbmGBs,
+                calib::kHbmGBs * 0.02);
+}
+
+TEST(Roofline, ComputeBoundKernel)
+{
+    // A dense GEMM-like kernel: 10 TFLOP at full occupancy.
+    KernelDesc k;
+    k.name = "gemm_like";
+    k.dims = {4096, 1, 1, 256, 1, 1};
+    k.gflops = 10000.0;
+    k.mem_bytes = size::mib(64);
+    const SimTime d = rooflineDuration(k);
+    const double peak =
+        static_cast<double>(calib::kNumSms) * calib::kSmGflops;
+    EXPECT_NEAR(time::toSec(d), 10000.0 / peak, 0.02);
+}
+
+TEST(Roofline, SmallLaunchLosesOccupancy)
+{
+    KernelDesc small, big;
+    small.gflops = big.gflops = 100.0;
+    small.dims = {1, 1, 1, 128, 1, 1};      // one block
+    big.dims = {4096, 1, 1, 256, 1, 1};     // device-filling
+    EXPECT_GT(rooflineDuration(small), 10 * rooflineDuration(big));
+}
+
+TEST(Roofline, FloorForDegenerateKernels)
+{
+    KernelDesc k;
+    EXPECT_GE(rooflineDuration(k), time::us(1.0));
+}
+
+TEST_F(GpuFixture, RooflineKernelExecutesWhenDurationOmitted)
+{
+    GpuDevice dev;
+    auto ctx = baseCtx();
+    KernelDesc k;
+    k.name = "roofline_k";
+    k.dims = {4096, 1, 1, 256, 1, 1};
+    k.mem_bytes = size::mib(512);
+    const auto s = dev.executeKernel(0, 0, k, ctx);
+    EXPECT_NEAR(static_cast<double>(s.ket()),
+                static_cast<double>(
+                    transferTime(size::mib(512), calib::kHbmGBs)),
+                static_cast<double>(time::us(20.0)));
+}
+
+// ------------------------------------------------- command processor
+
+TEST(CommandProcessor, CcDecodeIsSlower)
+{
+    // Decode times are jittered; compare means over many commands.
+    CommandProcessor base(false), cc(true);
+    double b_sum = 0.0, c_sum = 0.0;
+    SimTime b_t = 0, c_t = 0;
+    const int n = 500;
+    for (int i = 0; i < n; ++i) {
+        const auto b = base.decode(b_t, CommandKind::KernelLaunch);
+        const auto c = cc.decode(c_t, CommandKind::KernelLaunch);
+        b_sum += static_cast<double>(b.duration());
+        c_sum += static_cast<double>(c.duration());
+        b_t = b.end;
+        c_t = c.end;
+    }
+    EXPECT_NEAR(b_sum / n,
+                static_cast<double>(calib::kCmdProcDecodeBase),
+                static_cast<double>(calib::kCmdProcDecodeBase) * 0.1);
+    EXPECT_NEAR(c_sum / n,
+                static_cast<double>(calib::kCmdProcDecodeCc),
+                static_cast<double>(calib::kCmdProcDecodeCc) * 0.1);
+    EXPECT_GT(c_sum, b_sum * 2.0);
+}
+
+TEST(CommandProcessor, DecoderSerializesCommands)
+{
+    CommandProcessor cp(false);
+    const auto a = cp.decode(0, CommandKind::KernelLaunch);
+    const auto b = cp.decode(0, CommandKind::CopyH2D);
+    EXPECT_EQ(b.start, a.end);
+    EXPECT_EQ(cp.commandsDecoded(), 2u);
+}
+
+TEST(CommandProcessor, SemaphorePacketsAreLighter)
+{
+    CommandProcessor cp(false);
+    const auto full = cp.decode(0, CommandKind::KernelLaunch);
+    const auto sem = cp.decode(full.end, CommandKind::Semaphore);
+    EXPECT_LT(sem.duration(), full.duration());
+}
+
+// ---------------------------------------------------- compute engine
+
+TEST(ComputeEngineTest, ConcurrentKernelsOverlap)
+{
+    ComputeEngine ce(4);
+    for (int i = 0; i < 4; ++i) {
+        const auto iv = ce.execute(0, time::ms(1.0));
+        EXPECT_EQ(iv.start, 0) << "slot " << i << " should be free";
+    }
+    const auto fifth = ce.execute(0, time::ms(1.0));
+    EXPECT_EQ(fifth.start, time::ms(1.0)) << "fifth kernel must queue";
+}
+
+// ------------------------------------------------------- copy engine
+
+TEST_F(GpuFixture, PinnedBeatsPageableInBase)
+{
+    CopyEngine ce;
+    auto ctx = baseCtx();
+    const Bytes b = size::mib(256);
+    const auto pinned = ce.copy(0, b, pcie::Direction::HostToDevice,
+                                HostMemKind::Pinned, ctx);
+    CopyEngine ce2;
+    const auto pageable = ce2.copy(
+        0, b, pcie::Direction::HostToDevice, HostMemKind::Pageable,
+        ctx);
+    EXPECT_LT(pinned.total.duration(), pageable.total.duration());
+    const double pinned_gbps = bandwidthGBs(b, pinned.total.duration());
+    EXPECT_NEAR(pinned_gbps, calib::kPciePinnedGBs, 1.0);
+    const double pageable_gbps =
+        bandwidthGBs(b, pageable.total.duration());
+    EXPECT_NEAR(pageable_gbps, calib::kHostMemcpyGBs, 1.5)
+        << "pageable is staged-memcpy-bound";
+}
+
+TEST_F(GpuFixture, CcErasesThePinnedAdvantage)
+{
+    // Observation 1: pinned == pageable bandwidth under CC.  Use
+    // fully independent links/channels so the two transfers do not
+    // contend.
+    auto ctx = ccCtx();
+    CopyEngine ce;
+    const Bytes b = size::mib(256);
+    const auto pinned = ce.copy(0, b, pcie::Direction::HostToDevice,
+                                HostMemKind::Pinned, ctx);
+    pcie::PcieLink link2;
+    tee::SecureChannel ch2(tee::ChannelConfig{},
+                           tee::SpdmSession::establish(2));
+    TransferContext ctx2{link2, td_tdx_, &ch2};
+    CopyEngine ce2;
+    const auto pageable = ce2.copy(
+        0, b, pcie::Direction::HostToDevice, HostMemKind::Pageable,
+        ctx2);
+    const double r =
+        static_cast<double>(pinned.total.duration())
+        / static_cast<double>(pageable.total.duration());
+    EXPECT_NEAR(r, 1.0, 0.05);
+}
+
+TEST_F(GpuFixture, CcPinnedCopyFlaggedAsEncryptedPaging)
+{
+    auto ctx = ccCtx();
+    CopyEngine ce;
+    const auto pin = ce.copy(0, size::mib(1),
+                             pcie::Direction::HostToDevice,
+                             HostMemKind::Pinned, ctx);
+    EXPECT_TRUE(pin.encrypted_paging);
+    const auto page = ce.copy(pin.total.end, size::mib(1),
+                              pcie::Direction::HostToDevice,
+                              HostMemKind::Pageable, ctx);
+    EXPECT_FALSE(page.encrypted_paging);
+}
+
+TEST_F(GpuFixture, D2DUsesHbmBandwidth)
+{
+    CopyEngine ce;
+    auto ctx = baseCtx();
+    const Bytes b = size::gib(1);
+    const auto t = ce.copyD2D(0, b, ctx);
+    EXPECT_GT(bandwidthGBs(b, t.total.duration()), 1000.0);
+}
+
+// -------------------------------------------------------------- uvm
+
+TEST_F(GpuFixture, UvmFirstTouchFaultsSecondTouchFree)
+{
+    UvmManager uvm;
+    auto ctx = baseCtx();
+    const auto h = uvm.createAllocation(size::mib(16));
+    const auto first = uvm.touchOnDevice(h, size::mib(16), ctx);
+    EXPECT_GT(first.added, 0);
+    EXPECT_GT(first.batches, 0);
+    const auto second = uvm.touchOnDevice(h, size::mib(16), ctx);
+    EXPECT_EQ(second.added, 0);
+    EXPECT_EQ(second.batches, 0);
+    EXPECT_EQ(uvm.residentBytes(h), size::mib(16));
+}
+
+TEST_F(GpuFixture, UvmInvalidateForcesRefault)
+{
+    UvmManager uvm;
+    auto ctx = baseCtx();
+    const auto h = uvm.createAllocation(size::mib(4));
+    uvm.touchOnDevice(h, size::mib(4), ctx);
+    uvm.invalidateDeviceResidency(h);
+    const auto again = uvm.touchOnDevice(h, size::mib(4), ctx);
+    EXPECT_GT(again.added, 0);
+}
+
+TEST_F(GpuFixture, UvmMarkResidentSkipsFaults)
+{
+    UvmManager uvm;
+    auto ctx = baseCtx();
+    const auto h = uvm.createAllocation(size::mib(4));
+    uvm.markResident(h, size::mib(4));
+    const auto svc = uvm.touchOnDevice(h, size::mib(4), ctx);
+    EXPECT_EQ(svc.added, 0);
+}
+
+TEST_F(GpuFixture, EncryptedPagingIsCatastrophicallySlower)
+{
+    UvmManager uvm;
+    auto base = baseCtx();
+    auto cc = ccCtx();
+    const Bytes footprint = size::mib(32);
+    const auto h1 = uvm.createAllocation(footprint);
+    const auto h2 = uvm.createAllocation(footprint);
+    const auto b = uvm.touchOnDevice(h1, footprint, base);
+    const auto c = uvm.touchOnDevice(h2, footprint, cc);
+    const double ratio = static_cast<double>(c.added)
+        / static_cast<double>(b.added);
+    // Per-MiB: base ~ 4 batches x ~40us; CC ~ 128 batches x ~90us.
+    EXPECT_GT(ratio, 20.0);
+    EXPECT_GT(c.batches, b.batches * 10);
+}
+
+TEST_F(GpuFixture, UvmBatchingMatchesCalibration)
+{
+    UvmManager uvm;
+    auto base = baseCtx();
+    const Bytes bytes = size::mib(1);  // 256 pages
+    const auto h = uvm.createAllocation(bytes);
+    const auto svc = uvm.touchOnDevice(h, bytes, base);
+    EXPECT_EQ(svc.batches, 256 / calib::kUvmBatchPagesBase);
+    EXPECT_EQ(svc.migrated, bytes);
+}
+
+TEST_F(GpuFixture, UvmTouchClampedToAllocation)
+{
+    UvmManager uvm;
+    auto ctx = baseCtx();
+    const auto h = uvm.createAllocation(size::kib(8));
+    const auto svc = uvm.touchOnDevice(h, size::gib(1), ctx);
+    EXPECT_EQ(svc.migrated, size::kib(8));
+}
+
+TEST_F(GpuFixture, UvmUnknownHandleIsFatal)
+{
+    UvmManager uvm;
+    auto ctx = baseCtx();
+    EXPECT_THROW(uvm.touchOnDevice(999, 4096, ctx), FatalError);
+    EXPECT_THROW(uvm.freeAllocation(999), FatalError);
+    EXPECT_THROW(uvm.residentBytes(999), FatalError);
+}
+
+// ------------------------------------------------------- gpu device
+
+TEST_F(GpuFixture, KernelKqtReflectsDecodeAndEngineWait)
+{
+    GpuDevice dev;
+    auto ctx = baseCtx();
+    KernelDesc k{"k", {}, time::us(100), 0, 0};
+    const auto s = dev.executeKernel(0, 0, k, ctx);
+    EXPECT_EQ(s.enqueued, 0);
+    EXPECT_GE(s.kqt(), calib::kCmdProcDecodeBase);
+    EXPECT_NEAR(static_cast<double>(s.ket()),
+                static_cast<double>(time::us(100)), 1.0);
+}
+
+TEST_F(GpuFixture, StreamOrderingDelaysKernel)
+{
+    GpuDevice dev;
+    auto ctx = baseCtx();
+    KernelDesc k{"k", {}, time::us(10), 0, 0};
+    const auto s = dev.executeKernel(0, time::ms(5), k, ctx);
+    EXPECT_GE(s.start, time::ms(5));
+}
+
+TEST_F(GpuFixture, NonUvmKetNearlyIdenticalUnderCc)
+{
+    // Observation 5: +0.48% mean drift.
+    GpuConfig base_cfg, cc_cfg;
+    base_cfg.seed = cc_cfg.seed = 7;
+    cc_cfg.cc_mode = true;
+    GpuDevice base_dev{base_cfg};
+    GpuDevice cc_dev{cc_cfg};
+    auto bctx = baseCtx();
+    auto cctx = ccCtx();
+    double sum_ratio = 0.0;
+    const int n = 400;
+    SimTime t_base = 0, t_cc = 0;
+    for (int i = 0; i < n; ++i) {
+        KernelDesc k{"k", {}, time::us(200), 0, 0};
+        const auto sb = base_dev.executeKernel(t_base, t_base, k, bctx);
+        const auto sc = cc_dev.executeKernel(t_cc, t_cc, k, cctx);
+        sum_ratio += static_cast<double>(sc.ket())
+            / static_cast<double>(sb.ket());
+        t_base = sb.end;
+        t_cc = sc.end;
+    }
+    const double mean_ratio = sum_ratio / n;
+    EXPECT_NEAR(mean_ratio, 1.0048, 0.003);
+}
+
+TEST_F(GpuFixture, UvmKernelKetIncludesFaultService)
+{
+    GpuDevice dev;
+    auto ctx = baseCtx();
+    const auto h = dev.uvm().createAllocation(size::mib(8));
+    KernelDesc k{"uvm_k", {}, time::us(50), size::mib(8), h};
+    const auto s = dev.executeKernel(0, 0, k, ctx);
+    EXPECT_GT(s.uvm_service, 0);
+    EXPECT_GT(s.fault_batches, 0);
+    EXPECT_GE(s.ket(), s.uvm_service + time::us(50) - time::us(1));
+}
+
+TEST_F(GpuFixture, CopyThroughDeviceIncludesDecode)
+{
+    GpuDevice dev;
+    auto ctx = baseCtx();
+    const auto t = dev.executeCopy(0, size::mib(1),
+                                   pcie::Direction::HostToDevice,
+                                   HostMemKind::Pinned, ctx);
+    EXPECT_GT(t.total.duration(),
+              link_.dmaDuration(size::mib(1)));
+}
+
+} // namespace
+} // namespace hcc::gpu

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Integration tests: the paper's headline numbers must emerge from
+ * the full simulated stack within calibrated bands, and cross-module
+ * invariants (trace causality, stream ordering, TDX accounting) must
+ * hold on real app runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/stats.hpp"
+#include "perfmodel/model.hpp"
+#include "runtime/context.hpp"
+#include "trace/analysis.hpp"
+#include "workloads/workload.hpp"
+
+namespace hcc {
+namespace {
+
+using workloads::WorkloadParams;
+using workloads::runWorkload;
+
+rt::SystemConfig
+sys(bool cc)
+{
+    rt::SystemConfig c;
+    c.cc = cc;
+    return c;
+}
+
+/** Cache of app runs shared across tests in this binary. */
+struct RunCache
+{
+    static const workloads::WorkloadResult &
+    get(const std::string &app, bool cc, bool uvm = false)
+    {
+        static std::map<std::string, workloads::WorkloadResult> cache;
+        const std::string key =
+            app + (cc ? "|cc" : "|base") + (uvm ? "|uvm" : "");
+        auto it = cache.find(key);
+        if (it == cache.end()) {
+            WorkloadParams p;
+            p.uvm = uvm;
+            it = cache.emplace(key, runWorkload(app, sys(cc), p))
+                     .first;
+        }
+        return it->second;
+    }
+};
+
+// ------------------------------------------------ headline bands
+
+TEST(PaperBands, CopyOverheadAverageAndExtremes)
+{
+    // Observation 3: copies average 5.80x slower under CC, max
+    // 19.69x (2dconv), min 1.17x (cnn).
+    std::vector<double> ratios;
+    double max_r = 0.0, min_r = 1e30;
+    std::string max_app, min_app;
+    for (const auto &app : workloads::evaluationApps()) {
+        const auto &b = RunCache::get(app, false).metrics;
+        const auto &c = RunCache::get(app, true).metrics;
+        const double r = static_cast<double>(c.copyTotal())
+            / static_cast<double>(b.copyTotal());
+        ratios.push_back(r);
+        if (r > max_r) {
+            max_r = r;
+            max_app = app;
+        }
+        if (r < min_r) {
+            min_r = r;
+            min_app = app;
+        }
+    }
+    EXPECT_NEAR(geomean(ratios), 5.80, 1.5);
+    EXPECT_NEAR(max_r, 19.69, 4.0);
+    EXPECT_EQ(max_app, "2dconv");
+    EXPECT_NEAR(min_r, 1.17, 0.4);
+    EXPECT_EQ(min_app, "cnn");
+}
+
+TEST(PaperBands, LaunchMetricAverages)
+{
+    // Observation 4: KLO 1.42x, LQT 1.43x, KQT 2.32x on average.
+    std::vector<double> klo, lqt, kqt;
+    for (const auto &app : workloads::evaluationApps()) {
+        const auto &b = RunCache::get(app, false).metrics;
+        const auto &c = RunCache::get(app, true).metrics;
+        klo.push_back(c.klo.mean() / b.klo.mean());
+        if (b.launches > 1) {
+            lqt.push_back(c.lqt.mean() / b.lqt.mean());
+            kqt.push_back(c.kqt.mean() / b.kqt.mean());
+        }
+    }
+    EXPECT_NEAR(mean(klo), 1.42, 0.35);
+    EXPECT_NEAR(mean(lqt), 1.43, 0.25);
+    EXPECT_NEAR(mean(kqt), 2.32, 0.45);
+}
+
+TEST(PaperBands, Dwt2dIsTheKloOutlier)
+{
+    // "KLO increases by up to 5.31x in dwt2d".
+    double dwt2d_r = 0.0, others_max = 0.0;
+    for (const auto &app : workloads::evaluationApps()) {
+        const auto &b = RunCache::get(app, false).metrics;
+        const auto &c = RunCache::get(app, true).metrics;
+        const double r = c.klo.mean() / b.klo.mean();
+        if (app == "dwt2d")
+            dwt2d_r = r;
+        else
+            others_max = std::max(others_max, r);
+    }
+    EXPECT_NEAR(dwt2d_r, 5.31, 1.3);
+    EXPECT_GT(dwt2d_r, others_max);
+}
+
+TEST(PaperBands, NonUvmKetBarelyMoves)
+{
+    // Observation 5: +0.48% average KET under CC.
+    std::vector<double> ratios;
+    for (const auto &app : workloads::evaluationApps()) {
+        const auto &b = RunCache::get(app, false).metrics;
+        const auto &c = RunCache::get(app, true).metrics;
+        ratios.push_back(c.ket.sum() / b.ket.sum());
+    }
+    EXPECT_NEAR(mean(ratios), 1.0048, 0.01);
+}
+
+TEST(PaperBands, UvmKetBlowup)
+{
+    // Observation 5: UVM base 5.29x; CC-UVM 188.87x average,
+    // 1.08x (gramschm) to 164030x (2dconv).
+    std::vector<double> uvm_base, uvm_cc;
+    double max_cc = 0.0;
+    std::string max_app;
+    double gramschm_cc = 0.0;
+    for (const auto &app : workloads::uvmApps()) {
+        const double base_ket =
+            RunCache::get(app, false).metrics.ket.sum();
+        const double u =
+            RunCache::get(app, false, true).metrics.ket.sum();
+        const double cu =
+            RunCache::get(app, true, true).metrics.ket.sum();
+        uvm_base.push_back(u / base_ket);
+        const double cc_r = cu / base_ket;
+        uvm_cc.push_back(cc_r);
+        if (cc_r > max_cc) {
+            max_cc = cc_r;
+            max_app = app;
+        }
+        if (app == "gramschm")
+            gramschm_cc = cc_r;
+    }
+    EXPECT_NEAR(geomean(uvm_base), 5.29, 1.6);
+    EXPECT_NEAR(geomean(uvm_cc), 188.87, 60.0);
+    EXPECT_EQ(max_app, "2dconv");
+    EXPECT_NEAR(max_cc / 164030.0, 1.0, 0.35);
+    EXPECT_NEAR(gramschm_cc, 1.08, 0.06);
+}
+
+TEST(PaperBands, AllocRatiosAtApiLevel)
+{
+    // Fig. 6 microbenchmark multipliers.
+    auto probe = [](bool cc) {
+        rt::Context ctx(sys(cc));
+        std::map<std::string, double> t;
+        SimTime a = ctx.now();
+        auto d = ctx.mallocDevice(size::mib(64));
+        t["dmalloc"] = static_cast<double>(ctx.now() - a);
+        a = ctx.now();
+        auto h = ctx.mallocHost(size::mib(64));
+        t["hmalloc"] = static_cast<double>(ctx.now() - a);
+        a = ctx.now();
+        ctx.free(d);
+        t["free"] = static_cast<double>(ctx.now() - a);
+        ctx.free(h);
+        a = ctx.now();
+        auto m = ctx.mallocManaged(size::mib(64));
+        t["malloc_managed"] = static_cast<double>(ctx.now() - a);
+        a = ctx.now();
+        ctx.free(m);
+        t["free_managed"] = static_cast<double>(ctx.now() - a);
+        return t;
+    };
+    auto base = probe(false);
+    auto cc = probe(true);
+    EXPECT_NEAR(cc["dmalloc"] / base["dmalloc"], 5.67, 1.2);
+    EXPECT_NEAR(cc["hmalloc"] / base["hmalloc"], 5.72, 1.2);
+    EXPECT_NEAR(cc["free"] / base["free"], 10.54, 2.2);
+    EXPECT_NEAR(cc["malloc_managed"] / base["malloc_managed"], 5.43,
+                1.3);
+    EXPECT_NEAR(base["malloc_managed"] / base["dmalloc"], 0.51,
+                0.12);
+    EXPECT_NEAR(base["free_managed"] / base["free"], 3.13, 0.8);
+    // The paper's 18.20x CC-UVM free and 3.35x managed-free pair are
+    // mutually inconsistent with its own 3.13x; we land between.
+    EXPECT_GT(cc["free_managed"] / base["free"], 8.0);
+}
+
+TEST(PaperBands, CcTransferPeak)
+{
+    // Fig. 4a: 3.03 GB/s pin-h2d peak under CC; pinned == pageable.
+    rt::Context cc(sys(true));
+    const Bytes n = size::gib(1);
+    auto pin = cc.mallocHost(n);
+    auto dev = cc.mallocDevice(n);
+    const SimTime t0 = cc.now();
+    cc.memcpy(dev, pin, n);
+    const double gbps = bandwidthGBs(n, cc.now() - t0);
+    EXPECT_NEAR(gbps, 3.03, 0.25);
+}
+
+// ------------------------------------------------ trace invariants
+
+TEST(TraceInvariants, CausalityAcrossApps)
+{
+    for (const auto &app : {"sc", "kmeans", "dwt2d", "2dconv"}) {
+        for (bool cc : {false, true}) {
+            const auto &res = RunCache::get(app, cc);
+            // Kernels never start before their launch completes.
+            std::map<std::uint64_t, SimTime> launch_end;
+            for (const auto &e : res.trace.events()) {
+                if (e.kind == trace::EventKind::Launch)
+                    launch_end[e.correlation] = e.end;
+            }
+            for (const auto &e : res.trace.events()) {
+                if (e.kind != trace::EventKind::Kernel)
+                    continue;
+                const auto it = launch_end.find(e.correlation);
+                ASSERT_NE(it, launch_end.end());
+                EXPECT_GE(e.start, it->second);
+            }
+        }
+    }
+}
+
+TEST(TraceInvariants, SameStreamKernelsNeverOverlap)
+{
+    const auto &res = RunCache::get("sc", true);
+    SimTime prev_end = 0;
+    for (const auto &e : res.trace.events()) {
+        if (e.kind != trace::EventKind::Kernel)
+            continue;
+        EXPECT_GE(e.start, prev_end);
+        prev_end = e.end;
+    }
+}
+
+TEST(TraceInvariants, NonNegativeDurationsAndWaits)
+{
+    for (const auto &app : workloads::evaluationApps()) {
+        const auto &res = RunCache::get(app, true);
+        for (const auto &e : res.trace.events()) {
+            EXPECT_GE(e.duration(), 0);
+            EXPECT_GE(e.queue_wait, 0);
+        }
+    }
+}
+
+TEST(TdxAccounting, NoTdxActivityOutsideCc)
+{
+    for (const auto &app : {"2mm", "sc"}) {
+        const auto &base = RunCache::get(app, false);
+        EXPECT_EQ(base.tdx.hypercalls, 0u) << app;
+        EXPECT_EQ(base.tdx.pages_converted, 0u) << app;
+        const auto &cc = RunCache::get(app, true);
+        EXPECT_GT(cc.tdx.hypercalls, 0u) << app;
+    }
+}
+
+TEST(EndToEnd, EveryAppSlowerUnderCc)
+{
+    for (const auto &app : workloads::evaluationApps()) {
+        const auto &b = RunCache::get(app, false);
+        const auto &c = RunCache::get(app, true);
+        EXPECT_GT(c.end_to_end, b.end_to_end) << app;
+    }
+}
+
+TEST(EndToEnd, HighKlrAppsBarelyAffected)
+{
+    // Observation 6: high kernel-to-launch-ratio apps hide the CC
+    // launch taxes.
+    const auto &b = RunCache::get("gramschm", false);
+    const auto &c = RunCache::get("gramschm", true);
+    EXPECT_GT(trace::kernelToLaunchRatio(b.metrics), 1000.0);
+    const double slowdown = static_cast<double>(c.end_to_end)
+        / static_cast<double>(b.end_to_end);
+    EXPECT_LT(slowdown, 1.05);
+}
+
+TEST(EndToEnd, LowKlrAppsDominatedByLaunch)
+{
+    const auto &b = RunCache::get("sc", false);
+    EXPECT_LT(trace::kernelToLaunchRatio(b.metrics), 2.0);
+    const auto &c = RunCache::get("sc", true);
+    const double slowdown = static_cast<double>(c.end_to_end)
+        / static_cast<double>(b.end_to_end);
+    EXPECT_GT(slowdown, 1.3);
+}
+
+} // namespace
+} // namespace hcc

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for the ML workload models: CNN training trends (Fig. 13)
+ * and LLM serving orderings (Fig. 14).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "ml/cnn.hpp"
+#include "ml/llm.hpp"
+#include "runtime/context.hpp"
+
+namespace hcc::ml {
+namespace {
+
+rt::SystemConfig
+sys(bool cc)
+{
+    rt::SystemConfig c;
+    c.cc = cc;
+    return c;
+}
+
+CnnTrainResult
+train(CnnModel model, int batch, Precision prec, bool cc)
+{
+    rt::Context ctx(sys(cc));
+    CnnTrainConfig cfg;
+    cfg.model = model;
+    cfg.batch_size = batch;
+    cfg.precision = prec;
+    return trainCnn(ctx, cfg);
+}
+
+LlmResult
+serve(LlmBackend backend, LlmQuant quant, int batch, bool cc)
+{
+    rt::Context ctx(sys(cc));
+    LlmConfig cfg;
+    cfg.backend = backend;
+    cfg.quant = quant;
+    cfg.batch = batch;
+    return serveLlm(ctx, cfg);
+}
+
+// ----------------------------------------------------------- cnn
+
+TEST(Cnn, ThroughputGrowsWithBatch)
+{
+    const auto b64 = train(CnnModel::Vgg16, 64, Precision::Fp32,
+                           false);
+    const auto b1024 = train(CnnModel::Vgg16, 1024, Precision::Fp32,
+                             false);
+    EXPECT_GT(b1024.throughput, b64.throughput);
+}
+
+TEST(Cnn, CcLossShrinksWithBatch)
+{
+    // Paper: -24% average at batch 64, -7.3% at batch 1024.
+    double loss64 = 0.0, loss1024 = 0.0;
+    for (auto m : allCnnModels()) {
+        loss64 += 1.0
+            - train(m, 64, Precision::Fp32, true).throughput
+                / train(m, 64, Precision::Fp32, false).throughput;
+        loss1024 += 1.0
+            - train(m, 1024, Precision::Fp32, true).throughput
+                / train(m, 1024, Precision::Fp32, false).throughput;
+    }
+    loss64 /= static_cast<double>(allCnnModels().size());
+    loss1024 /= static_cast<double>(allCnnModels().size());
+    EXPECT_NEAR(loss64, 0.24, 0.10);
+    EXPECT_NEAR(loss1024, 0.073, 0.06);
+    EXPECT_GT(loss64, loss1024 + 0.05);
+}
+
+TEST(Cnn, AmpHurtsSmallBatchUnderCc)
+{
+    // Paper: AMP at batch 64 under CC reduces throughput (cast
+    // kernels add launches without enough GEMM work to win back).
+    int hurt = 0;
+    for (auto m : allCnnModels()) {
+        const auto amp = train(m, 64, Precision::Amp, true);
+        const auto fp32 = train(m, 64, Precision::Fp32, true);
+        if (amp.throughput < fp32.throughput)
+            ++hurt;
+    }
+    EXPECT_GE(hurt, 4) << "AMP should hurt most models at batch 64";
+}
+
+TEST(Cnn, AmpHelpsLargeBatch)
+{
+    for (auto m : {CnnModel::Vgg16, CnnModel::InceptionV4}) {
+        const auto amp = train(m, 1024, Precision::Amp, false);
+        const auto fp32 = train(m, 1024, Precision::Fp32, false);
+        EXPECT_GT(amp.throughput, fp32.throughput)
+            << cnnModelName(m);
+    }
+}
+
+TEST(Cnn, Fp16CutsTrainingTimeAtLargeBatch)
+{
+    // Paper: FP16 further cuts training time 27.7% on average
+    // (less data moved + faster compute).
+    double cut = 0.0;
+    for (auto m : allCnnModels()) {
+        const auto amp = train(m, 1024, Precision::Amp, true);
+        const auto fp16 = train(m, 1024, Precision::Fp16, true);
+        cut += 1.0
+            - static_cast<double>(fp16.train_time_200_epochs)
+                / static_cast<double>(amp.train_time_200_epochs);
+    }
+    cut /= static_cast<double>(allCnnModels().size());
+    EXPECT_NEAR(cut, 0.277, 0.12);
+}
+
+TEST(Cnn, TrainTimeExtrapolationConsistent)
+{
+    const auto r = train(CnnModel::ResNet50, 64, Precision::Fp32,
+                         false);
+    const double steps_per_epoch = std::ceil(50000.0 / 64.0);
+    EXPECT_NEAR(static_cast<double>(r.train_time_200_epochs),
+                static_cast<double>(r.step_time) * steps_per_epoch
+                    * 200.0,
+                1e6);
+}
+
+TEST(Cnn, RejectsBadConfig)
+{
+    rt::Context ctx(sys(false));
+    CnnTrainConfig cfg;
+    cfg.batch_size = 0;
+    EXPECT_THROW(trainCnn(ctx, cfg), FatalError);
+}
+
+TEST(Cnn, AllModelsHaveSpecs)
+{
+    for (auto m : allCnnModels()) {
+        const auto &spec = cnnModelSpec(m);
+        EXPECT_GT(spec.gflop_per_image, 0.0) << cnnModelName(m);
+        EXPECT_GT(spec.kernels_per_step, 0);
+        EXPECT_GT(spec.param_bytes, 0u);
+        EXPECT_FALSE(cnnModelName(m).empty());
+    }
+}
+
+// ----------------------------------------------------------- llm
+
+TEST(Llm, VllmBeatsHfEverywhere)
+{
+    for (int batch : {1, 16, 128}) {
+        for (auto quant : {LlmQuant::Bf16, LlmQuant::Awq4}) {
+            for (bool cc : {false, true}) {
+                const auto hf = serve(LlmBackend::HuggingFace, quant,
+                                      batch, cc);
+                const auto v = serve(LlmBackend::Vllm, quant, batch,
+                                     cc);
+                EXPECT_GT(v.tokens_per_s, hf.tokens_per_s)
+                    << "batch " << batch << " quant "
+                    << llmQuantName(quant) << " cc " << cc;
+            }
+        }
+    }
+}
+
+TEST(Llm, CcOnIsSlower)
+{
+    for (int batch : {1, 64}) {
+        const auto off = serve(LlmBackend::Vllm, LlmQuant::Bf16,
+                               batch, false);
+        const auto on = serve(LlmBackend::Vllm, LlmQuant::Bf16,
+                              batch, true);
+        EXPECT_LT(on.tokens_per_s, off.tokens_per_s);
+    }
+}
+
+TEST(Llm, AwqWinsSmallBatchBf16WinsLarge)
+{
+    // The paper's Fig. 14 crossover.
+    const auto awq_small = serve(LlmBackend::Vllm, LlmQuant::Awq4, 8,
+                                 false);
+    const auto bf16_small = serve(LlmBackend::Vllm, LlmQuant::Bf16, 8,
+                                  false);
+    EXPECT_GT(awq_small.tokens_per_s, bf16_small.tokens_per_s);
+
+    for (int batch : {64, 128}) {
+        const auto awq = serve(LlmBackend::Vllm, LlmQuant::Awq4,
+                               batch, false);
+        const auto bf16 = serve(LlmBackend::Vllm, LlmQuant::Bf16,
+                                batch, false);
+        EXPECT_GT(bf16.tokens_per_s, awq.tokens_per_s)
+            << "batch " << batch;
+    }
+}
+
+TEST(Llm, ThroughputScalesWithBatchSublinearly)
+{
+    const auto b1 = serve(LlmBackend::Vllm, LlmQuant::Bf16, 1, false);
+    const auto b64 = serve(LlmBackend::Vllm, LlmQuant::Bf16, 64,
+                           false);
+    EXPECT_GT(b64.tokens_per_s, b1.tokens_per_s * 4);
+    EXPECT_LT(b64.tokens_per_s, b1.tokens_per_s * 64);
+}
+
+TEST(Llm, RejectsBadConfig)
+{
+    rt::Context ctx(sys(false));
+    LlmConfig cfg;
+    cfg.batch = 0;
+    EXPECT_THROW(serveLlm(ctx, cfg), FatalError);
+}
+
+TEST(Llm, NamesAreStable)
+{
+    EXPECT_EQ(llmBackendName(LlmBackend::Vllm), "vLLM");
+    EXPECT_EQ(llmBackendName(LlmBackend::HuggingFace), "HF");
+    EXPECT_EQ(llmQuantName(LlmQuant::Bf16), "BF16");
+    EXPECT_EQ(llmQuantName(LlmQuant::Awq4), "AWQ");
+}
+
+} // namespace
+} // namespace hcc::ml

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the multi-GPU model: P2P vs encrypted double-bounce,
+ * collective scaling, and CC accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+#include "multigpu/multi_gpu.hpp"
+
+namespace hcc::multigpu {
+namespace {
+
+MultiGpuConfig
+cfg(bool cc, int gpus = 2)
+{
+    MultiGpuConfig c;
+    c.cc = cc;
+    c.gpus = gpus;
+    return c;
+}
+
+TEST(MultiGpu, P2pRunsAtPeerBandwidth)
+{
+    MultiGpuSystem sys(cfg(false));
+    const Bytes b = size::mib(256);
+    const auto t = sys.peerCopy(0, 1, b, 0);
+    EXPECT_NEAR(bandwidthGBs(b, t.total.duration()), 20.0, 1.0);
+    EXPECT_EQ(t.host_staged, 0u);
+}
+
+TEST(MultiGpu, CcPeerCopyBouncesThroughHost)
+{
+    MultiGpuSystem sys(cfg(true));
+    const Bytes b = size::mib(256);
+    const auto t = sys.peerCopy(0, 1, b, 0);
+    EXPECT_EQ(t.host_staged, b);
+    // D2H (~1.3 GB/s) + H2D (~3 GB/s) back to back.
+    const double gbps = bandwidthGBs(b, t.total.duration());
+    EXPECT_LT(gbps, 1.2);
+}
+
+TEST(MultiGpu, CcPeerTaxIsLarge)
+{
+    MultiGpuSystem base(cfg(false)), cc(cfg(true));
+    const Bytes b = size::mib(128);
+    const auto tb = base.peerCopy(0, 1, b, 0);
+    const auto tc = cc.peerCopy(0, 1, b, 0);
+    const double ratio = static_cast<double>(tc.total.duration())
+        / static_cast<double>(tb.total.duration());
+    EXPECT_GT(ratio, 10.0)
+        << "losing P2P plus double encryption should cost >10x";
+}
+
+TEST(MultiGpu, AllReduceMovesExpectedVolume)
+{
+    MultiGpuSystem sys(cfg(true, 4));
+    const Bytes b = size::mib(64);
+    const auto t = sys.allReduce(b, 0);
+    // 2*(N-1) steps x N legs x (b/N) bytes staged per leg.
+    EXPECT_EQ(t.host_staged, 2ull * 3ull * 4ull * (b / 4));
+    EXPECT_GT(t.total.duration(), 0);
+}
+
+TEST(MultiGpu, AllReduceCcMuchSlower)
+{
+    MultiGpuSystem base(cfg(false)), cc(cfg(true));
+    const Bytes b = size::mib(64);
+    const auto tb = base.allReduce(b, 0);
+    const auto tc = cc.allReduce(b, 0);
+    EXPECT_GT(tc.total.duration(), 8 * tb.total.duration());
+}
+
+TEST(MultiGpu, BroadcastChainScalesWithGpus)
+{
+    MultiGpuSystem two(cfg(false, 2)), four(cfg(false, 4));
+    const Bytes b = size::mib(64);
+    const auto t2 = two.broadcast(b, 0);
+    const auto t4 = four.broadcast(b, 0);
+    EXPECT_NEAR(static_cast<double>(t4.total.duration())
+                    / static_cast<double>(t2.total.duration()),
+                3.0, 0.2)
+        << "chain broadcast: N-1 sequential hops";
+}
+
+TEST(MultiGpu, CcChargesHypercalls)
+{
+    MultiGpuSystem sys(cfg(true));
+    sys.peerCopy(0, 1, size::mib(8), 0);
+    EXPECT_GT(sys.tdxStats().hypercalls, 0u);
+}
+
+TEST(MultiGpu, RejectsBadConfigAndArgs)
+{
+    EXPECT_THROW(MultiGpuSystem{cfg(false, 1)}, FatalError);
+    MultiGpuSystem sys(cfg(false));
+    EXPECT_THROW(sys.peerCopy(0, 0, 1024, 0), FatalError);
+}
+
+TEST(MultiGpu, ConcurrentP2pLegsOverlapAcrossSources)
+{
+    // Two transfers from different sources use separate lanes.
+    MultiGpuSystem sys(cfg(false, 4));
+    const auto a = sys.peerCopy(0, 1, size::mib(64), 0);
+    const auto b = sys.peerCopy(2, 3, size::mib(64), 0);
+    EXPECT_EQ(a.total.start, 0);
+    EXPECT_EQ(b.total.start, 0);
+}
+
+} // namespace
+} // namespace hcc::multigpu

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the PCIe link model: latency/bandwidth split, duplex
+ * independence, throttling, and the small-transfer bandwidth collapse
+ * that shapes Fig. 4a.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/calibration.hpp"
+#include "common/log.hpp"
+#include "pcie/link.hpp"
+
+namespace hcc::pcie {
+namespace {
+
+TEST(PcieLink, LargeTransferApproachesLineRate)
+{
+    PcieLink link;
+    const Bytes b = size::gib(1);
+    const SimTime t = link.dmaDuration(b);
+    EXPECT_NEAR(bandwidthGBs(b, t), link.config().effective_gbps, 0.1);
+}
+
+TEST(PcieLink, SmallTransferIsLatencyDominated)
+{
+    PcieLink link;
+    const SimTime t = link.dmaDuration(64);
+    // 64 B at 26 GB/s is ~2.5 ns; the 1.2 us latency dominates.
+    EXPECT_GT(t, time::us(1.0));
+    EXPECT_LT(bandwidthGBs(64, t), 0.1);
+}
+
+TEST(PcieLink, BandwidthMonotoneInSize)
+{
+    PcieLink link;
+    double prev = 0.0;
+    for (Bytes b = 64; b <= size::gib(1); b *= 4) {
+        const double bw = bandwidthGBs(b, link.dmaDuration(b));
+        EXPECT_GE(bw, prev) << "at size " << b;
+        prev = bw;
+    }
+}
+
+TEST(PcieLink, DirectionsAreIndependent)
+{
+    PcieLink link;
+    const auto h2d =
+        link.dma(0, size::mib(256), Direction::HostToDevice);
+    const auto d2h =
+        link.dma(0, size::mib(256), Direction::DeviceToHost);
+    EXPECT_EQ(h2d.start, 0);
+    EXPECT_EQ(d2h.start, 0) << "full duplex: no cross-direction queuing";
+}
+
+TEST(PcieLink, SameDirectionSerializes)
+{
+    PcieLink link;
+    const auto a = link.dma(0, size::mib(64), Direction::HostToDevice);
+    const auto b = link.dma(0, size::mib(64), Direction::HostToDevice);
+    EXPECT_EQ(b.start, a.end);
+}
+
+TEST(PcieLink, ThrottledDmaIsSlower)
+{
+    PcieLink link;
+    const SimTime full = link.dmaDuration(size::mib(64));
+    const SimTime throttled = link.dmaDuration(size::mib(64), 3.0);
+    EXPECT_GT(throttled, full);
+    EXPECT_NEAR(bandwidthGBs(size::mib(64), throttled), 3.0, 0.2);
+}
+
+TEST(PcieLink, ThrottleCannotExceedLineRate)
+{
+    PcieLink link;
+    const SimTime at_line = link.dmaDuration(size::mib(64));
+    const SimTime asked_faster = link.dmaDuration(size::mib(64), 999.0);
+    EXPECT_EQ(at_line, asked_faster);
+}
+
+TEST(PcieLink, StatsAccumulate)
+{
+    PcieLink link;
+    link.dma(0, 1024, Direction::HostToDevice);
+    link.dma(0, 1024, Direction::HostToDevice);
+    link.dma(0, 1024, Direction::DeviceToHost);
+    EXPECT_EQ(link.transactions(Direction::HostToDevice), 2u);
+    EXPECT_EQ(link.transactions(Direction::DeviceToHost), 1u);
+    EXPECT_GT(link.busyTime(Direction::HostToDevice), 0);
+    link.reset();
+    EXPECT_EQ(link.transactions(Direction::HostToDevice), 0u);
+}
+
+TEST(PcieLink, RejectsNonPositiveBandwidth)
+{
+    LinkConfig cfg;
+    cfg.effective_gbps = 0.0;
+    EXPECT_THROW(PcieLink{cfg}, FatalError);
+}
+
+} // namespace
+} // namespace hcc::pcie

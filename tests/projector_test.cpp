@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the CC projector: per-category deltas and end-to-end
+ * prediction accuracy against actual CC runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "perfmodel/projector.hpp"
+#include "runtime/context.hpp"
+#include "workloads/workload.hpp"
+
+namespace hcc::perfmodel {
+namespace {
+
+workloads::WorkloadResult
+run(const std::string &app, bool cc)
+{
+    rt::SystemConfig cfg;
+    cfg.cc = cc;
+    return workloads::runWorkload(app, cfg);
+}
+
+TEST(Projector, EmptyTraceProjectsToItself)
+{
+    trace::Tracer t;
+    const auto p = projectCc(t);
+    EXPECT_EQ(p.base, 0);
+    EXPECT_EQ(p.projected, 0);
+    EXPECT_FALSE(p.uvm_seen);
+    EXPECT_DOUBLE_EQ(p.slowdown(), 1.0);
+}
+
+TEST(Projector, TransferDeltaDominatesCopyHeavyApp)
+{
+    const auto base = run("gemm", false);
+    const auto p = projectCc(base.trace);
+    EXPECT_GT(p.mem_delta, p.launch_delta);
+    EXPECT_GT(p.mem_delta, p.kernel_delta);
+    EXPECT_GT(p.projected, p.base);
+}
+
+TEST(Projector, LaunchSideDeltasDominateLaunchHeavyApp)
+{
+    // For sc (1611 launches) the launch-path taxes — host launch +
+    // dispatch (launch_delta) plus per-kernel decode amplification
+    // (inside kernel_delta) — far outweigh the pure KET drift.
+    const auto base = run("sc", false);
+    const auto p = projectCc(base.trace);
+    EXPECT_GT(p.launch_delta,
+              static_cast<SimTime>(
+                  static_cast<double>(p.kernel_delta) * 0.5));
+    const SimTime ket_drift = static_cast<SimTime>(
+        base.metrics.ket.sum() * 0.0048);
+    EXPECT_GT(p.launch_delta, 10 * ket_drift);
+}
+
+TEST(Projector, FlagsManagedTraces)
+{
+    workloads::WorkloadParams params;
+    params.uvm = true;
+    rt::SystemConfig cfg;
+    const auto base = workloads::runWorkload("gemm", cfg, params);
+    const auto p = projectCc(base.trace);
+    EXPECT_TRUE(p.uvm_seen);
+}
+
+TEST(Projector, ReportListsCategories)
+{
+    const auto base = run("2mm", false);
+    const auto p = projectCc(base.trace);
+    const auto r = p.report();
+    EXPECT_NE(r.find("transfers"), std::string::npos);
+    EXPECT_NE(r.find("launches"), std::string::npos);
+    EXPECT_NE(r.find("projected P"), std::string::npos);
+}
+
+/** Prediction accuracy sweep over non-UVM apps. */
+class ProjectorAccuracy
+    : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(ProjectorAccuracy, WithinTwentyPercentOfActual)
+{
+    const std::string app = GetParam();
+    const auto base = run(app, false);
+    const auto actual = run(app, true);
+    const auto p = projectCc(base.trace);
+    const double actual_slowdown =
+        static_cast<double>(actual.end_to_end)
+        / static_cast<double>(base.end_to_end);
+    EXPECT_FALSE(p.uvm_seen) << app;
+    EXPECT_NEAR(p.slowdown() / actual_slowdown, 1.0, 0.20)
+        << app << ": projected " << p.slowdown() << "x vs actual "
+        << actual_slowdown << "x";
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, ProjectorAccuracy,
+                         ::testing::Values("2mm", "3dconv", "sc",
+                                           "hotspot", "gemm",
+                                           "kmeans", "dwt2d", "cnn",
+                                           "atax", "gramschm", "srad",
+                                           "lud", "backprop",
+                                           "lavamd"));
+
+} // namespace
+} // namespace hcc::perfmodel

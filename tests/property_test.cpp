@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Property and fuzz tests across the stack: randomized API call
+ * sequences must preserve global invariants for any seed; transfer
+ * costs must be monotone in size in every configuration; the CC
+ * direction asymmetry must hold; runs must be reproducible.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pcie/link.hpp"
+#include "runtime/context.hpp"
+#include "tee/secure_channel.hpp"
+#include "tee/spdm.hpp"
+#include "tee/tdx.hpp"
+#include "trace/analysis.hpp"
+
+namespace hcc {
+namespace {
+
+// ----------------------------------------------------------- fuzz
+
+/** Random but valid API call sequence driven by a seed. */
+void
+fuzzSequence(std::uint64_t seed, bool cc)
+{
+    rt::SystemConfig cfg;
+    cfg.cc = cc;
+    cfg.seed = seed;
+    rt::Context ctx(cfg);
+    Rng rng(seed, 0xf022);
+
+    std::vector<rt::Buffer> buffers;
+    std::vector<rt::Stream> streams{ctx.defaultStream()};
+    SimTime last_now = ctx.now();
+
+    for (int step = 0; step < 120; ++step) {
+        // Host time must never go backwards.
+        EXPECT_GE(ctx.now(), last_now);
+        last_now = ctx.now();
+
+        switch (rng.uniformInt(0, 9)) {
+          case 0:
+            buffers.push_back(
+                ctx.mallocDevice(1 + rng.uniformInt(0, 1 << 20)));
+            break;
+          case 1:
+            buffers.push_back(
+                ctx.mallocHost(1 + rng.uniformInt(0, 1 << 20)));
+            break;
+          case 2:
+            buffers.push_back(
+                ctx.mallocManaged(1 + rng.uniformInt(0, 1 << 20)));
+            break;
+          case 3:
+            buffers.push_back(
+                ctx.hostPageable(1 + rng.uniformInt(0, 1 << 20)));
+            break;
+          case 4: {
+            // Find a host-ish and a device buffer to copy between.
+            const rt::Buffer *host = nullptr, *dev = nullptr;
+            for (const auto &b : buffers) {
+                if (!b.valid())
+                    continue;
+                if (b.space == rt::MemSpace::Device)
+                    dev = &b;
+                else if (b.space != rt::MemSpace::Managed)
+                    host = &b;
+            }
+            if (host && dev) {
+                const Bytes n = std::min(host->bytes, dev->bytes);
+                if (rng.uniform() < 0.5)
+                    ctx.memcpy(*dev, *host, n);
+                else
+                    ctx.memcpy(*host, *dev, n);
+            }
+            break;
+          }
+          case 5: {
+            gpu::KernelDesc k;
+            k.name = "fuzz_k" + std::to_string(rng.uniformInt(0, 3));
+            k.duration = static_cast<SimTime>(
+                rng.uniform(1e3, 1e8));  // 1 ns .. 100 us
+            const auto &s = streams[static_cast<std::size_t>(
+                rng.uniformInt(0,
+                               static_cast<int>(streams.size())
+                                   - 1))];
+            ctx.launchKernel(k, s);
+            break;
+          }
+          case 6:
+            if (streams.size() < 4)
+                streams.push_back(ctx.createStream());
+            break;
+          case 7:
+            ctx.deviceSynchronize();
+            break;
+          case 8: {
+            // Free a random live buffer.
+            for (auto &b : buffers) {
+                if (b.valid()) {
+                    ctx.free(b);
+                    break;
+                }
+            }
+            break;
+          }
+          case 9: {
+            const auto &s = streams[static_cast<std::size_t>(
+                rng.uniformInt(0,
+                               static_cast<int>(streams.size())
+                                   - 1))];
+            ctx.streamSynchronize(s);
+            break;
+          }
+        }
+    }
+    ctx.deviceSynchronize();
+
+    // Global invariants over the resulting trace.
+    for (const auto &e : ctx.tracer().events()) {
+        EXPECT_GE(e.duration(), 0);
+        EXPECT_GE(e.queue_wait, 0);
+        EXPECT_LE(e.end, ctx.now());
+    }
+    // Cleanup must succeed for every live buffer.
+    for (auto &b : buffers) {
+        if (b.valid())
+            ctx.free(b);
+    }
+    EXPECT_EQ(ctx.liveAllocations(), 0u);
+}
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(FuzzSweep, RandomSequenceHoldsInvariantsBase)
+{
+    fuzzSequence(GetParam(), false);
+}
+
+TEST_P(FuzzSweep, RandomSequenceHoldsInvariantsCc)
+{
+    fuzzSequence(GetParam(), true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34,
+                                           55, 89));
+
+// ----------------------------------------------------- monotonicity
+
+TEST(TransferMonotonicity, CopyTimeMonotoneInSizeAllConfigs)
+{
+    for (bool cc : {false, true}) {
+        for (bool pinned : {false, true}) {
+            rt::SystemConfig cfg;
+            cfg.cc = cc;
+            rt::Context ctx(cfg);
+            SimTime prev = 0;
+            for (Bytes n = 1024; n <= size::mib(64); n *= 8) {
+                auto h = pinned ? ctx.mallocHost(n)
+                                : ctx.hostPageable(n);
+                auto d = ctx.mallocDevice(n);
+                const SimTime t0 = ctx.now();
+                ctx.memcpy(d, h, n);
+                const SimTime dt = ctx.now() - t0;
+                // Allow a little fixed-cost jitter (decode times are
+                // lognormal); payload growth must still dominate.
+                EXPECT_GE(dt, prev - time::us(3.0))
+                    << "cc=" << cc << " pinned=" << pinned
+                    << " size=" << n;
+                prev = dt;
+                ctx.free(d);
+                ctx.free(h);
+            }
+        }
+    }
+}
+
+TEST(TransferAsymmetry, CcD2hSlowerThanH2d)
+{
+    // The mechanism behind the 2dconv copy blowup: inbound data pays
+    // per-page private-page scrubbing.
+    tee::ChannelConfig cfg;
+    const auto session = tee::SpdmSession::establish(4);
+    tee::SecureChannel ch(cfg, session);
+    pcie::PcieLink link;
+    EXPECT_LT(ch.steadyStateGbps(link,
+                                 pcie::Direction::DeviceToHost),
+              ch.steadyStateGbps(link,
+                                 pcie::Direction::HostToDevice)
+                  * 0.6);
+}
+
+TEST(TransferAsymmetry, BaseDirectionsSymmetric)
+{
+    rt::Context ctx{rt::SystemConfig{}};
+    const Bytes n = size::mib(64);
+    auto h = ctx.mallocHost(n);
+    auto d = ctx.mallocDevice(n);
+    SimTime t0 = ctx.now();
+    ctx.memcpy(d, h, n);
+    const SimTime h2d = ctx.now() - t0;
+    t0 = ctx.now();
+    ctx.memcpy(h, d, n);
+    const SimTime d2h = ctx.now() - t0;
+    EXPECT_NEAR(static_cast<double>(h2d), static_cast<double>(d2h),
+                static_cast<double>(h2d) * 0.05);
+}
+
+// ----------------------------------------------------- determinism
+
+TEST(Determinism, IdenticalSeedsIdenticalTraces)
+{
+    auto run = [] {
+        rt::SystemConfig cfg;
+        cfg.cc = true;
+        cfg.seed = 1234;
+        rt::Context ctx(cfg);
+        auto h = ctx.hostPageable(size::mib(8));
+        auto d = ctx.mallocDevice(size::mib(8));
+        ctx.memcpy(d, h, size::mib(8));
+        for (int i = 0; i < 50; ++i) {
+            gpu::KernelDesc k{"k", {}, time::us(30), 0, 0};
+            ctx.launchKernel(k);
+        }
+        ctx.deviceSynchronize();
+        return ctx.tracer().events();
+    };
+    const auto a = run();
+    const auto b = run();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].start, b[i].start) << i;
+        EXPECT_EQ(a[i].end, b[i].end) << i;
+        EXPECT_EQ(a[i].queue_wait, b[i].queue_wait) << i;
+    }
+}
+
+TEST(Determinism, DifferentSeedsJitterButSameShape)
+{
+    auto total = [](std::uint64_t seed) {
+        rt::SystemConfig cfg;
+        cfg.seed = seed;
+        rt::Context ctx(cfg);
+        for (int i = 0; i < 100; ++i) {
+            gpu::KernelDesc k{"k", {}, time::us(30), 0, 0};
+            ctx.launchKernel(k);
+        }
+        ctx.deviceSynchronize();
+        return ctx.now();
+    };
+    const auto a = total(1);
+    const auto b = total(2);
+    EXPECT_NE(a, b);
+    EXPECT_NEAR(static_cast<double>(a), static_cast<double>(b),
+                static_cast<double>(a) * 0.2);
+}
+
+// ------------------------------------------------------- replay
+
+TEST(SecureChannelReplay, ReplayedChunkFailsAuthentication)
+{
+    // A malicious hypervisor records an earlier ciphertext chunk and
+    // substitutes it for a later one.  Per-chunk unique IVs make the
+    // replay fail authentication on the receiving side.
+    tee::ChannelConfig cfg;
+    cfg.chunk_bytes = 4096;
+    tee::SecureChannel ch(cfg, tee::SpdmSession::establish(21));
+
+    std::vector<std::uint8_t> first(4096, 0x11);
+    std::vector<std::uint8_t> out(4096);
+    std::vector<std::uint8_t> recorded;
+    ASSERT_TRUE(ch.transferFunctional(
+        first, out, [&](std::vector<std::uint8_t> &stage) {
+            recorded = stage;  // hypervisor snapshots the wire data
+        }));
+
+    std::vector<std::uint8_t> second(4096, 0x22);
+    const bool ok = ch.transferFunctional(
+        second, out, [&](std::vector<std::uint8_t> &stage) {
+            stage = recorded;  // replay the old chunk
+        });
+    EXPECT_FALSE(ok) << "replayed ciphertext must not authenticate";
+}
+
+TEST(SecureChannelReplay, EveryChunkGetsAFreshIv)
+{
+    // Two transfers of identical plaintext must produce different
+    // ciphertext on the wire (IVs never repeat).
+    tee::ChannelConfig cfg;
+    cfg.chunk_bytes = 4096;
+    tee::SecureChannel ch(cfg, tee::SpdmSession::establish(22));
+    std::vector<std::uint8_t> pt(4096, 0x33), out(4096);
+    std::vector<std::uint8_t> wire1, wire2;
+    ASSERT_TRUE(ch.transferFunctional(
+        pt, out,
+        [&](std::vector<std::uint8_t> &s) { wire1 = s; }));
+    ASSERT_TRUE(ch.transferFunctional(
+        pt, out,
+        [&](std::vector<std::uint8_t> &s) { wire2 = s; }));
+    EXPECT_NE(wire1, wire2);
+}
+
+} // namespace
+} // namespace hcc

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the from-scratch SHA-256 and HMAC-SHA-256 (vectors
+ * cross-checked against openssl).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crypto/sha256.hpp"
+
+namespace hcc::crypto {
+namespace {
+
+std::string
+toHex(const Sha256Digest &d)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string out;
+    for (auto b : d) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+bytes(const std::string &s)
+{
+    return {s.begin(), s.end()};
+}
+
+TEST(Sha256Test, EmptyInput)
+{
+    EXPECT_EQ(toHex(Sha256::digest({})),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc)
+{
+    EXPECT_EQ(toHex(Sha256::digest(bytes("abc"))),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, IncrementalEqualsOneShot)
+{
+    Rng rng(99);
+    std::vector<std::uint8_t> data(100000);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next32());
+
+    const auto oneshot = Sha256::digest(data);
+    // Feed in awkward chunk sizes.
+    Sha256 inc;
+    std::size_t off = 0;
+    std::size_t chunk = 1;
+    while (off < data.size()) {
+        const std::size_t n =
+            std::min(chunk, data.size() - off);
+        inc.update({data.data() + off, n});
+        off += n;
+        chunk = (chunk * 7 + 3) % 130 + 1;
+    }
+    EXPECT_EQ(inc.finalize(), oneshot);
+}
+
+TEST(Sha256Test, PaddingBoundaries)
+{
+    // Lengths around the 55/56/64-byte padding edges must all work
+    // and differ from each other.
+    std::vector<Sha256Digest> digests;
+    for (std::size_t n : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u,
+                          120u, 121u}) {
+        std::vector<std::uint8_t> data(n, 0x61);
+        digests.push_back(Sha256::digest(data));
+    }
+    for (std::size_t i = 0; i < digests.size(); ++i) {
+        for (std::size_t j = i + 1; j < digests.size(); ++j)
+            EXPECT_NE(digests[i], digests[j]);
+    }
+}
+
+TEST(Sha256Test, FinalizeResetsState)
+{
+    Sha256 h;
+    h.update(bytes("abc"));
+    const auto first = h.finalize();
+    h.update(bytes("abc"));
+    EXPECT_EQ(h.finalize(), first);
+}
+
+TEST(Sha256Test, AvalancheOnSingleBit)
+{
+    std::vector<std::uint8_t> a(64, 0);
+    std::vector<std::uint8_t> b = a;
+    b[10] ^= 1;
+    const auto da = Sha256::digest(a);
+    const auto db = Sha256::digest(b);
+    int differing = 0;
+    for (std::size_t i = 0; i < da.size(); ++i) {
+        differing += __builtin_popcount(
+            static_cast<unsigned>(da[i] ^ db[i]));
+    }
+    EXPECT_GT(differing, 80) << "roughly half of 256 bits should flip";
+}
+
+TEST(HmacSha256, Rfc4231Case2)
+{
+    const auto mac = hmacSha256(
+        bytes("Jefe"), bytes("what do ya want for nothing?"));
+    EXPECT_EQ(toHex(mac),
+              "5bdcc146bf60754e6a042426089575c7"
+              "5a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, KeyLongerThanBlockIsHashed)
+{
+    std::vector<std::uint8_t> long_key(131, 0xaa);
+    const auto a = hmacSha256(long_key, bytes("msg"));
+    // Hashing the key first must match using H(key) directly.
+    const auto hashed = Sha256::digest(long_key);
+    const auto b = hmacSha256(hashed, bytes("msg"));
+    EXPECT_EQ(a, b);
+}
+
+TEST(HmacSha256, DifferentKeysDifferentMacs)
+{
+    const auto a = hmacSha256(bytes("k1"), bytes("m"));
+    const auto b = hmacSha256(bytes("k2"), bytes("m"));
+    EXPECT_NE(a, b);
+}
+
+// Parameterized length sweep: incremental == one-shot at all sizes.
+class Sha256LengthSweep
+    : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(Sha256LengthSweep, TwoPartSplitMatches)
+{
+    Rng rng(GetParam());
+    std::vector<std::uint8_t> data(GetParam());
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next32());
+    const auto oneshot = Sha256::digest(data);
+    Sha256 inc;
+    const std::size_t half = data.size() / 2;
+    inc.update({data.data(), half});
+    inc.update({data.data() + half, data.size() - half});
+    EXPECT_EQ(inc.finalize(), oneshot);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Sha256LengthSweep,
+                         ::testing::Values(0, 1, 31, 32, 33, 63, 64,
+                                           65, 127, 128, 1000, 4096));
+
+} // namespace
+} // namespace hcc::crypto

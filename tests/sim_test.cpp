@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the simulation kernel: timelines, pools, event queue
+ * determinism and ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/log.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/timeline.hpp"
+
+namespace hcc::sim {
+namespace {
+
+// ------------------------------------------------------------ timeline
+
+TEST(TimelineTest, BackToBackReservations)
+{
+    Timeline t("ce");
+    const auto a = t.reserve(0, 100);
+    EXPECT_EQ(a.start, 0);
+    EXPECT_EQ(a.end, 100);
+    const auto b = t.reserve(0, 50);
+    EXPECT_EQ(b.start, 100) << "FIFO resource: b queues behind a";
+    EXPECT_EQ(b.end, 150);
+    EXPECT_EQ(t.totalQueuing(), 100);
+    EXPECT_EQ(t.busyTime(), 150);
+    EXPECT_EQ(t.reservations(), 2u);
+}
+
+TEST(TimelineTest, IdleGapWhenReadyLate)
+{
+    Timeline t;
+    t.reserve(0, 10);
+    const auto b = t.reserve(100, 10);
+    EXPECT_EQ(b.start, 100) << "no queuing when resource is idle";
+    EXPECT_EQ(t.totalQueuing(), 0);
+}
+
+TEST(TimelineTest, ZeroDurationAllowed)
+{
+    Timeline t;
+    const auto a = t.reserve(5, 0);
+    EXPECT_EQ(a.start, 5);
+    EXPECT_EQ(a.end, 5);
+}
+
+TEST(TimelineTest, ResetClearsState)
+{
+    Timeline t;
+    t.reserve(0, 100);
+    t.reset();
+    EXPECT_EQ(t.freeAt(), 0);
+    EXPECT_EQ(t.busyTime(), 0);
+    EXPECT_EQ(t.reservations(), 0u);
+}
+
+TEST(TimelineTest, IntervalsNeverOverlap)
+{
+    Timeline t;
+    SimTime prev_end = 0;
+    for (int i = 0; i < 100; ++i) {
+        const auto iv = t.reserve(i * 3, 7);
+        EXPECT_GE(iv.start, prev_end);
+        prev_end = iv.end;
+    }
+}
+
+// ---------------------------------------------------------------- pool
+
+TEST(TimelinePoolTest, SpreadsAcrossMembers)
+{
+    TimelinePool pool("copy", 2);
+    const auto a = pool.reserve(0, 100);
+    const auto b = pool.reserve(0, 100);
+    EXPECT_EQ(a.start, 0);
+    EXPECT_EQ(b.start, 0) << "second member should take the overflow";
+    const auto c = pool.reserve(0, 10);
+    EXPECT_EQ(c.start, 100) << "both busy until 100";
+}
+
+TEST(TimelinePoolTest, ReportsServingMember)
+{
+    TimelinePool pool("ce", 3);
+    int m0 = -1, m1 = -1, m2 = -1;
+    pool.reserve(0, 10, m0);
+    pool.reserve(0, 10, m1);
+    pool.reserve(0, 10, m2);
+    EXPECT_NE(m0, m1);
+    EXPECT_NE(m1, m2);
+    EXPECT_NE(m0, m2);
+}
+
+TEST(TimelinePoolTest, SingleMemberBehavesLikeTimeline)
+{
+    TimelinePool pool("x", 1);
+    pool.reserve(0, 50);
+    const auto b = pool.reserve(0, 10);
+    EXPECT_EQ(b.start, 50);
+}
+
+TEST(TimelinePoolTest, RejectsEmptyPool)
+{
+    EXPECT_THROW(TimelinePool("bad", 0), FatalError);
+}
+
+TEST(TimelinePoolTest, EarliestFree)
+{
+    TimelinePool pool("p", 2);
+    pool.reserve(0, 100);
+    EXPECT_EQ(pool.earliestFree(), 0);
+    pool.reserve(0, 200);
+    EXPECT_EQ(pool.earliestFree(), 100);
+}
+
+// --------------------------------------------------------- event queue
+
+TEST(EventQueueTest, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&](SimTime) { order.push_back(3); });
+    q.schedule(10, [&](SimTime) { order.push_back(1); });
+    q.schedule(20, [&](SimTime) { order.push_back(2); });
+    EXPECT_EQ(q.runAll(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&, i](SimTime) { order.push_back(i); });
+    q.runAll();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundaryInclusive)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(10, [&](SimTime) { ++count; });
+    q.schedule(20, [&](SimTime) { ++count; });
+    q.schedule(21, [&](SimTime) { ++count; });
+    EXPECT_EQ(q.runUntil(20), 2u);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(q.now(), 20);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, CallbackMaySchedule)
+{
+    EventQueue q;
+    std::vector<SimTime> fired;
+    q.schedule(1, [&](SimTime now) {
+        fired.push_back(now);
+        q.schedule(now + 5, [&](SimTime t2) { fired.push_back(t2); });
+    });
+    q.runAll();
+    EXPECT_EQ(fired, (std::vector<SimTime>{1, 6}));
+}
+
+TEST(EventQueueTest, NextTimeAndEmpty)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.nextTime(), -1);
+    q.schedule(42, [](SimTime) {});
+    EXPECT_EQ(q.nextTime(), 42);
+    EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueueTest, ResetDropsPending)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(1, [&](SimTime) { ++count; });
+    q.reset();
+    EXPECT_EQ(q.runAll(), 0u);
+    EXPECT_EQ(count, 0);
+    EXPECT_EQ(q.now(), 0);
+}
+
+TEST(EventQueueTest, ClockAdvancesMonotonically)
+{
+    EventQueue q;
+    SimTime last = -1;
+    for (int i = 0; i < 50; ++i) {
+        q.schedule(i * 2, [&](SimTime now) {
+            EXPECT_GT(now, last);
+            last = now;
+        });
+    }
+    q.runAll();
+    EXPECT_EQ(last, 98);
+}
+
+} // namespace
+} // namespace hcc::sim

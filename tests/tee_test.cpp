@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Tests for the TEE subsystem: TDX transition costs, bounce-buffer
+ * pool back-pressure, TME-MK functional encryption, SPDM sessions,
+ * and the secure channel's timing and integrity guarantees.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/calibration.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "pcie/link.hpp"
+#include "tee/bounce_buffer.hpp"
+#include "tee/mee.hpp"
+#include "tee/secure_channel.hpp"
+#include "tee/spdm.hpp"
+#include "tee/tdx.hpp"
+
+namespace hcc::tee {
+namespace {
+
+// ----------------------------------------------------------------- tdx
+
+TEST(Tdx, HypercallCostsExceedVmcallsByPaperRatio)
+{
+    TdxModule td(true), vm(false);
+    const SimTime cc = td.guestHostRoundTrips(1);
+    const SimTime base = vm.guestHostRoundTrips(1);
+    // [16]: tdx_hypercall latency increases by over 470%.
+    EXPECT_GT(static_cast<double>(cc) / static_cast<double>(base), 4.7);
+}
+
+TEST(Tdx, CountersTrackTransitions)
+{
+    TdxModule td(true);
+    td.guestHostRoundTrips(3);
+    td.seamcalls(2);
+    td.mmioDoorbell();
+    EXPECT_EQ(td.stats().hypercalls, 4u);  // 3 + doorbell
+    EXPECT_EQ(td.stats().seamcalls, 2u);
+    EXPECT_GT(td.stats().totalTime(), 0);
+    td.resetStats();
+    EXPECT_EQ(td.stats().hypercalls, 0u);
+}
+
+TEST(Tdx, NonCcChargesVmexitsNotHypercalls)
+{
+    TdxModule vm(false);
+    vm.guestHostRoundTrips(5);
+    EXPECT_EQ(vm.stats().vmexits, 5u);
+    EXPECT_EQ(vm.stats().hypercalls, 0u);
+}
+
+TEST(Tdx, PageConversionOnlyUnderCc)
+{
+    TdxModule td(true), vm(false);
+    EXPECT_GT(td.convertPages(size::mib(1)), 0);
+    EXPECT_EQ(vm.convertPages(size::mib(1)), 0);
+    EXPECT_EQ(td.stats().pages_converted, 256u);  // 1 MiB / 4 KiB
+}
+
+TEST(Tdx, SeamcallsFreeOutsideCc)
+{
+    TdxModule vm(false);
+    EXPECT_EQ(vm.seamcalls(10), 0);
+}
+
+TEST(Tdx, DmaAllocIncludesConversion)
+{
+    TdxModule td(true);
+    const SimTime t = td.dmaAlloc(size::mib(4));
+    EXPECT_GT(t, calib::kDmaAllocFixed);
+    EXPECT_EQ(td.stats().dma_allocs, 1u);
+    EXPECT_GT(td.stats().pages_converted, 0u);
+}
+
+TEST(Tdx, DoorbellMoreExpensiveInTd)
+{
+    TdxModule td(true), vm(false);
+    EXPECT_GT(td.mmioDoorbell(), vm.mmioDoorbell());
+}
+
+// -------------------------------------------------------------- bounce
+
+TEST(BounceBuffer, AcquireReleaseCycle)
+{
+    BounceBufferPool pool(4096, 2);
+    EXPECT_EQ(pool.freeSlots(), 2);
+    auto a = pool.acquire(10);
+    EXPECT_EQ(a.acquired_at, 10);
+    EXPECT_EQ(pool.freeSlots(), 1);
+    pool.release(a, 50);
+    auto b = pool.acquire(20);
+    EXPECT_GE(b.acquired_at, 20);
+}
+
+TEST(BounceBuffer, ExhaustionCreatesBackPressure)
+{
+    BounceBufferPool pool(4096, 2);
+    auto a = pool.acquire(0);
+    auto b = pool.acquire(0);
+    pool.release(a, 100);
+    pool.release(b, 200);
+    const auto c = pool.acquire(0);
+    EXPECT_EQ(c.acquired_at, 100) << "must wait for earliest release";
+    const auto d = pool.acquire(0);
+    EXPECT_EQ(d.acquired_at, 200);
+    EXPECT_EQ(pool.contentionEvents(), 2u);
+    EXPECT_EQ(pool.contentionTime(), 300);
+}
+
+TEST(BounceBuffer, NoContentionWhenReadyAfterRelease)
+{
+    BounceBufferPool pool(4096, 1);
+    auto a = pool.acquire(0);
+    pool.release(a, 100);
+    const auto b = pool.acquire(150);
+    EXPECT_EQ(b.acquired_at, 150);
+    EXPECT_EQ(pool.contentionEvents(), 0u);
+}
+
+TEST(BounceBuffer, StorageIsSlotSized)
+{
+    BounceBufferPool pool(1024, 1);
+    auto a = pool.acquire(0);
+    EXPECT_EQ(pool.storage(a).size(), 1024u);
+}
+
+TEST(BounceBuffer, RejectsDegenerateConfig)
+{
+    EXPECT_THROW(BounceBufferPool(0, 4), FatalError);
+    EXPECT_THROW(BounceBufferPool(64, 0), FatalError);
+}
+
+// ----------------------------------------------------------------- mee
+
+TEST(Mee, PrivateLinesAreUnintelligible)
+{
+    MemoryEncryptionEngine mee;
+    std::vector<std::uint8_t> key(32, 0x44);
+    mee.provisionKey(1, key);
+
+    std::vector<std::uint8_t> line(kMeeLineBytes, 0xaa);
+    const auto wire = mee.writeLine(1, 0, line);
+    EXPECT_NE(wire, line) << "DRAM bus must carry ciphertext";
+    const auto back = mee.readLine(1, 0, wire);
+    EXPECT_EQ(back, line);
+}
+
+TEST(Mee, BypassLeavesSharedPagesClear)
+{
+    MemoryEncryptionEngine mee;
+    std::vector<std::uint8_t> line(kMeeLineBytes, 0x5c);
+    const auto wire = mee.writeLine(0, 7, line);
+    EXPECT_EQ(wire, line) << "key id 0 = shared page = plaintext";
+    EXPECT_EQ(mee.linesBypassed(), 1u);
+    EXPECT_EQ(mee.linesProcessed(), 0u);
+}
+
+TEST(Mee, DifferentKeyIdsProduceDifferentCiphertext)
+{
+    MemoryEncryptionEngine mee;
+    std::vector<std::uint8_t> k1(32, 1), k2(32, 2);
+    mee.provisionKey(1, k1);
+    mee.provisionKey(2, k2);
+    std::vector<std::uint8_t> line(kMeeLineBytes, 0x00);
+    EXPECT_NE(mee.writeLine(1, 0, line), mee.writeLine(2, 0, line));
+}
+
+TEST(Mee, SameDataDifferentAddressesDiffer)
+{
+    MemoryEncryptionEngine mee;
+    std::vector<std::uint8_t> key(32, 9);
+    mee.provisionKey(3, key);
+    std::vector<std::uint8_t> line(kMeeLineBytes, 0x77);
+    EXPECT_NE(mee.writeLine(3, 0, line), mee.writeLine(3, 1, line))
+        << "XTS tweak must bind ciphertext to the line address";
+}
+
+TEST(Mee, RejectsUnprovisionedKeyAndReservedId)
+{
+    MemoryEncryptionEngine mee;
+    std::vector<std::uint8_t> line(kMeeLineBytes, 0);
+    EXPECT_THROW(mee.writeLine(5, 0, line), FatalError);
+    std::vector<std::uint8_t> key(32, 0);
+    EXPECT_THROW(mee.provisionKey(0, key), FatalError);
+}
+
+TEST(Mee, RejectsUnalignedAccess)
+{
+    MemoryEncryptionEngine mee;
+    std::vector<std::uint8_t> key(32, 0x10);
+    mee.provisionKey(1, key);
+    std::vector<std::uint8_t> partial(kMeeLineBytes - 1, 0);
+    EXPECT_THROW(mee.writeLine(1, 0, partial), FatalError);
+}
+
+// ---------------------------------------------------------------- spdm
+
+TEST(Spdm, DeterministicForSeed)
+{
+    const auto a = SpdmSession::establish(42);
+    const auto b = SpdmSession::establish(42);
+    EXPECT_EQ(a.key(), b.key());
+    EXPECT_EQ(a.sessionId(), b.sessionId());
+}
+
+TEST(Spdm, DifferentSeedsDifferentKeys)
+{
+    const auto a = SpdmSession::establish(1);
+    const auto b = SpdmSession::establish(2);
+    EXPECT_NE(a.key(), b.key());
+}
+
+// ------------------------------------------------------ secure channel
+
+class SecureChannelTest : public ::testing::Test
+{
+  protected:
+    ChannelConfig cfg_;
+    SpdmSession session_ = SpdmSession::establish(7);
+    pcie::PcieLink link_;
+    TdxModule tdx_{true};
+};
+
+TEST_F(SecureChannelTest, SteadyStateMatchesPaperCcPeak)
+{
+    SecureChannel ch(cfg_, session_);
+    // The paper measures 3.03 GB/s peak under CC.
+    EXPECT_NEAR(ch.steadyStateGbps(link_), 3.03, 0.15);
+}
+
+TEST_F(SecureChannelTest, LargeTransferHitsSteadyState)
+{
+    SecureChannel ch(cfg_, session_);
+    const Bytes b = size::gib(1);
+    const auto t = ch.scheduleTransfer(
+        0, b, pcie::Direction::HostToDevice, link_, tdx_);
+    const double gbps = bandwidthGBs(b, t.total.duration());
+    EXPECT_NEAR(gbps, 3.03, 0.2);
+    EXPECT_GT(t.chunks, 200);
+}
+
+TEST_F(SecureChannelTest, SmallTransferDominatedByFixedCosts)
+{
+    SecureChannel ch(cfg_, session_);
+    const auto t = ch.scheduleTransfer(
+        0, 64, pcie::Direction::HostToDevice, link_, tdx_);
+    EXPECT_GT(t.fixed_overhead, time::us(10.0));
+    EXPECT_LT(bandwidthGBs(64, t.total.duration()), 0.01);
+}
+
+TEST_F(SecureChannelTest, MoreWorkersRaiseThroughputTowardLink)
+{
+    cfg_.crypto_workers = 8;
+    SecureChannel ch(cfg_, session_);
+    const double gbps = ch.steadyStateGbps(link_);
+    EXPECT_GT(gbps, 3.03 * 4);
+    EXPECT_LE(gbps, link_.config().effective_gbps);
+}
+
+TEST_F(SecureChannelTest, TeeIoBypassesSoftwareCrypto)
+{
+    cfg_.tee_io = true;
+    SecureChannel ch(cfg_, session_);
+    EXPECT_NEAR(ch.steadyStateGbps(link_),
+                link_.config().effective_gbps * calib::kTeeIoEfficiency,
+                0.01);
+    const Bytes b = size::mib(256);
+    const auto t = ch.scheduleTransfer(
+        0, b, pcie::Direction::HostToDevice, link_, tdx_);
+    EXPECT_EQ(t.encrypt_busy, 0);
+    EXPECT_GT(bandwidthGBs(b, t.total.duration()), 15.0);
+}
+
+TEST_F(SecureChannelTest, ChargesHypercallsToTdx)
+{
+    SecureChannel ch(cfg_, session_);
+    const auto before = tdx_.stats().hypercalls;
+    ch.scheduleTransfer(0, size::mib(1),
+                        pcie::Direction::HostToDevice, link_, tdx_);
+    EXPECT_GT(tdx_.stats().hypercalls, before);
+}
+
+TEST_F(SecureChannelTest, ZeroByteTransferOnlyFixedCost)
+{
+    SecureChannel ch(cfg_, session_);
+    const auto t = ch.scheduleTransfer(
+        0, 0, pcie::Direction::HostToDevice, link_, tdx_);
+    EXPECT_EQ(t.chunks, 0);
+    EXPECT_EQ(t.total.duration(), t.fixed_overhead);
+}
+
+TEST_F(SecureChannelTest, FunctionalRoundTrip)
+{
+    SecureChannel ch(cfg_, session_);
+    Rng rng(3);
+    std::vector<std::uint8_t> src(10 * 1024 * 1024);
+    for (auto &b : src)
+        b = static_cast<std::uint8_t>(rng.next32());
+    std::vector<std::uint8_t> dst(src.size());
+    EXPECT_TRUE(ch.transferFunctional(src, dst));
+    EXPECT_EQ(src, dst);
+}
+
+TEST_F(SecureChannelTest, BounceBufferCarriesOnlyCiphertext)
+{
+    SecureChannel ch(cfg_, session_);
+    // A recognizable plaintext pattern must never appear in the
+    // staged (hypervisor-visible) buffer.
+    std::vector<std::uint8_t> src(4096, 0x5a);
+    std::vector<std::uint8_t> dst(src.size());
+    bool saw_plaintext = false;
+    const bool ok = ch.transferFunctional(
+        src, dst, [&](std::vector<std::uint8_t> &stage) {
+            std::size_t run = 0;
+            for (auto b : stage) {
+                run = (b == 0x5a) ? run + 1 : 0;
+                if (run >= 32)
+                    saw_plaintext = true;
+            }
+        });
+    EXPECT_TRUE(ok);
+    EXPECT_FALSE(saw_plaintext);
+    EXPECT_EQ(src, dst);
+}
+
+TEST_F(SecureChannelTest, HypervisorTamperingIsDetected)
+{
+    SecureChannel ch(cfg_, session_);
+    std::vector<std::uint8_t> src(8192, 0x33);
+    std::vector<std::uint8_t> dst(src.size());
+    const bool ok = ch.transferFunctional(
+        src, dst, [](std::vector<std::uint8_t> &stage) {
+            stage[100] ^= 0x01;  // malicious single-bit flip
+        });
+    EXPECT_FALSE(ok) << "integrity violation must be detected";
+}
+
+TEST_F(SecureChannelTest, RejectsBadConfig)
+{
+    cfg_.crypto_workers = 0;
+    EXPECT_THROW(SecureChannel(cfg_, session_), FatalError);
+    cfg_.crypto_workers = 1;
+    cfg_.chunk_bytes = 0;
+    EXPECT_THROW(SecureChannel(cfg_, session_), FatalError);
+}
+
+// Parameterized: the functional path must round-trip any size,
+// including chunk-boundary straddles.
+class ChannelSizeSweep : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(ChannelSizeSweep, FunctionalRoundTrip)
+{
+    ChannelConfig cfg;
+    cfg.chunk_bytes = 4096;  // small chunks to exercise boundaries
+    cfg.bounce_slots = 4;
+    const auto session = SpdmSession::establish(11);
+    SecureChannel ch(cfg, session);
+
+    Rng rng(GetParam());
+    std::vector<std::uint8_t> src(GetParam());
+    for (auto &b : src)
+        b = static_cast<std::uint8_t>(rng.next32());
+    std::vector<std::uint8_t> dst(src.size());
+    EXPECT_TRUE(ch.transferFunctional(src, dst));
+    EXPECT_EQ(src, dst);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChannelSizeSweep,
+                         ::testing::Values(1, 100, 4095, 4096, 4097,
+                                           8192, 12345, 65536));
+
+} // namespace
+} // namespace hcc::tee

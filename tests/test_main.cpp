@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Shared gtest entry point for all test binaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    // Keep test output clean; individual tests may raise the level.
+    hcc::setLogLevel(hcc::LogLevel::Error);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the tracer and the trace analysis layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+#include "trace/analysis.hpp"
+#include "trace/tracer.hpp"
+
+namespace hcc::trace {
+namespace {
+
+TraceEvent
+mk(EventKind kind, SimTime start, SimTime end, SimTime wait = 0,
+   Bytes bytes = 0)
+{
+    TraceEvent e;
+    e.kind = kind;
+    e.name = eventKindName(kind);
+    e.start = start;
+    e.end = end;
+    e.queue_wait = wait;
+    e.bytes = bytes;
+    return e;
+}
+
+TEST(TracerTest, RecordsAndAssignsCorrelations)
+{
+    Tracer t;
+    const auto a = t.record(mk(EventKind::Launch, 0, 10));
+    const auto b = t.record(mk(EventKind::Kernel, 12, 50));
+    EXPECT_NE(a, b);
+    EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(TracerTest, SpanCoversAllEvents)
+{
+    Tracer t;
+    t.record(mk(EventKind::Launch, 100, 110));
+    t.record(mk(EventKind::Kernel, 50, 400));
+    EXPECT_EQ(t.firstStart(), 50);
+    EXPECT_EQ(t.lastEnd(), 400);
+    EXPECT_EQ(t.span(), 350);
+}
+
+TEST(TracerTest, OfKindFilters)
+{
+    Tracer t;
+    t.record(mk(EventKind::Launch, 0, 1));
+    t.record(mk(EventKind::Kernel, 1, 2));
+    t.record(mk(EventKind::Launch, 2, 3));
+    EXPECT_EQ(t.ofKind(EventKind::Launch).size(), 2u);
+    EXPECT_EQ(t.ofKind(EventKind::MemcpyH2D).size(), 0u);
+}
+
+TEST(TracerTest, RejectsNegativeDuration)
+{
+    Tracer t;
+    auto e = mk(EventKind::Launch, 10, 5);
+    EXPECT_DEATH(t.record(e), "event ends before it starts");
+}
+
+TEST(TracerTest, ClearResets)
+{
+    Tracer t;
+    t.record(mk(EventKind::Launch, 0, 1));
+    t.clear();
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.span(), 0);
+}
+
+TEST(Analysis, MetricsAggregateByKind)
+{
+    Tracer t;
+    t.record(mk(EventKind::Launch, 0, 10, 2));
+    t.record(mk(EventKind::Kernel, 12, 112, 2));
+    t.record(mk(EventKind::Launch, 112, 120, 3));
+    t.record(mk(EventKind::Kernel, 125, 185, 5));
+    t.record(mk(EventKind::MemcpyH2D, 200, 300, 0, 4096));
+    t.record(mk(EventKind::MemcpyD2H, 300, 350));
+    t.record(mk(EventKind::MemcpyD2D, 350, 360));
+    t.record(mk(EventKind::MallocDevice, 360, 400));
+    t.record(mk(EventKind::Free, 400, 420));
+    t.record(mk(EventKind::Sync, 420, 430));
+
+    const auto m = analyze(t);
+    EXPECT_EQ(m.launches, 2);
+    EXPECT_EQ(m.kernels, 2);
+    EXPECT_EQ(m.sumKlo(), 18);
+    EXPECT_EQ(m.sumLqt(), 5);
+    EXPECT_EQ(m.sumKqt(), 7);
+    EXPECT_EQ(m.sumKet(), 160);
+    EXPECT_EQ(m.copy_h2d, 100);
+    EXPECT_EQ(m.copy_d2h, 50);
+    EXPECT_EQ(m.copy_d2d, 10);
+    EXPECT_EQ(m.copyTotal(), 160);
+    EXPECT_EQ(m.alloc_device, 40);
+    EXPECT_EQ(m.free_time, 20);
+    EXPECT_EQ(m.sync_time, 10);
+    EXPECT_EQ(m.end_to_end, 430);
+}
+
+TEST(Analysis, GraphLaunchCountsAsLaunch)
+{
+    Tracer t;
+    t.record(mk(EventKind::GraphLaunch, 0, 8, 1));
+    const auto m = analyze(t);
+    EXPECT_EQ(m.launches, 1);
+    EXPECT_EQ(m.sumKlo(), 8);
+}
+
+TEST(Analysis, UnionCoverageMergesOverlaps)
+{
+    EXPECT_EQ(unionCoverage({{0, 10}, {5, 15}}), 15);
+    EXPECT_EQ(unionCoverage({{0, 10}, {20, 30}}), 20);
+    EXPECT_EQ(unionCoverage({{0, 10}, {2, 3}}), 10);
+    EXPECT_EQ(unionCoverage({}), 0);
+}
+
+TEST(Analysis, UnionCoverageUnsortedInput)
+{
+    EXPECT_EQ(unionCoverage({{20, 30}, {0, 5}, {4, 21}}), 30);
+}
+
+TEST(Analysis, OverlapWithClipsToWindow)
+{
+    const std::vector<std::pair<SimTime, SimTime>> spans = {
+        {0, 100}, {200, 300}};
+    EXPECT_EQ(overlapWith(50, 250, spans), 100);
+    EXPECT_EQ(overlapWith(400, 500, spans), 0);
+    EXPECT_EQ(overlapWith(100, 100, spans), 0);
+}
+
+TEST(Analysis, EventScatterDropsLongest)
+{
+    Tracer t;
+    t.record(mk(EventKind::Kernel, 0, 1000));     // the long one
+    t.record(mk(EventKind::Kernel, 1000, 1010));
+    t.record(mk(EventKind::Kernel, 2000, 2020));
+    const auto pts = eventScatter(t, EventKind::Kernel, 1);
+    ASSERT_EQ(pts.size(), 2u);
+    EXPECT_LT(pts[0].start_us, pts[1].start_us)
+        << "points sorted by start";
+    for (const auto &p : pts)
+        EXPECT_LT(p.duration_us, 1.0);
+}
+
+TEST(Analysis, KlrDefinition)
+{
+    Tracer t;
+    t.record(mk(EventKind::Launch, 0, 10, 10));   // KLO 10, LQT 10
+    t.record(mk(EventKind::Kernel, 10, 110, 0));  // KET 100
+    const auto m = analyze(t);
+    EXPECT_DOUBLE_EQ(kernelToLaunchRatio(m), 5.0);
+}
+
+TEST(Analysis, KlrInfiniteWithoutLaunches)
+{
+    Tracer t;
+    t.record(mk(EventKind::Kernel, 0, 100));
+    const auto m = analyze(t);
+    EXPECT_GT(kernelToLaunchRatio(m), 1e12);
+}
+
+} // namespace
+} // namespace hcc::trace

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * hccsim: command-line driver of the simulator.  See `hccsim help`.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "cli/options.hpp"
+#include "common/log.hpp"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    std::string error;
+    const auto opt = hcc::cli::parseArgs(args, error);
+    if (!opt) {
+        std::cerr << "error: " << error << "\n\n"
+                  << hcc::cli::usage();
+        return 2;
+    }
+    try {
+        return hcc::cli::runCli(*opt, std::cout);
+    } catch (const hcc::FatalError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI entry point: build and test under the default and the
+# ASan+UBSan presets, then exercise the stats-diff regression gate
+# end to end (a same-seed rerun must be drift-free, a perturbed run
+# must be flagged with a non-zero exit).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cmake --preset default
+cmake --build --preset default -j"$jobs"
+ctest --preset default -j"$jobs"
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j"$jobs"
+ctest --preset asan-ubsan -j"$jobs"
+
+hccsim=build/tools/hccsim
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+"$hccsim" run --app gaussian --cc --stats-out "$tmp/a.json" >/dev/null
+"$hccsim" run --app gaussian --cc --stats-out "$tmp/b.json" >/dev/null
+"$hccsim" stats-diff "$tmp/a.json" "$tmp/b.json"
+
+"$hccsim" run --app gaussian --cc --scale 2 \
+    --stats-out "$tmp/c.json" >/dev/null
+if "$hccsim" stats-diff "$tmp/a.json" "$tmp/c.json" >/dev/null; then
+    echo "ERROR: stats-diff did not flag a perturbed run" >&2
+    exit 1
+fi
+
+echo "ci: all checks passed"

@@ -1,10 +1,12 @@
 #include "cli/options.hpp"
 
+#include <fstream>
 #include <ostream>
 #include <sstream>
 
 #include "common/log.hpp"
 #include "common/table.hpp"
+#include "obs/stats_io.hpp"
 #include "perfmodel/model.hpp"
 #include "perfmodel/projector.hpp"
 #include "trace/compare.hpp"
@@ -28,6 +30,8 @@ usage()
         "  hccsim trace --app NAME [opts]   dump the event trace\n"
         "  hccsim project --app NAME [opts] predict the CC slowdown\n"
         "                                   from a base run\n"
+        "  hccsim stats-diff BASE CURRENT   diff two --stats-out dumps;\n"
+        "                                   exit 1 if stats drifted\n"
         "\n"
         "options:\n"
         "  --spec FILE      run a user-defined spec file instead\n"
@@ -38,7 +42,12 @@ usage()
         "  --seed N         RNG seed (default 42)\n"
         "  --format json|csv   trace format (default json)\n"
         "  --crypto-workers N  parallel encryption threads (CC)\n"
-        "  --tee-io            model the TEE-IO hardware path (CC)\n";
+        "  --tee-io            model the TEE-IO hardware path (CC)\n"
+        "  --stats-out FILE    write the stats registry as JSON\n"
+        "                      (run/compare/trace)\n"
+        "  --log-level LEVEL   debug|info|warn|error|silent\n"
+        "  --tolerance X       stats-diff: relative tolerance before\n"
+        "                      a change counts as drift (default 0)\n";
 }
 
 std::optional<Options>
@@ -60,6 +69,8 @@ parseArgs(const std::vector<std::string> &args, std::string &error)
         opt.command = Command::Trace;
     } else if (cmd == "project") {
         opt.command = Command::Project;
+    } else if (cmd == "stats-diff") {
+        opt.command = Command::StatsDiff;
     } else if (cmd == "help" || cmd == "--help" || cmd == "-h") {
         opt.command = Command::Help;
         return opt;
@@ -140,12 +151,58 @@ parseArgs(const std::vector<std::string> &args, std::string &error)
                 error = "--format must be json or csv";
                 return std::nullopt;
             }
+        } else if (a == "--stats-out") {
+            const auto *v = next("--stats-out");
+            if (!v)
+                return std::nullopt;
+            opt.stats_out = *v;
+        } else if (a == "--log-level") {
+            const auto *v = next("--log-level");
+            if (!v)
+                return std::nullopt;
+            if (!parseLogLevel(*v)) {
+                error = "bad --log-level value '" + *v
+                    + "' (debug|info|warn|error|silent)";
+                return std::nullopt;
+            }
+            opt.log_level = *v;
+        } else if (a == "--tolerance") {
+            const auto *v = next("--tolerance");
+            if (!v)
+                return std::nullopt;
+            try {
+                opt.tolerance = std::stod(*v);
+            } catch (...) {
+                error = "bad --tolerance value '" + *v + "'";
+                return std::nullopt;
+            }
+            if (opt.tolerance < 0.0) {
+                error = "--tolerance must be >= 0";
+                return std::nullopt;
+            }
+        } else if (opt.command == Command::StatsDiff && !a.empty()
+                   && a[0] != '-') {
+            if (opt.diff_baseline.empty()) {
+                opt.diff_baseline = a;
+            } else if (opt.diff_current.empty()) {
+                opt.diff_current = a;
+            } else {
+                error = "unexpected argument '" + a + "'";
+                return std::nullopt;
+            }
         } else {
             error = "unknown option '" + a + "'";
             return std::nullopt;
         }
     }
 
+    if (opt.command == Command::StatsDiff) {
+        if (opt.diff_baseline.empty() || opt.diff_current.empty()) {
+            error = "stats-diff requires BASELINE and CURRENT files";
+            return std::nullopt;
+        }
+        return opt;
+    }
     if (opt.command != Command::List && opt.app.empty()
         && opt.spec_file.empty()) {
         error = "this command requires --app or --spec";
@@ -153,6 +210,12 @@ parseArgs(const std::vector<std::string> &args, std::string &error)
     }
     if (!opt.app.empty() && !opt.spec_file.empty()) {
         error = "--app and --spec are mutually exclusive";
+        return std::nullopt;
+    }
+    if (!opt.stats_out.empty() && opt.command != Command::Run
+        && opt.command != Command::Compare
+        && opt.command != Command::Trace) {
+        error = "--stats-out only applies to run/compare/trace";
         return std::nullopt;
     }
     return opt;
@@ -203,11 +266,28 @@ printSummary(const workloads::WorkloadResult &res, std::ostream &os)
     t.print(os);
 }
 
+/** Write the registry sections of a finished run to --stats-out. */
+void
+writeStatsFile(const std::string &path,
+               const obs::StatsSections &sections)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open stats file '%s'", path.c_str());
+    obs::writeStatsJson(out, sections);
+    if (!out)
+        fatal("failed writing stats file '%s'", path.c_str());
+}
+
 } // namespace
 
 int
 runCli(const Options &opt, std::ostream &os)
 {
+    if (!opt.log_level.empty()) {
+        if (const auto level = parseLogLevel(opt.log_level))
+            setLogLevel(*level);
+    }
     switch (opt.command) {
       case Command::Help:
         os << usage();
@@ -230,6 +310,8 @@ runCli(const Options &opt, std::ostream &os)
         printSummary(res, os);
         const auto d = perfmodel::decompose(res.trace);
         os << "\nperformance-model decomposition:\n" << d.report();
+        if (!opt.stats_out.empty())
+            writeStatsFile(opt.stats_out, {{"", res.stats.get()}});
         return 0;
       }
 
@@ -244,6 +326,11 @@ runCli(const Options &opt, std::ostream &os)
         os << "\nCC slowdown: " << TextTable::ratio(r) << "\n\n"
            << "event-level diff (Sec. VI-B style):\n"
            << trace::compareTraces(base.trace, cc.trace, 5).report();
+        if (!opt.stats_out.empty()) {
+            writeStatsFile(opt.stats_out,
+                           {{"base.", base.stats.get()},
+                            {"cc.", cc.stats.get()}});
+        }
         return 0;
       }
 
@@ -252,7 +339,9 @@ runCli(const Options &opt, std::ostream &os)
         if (opt.format == "csv")
             trace::exportCsv(res.trace, os);
         else
-            trace::exportChromeTrace(res.trace, os);
+            trace::exportChromeTrace(res.trace, os, res.stats.get());
+        if (!opt.stats_out.empty())
+            writeStatsFile(opt.stats_out, {{"", res.stats.get()}});
         return 0;
       }
 
@@ -269,6 +358,15 @@ runCli(const Options &opt, std::ostream &os)
         os << "actual CC run: " << formatTime(actual.end_to_end)
            << " (" << TextTable::ratio(actual_slowdown) << ")\n";
         return 0;
+      }
+
+      case Command::StatsDiff: {
+        const auto baseline = obs::loadStatsFile(opt.diff_baseline);
+        const auto current = obs::loadStatsFile(opt.diff_current);
+        const auto diff =
+            obs::diffStats(baseline, current, opt.tolerance);
+        os << diff.report();
+        return diff.pass() ? 0 : 1;
       }
     }
     return 1;

@@ -17,7 +17,16 @@
 namespace hcc::cli {
 
 /** Supported subcommands. */
-enum class Command { List, Run, Compare, Trace, Project, Help };
+enum class Command
+{
+    List,
+    Run,
+    Compare,
+    Trace,
+    Project,
+    StatsDiff,
+    Help,
+};
 
 /** Parsed invocation. */
 struct Options
@@ -41,6 +50,16 @@ struct Options
     int crypto_workers = 1;
     /** Model the hypothetical TEE-IO hardware path. */
     bool tee_io = false;
+    /** Write the run's stats registry as JSON (run/compare/trace). */
+    std::string stats_out;
+    /** Global log threshold name ("" = leave the default). */
+    std::string log_level;
+    /** stats-diff: relative tolerance before a drift is flagged. */
+    double tolerance = 0.0;
+    /** stats-diff: baseline stats dump. */
+    std::string diff_baseline;
+    /** stats-diff: current stats dump. */
+    std::string diff_current;
 };
 
 /**

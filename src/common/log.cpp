@@ -22,8 +22,23 @@ vformat(const char *fmt, std::va_list ap)
     return std::string(buf.data(), static_cast<std::size_t>(n));
 }
 
+void
+emit(LogLevel level, const std::string &msg)
+{
+    if (level < g_level)
+        return;
+    std::fprintf(stderr, "[%s] %s\n", logLevelName(level),
+                 msg.c_str());
+}
+
+} // namespace
+
+void setLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel logLevel() { return g_level; }
+
 const char *
-levelName(LogLevel level)
+logLevelName(LogLevel level)
 {
     switch (level) {
       case LogLevel::Debug: return "debug";
@@ -35,19 +50,17 @@ levelName(LogLevel level)
     return "?";
 }
 
-void
-emit(LogLevel level, const std::string &msg)
+std::optional<LogLevel>
+parseLogLevel(const std::string &name)
 {
-    if (level < g_level)
-        return;
-    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+    for (LogLevel level : {LogLevel::Debug, LogLevel::Info,
+                           LogLevel::Warn, LogLevel::Error,
+                           LogLevel::Silent}) {
+        if (name == logLevelName(level))
+            return level;
+    }
+    return std::nullopt;
 }
-
-} // namespace
-
-void setLogLevel(LogLevel level) { g_level = level; }
-
-LogLevel logLevel() { return g_level; }
 
 void
 logf(LogLevel level, const char *fmt, ...)

@@ -11,6 +11,7 @@
 #define HCC_COMMON_LOG_HPP
 
 #include <cstdarg>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -32,6 +33,15 @@ void setLogLevel(LogLevel level);
 
 /** Current global log threshold. */
 LogLevel logLevel();
+
+/**
+ * Parse a level name ("debug", "info", "warn", "error", "silent");
+ * std::nullopt on anything else.
+ */
+std::optional<LogLevel> parseLogLevel(const std::string &name);
+
+/** The canonical name of a level (inverse of parseLogLevel). */
+const char *logLevelName(LogLevel level);
 
 /** printf-style logging at the given level. */
 void logf(LogLevel level, const char *fmt, ...)

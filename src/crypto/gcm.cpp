@@ -31,13 +31,23 @@ tagsEqual(const std::uint8_t *a, const std::uint8_t *b)
 
 } // namespace
 
-AesGcm::AesGcm(std::span<const std::uint8_t> key)
+AesGcm::AesGcm(std::span<const std::uint8_t> key, obs::Registry *obs)
     : aes_(key)
 {
     if (key.size() != 16 && key.size() != 32)
         fatal("AES-GCM key must be 16 or 32 bytes, got %zu", key.size());
     const std::uint8_t zero[16] = {};
     aes_.encryptBlock(zero, h_.data());
+    if (obs) {
+        obs_seal_calls_ = &obs->counter("crypto.aes_gcm.seal_calls");
+        obs_open_calls_ = &obs->counter("crypto.aes_gcm.open_calls");
+        obs_auth_failures_ =
+            &obs->counter("crypto.aes_gcm.auth_failures");
+        obs_bytes_sealed_ =
+            &obs->counter("crypto.aes_gcm.bytes_sealed");
+        obs_bytes_opened_ =
+            &obs->counter("crypto.aes_gcm.bytes_opened");
+    }
 }
 
 void
@@ -87,6 +97,10 @@ AesGcm::seal(const GcmIv &iv, std::span<const std::uint8_t> aad,
               ciphertext.subspan(0, plaintext.size()));
 
     computeTag(iv, aad, ciphertext.subspan(0, plaintext.size()), tag);
+    if (obs_seal_calls_) {
+        obs_seal_calls_->add(1);
+        obs_bytes_sealed_->add(plaintext.size());
+    }
 }
 
 bool
@@ -98,10 +112,14 @@ AesGcm::open(const GcmIv &iv, std::span<const std::uint8_t> aad,
     HCC_ASSERT(plaintext.size() >= ciphertext.size(),
                "gcm plaintext buffer too small");
 
+    if (obs_open_calls_)
+        obs_open_calls_->add(1);
     std::uint8_t expect[kGcmTagLen];
     computeTag(iv, aad, ciphertext, expect);
     if (!tagsEqual(expect, tag)) {
         std::memset(plaintext.data(), 0, plaintext.size());
+        if (obs_auth_failures_)
+            obs_auth_failures_->add(1);
         return false;
     }
 
@@ -111,6 +129,8 @@ AesGcm::open(const GcmIv &iv, std::span<const std::uint8_t> aad,
     inc32(ctr);
     ctrXcrypt(aes_, ctr, ciphertext,
               plaintext.subspan(0, ciphertext.size()));
+    if (obs_bytes_opened_)
+        obs_bytes_opened_->add(ciphertext.size());
     return true;
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "crypto/aes.hpp"
+#include "obs/registry.hpp"
 
 namespace hcc::crypto {
 
@@ -32,8 +33,14 @@ using GcmIv = std::array<std::uint8_t, 12>;
 class AesGcm
 {
   public:
-    /** @param key 16 or 32 bytes (AES-128-GCM or AES-256-GCM). */
-    explicit AesGcm(std::span<const std::uint8_t> key);
+    /**
+     * @param key 16 or 32 bytes (AES-128-GCM or AES-256-GCM).
+     * @param obs optional stats sink; publishes
+     *        "crypto.aes_gcm.{seal_calls,open_calls,auth_failures,
+     *        bytes_sealed,bytes_opened}".
+     */
+    explicit AesGcm(std::span<const std::uint8_t> key,
+                    obs::Registry *obs = nullptr);
 
     /**
      * Encrypt and authenticate.
@@ -66,6 +73,12 @@ class AesGcm
 
     Aes aes_;
     std::array<std::uint8_t, 16> h_{};
+    // Stat pointers (not a Registry*) so const seal/open can bump them.
+    obs::Counter *obs_seal_calls_ = nullptr;
+    obs::Counter *obs_open_calls_ = nullptr;
+    obs::Counter *obs_auth_failures_ = nullptr;
+    obs::Counter *obs_bytes_sealed_ = nullptr;
+    obs::Counter *obs_bytes_opened_ = nullptr;
 };
 
 /**

@@ -6,9 +6,30 @@
 
 namespace hcc::gpu {
 
-CopyEngine::CopyEngine(int engines)
+CopyEngine::CopyEngine(int engines, obs::Registry *obs)
     : engines_("gpu.ce", engines), staging_("host.staging")
-{}
+{
+    if (obs) {
+        engines_.attachObs(obs, "sim.timeline.gpu_ce");
+        staging_.attachObs(obs, "sim.timeline.host_staging");
+        obs_ops_h2d_ = &obs->counter("gpu.copy.ops_h2d");
+        obs_bytes_h2d_ = &obs->counter("gpu.copy.bytes_h2d");
+        obs_ops_d2h_ = &obs->counter("gpu.copy.ops_d2h");
+        obs_bytes_d2h_ = &obs->counter("gpu.copy.bytes_d2h");
+        obs_ops_d2d_ = &obs->counter("gpu.copy.ops_d2d");
+        obs_bytes_d2d_ = &obs->counter("gpu.copy.bytes_d2d");
+    }
+}
+
+void
+CopyEngine::noteCopy(obs::Counter *ops, obs::Counter *bytes_counter,
+                     Bytes bytes)
+{
+    if (ops) {
+        ops->add(1);
+        bytes_counter->add(bytes);
+    }
+}
 
 CopyTiming
 CopyEngine::basePinned(SimTime ready, Bytes bytes, pcie::Direction dir,
@@ -52,6 +73,10 @@ CopyTiming
 CopyEngine::copy(SimTime ready, Bytes bytes, pcie::Direction dir,
                  HostMemKind host_kind, TransferContext &ctx)
 {
+    if (dir == pcie::Direction::HostToDevice)
+        noteCopy(obs_ops_h2d_, obs_bytes_h2d_, bytes);
+    else
+        noteCopy(obs_ops_d2h_, obs_bytes_d2h_, bytes);
     if (ctx.cc()) {
         // Every host<->device copy rides the encrypted path; pinned
         // and managed memory degrade to encrypted paging semantics
@@ -71,6 +96,7 @@ CopyEngine::copy(SimTime ready, Bytes bytes, pcie::Direction dir,
 CopyTiming
 CopyEngine::copyD2D(SimTime ready, Bytes bytes, TransferContext &ctx)
 {
+    noteCopy(obs_ops_d2d_, obs_bytes_d2d_, bytes);
     const SimTime t = ready + ctx.tdx.mmioDoorbell();
     const auto iv = engines_.reserve(
         t, transferTime(bytes, calib::kHbmD2DGBs));

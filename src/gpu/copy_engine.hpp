@@ -18,6 +18,7 @@
 
 #include "common/calibration.hpp"
 #include "common/units.hpp"
+#include "obs/registry.hpp"
 #include "pcie/link.hpp"
 #include "sim/timeline.hpp"
 #include "tee/secure_channel.hpp"
@@ -54,7 +55,13 @@ struct CopyTiming
 class CopyEngine
 {
   public:
-    explicit CopyEngine(int engines = 2);
+    /**
+     * @param obs optional stats sink; publishes
+     *        "gpu.copy.{ops,bytes}_{h2d,d2h,d2d}" counters and
+     *        attaches the engine/staging timelines as
+     *        "sim.timeline.gpu_ce.*" / "sim.timeline.host_staging.*".
+     */
+    explicit CopyEngine(int engines = 2, obs::Registry *obs = nullptr);
 
     /** Schedule a host-to-device or device-to-host copy. */
     CopyTiming copy(SimTime ready, Bytes bytes, pcie::Direction dir,
@@ -72,8 +79,18 @@ class CopyEngine
     CopyTiming basePageable(SimTime ready, Bytes bytes,
                             pcie::Direction dir, TransferContext &ctx);
 
+    /** Bump an ops/bytes pair (null-safe). */
+    void noteCopy(obs::Counter *ops, obs::Counter *bytes_counter,
+                  Bytes bytes);
+
     sim::TimelinePool engines_;
     sim::Timeline staging_;
+    obs::Counter *obs_ops_h2d_ = nullptr;
+    obs::Counter *obs_bytes_h2d_ = nullptr;
+    obs::Counter *obs_ops_d2h_ = nullptr;
+    obs::Counter *obs_bytes_d2h_ = nullptr;
+    obs::Counter *obs_ops_d2d_ = nullptr;
+    obs::Counter *obs_bytes_d2d_ = nullptr;
 };
 
 } // namespace hcc::gpu

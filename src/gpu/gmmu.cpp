@@ -4,11 +4,16 @@
 
 namespace hcc::gpu {
 
-Gmmu::Gmmu(int tlb_entries)
+Gmmu::Gmmu(int tlb_entries, obs::Registry *obs)
     : tlb_capacity_(tlb_entries)
 {
     if (tlb_entries <= 0)
         fatal("GMMU TLB needs at least one entry");
+    if (obs) {
+        obs_tlb_hits_ = &obs->counter("gpu.gmmu.tlb_hits");
+        obs_tlb_misses_ = &obs->counter("gpu.gmmu.tlb_misses");
+        obs_far_faults_ = &obs->counter("gpu.gmmu.far_faults");
+    }
 }
 
 void
@@ -77,15 +82,21 @@ Gmmu::translate(std::uint64_t vpn)
     Translation t;
     if (tlbLookup(vpn, t.pfn)) {
         ++tlb_hits_;
+        if (obs_tlb_hits_)
+            obs_tlb_hits_->add(1);
         t.result = TranslateResult::TlbHit;
         t.latency = kTlbHitLatency;
         return t;
     }
     ++tlb_misses_;
+    if (obs_tlb_misses_)
+        obs_tlb_misses_->add(1);
     const auto it = table_.find(vpn);
     t.latency = kTlbHitLatency + kWalkLevelLatency * kWalkLevels;
     if (it == table_.end()) {
         ++far_faults_;
+        if (obs_far_faults_)
+            obs_far_faults_->add(1);
         t.result = TranslateResult::FarFault;
         return t;
     }

@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "common/units.hpp"
+#include "obs/registry.hpp"
 
 namespace hcc::gpu {
 
@@ -48,8 +49,12 @@ struct Translation
 class Gmmu
 {
   public:
-    /** @param tlb_entries TLB capacity (translations cached). */
-    explicit Gmmu(int tlb_entries = 64);
+    /**
+     * @param tlb_entries TLB capacity (translations cached).
+     * @param obs optional stats sink; publishes
+     *        "gpu.gmmu.{tlb_hits,tlb_misses,far_faults}".
+     */
+    explicit Gmmu(int tlb_entries = 64, obs::Registry *obs = nullptr);
 
     /**
      * Map @p pages pages starting at virtual page number @p vpn to
@@ -99,6 +104,9 @@ class Gmmu
     std::uint64_t tlb_hits_ = 0;
     std::uint64_t tlb_misses_ = 0;
     std::uint64_t far_faults_ = 0;
+    obs::Counter *obs_tlb_hits_ = nullptr;
+    obs::Counter *obs_tlb_misses_ = nullptr;
+    obs::Counter *obs_far_faults_ = nullptr;
 };
 
 } // namespace hcc::gpu

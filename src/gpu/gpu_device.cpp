@@ -7,14 +7,17 @@
 
 namespace hcc::gpu {
 
-GpuDevice::GpuDevice(const GpuConfig &config)
+GpuDevice::GpuDevice(const GpuConfig &config, obs::Registry *obs)
     : config_(config),
       cmd_proc_(config.cc_mode, config.seed ^ 0xdec0deULL),
       compute_(config.concurrent_kernels),
-      copy_(config.copy_engines),
-      uvm_(config.uvm),
+      copy_(config.copy_engines, obs),
+      uvm_(config.uvm, obs),
       rng_(config.seed)
-{}
+{
+    if (obs)
+        obs_kernels_ = &obs->counter("gpu.kernels.executed");
+}
 
 SimTime
 GpuDevice::perturbDuration(SimTime duration)
@@ -50,6 +53,8 @@ GpuDevice::executeKernel(SimTime cmd_arrival, SimTime stream_ready,
     ket += svc.added;
 
     const auto exec = compute_.execute(ready, ket);
+    if (obs_kernels_)
+        obs_kernels_->add(1);
 
     KernelSchedule sched;
     sched.enqueued = cmd_arrival;

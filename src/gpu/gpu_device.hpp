@@ -42,7 +42,13 @@ struct GpuConfig
 class GpuDevice
 {
   public:
-    explicit GpuDevice(const GpuConfig &config = GpuConfig{});
+    /**
+     * @param obs optional stats sink, threaded through to the copy
+     *        engines and UVM manager; the device itself publishes
+     *        "gpu.kernels.executed".
+     */
+    explicit GpuDevice(const GpuConfig &config = GpuConfig{},
+                       obs::Registry *obs = nullptr);
 
     /**
      * Execute a kernel whose launch command arrives at
@@ -83,6 +89,7 @@ class GpuDevice
     CopyEngine copy_;
     UvmManager uvm_;
     Rng rng_;
+    obs::Counter *obs_kernels_ = nullptr;
 };
 
 } // namespace hcc::gpu

@@ -6,11 +6,18 @@
 
 namespace hcc::gpu {
 
-UvmManager::UvmManager(const UvmConfig &config)
-    : config_(config)
+UvmManager::UvmManager(const UvmConfig &config, obs::Registry *obs)
+    : config_(config), gmmu_(64, obs)
 {
     if (config_.batch_pages_base <= 0 || config_.batch_pages_cc <= 0)
         fatal("UVM batch sizes must be positive");
+    if (obs) {
+        obs_allocations_ = &obs->counter("gpu.uvm.allocations");
+        obs_fault_batches_ = &obs->counter("gpu.uvm.fault_batches");
+        obs_bytes_migrated_ = &obs->counter("gpu.uvm.bytes_migrated");
+        obs_bytes_evicted_ = &obs->counter("gpu.uvm.bytes_evicted");
+        obs_fault_time_ps_ = &obs->counter("gpu.uvm.fault_time_ps");
+    }
 }
 
 std::uint64_t
@@ -94,6 +101,8 @@ UvmManager::createAllocation(Bytes bytes)
     next_vpn_ += gmmuPages(bytes) + 1;  // +1: guard page gap
     allocs_[handle] = alloc;
     lru_.push_back(handle);
+    if (obs_allocations_)
+        obs_allocations_->add(1);
     return handle;
 }
 
@@ -208,6 +217,12 @@ UvmManager::touchOnDevice(std::uint64_t handle, Bytes touch_bytes,
     syncMappings(alloc, touch_bytes);
     total_batches_ += static_cast<std::uint64_t>(batches);
     total_migrated_ += miss_bytes;
+    if (obs_fault_batches_) {
+        obs_fault_batches_->add(static_cast<std::uint64_t>(batches));
+        obs_bytes_migrated_->add(miss_bytes);
+        obs_bytes_evicted_->add(svc.evicted);
+        obs_fault_time_ps_->add(static_cast<std::uint64_t>(svc.added));
+    }
     return svc;
 }
 

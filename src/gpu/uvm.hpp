@@ -23,6 +23,7 @@
 #include "common/units.hpp"
 #include "gpu/copy_engine.hpp"
 #include "gpu/gmmu.hpp"
+#include "obs/registry.hpp"
 
 namespace hcc::gpu {
 
@@ -59,7 +60,14 @@ struct FaultService
 class UvmManager
 {
   public:
-    explicit UvmManager(const UvmConfig &config = UvmConfig{});
+    /**
+     * @param obs optional stats sink; publishes
+     *        "gpu.uvm.{allocations,fault_batches,bytes_migrated,
+     *        bytes_evicted,fault_time_ps}" and threads through to the
+     *        owned GMMU's "gpu.gmmu.*" stats.
+     */
+    explicit UvmManager(const UvmConfig &config = UvmConfig{},
+                        obs::Registry *obs = nullptr);
 
     /** Register a managed allocation; returns its handle. */
     std::uint64_t createAllocation(Bytes bytes);
@@ -150,6 +158,11 @@ class UvmManager
     Gmmu gmmu_;
     std::uint64_t next_vpn_ = 1;
     std::uint64_t next_pfn_ = 1;
+    obs::Counter *obs_allocations_ = nullptr;
+    obs::Counter *obs_fault_batches_ = nullptr;
+    obs::Counter *obs_bytes_migrated_ = nullptr;
+    obs::Counter *obs_bytes_evicted_ = nullptr;
+    obs::Counter *obs_fault_time_ps_ = nullptr;
 };
 
 } // namespace hcc::gpu

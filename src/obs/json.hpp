@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser.
+ *
+ * Just enough of RFC 8259 for the observability layer's own needs:
+ * `hccsim stats-diff` reads the stats dumps the simulator writes, and
+ * tests round-trip the Chrome trace export through it to prove the
+ * exporters emit valid JSON.  Parse only — serialization stays with
+ * the purpose-built writers (stats_io.cpp, trace/export.cpp).
+ */
+
+#ifndef HCC_OBS_JSON_HPP
+#define HCC_OBS_JSON_HPP
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hcc::obs::json {
+
+/** A parsed JSON value (tagged union, no clever tricks). */
+struct Value
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Value> array;
+    /** Key order as written; duplicate keys are kept as written. */
+    std::vector<std::pair<std::string, Value>> object;
+
+    bool isNull() const { return type == Type::Null; }
+    bool isBool() const { return type == Type::Bool; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isArray() const { return type == Type::Array; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** First member named @p key; nullptr if absent or not an object. */
+    const Value *find(const std::string &key) const;
+};
+
+/**
+ * Parse @p text as one JSON document (trailing whitespace allowed,
+ * trailing garbage is an error).
+ * @param error set to a human-readable message with an offset on
+ *        failure.
+ * @return whether @p out was filled.
+ */
+bool parse(const std::string &text, Value &out, std::string &error);
+
+} // namespace hcc::obs::json
+
+#endif // HCC_OBS_JSON_HPP

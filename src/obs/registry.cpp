@@ -1,0 +1,120 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace hcc::obs {
+
+void
+Gauge::set(std::int64_t v, SimTime when)
+{
+    const bool changed = !touched_ || v != value_;
+    value_ = v;
+    if (!touched_) {
+        min_ = max_ = v;
+        touched_ = true;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    if (when < 0 || !changed)
+        return;
+    if (samples_.size() >= kMaxSamples) {
+        ++dropped_;
+        return;
+    }
+    samples_.push_back({when, v});
+}
+
+namespace {
+
+const char *
+kindName(Registry::Kind kind)
+{
+    switch (kind) {
+      case Registry::Kind::Counter: return "counter";
+      case Registry::Kind::Gauge: return "gauge";
+      case Registry::Kind::Distribution: return "distribution";
+    }
+    return "?";
+}
+
+} // namespace
+
+Registry::Entry &
+Registry::entry(const std::string &name, Kind kind)
+{
+    if (name.empty())
+        fatal("stat name must not be empty");
+    auto [it, inserted] = stats_.try_emplace(name);
+    Entry &e = it->second;
+    if (inserted) {
+        e.kind = kind;
+        switch (kind) {
+          case Kind::Counter:
+            e.counter = std::make_unique<Counter>();
+            break;
+          case Kind::Gauge:
+            e.gauge = std::make_unique<Gauge>();
+            break;
+          case Kind::Distribution:
+            e.distribution = std::make_unique<Distribution>();
+            break;
+        }
+    } else if (e.kind != kind) {
+        fatal("stat '%s' already registered as a %s, requested as %s",
+              name.c_str(), kindName(e.kind), kindName(kind));
+    }
+    return e;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    return *entry(name, Kind::Counter).counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    return *entry(name, Kind::Gauge).gauge;
+}
+
+Distribution &
+Registry::distribution(const std::string &name)
+{
+    return *entry(name, Kind::Distribution).distribution;
+}
+
+bool
+Registry::contains(const std::string &name) const
+{
+    return stats_.find(name) != stats_.end();
+}
+
+Registry &
+Registry::discard()
+{
+    static Registry sink;
+    return sink;
+}
+
+ProfileScope::ProfileScope(Registry *reg, const std::string &name)
+{
+    if (!reg)
+        return;
+    dist_ = &reg->distribution("host.profile." + name + "_us");
+    start_ = std::chrono::steady_clock::now();
+}
+
+ProfileScope::~ProfileScope()
+{
+    if (!dist_)
+        return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    dist_->add(std::chrono::duration<double, std::micro>(elapsed)
+                   .count());
+}
+
+} // namespace hcc::obs

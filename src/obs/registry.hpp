@@ -1,0 +1,199 @@
+/**
+ * @file
+ * hcc::obs — the simulator-wide metrics registry (gem5-flavoured
+ * hierarchical statistics).
+ *
+ * Every instrumented component publishes named stats under a dotted
+ * path ("tee.bounce.bytes_h2d", "gpu.uvm.bytes_migrated", ...).  A
+ * Registry is owned per simulated guest (rt::Context) so that base
+ * and CC runs of a compare never mix, and the whole inventory can be
+ * dumped deterministically after a run (stats_io.hpp), diffed against
+ * a baseline (`hccsim stats-diff`), or rendered as Perfetto counter
+ * tracks alongside the event timeline (trace/export.hpp).
+ *
+ * Three stat kinds:
+ *  - Counter: monotonically increasing unsigned count (events, bytes,
+ *    simulated picoseconds).
+ *  - Gauge: signed instantaneous level (queue depth, pool occupancy)
+ *    with min/max watermarks; when a simulated timestamp accompanies
+ *    an update, the (time, value) pair is retained as a sample so the
+ *    trace exporter can draw a counter track.
+ *  - Distribution: running summary (count/sum/min/max/mean) of a
+ *    stream of values.
+ *
+ * Stats whose path starts with "host." hold *wall-clock* host
+ * measurements (ProfileScope) and are excluded from deterministic
+ * dumps: they profile the simulator itself, not the simulation.
+ *
+ * The registry is not thread-safe; the simulator is single-threaded
+ * (worker parallelism is modeled, not executed).
+ */
+
+#ifndef HCC_OBS_REGISTRY_HPP
+#define HCC_OBS_REGISTRY_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace hcc::obs {
+
+/** Monotonically increasing event/byte/time-sum counter. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Instantaneous signed level with watermarks and optional timed
+ * samples for counter-track rendering.
+ */
+class Gauge
+{
+  public:
+    /** One retained (simulated time, level) observation. */
+    struct Sample
+    {
+        SimTime ts = 0;
+        std::int64_t value = 0;
+    };
+
+    /** Samples retained per gauge before further ones are dropped. */
+    static constexpr std::size_t kMaxSamples = 1 << 16;
+
+    /**
+     * Set the level; @p when >= 0 additionally records a sample at
+     * that simulated time (consecutive equal levels are coalesced).
+     */
+    void set(std::int64_t v, SimTime when = -1);
+
+    /** Relative update, same sampling semantics as set(). */
+    void adjust(std::int64_t delta, SimTime when = -1)
+    {
+        set(value_ + delta, when);
+    }
+
+    std::int64_t value() const { return value_; }
+    std::int64_t min() const { return min_; }
+    std::int64_t max() const { return max_; }
+
+    const std::vector<Sample> &samples() const { return samples_; }
+    /** Samples discarded after kMaxSamples was reached. */
+    std::uint64_t droppedSamples() const { return dropped_; }
+
+  private:
+    std::int64_t value_ = 0;
+    std::int64_t min_ = 0;
+    std::int64_t max_ = 0;
+    bool touched_ = false;
+    std::vector<Sample> samples_;
+    std::uint64_t dropped_ = 0;
+};
+
+/** Running summary of a value stream (count/sum/min/max/mean). */
+class Distribution
+{
+  public:
+    void add(double x) { stats_.add(x); }
+
+    std::size_t count() const { return stats_.count(); }
+    double sum() const { return stats_.sum(); }
+    double mean() const { return stats_.mean(); }
+    double min() const { return stats_.min(); }
+    double max() const { return stats_.max(); }
+
+  private:
+    RunningStats stats_;
+};
+
+/**
+ * Name -> stat map with gem5-style dotted paths.  Stats are created
+ * on first access and live as long as the registry; handles returned
+ * by counter()/gauge()/distribution() are stable.
+ */
+class Registry
+{
+  public:
+    /** Stat kinds, as stored and as serialized ("type" field). */
+    enum class Kind { Counter, Gauge, Distribution };
+
+    /** Get or create; fatal if @p name exists with another kind. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Distribution &distribution(const std::string &name);
+
+    /** Whether any stat named @p name exists. */
+    bool contains(const std::string &name) const;
+
+    std::size_t size() const { return stats_.size(); }
+
+    /** One registered stat (exactly one pointer is non-null). */
+    struct Entry
+    {
+        Kind kind = Kind::Counter;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Distribution> distribution;
+    };
+
+    /** Stats in name order (std::map iteration is sorted). */
+    const std::map<std::string, Entry> &entries() const
+    {
+        return stats_;
+    }
+
+    /**
+     * Shared sink for components constructed without a registry:
+     * updates land here and are never dumped.  Keeps instrumentation
+     * branch-free (see orDiscard()).
+     */
+    static Registry &discard();
+
+  private:
+    Entry &entry(const std::string &name, Kind kind);
+
+    std::map<std::string, Entry> stats_;
+};
+
+/** Resolve an optional registry to a usable one. */
+inline Registry &
+orDiscard(Registry *reg)
+{
+    return reg ? *reg : Registry::discard();
+}
+
+/**
+ * RAII wall-clock timer over one of the *simulator's* hot paths
+ * (crypto, event processing, a whole workload run).  Records elapsed
+ * microseconds into the distribution "host.profile.<name>_us" — a
+ * host.* path, so profiles never pollute deterministic stat dumps.
+ */
+class ProfileScope
+{
+  public:
+    /** @param reg may be null: the scope then measures nothing. */
+    ProfileScope(Registry *reg, const std::string &name);
+    ~ProfileScope();
+
+    ProfileScope(const ProfileScope &) = delete;
+    ProfileScope &operator=(const ProfileScope &) = delete;
+
+  private:
+    Distribution *dist_ = nullptr;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace hcc::obs
+
+#endif // HCC_OBS_REGISTRY_HPP

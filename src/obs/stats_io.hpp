@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Serialization and regression-diffing of obs::Registry contents.
+ *
+ * The JSON dump is *deterministic*: stats are emitted in name order,
+ * integers exactly, doubles in shortest round-trip form, and host.*
+ * wall-clock stats are excluded unless asked for — so two runs with
+ * the same seed produce byte-identical files, which is what makes
+ * `hccsim stats-diff` a usable CI regression gate.
+ *
+ * Dump shape:
+ * @code
+ * {
+ *   "hccsim_stats_version": 1,
+ *   "stats": {
+ *     "gpu.uvm.bytes_migrated": {"type": "counter", "value": 4096},
+ *     "tee.bounce.occupancy": {"type": "gauge", "value": 0,
+ *                              "min": 0, "max": 3, "samples": 42},
+ *     "x.y": {"type": "distribution", "count": 2, "sum": 3.5,
+ *             "min": 1.0, "max": 2.5, "mean": 1.75}
+ *   }
+ * }
+ * @endcode
+ */
+
+#ifndef HCC_OBS_STATS_IO_HPP
+#define HCC_OBS_STATS_IO_HPP
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace hcc::obs {
+
+/**
+ * One (prefix, registry) section of a dump.  `hccsim run` dumps a
+ * single unprefixed section; `hccsim compare` dumps the base and CC
+ * registries under "base." / "cc." prefixes.
+ */
+using StatsSections =
+    std::vector<std::pair<std::string, const Registry *>>;
+
+/** Write the deterministic JSON dump. */
+void writeStatsJson(std::ostream &os, const StatsSections &sections,
+                    bool include_host = false);
+
+/** Single-registry convenience, as a string. */
+std::string statsJson(const Registry &registry,
+                      bool include_host = false);
+
+/** One stat as loaded back from a dump: its type + numeric fields. */
+struct StatSnapshot
+{
+    std::string type;
+    /** Field name ("value", "max", ...) -> numeric value. */
+    std::map<std::string, double> fields;
+};
+
+/** A whole dump, keyed by stat name. */
+using StatsMap = std::map<std::string, StatSnapshot>;
+
+/**
+ * Parse a dump produced by writeStatsJson.
+ * @throws FatalError on malformed input.
+ */
+StatsMap parseStatsJson(const std::string &text);
+
+/** Load and parse a dump file.  @throws FatalError on I/O failure. */
+StatsMap loadStatsFile(const std::string &path);
+
+/** One detected difference between two dumps. */
+struct StatDrift
+{
+    std::string stat;
+    std::string field;     //!< "" for presence/type problems
+    double baseline = 0.0;
+    double current = 0.0;
+    /** "drift", "missing", "added", or "type". */
+    std::string what;
+
+    double delta() const { return current - baseline; }
+    /** Relative drift against the larger magnitude (0 when equal). */
+    double relative() const;
+};
+
+/** Result of diffing two dumps. */
+struct StatsDiffResult
+{
+    std::vector<StatDrift> drifts;
+    std::size_t compared = 0;
+
+    bool pass() const { return drifts.empty(); }
+
+    /** Human-readable table of the drifts (or an all-clear line). */
+    std::string report() const;
+};
+
+/**
+ * Compare @p current against @p baseline.  A numeric field matches
+ * when |cur - base| <= tolerance * max(|cur|, |base|); stats or
+ * fields present on only one side, and type changes, always count as
+ * drift.
+ * @param tolerance relative fraction (0.05 = 5%); 0 demands equality.
+ */
+StatsDiffResult diffStats(const StatsMap &baseline,
+                          const StatsMap &current,
+                          double tolerance = 0.0);
+
+} // namespace hcc::obs
+
+#endif // HCC_OBS_STATS_IO_HPP

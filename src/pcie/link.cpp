@@ -6,11 +6,21 @@
 
 namespace hcc::pcie {
 
-PcieLink::PcieLink(const LinkConfig &config)
+PcieLink::PcieLink(const LinkConfig &config, obs::Registry *obs)
     : config_(config), h2d_("pcie.h2d"), d2h_("pcie.d2h")
 {
     if (config_.effective_gbps <= 0.0)
         fatal("pcie link bandwidth must be positive");
+    if (obs) {
+        obs_h2d_.transactions =
+            &obs->counter("pcie.link.transactions_h2d");
+        obs_h2d_.bytes = &obs->counter("pcie.link.bytes_h2d");
+        obs_h2d_.busy_ps = &obs->counter("pcie.link.busy_ps_h2d");
+        obs_d2h_.transactions =
+            &obs->counter("pcie.link.transactions_d2h");
+        obs_d2h_.bytes = &obs->counter("pcie.link.bytes_d2h");
+        obs_d2h_.busy_ps = &obs->counter("pcie.link.busy_ps_d2h");
+    }
 }
 
 sim::Timeline &
@@ -37,7 +47,16 @@ PcieLink::dmaDuration(Bytes bytes, double gbps) const
 sim::Interval
 PcieLink::dma(SimTime ready, Bytes bytes, Direction dir, double gbps)
 {
-    return lane(dir).reserve(ready, dmaDuration(bytes, gbps));
+    const sim::Interval iv =
+        lane(dir).reserve(ready, dmaDuration(bytes, gbps));
+    DirStats &stats =
+        dir == Direction::HostToDevice ? obs_h2d_ : obs_d2h_;
+    if (stats.transactions) {
+        stats.transactions->add(1);
+        stats.bytes->add(bytes);
+        stats.busy_ps->add(static_cast<std::uint64_t>(iv.duration()));
+    }
+    return iv;
 }
 
 SimTime

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "common/units.hpp"
+#include "obs/registry.hpp"
 #include "sim/timeline.hpp"
 
 namespace hcc::pcie {
@@ -42,7 +43,12 @@ struct LinkConfig
 class PcieLink
 {
   public:
-    explicit PcieLink(const LinkConfig &config = LinkConfig{});
+    /**
+     * @p obs (optional) receives per-direction DMA stats under
+     * "pcie.link.{transactions,bytes,busy_ps}_{h2d,d2h}".
+     */
+    explicit PcieLink(const LinkConfig &config = LinkConfig{},
+                      obs::Registry *obs = nullptr);
 
     /**
      * Schedule a DMA of @p bytes in @p dir becoming ready at
@@ -71,9 +77,19 @@ class PcieLink
     sim::Timeline &lane(Direction dir);
     const sim::Timeline &lane(Direction dir) const;
 
+    /** Per-direction stat bundle (nullptrs when unattached). */
+    struct DirStats
+    {
+        obs::Counter *transactions = nullptr;
+        obs::Counter *bytes = nullptr;
+        obs::Counter *busy_ps = nullptr;
+    };
+
     LinkConfig config_;
     sim::Timeline h2d_;
     sim::Timeline d2h_;
+    DirStats obs_h2d_;
+    DirStats obs_d2h_;
 };
 
 } // namespace hcc::pcie

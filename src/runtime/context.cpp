@@ -36,11 +36,20 @@ deriveGpuConfig(const SystemConfig &config)
 
 Context::Context(const SystemConfig &config)
     : config_(config),
-      tdx_(config.cc),
-      link_(config.link),
-      gpu_(deriveGpuConfig(config)),
+      obs_(std::make_shared<obs::Registry>()),
+      tdx_(config.cc, obs_.get()),
+      link_(config.link, obs_.get()),
+      gpu_(deriveGpuConfig(config), obs_.get()),
       rng_(config.seed)
 {
+    obs_api_allocs_ = &obs_->counter("runtime.api.allocs");
+    obs_api_frees_ = &obs_->counter("runtime.api.frees");
+    obs_api_memcpys_ = &obs_->counter("runtime.api.memcpys");
+    obs_api_launches_ = &obs_->counter("runtime.api.launches");
+    obs_api_syncs_ = &obs_->counter("runtime.api.syncs");
+    obs_launch_queue_depth_ =
+        &obs_->gauge("runtime.launch_queue.depth");
+
     streams_.emplace_back();  // stream 0 = default stream
     if (config_.cc) {
         // Binding a CC-mode GPU to the TD: SPDM attestation and
@@ -49,7 +58,7 @@ Context::Context(const SystemConfig &config)
         // session (Sec. III).
         const auto session = tee::SpdmSession::establish(config_.seed);
         channel_ = std::make_unique<tee::SecureChannel>(
-            config_.channel, session);
+            config_.channel, session, obs_.get());
         host_now_ += tee::SpdmSession::kHandshakeCost;
         host_now_ += tee::AttestationService::kQuoteGenCost;
         host_now_ += tee::AttestationService::kQuoteVerifyCost;
@@ -88,6 +97,7 @@ Context::hostKindOf(MemSpace space) const
 Buffer
 Context::mallocDevice(Bytes bytes)
 {
+    obs_api_allocs_->add(1);
     const SimTime start = host_now_;
     host_now_ += deviceAllocCost(bytes, tdx_);
     Buffer buf{next_buffer_id_++, MemSpace::Device, bytes, 0};
@@ -100,6 +110,7 @@ Context::mallocDevice(Bytes bytes)
 Buffer
 Context::mallocHost(Bytes bytes)
 {
+    obs_api_allocs_->add(1);
     const SimTime start = host_now_;
     host_now_ += hostAllocCost(bytes, tdx_);
     Buffer buf{next_buffer_id_++, MemSpace::HostPinned, bytes, 0};
@@ -112,6 +123,7 @@ Context::mallocHost(Bytes bytes)
 Buffer
 Context::mallocManaged(Bytes bytes)
 {
+    obs_api_allocs_->add(1);
     const SimTime start = host_now_;
     host_now_ += managedAllocCost(bytes, tdx_);
     const std::uint64_t handle = gpu_.uvm().createAllocation(bytes);
@@ -143,6 +155,7 @@ Context::free(Buffer &buffer)
               static_cast<unsigned long long>(buffer.id));
     const AllocInfo info = it->second;
     allocs_.erase(it);
+    obs_api_frees_->add(1);
 
     if (info.space == MemSpace::HostPageable) {
         buffer.id = 0;  // plain free, no driver cost
@@ -185,6 +198,7 @@ Context::memcpyImpl(const Buffer &dst, const Buffer &src, Bytes bytes,
               static_cast<unsigned long long>(src.bytes));
     }
 
+    obs_api_memcpys_->add(1);
     const bool dst_dev = dst.space == MemSpace::Device;
     const bool src_dev = src.space == MemSpace::Device;
     auto ctx = transferContext();
@@ -317,6 +331,7 @@ Context::memPrefetch(const Buffer &buffer, bool to_device)
 SimTime
 Context::launchImpl(const gpu::KernelDesc &kernel, StreamState &stream)
 {
+    obs_api_launches_->add(1);
     SimTime lqt = 0;
 
     // Dispatch gap between consecutive launches.
@@ -367,6 +382,8 @@ Context::launchImpl(const gpu::KernelDesc &kernel, StreamState &stream)
         gpu_.executeKernel(host_now_, stream.device_ready, kernel, ctx);
     stream.device_ready = sched.end;
     pending.push_back(sched.end);
+    obs_launch_queue_depth_->set(
+        static_cast<std::int64_t>(pending.size()), host_now_);
 
     trace::TraceEvent kernel_ev;
     kernel_ev.kind = trace::EventKind::Kernel;
@@ -415,6 +432,7 @@ Context::instantiateGraph(std::string name,
 void
 Context::launchGraph(const GraphExec &graph, const Stream &stream)
 {
+    obs_api_launches_->add(1);
     auto &s = streamState(stream);
     SimTime lqt = 0;
     if (any_launch_) {
@@ -456,6 +474,8 @@ Context::launchGraph(const GraphExec &graph, const Stream &stream)
             gpu_.executeKernel(dispatch, s.device_ready, node, ctx);
         s.device_ready = sched.end;
         s.pending.push_back(sched.end);
+        obs_launch_queue_depth_->set(
+            static_cast<std::int64_t>(s.pending.size()), dispatch);
 
         trace::TraceEvent kernel_ev;
         kernel_ev.kind = trace::EventKind::Kernel;
@@ -547,6 +567,7 @@ Context::streamWaitEvent(const Stream &stream, const Event &event)
 void
 Context::eventSynchronize(const Event &event)
 {
+    obs_api_syncs_->add(1);
     const SimTime start = host_now_;
     host_now_ = std::max(host_now_, event.when_);
     host_now_ += calib::kSyncApiCost;
@@ -559,6 +580,7 @@ Context::eventSynchronize(const Event &event)
 void
 Context::streamSynchronize(const Stream &stream)
 {
+    obs_api_syncs_->add(1);
     auto &s = streamState(stream);
     const SimTime start = host_now_;
     host_now_ = std::max(host_now_, s.device_ready);
@@ -571,6 +593,7 @@ Context::streamSynchronize(const Stream &stream)
 void
 Context::deviceSynchronize()
 {
+    obs_api_syncs_->add(1);
     const SimTime start = host_now_;
     SimTime target = host_now_;
     for (auto &s : streams_) {

@@ -38,6 +38,7 @@
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "gpu/gpu_device.hpp"
+#include "obs/registry.hpp"
 #include "pcie/link.hpp"
 #include "runtime/buffer.hpp"
 #include "runtime/graph.hpp"
@@ -210,6 +211,18 @@ class Context
 
     trace::Tracer &tracer() { return tracer_; }
     const trace::Tracer &tracer() const { return tracer_; }
+
+    /**
+     * The per-context stats registry: every component of this system
+     * publishes its "tee.*" / "crypto.*" / "gpu.*" / "pcie.*" /
+     * "sim.*" / "runtime.*" stats here.  Each Context owns its own
+     * registry, so base/CC compare runs never mix stats.
+     */
+    obs::Registry &obs() { return *obs_; }
+    const obs::Registry &obs() const { return *obs_; }
+    /** Shared ownership (outlives the Context, e.g. for reporting). */
+    std::shared_ptr<obs::Registry> obsPtr() const { return obs_; }
+
     tee::TdxModule &tdx() { return tdx_; }
     const tee::TdxModule &tdx() const { return tdx_; }
     gpu::GpuDevice &device() { return gpu_; }
@@ -248,12 +261,22 @@ class Context
                        StreamState &stream);
 
     SystemConfig config_;
+    // The registry must be the first member: every component below
+    // captures stat pointers into it at construction.
+    std::shared_ptr<obs::Registry> obs_;
     tee::TdxModule tdx_;
     pcie::PcieLink link_;
     std::unique_ptr<tee::SecureChannel> channel_;
     gpu::GpuDevice gpu_;
     trace::Tracer tracer_;
     Rng rng_;
+
+    obs::Counter *obs_api_allocs_ = nullptr;
+    obs::Counter *obs_api_frees_ = nullptr;
+    obs::Counter *obs_api_memcpys_ = nullptr;
+    obs::Counter *obs_api_launches_ = nullptr;
+    obs::Counter *obs_api_syncs_ = nullptr;
+    obs::Gauge *obs_launch_queue_depth_ = nullptr;
 
     SimTime host_now_ = 0;
     std::vector<StreamState> streams_;

@@ -11,6 +11,10 @@ EventQueue::schedule(SimTime when, EventFn fn)
 {
     HCC_ASSERT(when >= now_, "event scheduled in the past");
     heap_.push(Entry{when, seq_++, std::move(fn)});
+    if (obs_scheduled_) {
+        obs_scheduled_->add(1);
+        sampleDepth(now_);
+    }
 }
 
 SimTime
@@ -22,12 +26,17 @@ EventQueue::nextTime() const
 std::size_t
 EventQueue::runUntil(SimTime until)
 {
+    obs::ProfileScope profile(obs_, "event_queue_run");
     std::size_t executed = 0;
     while (!heap_.empty() && heap_.top().when <= until) {
         // Copy out before popping: the callback may schedule more.
         Entry e = heap_.top();
         heap_.pop();
         now_ = e.when;
+        if (obs_executed_) {
+            obs_executed_->add(1);
+            sampleDepth(now_);
+        }
         e.fn(now_);
         ++executed;
     }
@@ -39,11 +48,16 @@ EventQueue::runUntil(SimTime until)
 std::size_t
 EventQueue::runAll()
 {
+    obs::ProfileScope profile(obs_, "event_queue_run");
     std::size_t executed = 0;
     while (!heap_.empty()) {
         Entry e = heap_.top();
         heap_.pop();
         now_ = e.when;
+        if (obs_executed_) {
+            obs_executed_->add(1);
+            sampleDepth(now_);
+        }
         e.fn(now_);
         ++executed;
     }
@@ -56,6 +70,23 @@ EventQueue::reset()
     heap_ = {};
     seq_ = 0;
     now_ = 0;
+}
+
+void
+EventQueue::attachObs(obs::Registry *obs)
+{
+    obs_ = obs;
+    if (!obs)
+        return;
+    obs_scheduled_ = &obs->counter("sim.event_queue.scheduled");
+    obs_executed_ = &obs->counter("sim.event_queue.executed");
+    obs_depth_ = &obs->gauge("sim.event_queue.depth");
+}
+
+void
+EventQueue::sampleDepth(SimTime when)
+{
+    obs_depth_->set(static_cast<std::int64_t>(heap_.size()), when);
 }
 
 } // namespace hcc::sim

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "obs/registry.hpp"
 
 namespace hcc::sim {
 
@@ -54,7 +55,22 @@ class EventQueue
     /** Drop all pending events and reset the clock. */
     void reset();
 
+    /**
+     * Publish "sim.event_queue.{scheduled,executed}" counters and the
+     * "sim.event_queue.depth" gauge (whose max watermark is the peak
+     * depth); run* methods also profile their own wall-clock cost.
+     */
+    void attachObs(obs::Registry *obs);
+
   private:
+    /** Record the current depth as a gauge sample at @p when. */
+    void sampleDepth(SimTime when);
+
+    obs::Registry *obs_ = nullptr;
+    obs::Counter *obs_scheduled_ = nullptr;
+    obs::Counter *obs_executed_ = nullptr;
+    obs::Gauge *obs_depth_ = nullptr;
+
     struct Entry
     {
         SimTime when;

@@ -22,7 +22,23 @@ Timeline::reserve(SimTime ready, SimTime duration)
     busy_ += duration;
     free_at_ = iv.end;
     ++count_;
+    if (obs_reservations_) {
+        obs_reservations_->add(1);
+        obs_busy_ps_->add(static_cast<std::uint64_t>(duration));
+        obs_queuing_ps_->add(
+            static_cast<std::uint64_t>(iv.start - ready));
+    }
     return iv;
+}
+
+void
+Timeline::attachObs(obs::Registry *obs, const std::string &prefix)
+{
+    if (!obs)
+        return;
+    obs_reservations_ = &obs->counter(prefix + ".reservations");
+    obs_busy_ps_ = &obs->counter(prefix + ".busy_ps");
+    obs_queuing_ps_ = &obs->counter(prefix + ".queuing_ps");
 }
 
 void
@@ -62,6 +78,13 @@ TimelinePool::reserve(SimTime ready, SimTime duration, int &member)
     }
     member = static_cast<int>(best);
     return members_[best].reserve(ready, duration);
+}
+
+void
+TimelinePool::attachObs(obs::Registry *obs, const std::string &prefix)
+{
+    for (auto &m : members_)
+        m.attachObs(obs, prefix);
 }
 
 SimTime

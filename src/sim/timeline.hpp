@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "obs/registry.hpp"
 
 namespace hcc::sim {
 
@@ -59,6 +60,14 @@ class Timeline
 
     const std::string &name() const { return name_; }
 
+    /**
+     * Publish per-reservation counters under
+     * "<prefix>.{reservations,busy_ps,queuing_ps}".  Members of a
+     * TimelinePool attach under the same prefix, so pool stats
+     * aggregate automatically.
+     */
+    void attachObs(obs::Registry *obs, const std::string &prefix);
+
     /** Reset to an idle state at time zero. */
     void reset();
 
@@ -68,6 +77,9 @@ class Timeline
     SimTime busy_ = 0;
     SimTime queuing_ = 0;
     std::size_t count_ = 0;
+    obs::Counter *obs_reservations_ = nullptr;
+    obs::Counter *obs_busy_ps_ = nullptr;
+    obs::Counter *obs_queuing_ps_ = nullptr;
 };
 
 /**
@@ -85,6 +97,9 @@ class TimelinePool
 
     /** Reserve and report which member served it. */
     Interval reserve(SimTime ready, SimTime duration, int &member);
+
+    /** Attach every member's counters under one shared @p prefix. */
+    void attachObs(obs::Registry *obs, const std::string &prefix);
 
     int size() const { return static_cast<int>(members_.size()); }
     const Timeline &member(int i) const { return members_.at(i); }

@@ -4,7 +4,8 @@
 
 namespace hcc::tee {
 
-BounceBufferPool::BounceBufferPool(Bytes slot_bytes, int slots)
+BounceBufferPool::BounceBufferPool(Bytes slot_bytes, int slots,
+                                   obs::Registry *obs)
     : slot_bytes_(slot_bytes)
 {
     if (slot_bytes == 0 || slots <= 0)
@@ -13,6 +14,14 @@ BounceBufferPool::BounceBufferPool(Bytes slot_bytes, int slots)
     free_.reserve(static_cast<std::size_t>(slots));
     for (int i = slots - 1; i >= 0; --i)
         free_.push_back(i);
+    if (obs) {
+        obs_acquires_ = &obs->counter("tee.bounce.acquires");
+        obs_contention_events_ =
+            &obs->counter("tee.bounce.contention_events");
+        obs_contention_wait_ps_ =
+            &obs->counter("tee.bounce.contention_wait_ps");
+        obs_occupancy_ = &obs->gauge("tee.bounce.occupancy");
+    }
 }
 
 BounceSlot
@@ -23,17 +32,29 @@ BounceBufferPool::acquire(SimTime ready)
         slot.index = free_.back();
         free_.pop_back();
         slot.acquired_at = ready;
-        return slot;
+    } else {
+        // Wait for the earliest release.
+        HCC_ASSERT(!busy_until_heap_.empty(),
+                   "pool has no slots at all");
+        const auto [release_time, index] = busy_until_heap_.top();
+        busy_until_heap_.pop();
+        slot.index = index;
+        slot.acquired_at = std::max(ready, release_time);
+        if (slot.acquired_at > ready) {
+            ++contention_;
+            contention_time_ += slot.acquired_at - ready;
+            if (obs_contention_events_) {
+                obs_contention_events_->add(1);
+                obs_contention_wait_ps_->add(
+                    static_cast<std::uint64_t>(slot.acquired_at
+                                               - ready));
+            }
+        }
     }
-    // Wait for the earliest release.
-    HCC_ASSERT(!busy_until_heap_.empty(), "pool has no slots at all");
-    const auto [release_time, index] = busy_until_heap_.top();
-    busy_until_heap_.pop();
-    slot.index = index;
-    slot.acquired_at = std::max(ready, release_time);
-    if (slot.acquired_at > ready) {
-        ++contention_;
-        contention_time_ += slot.acquired_at - ready;
+    ++in_use_;
+    if (obs_acquires_) {
+        obs_acquires_->add(1);
+        obs_occupancy_->set(in_use_, slot.acquired_at);
     }
     return slot;
 }
@@ -50,6 +71,9 @@ BounceBufferPool::release(const BounceSlot &slot, SimTime when)
     // free list only holds never-used slots, so the two sets stay
     // disjoint by construction.
     busy_until_heap_.emplace(when, slot.index);
+    --in_use_;
+    if (obs_occupancy_)
+        obs_occupancy_->set(in_use_, when);
 }
 
 std::vector<std::uint8_t> &

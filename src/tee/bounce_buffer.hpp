@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "obs/registry.hpp"
 
 namespace hcc::tee {
 
@@ -40,8 +41,13 @@ class BounceBufferPool
     /**
      * @param slot_bytes size of each slot (the staging chunk size).
      * @param slots number of slots (pool capacity / slot size).
+     * @param obs optional stats sink; publishes
+     *        "tee.bounce.{acquires,contention_events,
+     *        contention_wait_ps}" counters and the
+     *        "tee.bounce.occupancy" gauge.
      */
-    BounceBufferPool(Bytes slot_bytes, int slots);
+    BounceBufferPool(Bytes slot_bytes, int slots,
+                     obs::Registry *obs = nullptr);
 
     /**
      * Acquire a slot at time @p ready; if all slots are busy, the
@@ -75,6 +81,11 @@ class BounceBufferPool
                         std::greater<>> busy_until_heap_;
     std::uint64_t contention_ = 0;
     SimTime contention_time_ = 0;
+    int in_use_ = 0;
+    obs::Counter *obs_acquires_ = nullptr;
+    obs::Counter *obs_contention_events_ = nullptr;
+    obs::Counter *obs_contention_wait_ps_ = nullptr;
+    obs::Gauge *obs_occupancy_ = nullptr;
 };
 
 } // namespace hcc::tee

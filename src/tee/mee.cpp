@@ -4,7 +4,13 @@
 
 namespace hcc::tee {
 
-MemoryEncryptionEngine::MemoryEncryptionEngine() = default;
+MemoryEncryptionEngine::MemoryEncryptionEngine(obs::Registry *obs)
+{
+    if (obs) {
+        obs_lines_ = &obs->counter("tee.mee.lines");
+        obs_bypassed_ = &obs->counter("tee.mee.lines_bypassed");
+    }
+}
 
 void
 MemoryEncryptionEngine::provisionKey(std::uint16_t key_id,
@@ -38,6 +44,8 @@ MemoryEncryptionEngine::writeLine(std::uint16_t key_id,
     std::vector<std::uint8_t> out(data.begin(), data.end());
     if (key_id == 0) {
         ++bypassed_;
+        if (obs_bypassed_)
+            obs_bypassed_->add(1);
         return out;
     }
     if (data.size() % kMeeLineBytes != 0) {
@@ -49,6 +57,8 @@ MemoryEncryptionEngine::writeLine(std::uint16_t key_id,
         std::span<std::uint8_t> line(out.data() + off, kMeeLineBytes);
         xts.encrypt(line_addr + off / kMeeLineBytes, line, line);
         ++lines_;
+        if (obs_lines_)
+            obs_lines_->add(1);
     }
     return out;
 }
@@ -61,6 +71,8 @@ MemoryEncryptionEngine::readLine(std::uint16_t key_id,
     std::vector<std::uint8_t> out(data.begin(), data.end());
     if (key_id == 0) {
         ++bypassed_;
+        if (obs_bypassed_)
+            obs_bypassed_->add(1);
         return out;
     }
     if (data.size() % kMeeLineBytes != 0)
@@ -70,6 +82,8 @@ MemoryEncryptionEngine::readLine(std::uint16_t key_id,
         std::span<std::uint8_t> line(out.data() + off, kMeeLineBytes);
         xts.decrypt(line_addr + off / kMeeLineBytes, line, line);
         ++lines_;
+        if (obs_lines_)
+            obs_lines_->add(1);
     }
     return out;
 }

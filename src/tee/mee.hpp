@@ -25,6 +25,7 @@
 
 #include "common/units.hpp"
 #include "crypto/xts.hpp"
+#include "obs/registry.hpp"
 
 namespace hcc::tee {
 
@@ -37,7 +38,11 @@ constexpr Bytes kMeeLineBytes = 64;
 class MemoryEncryptionEngine
 {
   public:
-    MemoryEncryptionEngine();
+    /**
+     * @param obs optional stats sink; publishes
+     *        "tee.mee.{lines,lines_bypassed}".
+     */
+    explicit MemoryEncryptionEngine(obs::Registry *obs = nullptr);
 
     /**
      * Provision a key for @p key_id (one per TD).
@@ -80,6 +85,8 @@ class MemoryEncryptionEngine
     std::map<std::uint16_t, crypto::AesXts> keys_;
     std::uint64_t lines_ = 0;
     std::uint64_t bypassed_ = 0;
+    obs::Counter *obs_lines_ = nullptr;
+    obs::Counter *obs_bypassed_ = nullptr;
 };
 
 } // namespace hcc::tee

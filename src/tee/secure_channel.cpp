@@ -7,19 +7,30 @@
 namespace hcc::tee {
 
 SecureChannel::SecureChannel(const ChannelConfig &config,
-                             const SpdmSession &session)
+                             const SpdmSession &session,
+                             obs::Registry *obs)
     : config_(config),
       cpu_model_(config.cpu),
       crypto_workers_("cc.crypto", std::max(1, config.crypto_workers)),
       gpu_crypto_("cc.gpu_crypto"),
-      pool_(config.chunk_bytes, config.bounce_slots),
-      gcm_(session.key()),
-      iv_seq_(static_cast<std::uint32_t>(session.sessionId()))
+      pool_(config.chunk_bytes, config.bounce_slots, obs),
+      gcm_(session.key(), obs),
+      iv_seq_(static_cast<std::uint32_t>(session.sessionId())),
+      obs_(obs)
 {
     if (config.chunk_bytes == 0)
         fatal("secure channel chunk size must be positive");
     if (config.crypto_workers < 1)
         fatal("secure channel needs at least one crypto worker");
+    if (obs) {
+        crypto_workers_.attachObs(obs, "sim.timeline.cc_crypto");
+        gpu_crypto_.attachObs(obs, "sim.timeline.cc_gpu_crypto");
+        obs_transfers_ = &obs->counter("tee.channel.transfers");
+        obs_chunks_ = &obs->counter("tee.channel.chunks");
+        obs_bytes_h2d_ = &obs->counter("tee.bounce.bytes_h2d");
+        obs_bytes_d2h_ = &obs->counter("tee.bounce.bytes_d2h");
+        obs_gcm_blocks_ = &obs->counter("crypto.aes_gcm.blocks");
+    }
 }
 
 SimTime
@@ -48,6 +59,12 @@ SecureChannel::scheduleTransfer(SimTime ready, Bytes bytes,
 {
     TransferTiming timing;
     bytes_ += bytes;
+    if (obs_transfers_) {
+        obs_transfers_->add(1);
+        (dir == pcie::Direction::HostToDevice ? obs_bytes_h2d_
+                                              : obs_bytes_d2h_)
+            ->add(bytes);
+    }
 
     // Fixed per-transfer control path: command submission doorbell
     // plus a guest<->host round trip to program the copy engine.
@@ -84,6 +101,12 @@ SecureChannel::scheduleTransfer(SimTime ready, Bytes bytes,
             std::min<Bytes>(remaining, config_.chunk_bytes);
         remaining -= chunk;
         ++timing.chunks;
+        if (obs_chunks_) {
+            obs_chunks_->add(1);
+            // One 16-byte AES block per 16 ciphertext bytes, rounded
+            // up -- the work both the CPU and GPU crypto stages do.
+            obs_gcm_blocks_->add((chunk + 15) / 16);
+        }
 
         const auto worker =
             crypto_workers_.reserve(t, workerChunkCost(chunk, dir));
@@ -157,6 +180,7 @@ SecureChannel::transferFunctional(
     HCC_ASSERT(dst.size() >= src.size(),
                "functional transfer destination too small");
 
+    obs::ProfileScope profile(obs_, "channel_functional");
     bool ok = true;
     std::size_t off = 0;
     while (off < src.size()) {

@@ -84,8 +84,18 @@ struct TransferTiming
 class SecureChannel
 {
   public:
+    /**
+     * @param obs optional stats sink; publishes
+     *        "tee.channel.{transfers,chunks}",
+     *        "tee.bounce.bytes_{h2d,d2h}",
+     *        "crypto.aes_gcm.blocks" and, via the owned pool/GCM,
+     *        the "tee.bounce.*" and "crypto.aes_gcm.*" stats.  The
+     *        internal timelines attach as
+     *        "sim.timeline.cc_{crypto,gpu_crypto}.*".
+     */
     SecureChannel(const ChannelConfig &config,
-                  const SpdmSession &session);
+                  const SpdmSession &session,
+                  obs::Registry *obs = nullptr);
 
     /**
      * Schedule a transfer of @p bytes in direction @p dir, ready at
@@ -150,6 +160,12 @@ class SecureChannel
     crypto::AesGcm gcm_;
     crypto::GcmIvSequence iv_seq_;
     Bytes bytes_ = 0;
+    obs::Registry *obs_ = nullptr;
+    obs::Counter *obs_transfers_ = nullptr;
+    obs::Counter *obs_chunks_ = nullptr;
+    obs::Counter *obs_bytes_h2d_ = nullptr;
+    obs::Counter *obs_bytes_d2h_ = nullptr;
+    obs::Counter *obs_gcm_blocks_ = nullptr;
 };
 
 } // namespace hcc::tee

@@ -4,9 +4,23 @@
 
 namespace hcc::tee {
 
-TdxModule::TdxModule(bool cc_enabled)
+TdxModule::TdxModule(bool cc_enabled, obs::Registry *obs)
     : cc_(cc_enabled)
-{}
+{
+    if (obs) {
+        obs_hypercalls_ = {&obs->counter("tee.tdx.hypercalls"),
+                           &obs->counter("tee.tdx.hypercall_time_ps")};
+        obs_seamcalls_ = {&obs->counter("tee.tdx.seamcalls"),
+                          &obs->counter("tee.tdx.seamcall_time_ps")};
+        obs_vmexits_ = {&obs->counter("tee.tdx.vmexits"),
+                        &obs->counter("tee.tdx.vmexit_time_ps")};
+        obs_pages_converted_ =
+            {&obs->counter("tee.tdx.pages_converted"),
+             &obs->counter("tee.tdx.page_convert_time_ps")};
+        obs_dma_allocs_ = {&obs->counter("tee.tdx.dma_allocs"),
+                           &obs->counter("tee.tdx.dma_alloc_time_ps")};
+    }
+}
 
 SimTime
 TdxModule::guestHostRoundTrips(int count)
@@ -18,11 +32,13 @@ TdxModule::guestHostRoundTrips(int count)
         const SimTime t = calib::kTdxHypercallLatency * count;
         stats_.hypercalls += static_cast<std::uint64_t>(count);
         stats_.hypercall_time += t;
+        obs_hypercalls_.add(static_cast<std::uint64_t>(count), t);
         return t;
     }
     const SimTime t = calib::kVmcallLatency * count;
     stats_.vmexits += static_cast<std::uint64_t>(count);
     stats_.vmexit_time += t;
+    obs_vmexits_.add(static_cast<std::uint64_t>(count), t);
     return t;
 }
 
@@ -35,6 +51,7 @@ TdxModule::seamcalls(int count)
     const SimTime t = calib::kSeamcallLatency * count;
     stats_.seamcalls += static_cast<std::uint64_t>(count);
     stats_.seamcall_time += t;
+    obs_seamcalls_.add(static_cast<std::uint64_t>(count), t);
     return t;
 }
 
@@ -49,6 +66,7 @@ TdxModule::convertPages(Bytes bytes)
         calib::kPageConvertPerPage * static_cast<SimTime>(pages);
     stats_.pages_converted += pages;
     stats_.page_convert_time += t;
+    obs_pages_converted_.add(pages, t);
     return t;
 }
 
@@ -60,6 +78,7 @@ TdxModule::dmaAlloc(Bytes bytes)
     SimTime t = calib::kDmaAllocFixed;
     stats_.dma_allocs += 1;
     stats_.dma_alloc_time += calib::kDmaAllocFixed;
+    obs_dma_allocs_.add(1, calib::kDmaAllocFixed);
     t += convertPages(bytes);
     return t;
 }
@@ -71,6 +90,7 @@ TdxModule::mmioDoorbell()
         // Trapped via #VE and forwarded as a hypercall.
         stats_.hypercalls += 1;
         stats_.hypercall_time += calib::kMmioDoorbellTd;
+        obs_hypercalls_.add(1, calib::kMmioDoorbellTd);
         return calib::kMmioDoorbellTd;
     }
     return calib::kMmioDoorbellBase;

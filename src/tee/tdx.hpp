@@ -21,6 +21,7 @@
 
 #include "common/calibration.hpp"
 #include "common/units.hpp"
+#include "obs/registry.hpp"
 
 namespace hcc::tee {
 
@@ -54,8 +55,12 @@ struct TdxStats
 class TdxModule
 {
   public:
-    /** @param cc_enabled true for a TD, false for a regular VM. */
-    explicit TdxModule(bool cc_enabled);
+    /**
+     * @param cc_enabled true for a TD, false for a regular VM.
+     * @param obs optional stats sink; mirrors TdxStats as
+     *        "tee.tdx.*" counters (transition counts and *_time_ps).
+     */
+    explicit TdxModule(bool cc_enabled, obs::Registry *obs = nullptr);
 
     bool ccEnabled() const { return cc_; }
 
@@ -89,8 +94,29 @@ class TdxModule
     void resetStats() { stats_ = TdxStats{}; }
 
   private:
+    /** Count + accumulated-time counter pair for one transition kind. */
+    struct ObsPair
+    {
+        obs::Counter *count = nullptr;
+        obs::Counter *time_ps = nullptr;
+
+        void
+        add(std::uint64_t n, SimTime t)
+        {
+            if (count) {
+                count->add(n);
+                time_ps->add(static_cast<std::uint64_t>(t));
+            }
+        }
+    };
+
     bool cc_;
     TdxStats stats_;
+    ObsPair obs_hypercalls_;
+    ObsPair obs_seamcalls_;
+    ObsPair obs_vmexits_;
+    ObsPair obs_pages_converted_;
+    ObsPair obs_dma_allocs_;
 };
 
 } // namespace hcc::tee

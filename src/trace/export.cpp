@@ -1,7 +1,9 @@
 #include "trace/export.hpp"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 namespace hcc::trace {
 
@@ -41,10 +43,45 @@ isHostSide(EventKind kind)
     }
 }
 
+/**
+ * Render every sampled gauge of @p obs as Perfetto counter events.
+ * Samples are re-sorted by timestamp per gauge: components record
+ * them in call order, which need not be monotonic in simulated time.
+ */
+void
+emitCounterTracks(const obs::Registry &obs, std::ostream &os,
+                  bool &first)
+{
+    for (const auto &[name, entry] : obs.entries()) {
+        if (entry.kind != obs::Registry::Kind::Gauge)
+            continue;
+        const obs::Gauge &gauge = *entry.gauge;
+        if (gauge.samples().empty())
+            continue;
+        auto samples = gauge.samples();
+        std::stable_sort(samples.begin(), samples.end(),
+                         [](const obs::Gauge::Sample &a,
+                            const obs::Gauge::Sample &b) {
+                             return a.ts < b.ts;
+                         });
+        for (const auto &sample : samples) {
+            if (!first)
+                os << ",\n";
+            first = false;
+            os << "  {\"name\": \"" << jsonEscape(name) << "\", "
+               << "\"ph\": \"C\", "
+               << "\"ts\": " << time::toUs(sample.ts) << ", "
+               << "\"pid\": 3, "
+               << "\"args\": {\"value\": " << sample.value << "}}";
+        }
+    }
+}
+
 } // namespace
 
 void
-exportChromeTrace(const Tracer &tracer, std::ostream &os)
+exportChromeTrace(const Tracer &tracer, std::ostream &os,
+                  const obs::Registry *obs)
 {
     os << "[\n";
     bool first = true;
@@ -67,16 +104,44 @@ exportChromeTrace(const Tracer &tracer, std::ostream &os)
            << ", \"encrypted_paging\": "
            << (e.encrypted_paging ? "true" : "false") << "}}";
     }
+    if (obs)
+        emitCounterTracks(*obs, os, first);
     os << "\n]\n";
 }
 
 std::string
-chromeTraceJson(const Tracer &tracer)
+chromeTraceJson(const Tracer &tracer, const obs::Registry *obs)
 {
     std::ostringstream oss;
-    exportChromeTrace(tracer, oss);
+    exportChromeTrace(tracer, oss, obs);
     return oss.str();
 }
+
+namespace {
+
+/**
+ * RFC 4180 field quoting: plain fields pass through untouched; a
+ * field containing a comma, quote or newline is wrapped in quotes
+ * with embedded quotes doubled.
+ */
+std::string
+csvField(const std::string &field)
+{
+    if (field.find_first_of(",\"\r\n") == std::string::npos)
+        return field;
+    std::string out;
+    out.reserve(field.size() + 2);
+    out += '"';
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
 
 void
 exportCsv(const Tracer &tracer, std::ostream &os)
@@ -84,7 +149,7 @@ exportCsv(const Tracer &tracer, std::ostream &os)
     os << "kind,name,start_us,end_us,duration_us,stream,"
           "correlation,bytes,queue_wait_us,encrypted_paging\n";
     for (const auto &e : tracer.events()) {
-        os << eventKindName(e.kind) << ',' << e.name << ','
+        os << eventKindName(e.kind) << ',' << csvField(e.name) << ','
            << time::toUs(e.start) << ',' << time::toUs(e.end) << ','
            << time::toUs(e.duration()) << ',' << e.stream << ','
            << e.correlation << ',' << e.bytes << ','

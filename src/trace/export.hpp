@@ -11,6 +11,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "obs/registry.hpp"
 #include "trace/tracer.hpp"
 
 namespace hcc::trace {
@@ -19,13 +20,21 @@ namespace hcc::trace {
  * Emit the trace as a Chrome trace-event JSON array of complete ("X")
  * events.  Tracks: host API activity (launch/alloc/sync, pid 1) and
  * device activity per stream (kernels/copies, pid 2, tid = stream).
+ * When @p obs is given, every gauge with recorded samples is
+ * additionally rendered as a Perfetto counter track (ph "C", pid 3)
+ * so stats like bounce-buffer occupancy plot over simulated time.
  */
-void exportChromeTrace(const Tracer &tracer, std::ostream &os);
+void exportChromeTrace(const Tracer &tracer, std::ostream &os,
+                       const obs::Registry *obs = nullptr);
 
 /** Convenience: render the Chrome trace to a string. */
-std::string chromeTraceJson(const Tracer &tracer);
+std::string chromeTraceJson(const Tracer &tracer,
+                            const obs::Registry *obs = nullptr);
 
-/** Emit the raw events as CSV (one row per event). */
+/**
+ * Emit the raw events as CSV (one row per event, RFC 4180: fields
+ * containing commas, quotes or newlines are quoted).
+ */
 void exportCsv(const Tracer &tracer, std::ostream &os);
 
 } // namespace hcc::trace

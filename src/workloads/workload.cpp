@@ -76,7 +76,10 @@ runWorkload(const Workload &workload, const rt::SystemConfig &config,
               workload.name().c_str());
     }
     rt::Context ctx(config);
-    workload.run(ctx, params);
+    {
+        obs::ProfileScope profile(&ctx.obs(), "workload_run");
+        workload.run(ctx, params);
+    }
 
     WorkloadResult result;
     result.name = workload.name();
@@ -86,6 +89,7 @@ runWorkload(const Workload &workload, const rt::SystemConfig &config,
     result.metrics = trace::analyze(result.trace);
     result.tdx = ctx.tdx().stats();
     result.end_to_end = result.metrics.end_to_end;
+    result.stats = ctx.obsPtr();
     return result;
 }
 

@@ -46,6 +46,8 @@ struct WorkloadResult
     trace::AppMetrics metrics;
     tee::TdxStats tdx;
     SimTime end_to_end = 0;
+    /** The run's stats registry (shared out of the dead Context). */
+    std::shared_ptr<obs::Registry> stats;
 };
 
 /**

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "cli/options.hpp"
@@ -123,6 +124,42 @@ TEST(CliParse, EmptyArgsIsError)
     EXPECT_FALSE(parse({}));
 }
 
+TEST(CliParse, StatsDiffCommand)
+{
+    const auto o = parse({"stats-diff", "base.json", "cur.json",
+                          "--tolerance", "0.05"});
+    ASSERT_TRUE(o);
+    EXPECT_EQ(o->command, Command::StatsDiff);
+    EXPECT_EQ(o->diff_baseline, "base.json");
+    EXPECT_EQ(o->diff_current, "cur.json");
+    EXPECT_DOUBLE_EQ(o->tolerance, 0.05);
+
+    std::string err;
+    EXPECT_FALSE(parse({"stats-diff", "only-one.json"}, &err));
+    EXPECT_NE(err.find("CURRENT"), std::string::npos);
+    EXPECT_FALSE(parse({"stats-diff", "a", "b", "c"}));
+    EXPECT_FALSE(parse({"stats-diff", "a", "b", "--tolerance",
+                        "-0.1"}));
+    EXPECT_FALSE(parse({"stats-diff", "a", "b", "--tolerance",
+                        "lots"}));
+}
+
+TEST(CliParse, StatsOutAndLogLevel)
+{
+    const auto o = parse({"run", "--app", "sc", "--stats-out",
+                          "s.json", "--log-level", "debug"});
+    ASSERT_TRUE(o);
+    EXPECT_EQ(o->stats_out, "s.json");
+    EXPECT_EQ(o->log_level, "debug");
+
+    std::string err;
+    EXPECT_FALSE(parse({"run", "--app", "sc", "--log-level", "loud"},
+                       &err));
+    EXPECT_NE(err.find("--log-level"), std::string::npos);
+    EXPECT_FALSE(parse({"list", "--stats-out", "s.json"}, &err));
+    EXPECT_NE(err.find("--stats-out"), std::string::npos);
+}
+
 // ------------------------------------------------------- execution
 
 TEST(CliRun, ListShowsKnownApps)
@@ -191,8 +228,78 @@ TEST(CliRun, HelpMentionsAllCommands)
     Options o;
     std::ostringstream oss;
     EXPECT_EQ(runCli(o, oss), 0);
-    for (const char *cmd : {"list", "run", "compare", "trace"})
+    for (const char *cmd :
+         {"list", "run", "compare", "trace", "stats-diff"})
         EXPECT_NE(oss.str().find(cmd), std::string::npos) << cmd;
+}
+
+TEST(CliRun, LogLevelFlagSetsGlobalLevel)
+{
+    const LogLevel before = logLevel();
+    Options o;
+    o.command = Command::Help;
+    o.log_level = "error";
+    std::ostringstream oss;
+    EXPECT_EQ(runCli(o, oss), 0);
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+    setLogLevel(before);
+}
+
+/** Run a workload through runCli, dumping stats to @p path. */
+void
+runWithStatsOut(const std::string &path, double scale)
+{
+    Options o;
+    o.command = Command::Run;
+    o.app = "atax";
+    o.cc = true;
+    o.scale = scale;
+    o.stats_out = path;
+    std::ostringstream oss;
+    ASSERT_EQ(runCli(o, oss), 0);
+}
+
+TEST(CliRun, StatsOutAndStatsDiffRoundTrip)
+{
+    const auto dir = ::testing::TempDir();
+    const auto base = dir + "hccsim_stats_base.json";
+    const auto same = dir + "hccsim_stats_same.json";
+    const auto bigger = dir + "hccsim_stats_bigger.json";
+    runWithStatsOut(base, 1.0);
+    runWithStatsOut(same, 1.0);
+    runWithStatsOut(bigger, 2.0);
+
+    Options diff;
+    diff.command = Command::StatsDiff;
+    diff.diff_baseline = base;
+    diff.diff_current = same;
+    {
+        std::ostringstream oss;
+        EXPECT_EQ(runCli(diff, oss), 0);
+        EXPECT_NE(oss.str().find("no drift"), std::string::npos);
+    }
+    diff.diff_current = bigger;
+    {
+        std::ostringstream oss;
+        EXPECT_EQ(runCli(diff, oss), 1);
+        EXPECT_NE(oss.str().find("drifting"), std::string::npos);
+    }
+    // A huge tolerance forgives the size change.
+    diff.tolerance = 0.99;
+    {
+        std::ostringstream oss;
+        EXPECT_EQ(runCli(diff, oss), 0);
+    }
+}
+
+TEST(CliRun, StatsDiffMissingFileThrowsFatal)
+{
+    Options o;
+    o.command = Command::StatsDiff;
+    o.diff_baseline = "/nonexistent/base.json";
+    o.diff_current = "/nonexistent/cur.json";
+    std::ostringstream oss;
+    EXPECT_THROW(runCli(o, oss), hcc::FatalError);
 }
 
 } // namespace

@@ -7,6 +7,8 @@
 
 #include <sstream>
 
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
 #include "trace/compare.hpp"
 #include "trace/export.hpp"
 #include "trace/tracer.hpp"
@@ -93,6 +95,49 @@ TEST(ChromeExport, EmptyTraceIsEmptyArray)
     EXPECT_EQ(json.find('{'), std::string::npos);
 }
 
+TEST(ChromeExport, CounterTracksFromRegistry)
+{
+    obs::Registry reg;
+    obs::Gauge &g = reg.gauge("tee.bounce.occupancy");
+    // Recorded out of simulated-time order (as a bounce release can
+    // be): the exporter must sort before emitting.
+    g.set(2, time::us(50.0));
+    g.set(1, time::us(10.0));
+    reg.counter("not.a.gauge").add(7);
+    const auto json = chromeTraceJson(sampleTrace(), &reg);
+    EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"tee.bounce.occupancy\""),
+              std::string::npos);
+    EXPECT_EQ(json.find("not.a.gauge"), std::string::npos);
+    const auto first = json.find("\"ph\": \"C\"");
+    EXPECT_NE(json.find("\"ts\": 10", first), std::string::npos);
+    EXPECT_LT(json.find("\"ts\": 10", first), json.find("\"ts\": 50"));
+}
+
+TEST(ChromeExport, OutputIsParseableJson)
+{
+    obs::Registry reg;
+    reg.gauge("runtime.launch_queue.depth").set(3, time::us(1.0));
+    const auto text = chromeTraceJson(sampleTrace(), &reg);
+    obs::json::Value v;
+    std::string err;
+    ASSERT_TRUE(obs::json::parse(text, v, err)) << err;
+    ASSERT_TRUE(v.isArray());
+    int counters = 0;
+    for (const auto &e : v.array) {
+        const auto *ph = e.find("ph");
+        ASSERT_TRUE(ph);
+        if (ph->string == "C") {
+            ++counters;
+            EXPECT_EQ(e.find("pid")->number, 3.0);
+            ASSERT_TRUE(e.find("args"));
+            EXPECT_TRUE(e.find("args")->find("value"));
+        }
+    }
+    EXPECT_EQ(counters, 1);
+    EXPECT_EQ(v.array.size(), 4u);  // 3 "X" events + 1 "C" sample
+}
+
 TEST(CsvExport, HeaderAndRows)
 {
     std::ostringstream oss;
@@ -102,6 +147,22 @@ TEST(CsvExport, HeaderAndRows)
     EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
     EXPECT_NE(csv.find("MemcpyH2D,memcpy"), std::string::npos);
     EXPECT_NE(csv.find(",4096,"), std::string::npos);
+}
+
+TEST(CsvExport, QuotesNamesWithCommasAndQuotes)
+{
+    Tracer t;
+    TraceEvent e;
+    e.kind = EventKind::Kernel;
+    e.name = "gemm<float, 32>(\"tiled\")";
+    e.start = 0;
+    e.end = 1;
+    t.record(e);
+    std::ostringstream oss;
+    exportCsv(t, oss);
+    // RFC 4180: the whole field quoted, embedded quotes doubled.
+    EXPECT_NE(oss.str().find("\"gemm<float, 32>(\"\"tiled\"\")\""),
+              std::string::npos);
 }
 
 // --------------------------------------------------------- compare

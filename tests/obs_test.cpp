@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for hcc::obs: registry semantics, deterministic stat dumps,
+ * the JSON parser, and the stats-diff regression gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/log.hpp"
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+#include "obs/stats_io.hpp"
+#include "workloads/workload.hpp"
+
+namespace hcc::obs {
+namespace {
+
+// -------------------------------------------------------- registry
+
+TEST(Registry, CounterHandlesAreStableAndShared)
+{
+    Registry reg;
+    Counter &a = reg.counter("x.calls");
+    a.add();
+    a.add(41);
+    Counter &b = reg.counter("x.calls");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.value(), 42u);
+    EXPECT_EQ(reg.size(), 1u);
+    EXPECT_TRUE(reg.contains("x.calls"));
+    EXPECT_FALSE(reg.contains("x.other"));
+}
+
+TEST(Registry, KindConflictIsFatal)
+{
+    Registry reg;
+    reg.counter("x");
+    EXPECT_THROW(reg.gauge("x"), hcc::FatalError);
+    EXPECT_THROW(reg.distribution("x"), hcc::FatalError);
+}
+
+TEST(Registry, GaugeTracksWatermarksAndSamples)
+{
+    Registry reg;
+    Gauge &g = reg.gauge("pool.occupancy");
+    g.set(2, 100);
+    g.adjust(3, 200);
+    g.set(1, 300);
+    EXPECT_EQ(g.value(), 1);
+    EXPECT_EQ(g.min(), 1);
+    EXPECT_EQ(g.max(), 5);
+    ASSERT_EQ(g.samples().size(), 3u);
+    EXPECT_EQ(g.samples()[1].ts, 200);
+    EXPECT_EQ(g.samples()[1].value, 5);
+}
+
+TEST(Registry, GaugeCoalescesEqualLevelsAndUntimedUpdates)
+{
+    Registry reg;
+    Gauge &g = reg.gauge("g");
+    g.set(7, 10);
+    g.set(7, 20);   // same level: coalesced away
+    g.set(9);       // no timestamp: no sample
+    EXPECT_EQ(g.samples().size(), 1u);
+    EXPECT_EQ(g.value(), 9);
+}
+
+TEST(Registry, GaugeDropsSamplesBeyondCap)
+{
+    Registry reg;
+    Gauge &g = reg.gauge("g");
+    for (std::size_t i = 0; i < Gauge::kMaxSamples + 5; ++i)
+        g.set(static_cast<std::int64_t>(i % 2),
+              static_cast<SimTime>(i));
+    EXPECT_EQ(g.samples().size(), Gauge::kMaxSamples);
+    EXPECT_EQ(g.droppedSamples(), 5u);
+}
+
+TEST(Registry, ProfileScopeRecordsUnderHostPrefix)
+{
+    Registry reg;
+    {
+        ProfileScope scope(&reg, "unit");
+    }
+    ASSERT_TRUE(reg.contains("host.profile.unit_us"));
+    EXPECT_EQ(reg.distribution("host.profile.unit_us").count(), 1u);
+}
+
+TEST(Registry, ProfileScopeToleratesNullRegistry)
+{
+    ProfileScope scope(nullptr, "ignored");  // must not crash
+}
+
+// ------------------------------------------------------ stats dump
+
+Registry &
+sampleRegistry(Registry &reg)
+{
+    reg.counter("tee.bounce.acquires").add(3);
+    reg.gauge("tee.bounce.occupancy").set(2, 100);
+    reg.distribution("x.latency").add(1.5);
+    reg.distribution("x.latency").add(2.5);
+    reg.distribution("host.profile.run_us").add(123.0);
+    return reg;
+}
+
+TEST(StatsIo, DumpExcludesHostStatsByDefault)
+{
+    Registry reg;
+    const auto text = statsJson(sampleRegistry(reg));
+    EXPECT_EQ(text.find("host.profile"), std::string::npos);
+    EXPECT_NE(statsJson(reg, true).find("host.profile"),
+              std::string::npos);
+}
+
+TEST(StatsIo, DumpParsesBackWithMatchingFields)
+{
+    Registry reg;
+    const auto map = parseStatsJson(statsJson(sampleRegistry(reg)));
+    ASSERT_EQ(map.count("tee.bounce.acquires"), 1u);
+    EXPECT_EQ(map.at("tee.bounce.acquires").type, "counter");
+    EXPECT_EQ(map.at("tee.bounce.acquires").fields.at("value"), 3.0);
+    EXPECT_EQ(map.at("tee.bounce.occupancy").type, "gauge");
+    EXPECT_EQ(map.at("tee.bounce.occupancy").fields.at("max"), 2.0);
+    EXPECT_EQ(map.at("x.latency").type, "distribution");
+    EXPECT_EQ(map.at("x.latency").fields.at("mean"), 2.0);
+    EXPECT_EQ(map.count("host.profile.run_us"), 0u);
+}
+
+workloads::WorkloadResult
+runSeeded(bool cc)
+{
+    rt::SystemConfig sys;
+    sys.cc = cc;
+    sys.seed = 7;
+    workloads::WorkloadParams params;
+    params.seed = 7;
+    return workloads::runWorkload("atax", sys, params);
+}
+
+TEST(StatsIo, SameSeedRunsDumpByteIdentically)
+{
+    const auto a = runSeeded(true);
+    const auto b = runSeeded(true);
+    ASSERT_TRUE(a.stats && b.stats);
+    EXPECT_EQ(statsJson(*a.stats), statsJson(*b.stats));
+}
+
+TEST(StatsIo, CcRunCoversManyComponents)
+{
+    const auto res = runSeeded(true);
+    const auto map = parseStatsJson(statsJson(*res.stats));
+    std::set<std::string> components;
+    for (const auto &[name, snap] : map)
+        components.insert(name.substr(0, name.find('.')));
+    EXPECT_GE(map.size(), 20u);
+    EXPECT_GE(components.size(), 5u) << statsJson(*res.stats);
+    EXPECT_TRUE(components.count("tee"));
+    EXPECT_TRUE(components.count("crypto"));
+}
+
+// ------------------------------------------------------------ json
+
+TEST(Json, ParsesScalarsArraysAndObjects)
+{
+    json::Value v;
+    std::string err;
+    ASSERT_TRUE(json::parse(
+        R"({"a": [1, -2.5e1, true, null], "b": "q\"uo\\te"})", v,
+        err)) << err;
+    ASSERT_TRUE(v.isObject());
+    const json::Value *a = v.find("a");
+    ASSERT_TRUE(a && a->isArray());
+    ASSERT_EQ(a->array.size(), 4u);
+    EXPECT_EQ(a->array[0].number, 1.0);
+    EXPECT_EQ(a->array[1].number, -25.0);
+    EXPECT_TRUE(a->array[2].boolean);
+    EXPECT_TRUE(a->array[3].isNull());
+    ASSERT_TRUE(v.find("b"));
+    EXPECT_EQ(v.find("b")->string, "q\"uo\\te");
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    json::Value v;
+    std::string err;
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"a\" 1}", "nul", "1 2", "\"\\x\""}) {
+        EXPECT_FALSE(json::parse(bad, v, err)) << bad;
+        EXPECT_FALSE(err.empty());
+    }
+}
+
+// ------------------------------------------------------ stats-diff
+
+StatsMap
+mapOf(Registry &reg)
+{
+    return parseStatsJson(statsJson(reg));
+}
+
+TEST(StatsDiff, IdenticalDumpsPass)
+{
+    Registry a, b;
+    const auto diff =
+        diffStats(mapOf(sampleRegistry(a)), mapOf(sampleRegistry(b)));
+    EXPECT_TRUE(diff.pass());
+    EXPECT_GT(diff.compared, 0u);
+    EXPECT_NE(diff.report().find("no drift"), std::string::npos);
+}
+
+TEST(StatsDiff, ValueDriftFailsAndToleranceForgives)
+{
+    Registry a, b;
+    sampleRegistry(a);
+    sampleRegistry(b);
+    b.counter("tee.bounce.acquires").add(1);  // 3 -> 4
+    const auto strict = diffStats(mapOf(a), mapOf(b));
+    ASSERT_FALSE(strict.pass());
+    EXPECT_EQ(strict.drifts.front().stat, "tee.bounce.acquires");
+    EXPECT_NE(strict.report().find("tee.bounce.acquires"),
+              std::string::npos);
+    EXPECT_TRUE(diffStats(mapOf(a), mapOf(b), 0.5).pass());
+}
+
+TEST(StatsDiff, MissingAddedAndRetypedStatsAlwaysFail)
+{
+    Registry a, b;
+    sampleRegistry(a);
+    sampleRegistry(b);
+    b.counter("x.new");
+    auto diff = diffStats(mapOf(a), mapOf(b), 1e9);
+    ASSERT_EQ(diff.drifts.size(), 1u);
+    EXPECT_EQ(diff.drifts.front().what, "added");
+
+    diff = diffStats(mapOf(b), mapOf(a), 1e9);
+    EXPECT_EQ(diff.drifts.front().what, "missing");
+
+    Registry c;
+    sampleRegistry(c);
+    c.gauge("x.new");
+    diff = diffStats(mapOf(b), mapOf(c), 1e9);
+    ASSERT_FALSE(diff.pass());
+    EXPECT_EQ(diff.drifts.front().what, "type");
+}
+
+} // namespace
+} // namespace hcc::obs

@@ -3,13 +3,23 @@
  * google-benchmark suite over the functional crypto primitives: real
  * throughput of the from-scratch AES/GCM/XTS/GHASH code and of the
  * end-to-end SecureChannel functional path.
+ *
+ * The hot-path primitives (AES block, CTR, GHASH, GCM seal) are
+ * registered once per supported CryptoImpl so a single run compares
+ * scalar vs ttable vs aesni rows directly.  A custom main() accepts
+ * `--json FILE` as shorthand for google-benchmark's
+ * `--benchmark_out=FILE --benchmark_out_format=json`, which is how
+ * BENCH_crypto.json is produced.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "crypto/aes.hpp"
+#include "crypto/impl.hpp"
 #include "crypto/ctr.hpp"
 #include "crypto/gcm.hpp"
 #include "crypto/ghash.hpp"
@@ -24,11 +34,11 @@ namespace {
 using namespace hcc;
 
 void
-BM_AesEncryptBlock(benchmark::State &state)
+BM_AesEncryptBlock(benchmark::State &state, crypto::CryptoImpl impl)
 {
     std::vector<std::uint8_t> key(
         static_cast<std::size_t>(state.range(0)), 0x42);
-    crypto::Aes aes(key);
+    crypto::Aes aes(key, impl);
     std::uint8_t block[16] = {1, 2, 3};
     for (auto _ : state) {
         aes.encryptBlock(block, block);
@@ -37,7 +47,6 @@ BM_AesEncryptBlock(benchmark::State &state)
     state.SetBytesProcessed(
         static_cast<std::int64_t>(state.iterations()) * 16);
 }
-BENCHMARK(BM_AesEncryptBlock)->Arg(16)->Arg(24)->Arg(32);
 
 void
 BM_AesDecryptBlock(benchmark::State &state)
@@ -55,10 +64,10 @@ BM_AesDecryptBlock(benchmark::State &state)
 BENCHMARK(BM_AesDecryptBlock);
 
 void
-BM_GcmSeal(benchmark::State &state)
+BM_GcmSeal(benchmark::State &state, crypto::CryptoImpl impl)
 {
     std::vector<std::uint8_t> key(16, 0x33);
-    crypto::AesGcm gcm(key);
+    crypto::AesGcm gcm(key, impl);
     std::vector<std::uint8_t> pt(
         static_cast<std::size_t>(state.range(0)), 0x5a);
     std::vector<std::uint8_t> ct(pt.size());
@@ -72,7 +81,6 @@ BM_GcmSeal(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations())
         * state.range(0));
 }
-BENCHMARK(BM_GcmSeal)->Arg(4096)->Arg(65536)->Arg(1 << 20);
 
 void
 BM_GcmOpen(benchmark::State &state)
@@ -97,10 +105,10 @@ BM_GcmOpen(benchmark::State &state)
 BENCHMARK(BM_GcmOpen)->Arg(65536);
 
 void
-BM_Ghash(benchmark::State &state)
+BM_Ghash(benchmark::State &state, crypto::CryptoImpl impl)
 {
     std::uint8_t h[16] = {0x66, 0xe9, 0x4b};
-    crypto::Ghash ghash(h);
+    crypto::Ghash ghash(h, impl);
     std::vector<std::uint8_t> data(
         static_cast<std::size_t>(state.range(0)), 0x77);
     for (auto _ : state) {
@@ -113,7 +121,6 @@ BM_Ghash(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations())
         * state.range(0));
 }
-BENCHMARK(BM_Ghash)->Arg(65536);
 
 void
 BM_XtsEncrypt(benchmark::State &state)
@@ -133,10 +140,10 @@ BM_XtsEncrypt(benchmark::State &state)
 BENCHMARK(BM_XtsEncrypt)->Arg(4096)->Arg(65536);
 
 void
-BM_CtrXcrypt(benchmark::State &state)
+BM_CtrXcrypt(benchmark::State &state, crypto::CryptoImpl impl)
 {
     std::vector<std::uint8_t> key(16, 0x44);
-    crypto::Aes aes(key);
+    crypto::Aes aes(key, impl);
     std::uint8_t ctr[16] = {};
     std::vector<std::uint8_t> data(
         static_cast<std::size_t>(state.range(0)), 0x88);
@@ -148,7 +155,6 @@ BM_CtrXcrypt(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations())
         * state.range(0));
 }
-BENCHMARK(BM_CtrXcrypt)->Arg(65536);
 
 void
 BM_ChaChaPolySeal(benchmark::State &state)
@@ -189,6 +195,11 @@ void
 BM_SecureChannelFunctional(benchmark::State &state)
 {
     tee::ChannelConfig cfg;
+    cfg.crypto_workers = static_cast<int>(state.range(1));
+    // Smaller than the default 4 MiB staging chunk so a 1 MiB
+    // transfer splits into several chunks and the worker pool has
+    // parallelism to exploit.
+    cfg.chunk_bytes = 256 * 1024;
     const auto session = tee::SpdmSession::establish(5);
     tee::SecureChannel ch(cfg, session);
     std::vector<std::uint8_t> src(
@@ -202,8 +213,76 @@ BM_SecureChannelFunctional(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations())
         * state.range(0));
 }
-BENCHMARK(BM_SecureChannelFunctional)->Arg(1 << 20);
+BENCHMARK(BM_SecureChannelFunctional)
+    ->ArgNames({"bytes", "workers"})
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 4});
+
+/** Register the per-implementation rows of the hot-path primitives. */
+void
+registerPerImplBenchmarks()
+{
+    for (const crypto::CryptoImpl impl :
+         crypto::supportedCryptoImpls()) {
+        const std::string suffix = crypto::cryptoImplName(impl);
+        benchmark::RegisterBenchmark(
+            ("BM_AesEncryptBlock/" + suffix).c_str(),
+            [impl](benchmark::State &s) {
+                BM_AesEncryptBlock(s, impl);
+            })
+            ->Arg(16)
+            ->Arg(32);
+        benchmark::RegisterBenchmark(
+            ("BM_CtrXcrypt/" + suffix).c_str(),
+            [impl](benchmark::State &s) { BM_CtrXcrypt(s, impl); })
+            ->Arg(65536);
+        benchmark::RegisterBenchmark(
+            ("BM_Ghash/" + suffix).c_str(),
+            [impl](benchmark::State &s) { BM_Ghash(s, impl); })
+            ->Arg(65536);
+        benchmark::RegisterBenchmark(
+            ("BM_GcmSeal/" + suffix).c_str(),
+            [impl](benchmark::State &s) { BM_GcmSeal(s, impl); })
+            ->Arg(4096)
+            ->Arg(65536)
+            ->Arg(1 << 20);
+    }
+}
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Translate `--json FILE` / `--json=FILE` into google-benchmark's
+    // native output flags before Initialize() sees the argv.
+    std::vector<std::string> args;
+    args.reserve(static_cast<std::size_t>(argc) + 1);
+    for (int i = 0; i < argc; ++i) {
+        const std::string a = argv[i];
+        std::string file;
+        if (a == "--json" && i + 1 < argc) {
+            file = argv[++i];
+        } else if (a.rfind("--json=", 0) == 0) {
+            file = a.substr(7);
+        } else {
+            args.push_back(a);
+            continue;
+        }
+        args.push_back("--benchmark_out=" + file);
+        args.push_back("--benchmark_out_format=json");
+    }
+    std::vector<char *> cargs;
+    cargs.reserve(args.size());
+    for (auto &a : args)
+        cargs.push_back(a.data());
+    int cargc = static_cast<int>(cargs.size());
+
+    registerPerImplBenchmarks();
+    benchmark::Initialize(&cargc, cargs.data());
+    if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # CI entry point: build and test under the default and the
-# ASan+UBSan presets, then exercise the stats-diff regression gate
-# end to end (a same-seed rerun must be drift-free, a perturbed run
-# must be flagged with a non-zero exit).
+# ASan+UBSan presets (the latter pinned to the portable ttable
+# crypto so sanitizers cover the word-oriented hot path), smoke-run
+# the crypto microbenchmarks from a Release build, then exercise the
+# stats-diff regression gate end to end (a same-seed rerun must be
+# drift-free, a perturbed run must be flagged with a non-zero exit).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,6 +21,19 @@ ctest --preset asan-ubsan -j"$jobs"
 hccsim=build/tools/hccsim
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
+
+# Crypto bench smoke: a short Release-build run proves the benchmark
+# harness and its JSON export stay alive (full numbers are recorded
+# manually in BENCH_crypto.json, not gated here).
+cmake --preset release
+cmake --build --preset release -j"$jobs" --target microbench_crypto
+build-release/bench/microbench_crypto \
+    --benchmark_filter='BM_GcmSeal' --benchmark_min_time=0.05 \
+    --json "$tmp/bench.json" >/dev/null
+test -s "$tmp/bench.json"
+
+# The calibration subcommand must run end to end.
+"$hccsim" crypto-calibrate --ms 1 >/dev/null
 
 "$hccsim" run --app gaussian --cc --stats-out "$tmp/a.json" >/dev/null
 "$hccsim" run --app gaussian --cc --stats-out "$tmp/b.json" >/dev/null

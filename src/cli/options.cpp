@@ -6,6 +6,8 @@
 
 #include "common/log.hpp"
 #include "common/table.hpp"
+#include "crypto/calibrate.hpp"
+#include "crypto/impl.hpp"
 #include "obs/stats_io.hpp"
 #include "perfmodel/model.hpp"
 #include "perfmodel/projector.hpp"
@@ -32,6 +34,8 @@ usage()
         "                                   from a base run\n"
         "  hccsim stats-diff BASE CURRENT   diff two --stats-out dumps;\n"
         "                                   exit 1 if stats drifted\n"
+        "  hccsim crypto-calibrate [opts]   measure this host's\n"
+        "                                   functional crypto GB/s\n"
         "\n"
         "options:\n"
         "  --spec FILE      run a user-defined spec file instead\n"
@@ -47,7 +51,12 @@ usage()
         "                      (run/compare/trace)\n"
         "  --log-level LEVEL   debug|info|warn|error|silent\n"
         "  --tolerance X       stats-diff: relative tolerance before\n"
-        "                      a change counts as drift (default 0)\n";
+        "                      a change counts as drift (default 0)\n"
+        "  --crypto-impl NAME  functional crypto implementation:\n"
+        "                      scalar|ttable|aesni (default: fastest\n"
+        "                      supported; HCC_CRYPTO_IMPL also works)\n"
+        "  --ms N              crypto-calibrate: wall-clock budget\n"
+        "                      per algorithm in ms (default 50)\n";
 }
 
 std::optional<Options>
@@ -71,6 +80,8 @@ parseArgs(const std::vector<std::string> &args, std::string &error)
         opt.command = Command::Project;
     } else if (cmd == "stats-diff") {
         opt.command = Command::StatsDiff;
+    } else if (cmd == "crypto-calibrate") {
+        opt.command = Command::CryptoCalibrate;
     } else if (cmd == "help" || cmd == "--help" || cmd == "-h") {
         opt.command = Command::Help;
         return opt;
@@ -166,6 +177,30 @@ parseArgs(const std::vector<std::string> &args, std::string &error)
                 return std::nullopt;
             }
             opt.log_level = *v;
+        } else if (a == "--crypto-impl") {
+            const auto *v = next("--crypto-impl");
+            if (!v)
+                return std::nullopt;
+            if (!crypto::parseCryptoImpl(*v)) {
+                error = "bad --crypto-impl value '" + *v
+                    + "' (scalar|ttable|aesni)";
+                return std::nullopt;
+            }
+            opt.crypto_impl = *v;
+        } else if (a == "--ms") {
+            const auto *v = next("--ms");
+            if (!v)
+                return std::nullopt;
+            try {
+                opt.calib_ms = std::stod(*v);
+            } catch (...) {
+                error = "bad --ms value '" + *v + "'";
+                return std::nullopt;
+            }
+            if (opt.calib_ms <= 0.0) {
+                error = "--ms must be positive";
+                return std::nullopt;
+            }
         } else if (a == "--tolerance") {
             const auto *v = next("--tolerance");
             if (!v)
@@ -203,6 +238,8 @@ parseArgs(const std::vector<std::string> &args, std::string &error)
         }
         return opt;
     }
+    if (opt.command == Command::CryptoCalibrate)
+        return opt;
     if (opt.command != Command::List && opt.app.empty()
         && opt.spec_file.empty()) {
         error = "this command requires --app or --spec";
@@ -269,14 +306,24 @@ printSummary(const workloads::WorkloadResult &res, std::ostream &os)
 /** Write the registry sections of a finished run to --stats-out. */
 void
 writeStatsFile(const std::string &path,
-               const obs::StatsSections &sections)
+               const obs::StatsSections &sections,
+               bool include_host = false)
 {
     std::ofstream out(path);
     if (!out)
         fatal("cannot open stats file '%s'", path.c_str());
-    obs::writeStatsJson(out, sections);
+    obs::writeStatsJson(out, sections, include_host);
     if (!out)
         fatal("failed writing stats file '%s'", path.c_str());
+}
+
+/** Fixed-precision double for table cells. */
+std::string
+formatGbs(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return buf;
 }
 
 } // namespace
@@ -288,6 +335,9 @@ runCli(const Options &opt, std::ostream &os)
         if (const auto level = parseLogLevel(opt.log_level))
             setLogLevel(*level);
     }
+    if (!opt.crypto_impl.empty())
+        crypto::setActiveCryptoImpl(
+            crypto::parseCryptoImpl(opt.crypto_impl));
     switch (opt.command) {
       case Command::Help:
         os << usage();
@@ -357,6 +407,34 @@ runCli(const Options &opt, std::ostream &os)
             / static_cast<double>(base.end_to_end);
         os << "actual CC run: " << formatTime(actual.end_to_end)
            << " (" << TextTable::ratio(actual_slowdown) << ")\n";
+        return 0;
+      }
+
+      case Command::CryptoCalibrate: {
+        obs::Registry reg;
+        const auto results =
+            crypto::calibrateHostCrypto(opt.calib_ms, &reg);
+        crypto::CpuCryptoModel model;
+        TextTable t(
+            "host crypto throughput ["
+            + crypto::cryptoImplName(crypto::activeCryptoImpl())
+            + " impl, " + crypto::cpuKindName(model.cpu())
+            + " model]");
+        t.header({"algorithm", "host GB/s", "model GB/s", "host/model"});
+        for (const auto &r : results) {
+            const double modeled = model.throughputGBs(r.algo);
+            t.row({crypto::cipherAlgoName(r.algo), formatGbs(r.gbs),
+                   formatGbs(modeled),
+                   TextTable::ratio(r.gbs / modeled)});
+        }
+        t.print(os);
+        crypto::applyCalibration(model, results);
+        os << "\ncalibrated CpuCryptoModel: " << results.size()
+           << " algorithm overrides would replace the paper's "
+           << "Fig. 4b constants.\n";
+        if (!opt.stats_out.empty())
+            writeStatsFile(opt.stats_out, {{"", &reg}},
+                           /*include_host=*/true);
         return 0;
       }
 

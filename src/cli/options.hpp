@@ -25,6 +25,7 @@ enum class Command
     Trace,
     Project,
     StatsDiff,
+    CryptoCalibrate,
     Help,
 };
 
@@ -60,6 +61,10 @@ struct Options
     std::string diff_baseline;
     /** stats-diff: current stats dump. */
     std::string diff_current;
+    /** Functional crypto implementation ("" = auto-select). */
+    std::string crypto_impl;
+    /** crypto-calibrate: wall-clock budget per algorithm, ms. */
+    double calib_ms = 50.0;
 };
 
 /**

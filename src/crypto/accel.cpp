@@ -1,0 +1,247 @@
+#include "crypto/accel.hpp"
+
+#include "common/log.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define HCC_X86_ACCEL 1
+#include <immintrin.h>
+#endif
+
+namespace hcc::crypto::accel {
+
+#ifdef HCC_X86_ACCEL
+
+bool
+aesniAvailable()
+{
+    static const bool ok = __builtin_cpu_supports("aes") != 0;
+    return ok;
+}
+
+bool
+pclmulAvailable()
+{
+    static const bool ok = __builtin_cpu_supports("pclmul") != 0;
+    return ok;
+}
+
+namespace {
+
+#define HCC_ACCEL_TARGET                                              \
+    __attribute__((target("aes,pclmul,ssse3,sse4.1")))
+
+/** One AES encryption of up to four independent blocks in flight. */
+HCC_ACCEL_TARGET inline void
+encryptWide(const __m128i *ks, int rounds, __m128i *blocks, int n)
+{
+    for (int i = 0; i < n; ++i)
+        blocks[i] = _mm_xor_si128(blocks[i], ks[0]);
+    for (int r = 1; r < rounds; ++r) {
+        for (int i = 0; i < n; ++i)
+            blocks[i] = _mm_aesenc_si128(blocks[i], ks[r]);
+    }
+    for (int i = 0; i < n; ++i)
+        blocks[i] = _mm_aesenclast_si128(blocks[i], ks[rounds]);
+}
+
+/** Byte reversal mask: GHASH operands are bit/byte reflected. */
+HCC_ACCEL_TARGET inline __m128i
+bswapMask()
+{
+    return _mm_set_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                        14, 15);
+}
+
+/**
+ * Carry-less multiply in the GCM field with the bit-reflection
+ * fixup (shift-left-1) and reduction modulo x^128+x^7+x^2+x+1, per
+ * the Intel carry-less-multiplication white paper.  Operands and
+ * result are byte-reflected GHASH field elements.
+ */
+HCC_ACCEL_TARGET inline __m128i
+gfmul(__m128i a, __m128i b)
+{
+    __m128i tmp3 = _mm_clmulepi64_si128(a, b, 0x00);
+    __m128i tmp4 = _mm_clmulepi64_si128(a, b, 0x10);
+    __m128i tmp5 = _mm_clmulepi64_si128(a, b, 0x01);
+    __m128i tmp6 = _mm_clmulepi64_si128(a, b, 0x11);
+
+    tmp4 = _mm_xor_si128(tmp4, tmp5);
+    tmp5 = _mm_slli_si128(tmp4, 8);
+    tmp4 = _mm_srli_si128(tmp4, 8);
+    tmp3 = _mm_xor_si128(tmp3, tmp5);
+    tmp6 = _mm_xor_si128(tmp6, tmp4);
+
+    // Shift the 256-bit product <tmp6:tmp3> left by one bit: the
+    // reflected representation computes a*b*x^-127; this makes it
+    // the field product.
+    __m128i tmp7 = _mm_srli_epi32(tmp3, 31);
+    __m128i tmp8 = _mm_srli_epi32(tmp6, 31);
+    tmp3 = _mm_slli_epi32(tmp3, 1);
+    tmp6 = _mm_slli_epi32(tmp6, 1);
+    __m128i tmp9 = _mm_srli_si128(tmp7, 12);
+    tmp8 = _mm_slli_si128(tmp8, 4);
+    tmp7 = _mm_slli_si128(tmp7, 4);
+    tmp3 = _mm_or_si128(tmp3, tmp7);
+    tmp6 = _mm_or_si128(tmp6, tmp8);
+    tmp6 = _mm_or_si128(tmp6, tmp9);
+
+    // Reduce the low 128 bits.
+    tmp7 = _mm_slli_epi32(tmp3, 31);
+    tmp8 = _mm_slli_epi32(tmp3, 30);
+    tmp9 = _mm_slli_epi32(tmp3, 25);
+    tmp7 = _mm_xor_si128(tmp7, tmp8);
+    tmp7 = _mm_xor_si128(tmp7, tmp9);
+    tmp8 = _mm_srli_si128(tmp7, 4);
+    tmp7 = _mm_slli_si128(tmp7, 12);
+    tmp3 = _mm_xor_si128(tmp3, tmp7);
+
+    __m128i tmp2 = _mm_srli_epi32(tmp3, 1);
+    tmp4 = _mm_srli_epi32(tmp3, 2);
+    tmp5 = _mm_srli_epi32(tmp3, 7);
+    tmp2 = _mm_xor_si128(tmp2, tmp4);
+    tmp2 = _mm_xor_si128(tmp2, tmp5);
+    tmp2 = _mm_xor_si128(tmp2, tmp8);
+    tmp3 = _mm_xor_si128(tmp3, tmp2);
+    return _mm_xor_si128(tmp6, tmp3);
+}
+
+HCC_ACCEL_TARGET void
+encryptBlocksImpl(const std::uint8_t *rk, int rounds,
+                  const std::uint8_t *in, std::uint8_t *out,
+                  std::size_t nblocks)
+{
+    __m128i ks[15];
+    for (int r = 0; r <= rounds; ++r) {
+        ks[r] = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(rk + 16 * r));
+    }
+    std::size_t i = 0;
+    __m128i b[4];
+    for (; i + 4 <= nblocks; i += 4) {
+        const auto *src =
+            reinterpret_cast<const __m128i *>(in + 16 * i);
+        for (int k = 0; k < 4; ++k)
+            b[k] = _mm_loadu_si128(src + k);
+        encryptWide(ks, rounds, b, 4);
+        auto *dst = reinterpret_cast<__m128i *>(out + 16 * i);
+        for (int k = 0; k < 4; ++k)
+            _mm_storeu_si128(dst + k, b[k]);
+    }
+    for (; i < nblocks; ++i) {
+        b[0] = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(in + 16 * i));
+        encryptWide(ks, rounds, b, 1);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + 16 * i),
+                         b[0]);
+    }
+}
+
+HCC_ACCEL_TARGET void
+decryptBlockImpl(const std::uint8_t *rk, int rounds,
+                 const std::uint8_t *in, std::uint8_t *out)
+{
+    // Equivalent inverse cipher: AESIMC on the middle round keys,
+    // applied in reverse order.
+    __m128i dk[15];
+    dk[0] = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(rk + 16 * rounds));
+    for (int r = 1; r < rounds; ++r) {
+        dk[r] = _mm_aesimc_si128(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(rk + 16 * (rounds - r))));
+    }
+    dk[rounds] =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(rk));
+
+    __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i *>(in));
+    b = _mm_xor_si128(b, dk[0]);
+    for (int r = 1; r < rounds; ++r)
+        b = _mm_aesdec_si128(b, dk[r]);
+    b = _mm_aesdeclast_si128(b, dk[rounds]);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(out), b);
+}
+
+HCC_ACCEL_TARGET void
+ghashBlocksImpl(const std::uint8_t h[16], std::uint8_t z[16],
+                const std::uint8_t *blocks, std::size_t nblocks)
+{
+    const __m128i mask = bswapMask();
+    const __m128i hv = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(h)), mask);
+    __m128i acc = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(z)), mask);
+    for (std::size_t i = 0; i < nblocks; ++i) {
+        const __m128i x = _mm_shuffle_epi8(
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(blocks + 16 * i)),
+            mask);
+        acc = gfmul(_mm_xor_si128(acc, x), hv);
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(z),
+                     _mm_shuffle_epi8(acc, mask));
+}
+
+#undef HCC_ACCEL_TARGET
+
+} // namespace
+
+void
+aesniEncryptBlocks(const std::uint8_t *rk, int rounds,
+                   const std::uint8_t *in, std::uint8_t *out,
+                   std::size_t nblocks)
+{
+    encryptBlocksImpl(rk, rounds, in, out, nblocks);
+}
+
+void
+aesniDecryptBlock(const std::uint8_t *rk, int rounds,
+                  const std::uint8_t *in, std::uint8_t *out)
+{
+    decryptBlockImpl(rk, rounds, in, out);
+}
+
+void
+pclmulGhashBlocks(const std::uint8_t h[16], std::uint8_t z[16],
+                  const std::uint8_t *blocks, std::size_t nblocks)
+{
+    ghashBlocksImpl(h, z, blocks, nblocks);
+}
+
+#else // !HCC_X86_ACCEL
+
+bool
+aesniAvailable()
+{
+    return false;
+}
+
+bool
+pclmulAvailable()
+{
+    return false;
+}
+
+void
+aesniEncryptBlocks(const std::uint8_t *, int, const std::uint8_t *,
+                   std::uint8_t *, std::size_t)
+{
+    panic("AES-NI kernel reached on a build without x86 support");
+}
+
+void
+aesniDecryptBlock(const std::uint8_t *, int, const std::uint8_t *,
+                  std::uint8_t *)
+{
+    panic("AES-NI kernel reached on a build without x86 support");
+}
+
+void
+pclmulGhashBlocks(const std::uint8_t *, std::uint8_t *,
+                  const std::uint8_t *, std::size_t)
+{
+    panic("PCLMUL kernel reached on a build without x86 support");
+}
+
+#endif // HCC_X86_ACCEL
+
+} // namespace hcc::crypto::accel

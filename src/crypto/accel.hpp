@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Hardware-accelerated crypto kernels (CryptoImpl::Aesni tier).
+ *
+ * Raw-pointer kernels over the byte-level round-key schedule, kept
+ * behind a plain interface so aes.cpp / ghash.cpp stay free of
+ * intrinsics and target attributes.  On non-x86 builds every
+ * availability probe returns false and the kernels panic if reached
+ * (dispatch guarantees they are not).
+ */
+
+#ifndef HCC_CRYPTO_ACCEL_HPP
+#define HCC_CRYPTO_ACCEL_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hcc::crypto::accel {
+
+/** Whether the CPU executes AES-NI (and the build can emit it). */
+bool aesniAvailable();
+
+/** Whether the CPU executes PCLMULQDQ. */
+bool pclmulAvailable();
+
+/**
+ * Encrypt @p nblocks consecutive 16-byte blocks with AES-NI.
+ * @param rk byte-level round keys, 16 * (rounds + 1) bytes.
+ * @param rounds 10, 12 or 14.
+ */
+void aesniEncryptBlocks(const std::uint8_t *rk, int rounds,
+                        const std::uint8_t *in, std::uint8_t *out,
+                        std::size_t nblocks);
+
+/**
+ * Decrypt one 16-byte block with AES-NI (equivalent-inverse-cipher
+ * round keys are derived on the fly via AESIMC).
+ */
+void aesniDecryptBlock(const std::uint8_t *rk, int rounds,
+                       const std::uint8_t *in, std::uint8_t *out);
+
+/**
+ * GHASH absorb of @p nblocks full 16-byte blocks via PCLMULQDQ:
+ * for each block X, Z <- (Z ^ X) * H.
+ * @param h the hash subkey H (big-endian GCM byte order).
+ * @param z the 16-byte accumulator, updated in place (same order).
+ */
+void pclmulGhashBlocks(const std::uint8_t h[16], std::uint8_t z[16],
+                       const std::uint8_t *blocks,
+                       std::size_t nblocks);
+
+} // namespace hcc::crypto::accel
+
+#endif // HCC_CRYPTO_ACCEL_HPP

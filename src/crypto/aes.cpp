@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "common/log.hpp"
+#include "crypto/accel.hpp"
+#include "crypto/endian.hpp"
 
 namespace hcc::crypto {
 
@@ -77,6 +79,158 @@ gmul(std::uint8_t a, std::uint8_t b)
     }
     return p;
 }
+
+// ------------------------------------------------------------- T tables
+//
+// Te0[x] packs one S-box substitution and one MixColumns column:
+// Te0[x] = (2*S[x], S[x], S[x], 3*S[x]) as a big-endian word; Te1..3
+// are byte rotations of Te0, so one round of SubBytes + ShiftRows +
+// MixColumns + AddRoundKey becomes four table lookups and four XORs
+// per output word.
+
+constexpr std::uint32_t
+rotr8(std::uint32_t w)
+{
+    return (w >> 8) | (w << 24);
+}
+
+struct TeTables
+{
+    std::uint32_t t0[256];
+    std::uint32_t t1[256];
+    std::uint32_t t2[256];
+    std::uint32_t t3[256];
+
+    constexpr TeTables() : t0{}, t1{}, t2{}, t3{}
+    {
+        for (int i = 0; i < 256; ++i) {
+            const std::uint8_t s = kSbox[i];
+            const std::uint8_t s2 = xtime(s);
+            const std::uint8_t s3 = static_cast<std::uint8_t>(s2 ^ s);
+            t0[i] = (static_cast<std::uint32_t>(s2) << 24)
+                | (static_cast<std::uint32_t>(s) << 16)
+                | (static_cast<std::uint32_t>(s) << 8)
+                | static_cast<std::uint32_t>(s3);
+            t1[i] = rotr8(t0[i]);
+            t2[i] = rotr8(t1[i]);
+            t3[i] = rotr8(t2[i]);
+        }
+    }
+};
+
+constexpr TeTables kTe{};
+
+/**
+ * N blocks interleaved through the T-table rounds.  Each round's
+ * four table reductions form one serial XOR chain per state word, so
+ * a single block exposes only four independent chains to the
+ * out-of-order core; interleaving multiplies that and hides most of
+ * the L1 load latency.  N is a compile-time constant so the state
+ * arrays scalarize into registers.
+ */
+template <int N>
+inline void
+ttableTailRounds(const std::uint32_t *rk, int nfull,
+                 std::uint32_t (&s)[N][4], std::uint8_t *out)
+{
+    for (int r = 0; r < nfull; ++r, rk += 4) {
+        std::uint32_t t[N][4];
+        for (int n = 0; n < N; ++n) {
+            t[n][0] = kTe.t0[s[n][0] >> 24]
+                ^ kTe.t1[(s[n][1] >> 16) & 0xff]
+                ^ kTe.t2[(s[n][2] >> 8) & 0xff] ^ kTe.t3[s[n][3] & 0xff]
+                ^ rk[0];
+            t[n][1] = kTe.t0[s[n][1] >> 24]
+                ^ kTe.t1[(s[n][2] >> 16) & 0xff]
+                ^ kTe.t2[(s[n][3] >> 8) & 0xff] ^ kTe.t3[s[n][0] & 0xff]
+                ^ rk[1];
+            t[n][2] = kTe.t0[s[n][2] >> 24]
+                ^ kTe.t1[(s[n][3] >> 16) & 0xff]
+                ^ kTe.t2[(s[n][0] >> 8) & 0xff] ^ kTe.t3[s[n][1] & 0xff]
+                ^ rk[2];
+            t[n][3] = kTe.t0[s[n][3] >> 24]
+                ^ kTe.t1[(s[n][0] >> 16) & 0xff]
+                ^ kTe.t2[(s[n][1] >> 8) & 0xff] ^ kTe.t3[s[n][2] & 0xff]
+                ^ rk[3];
+        }
+        for (int n = 0; n < N; ++n)
+            for (int j = 0; j < 4; ++j)
+                s[n][j] = t[n][j];
+    }
+
+    // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+    auto fin = [](std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                  std::uint32_t d) {
+        return (static_cast<std::uint32_t>(kSbox[a >> 24]) << 24)
+            | (static_cast<std::uint32_t>(kSbox[(b >> 16) & 0xff])
+               << 16)
+            | (static_cast<std::uint32_t>(kSbox[(c >> 8) & 0xff]) << 8)
+            | static_cast<std::uint32_t>(kSbox[d & 0xff]);
+    };
+    for (int n = 0; n < N; ++n) {
+        storeBe32(fin(s[n][0], s[n][1], s[n][2], s[n][3]) ^ rk[0],
+                  out + 16 * n);
+        storeBe32(fin(s[n][1], s[n][2], s[n][3], s[n][0]) ^ rk[1],
+                  out + 16 * n + 4);
+        storeBe32(fin(s[n][2], s[n][3], s[n][0], s[n][1]) ^ rk[2],
+                  out + 16 * n + 8);
+        storeBe32(fin(s[n][3], s[n][0], s[n][1], s[n][2]) ^ rk[3],
+                  out + 16 * n + 12);
+    }
+}
+
+template <int N>
+inline void
+ttableEncryptWide(const std::uint32_t *ek, int rounds,
+                  const std::uint8_t *in, std::uint8_t *out)
+{
+    std::uint32_t s[N][4];
+    for (int n = 0; n < N; ++n)
+        for (int j = 0; j < 4; ++j)
+            s[n][j] = loadBe32(in + 16 * n + 4 * j) ^ ek[j];
+    ttableTailRounds<N>(ek + 4, rounds - 1, s, out);
+}
+
+/**
+ * CTR-specialized variant: the N counter blocks share their first 12
+ * bytes, so round 0 and three of the four table terms in every
+ * round-1 word depend only on the shared prefix and are computed once
+ * per call.  Per block, round 1 shrinks from 16 table loads to 4, and
+ * the counter blocks are never materialized in memory — the low word
+ * is just c + n.
+ */
+template <int N>
+inline void
+ttableCtrWide(const std::uint32_t *ek, int rounds, std::uint32_t w0,
+              std::uint32_t w1, std::uint32_t w2, std::uint32_t c,
+              std::uint8_t *ks)
+{
+    const std::uint32_t s0 = w0 ^ ek[0];
+    const std::uint32_t s1 = w1 ^ ek[1];
+    const std::uint32_t s2 = w2 ^ ek[2];
+    const std::uint32_t *rk = ek + 4;
+    const std::uint32_t k0 = kTe.t0[s0 >> 24]
+        ^ kTe.t1[(s1 >> 16) & 0xff] ^ kTe.t2[(s2 >> 8) & 0xff] ^ rk[0];
+    const std::uint32_t k1 = kTe.t0[s1 >> 24]
+        ^ kTe.t1[(s2 >> 16) & 0xff] ^ kTe.t3[s0 & 0xff] ^ rk[1];
+    const std::uint32_t k2 = kTe.t0[s2 >> 24]
+        ^ kTe.t2[(s0 >> 8) & 0xff] ^ kTe.t3[s1 & 0xff] ^ rk[2];
+    const std::uint32_t k3 = kTe.t1[(s0 >> 16) & 0xff]
+        ^ kTe.t2[(s1 >> 8) & 0xff] ^ kTe.t3[s2 & 0xff] ^ rk[3];
+
+    std::uint32_t s[N][4];
+    for (int n = 0; n < N; ++n) {
+        const std::uint32_t s3 =
+            (c + static_cast<std::uint32_t>(n)) ^ ek[3];
+        s[n][0] = k0 ^ kTe.t3[s3 & 0xff];
+        s[n][1] = k1 ^ kTe.t2[(s3 >> 8) & 0xff];
+        s[n][2] = k2 ^ kTe.t1[(s3 >> 16) & 0xff];
+        s[n][3] = k3 ^ kTe.t0[s3 >> 24];
+    }
+    ttableTailRounds<N>(ek + 8, rounds - 2, s, ks);
+}
+
+// ------------------------------------------------------ scalar rounds
 
 void
 subBytes(std::uint8_t s[16])
@@ -167,6 +321,11 @@ addRoundKey(std::uint8_t s[16], const std::uint8_t *rk)
 } // namespace
 
 Aes::Aes(std::span<const std::uint8_t> key)
+    : Aes(key, activeCryptoImpl())
+{}
+
+Aes::Aes(std::span<const std::uint8_t> key, CryptoImpl impl)
+    : impl_(impl)
 {
     key_bytes_ = key.size();
     switch (key.size()) {
@@ -176,6 +335,9 @@ Aes::Aes(std::span<const std::uint8_t> key)
       default:
         fatal("AES key must be 16, 24 or 32 bytes, got %zu", key.size());
     }
+    if (!cryptoImplSupported(impl_))
+        fatal("crypto implementation '%s' is not supported here",
+              cryptoImplName(impl_).c_str());
 
     // FIPS-197 key expansion over 4-byte words.
     const std::size_t nk = key.size() / 4;
@@ -206,11 +368,15 @@ Aes::Aes(std::span<const std::uint8_t> key)
                 ^ tmp[i];
         }
     }
+
+    // Word view of the same schedule for the T-table path.
+    for (std::size_t w = 0; w < total_words; ++w)
+        ek_[w] = loadBe32(rk_.data() + 4 * w);
 }
 
 void
-Aes::encryptBlock(const std::uint8_t in[kAesBlock],
-                  std::uint8_t out[kAesBlock]) const
+Aes::encryptBlockScalar(const std::uint8_t in[kAesBlock],
+                        std::uint8_t out[kAesBlock]) const
 {
     std::uint8_t s[16];
     std::memcpy(s, in, 16);
@@ -228,8 +394,93 @@ Aes::encryptBlock(const std::uint8_t in[kAesBlock],
 }
 
 void
-Aes::decryptBlock(const std::uint8_t in[kAesBlock],
+Aes::encryptBlockTTable(const std::uint8_t in[kAesBlock],
+                        std::uint8_t out[kAesBlock]) const
+{
+    ttableEncryptWide<1>(ek_.data(), rounds_, in, out);
+}
+
+void
+Aes::encryptBlock(const std::uint8_t in[kAesBlock],
                   std::uint8_t out[kAesBlock]) const
+{
+    switch (impl_) {
+      case CryptoImpl::Scalar:
+        encryptBlockScalar(in, out);
+        return;
+      case CryptoImpl::TTable:
+        encryptBlockTTable(in, out);
+        return;
+      case CryptoImpl::Aesni:
+        accel::aesniEncryptBlocks(rk_.data(), rounds_, in, out, 1);
+        return;
+    }
+}
+
+void
+Aes::encryptBlocks(const std::uint8_t *in, std::uint8_t *out,
+                   std::size_t nblocks) const
+{
+    switch (impl_) {
+      case CryptoImpl::Scalar:
+        for (std::size_t i = 0; i < nblocks; ++i)
+            encryptBlockScalar(in + 16 * i, out + 16 * i);
+        return;
+      case CryptoImpl::TTable: {
+        std::size_t i = 0;
+        for (; i + 4 <= nblocks; i += 4)
+            ttableEncryptWide<4>(ek_.data(), rounds_, in + 16 * i,
+                                 out + 16 * i);
+        for (; i + 2 <= nblocks; i += 2)
+            ttableEncryptWide<2>(ek_.data(), rounds_, in + 16 * i,
+                                 out + 16 * i);
+        if (i < nblocks)
+            ttableEncryptWide<1>(ek_.data(), rounds_, in + 16 * i,
+                                 out + 16 * i);
+        return;
+      }
+      case CryptoImpl::Aesni:
+        accel::aesniEncryptBlocks(rk_.data(), rounds_, in, out,
+                                  nblocks);
+        return;
+    }
+}
+
+void
+Aes::ctrKeystream(const std::uint8_t counter0[kAesBlock],
+                  std::uint8_t *ks, std::size_t nblocks) const
+{
+    if (impl_ == CryptoImpl::TTable) {
+        const std::uint32_t w0 = loadBe32(counter0);
+        const std::uint32_t w1 = loadBe32(counter0 + 4);
+        const std::uint32_t w2 = loadBe32(counter0 + 8);
+        const std::uint32_t c = loadBe32(counter0 + 12);
+        std::size_t i = 0;
+        for (; i + 4 <= nblocks; i += 4)
+            ttableCtrWide<4>(ek_.data(), rounds_, w0, w1, w2,
+                             c + static_cast<std::uint32_t>(i),
+                             ks + 16 * i);
+        for (; i < nblocks; ++i)
+            ttableCtrWide<1>(ek_.data(), rounds_, w0, w1, w2,
+                             c + static_cast<std::uint32_t>(i),
+                             ks + 16 * i);
+        return;
+    }
+
+    // Generic tiers: materialize the counter blocks in the output
+    // buffer and bulk-encrypt in place (in == out aliasing is
+    // explicitly supported by encryptBlocks).
+    const std::uint32_t c = loadBe32(counter0 + 12);
+    for (std::size_t i = 0; i < nblocks; ++i) {
+        std::memcpy(ks + 16 * i, counter0, 12);
+        storeBe32(c + static_cast<std::uint32_t>(i), ks + 16 * i + 12);
+    }
+    encryptBlocks(ks, ks, nblocks);
+}
+
+void
+Aes::decryptBlockScalar(const std::uint8_t in[kAesBlock],
+                        std::uint8_t out[kAesBlock]) const
 {
     std::uint8_t s[16];
     std::memcpy(s, in, 16);
@@ -244,6 +495,19 @@ Aes::decryptBlock(const std::uint8_t in[kAesBlock],
     invSubBytes(s);
     addRoundKey(s, rk_.data());
     std::memcpy(out, s, 16);
+}
+
+void
+Aes::decryptBlock(const std::uint8_t in[kAesBlock],
+                  std::uint8_t out[kAesBlock]) const
+{
+    // Decryption is off the bulk path (CTR/GCM only ever encrypt;
+    // XTS/MEE decrypt per cache line), so only AES-NI specializes it.
+    if (impl_ == CryptoImpl::Aesni) {
+        accel::aesniDecryptBlock(rk_.data(), rounds_, in, out);
+        return;
+    }
+    decryptBlockScalar(in, out);
 }
 
 } // namespace hcc::crypto

@@ -9,10 +9,17 @@
  * assert end-to-end confidentiality and integrity invariants rather
  * than trusting the model.
  *
- * This is a straightforward byte-oriented implementation (S-box +
- * xtime MixColumns), optimized for clarity and reviewability, not for
- * throughput.  It is constant-table, not constant-time; it protects a
- * simulation, not production secrets.
+ * Three implementation tiers share one key schedule (impl.hpp):
+ * the byte-oriented scalar reference (S-box + xtime MixColumns), a
+ * word-oriented T-table fast path, and AES-NI intrinsics when the
+ * CPU supports them.  All tiers are cross-checked against each
+ * other in tests.
+ *
+ * Constant-time caveat: the scalar and T-table tiers index tables
+ * with secret-dependent values and are therefore NOT constant-time
+ * (cache-timing side channels exist); only the AES-NI tier is.
+ * This code protects a simulation, not production secrets — see
+ * docs/CRYPTO.md.
  */
 
 #ifndef HCC_CRYPTO_AES_HPP
@@ -22,6 +29,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+
+#include "crypto/impl.hpp"
 
 namespace hcc::crypto {
 
@@ -37,17 +46,47 @@ class Aes
     /**
      * Expand the key schedule.
      * @param key 16, 24 or 32 bytes.
-     * @throws FatalError on any other length.
+     * @param impl implementation tier; defaults to the process-wide
+     *        selection (activeCryptoImpl()).
+     * @throws FatalError on any other key length.
      */
     explicit Aes(std::span<const std::uint8_t> key);
+    Aes(std::span<const std::uint8_t> key, CryptoImpl impl);
 
     /** Encrypt one 16-byte block (in and out may alias). */
     void encryptBlock(const std::uint8_t in[kAesBlock],
                       std::uint8_t out[kAesBlock]) const;
 
+    /**
+     * Encrypt @p nblocks consecutive 16-byte blocks (in and out may
+     * alias exactly).  The bulk entry point: the T-table and AES-NI
+     * tiers amortize per-call setup across the run.
+     */
+    void encryptBlocks(const std::uint8_t *in, std::uint8_t *out,
+                       std::size_t nblocks) const;
+
+    /**
+     * Write the AES-CTR keystream for @p nblocks consecutive counter
+     * values into @p ks (16 bytes per block): block i encrypts
+     * @p counter0 with its last 32 bits incremented by i (mod 2^32,
+     * big-endian).  The T-table tier exploits the shared 96-bit
+     * prefix to hoist round 0 and most of round 1 out of the
+     * per-block work.
+     */
+    void ctrKeystream(const std::uint8_t counter0[kAesBlock],
+                      std::uint8_t *ks, std::size_t nblocks) const;
+
     /** Decrypt one 16-byte block (in and out may alias). */
     void decryptBlock(const std::uint8_t in[kAesBlock],
                       std::uint8_t out[kAesBlock]) const;
+
+    /** Scalar reference encryption, regardless of impl(). */
+    void encryptBlockScalar(const std::uint8_t in[kAesBlock],
+                            std::uint8_t out[kAesBlock]) const;
+
+    /** Scalar reference decryption, regardless of impl(). */
+    void decryptBlockScalar(const std::uint8_t in[kAesBlock],
+                            std::uint8_t out[kAesBlock]) const;
 
     /** Number of rounds (10, 12 or 14). */
     int rounds() const { return rounds_; }
@@ -55,11 +94,20 @@ class Aes
     /** Key length in bytes (16, 24 or 32). */
     std::size_t keyBytes() const { return key_bytes_; }
 
+    /** Implementation tier this context dispatches to. */
+    CryptoImpl impl() const { return impl_; }
+
   private:
+    void encryptBlockTTable(const std::uint8_t in[kAesBlock],
+                            std::uint8_t out[kAesBlock]) const;
+
     int rounds_ = 0;
     std::size_t key_bytes_ = 0;
+    CryptoImpl impl_ = CryptoImpl::Scalar;
     // Round keys: (rounds+1) * 16 bytes; max 15 * 16 = 240.
     std::array<std::uint8_t, 240> rk_{};
+    // The same schedule as big-endian 32-bit words (T-table path).
+    std::array<std::uint32_t, 60> ek_{};
 };
 
 } // namespace hcc::crypto

@@ -1,0 +1,171 @@
+#include "crypto/calibrate.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/log.hpp"
+#include "crypto/chacha.hpp"
+#include "crypto/ctr.hpp"
+#include "crypto/gcm.hpp"
+#include "crypto/ghash.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/xts.hpp"
+
+namespace hcc::crypto {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Buffer size each iteration processes (bulk regime). */
+constexpr std::size_t kCalibBuf = 1 << 20;
+
+/**
+ * Run @p iter (which processes kCalibBuf bytes per call) until the
+ * time budget is spent, at least once.
+ */
+template <typename Fn>
+CalibrationResult
+measure(CipherAlgo algo, double per_algo_ms, Fn &&iter)
+{
+    const auto budget =
+        std::chrono::duration<double, std::milli>(per_algo_ms);
+    const auto start = Clock::now();
+    std::uint64_t bytes = 0;
+    do {
+        iter();
+        bytes += kCalibBuf;
+    } while (Clock::now() - start < budget);
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    CalibrationResult r;
+    r.algo = algo;
+    r.bytes = bytes;
+    r.seconds = secs;
+    r.gbs = secs > 0.0 ? static_cast<double>(bytes) / secs / 1e9 : 0.0;
+    return r;
+}
+
+/** Deterministic pseudo-random fill (keys, payload). */
+void
+fill(std::uint8_t *p, std::size_t n, std::uint32_t seed)
+{
+    std::uint32_t x = seed * 0x9e3779b9u + 1u;
+    for (std::size_t i = 0; i < n; ++i) {
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        p[i] = static_cast<std::uint8_t>(x);
+    }
+}
+
+} // namespace
+
+std::vector<CalibrationResult>
+calibrateHostCrypto(double per_algo_ms, obs::Registry *obs)
+{
+    if (per_algo_ms <= 0.0)
+        fatal("calibration budget must be positive, got %g ms",
+              per_algo_ms);
+
+    std::vector<std::uint8_t> in(kCalibBuf);
+    std::vector<std::uint8_t> out(kCalibBuf);
+    fill(in.data(), in.size(), 1);
+
+    std::uint8_t key32[32];
+    std::uint8_t key64[64];
+    fill(key32, sizeof(key32), 2);
+    fill(key64, sizeof(key64), 3);
+
+    std::vector<CalibrationResult> results;
+    results.reserve(allCipherAlgos().size());
+
+    for (CipherAlgo algo : allCipherAlgos()) {
+        switch (algo) {
+          case CipherAlgo::AesGcm128: {
+            AesGcm gcm(std::span<const std::uint8_t>(key32, 16));
+            GcmIv iv{};
+            std::uint8_t tag[kGcmTagLen];
+            results.push_back(measure(algo, per_algo_ms, [&] {
+                gcm.seal(iv, {}, in, out, tag);
+            }));
+            break;
+          }
+          case CipherAlgo::AesGcm256: {
+            AesGcm gcm(std::span<const std::uint8_t>(key32, 32));
+            GcmIv iv{};
+            std::uint8_t tag[kGcmTagLen];
+            results.push_back(measure(algo, per_algo_ms, [&] {
+                gcm.seal(iv, {}, in, out, tag);
+            }));
+            break;
+          }
+          case CipherAlgo::AesCtr128: {
+            Aes aes(std::span<const std::uint8_t>(key32, 16));
+            std::uint8_t ctr0[16] = {};
+            results.push_back(measure(algo, per_algo_ms, [&] {
+                ctrXcrypt(aes, ctr0, in, out);
+            }));
+            break;
+          }
+          case CipherAlgo::GhashOnly: {
+            std::uint8_t h[16];
+            fill(h, sizeof(h), 4);
+            GhashKey key(h);
+            results.push_back(measure(algo, per_algo_ms, [&] {
+                Ghash ghash(key);
+                ghash.update(in);
+                std::uint8_t d[16];
+                ghash.digest(d);
+            }));
+            break;
+          }
+          case CipherAlgo::AesXts128: {
+            AesXts xts(std::span<const std::uint8_t>(key64, 32));
+            results.push_back(measure(algo, per_algo_ms, [&] {
+                xts.encrypt(0, in, out);
+            }));
+            break;
+          }
+          case CipherAlgo::Sha256: {
+            results.push_back(measure(algo, per_algo_ms, [&] {
+                (void)Sha256::digest(in);
+            }));
+            break;
+          }
+          case CipherAlgo::ChaCha20Poly1305: {
+            ChaChaPoly aead(std::span<const std::uint8_t>(key32, 32));
+            std::uint8_t nonce[kChaChaNonceLen] = {};
+            std::uint8_t tag[kPolyTagLen];
+            results.push_back(measure(algo, per_algo_ms, [&] {
+                aead.seal(nonce, {}, in, out, tag);
+            }));
+            break;
+          }
+        }
+    }
+
+    if (obs) {
+        for (const auto &r : results) {
+            obs->gauge("host.crypto." + cipherAlgoName(r.algo) + ".mbs")
+                .set(static_cast<std::int64_t>(
+                    std::llround(r.gbs * 1000.0)));
+        }
+    }
+    return results;
+}
+
+void
+applyCalibration(CpuCryptoModel &model,
+                 const std::vector<CalibrationResult> &results)
+{
+    for (const auto &r : results) {
+        if (r.gbs > 0.0)
+            model.setThroughputOverride(r.algo, r.gbs);
+    }
+}
+
+} // namespace hcc::crypto

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Host crypto self-calibration: measure what this machine's
+ * functional implementations actually sustain (GB/s per CipherAlgo)
+ * and optionally feed the numbers back into the CpuCryptoModel.
+ *
+ * The paper's Fig. 4b constants describe an Intel EMR Xeon / NVIDIA
+ * Grace running OpenSSL; `hccsim crypto-calibrate` replaces them with
+ * throughputs measured here, so simulated crypto time can reflect the
+ * host the simulator runs on rather than the paper's testbed.  All
+ * measurements are wall-clock and land under `host.crypto.*` — they
+ * never enter deterministic stat dumps.
+ */
+
+#ifndef HCC_CRYPTO_CALIBRATE_HPP
+#define HCC_CRYPTO_CALIBRATE_HPP
+
+#include <vector>
+
+#include "crypto/cpu_crypto_model.hpp"
+#include "obs/registry.hpp"
+
+namespace hcc::crypto {
+
+/** One measured algorithm. */
+struct CalibrationResult
+{
+    CipherAlgo algo = CipherAlgo::AesGcm128;
+    /** Measured bulk throughput, GB/s (1e9 bytes per second). */
+    double gbs = 0.0;
+    /** Total bytes processed during the measurement. */
+    std::uint64_t bytes = 0;
+    /** Elapsed wall-clock seconds. */
+    double seconds = 0.0;
+};
+
+/**
+ * Measure functional throughput of every modeled CipherAlgo on this
+ * host with the currently active CryptoImpl.
+ *
+ * Each algorithm repeatedly processes a 1 MiB buffer until roughly
+ * @p per_algo_ms wall-clock milliseconds have elapsed (at least one
+ * iteration always runs).  If @p obs is non-null, each result is
+ * published as gauge "host.crypto.<algo>.mbs" (MB/s, rounded).
+ */
+std::vector<CalibrationResult>
+calibrateHostCrypto(double per_algo_ms, obs::Registry *obs = nullptr);
+
+/**
+ * Install every measured throughput as an override on @p model, so
+ * subsequent CpuCryptoModel::cost() charges host-measured time.
+ */
+void applyCalibration(CpuCryptoModel &model,
+                      const std::vector<CalibrationResult> &results);
+
+} // namespace hcc::crypto
+
+#endif // HCC_CRYPTO_CALIBRATE_HPP

@@ -48,10 +48,32 @@ CpuCryptoModel::CpuCryptoModel(CpuKind cpu)
     : cpu_(cpu)
 {}
 
+void
+CpuCryptoModel::setThroughputOverride(CipherAlgo algo, double gbs)
+{
+    if (gbs <= 0.0)
+        fatal("crypto throughput override must be positive, got %g", gbs);
+    overrides_[static_cast<std::size_t>(algo)] = gbs;
+}
+
+void
+CpuCryptoModel::clearThroughputOverride(CipherAlgo algo)
+{
+    overrides_[static_cast<std::size_t>(algo)].reset();
+}
+
+bool
+CpuCryptoModel::hasThroughputOverride(CipherAlgo algo) const
+{
+    return overrides_[static_cast<std::size_t>(algo)].has_value();
+}
+
 double
 CpuCryptoModel::throughputGBs(CipherAlgo algo) const
 {
     using namespace calib;
+    if (const auto &ov = overrides_[static_cast<std::size_t>(algo)])
+        return *ov;
     if (cpu_ == CpuKind::IntelEmr) {
         switch (algo) {
           case CipherAlgo::AesGcm128: return kEmrAesGcm128GBs;

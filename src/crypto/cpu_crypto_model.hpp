@@ -13,6 +13,8 @@
 #ifndef HCC_CRYPTO_CPU_CRYPTO_MODEL_HPP
 #define HCC_CRYPTO_CPU_CRYPTO_MODEL_HPP
 
+#include <array>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -52,8 +54,24 @@ class CpuCryptoModel
   public:
     explicit CpuCryptoModel(CpuKind cpu = CpuKind::IntelEmr);
 
-    /** Calibrated single-core bulk throughput in GB/s. */
+    /**
+     * Calibrated single-core bulk throughput in GB/s: a per-instance
+     * override if one was set (hccsim crypto-calibrate feeds these),
+     * otherwise the paper's Fig. 4b constant for the modeled CPU.
+     */
     double throughputGBs(CipherAlgo algo) const;
+
+    /**
+     * Replace the modeled throughput for @p algo with a measured
+     * value.  @p gbs must be positive.
+     */
+    void setThroughputOverride(CipherAlgo algo, double gbs);
+
+    /** Drop the override for @p algo, reverting to the constant. */
+    void clearThroughputOverride(CipherAlgo algo);
+
+    /** True if @p algo currently uses a measured override. */
+    bool hasThroughputOverride(CipherAlgo algo) const;
 
     /**
      * Time to process @p bytes with @p workers parallel threads.
@@ -74,7 +92,10 @@ class CpuCryptoModel
     static constexpr double kWorkerEfficiency = 0.88;
 
   private:
+    static constexpr std::size_t kNumAlgos = 7;
+
     CpuKind cpu_;
+    std::array<std::optional<double>, kNumAlgos> overrides_{};
 };
 
 } // namespace hcc::crypto

@@ -7,6 +7,28 @@
 
 namespace hcc::crypto {
 
+namespace {
+
+/** Number of counter blocks encrypted per batch. */
+constexpr std::size_t kCtrBatch = 4;
+
+/** XOR @p n bytes (n a multiple of 8) via 64-bit words. */
+inline void
+xorWords(std::uint8_t *out, const std::uint8_t *in,
+         const std::uint8_t *ks, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i += 8) {
+        std::uint64_t a;
+        std::uint64_t b;
+        std::memcpy(&a, in + i, 8);
+        std::memcpy(&b, ks + i, 8);
+        a ^= b;
+        std::memcpy(out + i, &a, 8);
+    }
+}
+
+} // namespace
+
 void
 inc32(std::uint8_t counter[16])
 {
@@ -14,6 +36,20 @@ inc32(std::uint8_t counter[16])
         if (++counter[i] != 0)
             break;
     }
+}
+
+void
+inc32By(std::uint8_t counter[16], std::uint32_t nblocks)
+{
+    std::uint32_t c = (static_cast<std::uint32_t>(counter[12]) << 24) |
+                      (static_cast<std::uint32_t>(counter[13]) << 16) |
+                      (static_cast<std::uint32_t>(counter[14]) << 8) |
+                      static_cast<std::uint32_t>(counter[15]);
+    c += nblocks;
+    counter[12] = static_cast<std::uint8_t>(c >> 24);
+    counter[13] = static_cast<std::uint8_t>(c >> 16);
+    counter[14] = static_cast<std::uint8_t>(c >> 8);
+    counter[15] = static_cast<std::uint8_t>(c);
 }
 
 void
@@ -25,13 +61,29 @@ ctrXcrypt(const Aes &aes, const std::uint8_t counter0[16],
     std::memcpy(ctr, counter0, 16);
 
     std::size_t off = 0;
-    std::uint8_t ks[16];
+    std::uint8_t ks[kCtrBatch * 16];
+
+    // Bulk loop: generate a batch of keystream blocks in one call
+    // (the cipher never sees materialized counter blocks), XOR
+    // word-wise.
+    while (in.size() - off >= sizeof(ks)) {
+        aes.ctrKeystream(ctr, ks, kCtrBatch);
+        inc32By(ctr, kCtrBatch);
+        xorWords(out.data() + off, in.data() + off, ks, sizeof(ks));
+        off += sizeof(ks);
+    }
+
+    // Remaining whole blocks, then the byte-wise partial tail.
     while (off < in.size()) {
-        aes.encryptBlock(ctr, ks);
+        aes.ctrKeystream(ctr, ks, 1);
         inc32(ctr);
         const std::size_t n = std::min<std::size_t>(16, in.size() - off);
-        for (std::size_t i = 0; i < n; ++i)
-            out[off + i] = in[off + i] ^ ks[i];
+        if (n == 16) {
+            xorWords(out.data() + off, in.data() + off, ks, 16);
+        } else {
+            for (std::size_t i = 0; i < n; ++i)
+                out[off + i] = in[off + i] ^ ks[i];
+        }
         off += n;
     }
 }

@@ -2,6 +2,11 @@
  * @file
  * AES-CTR keystream encryption (NIST SP 800-38A) with the 32-bit
  * big-endian counter increment GCM uses (inc32).
+ *
+ * The keystream is generated in 4-block batches (Aes::encryptBlocks)
+ * and XORed into the payload via 64-bit words, with a byte-wise tail
+ * for the final partial block — the bulk-crypto hot loop of every
+ * functional CC transfer.
  */
 
 #ifndef HCC_CRYPTO_CTR_HPP
@@ -16,6 +21,9 @@ namespace hcc::crypto {
 
 /** Increment the last 32 bits of a 16-byte counter block (mod 2^32). */
 void inc32(std::uint8_t counter[16]);
+
+/** Advance the counter by @p nblocks inc32 steps in one go. */
+void inc32By(std::uint8_t counter[16], std::uint32_t nblocks);
 
 /**
  * XOR @p in with the AES-CTR keystream generated from @p counter0,

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Big-endian word load/store helpers shared by the crypto hot loops
+ * (AES T-table state words, GHASH accumulator, GCM length block).
+ *
+ * On GCC/Clang these compile to a single mov+bswap; the portable
+ * fallback is the classic byte loop.  Keeping them in one header
+ * matters: the byte-loop idiom is NOT reliably recognized by the
+ * optimizer, and these run per 16-byte block on the bulk path.
+ */
+
+#ifndef HCC_CRYPTO_ENDIAN_HPP
+#define HCC_CRYPTO_ENDIAN_HPP
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace hcc::crypto {
+
+inline std::uint32_t
+loadBe32(const std::uint8_t *p)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    if constexpr (std::endian::native == std::endian::little)
+        v = __builtin_bswap32(v);
+    return v;
+#else
+    return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16)
+        | (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+#endif
+}
+
+inline void
+storeBe32(std::uint32_t v, std::uint8_t *p)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    if constexpr (std::endian::native == std::endian::little)
+        v = __builtin_bswap32(v);
+    std::memcpy(p, &v, 4);
+#else
+    p[0] = static_cast<std::uint8_t>(v >> 24);
+    p[1] = static_cast<std::uint8_t>(v >> 16);
+    p[2] = static_cast<std::uint8_t>(v >> 8);
+    p[3] = static_cast<std::uint8_t>(v);
+#endif
+}
+
+inline std::uint64_t
+loadBe64(const std::uint8_t *p)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    if constexpr (std::endian::native == std::endian::little)
+        v = __builtin_bswap64(v);
+    return v;
+#else
+    return (std::uint64_t{loadBe32(p)} << 32) | loadBe32(p + 4);
+#endif
+}
+
+inline void
+storeBe64(std::uint64_t v, std::uint8_t *p)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    if constexpr (std::endian::native == std::endian::little)
+        v = __builtin_bswap64(v);
+    std::memcpy(p, &v, 8);
+#else
+    storeBe32(static_cast<std::uint32_t>(v >> 32), p);
+    storeBe32(static_cast<std::uint32_t>(v), p + 4);
+#endif
+}
+
+} // namespace hcc::crypto
+
+#endif // HCC_CRYPTO_ENDIAN_HPP

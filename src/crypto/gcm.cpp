@@ -1,43 +1,48 @@
 #include "crypto/gcm.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/log.hpp"
 #include "crypto/ctr.hpp"
+#include "crypto/endian.hpp"
 #include "crypto/ghash.hpp"
 
 namespace hcc::crypto {
 
 namespace {
 
-void
-storeBe64(std::uint64_t v, std::uint8_t *p)
-{
-    for (int i = 7; i >= 0; --i) {
-        p[i] = static_cast<std::uint8_t>(v & 0xff);
-        v >>= 8;
-    }
-}
-
-// Constant-time-ish tag comparison (single pass, no early exit).
+// Branchless tag comparison.  The accumulator is volatile so the
+// compiler cannot turn the loop into an early-exit memcmp or fold the
+// final test into per-byte branches; every byte is always inspected.
 bool
 tagsEqual(const std::uint8_t *a, const std::uint8_t *b)
 {
-    std::uint8_t acc = 0;
+    volatile std::uint8_t acc = 0;
     for (std::size_t i = 0; i < kGcmTagLen; ++i)
-        acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
-    return acc == 0;
+        acc = acc | static_cast<std::uint8_t>(a[i] ^ b[i]);
+    // (x | -x) >> 7 is 1 iff x != 0; 1 - that is a branch-free bool.
+    const std::uint8_t x = acc;
+    return static_cast<std::uint8_t>(
+               1 - ((x | static_cast<std::uint8_t>(-x)) >> 7)) != 0;
 }
 
 } // namespace
 
 AesGcm::AesGcm(std::span<const std::uint8_t> key, obs::Registry *obs)
-    : aes_(key)
+    : AesGcm(key, activeCryptoImpl(), obs)
+{}
+
+AesGcm::AesGcm(std::span<const std::uint8_t> key, CryptoImpl impl,
+               obs::Registry *obs)
+    : aes_(key, impl)
 {
     if (key.size() != 16 && key.size() != 32)
         fatal("AES-GCM key must be 16 or 32 bytes, got %zu", key.size());
     const std::uint8_t zero[16] = {};
     aes_.encryptBlock(zero, h_.data());
+    // Precompute the GHASH tables once; every computeTag shares them.
+    ghash_key_.emplace(h_.data(), impl);
     if (obs) {
         obs_seal_calls_ = &obs->counter("crypto.aes_gcm.seal_calls");
         obs_open_calls_ = &obs->counter("crypto.aes_gcm.open_calls");
@@ -51,18 +56,13 @@ AesGcm::AesGcm(std::span<const std::uint8_t> key, obs::Registry *obs)
 }
 
 void
-AesGcm::computeTag(const GcmIv &iv, std::span<const std::uint8_t> aad,
-                   std::span<const std::uint8_t> ciphertext,
-                   std::uint8_t tag[kGcmTagLen]) const
+AesGcm::finishTag(Ghash &ghash, const GcmIv &iv, std::size_t aad_len,
+                  std::size_t ct_len,
+                  std::uint8_t tag[kGcmTagLen]) const
 {
-    Ghash ghash(h_.data());
-    ghash.update(aad);
-    ghash.update(ciphertext);
-
     std::uint8_t len_block[16];
-    storeBe64(static_cast<std::uint64_t>(aad.size()) * 8, len_block);
-    storeBe64(static_cast<std::uint64_t>(ciphertext.size()) * 8,
-              len_block + 8);
+    storeBe64(static_cast<std::uint64_t>(aad_len) * 8, len_block);
+    storeBe64(static_cast<std::uint64_t>(ct_len) * 8, len_block + 8);
     ghash.updateBlock(len_block);
 
     std::uint8_t s[16];
@@ -80,6 +80,17 @@ AesGcm::computeTag(const GcmIv &iv, std::span<const std::uint8_t> aad,
 }
 
 void
+AesGcm::computeTag(const GcmIv &iv, std::span<const std::uint8_t> aad,
+                   std::span<const std::uint8_t> ciphertext,
+                   std::uint8_t tag[kGcmTagLen]) const
+{
+    Ghash ghash(*ghash_key_);
+    ghash.update(aad);
+    ghash.update(ciphertext);
+    finishTag(ghash, iv, aad.size(), ciphertext.size(), tag);
+}
+
+void
 AesGcm::seal(const GcmIv &iv, std::span<const std::uint8_t> aad,
              std::span<const std::uint8_t> plaintext,
              std::span<std::uint8_t> ciphertext,
@@ -93,10 +104,26 @@ AesGcm::seal(const GcmIv &iv, std::span<const std::uint8_t> aad,
     std::memcpy(ctr, iv.data(), iv.size());
     ctr[15] = 1;
     inc32(ctr);
-    ctrXcrypt(aes_, ctr, plaintext,
-              ciphertext.subspan(0, plaintext.size()));
 
-    computeTag(iv, aad, ciphertext.subspan(0, plaintext.size()), tag);
+    // Fused encrypt-then-hash: process in chunks small enough that
+    // the ciphertext is still in L1 when GHASH reads it back, instead
+    // of two full passes over the payload.  Chunks are whole blocks,
+    // so Ghash::update's tail padding only triggers on the last one.
+    Ghash ghash(*ghash_key_);
+    ghash.update(aad);
+    constexpr std::size_t kFuseChunk = 4096;
+    static_assert(kFuseChunk % 16 == 0);
+    std::size_t off = 0;
+    while (off < plaintext.size()) {
+        const std::size_t n =
+            std::min(kFuseChunk, plaintext.size() - off);
+        ctrXcrypt(aes_, ctr, plaintext.subspan(off, n),
+                  ciphertext.subspan(off, n));
+        ghash.update(ciphertext.subspan(off, n));
+        inc32By(ctr, static_cast<std::uint32_t>(n / 16));
+        off += n;
+    }
+    finishTag(ghash, iv, aad.size(), plaintext.size(), tag);
     if (obs_seal_calls_) {
         obs_seal_calls_->add(1);
         obs_bytes_sealed_->add(plaintext.size());
@@ -114,21 +141,38 @@ AesGcm::open(const GcmIv &iv, std::span<const std::uint8_t> aad,
 
     if (obs_open_calls_)
         obs_open_calls_->add(1);
+
+    std::uint8_t ctr[16] = {};
+    std::memcpy(ctr, iv.data(), iv.size());
+    ctr[15] = 1;
+    inc32(ctr);
+
+    // Fused hash-then-decrypt, mirroring seal: GHASH reads each
+    // ciphertext chunk while it is cache-hot, and the chunk is
+    // decrypted in the same pass.  The tag is checked before
+    // returning; on mismatch the speculatively written plaintext is
+    // zeroed, so callers never observe unauthenticated bytes.
+    Ghash ghash(*ghash_key_);
+    ghash.update(aad);
+    constexpr std::size_t kFuseChunk = 4096;
+    std::size_t off = 0;
+    while (off < ciphertext.size()) {
+        const std::size_t n =
+            std::min(kFuseChunk, ciphertext.size() - off);
+        ghash.update(ciphertext.subspan(off, n));
+        ctrXcrypt(aes_, ctr, ciphertext.subspan(off, n),
+                  plaintext.subspan(off, n));
+        inc32By(ctr, static_cast<std::uint32_t>(n / 16));
+        off += n;
+    }
     std::uint8_t expect[kGcmTagLen];
-    computeTag(iv, aad, ciphertext, expect);
+    finishTag(ghash, iv, aad.size(), ciphertext.size(), expect);
     if (!tagsEqual(expect, tag)) {
         std::memset(plaintext.data(), 0, plaintext.size());
         if (obs_auth_failures_)
             obs_auth_failures_->add(1);
         return false;
     }
-
-    std::uint8_t ctr[16] = {};
-    std::memcpy(ctr, iv.data(), iv.size());
-    ctr[15] = 1;
-    inc32(ctr);
-    ctrXcrypt(aes_, ctr, ciphertext,
-              plaintext.subspan(0, ciphertext.size()));
     if (obs_bytes_opened_)
         obs_bytes_opened_->add(ciphertext.size());
     return true;

@@ -6,6 +6,16 @@
  * AES-NI) for all CPU<->GPU PCIe traffic; the SecureChannel in
  * src/tee runs real bytes through this implementation so integrity
  * violations (bounce-buffer tampering) are actually detected.
+ *
+ * IV handling: only 96-bit IVs are supported, enforced by the GcmIv
+ * type — J0 is IV || 0^31 || 1 and no GHASH-based IV derivation is
+ * implemented.  This matches the CC transfer path (the driver's
+ * nonces are fixed-width channel||counter values) and avoids the
+ * non-96-bit pitfalls SP 800-38D warns about.
+ *
+ * Thread safety: seal/open are const and may be called concurrently
+ * from multiple threads on one AesGcm (the SecureChannel worker pool
+ * does); the obs counters they bump are atomic.
  */
 
 #ifndef HCC_CRYPTO_GCM_HPP
@@ -13,10 +23,11 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <span>
-#include <vector>
 
 #include "crypto/aes.hpp"
+#include "crypto/ghash.hpp"
 #include "obs/registry.hpp"
 
 namespace hcc::crypto {
@@ -24,8 +35,11 @@ namespace hcc::crypto {
 /** GCM authentication tag length used throughout (full 16 bytes). */
 constexpr std::size_t kGcmTagLen = 16;
 
-/** A 96-bit GCM IV. */
+/** A 96-bit GCM IV (the only width supported; see file comment). */
 using GcmIv = std::array<std::uint8_t, 12>;
+
+static_assert(std::tuple_size_v<GcmIv> == 12,
+              "GCM J0 construction assumes a 96-bit IV");
 
 /**
  * AES-GCM context bound to one key.
@@ -41,6 +55,10 @@ class AesGcm
      */
     explicit AesGcm(std::span<const std::uint8_t> key,
                     obs::Registry *obs = nullptr);
+
+    /** Same, pinned to an implementation tier (tests/benchmarks). */
+    AesGcm(std::span<const std::uint8_t> key, CryptoImpl impl,
+           obs::Registry *obs = nullptr);
 
     /**
      * Encrypt and authenticate.
@@ -66,13 +84,23 @@ class AesGcm
                             const std::uint8_t tag[kGcmTagLen],
                             std::span<std::uint8_t> plaintext) const;
 
+    /** Implementation tier of the underlying AES/GHASH. */
+    CryptoImpl impl() const { return aes_.impl(); }
+
   private:
     void computeTag(const GcmIv &iv, std::span<const std::uint8_t> aad,
                     std::span<const std::uint8_t> ciphertext,
                     std::uint8_t tag[kGcmTagLen]) const;
 
+    /** Fold the length block into @p ghash and mask with E_K(J0). */
+    void finishTag(Ghash &ghash, const GcmIv &iv, std::size_t aad_len,
+                   std::size_t ct_len,
+                   std::uint8_t tag[kGcmTagLen]) const;
+
     Aes aes_;
     std::array<std::uint8_t, 16> h_{};
+    /** Precomputed GHASH tables, shared by every seal/open. */
+    std::optional<GhashKey> ghash_key_;
     // Stat pointers (not a Registry*) so const seal/open can bump them.
     obs::Counter *obs_seal_calls_ = nullptr;
     obs::Counter *obs_open_calls_ = nullptr;

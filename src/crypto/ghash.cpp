@@ -2,26 +2,23 @@
 
 #include <cstring>
 
+#include "crypto/accel.hpp"
+#include "crypto/endian.hpp"
+
 namespace hcc::crypto {
 
 namespace {
 
-std::uint64_t
-loadBe64(const std::uint8_t *p)
+/**
+ * Multiply a field element by x (one right shift in the reflected
+ * GCM representation, 0xE1 reduction feedback).
+ */
+constexpr void
+shiftRight1(std::uint64_t &vh, std::uint64_t &vl)
 {
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-        v = (v << 8) | p[i];
-    return v;
-}
-
-void
-storeBe64(std::uint64_t v, std::uint8_t *p)
-{
-    for (int i = 7; i >= 0; --i) {
-        p[i] = static_cast<std::uint8_t>(v & 0xff);
-        v >>= 8;
-    }
+    const std::uint64_t lsb = vl & 1;
+    vl = (vh << 63) | (vl >> 1);
+    vh = (vh >> 1) ^ (lsb ? 0xe100000000000000ULL : 0);
 }
 
 // Reduction constants for a 4-bit shift in the reflected GCM field:
@@ -33,34 +30,149 @@ constexpr std::uint64_t kLast4[16] = {
     0x9180, 0x8da0, 0xa9c0, 0xb5e0,
 };
 
+/**
+ * Reduction table for an 8-bit shift: kLast8.t[b] is the feedback
+ * XORed into the top of Z when byte b is shifted out, i.e. the high
+ * half of b run through eight single-bit reducing shifts.
+ */
+struct Last8
+{
+    std::uint64_t t[256];
+
+    constexpr Last8() : t{}
+    {
+        for (int b = 0; b < 256; ++b) {
+            std::uint64_t vh = 0;
+            std::uint64_t vl = static_cast<std::uint64_t>(b);
+            for (int i = 0; i < 8; ++i)
+                shiftRight1(vh, vl);
+            t[b] = vh;
+        }
+    }
+};
+
+constexpr Last8 kLast8{};
+
+/**
+ * (zh, zl) <- (zh, zl) * K via K's 8-bit tables: a register-only
+ * Horner loop over the 16 bytes of Z, least-significant (byte 15)
+ * first.  Free function so two independent multiplications can be
+ * interleaved by the scheduler (the aggregated pair update).
+ */
+inline void
+mulVia8(const std::array<std::uint64_t, 256> &hh,
+        const std::array<std::uint64_t, 256> &hl, std::uint64_t &zh_io,
+        std::uint64_t &zl_io)
+{
+    std::uint64_t vl = zl_io;
+    std::uint64_t vh = zh_io;
+
+    std::uint64_t zh = hh[vl & 0xff];
+    std::uint64_t zl = hl[vl & 0xff];
+    for (int i = 1; i < 8; ++i) {
+        vl >>= 8;
+        const std::uint64_t rem = zl & 0xff;
+        zl = (zh << 56) | (zl >> 8);
+        zh = (zh >> 8) ^ kLast8.t[rem];
+        zh ^= hh[vl & 0xff];
+        zl ^= hl[vl & 0xff];
+    }
+    for (int i = 0; i < 8; ++i) {
+        const std::uint64_t rem = zl & 0xff;
+        zl = (zh << 56) | (zl >> 8);
+        zh = (zh >> 8) ^ kLast8.t[rem];
+        zh ^= hh[vh & 0xff];
+        zl ^= hl[vh & 0xff];
+        vh >>= 8;
+    }
+    zh_io = zh;
+    zl_io = zl;
+}
+
+/**
+ * Fill an 8-bit Shoup table pair for the element (vh, vl): entry
+ * 0x80 holds the element, each halving of the index multiplies by x,
+ * composites XOR.
+ */
+void
+buildTables8(std::uint64_t vh, std::uint64_t vl,
+             std::array<std::uint64_t, 256> &hh,
+             std::array<std::uint64_t, 256> &hl)
+{
+    hl[0x80] = vl;
+    hh[0x80] = vh;
+    for (int i = 0x40; i > 0; i >>= 1) {
+        shiftRight1(vh, vl);
+        hl[static_cast<std::size_t>(i)] = vl;
+        hh[static_cast<std::size_t>(i)] = vh;
+    }
+    for (int i = 2; i <= 0x80; i *= 2) {
+        for (int j = 1; j < i; ++j) {
+            const auto base = static_cast<std::size_t>(i);
+            const auto off = static_cast<std::size_t>(j);
+            hh[base + off] = hh[base] ^ hh[off];
+            hl[base + off] = hl[base] ^ hl[off];
+        }
+    }
+}
+
 } // namespace
 
-Ghash::Ghash(const std::uint8_t h[16])
+GhashKey::GhashKey(const std::uint8_t h[16])
+    : GhashKey(h, activeCryptoImpl())
+{}
+
+GhashKey::GhashKey(const std::uint8_t h[16], CryptoImpl impl)
+    : impl_(impl)
 {
+    std::memcpy(h_.data(), h, 16);
+
     std::uint64_t vh = loadBe64(h);
     std::uint64_t vl = loadBe64(h + 8);
 
-    // Table entry 8 (MSB-of-nibble position) holds H itself.
-    hl_[8] = vl;
-    hh_[8] = vh;
-
+    // 4-bit tables: entry 8 (MSB-of-nibble position) holds H itself,
+    // entries 4, 2, 1 are successive multiplications by x.
+    hl4_[8] = vl;
+    hh4_[8] = vh;
     for (int i = 4; i > 0; i >>= 1) {
-        const std::uint32_t t =
-            static_cast<std::uint32_t>(vl & 1) * 0xe1000000u;
-        vl = (vh << 63) | (vl >> 1);
-        vh = (vh >> 1) ^ (static_cast<std::uint64_t>(t) << 32);
-        hl_[static_cast<std::size_t>(i)] = vl;
-        hh_[static_cast<std::size_t>(i)] = vh;
+        shiftRight1(vh, vl);
+        hl4_[static_cast<std::size_t>(i)] = vl;
+        hh4_[static_cast<std::size_t>(i)] = vh;
     }
     for (int i = 2; i <= 8; i *= 2) {
         for (int j = 1; j < i; ++j) {
             const auto base = static_cast<std::size_t>(i);
             const auto off = static_cast<std::size_t>(j);
-            hh_[base + off] = hh_[base] ^ hh_[off];
-            hl_[base + off] = hl_[base] ^ hl_[off];
+            hh4_[base + off] = hh4_[base] ^ hh4_[off];
+            hl4_[base + off] = hl4_[base] ^ hl4_[off];
         }
     }
+
+    // 8-bit tables for H, then H^k for k = 2..4 (each computed by one
+    // more multiplication by H) with their own table pairs for the
+    // aggregated quad update.
+    buildTables8(loadBe64(h), loadBe64(h + 8), hh8_, hl8_);
+    std::uint64_t ph = loadBe64(h);
+    std::uint64_t pl = loadBe64(h + 8);
+    mulVia8(hh8_, hl8_, ph, pl);
+    buildTables8(ph, pl, h2h8_, h2l8_);
+    mulVia8(hh8_, hl8_, ph, pl);
+    buildTables8(ph, pl, h3h8_, h3l8_);
+    mulVia8(hh8_, hl8_, ph, pl);
+    buildTables8(ph, pl, h4h8_, h4l8_);
 }
+
+Ghash::Ghash(const std::uint8_t h[16])
+    : owned_(std::in_place, h), key_(&*owned_)
+{}
+
+Ghash::Ghash(const std::uint8_t h[16], CryptoImpl impl)
+    : owned_(std::in_place, h, impl), key_(&*owned_)
+{}
+
+Ghash::Ghash(const GhashKey &key)
+    : key_(&key)
+{}
 
 void
 Ghash::reset()
@@ -70,15 +182,17 @@ Ghash::reset()
 }
 
 void
-Ghash::mulH()
+Ghash::mulH4()
 {
     std::uint8_t x[16];
     storeBe64(zh_, x);
     storeBe64(zl_, x + 8);
 
+    const auto &hh = key_->hh4_;
+    const auto &hl = key_->hl4_;
     std::uint8_t lo = x[15] & 0xf;
-    std::uint64_t zh = hh_[lo];
-    std::uint64_t zl = hl_[lo];
+    std::uint64_t zh = hh[lo];
+    std::uint64_t zl = hl[lo];
 
     for (int i = 15; i >= 0; --i) {
         lo = x[i] & 0xf;
@@ -87,35 +201,113 @@ Ghash::mulH()
             const std::uint64_t rem = zl & 0xf;
             zl = (zh << 60) | (zl >> 4);
             zh = (zh >> 4) ^ (kLast4[rem] << 48);
-            zh ^= hh_[lo];
-            zl ^= hl_[lo];
+            zh ^= hh[lo];
+            zl ^= hl[lo];
         }
         const std::uint64_t rem = zl & 0xf;
         zl = (zh << 60) | (zl >> 4);
         zh = (zh >> 4) ^ (kLast4[rem] << 48);
-        zh ^= hh_[hi];
-        zl ^= hl_[hi];
+        zh ^= hh[hi];
+        zl ^= hl[hi];
     }
     zh_ = zh;
     zl_ = zl;
 }
 
 void
+Ghash::mulH8()
+{
+    mulVia8(key_->hh8_, key_->hl8_, zh_, zl_);
+}
+
+void
 Ghash::updateBlock(const std::uint8_t block[16])
 {
+    if (key_->impl_ == CryptoImpl::Aesni) {
+        std::uint8_t z[16];
+        digest(z);
+        accel::pclmulGhashBlocks(key_->h_.data(), z, block, 1);
+        zh_ = loadBe64(z);
+        zl_ = loadBe64(z + 8);
+        return;
+    }
     zh_ ^= loadBe64(block);
     zl_ ^= loadBe64(block + 8);
-    mulH();
+    if (key_->impl_ == CryptoImpl::Scalar)
+        mulH4();
+    else
+        mulH8();
+}
+
+void
+Ghash::updateBlocks(const std::uint8_t *blocks, std::size_t nblocks)
+{
+    switch (key_->impl_) {
+      case CryptoImpl::Aesni: {
+        std::uint8_t z[16];
+        digest(z);
+        accel::pclmulGhashBlocks(key_->h_.data(), z, blocks, nblocks);
+        zh_ = loadBe64(z);
+        zl_ = loadBe64(z + 8);
+        return;
+      }
+      case CryptoImpl::TTable: {
+        // Aggregated update: the per-block recurrence is serial by
+        // construction, but Z over a quad expands to
+        // (Z ^ X0)·H⁴ ^ X1·H³ ^ X2·H² ^ X3·H — four independent
+        // multiplications the core overlaps; a pair does the same
+        // with H², and the remainder falls back to one at a time.
+        std::size_t i = 0;
+        for (; i + 4 <= nblocks; i += 4) {
+            std::uint64_t ah = zh_ ^ loadBe64(blocks + 16 * i);
+            std::uint64_t al = zl_ ^ loadBe64(blocks + 16 * i + 8);
+            std::uint64_t bh = loadBe64(blocks + 16 * (i + 1));
+            std::uint64_t bl = loadBe64(blocks + 16 * (i + 1) + 8);
+            std::uint64_t ch = loadBe64(blocks + 16 * (i + 2));
+            std::uint64_t cl = loadBe64(blocks + 16 * (i + 2) + 8);
+            std::uint64_t dh = loadBe64(blocks + 16 * (i + 3));
+            std::uint64_t dl = loadBe64(blocks + 16 * (i + 3) + 8);
+            mulVia8(key_->h4h8_, key_->h4l8_, ah, al);
+            mulVia8(key_->h3h8_, key_->h3l8_, bh, bl);
+            mulVia8(key_->h2h8_, key_->h2l8_, ch, cl);
+            mulVia8(key_->hh8_, key_->hl8_, dh, dl);
+            zh_ = ah ^ bh ^ ch ^ dh;
+            zl_ = al ^ bl ^ cl ^ dl;
+        }
+        for (; i + 2 <= nblocks; i += 2) {
+            std::uint64_t ah = zh_ ^ loadBe64(blocks + 16 * i);
+            std::uint64_t al = zl_ ^ loadBe64(blocks + 16 * i + 8);
+            std::uint64_t bh = loadBe64(blocks + 16 * (i + 1));
+            std::uint64_t bl = loadBe64(blocks + 16 * (i + 1) + 8);
+            mulVia8(key_->h2h8_, key_->h2l8_, ah, al);
+            mulVia8(key_->hh8_, key_->hl8_, bh, bl);
+            zh_ = ah ^ bh;
+            zl_ = al ^ bl;
+        }
+        for (; i < nblocks; ++i) {
+            zh_ ^= loadBe64(blocks + 16 * i);
+            zl_ ^= loadBe64(blocks + 16 * i + 8);
+            mulH8();
+        }
+        return;
+      }
+      case CryptoImpl::Scalar:
+        for (std::size_t i = 0; i < nblocks; ++i) {
+            zh_ ^= loadBe64(blocks + 16 * i);
+            zl_ ^= loadBe64(blocks + 16 * i + 8);
+            mulH4();
+        }
+        return;
+    }
 }
 
 void
 Ghash::update(std::span<const std::uint8_t> data)
 {
-    std::size_t off = 0;
-    while (off + 16 <= data.size()) {
-        updateBlock(data.data() + off);
-        off += 16;
-    }
+    const std::size_t full = data.size() / 16;
+    if (full > 0)
+        updateBlocks(data.data(), full);
+    const std::size_t off = full * 16;
     if (off < data.size()) {
         std::uint8_t last[16] = {};
         std::memcpy(last, data.data() + off, data.size() - off);

@@ -1,8 +1,15 @@
 /**
  * @file
  * GHASH: the universal hash over GF(2^128) used by GCM and GMAC
- * (NIST SP 800-38D).  Uses Shoup's 4-bit table method so functional
- * benchmarking is not absurdly slow.
+ * (NIST SP 800-38D).
+ *
+ * Three tiers (impl.hpp): Shoup 4-bit tables (scalar reference),
+ * Shoup 8-bit tables with a multi-block update loop (portable fast
+ * path), and PCLMULQDQ carry-less multiplication.  The key-dependent
+ * tables live in GhashKey so one precomputation can be shared by
+ * every per-message Ghash accumulator (AesGcm computes a tag per
+ * sealed chunk; rebuilding a 4 KiB table each time would dominate
+ * small-chunk cost).
  */
 
 #ifndef HCC_CRYPTO_GHASH_HPP
@@ -11,9 +18,50 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
 
+#include "crypto/impl.hpp"
+
 namespace hcc::crypto {
+
+/**
+ * Precomputed multiplication tables for one hash subkey
+ * H = E_K(0^128).  Immutable after construction; safe to share
+ * across threads and Ghash instances.
+ */
+class GhashKey
+{
+  public:
+    explicit GhashKey(const std::uint8_t h[16]);
+    GhashKey(const std::uint8_t h[16], CryptoImpl impl);
+
+    CryptoImpl impl() const { return impl_; }
+
+  private:
+    friend class Ghash;
+
+    CryptoImpl impl_ = CryptoImpl::Scalar;
+    /** H in GCM byte order (PCLMUL path uses it directly). */
+    std::array<std::uint8_t, 16> h_{};
+    // Shoup 4-bit tables (scalar tier): entry i = i * H over the
+    // nibble bit-semantics, 16 entries.
+    std::array<std::uint64_t, 16> hl4_{};
+    std::array<std::uint64_t, 16> hh4_{};
+    // Shoup 8-bit tables (portable fast tier): 256 entries, 4 KiB.
+    std::array<std::uint64_t, 256> hl8_{};
+    std::array<std::uint64_t, 256> hh8_{};
+    // Same for H², H³ and H⁴ — the 4-way aggregated update computes
+    // Z <- (Z^X0)·H⁴ ^ X1·H³ ^ X2·H² ^ X3·H per quad, turning the
+    // inherently serial per-block chain into four independent Horner
+    // chains the out-of-order core overlaps.
+    std::array<std::uint64_t, 256> h2l8_{};
+    std::array<std::uint64_t, 256> h2h8_{};
+    std::array<std::uint64_t, 256> h3l8_{};
+    std::array<std::uint64_t, 256> h3h8_{};
+    std::array<std::uint64_t, 256> h4l8_{};
+    std::array<std::uint64_t, 256> h4h8_{};
+};
 
 /**
  * Incremental GHASH computation keyed by H = E_K(0^128).
@@ -21,8 +69,15 @@ namespace hcc::crypto {
 class Ghash
 {
   public:
-    /** Construct from the 16-byte hash subkey H. */
+    /** Construct with an internally owned key table. */
     explicit Ghash(const std::uint8_t h[16]);
+    Ghash(const std::uint8_t h[16], CryptoImpl impl);
+
+    /**
+     * Construct over a shared precomputed key; @p key must outlive
+     * this accumulator.
+     */
+    explicit Ghash(const GhashKey &key);
 
     /** Reset the accumulator to zero (key tables are retained). */
     void reset();
@@ -41,11 +96,16 @@ class Ghash
     void digest(std::uint8_t out[16]) const;
 
   private:
-    // Z <- (Z ^ X) * H via 4-bit tables.
-    void mulH();
+    /** Absorb @p nblocks full blocks (the multi-block hot loop). */
+    void updateBlocks(const std::uint8_t *blocks,
+                      std::size_t nblocks);
 
-    std::array<std::uint64_t, 16> hl_{};
-    std::array<std::uint64_t, 16> hh_{};
+    // Z <- (Z ^ X) * H via the key's 4-bit or 8-bit tables.
+    void mulH4();
+    void mulH8();
+
+    std::optional<GhashKey> owned_;
+    const GhashKey *key_ = nullptr;
     std::uint64_t zl_ = 0;
     std::uint64_t zh_ = 0;
 };

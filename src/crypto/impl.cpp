@@ -1,0 +1,119 @@
+#include "crypto/impl.hpp"
+
+#include <cstdlib>
+
+#include "common/log.hpp"
+#include "crypto/accel.hpp"
+
+namespace hcc::crypto {
+
+namespace {
+
+/** Session override set via setActiveCryptoImpl (CLI / tests). */
+std::optional<CryptoImpl> g_override;
+
+/** Resolve the HCC_CRYPTO_IMPL environment variable once. */
+std::optional<CryptoImpl>
+envImpl()
+{
+    static const std::optional<CryptoImpl> resolved = [] {
+        std::optional<CryptoImpl> out;
+        if (const char *env = std::getenv("HCC_CRYPTO_IMPL")) {
+            const auto parsed = parseCryptoImpl(env);
+            if (!parsed) {
+                warn("HCC_CRYPTO_IMPL='%s' is not a known "
+                     "implementation (scalar|ttable|aesni); ignoring",
+                     env);
+            } else if (!cryptoImplSupported(*parsed)) {
+                warn("HCC_CRYPTO_IMPL='%s' is not supported on this "
+                     "CPU; falling back to '%s'", env,
+                     cryptoImplName(bestCryptoImpl()).c_str());
+            } else {
+                out = *parsed;
+            }
+        }
+        return out;
+    }();
+    return resolved;
+}
+
+} // namespace
+
+std::string
+cryptoImplName(CryptoImpl impl)
+{
+    switch (impl) {
+      case CryptoImpl::Scalar: return "scalar";
+      case CryptoImpl::TTable: return "ttable";
+      case CryptoImpl::Aesni: return "aesni";
+    }
+    return "?";
+}
+
+std::optional<CryptoImpl>
+parseCryptoImpl(const std::string &name)
+{
+    if (name == "scalar")
+        return CryptoImpl::Scalar;
+    if (name == "ttable" || name == "portable")
+        return CryptoImpl::TTable;
+    if (name == "aesni")
+        return CryptoImpl::Aesni;
+    return std::nullopt;
+}
+
+bool
+cryptoImplSupported(CryptoImpl impl)
+{
+    switch (impl) {
+      case CryptoImpl::Scalar:
+      case CryptoImpl::TTable:
+        return true;
+      case CryptoImpl::Aesni:
+        return accel::aesniAvailable() && accel::pclmulAvailable();
+    }
+    return false;
+}
+
+std::vector<CryptoImpl>
+supportedCryptoImpls()
+{
+    std::vector<CryptoImpl> out = {CryptoImpl::Scalar,
+                                   CryptoImpl::TTable};
+    if (cryptoImplSupported(CryptoImpl::Aesni))
+        out.push_back(CryptoImpl::Aesni);
+    return out;
+}
+
+CryptoImpl
+bestCryptoImpl()
+{
+    return cryptoImplSupported(CryptoImpl::Aesni) ? CryptoImpl::Aesni
+                                                  : CryptoImpl::TTable;
+}
+
+CryptoImpl
+activeCryptoImpl()
+{
+    if (g_override)
+        return *g_override;
+    if (const auto env = envImpl())
+        return *env;
+    return bestCryptoImpl();
+}
+
+CryptoImpl
+setActiveCryptoImpl(std::optional<CryptoImpl> impl)
+{
+    if (impl && !cryptoImplSupported(*impl)) {
+        warn("crypto implementation '%s' is not supported on this "
+             "CPU; keeping '%s'",
+             cryptoImplName(*impl).c_str(),
+             cryptoImplName(activeCryptoImpl()).c_str());
+        return activeCryptoImpl();
+    }
+    g_override = impl;
+    return activeCryptoImpl();
+}
+
+} // namespace hcc::crypto

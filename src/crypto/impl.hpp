@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Runtime selection of the functional crypto implementation.
+ *
+ * The simulator charges *modeled* time for bulk crypto, so the
+ * functional implementation only has to be correct — but tests and
+ * functional benchmarks pay its real host cost, so three tiers exist:
+ *
+ *  - Scalar: the byte-oriented reference code (S-box + xtime
+ *    MixColumns AES, Shoup 4-bit GHASH).  Slowest, simplest, the
+ *    cross-check oracle for everything else.
+ *  - TTable: portable word-oriented fast path (T-table AES rounds,
+ *    Shoup 8-bit GHASH, 4-block CTR batches).  The default on
+ *    machines without x86 crypto extensions.
+ *  - Aesni: AES-NI + PCLMULQDQ intrinsics, used when the build
+ *    target is x86-64 and the CPU reports support.
+ *
+ * Selection order (first match wins):
+ *  1. setActiveCryptoImpl() — the CLI `--crypto-impl` flag or a test.
+ *  2. The HCC_CRYPTO_IMPL environment variable
+ *     ("scalar" | "ttable" | "aesni").
+ *  3. The best implementation the CPU supports.
+ *
+ * An unsupported or unparsable request falls back to the best
+ * supported tier with a warning, so a pinned CI configuration never
+ * hard-fails on foreign hardware.  All tiers produce byte-identical
+ * output; crypto_test cross-checks them on every vector.
+ */
+
+#ifndef HCC_CRYPTO_IMPL_HPP
+#define HCC_CRYPTO_IMPL_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hcc::crypto {
+
+/** Functional crypto implementation tiers, slowest to fastest. */
+enum class CryptoImpl
+{
+    Scalar,  //!< byte-oriented reference code
+    TTable,  //!< portable word-oriented fast path
+    Aesni,   //!< AES-NI + PCLMULQDQ intrinsics (x86-64 only)
+};
+
+/** Short lower-case name ("scalar" | "ttable" | "aesni"). */
+std::string cryptoImplName(CryptoImpl impl);
+
+/** Parse a name as accepted by HCC_CRYPTO_IMPL / --crypto-impl. */
+std::optional<CryptoImpl> parseCryptoImpl(const std::string &name);
+
+/** Whether this build + CPU can execute @p impl. */
+bool cryptoImplSupported(CryptoImpl impl);
+
+/** All supported implementations, slowest first. */
+std::vector<CryptoImpl> supportedCryptoImpls();
+
+/** The fastest supported implementation. */
+CryptoImpl bestCryptoImpl();
+
+/**
+ * The implementation new crypto contexts bind to (see selection
+ * order above).  Existing Aes/AesGcm/... objects keep the
+ * implementation they were constructed with.
+ */
+CryptoImpl activeCryptoImpl();
+
+/**
+ * Process-wide override (strongest selection tier); pass
+ * std::nullopt to clear it and fall back to env / auto-detection.
+ * An unsupported implementation is rejected with a warning and
+ * leaves the previous state untouched.
+ * @return the implementation now active.
+ */
+CryptoImpl setActiveCryptoImpl(std::optional<CryptoImpl> impl);
+
+} // namespace hcc::crypto
+
+#endif // HCC_CRYPTO_IMPL_HPP

@@ -40,7 +40,11 @@ xtsMulAlpha(std::uint8_t tweak[16])
 }
 
 AesXts::AesXts(std::span<const std::uint8_t> key)
-    : dataAes_(firstHalf(key)), tweakAes_(secondHalf(key))
+    : AesXts(key, activeCryptoImpl())
+{}
+
+AesXts::AesXts(std::span<const std::uint8_t> key, CryptoImpl impl)
+    : dataAes_(firstHalf(key), impl), tweakAes_(secondHalf(key), impl)
 {}
 
 void

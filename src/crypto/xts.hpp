@@ -31,6 +31,9 @@ class AesXts
      */
     explicit AesXts(std::span<const std::uint8_t> key);
 
+    /** Same, pinned to an implementation tier (tests/benchmarks). */
+    AesXts(std::span<const std::uint8_t> key, CryptoImpl impl);
+
     /**
      * Encrypt one data unit.
      * @param data_unit logical unit number (e.g. cache-line or

@@ -25,13 +25,18 @@
  * measurements (ProfileScope) and are excluded from deterministic
  * dumps: they profile the simulator itself, not the simulation.
  *
- * The registry is not thread-safe; the simulator is single-threaded
- * (worker parallelism is modeled, not executed).
+ * Thread safety: stat *creation* (counter()/gauge()/...) is not
+ * thread-safe — components grab their handles up front on the main
+ * thread.  Counter *updates* are atomic (relaxed), because the
+ * SecureChannel crypto worker pool bumps seal/open counters from
+ * multiple threads; Gauge and Distribution updates remain
+ * main-thread-only.
  */
 
 #ifndef HCC_OBS_REGISTRY_HPP
 #define HCC_OBS_REGISTRY_HPP
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -44,15 +49,25 @@
 
 namespace hcc::obs {
 
-/** Monotonically increasing event/byte/time-sum counter. */
+/**
+ * Monotonically increasing event/byte/time-sum counter.  Updates are
+ * relaxed-atomic so parallel crypto workers can share one counter;
+ * reads on the main thread after joining the workers see the total.
+ */
 class Counter
 {
   public:
-    void add(std::uint64_t n = 1) { value_ += n; }
-    std::uint64_t value() const { return value_; }
+    void add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
 
   private:
-    std::uint64_t value_ = 0;
+    std::atomic<std::uint64_t> value_{0};
 };
 
 /**

@@ -1,6 +1,8 @@
 #include "tee/secure_channel.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
 #include "common/log.hpp"
 
@@ -181,6 +183,17 @@ SecureChannel::transferFunctional(
                "functional transfer destination too small");
 
     obs::ProfileScope profile(obs_, "channel_functional");
+    if (config_.crypto_workers > 1
+        && src.size() > config_.chunk_bytes)
+        return transferFunctionalParallel(src, dst, tamper);
+    return transferFunctionalSequential(src, dst, tamper);
+}
+
+bool
+SecureChannel::transferFunctionalSequential(
+    std::span<const std::uint8_t> src, std::span<std::uint8_t> dst,
+    const std::function<void(std::vector<std::uint8_t> &)> &tamper)
+{
     bool ok = true;
     std::size_t off = 0;
     while (off < src.size()) {
@@ -214,6 +227,96 @@ SecureChannel::transferFunctional(
         pool_.release(slot, 0);
         off += chunk;
     }
+    return ok;
+}
+
+bool
+SecureChannel::transferFunctionalParallel(
+    std::span<const std::uint8_t> src, std::span<std::uint8_t> dst,
+    const std::function<void(std::vector<std::uint8_t> &)> &tamper)
+{
+    // Chunk layout and IVs are fixed up front, in chunk order, so
+    // the wire bytes are identical to the sequential path no matter
+    // how the workers interleave.
+    struct Chunk
+    {
+        std::size_t off = 0;
+        std::size_t len = 0;
+        crypto::GcmIv iv{};
+    };
+    std::vector<Chunk> chunks;
+    for (std::size_t off = 0; off < src.size();) {
+        const std::size_t len = std::min<std::size_t>(
+            config_.chunk_bytes, src.size() - off);
+        chunks.push_back({off, len, iv_seq_.next()});
+        off += len;
+    }
+
+    const auto runParallel = [&](auto &&work) {
+        const std::size_t nworkers = std::min<std::size_t>(
+            static_cast<std::size_t>(config_.crypto_workers),
+            chunks.size());
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> threads;
+        threads.reserve(nworkers);
+        for (std::size_t w = 0; w < nworkers; ++w) {
+            threads.emplace_back([&] {
+                for (std::size_t i = next.fetch_add(1);
+                     i < chunks.size(); i = next.fetch_add(1))
+                    work(i);
+            });
+        }
+        for (auto &t : threads)
+            t.join();
+    };
+
+    // Phase 1 (parallel): seal each chunk into its own staging
+    // buffer as ciphertext || tag.  gcm_ is shared read-only; its
+    // obs counters are atomic.
+    std::vector<std::vector<std::uint8_t>> staging(chunks.size());
+    runParallel([&](std::size_t i) {
+        const Chunk &c = chunks[i];
+        auto &buf = staging[i];
+        buf.resize(c.len + crypto::kGcmTagLen);
+        std::uint8_t tag[crypto::kGcmTagLen];
+        gcm_.seal(c.iv, {}, src.subspan(c.off, c.len),
+                  std::span<std::uint8_t>(buf.data(), c.len), tag);
+        std::copy(tag, tag + crypto::kGcmTagLen,
+                  buf.begin() + static_cast<std::ptrdiff_t>(c.len));
+    });
+
+    // Phase 2 (sequential, chunk order): stage through the bounce
+    // pool and expose each ciphertext to the tamper hook exactly as
+    // the single-worker path does.
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+        auto slot = pool_.acquire(0);
+        auto &stage = pool_.storage(slot);
+        stage.swap(staging[i]);
+        if (tamper)
+            tamper(stage);
+        stage.swap(staging[i]);
+        pool_.release(slot, 0);
+    }
+
+    // Phase 3 (parallel): authenticate and decrypt into disjoint
+    // destination ranges.
+    std::vector<std::uint8_t> chunk_ok(chunks.size(), 0);
+    runParallel([&](std::size_t i) {
+        const Chunk &c = chunks[i];
+        const auto &buf = staging[i];
+        chunk_ok[i] = gcm_.open(
+                          c.iv, {},
+                          std::span<const std::uint8_t>(buf.data(),
+                                                        c.len),
+                          buf.data() + c.len,
+                          dst.subspan(c.off, c.len))
+            ? 1
+            : 0;
+    });
+
+    bool ok = true;
+    for (const std::uint8_t good : chunk_ok)
+        ok = ok && good != 0;
     return ok;
 }
 

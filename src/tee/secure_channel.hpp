@@ -130,6 +130,15 @@ class SecureChannel
      * Functionally move bytes through the encrypted path (the data
      * plane is direction-agnostic: both directions seal, stage and
      * open the same way).
+     *
+     * With crypto_workers > 1 the seal and open phases run on a real
+     * std::thread worker pool (chunks are independent: each gets its
+     * own pre-assigned IV and disjoint src/dst ranges), so the
+     * PipeLLM-style ablation parallelizes actual byte work, not just
+     * the timing model.  The tamper hook always runs sequentially in
+     * chunk order, between the phases.  Results are bit-identical to
+     * the single-worker path.
+     *
      * @param src plaintext source.
      * @param dst destination, same size.
      * @param tamper optional hook invoked on each staged ciphertext
@@ -151,6 +160,20 @@ class SecureChannel
   private:
     /** Worker time for encrypt + bounce copy of @p bytes. */
     SimTime workerChunkCost(Bytes bytes, pcie::Direction dir) const;
+
+    /** Single-worker functional path (chunk-at-a-time). */
+    bool transferFunctionalSequential(
+        std::span<const std::uint8_t> src,
+        std::span<std::uint8_t> dst,
+        const std::function<void(std::vector<std::uint8_t> &)>
+            &tamper);
+
+    /** Multi-worker functional path (parallel seal/open phases). */
+    bool transferFunctionalParallel(
+        std::span<const std::uint8_t> src,
+        std::span<std::uint8_t> dst,
+        const std::function<void(std::vector<std::uint8_t> &)>
+            &tamper);
 
     ChannelConfig config_;
     crypto::CpuCryptoModel cpu_model_;

@@ -10,6 +10,7 @@
 
 #include "cli/options.hpp"
 #include "common/log.hpp"
+#include "crypto/impl.hpp"
 
 namespace hcc::cli {
 namespace {
@@ -300,6 +301,50 @@ TEST(CliRun, StatsDiffMissingFileThrowsFatal)
     o.diff_current = "/nonexistent/cur.json";
     std::ostringstream oss;
     EXPECT_THROW(runCli(o, oss), hcc::FatalError);
+}
+
+// ------------------------------------------------- crypto selection
+
+TEST(CliParse, CryptoImplFlag)
+{
+    const auto o =
+        parse({"run", "--app", "sc", "--crypto-impl", "scalar"});
+    ASSERT_TRUE(o);
+    EXPECT_EQ(o->crypto_impl, "scalar");
+
+    std::string err;
+    EXPECT_FALSE(
+        parse({"run", "--app", "sc", "--crypto-impl", "vaes"}, &err));
+    EXPECT_NE(err.find("crypto-impl"), std::string::npos);
+    EXPECT_FALSE(parse({"run", "--app", "sc", "--crypto-impl"}));
+}
+
+TEST(CliParse, CryptoCalibrateCommand)
+{
+    const auto o = parse({"crypto-calibrate", "--ms", "1"});
+    ASSERT_TRUE(o);
+    EXPECT_EQ(o->command, Command::CryptoCalibrate);
+    EXPECT_DOUBLE_EQ(o->calib_ms, 1.0);
+    // No --app required for this command.
+    EXPECT_FALSE(parse({"crypto-calibrate", "--ms", "0"}));
+    EXPECT_FALSE(parse({"crypto-calibrate", "--ms", "fast"}));
+}
+
+TEST(CliRun, CryptoCalibratePrintsEveryAlgoAndRatio)
+{
+    Options o;
+    o.command = Command::CryptoCalibrate;
+    o.calib_ms = 1.0;  // keep the measurement loop short
+    o.crypto_impl = "ttable";
+    std::ostringstream oss;
+    EXPECT_EQ(runCli(o, oss), 0);
+    const auto out = oss.str();
+    EXPECT_NE(out.find("ttable"), std::string::npos);
+    EXPECT_NE(out.find("aes-gcm-128"), std::string::npos)
+        << "calibration table must list each algorithm:\n"
+        << out;
+    EXPECT_NE(out.find("host/model"), std::string::npos);
+    crypto::setActiveCryptoImpl(std::nullopt);
 }
 
 } // namespace

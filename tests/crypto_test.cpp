@@ -573,5 +573,216 @@ TEST(CpuCryptoModel, AllAlgosHaveNamesAndPositiveThroughput)
     }
 }
 
+TEST(CpuCryptoModel, ThroughputOverrideReplacesTableValue)
+{
+    CpuCryptoModel m;
+    const double table = m.throughputGBs(CipherAlgo::AesGcm128);
+    EXPECT_FALSE(m.hasThroughputOverride(CipherAlgo::AesGcm128));
+    m.setThroughputOverride(CipherAlgo::AesGcm128, 123.5);
+    EXPECT_TRUE(m.hasThroughputOverride(CipherAlgo::AesGcm128));
+    EXPECT_DOUBLE_EQ(m.throughputGBs(CipherAlgo::AesGcm128), 123.5);
+    // Other algorithms are untouched.
+    EXPECT_FALSE(m.hasThroughputOverride(CipherAlgo::AesXts128));
+    m.clearThroughputOverride(CipherAlgo::AesGcm128);
+    EXPECT_DOUBLE_EQ(m.throughputGBs(CipherAlgo::AesGcm128), table);
+}
+
+TEST(CpuCryptoModel, RejectsNonPositiveOverride)
+{
+    CpuCryptoModel m;
+    EXPECT_THROW(m.setThroughputOverride(CipherAlgo::AesGcm128, 0.0),
+                 FatalError);
+    EXPECT_THROW(m.setThroughputOverride(CipherAlgo::AesGcm128, -1.0),
+                 FatalError);
+}
+
+// ---------------------------------------------------- CAVP/edge vectors
+//
+// Vectors from NIST's CAVP gcmEncryptExtIV128.rsp: they pin this
+// implementation against published answers (not just against itself)
+// on the shapes the transfer path exercises least — AAD with no
+// payload (GMAC) and single-block payloads.
+
+TEST(Gcm, CavpAadOnlyGmacVector)
+{
+    const auto key = fromHex("77be63708971c4e240d1cb79e8d77feb");
+    const auto ivb = fromHex("e0e00f19fed7ba0136a797f3");
+    const auto aad = fromHex("7a43ec1d9c0a5a78a0b16533a6213cab");
+    GcmIv iv{};
+    std::memcpy(iv.data(), ivb.data(), iv.size());
+
+    AesGcm gcm(key);
+    std::uint8_t tag[kGcmTagLen];
+    gcm.seal(iv, aad, {}, {}, tag);
+    EXPECT_EQ(toHex(tag), "209fcc8d3675ed938e9c7166709dd946");
+    EXPECT_TRUE(gcm.open(iv, aad, {}, tag, {}));
+}
+
+TEST(Gcm, CavpSingleBlockVector)
+{
+    const auto key = fromHex("7fddb57453c241d03efbed3ac44e371c");
+    const auto ivb = fromHex("ee283a3fc75575e33efd4887");
+    const auto pt = fromHex("d5de42b461646c255c87bd2962d3b9a2");
+    GcmIv iv{};
+    std::memcpy(iv.data(), ivb.data(), iv.size());
+
+    AesGcm gcm(key);
+    std::vector<std::uint8_t> ct(pt.size());
+    std::uint8_t tag[kGcmTagLen];
+    gcm.seal(iv, {}, pt, ct, tag);
+    EXPECT_EQ(toHex(ct), "2ccda4a5415cb91e135c2a0f78c9b2fd");
+    EXPECT_EQ(toHex(tag), "b36d1df9b9d5e596f83e8b7f52971cb3");
+
+    std::vector<std::uint8_t> back(pt.size());
+    EXPECT_TRUE(gcm.open(iv, {}, ct, tag, back));
+    EXPECT_EQ(back, pt);
+}
+
+TEST(Gcm, OnlySupports96BitIvsByConstruction)
+{
+    // SP 800-38D's non-96-bit IV path (GHASH-derived J0) is
+    // deliberately not implemented; the GcmIv type makes other widths
+    // unrepresentable at the seal/open interface.
+    static_assert(std::tuple_size_v<GcmIv> == 12);
+    SUCCEED();
+}
+
+TEST(Ctr, BatchedKeystreamWrapsAcrossInc32Boundary)
+{
+    // Start two blocks below the 32-bit counter wrap and run through
+    // it: the batched ctrKeystream/inc32By path must match one
+    // encryptBlock+inc32 at a time, including the wrap to 0 (not a
+    // carry into byte 11).
+    const auto key = fromHex("000102030405060708090a0b0c0d0e0f");
+    Aes aes(key);
+    std::uint8_t ctr0[16] = {};
+    ctr0[11] = 0x7b;
+    std::memset(ctr0 + 12, 0xff, 4);
+    ctr0[15] = 0xfe;  // counter = 0xfffffffe
+
+    Rng rng(4242);
+    std::vector<std::uint8_t> pt(6 * 16 + 5);
+    for (auto &b : pt)
+        b = static_cast<std::uint8_t>(rng.next32());
+    std::vector<std::uint8_t> ct(pt.size());
+    ctrXcrypt(aes, ctr0, pt, ct);
+
+    std::uint8_t ctr[16];
+    std::memcpy(ctr, ctr0, 16);
+    std::vector<std::uint8_t> want(pt.size());
+    std::uint8_t ks[16];
+    for (std::size_t off = 0; off < pt.size(); off += 16) {
+        aes.encryptBlock(ctr, ks);
+        inc32(ctr);
+        for (std::size_t i = 0; i < 16 && off + i < pt.size(); ++i)
+            want[off + i] = pt[off + i] ^ ks[i];
+    }
+    EXPECT_EQ(ct, want);
+    EXPECT_EQ(ctr[11], 0x7b) << "wrap must not carry past 32 bits";
+}
+
+TEST(Ctr, Inc32ByMatchesRepeatedInc32)
+{
+    std::uint8_t a[16] = {};
+    std::uint8_t b[16] = {};
+    std::memset(a + 12, 0xff, 4);
+    a[12] = 0x12;
+    std::memcpy(b, a, 16);
+    inc32By(a, 1000);
+    for (int i = 0; i < 1000; ++i)
+        inc32(b);
+    EXPECT_EQ(std::memcmp(a, b, 16), 0);
+}
+
+// ----------------------------------------------- implementation tiers
+
+TEST(Impl, NamesParseBackToThemselves)
+{
+    for (auto impl : {CryptoImpl::Scalar, CryptoImpl::TTable,
+                      CryptoImpl::Aesni}) {
+        const auto parsed = parseCryptoImpl(cryptoImplName(impl));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, impl);
+    }
+    EXPECT_FALSE(parseCryptoImpl("vaes").has_value());
+    EXPECT_FALSE(parseCryptoImpl("").has_value());
+}
+
+TEST(Impl, ScalarAndTTableAlwaysSupported)
+{
+    EXPECT_TRUE(cryptoImplSupported(CryptoImpl::Scalar));
+    EXPECT_TRUE(cryptoImplSupported(CryptoImpl::TTable));
+    const auto all = supportedCryptoImpls();
+    ASSERT_GE(all.size(), 2u);
+    EXPECT_EQ(all.front(), CryptoImpl::Scalar);
+    EXPECT_TRUE(cryptoImplSupported(bestCryptoImpl()));
+}
+
+TEST(Impl, AllTiersProduceIdenticalGcmOutput)
+{
+    const auto key = fromHex(
+        "feffe9928665731c6d6a8f9467308308"
+        "feffe9928665731c6d6a8f9467308308");
+    Rng rng(31337);
+    std::vector<std::uint8_t> pt(5000);
+    for (auto &b : pt)
+        b = static_cast<std::uint8_t>(rng.next32());
+    const std::vector<std::uint8_t> aad = {9, 9, 9};
+    GcmIv iv{};
+    iv[5] = 0x44;
+
+    AesGcm ref(key, CryptoImpl::Scalar);
+    std::vector<std::uint8_t> ref_ct(pt.size());
+    std::uint8_t ref_tag[kGcmTagLen];
+    ref.seal(iv, aad, pt, ref_ct, ref_tag);
+
+    for (auto impl : supportedCryptoImpls()) {
+        SCOPED_TRACE(cryptoImplName(impl));
+        AesGcm gcm(key, impl);
+        std::vector<std::uint8_t> ct(pt.size());
+        std::uint8_t tag[kGcmTagLen];
+        gcm.seal(iv, aad, pt, ct, tag);
+        EXPECT_EQ(ct, ref_ct);
+        EXPECT_EQ(std::memcmp(tag, ref_tag, kGcmTagLen), 0);
+        std::vector<std::uint8_t> back(pt.size());
+        EXPECT_TRUE(gcm.open(iv, aad, ct, tag, back));
+        EXPECT_EQ(back, pt);
+    }
+}
+
+TEST(Impl, AllTiersProduceIdenticalCtrAndXtsOutput)
+{
+    const auto key = fromHex("000102030405060708090a0b0c0d0e0f");
+    const auto xts_key = fromHex(
+        "000102030405060708090a0b0c0d0e0f"
+        "101112131415161718191a1b1c1d1e1f");
+    Rng rng(2718);
+    std::vector<std::uint8_t> pt(1024);
+    for (auto &b : pt)
+        b = static_cast<std::uint8_t>(rng.next32());
+    std::uint8_t ctr0[16] = {};
+    ctr0[15] = 0xfd;  // crosses an inc32 carry mid-message
+
+    Aes ref_aes(key, CryptoImpl::Scalar);
+    std::vector<std::uint8_t> ref_ctr(pt.size());
+    ctrXcrypt(ref_aes, ctr0, pt, ref_ctr);
+    AesXts ref_xts(xts_key, CryptoImpl::Scalar);
+    std::vector<std::uint8_t> ref_xts_ct(pt.size());
+    ref_xts.encrypt(7, pt, ref_xts_ct);
+
+    for (auto impl : supportedCryptoImpls()) {
+        SCOPED_TRACE(cryptoImplName(impl));
+        Aes aes(key, impl);
+        std::vector<std::uint8_t> ct(pt.size());
+        ctrXcrypt(aes, ctr0, pt, ct);
+        EXPECT_EQ(ct, ref_ctr);
+
+        AesXts xts(xts_key, impl);
+        std::vector<std::uint8_t> xct(pt.size());
+        xts.encrypt(7, pt, xct);
+        EXPECT_EQ(xct, ref_xts_ct);
+    }
+}
+
 } // namespace
 } // namespace hcc::crypto

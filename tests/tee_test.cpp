@@ -376,5 +376,104 @@ INSTANTIATE_TEST_SUITE_P(Sizes, ChannelSizeSweep,
                          ::testing::Values(1, 100, 4095, 4096, 4097,
                                            8192, 12345, 65536));
 
+TEST_F(SecureChannelTest, EveryCorruptedByteIsDetected)
+{
+    // Exhaustive tamper sweep: flip each byte of the staged
+    // ciphertext-plus-tag in turn; every single position must fail
+    // authentication and bump the auth-failure counter.  GCM's tag
+    // covers the whole chunk, so there is no "slack" byte whose
+    // corruption could slip through.
+    obs::Registry reg;
+    cfg_.chunk_bytes = 64;  // small chunk: sweep stays fast
+    SecureChannel ch(cfg_, session_, &reg);
+    std::vector<std::uint8_t> src(48);
+    for (std::size_t i = 0; i < src.size(); ++i)
+        src[i] = static_cast<std::uint8_t>(i * 7 + 1);
+    std::vector<std::uint8_t> dst(src.size());
+
+    // Untampered baseline: works, no failures.
+    ASSERT_TRUE(ch.transferFunctional(src, dst));
+    ASSERT_EQ(reg.counter("crypto.aes_gcm.auth_failures").value(), 0u);
+
+    const std::size_t staged = src.size() + crypto::kGcmTagLen;
+    for (std::size_t pos = 0; pos < staged; ++pos) {
+        const auto before =
+            reg.counter("crypto.aes_gcm.auth_failures").value();
+        const bool ok = ch.transferFunctional(
+            src, dst, [pos](std::vector<std::uint8_t> &stage) {
+                ASSERT_GT(stage.size(), pos);
+                stage[pos] ^= 0x80;
+            });
+        EXPECT_FALSE(ok) << "corruption at byte " << pos
+                         << " went undetected";
+        EXPECT_EQ(
+            reg.counter("crypto.aes_gcm.auth_failures").value(),
+            before + 1)
+            << "auth failure at byte " << pos << " not counted";
+    }
+}
+
+TEST_F(SecureChannelTest, ParallelWorkersRoundTrip)
+{
+    // crypto_workers > 1 with several chunks takes the threaded
+    // seal/open path; results must be byte-identical to the
+    // sequential path (same IV assignment, same chunking).
+    cfg_.crypto_workers = 4;
+    cfg_.chunk_bytes = 4096;
+    SecureChannel ch(cfg_, session_, nullptr);
+    Rng rng(17);
+    std::vector<std::uint8_t> src(10 * 4096 + 123);
+    for (auto &b : src)
+        b = static_cast<std::uint8_t>(rng.next32());
+    std::vector<std::uint8_t> dst(src.size());
+    EXPECT_TRUE(ch.transferFunctional(src, dst));
+    EXPECT_EQ(src, dst);
+
+    ChannelConfig seq = cfg_;
+    seq.crypto_workers = 1;
+    SecureChannel ref(seq, session_);
+    std::vector<std::uint8_t> dst2(src.size());
+    EXPECT_TRUE(ref.transferFunctional(src, dst2));
+    EXPECT_EQ(dst, dst2);
+}
+
+TEST_F(SecureChannelTest, ParallelWorkersDetectTampering)
+{
+    obs::Registry reg;
+    cfg_.crypto_workers = 4;
+    cfg_.chunk_bytes = 4096;
+    SecureChannel ch(cfg_, session_, &reg);
+    std::vector<std::uint8_t> src(8 * 4096, 0x66);
+    std::vector<std::uint8_t> dst(src.size());
+    const bool ok = ch.transferFunctional(
+        src, dst, [](std::vector<std::uint8_t> &stage) {
+            stage[stage.size() / 2] ^= 0x01;
+        });
+    EXPECT_FALSE(ok);
+    EXPECT_GE(reg.counter("crypto.aes_gcm.auth_failures").value(), 1u);
+}
+
+TEST_F(SecureChannelTest, ParallelWorkersHideNoPlaintext)
+{
+    cfg_.crypto_workers = 4;
+    cfg_.chunk_bytes = 4096;
+    SecureChannel ch(cfg_, session_);
+    std::vector<std::uint8_t> src(6 * 4096, 0x5a);
+    std::vector<std::uint8_t> dst(src.size());
+    bool saw_plaintext = false;
+    const bool ok = ch.transferFunctional(
+        src, dst, [&](std::vector<std::uint8_t> &stage) {
+            std::size_t run = 0;
+            for (auto b : stage) {
+                run = (b == 0x5a) ? run + 1 : 0;
+                if (run >= 32)
+                    saw_plaintext = true;
+            }
+        });
+    EXPECT_TRUE(ok);
+    EXPECT_FALSE(saw_plaintext);
+    EXPECT_EQ(src, dst);
+}
+
 } // namespace
 } // namespace hcc::tee

@@ -8,9 +8,11 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "runtime/context.hpp"
 
 namespace {
@@ -47,15 +49,26 @@ main()
 {
     using namespace hcc;
 
+    // batching-factor x mode grid, run on the sweep pool; results
+    // are indexed [factor][base, cc].
+    const std::vector<int> factors = {1, 2, 4, 8, 16, 32, 64, 128,
+                                      256};
+    std::vector<SimTime> times(factors.size() * 2);
+    runIndexed(times.size(), ThreadPool::defaultJobs(),
+               [&](std::size_t i) {
+                   times[i] = runBatched(i % 2 == 1, factors[i / 2]);
+               });
+
     TextTable t("Ablation — graph batching factor for a 256-iteration "
                 "kernel loop");
     t.header({"kernels/graph", "end-to-end(base)", "end-to-end(cc)",
               "cc/base"});
     SimTime best_base = 0, best_cc = 0;
     int best_base_n = 1, best_cc_n = 1;
-    for (int n : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
-        const SimTime b = runBatched(false, n);
-        const SimTime c = runBatched(true, n);
+    for (std::size_t f = 0; f < factors.size(); ++f) {
+        const int n = factors[f];
+        const SimTime b = times[f * 2];
+        const SimTime c = times[f * 2 + 1];
         if (best_base == 0 || b < best_base) {
             best_base = b;
             best_base_n = n;

@@ -7,9 +7,11 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "runtime/context.hpp"
 #include "trace/analysis.hpp"
 
@@ -64,15 +66,31 @@ main()
 {
     using namespace hcc;
 
-    const SimTime base = uvmKet(false, calib::kUvmBatchPagesCc);
+    // The batch-size sweep, the non-CC baseline and both thrash
+    // runs are independent simulations — one grid on the sweep pool.
+    const std::vector<int> batch_pages = {1, 2, 4, 8, 16, 32, 64};
+    std::vector<SimTime> ket(batch_pages.size() + 1);
+    SimTime thrash_base = 0, thrash_cc = 0;
+    runIndexed(ket.size() + 2, ThreadPool::defaultJobs(),
+               [&](std::size_t i) {
+                   if (i < batch_pages.size())
+                       ket[i] = uvmKet(true, batch_pages[i]);
+                   else if (i == batch_pages.size())
+                       ket[i] = uvmKet(false,
+                                       calib::kUvmBatchPagesCc);
+                   else if (i == batch_pages.size() + 1)
+                       thrash_base = thrash(false);
+                   else
+                       thrash_cc = thrash(true);
+               });
+    const SimTime base = ket[batch_pages.size()];
 
     TextTable t("Ablation — CC fault-batch size vs UVM KET "
                 "(64 MiB touch, KET normalized to non-CC UVM)");
     t.header({"cc batch pages", "KET", "vs non-CC UVM"});
-    for (int pages : {1, 2, 4, 8, 16, 32, 64}) {
-        const SimTime ket = uvmKet(true, pages);
-        t.row({std::to_string(pages), formatTime(ket),
-               TextTable::ratio(static_cast<double>(ket)
+    for (std::size_t i = 0; i < batch_pages.size(); ++i) {
+        t.row({std::to_string(batch_pages[i]), formatTime(ket[i]),
+               TextTable::ratio(static_cast<double>(ket[i])
                                 / static_cast<double>(base))});
     }
     t.print(std::cout);
@@ -84,8 +102,8 @@ main()
 
     TextTable o("Oversubscription thrash (2 x 32 MiB in 48 MiB)");
     o.header({"mode", "end-to-end"});
-    o.row({"base", formatTime(thrash(false))});
-    o.row({"cc", formatTime(thrash(true))});
+    o.row({"base", formatTime(thrash_base)});
+    o.row({"cc", formatTime(thrash_cc)});
     o.print(std::cout);
     std::cout << "\nEviction writes back through D2H — the slow "
                  "direction under CC — so oversubscribed UVM "

@@ -11,21 +11,22 @@
 #include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "ml/cnn.hpp"
 
 namespace {
 
-hcc::ml::CnnTrainResult
-run(hcc::ml::CnnModel model, int batch, hcc::ml::Precision prec,
-    bool cc)
+hcc::ml::CnnSweepCell
+cell(hcc::ml::CnnModel model, int batch, hcc::ml::Precision prec,
+     bool cc)
 {
     using namespace hcc;
-    rt::Context ctx(cc ? bench::ccSystem() : bench::baseSystem());
-    ml::CnnTrainConfig cfg;
-    cfg.model = model;
-    cfg.batch_size = batch;
-    cfg.precision = prec;
-    return ml::trainCnn(ctx, cfg);
+    ml::CnnSweepCell c;
+    c.sys = cc ? bench::ccSystem() : bench::baseSystem();
+    c.config.model = model;
+    c.config.batch_size = batch;
+    c.config.precision = prec;
+    return c;
 }
 
 } // namespace
@@ -35,6 +36,22 @@ main()
 {
     using namespace hcc;
     using ml::Precision;
+
+    // The whole figure is a grid — batch x model x precision x CC —
+    // of independent simulations, so expand it up front and run the
+    // cells on the sweep pool.  Results come back in input order.
+    const std::vector<int> batches = {64, 1024};
+    const std::vector<Precision> precisions = {
+        Precision::Fp32, Precision::Amp, Precision::Fp16};
+    std::vector<ml::CnnSweepCell> cells;
+    for (int batch : batches)
+        for (auto model : ml::allCnnModels())
+            for (auto prec : precisions)
+                for (bool cc : {false, true})
+                    cells.push_back(cell(model, batch, prec, cc));
+    const auto results =
+        ml::runCnnSweep(cells, ThreadPool::defaultJobs());
+    std::size_t next = 0;
 
     std::vector<double> drop64, drop1024, amp64_delta, fp16_gain;
 
@@ -46,17 +63,12 @@ main()
                       "fp16", "fp16(cc)", "time-fp32cc", "time-ampcc",
                       "time-fp16cc"});
         for (auto model : ml::allCnnModels()) {
-            const auto fp32 = run(model, batch, Precision::Fp32,
-                                  false);
-            const auto fp32cc = run(model, batch, Precision::Fp32,
-                                    true);
-            const auto amp = run(model, batch, Precision::Amp, false);
-            const auto ampcc = run(model, batch, Precision::Amp,
-                                   true);
-            const auto fp16 = run(model, batch, Precision::Fp16,
-                                  false);
-            const auto fp16cc = run(model, batch, Precision::Fp16,
-                                    true);
+            const auto &fp32 = results[next++];
+            const auto &fp32cc = results[next++];
+            const auto &amp = results[next++];
+            const auto &ampcc = results[next++];
+            const auto &fp16 = results[next++];
+            const auto &fp16cc = results[next++];
 
             const double norm =
                 static_cast<double>(fp32.train_time_200_epochs);

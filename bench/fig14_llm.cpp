@@ -9,21 +9,22 @@
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "ml/llm.hpp"
 
 namespace {
 
-double
-tput(hcc::ml::LlmBackend backend, hcc::ml::LlmQuant quant, int batch,
+hcc::ml::LlmSweepCell
+cell(hcc::ml::LlmBackend backend, hcc::ml::LlmQuant quant, int batch,
      bool cc)
 {
     using namespace hcc;
-    rt::Context ctx(cc ? bench::ccSystem() : bench::baseSystem());
-    ml::LlmConfig cfg;
-    cfg.backend = backend;
-    cfg.quant = quant;
-    cfg.batch = batch;
-    return ml::serveLlm(ctx, cfg).tokens_per_s;
+    ml::LlmSweepCell c;
+    c.sys = cc ? bench::ccSystem() : bench::baseSystem();
+    c.config.backend = backend;
+    c.config.quant = quant;
+    c.config.batch = batch;
+    return c;
 }
 
 } // namespace
@@ -37,6 +38,27 @@ main()
 
     const std::vector<int> batches = {1, 8, 16, 32, 64, 128};
 
+    // Six configurations per batch size, expanded in row order and
+    // run as one grid on the sweep pool (results in input order).
+    std::vector<ml::LlmSweepCell> cells;
+    for (int b : batches) {
+        cells.push_back(
+            cell(LlmBackend::HuggingFace, LlmQuant::Bf16, b, false));
+        cells.push_back(
+            cell(LlmBackend::Vllm, LlmQuant::Bf16, b, false));
+        cells.push_back(
+            cell(LlmBackend::Vllm, LlmQuant::Bf16, b, true));
+        cells.push_back(
+            cell(LlmBackend::Vllm, LlmQuant::Awq4, b, false));
+        cells.push_back(
+            cell(LlmBackend::Vllm, LlmQuant::Awq4, b, true));
+        cells.push_back(
+            cell(LlmBackend::HuggingFace, LlmQuant::Awq4, b, false));
+    }
+    const auto results =
+        ml::runLlmSweep(cells, ThreadPool::defaultJobs());
+    std::size_t next = 0;
+
     TextTable table(
         "Fig. 14 — vLLM speedup over HF|BF16|CC-off at same batch");
     table.header({"batch", "hf-bf16-ccoff(tok/s)", "vllm-bf16-ccoff",
@@ -48,18 +70,12 @@ main()
     bool awq_wins_small = false, bf16_wins_large = true;
 
     for (int b : batches) {
-        const double hf_bf16 =
-            tput(LlmBackend::HuggingFace, LlmQuant::Bf16, b, false);
-        const double v_bf16_off =
-            tput(LlmBackend::Vllm, LlmQuant::Bf16, b, false);
-        const double v_bf16_on =
-            tput(LlmBackend::Vllm, LlmQuant::Bf16, b, true);
-        const double v_awq_off =
-            tput(LlmBackend::Vllm, LlmQuant::Awq4, b, false);
-        const double v_awq_on =
-            tput(LlmBackend::Vllm, LlmQuant::Awq4, b, true);
-        const double hf_awq_off =
-            tput(LlmBackend::HuggingFace, LlmQuant::Awq4, b, false);
+        const double hf_bf16 = results[next++].tokens_per_s;
+        const double v_bf16_off = results[next++].tokens_per_s;
+        const double v_bf16_on = results[next++].tokens_per_s;
+        const double v_awq_off = results[next++].tokens_per_s;
+        const double v_awq_on = results[next++].tokens_per_s;
+        const double hf_awq_off = results[next++].tokens_per_s;
 
         table.row({std::to_string(b),
                    TextTable::num(hf_bf16, 1),

@@ -18,6 +18,13 @@ cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j"$jobs"
 ctest --preset asan-ubsan -j"$jobs"
 
+# ThreadSanitizer over the parallel sweep engine: the determinism
+# and isolation tests race real workers over shared queues, so TSan
+# gates the pool's synchronization and the per-cell isolation claim.
+cmake --preset tsan
+cmake --build --preset tsan -j"$jobs" --target sweep_test
+build-tsan/tests/sweep_test
+
 hccsim=build/tools/hccsim
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -34,6 +41,18 @@ test -s "$tmp/bench.json"
 
 # The calibration subcommand must run end to end.
 "$hccsim" crypto-calibrate --ms 1 >/dev/null
+
+# Sweep smoke + the tentpole guarantee: the merged stats of the same
+# grid must be byte-identical whether one worker or four ran it.
+"$hccsim" sweep --apps gaussian,atax --jobs 1 \
+    --out "$tmp/cells1.csv" --format csv \
+    --stats-out "$tmp/sweep1.json" >/dev/null
+"$hccsim" sweep --apps gaussian,atax --jobs 4 \
+    --out "$tmp/cells4.csv" --format csv \
+    --stats-out "$tmp/sweep4.json" >/dev/null
+cmp "$tmp/cells1.csv" "$tmp/cells4.csv"
+cmp "$tmp/sweep1.json" "$tmp/sweep4.json"
+"$hccsim" stats-diff "$tmp/sweep1.json" "$tmp/sweep4.json" >/dev/null
 
 "$hccsim" run --app gaussian --cc --stats-out "$tmp/a.json" >/dev/null
 "$hccsim" run --app gaussian --cc --stats-out "$tmp/b.json" >/dev/null

@@ -1,5 +1,6 @@
 #include "cli/options.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -11,6 +12,7 @@
 #include "obs/stats_io.hpp"
 #include "perfmodel/model.hpp"
 #include "perfmodel/projector.hpp"
+#include "sweep/sweep.hpp"
 #include "trace/compare.hpp"
 #include "trace/export.hpp"
 #include "workloads/spec.hpp"
@@ -32,10 +34,26 @@ usage()
         "  hccsim trace --app NAME [opts]   dump the event trace\n"
         "  hccsim project --app NAME [opts] predict the CC slowdown\n"
         "                                   from a base run\n"
+        "  hccsim sweep --apps A,B|all [opts]\n"
+        "                                   run a grid of simulations\n"
+        "                                   in parallel (see --jobs)\n"
         "  hccsim stats-diff BASE CURRENT   diff two --stats-out dumps;\n"
         "                                   exit 1 if stats drifted\n"
         "  hccsim crypto-calibrate [opts]   measure this host's\n"
         "                                   functional crypto GB/s\n"
+        "\n"
+        "sweep options:\n"
+        "  --apps A,B|all   apps to grid over (or --spec GRIDFILE\n"
+        "                   with apps/cc/uvm/scales/seeds keys)\n"
+        "  --cc-modes M     on|off|both (default both)\n"
+        "  --uvm-modes M    on|off|both (default off)\n"
+        "  --scales X,Y     problem-size multipliers (default 1)\n"
+        "  --seeds N,M      RNG seeds (default 42)\n"
+        "  --jobs N         worker threads (default: all cores;\n"
+        "                   also parallelizes compare)\n"
+        "  --out FILE       per-cell results (CSV, or JSON with\n"
+        "                   --format json); byte-identical for any\n"
+        "                   --jobs value\n"
         "\n"
         "options:\n"
         "  --spec FILE      run a user-defined spec file instead\n"
@@ -48,7 +66,9 @@ usage()
         "  --crypto-workers N  parallel encryption threads (CC)\n"
         "  --tee-io            model the TEE-IO hardware path (CC)\n"
         "  --stats-out FILE    write the stats registry as JSON\n"
-        "                      (run/compare/trace)\n"
+        "                      (run/compare/trace/sweep)\n"
+        "  --trace-out FILE    trace: write the trace to a file\n"
+        "                      instead of stdout\n"
         "  --log-level LEVEL   debug|info|warn|error|silent\n"
         "  --tolerance X       stats-diff: relative tolerance before\n"
         "                      a change counts as drift (default 0)\n"
@@ -78,6 +98,8 @@ parseArgs(const std::vector<std::string> &args, std::string &error)
         opt.command = Command::Trace;
     } else if (cmd == "project") {
         opt.command = Command::Project;
+    } else if (cmd == "sweep") {
+        opt.command = Command::Sweep;
     } else if (cmd == "stats-diff") {
         opt.command = Command::StatsDiff;
     } else if (cmd == "crypto-calibrate") {
@@ -167,6 +189,65 @@ parseArgs(const std::vector<std::string> &args, std::string &error)
             if (!v)
                 return std::nullopt;
             opt.stats_out = *v;
+        } else if (a == "--trace-out") {
+            const auto *v = next("--trace-out");
+            if (!v)
+                return std::nullopt;
+            opt.trace_out = *v;
+        } else if (a == "--out") {
+            const auto *v = next("--out");
+            if (!v)
+                return std::nullopt;
+            opt.out_file = *v;
+        } else if (a == "--apps") {
+            const auto *v = next("--apps");
+            if (!v)
+                return std::nullopt;
+            opt.sweep_apps = *v;
+        } else if (a == "--cc-modes") {
+            const auto *v = next("--cc-modes");
+            if (!v)
+                return std::nullopt;
+            if (*v != "on" && *v != "off" && *v != "both") {
+                error = "bad --cc-modes value '" + *v
+                    + "' (on|off|both)";
+                return std::nullopt;
+            }
+            opt.sweep_cc = *v;
+        } else if (a == "--uvm-modes") {
+            const auto *v = next("--uvm-modes");
+            if (!v)
+                return std::nullopt;
+            if (*v != "on" && *v != "off" && *v != "both") {
+                error = "bad --uvm-modes value '" + *v
+                    + "' (on|off|both)";
+                return std::nullopt;
+            }
+            opt.sweep_uvm = *v;
+        } else if (a == "--scales") {
+            const auto *v = next("--scales");
+            if (!v)
+                return std::nullopt;
+            opt.sweep_scales = *v;
+        } else if (a == "--seeds") {
+            const auto *v = next("--seeds");
+            if (!v)
+                return std::nullopt;
+            opt.sweep_seeds = *v;
+        } else if (a == "--jobs") {
+            const auto *v = next("--jobs");
+            if (!v)
+                return std::nullopt;
+            try {
+                opt.jobs = std::stoi(*v);
+            } catch (...) {
+                error = "bad --jobs value '" + *v + "'";
+                return std::nullopt;
+            }
+            if (opt.jobs < 1) {
+                error = "--jobs must be >= 1";
+                return std::nullopt;
+            }
         } else if (a == "--log-level") {
             const auto *v = next("--log-level");
             if (!v)
@@ -240,6 +321,25 @@ parseArgs(const std::vector<std::string> &args, std::string &error)
     }
     if (opt.command == Command::CryptoCalibrate)
         return opt;
+    if (opt.command == Command::Sweep) {
+        if (opt.sweep_apps.empty() && opt.spec_file.empty()) {
+            error = "sweep requires --apps or --spec GRIDFILE";
+            return std::nullopt;
+        }
+        if (!opt.sweep_apps.empty() && !opt.spec_file.empty()) {
+            error = "--apps and --spec are mutually exclusive";
+            return std::nullopt;
+        }
+        return opt;
+    }
+    if (!opt.out_file.empty()) {
+        error = "--out only applies to sweep";
+        return std::nullopt;
+    }
+    if (!opt.trace_out.empty() && opt.command != Command::Trace) {
+        error = "--trace-out only applies to trace";
+        return std::nullopt;
+    }
     if (opt.command != Command::List && opt.app.empty()
         && opt.spec_file.empty()) {
         error = "this command requires --app or --spec";
@@ -252,7 +352,7 @@ parseArgs(const std::vector<std::string> &args, std::string &error)
     if (!opt.stats_out.empty() && opt.command != Command::Run
         && opt.command != Command::Compare
         && opt.command != Command::Trace) {
-        error = "--stats-out only applies to run/compare/trace";
+        error = "--stats-out only applies to run/compare/trace/sweep";
         return std::nullopt;
     }
     return opt;
@@ -303,18 +403,34 @@ printSummary(const workloads::WorkloadResult &res, std::ostream &os)
     t.print(os);
 }
 
+/**
+ * Write @p fn's output to @p path, checking the stream after both
+ * open and write: a full disk or an unwritable path must fail loudly
+ * (FatalError -> stderr + non-zero exit), never drop data silently.
+ */
+template <typename WriteFn>
+void
+writeFileChecked(const std::string &path, const char *what,
+                 WriteFn &&fn)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open %s '%s'", what, path.c_str());
+    fn(out);
+    out.flush();
+    if (!out)
+        fatal("failed writing %s '%s'", what, path.c_str());
+}
+
 /** Write the registry sections of a finished run to --stats-out. */
 void
 writeStatsFile(const std::string &path,
                const obs::StatsSections &sections,
                bool include_host = false)
 {
-    std::ofstream out(path);
-    if (!out)
-        fatal("cannot open stats file '%s'", path.c_str());
-    obs::writeStatsJson(out, sections, include_host);
-    if (!out)
-        fatal("failed writing stats file '%s'", path.c_str());
+    writeFileChecked(path, "stats file", [&](std::ostream &out) {
+        obs::writeStatsJson(out, sections, include_host);
+    });
 }
 
 /** Fixed-precision double for table cells. */
@@ -324,6 +440,52 @@ formatGbs(double v)
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.3f", v);
     return buf;
+}
+
+/** Milliseconds with one decimal for the sweep wall-clock column. */
+std::string
+formatMs(double us)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", us / 1000.0);
+    return buf;
+}
+
+/** Human summary of a finished sweep (wall-clock is host time). */
+void
+printSweepSummary(const sweep::SweepResult &r, std::ostream &os)
+{
+    TextTable t("sweep (" + std::to_string(r.cells.size())
+                + " cells, --jobs " + std::to_string(r.jobs) + ")");
+    t.header({"cell", "status", "end-to-end", "wall ms"});
+    for (const auto &c : r.cells) {
+        t.row({c.cell.label(), c.ok ? "ok" : "FAIL: " + c.error,
+               c.ok ? formatTime(c.result.metrics.end_to_end) : "-",
+               formatMs(c.wall_us)});
+    }
+    t.print(os);
+    char util[32];
+    std::snprintf(util, sizeof(util), "%.0f%%",
+                  r.pool.utilization(r.wall_us) * 100.0);
+    os << "\n" << (r.cells.size() - r.failures()) << "/"
+       << r.cells.size() << " cells ok, wall " << formatMs(r.wall_us)
+       << " ms, pool utilization " << util << " ("
+       << r.pool.stolen << " steals)\n";
+}
+
+/** Build the sweep grid from CLI flags (not a --spec grid file). */
+sweep::GridSpec
+gridFromFlags(const Options &opt)
+{
+    sweep::GridSpec grid;
+    grid.apps = sweep::parseAppList(opt.sweep_apps);
+    grid.cc_modes = sweep::parseModeList(opt.sweep_cc);
+    grid.uvm_modes = sweep::parseModeList(opt.sweep_uvm);
+    grid.scales = sweep::parseScaleList(opt.sweep_scales);
+    grid.seeds = sweep::parseSeedList(opt.sweep_seeds);
+    grid.crypto_workers = opt.crypto_workers;
+    grid.tee_io = opt.tee_io;
+    return grid;
 }
 
 } // namespace
@@ -366,8 +528,35 @@ runCli(const Options &opt, std::ostream &os)
       }
 
       case Command::Compare: {
-        const auto base = runOnce(opt, false);
-        const auto cc = runOnce(opt, true);
+        // Both runs are independent simulations, so run them as a
+        // two-cell sweep grid: --jobs 2 overlaps them on two
+        // workers, and the merge order (base first) is fixed by the
+        // grid expansion, not by which finishes first.  User spec
+        // files stay on the serial path (a SpecWorkload is built
+        // from the file per run).
+        workloads::WorkloadResult base, cc;
+        if (!opt.spec_file.empty()) {
+            base = runOnce(opt, false);
+            cc = runOnce(opt, true);
+        } else {
+            sweep::GridSpec grid;
+            grid.apps = {opt.app};
+            grid.cc_modes = {false, true};
+            grid.uvm_modes = {opt.uvm};
+            grid.scales = {opt.scale};
+            grid.seeds = {opt.seed};
+            grid.crypto_workers = opt.crypto_workers;
+            grid.tee_io = opt.tee_io;
+            const int jobs = std::min(
+                opt.jobs > 0 ? opt.jobs : ThreadPool::defaultJobs(),
+                2);
+            auto sw = sweep::runSweep(grid, jobs);
+            for (const auto &c : sw.cells)
+                if (!c.ok)
+                    fatal("%s", c.error.c_str());
+            base = std::move(sw.cells[0].result);
+            cc = std::move(sw.cells[1].result);
+        }
         printSummary(base, os);
         os << "\n";
         printSummary(cc, os);
@@ -386,13 +575,47 @@ runCli(const Options &opt, std::ostream &os)
 
       case Command::Trace: {
         const auto res = runOnce(opt, opt.cc);
-        if (opt.format == "csv")
-            trace::exportCsv(res.trace, os);
+        const auto writeTrace = [&](std::ostream &out) {
+            if (opt.format == "csv")
+                trace::exportCsv(res.trace, out);
+            else
+                trace::exportChromeTrace(res.trace, out,
+                                         res.stats.get());
+        };
+        if (!opt.trace_out.empty())
+            writeFileChecked(opt.trace_out, "trace file", writeTrace);
         else
-            trace::exportChromeTrace(res.trace, os, res.stats.get());
+            writeTrace(os);
         if (!opt.stats_out.empty())
             writeStatsFile(opt.stats_out, {{"", res.stats.get()}});
         return 0;
+      }
+
+      case Command::Sweep: {
+        const sweep::GridSpec grid = opt.spec_file.empty()
+            ? gridFromFlags(opt)
+            : sweep::loadGridFile(opt.spec_file);
+        const int jobs =
+            opt.jobs > 0 ? opt.jobs : ThreadPool::defaultJobs();
+        obs::Registry reg;
+        const auto result = sweep::runSweep(grid, jobs, &reg);
+        printSweepSummary(result, os);
+        if (!opt.out_file.empty()) {
+            writeFileChecked(
+                opt.out_file, "results file", [&](std::ostream &out) {
+                    if (opt.format == "csv")
+                        sweep::writeCellsCsv(result, out);
+                    else
+                        sweep::writeCellsJson(result, out);
+                });
+        }
+        if (!opt.stats_out.empty()) {
+            writeFileChecked(opt.stats_out, "stats file",
+                             [&](std::ostream &out) {
+                                 sweep::writeMergedStats(result, out);
+                             });
+        }
+        return result.allOk() ? 0 : 1;
       }
 
       case Command::Project: {

@@ -24,6 +24,7 @@ enum class Command
     Compare,
     Trace,
     Project,
+    Sweep,
     StatsDiff,
     CryptoCalibrate,
     Help,
@@ -65,6 +66,22 @@ struct Options
     std::string crypto_impl;
     /** crypto-calibrate: wall-clock budget per algorithm, ms. */
     double calib_ms = 50.0;
+    /** sweep: comma-separated app list, or "all". */
+    std::string sweep_apps;
+    /** sweep: CC modes to grid over (on|off|both). */
+    std::string sweep_cc = "both";
+    /** sweep: UVM modes to grid over (on|off|both). */
+    std::string sweep_uvm = "off";
+    /** sweep: comma-separated problem-size multipliers. */
+    std::string sweep_scales = "1";
+    /** sweep: comma-separated RNG seeds. */
+    std::string sweep_seeds = "42";
+    /** Worker threads for sweep/compare (0 = hardware default). */
+    int jobs = 0;
+    /** sweep: per-cell results file (CSV/JSON per --format). */
+    std::string out_file;
+    /** trace: write the trace to this file instead of stdout. */
+    std::string trace_out;
 };
 
 /**

@@ -1,5 +1,6 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -8,7 +9,10 @@ namespace hcc {
 
 namespace {
 
-LogLevel g_level = LogLevel::Warn;
+// Atomic so sweep workers logging concurrently with a main-thread
+// setLogLevel() race neither each other nor the CLI (--log-level is
+// applied before the pool spins up, but tests flip it mid-process).
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 
 std::string
 vformat(const char *fmt, std::va_list ap)
@@ -25,17 +29,27 @@ vformat(const char *fmt, std::va_list ap)
 void
 emit(LogLevel level, const std::string &msg)
 {
-    if (level < g_level)
+    if (level < g_level.load(std::memory_order_relaxed))
         return;
+    // One fprintf per message: atomic at the stdio level, so lines
+    // from concurrent sweep workers never interleave mid-line.
     std::fprintf(stderr, "[%s] %s\n", logLevelName(level),
                  msg.c_str());
 }
 
 } // namespace
 
-void setLogLevel(LogLevel level) { g_level = level; }
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel logLevel() { return g_level; }
+LogLevel
+logLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
 
 const char *
 logLevelName(LogLevel level)

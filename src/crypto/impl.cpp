@@ -1,5 +1,6 @@
 #include "crypto/impl.hpp"
 
+#include <atomic>
 #include <cstdlib>
 
 #include "common/log.hpp"
@@ -9,8 +10,14 @@ namespace hcc::crypto {
 
 namespace {
 
-/** Session override set via setActiveCryptoImpl (CLI / tests). */
-std::optional<CryptoImpl> g_override;
+/**
+ * Session override set via setActiveCryptoImpl (CLI / tests).
+ * Encoded as an atomic int (-1 = unset) because sweep workers read
+ * it through activeCryptoImpl() while constructing per-run crypto
+ * contexts; std::optional would tear.
+ */
+constexpr int kNoOverride = -1;
+std::atomic<int> g_override{kNoOverride};
 
 /** Resolve the HCC_CRYPTO_IMPL environment variable once. */
 std::optional<CryptoImpl>
@@ -95,8 +102,9 @@ bestCryptoImpl()
 CryptoImpl
 activeCryptoImpl()
 {
-    if (g_override)
-        return *g_override;
+    const int ov = g_override.load(std::memory_order_relaxed);
+    if (ov != kNoOverride)
+        return static_cast<CryptoImpl>(ov);
     if (const auto env = envImpl())
         return *env;
     return bestCryptoImpl();
@@ -112,7 +120,8 @@ setActiveCryptoImpl(std::optional<CryptoImpl> impl)
              cryptoImplName(activeCryptoImpl()).c_str());
         return activeCryptoImpl();
     }
-    g_override = impl;
+    g_override.store(impl ? static_cast<int>(*impl) : kNoOverride,
+                     std::memory_order_relaxed);
     return activeCryptoImpl();
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/calibration.hpp"
 #include "common/log.hpp"
+#include "common/thread_pool.hpp"
 
 namespace hcc::ml {
 
@@ -214,6 +215,17 @@ trainCnn(rt::Context &ctx, const CnnTrainConfig &config)
     ctx.free(loss_dev);
     ctx.free(loss_host);
     return result;
+}
+
+std::vector<CnnTrainResult>
+runCnnSweep(const std::vector<CnnSweepCell> &cells, int jobs)
+{
+    std::vector<CnnTrainResult> results(cells.size());
+    runIndexed(cells.size(), jobs, [&](std::size_t i) {
+        rt::Context ctx(cells[i].sys);
+        results[i] = trainCnn(ctx, cells[i].config);
+    });
+    return results;
 }
 
 } // namespace hcc::ml

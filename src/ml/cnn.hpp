@@ -78,6 +78,23 @@ struct CnnTrainResult
 /** Run @p config's training loop in @p ctx and measure. */
 CnnTrainResult trainCnn(rt::Context &ctx, const CnnTrainConfig &config);
 
+/** One cell of a CNN batch sweep: a config and the system to run it
+ *  under.  Each cell gets its own rt::Context, so cells are
+ *  independent and safe to run on parallel workers. */
+struct CnnSweepCell
+{
+    rt::SystemConfig sys;
+    CnnTrainConfig config;
+};
+
+/**
+ * Train every cell on @p jobs workers (<= 1 = inline on the calling
+ * thread).  Results come back in input order regardless of worker
+ * scheduling, so callers can index them like the cell list.
+ */
+std::vector<CnnTrainResult>
+runCnnSweep(const std::vector<CnnSweepCell> &cells, int jobs);
+
 /** CIFAR-100 training-set size (for epoch extrapolation). */
 constexpr int kCifarTrainImages = 50000;
 

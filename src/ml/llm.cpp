@@ -5,6 +5,7 @@
 
 #include "common/calibration.hpp"
 #include "common/log.hpp"
+#include "common/thread_pool.hpp"
 
 namespace hcc::ml {
 
@@ -158,6 +159,17 @@ serveLlm(rt::Context &ctx, const LlmConfig &config)
     ctx.free(token_dev);
     ctx.free(token_host);
     return result;
+}
+
+std::vector<LlmResult>
+runLlmSweep(const std::vector<LlmSweepCell> &cells, int jobs)
+{
+    std::vector<LlmResult> results(cells.size());
+    runIndexed(cells.size(), jobs, [&](std::size_t i) {
+        rt::Context ctx(cells[i].sys);
+        results[i] = serveLlm(ctx, cells[i].config);
+    });
+    return results;
 }
 
 } // namespace hcc::ml

@@ -58,6 +58,17 @@ struct LlmResult
 /** Run the serving loop for @p config inside @p ctx. */
 LlmResult serveLlm(rt::Context &ctx, const LlmConfig &config);
 
+/** One cell of an LLM serving sweep (own rt::Context per cell). */
+struct LlmSweepCell
+{
+    rt::SystemConfig sys;
+    LlmConfig config;
+};
+
+/** Serve every cell on @p jobs workers; results in input order. */
+std::vector<LlmResult>
+runLlmSweep(const std::vector<LlmSweepCell> &cells, int jobs);
+
 /** Llama-3-8B parameter count. */
 constexpr double kLlamaParams = 8.03e9;
 

@@ -96,7 +96,12 @@ Registry::contains(const std::string &name) const
 Registry &
 Registry::discard()
 {
-    static Registry sink;
+    // Thread-local rather than process-global: components built
+    // without a registry (tests, ad-hoc benches) route updates here,
+    // and two SimContexts constructing on different sweep workers
+    // must not race on one shared map.  Discarded stats are never
+    // read back, so per-thread sinks are indistinguishable.
+    thread_local Registry sink;
     return sink;
 }
 

@@ -169,9 +169,10 @@ class Registry
     }
 
     /**
-     * Shared sink for components constructed without a registry:
+     * Per-thread sink for components constructed without a registry:
      * updates land here and are never dumped.  Keeps instrumentation
-     * branch-free (see orDiscard()).
+     * branch-free (see orDiscard()) and race-free when contexts are
+     * constructed on parallel sweep workers.
      */
     static Registry &discard();
 

@@ -1,6 +1,7 @@
 #include "sim/timeline.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/log.hpp"
 
@@ -71,13 +72,26 @@ TimelinePool::reserve(SimTime ready, SimTime duration)
 Interval
 TimelinePool::reserve(SimTime ready, SimTime duration, int &member)
 {
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < members_.size(); ++i) {
-        if (members_[i].freeAt() < members_[best].freeAt())
-            best = i;
+    // Pick the member that can *start* the work earliest, not the one
+    // with the smallest freeAt(): several members free before `ready`
+    // all start at `ready`, and minimizing freeAt() alone parked every
+    // such reservation on the lowest-index member, skewing per-member
+    // busy/queuing stats.  Ties rotate round-robin from the cursor so
+    // equally-idle members share the load.
+    SimTime best_start = std::numeric_limits<SimTime>::max();
+    for (const auto &m : members_)
+        best_start = std::min(best_start, std::max(ready, m.freeAt()));
+    std::size_t pick = 0;
+    for (std::size_t k = 0; k < members_.size(); ++k) {
+        const std::size_t i = (rr_cursor_ + k) % members_.size();
+        if (std::max(ready, members_[i].freeAt()) == best_start) {
+            pick = i;
+            break;
+        }
     }
-    member = static_cast<int>(best);
-    return members_[best].reserve(ready, duration);
+    rr_cursor_ = (pick + 1) % members_.size();
+    member = static_cast<int>(pick);
+    return members_[pick].reserve(ready, duration);
 }
 
 void
@@ -101,6 +115,7 @@ TimelinePool::reset()
 {
     for (auto &m : members_)
         m.reset();
+    rr_cursor_ = 0;
 }
 
 } // namespace hcc::sim

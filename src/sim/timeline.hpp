@@ -109,6 +109,8 @@ class TimelinePool
   private:
     std::string name_;
     std::vector<Timeline> members_;
+    /** Next member to try first when start times tie. */
+    std::size_t rr_cursor_ = 0;
 };
 
 } // namespace hcc::sim

@@ -1,0 +1,436 @@
+#include "sweep/sweep.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace hcc::sweep {
+
+namespace {
+
+/** Shortest deterministic rendering of a scale factor. */
+std::string
+formatScale(double scale)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", scale);
+    return buf;
+}
+
+/** RFC-4180 field quoting (quote when a comma/quote/newline occurs). */
+std::string
+csvField(const std::string &field)
+{
+    if (field.find_first_of(",\"\n\r") == std::string::npos)
+        return field;
+    std::string quoted = "\"";
+    for (char c : field) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+/** JSON string escaping for cell labels and error messages. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+double
+elapsedUs(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+std::string
+trim(const std::string &s)
+{
+    const auto begin = s.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    const auto end = s.find_last_not_of(" \t\r");
+    return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream iss(csv);
+    while (std::getline(iss, item, ',')) {
+        item = trim(item);
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+} // namespace
+
+std::size_t
+GridSpec::cellCount() const
+{
+    return apps.size() * cc_modes.size() * uvm_modes.size()
+        * scales.size() * seeds.size();
+}
+
+std::string
+RunCell::label() const
+{
+    std::string out = app;
+    out += cc ? ".cc" : ".base";
+    if (uvm)
+        out += ".uvm";
+    out += ".x" + formatScale(scale);
+    out += ".s" + std::to_string(seed);
+    return out;
+}
+
+std::size_t
+SweepResult::failures() const
+{
+    std::size_t n = 0;
+    for (const auto &c : cells)
+        n += c.ok ? 0 : 1;
+    return n;
+}
+
+std::vector<RunCell>
+expandGrid(const GridSpec &grid)
+{
+    std::vector<RunCell> cells;
+    cells.reserve(grid.cellCount());
+    for (const auto &app : grid.apps) {
+        for (bool cc : grid.cc_modes) {
+            for (bool uvm : grid.uvm_modes) {
+                for (double scale : grid.scales) {
+                    for (std::uint64_t seed : grid.seeds) {
+                        RunCell cell;
+                        cell.index = cells.size();
+                        cell.app = app;
+                        cell.cc = cc;
+                        cell.uvm = uvm;
+                        cell.scale = scale;
+                        cell.seed = seed;
+                        cell.crypto_workers = grid.crypto_workers;
+                        cell.tee_io = grid.tee_io;
+                        cells.push_back(std::move(cell));
+                    }
+                }
+            }
+        }
+    }
+    return cells;
+}
+
+SweepResult
+runSweep(const GridSpec &grid, int jobs, obs::Registry *sweep_obs)
+{
+    const auto cells = expandGrid(grid);
+    // Force the suite registration to finish on this thread before
+    // workers look apps up (registration is also mutex-guarded, this
+    // just keeps the first lookup off the parallel path).
+    workloads::WorkloadRegistry::instance();
+
+    SweepResult result;
+    result.jobs = jobs < 1 ? 1 : jobs;
+    result.cells.resize(cells.size());
+
+    const auto start = std::chrono::steady_clock::now();
+    result.pool = runIndexed(
+        cells.size(), result.jobs, [&](std::size_t i) {
+            const RunCell &cell = cells[i];
+            CellResult &out = result.cells[i];
+            out.cell = cell;
+            const auto cell_start = std::chrono::steady_clock::now();
+            try {
+                rt::SystemConfig sys;
+                sys.cc = cell.cc;
+                sys.seed = cell.seed;
+                sys.channel.crypto_workers = cell.crypto_workers;
+                sys.channel.tee_io = cell.tee_io;
+                workloads::WorkloadParams params;
+                params.uvm = cell.uvm;
+                params.scale = cell.scale;
+                params.seed = cell.seed;
+                out.result =
+                    workloads::runWorkload(cell.app, sys, params);
+                out.ok = true;
+            } catch (const FatalError &e) {
+                out.error = e.what();
+            }
+            out.wall_us = elapsedUs(cell_start);
+        });
+    result.wall_us = elapsedUs(start);
+
+    if (sweep_obs != nullptr) {
+        // All updates happen here on the caller's thread, after the
+        // pool has joined: gauges and distributions are not
+        // thread-safe by design.
+        sweep_obs->counter("sweep.cells").add(result.cells.size());
+        sweep_obs->counter("sweep.failures").add(result.failures());
+        auto &cell_wall =
+            sweep_obs->distribution("host.sweep.cell_wall_us");
+        for (const auto &c : result.cells)
+            cell_wall.add(c.wall_us);
+        sweep_obs->distribution("host.sweep.wall_us")
+            .add(result.wall_us);
+        sweep_obs->counter("host.sweep.pool.executed")
+            .add(result.pool.executed);
+        sweep_obs->counter("host.sweep.pool.steals")
+            .add(result.pool.stolen);
+        sweep_obs->gauge("host.sweep.jobs").set(result.jobs);
+        sweep_obs->gauge("host.sweep.pool.utilization_pct")
+            .set(static_cast<std::int64_t>(
+                result.pool.utilization(result.wall_us) * 100.0));
+    }
+    return result;
+}
+
+std::vector<bool>
+parseModeList(const std::string &name)
+{
+    if (name == "on")
+        return {true};
+    if (name == "off")
+        return {false};
+    if (name == "both")
+        return {false, true};
+    fatal("bad mode '%s' (on|off|both)", name.c_str());
+}
+
+std::vector<std::string>
+parseAppList(const std::string &csv)
+{
+    if (trim(csv) == "all")
+        return workloads::evaluationApps();
+    auto apps = splitCsv(csv);
+    if (apps.empty())
+        fatal("empty app list '%s'", csv.c_str());
+    return apps;
+}
+
+std::vector<double>
+parseScaleList(const std::string &csv)
+{
+    std::vector<double> out;
+    for (const auto &item : splitCsv(csv)) {
+        double v = 0.0;
+        try {
+            v = std::stod(item);
+        } catch (...) {
+            fatal("bad scale '%s'", item.c_str());
+        }
+        if (v <= 0.0)
+            fatal("scale must be positive, got '%s'", item.c_str());
+        out.push_back(v);
+    }
+    if (out.empty())
+        fatal("empty scale list '%s'", csv.c_str());
+    return out;
+}
+
+std::vector<std::uint64_t>
+parseSeedList(const std::string &csv)
+{
+    std::vector<std::uint64_t> out;
+    for (const auto &item : splitCsv(csv)) {
+        try {
+            out.push_back(std::stoull(item));
+        } catch (...) {
+            fatal("bad seed '%s'", item.c_str());
+        }
+    }
+    if (out.empty())
+        fatal("empty seed list '%s'", csv.c_str());
+    return out;
+}
+
+GridSpec
+parseGridSpec(const std::string &text)
+{
+    GridSpec grid;
+    bool have_apps = false;
+    std::istringstream iss(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(iss, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const auto eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal("grid spec line %d: expected 'key = value', got "
+                  "'%s'", lineno, line.c_str());
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key == "apps") {
+            grid.apps = parseAppList(value);
+            have_apps = true;
+        } else if (key == "cc") {
+            grid.cc_modes = parseModeList(value);
+        } else if (key == "uvm") {
+            grid.uvm_modes = parseModeList(value);
+        } else if (key == "scales") {
+            grid.scales = parseScaleList(value);
+        } else if (key == "seeds") {
+            grid.seeds = parseSeedList(value);
+        } else if (key == "crypto-workers") {
+            int v = 0;
+            try {
+                v = std::stoi(value);
+            } catch (...) {
+                fatal("grid spec line %d: bad crypto-workers '%s'",
+                      lineno, value.c_str());
+            }
+            if (v < 1)
+                fatal("grid spec line %d: crypto-workers must be "
+                      ">= 1", lineno);
+            grid.crypto_workers = v;
+        } else if (key == "tee-io") {
+            if (value == "on")
+                grid.tee_io = true;
+            else if (value == "off")
+                grid.tee_io = false;
+            else
+                fatal("grid spec line %d: tee-io must be on|off",
+                      lineno);
+        } else {
+            fatal("grid spec line %d: unknown key '%s'", lineno,
+                  key.c_str());
+        }
+    }
+    if (!have_apps)
+        fatal("grid spec is missing the 'apps' key");
+    return grid;
+}
+
+GridSpec
+loadGridFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open grid spec file '%s'", path.c_str());
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    if (in.bad())
+        fatal("failed reading grid spec file '%s'", path.c_str());
+    return parseGridSpec(oss.str());
+}
+
+void
+writeCellsCsv(const SweepResult &result, std::ostream &os)
+{
+    os << "index,label,app,cc,uvm,scale,seed,status,end_to_end_ps,"
+          "launches,kernels,sum_klo_ps,sum_lqt_ps,sum_kqt_ps,"
+          "sum_ket_ps,copy_h2d_ps,copy_d2h_ps,copy_d2d_ps,"
+          "tdx_hypercalls,error\n";
+    for (const auto &c : result.cells) {
+        const auto &m = c.result.metrics;
+        os << c.cell.index << ',' << csvField(c.cell.label()) << ','
+           << csvField(c.cell.app) << ',' << (c.cell.cc ? 1 : 0)
+           << ',' << (c.cell.uvm ? 1 : 0) << ','
+           << formatScale(c.cell.scale) << ',' << c.cell.seed << ','
+           << (c.ok ? "ok" : "failed") << ',';
+        if (c.ok) {
+            os << c.result.end_to_end << ',' << m.launches << ','
+               << m.kernels << ',' << m.sumKlo() << ','
+               << m.sumLqt() << ',' << m.sumKqt() << ','
+               << m.sumKet() << ',' << m.copy_h2d << ','
+               << m.copy_d2h << ',' << m.copy_d2d << ','
+               << c.result.tdx.hypercalls << ',';
+        } else {
+            os << ",,,,,,,,,,";
+        }
+        os << csvField(c.error) << '\n';
+    }
+}
+
+void
+writeCellsJson(const SweepResult &result, std::ostream &os)
+{
+    os << "[\n";
+    bool first = true;
+    for (const auto &c : result.cells) {
+        os << (first ? "" : ",\n");
+        first = false;
+        os << "  {\"index\": " << c.cell.index << ", \"label\": \""
+           << jsonEscape(c.cell.label()) << "\", \"app\": \""
+           << jsonEscape(c.cell.app) << "\", \"cc\": "
+           << (c.cell.cc ? "true" : "false") << ", \"uvm\": "
+           << (c.cell.uvm ? "true" : "false") << ", \"scale\": "
+           << formatScale(c.cell.scale) << ", \"seed\": "
+           << c.cell.seed << ", \"ok\": "
+           << (c.ok ? "true" : "false");
+        if (c.ok) {
+            const auto &m = c.result.metrics;
+            os << ", \"end_to_end_ps\": " << c.result.end_to_end
+               << ", \"launches\": " << m.launches
+               << ", \"kernels\": " << m.kernels
+               << ", \"sum_klo_ps\": " << m.sumKlo()
+               << ", \"sum_lqt_ps\": " << m.sumLqt()
+               << ", \"sum_kqt_ps\": " << m.sumKqt()
+               << ", \"sum_ket_ps\": " << m.sumKet()
+               << ", \"copy_h2d_ps\": " << m.copy_h2d
+               << ", \"copy_d2h_ps\": " << m.copy_d2h
+               << ", \"copy_d2d_ps\": " << m.copy_d2d
+               << ", \"tdx_hypercalls\": "
+               << c.result.tdx.hypercalls;
+        } else {
+            os << ", \"error\": \"" << jsonEscape(c.error) << "\"";
+        }
+        os << "}";
+    }
+    os << "\n]\n";
+}
+
+void
+writeMergedStats(const SweepResult &result, std::ostream &os)
+{
+    obs::StatsSections sections;
+    sections.reserve(result.cells.size());
+    for (const auto &c : result.cells) {
+        if (!c.ok)
+            continue;
+        sections.emplace_back("cell" + std::to_string(c.cell.index)
+                                  + "." + c.cell.label() + ".",
+                              c.result.stats.get());
+    }
+    obs::writeStatsJson(os, sections, /*include_host=*/false);
+}
+
+} // namespace hcc::sweep

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Parallel sweep engine: execute a declarative run-grid (app list x
+ * CC modes x UVM modes x scales x seeds) with one fully isolated
+ * simulation per grid cell on a work-stealing thread pool, and merge
+ * the results into deterministic, input-order output.
+ *
+ * Every figure in the paper is such a grid, and every cell is an
+ * independent simulation: per-cell rt::Context, obs::Registry, RNG
+ * and tracer, no shared mutable state.  That isolation is what makes
+ * the merged CSV / stats JSON byte-identical regardless of the
+ * worker count — scheduling order can change, results cannot.
+ *
+ * A cell that throws hcc::FatalError (unknown app, no UVM variant,
+ * bad spec) fails that cell alone: the error is captured in its
+ * CellResult and the rest of the grid keeps running.
+ */
+
+#ifndef HCC_SWEEP_SWEEP_HPP
+#define HCC_SWEEP_SWEEP_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "obs/registry.hpp"
+#include "obs/stats_io.hpp"
+#include "workloads/workload.hpp"
+
+namespace hcc::sweep {
+
+/**
+ * Declarative run-grid.  Cells are expanded in input order: apps
+ * (outer) x cc_modes x uvm_modes x scales x seeds (inner); that
+ * order is the merge order of every output.
+ */
+struct GridSpec
+{
+    /** Workload names; expanded in the given order. */
+    std::vector<std::string> apps;
+    /** CC modes to run each app under. */
+    std::vector<bool> cc_modes = {false, true};
+    /** UVM modes to run each app under. */
+    std::vector<bool> uvm_modes = {false};
+    /** Problem-size multipliers. */
+    std::vector<double> scales = {1.0};
+    /** RNG seeds. */
+    std::vector<std::uint64_t> seeds = {42};
+    /** Parallel encryption workers in the CC transfer path. */
+    int crypto_workers = 1;
+    /** Model the hypothetical TEE-IO hardware path. */
+    bool tee_io = false;
+
+    /** Number of cells the grid expands to. */
+    std::size_t cellCount() const;
+};
+
+/** One expanded grid cell (a single simulation to run). */
+struct RunCell
+{
+    /** Input-order position in the expanded grid. */
+    std::size_t index = 0;
+    std::string app;
+    bool cc = false;
+    bool uvm = false;
+    double scale = 1.0;
+    std::uint64_t seed = 42;
+    int crypto_workers = 1;
+    bool tee_io = false;
+
+    /** Stable human/machine id, e.g. "2mm.cc.uvm.x2.s7". */
+    std::string label() const;
+};
+
+/** Outcome of one cell. */
+struct CellResult
+{
+    RunCell cell;
+    /** False when the run threw FatalError. */
+    bool ok = false;
+    /** The FatalError message when !ok. */
+    std::string error;
+    /** The run's full result (trace, metrics, stats); valid iff ok. */
+    workloads::WorkloadResult result;
+    /** Host wall-clock the cell took, us (not deterministic). */
+    double wall_us = 0.0;
+};
+
+/** Outcome of a whole sweep, cells in input order. */
+struct SweepResult
+{
+    std::vector<CellResult> cells;
+    /** Worker threads the sweep ran with. */
+    int jobs = 1;
+    /** Host wall-clock of the whole sweep, us. */
+    double wall_us = 0.0;
+    /** Pool execution counters (steals, busy time, ...). */
+    ThreadPool::Stats pool;
+
+    std::size_t failures() const;
+    bool allOk() const { return failures() == 0; }
+};
+
+/** Expand @p grid into cells in deterministic input order. */
+std::vector<RunCell> expandGrid(const GridSpec &grid);
+
+/**
+ * Run every cell of @p grid on @p jobs workers (<= 1 = inline).
+ * Per-cell wall-clock and pool utilization are published into
+ * @p sweep_obs (may be null) under "sweep.*" (deterministic
+ * counters) and "host.sweep.*" (wall-clock, excluded from
+ * deterministic dumps).
+ */
+SweepResult runSweep(const GridSpec &grid, int jobs,
+                     obs::Registry *sweep_obs = nullptr);
+
+/**
+ * Parse a sweep grid spec.  Line-oriented `key = value` pairs, '#'
+ * comments; keys: apps (comma list or "all"), cc (on|off|both),
+ * uvm (on|off|both), scales (comma list), seeds (comma list),
+ * crypto-workers (int), tee-io (on|off).
+ * @throws FatalError on unknown keys or bad values.
+ */
+GridSpec parseGridSpec(const std::string &text);
+
+/** Parse "on"/"off"/"both" into a mode list.  @throws FatalError. */
+std::vector<bool> parseModeList(const std::string &name);
+
+/**
+ * Parse a comma-separated app list; "all" expands to the paper's
+ * evaluation app list.  @throws FatalError on an empty list.
+ */
+std::vector<std::string> parseAppList(const std::string &csv);
+
+/** Parse a comma list of positive scales.  @throws FatalError. */
+std::vector<double> parseScaleList(const std::string &csv);
+
+/** Parse a comma list of seeds.  @throws FatalError. */
+std::vector<std::uint64_t> parseSeedList(const std::string &csv);
+
+/** Load and parse a grid spec file.  @throws FatalError on I/O. */
+GridSpec loadGridFile(const std::string &path);
+
+/**
+ * Deterministic per-cell CSV (RFC-4180 quoting): one row per cell in
+ * input order, simulated metrics only — byte-identical across
+ * worker counts.
+ */
+void writeCellsCsv(const SweepResult &result, std::ostream &os);
+
+/** Deterministic per-cell JSON array, same guarantees as the CSV. */
+void writeCellsJson(const SweepResult &result, std::ostream &os);
+
+/**
+ * Merged stats dump: every successful cell's registry as a section
+ * prefixed "cell<index>.<label>.", readable by `hccsim stats-diff`.
+ * Deterministic and byte-identical across worker counts (host.*
+ * wall-clock stats are excluded by the writer).
+ */
+void writeMergedStats(const SweepResult &result, std::ostream &os);
+
+} // namespace hcc::sweep
+
+#endif // HCC_SWEEP_SWEEP_HPP

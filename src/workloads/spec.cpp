@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <numeric>
 
 #include "common/log.hpp"
@@ -18,7 +19,13 @@ void registerGraphSuites();
 void
 ensureSuitesRegistered()
 {
+    // A recursive mutex: registration paths re-enter here on the
+    // same thread (each suite's register function touches the
+    // registry), while the lock keeps a second sweep worker from
+    // racing the first caller's registration.
+    static std::recursive_mutex mutex;
     static bool done = false;
+    const std::lock_guard<std::recursive_mutex> lock(mutex);
     if (done)
         return;
     done = true;  // set first: registration paths re-enter here

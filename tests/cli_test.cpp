@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -345,6 +346,143 @@ TEST(CliRun, CryptoCalibratePrintsEveryAlgoAndRatio)
         << out;
     EXPECT_NE(out.find("host/model"), std::string::npos);
     crypto::setActiveCryptoImpl(std::nullopt);
+}
+
+// ----------------------------------------------------------- sweep
+
+TEST(CliParse, SweepFlags)
+{
+    const auto o = parse({"sweep", "--apps", "atax,bicg",
+                          "--cc-modes", "both", "--uvm-modes", "off",
+                          "--scales", "1,2", "--seeds", "42,7",
+                          "--jobs", "4", "--out", "cells.csv",
+                          "--format", "csv", "--stats-out",
+                          "stats.json"});
+    ASSERT_TRUE(o);
+    EXPECT_EQ(o->command, Command::Sweep);
+    EXPECT_EQ(o->sweep_apps, "atax,bicg");
+    EXPECT_EQ(o->sweep_scales, "1,2");
+    EXPECT_EQ(o->jobs, 4);
+    EXPECT_EQ(o->out_file, "cells.csv");
+}
+
+TEST(CliParse, SweepRequiresAppsOrSpec)
+{
+    std::string err;
+    EXPECT_FALSE(parse({"sweep"}, &err));
+    EXPECT_NE(err.find("--apps"), std::string::npos);
+    EXPECT_FALSE(parse({"sweep", "--apps", "a", "--spec", "g.grid"},
+                       &err));
+    EXPECT_TRUE(parse({"sweep", "--spec", "g.grid"}));
+}
+
+TEST(CliParse, SweepRejectsBadValues)
+{
+    EXPECT_FALSE(parse({"sweep", "--apps", "a", "--jobs", "0"}));
+    EXPECT_FALSE(parse({"sweep", "--apps", "a", "--jobs", "many"}));
+    EXPECT_FALSE(parse({"sweep", "--apps", "a", "--cc-modes",
+                        "sometimes"}));
+    EXPECT_FALSE(parse({"sweep", "--apps", "a", "--uvm-modes",
+                        "maybe"}));
+}
+
+TEST(CliParse, OutAndTraceOutAreCommandSpecific)
+{
+    std::string err;
+    EXPECT_FALSE(parse({"run", "--app", "sc", "--out", "x.csv"},
+                       &err));
+    EXPECT_NE(err.find("--out"), std::string::npos);
+    EXPECT_FALSE(parse({"run", "--app", "sc", "--trace-out",
+                        "t.json"}, &err));
+    EXPECT_TRUE(parse({"trace", "--app", "sc", "--trace-out",
+                       "t.json"}));
+}
+
+TEST(CliRun, SweepPrintsPerCellTableAndSummary)
+{
+    Options o;
+    o.command = Command::Sweep;
+    o.sweep_apps = "atax";
+    o.jobs = 2;
+    std::ostringstream oss;
+    EXPECT_EQ(runCli(o, oss), 0);
+    const auto out = oss.str();
+    EXPECT_NE(out.find("atax.base.x1.s42"), std::string::npos);
+    EXPECT_NE(out.find("atax.cc.x1.s42"), std::string::npos);
+    EXPECT_NE(out.find("2/2 cells ok"), std::string::npos);
+}
+
+TEST(CliRun, SweepFailedCellSetsExitCode)
+{
+    Options o;
+    o.command = Command::Sweep;
+    o.sweep_apps = "gaussian";    // no UVM variant
+    o.sweep_uvm = "on";
+    o.sweep_cc = "off";
+    o.jobs = 1;
+    std::ostringstream oss;
+    EXPECT_EQ(runCli(o, oss), 1);
+    EXPECT_NE(oss.str().find("FAIL"), std::string::npos);
+}
+
+TEST(CliRun, SweepUnwritableOutputFails)
+{
+    Options o;
+    o.command = Command::Sweep;
+    o.sweep_apps = "atax";
+    o.sweep_cc = "off";
+    o.jobs = 1;
+    o.out_file = "/nonexistent-dir/cells.csv";
+    std::ostringstream oss;
+    EXPECT_THROW(runCli(o, oss), hcc::FatalError);
+    o.out_file.clear();
+    o.stats_out = "/nonexistent-dir/stats.json";
+    EXPECT_THROW(runCli(o, oss), hcc::FatalError);
+}
+
+TEST(CliRun, RunUnwritableStatsOutFails)
+{
+    Options o;
+    o.command = Command::Run;
+    o.app = "atax";
+    o.stats_out = "/nonexistent-dir/stats.json";
+    std::ostringstream oss;
+    EXPECT_THROW(runCli(o, oss), hcc::FatalError);
+}
+
+TEST(CliRun, TraceOutWritesFileInsteadOfStream)
+{
+    Options o;
+    o.command = Command::Trace;
+    o.app = "atax";
+    o.trace_out = "trace_out_test.json";
+    std::ostringstream oss;
+    EXPECT_EQ(runCli(o, oss), 0);
+    EXPECT_TRUE(oss.str().empty());
+    std::ifstream in(o.trace_out);
+    ASSERT_TRUE(in.good());
+    char first = 0;
+    in >> first;
+    EXPECT_EQ(first, '[');
+    in.close();
+    std::remove(o.trace_out.c_str());
+
+    o.trace_out = "/nonexistent-dir/trace.json";
+    EXPECT_THROW(runCli(o, oss), hcc::FatalError);
+}
+
+TEST(CliRun, CompareParallelMatchesSerial)
+{
+    Options o;
+    o.command = Command::Compare;
+    o.app = "atax";
+    std::ostringstream serial, parallel;
+    o.jobs = 1;
+    EXPECT_EQ(runCli(o, serial), 0);
+    o.jobs = 2;
+    EXPECT_EQ(runCli(o, parallel), 0);
+    EXPECT_EQ(serial.str(), parallel.str())
+        << "compare output must not depend on --jobs";
 }
 
 } // namespace

@@ -94,6 +94,48 @@ TEST(TimelinePoolTest, ReportsServingMember)
     EXPECT_NE(m0, m2);
 }
 
+TEST(TimelinePoolTest, ZeroDurationTiesRoundRobin)
+{
+    // Regression: the old selector minimized freeAt() and broke
+    // ties toward member 0, so a burst of zero-duration
+    // reservations (zero-byte copies on a copy-engine pool) all
+    // piled onto the first member.  Ties on the actual start time
+    // must rotate across the pool instead.
+    TimelinePool pool("ce", 4);
+    int m[4] = {-1, -1, -1, -1};
+    for (int i = 0; i < 4; ++i) {
+        const auto iv = pool.reserve(100, 0, m[i]);
+        EXPECT_EQ(iv.start, 100);
+    }
+    for (int i = 0; i < 4; ++i)
+        for (int j = i + 1; j < 4; ++j)
+            EXPECT_NE(m[i], m[j])
+                << "tied reservations must spread across members";
+}
+
+TEST(TimelinePoolTest, PicksMemberMinimizingActualStart)
+{
+    TimelinePool pool("ce", 2);
+    int first = -1, second = -1;
+    pool.reserve(0, 100, first);     // that member busy until 100
+    // At ready=50 the other member starts immediately; the busy one
+    // could only start at 100.
+    const auto iv = pool.reserve(50, 10, second);
+    EXPECT_EQ(iv.start, 50);
+    EXPECT_NE(first, second);
+}
+
+TEST(TimelinePoolTest, ResetRestoresDeterministicSelection)
+{
+    TimelinePool pool("ce", 2);
+    int m = -1;
+    pool.reserve(0, 0, m);
+    pool.reserve(0, 0, m);
+    pool.reset();
+    pool.reserve(0, 0, m);
+    EXPECT_EQ(m, 0) << "reset must also rewind the tie cursor";
+}
+
 TEST(TimelinePoolTest, SingleMemberBehavesLikeTimeline)
 {
     TimelinePool pool("x", 1);

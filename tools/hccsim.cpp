@@ -21,7 +21,15 @@ main(int argc, char **argv)
         return 2;
     }
     try {
-        return hcc::cli::runCli(*opt, std::cout);
+        const int rc = hcc::cli::runCli(*opt, std::cout);
+        // A trace piped to a full disk must not exit 0 with a
+        // truncated file: flush and check the stream state.
+        std::cout.flush();
+        if (!std::cout) {
+            std::cerr << "error: failed writing to stdout\n";
+            return 1;
+        }
+        return rc;
     } catch (const hcc::FatalError &e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "ml/cnn.hpp"
+#include "ml/llm.hpp"
 #include "runtime/context.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/timeline.hpp"
@@ -99,6 +101,58 @@ BM_FullWorkload(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FullWorkload)->Arg(0)->Arg(1);
+
+// The full large cells of the figure grids.  items/sec == simulator
+// trace events per wall-clock second (the BENCH_sim.json headline):
+// every launch/copy/sync of the serving or training loop records
+// events through the whole runtime hot path, so this measures the
+// end-to-end single-cell simulator throughput that bounds Fig. 13/14
+// sweep latency.
+
+void
+BM_LlmDecodeCell(benchmark::State &state)
+{
+    // Fig. 14's slowest column: HF | BF16 (224 launches per decode
+    // step x 64 steps) at batch 8.
+    ml::LlmConfig lc;
+    lc.backend = ml::LlmBackend::HuggingFace;
+    lc.quant = ml::LlmQuant::Bf16;
+    lc.batch = 8;
+    std::int64_t events = 0;
+    for (auto _ : state) {
+        rt::SystemConfig cfg;
+        cfg.cc = state.range(0) != 0;
+        rt::Context ctx(cfg);
+        const auto r = ml::serveLlm(ctx, lc);
+        benchmark::DoNotOptimize(r.tokens_per_s);
+        events += static_cast<std::int64_t>(ctx.tracer().size());
+    }
+    state.SetItemsProcessed(events);
+}
+BENCHMARK(BM_LlmDecodeCell)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_CnnTrainCell(benchmark::State &state)
+{
+    // Fig. 13's heaviest row: VGG16 FP32 at batch 64.
+    ml::CnnTrainConfig cc;
+    cc.model = ml::CnnModel::Vgg16;
+    cc.batch_size = 64;
+    cc.precision = ml::Precision::Fp32;
+    std::int64_t events = 0;
+    for (auto _ : state) {
+        rt::SystemConfig cfg;
+        cfg.cc = state.range(0) != 0;
+        rt::Context ctx(cfg);
+        const auto r = ml::trainCnn(ctx, cc);
+        benchmark::DoNotOptimize(r.throughput);
+        events += static_cast<std::int64_t>(ctx.tracer().size());
+    }
+    state.SetItemsProcessed(events);
+}
+BENCHMARK(BM_CnnTrainCell)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

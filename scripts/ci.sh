@@ -39,6 +39,27 @@ build-release/bench/microbench_crypto \
     --json "$tmp/bench.json" >/dev/null
 test -s "$tmp/bench.json"
 
+# Sim-throughput smoke: a short Release run of the large LLM figure
+# cell proves the end-to-end simulation hot path and its JSON export
+# stay alive (tracked numbers live in BENCH_sim.json, measured with
+# interleaved A/B medians — shared CI hosts are too noisy to gate on
+# absolute wall-clock, see docs/PERF.md).
+cmake --build --preset release -j"$jobs" --target microbench_sim
+build-release/bench/microbench_sim \
+    --benchmark_filter='BM_LlmDecodeCell' --benchmark_min_time=0.05 \
+    --benchmark_out="$tmp/bench_sim.json" \
+    --benchmark_out_format=json >/dev/null
+test -s "$tmp/bench_sim.json"
+
+# Byte-identity gate for the hot-path optimizations: a fig13 cell
+# (cnn --cc) must reproduce the committed baseline stats exactly —
+# arena/interning/range-batching/downsampling must not shift a
+# single counter or RNG draw.
+"$hccsim" run --app cnn --cc --stats-out "$tmp/cnn_cc.json" >/dev/null
+"$hccsim" stats-diff bench/baselines/cnn_cc_stats.json \
+    "$tmp/cnn_cc.json"
+cmp bench/baselines/cnn_cc_stats.json "$tmp/cnn_cc.json"
+
 # The calibration subcommand must run end to end.
 "$hccsim" crypto-calibrate --ms 1 >/dev/null
 

@@ -14,36 +14,6 @@ Rng::Rng(std::uint64_t seed, std::uint64_t stream)
     next32();
 }
 
-std::uint32_t
-Rng::next32()
-{
-    const std::uint64_t old = state_;
-    state_ = old * 6364136223846793005ULL + inc_;
-    const auto xorshifted =
-        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
-    const auto rot = static_cast<std::uint32_t>(old >> 59u);
-    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
-}
-
-std::uint64_t
-Rng::next64()
-{
-    return (static_cast<std::uint64_t>(next32()) << 32) | next32();
-}
-
-double
-Rng::uniform()
-{
-    // 53-bit mantissa from a 64-bit draw.
-    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
-}
-
-double
-Rng::uniform(double lo, double hi)
-{
-    return lo + (hi - lo) * uniform();
-}
-
 std::int64_t
 Rng::uniformInt(std::int64_t lo, std::int64_t hi)
 {
@@ -55,12 +25,8 @@ Rng::uniformInt(std::int64_t lo, std::int64_t hi)
 }
 
 double
-Rng::normal()
+Rng::normalPair()
 {
-    if (hasSpare_) {
-        hasSpare_ = false;
-        return spare_;
-    }
     double u1 = 0.0;
     do {
         u1 = uniform();
@@ -71,19 +37,6 @@ Rng::normal()
     spare_ = mag * std::sin(two_pi * u2);
     hasSpare_ = true;
     return mag * std::cos(two_pi * u2);
-}
-
-double
-Rng::normal(double mu, double sigma)
-{
-    return mu + sigma * normal();
-}
-
-double
-Rng::lognormal(double median, double sigma)
-{
-    HCC_ASSERT(median > 0.0, "lognormal median must be positive");
-    return median * std::exp(sigma * normal());
 }
 
 Rng

@@ -5,12 +5,21 @@
  * We use PCG32 (O'Neill) rather than std::mt19937 so that streams are
  * cheap to fork per component and results are identical across
  * standard-library implementations.
+ *
+ * The draw paths are header-inline: the simulator's per-launch cost
+ * model makes three lognormal and one normal draw per kernel launch,
+ * so the call overhead of out-of-line one-liners is measurable on
+ * large cells.  Only the Box-Muller pair generation (log/sqrt/sin/
+ * cos) stays out of line — its cost is the math, not the call.
  */
 
 #ifndef HCC_COMMON_RNG_HPP
 #define HCC_COMMON_RNG_HPP
 
+#include <cmath>
 #include <cstdint>
+
+#include "common/log.hpp"
 
 namespace hcc {
 
@@ -25,25 +34,57 @@ class Rng
                  std::uint64_t stream = 0xda3e39cb94b95bdbULL);
 
     /** Next raw 32-bit value. */
-    std::uint32_t next32();
+    std::uint32_t
+    next32()
+    {
+        const std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        const auto xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        const auto rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+    }
 
     /** Next raw 64-bit value (two 32-bit draws). */
-    std::uint64_t next64();
+    std::uint64_t
+    next64()
+    {
+        return (static_cast<std::uint64_t>(next32()) << 32) | next32();
+    }
 
     /** Uniform double in [0, 1). */
-    double uniform();
+    double
+    uniform()
+    {
+        // 53-bit mantissa from a 64-bit draw.
+        return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+    }
 
     /** Uniform double in [lo, hi). */
-    double uniform(double lo, double hi);
+    double uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
 
     /** Uniform integer in [lo, hi] inclusive. */
     std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
 
     /** Standard normal via Box-Muller (cached second draw). */
-    double normal();
+    double
+    normal()
+    {
+        if (hasSpare_) {
+            hasSpare_ = false;
+            return spare_;
+        }
+        return normalPair();
+    }
 
     /** Normal with mean @p mu and standard deviation @p sigma. */
-    double normal(double mu, double sigma);
+    double normal(double mu, double sigma)
+    {
+        return mu + sigma * normal();
+    }
 
     /**
      * Lognormal draw parameterized directly by the desired median and
@@ -51,12 +92,20 @@ class Rng
      * Used for launch-overhead jitter whose distribution has a long
      * right tail, as observed in the paper's Fig. 11a.
      */
-    double lognormal(double median, double sigma);
+    double
+    lognormal(double median, double sigma)
+    {
+        HCC_ASSERT(median > 0.0, "lognormal median must be positive");
+        return median * std::exp(sigma * normal());
+    }
 
     /** Fork a child generator with an independent stream. */
     Rng fork(std::uint64_t stream_salt);
 
   private:
+    /** Generate a fresh Box-Muller pair; caches one, returns one. */
+    double normalPair();
+
     std::uint64_t state_;
     std::uint64_t inc_;
     bool hasSpare_ = false;

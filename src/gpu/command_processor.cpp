@@ -6,18 +6,4 @@ CommandProcessor::CommandProcessor(bool cc_mode, std::uint64_t seed)
     : cc_(cc_mode), decoder_("gpu.cmdproc"), rng_(seed)
 {}
 
-sim::Interval
-CommandProcessor::decode(SimTime ready, CommandKind kind)
-{
-    const SimTime median = cc_ ? calib::kCmdProcDecodeCc
-                               : calib::kCmdProcDecodeBase;
-    SimTime cost = static_cast<SimTime>(rng_.lognormal(
-        static_cast<double>(median), calib::kCmdProcDecodeSigma));
-    // Semaphore/synchronization packets are lighter than full
-    // launch/copy descriptors.
-    if (kind == CommandKind::Semaphore)
-        cost /= 4;
-    return decoder_.reserve(ready, cost);
-}
-
 } // namespace hcc::gpu

@@ -42,7 +42,19 @@ class CommandProcessor
      * @return interval occupied on the decoder; the command is
      *         available to its target engine at interval.end.
      */
-    sim::Interval decode(SimTime ready, CommandKind kind);
+    sim::Interval
+    decode(SimTime ready, CommandKind kind)
+    {
+        const SimTime median = cc_ ? calib::kCmdProcDecodeCc
+                                   : calib::kCmdProcDecodeBase;
+        SimTime cost = static_cast<SimTime>(rng_.lognormal(
+            static_cast<double>(median), calib::kCmdProcDecodeSigma));
+        // Semaphore/synchronization packets are lighter than full
+        // launch/copy descriptors.
+        if (kind == CommandKind::Semaphore)
+            cost /= 4;
+        return decoder_.reserve(ready, cost);
+    }
 
     bool ccMode() const { return cc_; }
     std::uint64_t commandsDecoded() const { return decoder_.reservations(); }

@@ -6,10 +6,4 @@ ComputeEngine::ComputeEngine(int concurrent_kernels)
     : slots_("gpu.sm", concurrent_kernels)
 {}
 
-sim::Interval
-ComputeEngine::execute(SimTime ready, SimTime duration)
-{
-    return slots_.reserve(ready, duration);
-}
-
 } // namespace hcc::gpu

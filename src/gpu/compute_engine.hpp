@@ -31,7 +31,10 @@ class ComputeEngine
      * Execute a kernel of @p duration becoming ready at @p ready.
      * @return the occupied interval on the granting slot.
      */
-    sim::Interval execute(SimTime ready, SimTime duration);
+    sim::Interval execute(SimTime ready, SimTime duration)
+    {
+        return slots_.reserve(ready, duration);
+    }
 
     int concurrency() const { return slots_.size(); }
     SimTime earliestFree() const { return slots_.earliestFree(); }

@@ -1,5 +1,7 @@
 #include "gpu/gmmu.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace hcc::gpu {
@@ -16,26 +18,104 @@ Gmmu::Gmmu(int tlb_entries, obs::Registry *obs)
     }
 }
 
+std::uint64_t
+Gmmu::eraseRange(std::uint64_t vpn, std::uint64_t pages)
+{
+    const std::uint64_t end = vpn + pages;
+    std::uint64_t removed = 0;
+    auto it = ranges_.upper_bound(vpn);
+    if (it != ranges_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second.pages > vpn)
+            it = prev;
+    }
+    while (it != ranges_.end() && it->first < end) {
+        const std::uint64_t r_start = it->first;
+        const std::uint64_t r_pages = it->second.pages;
+        const std::uint64_t r_end = r_start + r_pages;
+        const std::uint64_t r_pfn = it->second.pfn;
+        it = ranges_.erase(it);
+        if (r_start < vpn)
+            ranges_.emplace(r_start, Range{vpn - r_start, r_pfn});
+        if (r_end > end) {
+            it = ranges_
+                     .emplace(end, Range{r_end - end,
+                                         r_pfn + (end - r_start)})
+                     .first;
+        }
+        removed +=
+            std::min(r_end, end) - std::max(r_start, vpn);
+    }
+    return removed;
+}
+
 void
 Gmmu::map(std::uint64_t vpn, std::uint64_t pfn, std::uint64_t pages)
 {
-    for (std::uint64_t i = 0; i < pages; ++i)
-        table_[vpn + i] = pfn + i;
+    if (pages == 0)
+        return;
+    // Overwrite semantics: drop any previous mapping of the range.
+    mapped_pages_ -= eraseRange(vpn, pages);
+    auto it = ranges_.emplace(vpn, Range{pages, pfn}).first;
+    // Coalesce with the left neighbour when both vpn and pfn runs
+    // are contiguous (the common case: UVM maps batches in order).
+    if (it != ranges_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second.pages == vpn
+            && prev->second.pfn + prev->second.pages == pfn) {
+            prev->second.pages += it->second.pages;
+            ranges_.erase(it);
+            it = prev;
+        }
+    }
+    // And with the right neighbour.
+    auto next = std::next(it);
+    if (next != ranges_.end()
+        && it->first + it->second.pages == next->first
+        && it->second.pfn + it->second.pages == next->second.pfn) {
+        it->second.pages += next->second.pages;
+        ranges_.erase(next);
+    }
+    mapped_pages_ += pages;
 }
 
 void
 Gmmu::unmap(std::uint64_t vpn, std::uint64_t pages)
 {
-    for (std::uint64_t i = 0; i < pages; ++i) {
-        table_.erase(vpn + i);
-        tlbInvalidate(vpn + i);
+    if (pages == 0)
+        return;
+    mapped_pages_ -= eraseRange(vpn, pages);
+    // Range shoot-down: one scan of the (small) TLB instead of a
+    // probe per page.
+    const std::uint64_t end = vpn + pages;
+    for (auto it = tlb_lru_.begin(); it != tlb_lru_.end();) {
+        if (it->first >= vpn && it->first < end) {
+            tlb_index_.erase(it->first);
+            it = tlb_lru_.erase(it);
+        } else {
+            ++it;
+        }
     }
+}
+
+bool
+Gmmu::walk(std::uint64_t vpn, std::uint64_t &pfn) const
+{
+    auto it = ranges_.upper_bound(vpn);
+    if (it == ranges_.begin())
+        return false;
+    --it;
+    if (vpn >= it->first + it->second.pages)
+        return false;
+    pfn = it->second.pfn + (vpn - it->first);
+    return true;
 }
 
 bool
 Gmmu::isMapped(std::uint64_t vpn) const
 {
-    return table_.find(vpn) != table_.end();
+    std::uint64_t pfn;
+    return walk(vpn, pfn);
 }
 
 void
@@ -66,16 +146,6 @@ Gmmu::tlbLookup(std::uint64_t vpn, std::uint64_t &pfn)
     return true;
 }
 
-void
-Gmmu::tlbInvalidate(std::uint64_t vpn)
-{
-    const auto it = tlb_index_.find(vpn);
-    if (it != tlb_index_.end()) {
-        tlb_lru_.erase(it->second);
-        tlb_index_.erase(it);
-    }
-}
-
 Translation
 Gmmu::translate(std::uint64_t vpn)
 {
@@ -83,25 +153,25 @@ Gmmu::translate(std::uint64_t vpn)
     if (tlbLookup(vpn, t.pfn)) {
         ++tlb_hits_;
         if (obs_tlb_hits_)
-            obs_tlb_hits_->add(1);
+            obs_tlb_hits_->bump(1);
         t.result = TranslateResult::TlbHit;
         t.latency = kTlbHitLatency;
         return t;
     }
     ++tlb_misses_;
     if (obs_tlb_misses_)
-        obs_tlb_misses_->add(1);
-    const auto it = table_.find(vpn);
+        obs_tlb_misses_->bump(1);
     t.latency = kTlbHitLatency + kWalkLevelLatency * kWalkLevels;
-    if (it == table_.end()) {
+    std::uint64_t pfn;
+    if (!walk(vpn, pfn)) {
         ++far_faults_;
         if (obs_far_faults_)
-            obs_far_faults_->add(1);
+            obs_far_faults_->bump(1);
         t.result = TranslateResult::FarFault;
         return t;
     }
     t.result = TranslateResult::TlbMissWalkHit;
-    t.pfn = it->second;
+    t.pfn = pfn;
     tlbInsert(vpn, t.pfn);
     return t;
 }

@@ -7,6 +7,12 @@
  * fixed cost or walk the (4-level) radix table, and accesses to
  * unmapped managed pages report a far fault — the signal the UVM
  * manager turns into migration batches (Sec. II-B).
+ *
+ * Hot-path design (docs/PERF.md): the page table is an ordered
+ * interval map of contiguous [vpn, vpn+pages) -> pfn ranges, so
+ * mapping or unmapping an N-page migration batch is O(log ranges)
+ * with splits/merges instead of N hash-map operations, and a TLB
+ * shoot-down is one scan of the (small) TLB instead of N probes.
  */
 
 #ifndef HCC_GPU_GMMU_HPP
@@ -14,6 +20,7 @@
 
 #include <cstdint>
 #include <list>
+#include <map>
 #include <unordered_map>
 
 #include "common/units.hpp"
@@ -58,7 +65,9 @@ class Gmmu
 
     /**
      * Map @p pages pages starting at virtual page number @p vpn to
-     * consecutive physical frames starting at @p pfn.
+     * consecutive physical frames starting at @p pfn.  One range
+     * operation regardless of @p pages; remapping an already mapped
+     * page overwrites it (without TLB shoot-down, as before).
      */
     void map(std::uint64_t vpn, std::uint64_t pfn,
              std::uint64_t pages);
@@ -72,7 +81,9 @@ class Gmmu
     /** Whether a virtual page is currently mapped. */
     bool isMapped(std::uint64_t vpn) const;
 
-    std::uint64_t mappedPages() const { return table_.size(); }
+    std::uint64_t mappedPages() const { return mapped_pages_; }
+    /** Contiguous ranges in the interval map (introspection). */
+    std::size_t mappedRanges() const { return ranges_.size(); }
     std::uint64_t tlbHits() const { return tlb_hits_; }
     std::uint64_t tlbMisses() const { return tlb_misses_; }
     std::uint64_t farFaults() const { return far_faults_; }
@@ -85,13 +96,30 @@ class Gmmu
     static constexpr int kWalkLevels = 4;
 
   private:
+    /** One contiguous mapping: [start, start+pages) -> pfn.. */
+    struct Range
+    {
+        std::uint64_t pages;
+        std::uint64_t pfn;
+    };
+
     void tlbInsert(std::uint64_t vpn, std::uint64_t pfn);
     bool tlbLookup(std::uint64_t vpn, std::uint64_t &pfn);
-    void tlbInvalidate(std::uint64_t vpn);
 
-    // Functional page table (sparse radix collapsed into a map:
-    // level structure only affects the modeled walk cost).
-    std::unordered_map<std::uint64_t, std::uint64_t> table_;
+    /**
+     * Remove [vpn, vpn+pages) from the interval map, splitting
+     * partially covered ranges; returns how many previously mapped
+     * pages were removed.
+     */
+    std::uint64_t eraseRange(std::uint64_t vpn, std::uint64_t pages);
+
+    /** Page-table walk: pfn for @p vpn, or false if unmapped. */
+    bool walk(std::uint64_t vpn, std::uint64_t &pfn) const;
+
+    // Functional page table (sparse radix collapsed into an interval
+    // map: level structure only affects the modeled walk cost).
+    std::map<std::uint64_t, Range> ranges_;
+    std::uint64_t mapped_pages_ = 0;
 
     // LRU TLB: list front = most recent; map -> list iterator.
     int tlb_capacity_;

@@ -54,7 +54,7 @@ GpuDevice::executeKernel(SimTime cmd_arrival, SimTime stream_ready,
 
     const auto exec = compute_.execute(ready, ket);
     if (obs_kernels_)
-        obs_kernels_->add(1);
+        obs_kernels_->bump(1);
 
     KernelSchedule sched;
     sched.enqueued = cmd_arrival;

@@ -102,7 +102,7 @@ UvmManager::createAllocation(Bytes bytes)
     allocs_[handle] = alloc;
     lru_.push_back(handle);
     if (obs_allocations_)
-        obs_allocations_->add(1);
+        obs_allocations_->bump(1);
     return handle;
 }
 
@@ -196,21 +196,30 @@ UvmManager::touchOnDevice(std::uint64_t handle, Bytes touch_bytes,
         (pages + static_cast<Bytes>(batch_pages) - 1)
         / static_cast<Bytes>(batch_pages));
 
-    Bytes left = miss_bytes;
-    for (int b = 0; b < batches; ++b) {
-        const Bytes this_batch = std::min(batch_bytes, left);
-        left -= this_batch;
-        svc.added += config_.fault_latency;
-        if (ctx.cc()) {
-            // Fault report + mapping update cross the TD boundary,
-            // then the pages migrate through the encrypted path.
-            svc.added += ctx.tdx.guestHostRoundTrips(
-                calib::kUvmCcHypercallsPerBatch);
+    // Range-batched servicing: every batch but the last is exactly
+    // batch_bytes, so its (pure) transfer cost is computed once and
+    // multiplied instead of re-derived per batch.  Time and stats are
+    // identical to the per-batch loop this replaces.
+    const Bytes last_batch =
+        miss_bytes - static_cast<Bytes>(batches - 1) * batch_bytes;
+    svc.added += config_.fault_latency * batches;
+    if (ctx.cc()) {
+        // Fault report + mapping update cross the TD boundary, then
+        // the pages migrate through the encrypted path.  Round trips
+        // are linear in count, so one call covers all batches.
+        svc.added += ctx.tdx.guestHostRoundTrips(
+            calib::kUvmCcHypercallsPerBatch * batches);
+        if (batches > 1)
             svc.added +=
-                ctx.channel->transferDuration(this_batch, ctx.link);
-        } else {
-            svc.added += ctx.link.dmaDuration(this_batch);
-        }
+                ctx.channel->transferDuration(batch_bytes, ctx.link)
+                * (batches - 1);
+        svc.added +=
+            ctx.channel->transferDuration(last_batch, ctx.link);
+    } else {
+        if (batches > 1)
+            svc.added +=
+                ctx.link.dmaDuration(batch_bytes) * (batches - 1);
+        svc.added += ctx.link.dmaDuration(last_batch);
     }
     svc.batches = batches;
     svc.migrated = miss_bytes;
@@ -218,10 +227,10 @@ UvmManager::touchOnDevice(std::uint64_t handle, Bytes touch_bytes,
     total_batches_ += static_cast<std::uint64_t>(batches);
     total_migrated_ += miss_bytes;
     if (obs_fault_batches_) {
-        obs_fault_batches_->add(static_cast<std::uint64_t>(batches));
-        obs_bytes_migrated_->add(miss_bytes);
-        obs_bytes_evicted_->add(svc.evicted);
-        obs_fault_time_ps_->add(static_cast<std::uint64_t>(svc.added));
+        obs_fault_batches_->bump(static_cast<std::uint64_t>(batches));
+        obs_bytes_migrated_->bump(miss_bytes);
+        obs_bytes_evicted_->bump(svc.evicted);
+        obs_fault_time_ps_->bump(static_cast<std::uint64_t>(svc.added));
     }
     return svc;
 }

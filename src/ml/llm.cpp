@@ -129,13 +129,12 @@ serveLlm(rt::Context &ctx, const LlmConfig &config)
 
     // Decode loop.
     SimTime framework_total = 0;
+    gpu::KernelDesc decode_kd;
+    decode_kd.name = llmBackendName(config.backend) + "_decode";
+    decode_kd.duration = per_kernel;
     for (int step = 0; step < config.gen_len; ++step) {
-        for (int k = 0; k < launches; ++k) {
-            gpu::KernelDesc kd;
-            kd.name = llmBackendName(config.backend) + "_decode";
-            kd.duration = per_kernel;
-            ctx.launchKernel(kd);
-        }
+        for (int k = 0; k < launches; ++k)
+            ctx.launchKernel(decode_kd);
         ctx.deviceSynchronize();
         // Sampled token ids come back every step.
         ctx.memcpy(token_host, token_dev,

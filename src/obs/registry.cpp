@@ -7,24 +7,16 @@
 namespace hcc::obs {
 
 void
-Gauge::set(std::int64_t v, SimTime when)
+Gauge::decimate()
 {
-    const bool changed = !touched_ || v != value_;
-    value_ = v;
-    if (!touched_) {
-        min_ = max_ = v;
-        touched_ = true;
-    } else {
-        min_ = std::min(min_, v);
-        max_ = std::max(max_, v);
-    }
-    if (when < 0 || !changed)
-        return;
-    if (samples_.size() >= kMaxSamples) {
-        ++dropped_;
-        return;
-    }
-    samples_.push_back({when, v});
+    // Keep every other retained sample, in place.
+    const std::size_t kept = (samples_.size() + 1) / 2;
+    for (std::size_t i = 1; i < kept; ++i)
+        samples_[i] = samples_[2 * i];
+    dropped_ += samples_.size() - kept;
+    samples_.resize(kept);
+    stride_ *= 2;
+    skip_ = 0;
 }
 
 namespace {

@@ -36,6 +36,7 @@
 #ifndef HCC_OBS_REGISTRY_HPP
 #define HCC_OBS_REGISTRY_HPP
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -61,6 +62,21 @@ class Counter
     {
         value_.fetch_add(n, std::memory_order_relaxed);
     }
+
+    /**
+     * Single-writer fast path: plain load + store instead of an
+     * atomic read-modify-write (which is a full bus-locked operation
+     * on x86 and dominates tight simulation loops).  Only valid for
+     * counters updated from one thread at a time — the rule all
+     * stats except the crypto worker-pool counters already follow
+     * (see file header).
+     */
+    void bump(std::uint64_t n = 1)
+    {
+        value_.store(value_.load(std::memory_order_relaxed) + n,
+                     std::memory_order_relaxed);
+    }
+
     std::uint64_t value() const
     {
         return value_.load(std::memory_order_relaxed);
@@ -84,14 +100,43 @@ class Gauge
         std::int64_t value = 0;
     };
 
-    /** Samples retained per gauge before further ones are dropped. */
+    /**
+     * Retention bound.  Below it every accepted change is kept; on
+     * reaching it the series is decimated in place (every other
+     * sample kept) and the retention stride doubles, so memory stays
+     * bounded while coverage of the whole run is preserved.  The
+     * process is a pure function of the change sequence, hence
+     * deterministic.
+     */
     static constexpr std::size_t kMaxSamples = 1 << 16;
 
     /**
      * Set the level; @p when >= 0 additionally records a sample at
      * that simulated time (consecutive equal levels are coalesced).
      */
-    void set(std::int64_t v, SimTime when = -1);
+    void
+    set(std::int64_t v, SimTime when = -1)
+    {
+        const bool changed = !touched_ || v != value_;
+        value_ = v;
+        if (!touched_) {
+            min_ = max_ = v;
+            touched_ = true;
+        } else {
+            min_ = std::min(min_, v);
+            max_ = std::max(max_, v);
+        }
+        if (when < 0 || !changed)
+            return;
+        if (stride_ > 1 && ++skip_ < stride_) {
+            ++dropped_;
+            return;
+        }
+        skip_ = 0;
+        samples_.push_back({when, v});
+        if (samples_.size() >= kMaxSamples)
+            decimate();
+    }
 
     /** Relative update, same sampling semantics as set(). */
     void adjust(std::int64_t delta, SimTime when = -1)
@@ -104,16 +149,24 @@ class Gauge
     std::int64_t max() const { return max_; }
 
     const std::vector<Sample> &samples() const { return samples_; }
-    /** Samples discarded after kMaxSamples was reached. */
+    /** Accepted changes not retained (decimated or strided out). */
     std::uint64_t droppedSamples() const { return dropped_; }
+    /** Current retention stride (1 until kMaxSamples is first hit). */
+    std::uint64_t sampleStride() const { return stride_; }
 
   private:
+    /** Halve the retained series in place and double the stride. */
+    void decimate();
+
     std::int64_t value_ = 0;
     std::int64_t min_ = 0;
     std::int64_t max_ = 0;
     bool touched_ = false;
     std::vector<Sample> samples_;
     std::uint64_t dropped_ = 0;
+    std::uint64_t stride_ = 1;
+    /** Accepted changes since the last retained sample. */
+    std::uint64_t skip_ = 0;
 };
 
 /** Running summary of a value stream (count/sum/min/max/mean). */

@@ -91,7 +91,9 @@ projectCc(const trace::Tracer &base_trace)
         static_cast<double>(kCmdProcDecodeCc)
         / static_cast<double>(kCmdProcDecodeBase);
 
-    std::map<std::string, int> first_seen;
+    // Occurrence count per launch symbol, keyed by the trace's
+    // interned label id (same string <=> same id within one trace).
+    std::vector<int> first_seen;
 
     for (const auto &e : base_trace.events()) {
         if (e.encrypted_paging)
@@ -126,7 +128,9 @@ projectCc(const trace::Tracer &base_trace)
             // First launches in the decay window pay the CC module
             // upload delta; the very first also carves a bounce
             // buffer and converts the staging window.
-            const int occurrence = first_seen[e.name]++;
+            if (e.label >= first_seen.size())
+                first_seen.resize(e.label + 1, 0);
+            const int occurrence = first_seen[e.label]++;
             if (occurrence < kFirstLaunchWindow) {
                 const Bytes module =
                     e.bytes > 0 ? e.bytes : kDefaultModuleBytes;

@@ -50,6 +50,20 @@ Context::Context(const SystemConfig &config)
     obs_launch_queue_depth_ =
         &obs_->gauge("runtime.launch_queue.depth");
 
+    // Fixed API event names, interned once so the per-call hot path
+    // never touches a string.
+    labels_.malloc_device = tracer_.intern("cudaMalloc");
+    labels_.malloc_host = tracer_.intern("cudaMallocHost");
+    labels_.malloc_managed = tracer_.intern("cudaMallocManaged");
+    labels_.free_buffer = tracer_.intern("cudaFree");
+    labels_.memcpy_plain = tracer_.intern("memcpy");
+    labels_.memcpy_managed = tracer_.intern("memcpy-managed");
+    labels_.mem_prefetch = tracer_.intern("memPrefetch");
+    labels_.memset_device = tracer_.intern("cudaMemset");
+    labels_.event_sync = tracer_.intern("cudaEventSynchronize");
+    labels_.stream_sync = tracer_.intern("cudaStreamSynchronize");
+    labels_.device_sync = tracer_.intern("cudaDeviceSynchronize");
+
     streams_.emplace_back();  // stream 0 = default stream
     if (config_.cc) {
         // Binding a CC-mode GPU to the TD: SPDM attestation and
@@ -102,8 +116,9 @@ Context::mallocDevice(Bytes bytes)
     host_now_ += deviceAllocCost(bytes, tdx_);
     Buffer buf{next_buffer_id_++, MemSpace::Device, bytes, 0};
     allocs_[buf.id] = {buf.space, bytes, 0};
-    tracer_.record({trace::EventKind::MallocDevice, "cudaMalloc",
-                    start, host_now_, -1, 0, bytes, 0, false});
+    tracer_.record({trace::EventKind::MallocDevice,
+                    labels_.malloc_device, start, host_now_, -1, 0,
+                    bytes, 0, false});
     return buf;
 }
 
@@ -115,8 +130,9 @@ Context::mallocHost(Bytes bytes)
     host_now_ += hostAllocCost(bytes, tdx_);
     Buffer buf{next_buffer_id_++, MemSpace::HostPinned, bytes, 0};
     allocs_[buf.id] = {buf.space, bytes, 0};
-    tracer_.record({trace::EventKind::MallocHost, "cudaMallocHost",
-                    start, host_now_, -1, 0, bytes, 0, false});
+    tracer_.record({trace::EventKind::MallocHost,
+                    labels_.malloc_host, start, host_now_, -1, 0,
+                    bytes, 0, false});
     return buf;
 }
 
@@ -130,7 +146,7 @@ Context::mallocManaged(Bytes bytes)
     Buffer buf{next_buffer_id_++, MemSpace::Managed, bytes, handle};
     allocs_[buf.id] = {buf.space, bytes, handle};
     tracer_.record({trace::EventKind::MallocManaged,
-                    "cudaMallocManaged", start, host_now_, -1, 0,
+                    labels_.malloc_managed, start, host_now_, -1, 0,
                     bytes, 0, false});
     return buf;
 }
@@ -168,8 +184,8 @@ Context::free(Buffer &buffer)
     } else {
         host_now_ += freeCost(info.bytes, tdx_);
     }
-    tracer_.record({trace::EventKind::Free, "cudaFree", start,
-                    host_now_, -1, 0, info.bytes, 0, false});
+    tracer_.record({trace::EventKind::Free, labels_.free_buffer,
+                    start, host_now_, -1, 0, info.bytes, 0, false});
     buffer.id = 0;
 }
 
@@ -258,7 +274,8 @@ Context::memcpyImpl(const Buffer &dst, const Buffer &src, Bytes bytes,
 
     trace::TraceEvent ev;
     ev.kind = kind;
-    ev.name = timing.encrypted_paging ? "memcpy-managed" : "memcpy";
+    ev.label = timing.encrypted_paging ? labels_.memcpy_managed
+                                       : labels_.memcpy_plain;
     ev.start = timing.total.start;
     ev.end = timing.total.end;
     ev.bytes = bytes;
@@ -318,7 +335,7 @@ Context::memPrefetch(const Buffer &buffer, bool to_device)
     trace::TraceEvent ev;
     ev.kind = timing.encrypted_paging ? trace::EventKind::MemcpyD2D
                                       : trace::EventKind::MemcpyH2D;
-    ev.name = "memPrefetch";
+    ev.label = labels_.mem_prefetch;
     ev.start = api_start;
     ev.end = host_now_;
     ev.bytes = missing;
@@ -331,7 +348,7 @@ Context::memPrefetch(const Buffer &buffer, bool to_device)
 SimTime
 Context::launchImpl(const gpu::KernelDesc &kernel, StreamState &stream)
 {
-    obs_api_launches_->add(1);
+    obs_api_launches_->bump(1);
     SimTime lqt = 0;
 
     // Dispatch gap between consecutive launches.
@@ -357,7 +374,8 @@ Context::launchImpl(const gpu::KernelDesc &kernel, StreamState &stream)
     }
 
     // The launch operation itself (KLO).
-    const int prior = kernel_launch_counts_[kernel.name]++;
+    const trace::LabelId klabel = tracer_.intern(kernel.name);
+    const int prior = launchCount(klabel)++;
     const SimTime klo = launchOverhead(
         prior, launch_index_++, kernel.module_bytes, tdx_, rng_);
     const SimTime launch_start = host_now_;
@@ -365,7 +383,7 @@ Context::launchImpl(const gpu::KernelDesc &kernel, StreamState &stream)
 
     trace::TraceEvent launch_ev;
     launch_ev.kind = trace::EventKind::Launch;
-    launch_ev.name = kernel.name;
+    launch_ev.label = klabel;
     launch_ev.start = launch_start;
     launch_ev.end = host_now_;
     launch_ev.stream = static_cast<int>(&stream - streams_.data());
@@ -374,7 +392,7 @@ Context::launchImpl(const gpu::KernelDesc &kernel, StreamState &stream)
     // CC projector uses it to price first-launch uploads.
     launch_ev.bytes = kernel.module_bytes > 0
         ? kernel.module_bytes : calib::kDefaultModuleBytes;
-    const auto corr = tracer_.record(std::move(launch_ev));
+    const auto corr = tracer_.record(launch_ev);
 
     // Device side.
     auto ctx = transferContext();
@@ -387,13 +405,13 @@ Context::launchImpl(const gpu::KernelDesc &kernel, StreamState &stream)
 
     trace::TraceEvent kernel_ev;
     kernel_ev.kind = trace::EventKind::Kernel;
-    kernel_ev.name = kernel.name;
+    kernel_ev.label = klabel;
     kernel_ev.start = sched.start;
     kernel_ev.end = sched.end;
     kernel_ev.stream = launch_ev.stream;
     kernel_ev.correlation = corr;
     kernel_ev.queue_wait = sched.kqt();
-    tracer_.record(std::move(kernel_ev));
+    tracer_.record(kernel_ev);
     return sched.end;
 }
 
@@ -432,7 +450,7 @@ Context::instantiateGraph(std::string name,
 void
 Context::launchGraph(const GraphExec &graph, const Stream &stream)
 {
-    obs_api_launches_->add(1);
+    obs_api_launches_->bump(1);
     auto &s = streamState(stream);
     SimTime lqt = 0;
     if (any_launch_) {
@@ -447,8 +465,9 @@ Context::launchGraph(const GraphExec &graph, const Stream &stream)
     Bytes module = 0;
     for (const auto &node : graph.nodes())
         module = std::max(module, node.module_bytes);
-    const int prior =
-        kernel_launch_counts_["graph:" + graph.name()]++;
+    const trace::LabelId gcount_label =
+        tracer_.intern("graph:" + graph.name());
+    const int prior = launchCount(gcount_label)++;
     const SimTime klo = launchOverhead(prior, launch_index_++, module,
                                        tdx_, rng_);
     const SimTime launch_start = host_now_;
@@ -456,14 +475,14 @@ Context::launchGraph(const GraphExec &graph, const Stream &stream)
 
     trace::TraceEvent launch_ev;
     launch_ev.kind = trace::EventKind::GraphLaunch;
-    launch_ev.name = graph.name();
+    launch_ev.label = tracer_.intern(graph.name());
     launch_ev.start = launch_start;
     launch_ev.end = host_now_;
     launch_ev.stream = stream.id();
     launch_ev.queue_wait = lqt;
     launch_ev.bytes =
         module > 0 ? module : calib::kDefaultModuleBytes;
-    const auto corr = tracer_.record(std::move(launch_ev));
+    const auto corr = tracer_.record(launch_ev);
 
     // The device dispatches nodes without further host involvement.
     auto ctx = transferContext();
@@ -479,13 +498,13 @@ Context::launchGraph(const GraphExec &graph, const Stream &stream)
 
         trace::TraceEvent kernel_ev;
         kernel_ev.kind = trace::EventKind::Kernel;
-        kernel_ev.name = node.name;
+        kernel_ev.label = tracer_.intern(node.name);
         kernel_ev.start = sched.start;
         kernel_ev.end = sched.end;
         kernel_ev.stream = stream.id();
         kernel_ev.correlation = corr;
         kernel_ev.queue_wait = sched.kqt();
-        tracer_.record(std::move(kernel_ev));
+        tracer_.record(kernel_ev);
     }
 }
 
@@ -522,7 +541,7 @@ Context::memsetDevice(const Buffer &buffer, Bytes bytes)
 
     trace::TraceEvent ev;
     ev.kind = trace::EventKind::MemcpyD2D;
-    ev.name = "cudaMemset";
+    ev.label = labels_.memset_device;
     ev.start = timing.total.start;
     ev.end = timing.total.end;
     ev.bytes = bytes;
@@ -571,7 +590,7 @@ Context::eventSynchronize(const Event &event)
     const SimTime start = host_now_;
     host_now_ = std::max(host_now_, event.when_);
     host_now_ += calib::kSyncApiCost;
-    tracer_.record({trace::EventKind::Sync, "cudaEventSynchronize",
+    tracer_.record({trace::EventKind::Sync, labels_.event_sync,
                     start, host_now_, -1, 0, 0, 0, false});
 }
 
@@ -586,7 +605,7 @@ Context::streamSynchronize(const Stream &stream)
     host_now_ = std::max(host_now_, s.device_ready);
     host_now_ += calib::kSyncApiCost;
     s.pending.clear();
-    tracer_.record({trace::EventKind::Sync, "cudaStreamSynchronize",
+    tracer_.record({trace::EventKind::Sync, labels_.stream_sync,
                     start, host_now_, stream.id(), 0, 0, 0, false});
 }
 
@@ -601,7 +620,7 @@ Context::deviceSynchronize()
         s.pending.clear();
     }
     host_now_ = target + calib::kSyncApiCost;
-    tracer_.record({trace::EventKind::Sync, "cudaDeviceSynchronize",
+    tracer_.record({trace::EventKind::Sync, labels_.device_sync,
                     start, host_now_, -1, 0, 0, 0, false});
 }
 

@@ -285,8 +285,37 @@ class Context
     std::uint64_t next_graph_id_ = 1;
     std::uint64_t next_event_id_ = 1;
     std::uint64_t next_event_seq_ = 1;
-    /** Launches seen per kernel symbol (first-launch extras). */
-    std::map<std::string, int> kernel_launch_counts_;
+    /** Pre-interned labels for the fixed API event names. */
+    struct ApiLabels
+    {
+        trace::LabelId malloc_device;
+        trace::LabelId malloc_host;
+        trace::LabelId malloc_managed;
+        trace::LabelId free_buffer;
+        trace::LabelId memcpy_plain;
+        trace::LabelId memcpy_managed;
+        trace::LabelId mem_prefetch;
+        trace::LabelId memset_device;
+        trace::LabelId event_sync;
+        trace::LabelId stream_sync;
+        trace::LabelId device_sync;
+    };
+    ApiLabels labels_{};
+
+    /**
+     * Launches seen per kernel symbol (first-launch extras), indexed
+     * by the symbol's interned trace label.
+     */
+    std::vector<int> kernel_launch_counts_;
+
+    /** kernel_launch_counts_ slot for @p label, grown on demand. */
+    int &
+    launchCount(trace::LabelId label)
+    {
+        if (label >= kernel_launch_counts_.size())
+            kernel_launch_counts_.resize(label + 1, 0);
+        return kernel_launch_counts_[label];
+    }
     /** Global launch ordinal (doorbell batching). */
     int launch_index_ = 0;
     /** Whether any launch happened yet (inter-launch gap). */

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Slab arena backing the event queue's callback states.
+ *
+ * Callbacks too large (or not trivially copyable, hence unsafe to
+ * byte-move inside the heap) to live inline in an event-queue entry
+ * get their state here instead of on the global heap: allocation is
+ * a size-class free-list pop or a bump of the current 64 KiB slab,
+ * and reset() rewinds the arena without returning slabs to the OS,
+ * so steady-state scheduling never calls malloc.
+ */
+
+#ifndef HCC_SIM_EVENT_ARENA_HPP
+#define HCC_SIM_EVENT_ARENA_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace hcc::sim {
+
+/**
+ * Bump-pointer slab allocator with 64-byte size-class free lists.
+ * Not thread-safe (one arena per queue, one queue per context).
+ */
+class EventArena
+{
+  public:
+    /** Bytes per slab. */
+    static constexpr std::size_t kSlabBytes = 64 * 1024;
+    /** Allocation granule; also every block's alignment. */
+    static constexpr std::size_t kGranule = 64;
+
+    EventArena() = default;
+    EventArena(const EventArena &) = delete;
+    EventArena &operator=(const EventArena &) = delete;
+
+    /**
+     * A block of at least @p bytes, aligned to kGranule.  @p bytes
+     * must not exceed kSlabBytes.
+     */
+    void *
+    allocate(std::size_t bytes)
+    {
+        HCC_ASSERT(bytes > 0 && bytes <= kSlabBytes,
+                   "arena block out of range");
+        const std::size_t cls = sizeClass(bytes);
+        if (cls < free_lists_.size() && free_lists_[cls] != nullptr) {
+            FreeNode *node = free_lists_[cls];
+            free_lists_[cls] = node->next;
+            ++live_blocks_;
+            return node;
+        }
+        const std::size_t block = cls * kGranule;
+        while (active_ < slabs_.size()
+               && kSlabBytes - cursor_ < block) {
+            ++active_;
+            cursor_ = 0;
+        }
+        if (active_ == slabs_.size()) {
+            slabs_.push_back(
+                std::make_unique<unsigned char[]>(kSlabBytes
+                                                  + kGranule));
+            cursor_ = 0;
+        }
+        void *p = slabBase(active_) + cursor_;
+        cursor_ += block;
+        ++live_blocks_;
+        return p;
+    }
+
+    /** Return a block to its size-class free list. */
+    void
+    deallocate(void *p, std::size_t bytes)
+    {
+        const std::size_t cls = sizeClass(bytes);
+        if (cls >= free_lists_.size())
+            free_lists_.resize(cls + 1, nullptr);
+        auto *node = static_cast<FreeNode *>(p);
+        node->next = free_lists_[cls];
+        free_lists_[cls] = node;
+        HCC_ASSERT(live_blocks_ > 0, "arena double free");
+        --live_blocks_;
+    }
+
+    /** Rewind to empty, keeping every slab for reuse. */
+    void
+    reset()
+    {
+        free_lists_.clear();
+        active_ = 0;
+        cursor_ = 0;
+        live_blocks_ = 0;
+    }
+
+    /** Slabs ever allocated (never shrinks until destruction). */
+    std::size_t slabCount() const { return slabs_.size(); }
+    /** Blocks currently handed out. */
+    std::size_t liveBlocks() const { return live_blocks_; }
+
+  private:
+    struct FreeNode
+    {
+        FreeNode *next;
+    };
+
+    static std::size_t
+    sizeClass(std::size_t bytes)
+    {
+        // At least one granule so a freed block can hold a FreeNode.
+        return (bytes + kGranule - 1) / kGranule;
+    }
+
+    unsigned char *
+    slabBase(std::size_t slab) const
+    {
+        // Round the slab's storage up to the granule so every block
+        // is kGranule-aligned (the slab over-allocates one granule).
+        auto addr =
+            reinterpret_cast<std::uintptr_t>(slabs_[slab].get());
+        addr = (addr + kGranule - 1) & ~(kGranule - 1);
+        return reinterpret_cast<unsigned char *>(addr);
+    }
+
+    std::vector<std::unique_ptr<unsigned char[]>> slabs_;
+    /** Slab the bump cursor lives in. */
+    std::size_t active_ = 0;
+    /** Bump offset within the active slab. */
+    std::size_t cursor_ = 0;
+    /** Intrusive free list heads, indexed by size class. */
+    std::vector<FreeNode *> free_lists_;
+    std::size_t live_blocks_ = 0;
+};
+
+} // namespace hcc::sim
+
+#endif // HCC_SIM_EVENT_ARENA_HPP

@@ -1,26 +1,49 @@
 #include "sim/event_queue.hpp"
 
-#include <utility>
-
 #include "common/log.hpp"
 
 namespace hcc::sim {
 
 void
-EventQueue::schedule(SimTime when, EventFn fn)
+EventQueue::push(const Entry &entry)
 {
-    HCC_ASSERT(when >= now_, "event scheduled in the past");
-    heap_.push(Entry{when, seq_++, std::move(fn)});
-    if (obs_scheduled_) {
-        obs_scheduled_->add(1);
-        sampleDepth(now_);
+    heap_.push_back(entry);
+    // Sift up.
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!before(heap_[i], heap_[parent]))
+            break;
+        std::swap(heap_[i], heap_[parent]);
+        i = parent;
     }
 }
 
-SimTime
-EventQueue::nextTime() const
+void
+EventQueue::popTop()
 {
-    return heap_.empty() ? -1 : heap_.top().when;
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (heap_.empty())
+        return;
+    // Sift down.
+    const std::size_t n = heap_.size();
+    std::size_t i = 0;
+    for (;;) {
+        const std::size_t left = 2 * i + 1;
+        if (left >= n)
+            break;
+        const std::size_t right = left + 1;
+        std::size_t smallest = i;
+        if (before(heap_[left], heap_[smallest]))
+            smallest = left;
+        if (right < n && before(heap_[right], heap_[smallest]))
+            smallest = right;
+        if (smallest == i)
+            break;
+        std::swap(heap_[i], heap_[smallest]);
+        i = smallest;
+    }
 }
 
 std::size_t
@@ -28,16 +51,18 @@ EventQueue::runUntil(SimTime until)
 {
     obs::ProfileScope profile(obs_, "event_queue_run");
     std::size_t executed = 0;
-    while (!heap_.empty() && heap_.top().when <= until) {
+    while (!heap_.empty() && heap_.front().when <= until) {
         // Copy out before popping: the callback may schedule more.
-        Entry e = heap_.top();
-        heap_.pop();
+        Entry e = heap_.front();
+        popTop();
         now_ = e.when;
         if (obs_executed_) {
-            obs_executed_->add(1);
+            obs_executed_->bump(1);
             sampleDepth(now_);
         }
-        e.fn(now_);
+        e.invoke(e.statePtr(), now_);
+        if (e.destroy != nullptr)
+            e.destroy(arena_, e.state);
         ++executed;
     }
     if (until > now_)
@@ -51,23 +76,36 @@ EventQueue::runAll()
     obs::ProfileScope profile(obs_, "event_queue_run");
     std::size_t executed = 0;
     while (!heap_.empty()) {
-        Entry e = heap_.top();
-        heap_.pop();
+        Entry e = heap_.front();
+        popTop();
         now_ = e.when;
         if (obs_executed_) {
-            obs_executed_->add(1);
+            obs_executed_->bump(1);
             sampleDepth(now_);
         }
-        e.fn(now_);
+        e.invoke(e.statePtr(), now_);
+        if (e.destroy != nullptr)
+            e.destroy(arena_, e.state);
         ++executed;
     }
     return executed;
 }
 
 void
+EventQueue::destroyPending()
+{
+    for (auto &e : heap_) {
+        if (e.destroy != nullptr)
+            e.destroy(arena_, e.state);
+    }
+}
+
+void
 EventQueue::reset()
 {
-    heap_ = {};
+    destroyPending();
+    heap_.clear();
+    arena_.reset();
     seq_ = 0;
     now_ = 0;
 }

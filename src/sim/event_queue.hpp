@@ -7,35 +7,93 @@
  * asynchronous stream completions, overlap accounting, and deferred
  * UVM fault servicing.  This queue provides deterministic ordering:
  * ties are broken by insertion sequence number.
+ *
+ * Hot-path design (docs/PERF.md): entries hold their callback inline
+ * (small-buffer optimization) when the capture is trivially copyable
+ * and fits kInlineBytes; larger or non-trivial captures live in a
+ * per-queue slab arena (event_arena.hpp).  Either way scheduling an
+ * event performs no per-event heap allocation, and the hand-rolled
+ * binary heap moves plain trivially-copyable entries instead of
+ * copying std::function objects.
  */
 
 #ifndef HCC_SIM_EVENT_QUEUE_HPP
 #define HCC_SIM_EVENT_QUEUE_HPP
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
 #include "obs/registry.hpp"
+#include "sim/event_arena.hpp"
 
 namespace hcc::sim {
 
-/** Callback invoked when its scheduled time is reached. */
-using EventFn = std::function<void(SimTime now)>;
-
 /**
- * Deterministic min-heap event queue.
+ * Deterministic min-heap event queue over arena-backed callbacks.
  */
 class EventQueue
 {
   public:
-    /** Schedule @p fn at absolute time @p when. */
-    void schedule(SimTime when, EventFn fn);
+    /** Captures up to this many bytes are stored inline. */
+    static constexpr std::size_t kInlineBytes = 48;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+    ~EventQueue() { destroyPending(); }
+
+    /**
+     * Schedule callable @p fn (invoked as fn(SimTime now)) at
+     * absolute time @p when.
+     */
+    template <typename F>
+    void
+    schedule(SimTime when, F &&fn)
+    {
+        HCC_ASSERT(when >= now_, "event scheduled in the past");
+        using Fn = std::decay_t<F>;
+        static_assert(alignof(Fn) <= EventArena::kGranule,
+                      "over-aligned event callback");
+        Entry e;
+        e.when = when;
+        e.seq = seq_++;
+        e.invoke = [](void *state, SimTime now) {
+            (*static_cast<Fn *>(state))(now);
+        };
+        if constexpr (std::is_trivially_copyable_v<Fn>
+                      && sizeof(Fn) <= kInlineBytes
+                      && alignof(Fn) <= alignof(std::max_align_t)) {
+            e.state = nullptr;
+            e.destroy = nullptr;
+            ::new (static_cast<void *>(e.inline_buf))
+                Fn(std::forward<F>(fn));
+        } else {
+            void *mem = arena_.allocate(sizeof(Fn));
+            ::new (mem) Fn(std::forward<F>(fn));
+            e.state = mem;
+            e.destroy = [](EventArena &arena, void *state) {
+                static_cast<Fn *>(state)->~Fn();
+                arena.deallocate(state, sizeof(Fn));
+            };
+        }
+        push(e);
+        if (obs_scheduled_) {
+            obs_scheduled_->bump(1);
+            sampleDepth(now_);
+        }
+    }
 
     /** Time of the earliest pending event; -1 if empty. */
-    SimTime nextTime() const;
+    SimTime
+    nextTime() const
+    {
+        return heap_.empty() ? -1 : heap_.front().when;
+    }
 
     bool empty() const { return heap_.empty(); }
     std::size_t pending() const { return heap_.size(); }
@@ -52,7 +110,7 @@ class EventQueue
     /** Execute everything. @return number of events executed. */
     std::size_t runAll();
 
-    /** Drop all pending events and reset the clock. */
+    /** Drop all pending events, reset the clock, rewind the arena. */
     void reset();
 
     /**
@@ -62,7 +120,56 @@ class EventQueue
      */
     void attachObs(obs::Registry *obs);
 
+    /** Arena slabs allocated so far (introspection for tests). */
+    std::size_t arenaSlabs() const { return arena_.slabCount(); }
+    /** Arena-resident callback states (inline captures excluded). */
+    std::size_t arenaLiveBlocks() const
+    {
+        return arena_.liveBlocks();
+    }
+
   private:
+    /**
+     * One scheduled event.  Trivially copyable by construction: the
+     * inline buffer only ever holds trivially copyable captures, so
+     * heap moves are plain byte copies.
+     */
+    struct Entry
+    {
+        SimTime when;
+        std::uint64_t seq;
+        void (*invoke)(void *state, SimTime now);
+        /** Non-null only for arena-backed states. */
+        void (*destroy)(EventArena &arena, void *state);
+        /** Arena block, or nullptr when the capture is inline. */
+        void *state;
+        alignas(std::max_align_t) unsigned char
+            inline_buf[kInlineBytes];
+
+        void *
+        statePtr()
+        {
+            return state != nullptr ? state
+                                    : static_cast<void *>(inline_buf);
+        }
+    };
+    static_assert(std::is_trivially_copyable_v<Entry>);
+
+    /** Min-heap order: earliest time first, FIFO within a tie. */
+    static bool
+    before(const Entry &a, const Entry &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    void push(const Entry &entry);
+    /** Remove the root (heap_ must not be empty). */
+    void popTop();
+    /** Run destructors of all pending arena-backed callbacks. */
+    void destroyPending();
+
     /** Record the current depth as a gauge sample at @p when. */
     void sampleDepth(SimTime when);
 
@@ -71,25 +178,8 @@ class EventQueue
     obs::Counter *obs_executed_ = nullptr;
     obs::Gauge *obs_depth_ = nullptr;
 
-    struct Entry
-    {
-        SimTime when;
-        std::uint64_t seq;
-        EventFn fn;
-    };
-
-    struct Later
-    {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
-
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::vector<Entry> heap_;
+    EventArena arena_;
     std::uint64_t seq_ = 0;
     SimTime now_ = 0;
 };

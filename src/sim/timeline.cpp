@@ -11,27 +11,6 @@ Timeline::Timeline(std::string name)
     : name_(std::move(name))
 {}
 
-Interval
-Timeline::reserve(SimTime ready, SimTime duration)
-{
-    HCC_ASSERT(ready >= 0, "reservation in negative time");
-    HCC_ASSERT(duration >= 0, "negative duration");
-    Interval iv;
-    iv.start = std::max(ready, free_at_);
-    iv.end = iv.start + duration;
-    queuing_ += iv.start - ready;
-    busy_ += duration;
-    free_at_ = iv.end;
-    ++count_;
-    if (obs_reservations_) {
-        obs_reservations_->add(1);
-        obs_busy_ps_->add(static_cast<std::uint64_t>(duration));
-        obs_queuing_ps_->add(
-            static_cast<std::uint64_t>(iv.start - ready));
-    }
-    return iv;
-}
-
 void
 Timeline::attachObs(obs::Registry *obs, const std::string &prefix)
 {
@@ -60,38 +39,6 @@ TimelinePool::TimelinePool(std::string name, int members)
     members_.reserve(static_cast<std::size_t>(members));
     for (int i = 0; i < members; ++i)
         members_.emplace_back(name_ + "[" + std::to_string(i) + "]");
-}
-
-Interval
-TimelinePool::reserve(SimTime ready, SimTime duration)
-{
-    int member = 0;
-    return reserve(ready, duration, member);
-}
-
-Interval
-TimelinePool::reserve(SimTime ready, SimTime duration, int &member)
-{
-    // Pick the member that can *start* the work earliest, not the one
-    // with the smallest freeAt(): several members free before `ready`
-    // all start at `ready`, and minimizing freeAt() alone parked every
-    // such reservation on the lowest-index member, skewing per-member
-    // busy/queuing stats.  Ties rotate round-robin from the cursor so
-    // equally-idle members share the load.
-    SimTime best_start = std::numeric_limits<SimTime>::max();
-    for (const auto &m : members_)
-        best_start = std::min(best_start, std::max(ready, m.freeAt()));
-    std::size_t pick = 0;
-    for (std::size_t k = 0; k < members_.size(); ++k) {
-        const std::size_t i = (rr_cursor_ + k) % members_.size();
-        if (std::max(ready, members_[i].freeAt()) == best_start) {
-            pick = i;
-            break;
-        }
-    }
-    rr_cursor_ = (pick + 1) % members_.size();
-    member = static_cast<int>(pick);
-    return members_[pick].reserve(ready, duration);
 }
 
 void

@@ -13,9 +13,12 @@
 #ifndef HCC_SIM_TIMELINE_HPP
 #define HCC_SIM_TIMELINE_HPP
 
+#include <algorithm>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/units.hpp"
 #include "obs/registry.hpp"
 
@@ -44,7 +47,26 @@ class Timeline
      * @return the granted interval; the implied queuing delay is
      *         interval.start - ready.
      */
-    Interval reserve(SimTime ready, SimTime duration);
+    Interval
+    reserve(SimTime ready, SimTime duration)
+    {
+        HCC_ASSERT(ready >= 0, "reservation in negative time");
+        HCC_ASSERT(duration >= 0, "negative duration");
+        Interval iv;
+        iv.start = std::max(ready, free_at_);
+        iv.end = iv.start + duration;
+        queuing_ += iv.start - ready;
+        busy_ += duration;
+        free_at_ = iv.end;
+        ++count_;
+        if (obs_reservations_) {
+            obs_reservations_->bump(1);
+            obs_busy_ps_->bump(static_cast<std::uint64_t>(duration));
+            obs_queuing_ps_->bump(
+                static_cast<std::uint64_t>(iv.start - ready));
+        }
+        return iv;
+    }
 
     /** Earliest time a new reservation could start. */
     SimTime freeAt() const { return free_at_; }
@@ -93,10 +115,57 @@ class TimelinePool
     TimelinePool(std::string name, int members);
 
     /** Reserve on the earliest-available member. */
-    Interval reserve(SimTime ready, SimTime duration);
+    Interval reserve(SimTime ready, SimTime duration)
+    {
+        int member = 0;
+        return reserve(ready, duration, member);
+    }
 
     /** Reserve and report which member served it. */
-    Interval reserve(SimTime ready, SimTime duration, int &member);
+    Interval
+    reserve(SimTime ready, SimTime duration, int &member)
+    {
+        // Pick the member that can *start* the work earliest, not the
+        // one with the smallest freeAt(): several members free before
+        // `ready` all start at `ready`, and minimizing freeAt() alone
+        // parked every such reservation on the lowest-index member,
+        // skewing per-member busy/queuing stats.  Ties rotate
+        // round-robin from the cursor so equally-idle members share
+        // the load.
+        SimTime best_start = std::numeric_limits<SimTime>::max();
+        for (const auto &m : members_) {
+            const SimTime start = std::max(ready, m.freeAt());
+            if (start < best_start) {
+                best_start = start;
+                if (best_start == ready)
+                    break;  // can't start any earlier than `ready`
+            }
+        }
+        // Scan from the cursor, wrapping once — same pick as a
+        // modular walk, without a division per step.
+        const std::size_t n = members_.size();
+        std::size_t pick = 0;
+        bool found = false;
+        for (std::size_t i = rr_cursor_; i < n; ++i) {
+            if (std::max(ready, members_[i].freeAt()) == best_start) {
+                pick = i;
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            for (std::size_t i = 0; i < rr_cursor_; ++i) {
+                if (std::max(ready, members_[i].freeAt())
+                    == best_start) {
+                    pick = i;
+                    break;
+                }
+            }
+        }
+        rr_cursor_ = pick + 1 == n ? 0 : pick + 1;
+        member = static_cast<int>(pick);
+        return members_[pick].reserve(ready, duration);
+    }
 
     /** Attach every member's counters under one shared @p prefix. */
     void attachObs(obs::Registry *obs, const std::string &prefix);

@@ -104,8 +104,8 @@ class TdxModule
         add(std::uint64_t n, SimTime t)
         {
             if (count) {
-                count->add(n);
-                time_ps->add(static_cast<std::uint64_t>(t));
+                count->bump(n);
+                time_ps->bump(static_cast<std::uint64_t>(t));
             }
         }
     };

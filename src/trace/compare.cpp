@@ -83,7 +83,7 @@ compareTraces(const Tracer &a, const Tracer &b, std::size_t top_n)
         for (std::size_t i = 0; i < aligned; ++i) {
             EventDelta ed;
             ed.kind = kind;
-            ed.name = eb[i].name;
+            ed.name = std::string(b.labelName(eb[i].label));
             ed.index = i;
             ed.duration_a = ea[i].duration();
             ed.duration_b = eb[i].duration();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 #include <vector>
 
 namespace hcc::trace {
@@ -11,7 +12,7 @@ namespace {
 
 /** JSON-escape a label (our names are simple, but be safe). */
 std::string
-jsonEscape(const std::string &s)
+jsonEscape(std::string_view s)
 {
     std::string out;
     out.reserve(s.size());
@@ -92,7 +93,7 @@ exportChromeTrace(const Tracer &tracer, std::ostream &os,
         const bool host = isHostSide(e.kind);
         const int pid = host ? 1 : 2;
         const int tid = host ? 0 : (e.stream < 0 ? 0 : e.stream);
-        os << "  {\"name\": \"" << jsonEscape(e.name) << "\", "
+        os << "  {\"name\": \"" << jsonEscape(tracer.name(e)) << "\", "
            << "\"cat\": \"" << eventKindName(e.kind) << "\", "
            << "\"ph\": \"X\", "
            << "\"ts\": " << time::toUs(e.start) << ", "
@@ -125,10 +126,10 @@ namespace {
  * with embedded quotes doubled.
  */
 std::string
-csvField(const std::string &field)
+csvField(std::string_view field)
 {
-    if (field.find_first_of(",\"\r\n") == std::string::npos)
-        return field;
+    if (field.find_first_of(",\"\r\n") == std::string_view::npos)
+        return std::string(field);
     std::string out;
     out.reserve(field.size() + 2);
     out += '"';
@@ -149,7 +150,8 @@ exportCsv(const Tracer &tracer, std::ostream &os)
     os << "kind,name,start_us,end_us,duration_us,stream,"
           "correlation,bytes,queue_wait_us,encrypted_paging\n";
     for (const auto &e : tracer.events()) {
-        os << eventKindName(e.kind) << ',' << csvField(e.name) << ','
+        os << eventKindName(e.kind) << ','
+           << csvField(tracer.name(e)) << ','
            << time::toUs(e.start) << ',' << time::toUs(e.end) << ','
            << time::toUs(e.duration()) << ',' << e.stream << ','
            << e.correlation << ',' << e.bytes << ','

@@ -6,7 +6,7 @@
 
 namespace hcc::trace {
 
-std::string
+std::string_view
 eventKindName(EventKind kind)
 {
     switch (kind) {
@@ -25,57 +25,86 @@ eventKindName(EventKind kind)
     return "?";
 }
 
-std::uint64_t
-Tracer::record(TraceEvent event)
+Tracer::Tracer()
 {
-    HCC_ASSERT(event.end >= event.start, "event ends before it starts");
-    if (event.correlation == 0)
-        event.correlation = next_correlation_++;
-    else
-        next_correlation_ = std::max(next_correlation_,
-                                     event.correlation + 1);
-    const std::uint64_t id = event.correlation;
-    events_.push_back(std::move(event));
-    return id;
+    names_.emplace_back();
+    index_.emplace(std::string_view(names_.front()), LabelId{0});
+}
+
+Tracer::Tracer(const Tracer &other)
+    : chunks_(other.chunks_),
+      size_(other.size_),
+      min_start_(other.min_start_),
+      max_end_(other.max_end_),
+      next_correlation_(other.next_correlation_),
+      names_(other.names_)
+{
+    // The string_view keys of index_ must point into *our* copy of
+    // the label storage, not the source's, so rebuild rather than
+    // copy the map.
+    index_.reserve(names_.size());
+    for (std::size_t id = 0; id < names_.size(); ++id) {
+        index_.emplace(std::string_view(names_[id]),
+                       static_cast<LabelId>(id));
+    }
+}
+
+Tracer &
+Tracer::operator=(const Tracer &other)
+{
+    if (this != &other) {
+        Tracer tmp(other);
+        *this = std::move(tmp);
+    }
+    return *this;
+}
+
+LabelId
+Tracer::internSlow(std::string_view name)
+{
+    const auto it = index_.find(name);
+    if (it != index_.end())
+        return last_interned_ = it->second;
+    const auto id = static_cast<LabelId>(names_.size());
+    names_.emplace_back(name);
+    index_.emplace(std::string_view(names_.back()), id);
+    return last_interned_ = id;
+}
+
+void
+Tracer::addChunk()
+{
+    chunks_.emplace_back();
+    chunks_.back().reserve(kChunkEvents);
+}
+
+std::string_view
+Tracer::labelName(LabelId id) const
+{
+    HCC_ASSERT(id < names_.size(), "unknown trace label id");
+    return names_[id];
 }
 
 std::vector<TraceEvent>
 Tracer::ofKind(EventKind kind) const
 {
     std::vector<TraceEvent> out;
-    for (const auto &e : events_) {
-        if (e.kind == kind)
-            out.push_back(e);
+    for (const auto &chunk : chunks_) {
+        for (const auto &e : chunk) {
+            if (e.kind == kind)
+                out.push_back(e);
+        }
     }
     return out;
-}
-
-SimTime
-Tracer::firstStart() const
-{
-    if (events_.empty())
-        return 0;
-    SimTime t = events_.front().start;
-    for (const auto &e : events_)
-        t = std::min(t, e.start);
-    return t;
-}
-
-SimTime
-Tracer::lastEnd() const
-{
-    if (events_.empty())
-        return 0;
-    SimTime t = events_.front().end;
-    for (const auto &e : events_)
-        t = std::max(t, e.end);
-    return t;
 }
 
 void
 Tracer::clear()
 {
-    events_.clear();
+    chunks_.clear();
+    size_ = 0;
+    min_start_ = 0;
+    max_end_ = 0;
     next_correlation_ = 1;
 }
 

@@ -7,15 +7,28 @@
  * metrics — KLO, LQT, KQT, KET, copy/alloc breakdowns and CDFs —
  * from these traces, exactly as the paper derives them from Nsight
  * reports.
+ *
+ * Hot-path design (docs/PERF.md): a large cell records millions of
+ * events, so TraceEvent is a trivially copyable record carrying a
+ * 32-bit interned label id instead of an owning std::string, and the
+ * Tracer stores events in fixed-size chunk pages instead of one
+ * reallocating vector.  Label strings live in a per-run intern table
+ * owned by the Tracer; resolve ids with labelName().
  */
 
 #ifndef HCC_TRACE_TRACER_HPP
 #define HCC_TRACE_TRACER_HPP
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/units.hpp"
 
 namespace hcc::trace {
@@ -36,15 +49,18 @@ enum class EventKind
     GraphLaunch,   //!< cudaGraphLaunch batch submission
 };
 
-/** Printable kind name. */
-std::string eventKindName(EventKind kind);
+/** Printable kind name (view into static storage). */
+std::string_view eventKindName(EventKind kind);
 
-/** One traced event. */
+/** Id of an interned label string (see Tracer::intern). */
+using LabelId = std::uint32_t;
+
+/** One traced event.  Trivially copyable; labels are interned. */
 struct TraceEvent
 {
     EventKind kind = EventKind::Launch;
-    /** Kernel or API label. */
-    std::string name;
+    /** Kernel or API label, interned in the owning Tracer (0: ""). */
+    LabelId label = 0;
     SimTime start = 0;
     SimTime end = 0;
     /** Stream the event belongs to (-1: none). */
@@ -66,32 +82,198 @@ struct TraceEvent
 
 /**
  * Append-only event sink for one application run.
+ *
+ * Events are stored in pages of kChunkEvents so recording never
+ * relocates previously recorded events; events() returns a
+ * lightweight forward view over the pages (random access via
+ * operator[] stays O(1) because every page except the last is full).
  */
 class Tracer
 {
   public:
-    /** Record an event; returns its correlation id. */
-    std::uint64_t record(TraceEvent event);
+    /** Events per storage page. */
+    static constexpr std::size_t kChunkEvents = 4096;
 
-    const std::vector<TraceEvent> &events() const { return events_; }
-    bool empty() const { return events_.empty(); }
-    std::size_t size() const { return events_.size(); }
+    Tracer();
+    Tracer(const Tracer &other);
+    Tracer &operator=(const Tracer &other);
+    Tracer(Tracer &&other) noexcept = default;
+    Tracer &operator=(Tracer &&other) noexcept = default;
 
-    /** All events of one kind, in record order. */
+    /**
+     * Intern @p name, returning its stable id.  The same string
+     * always maps to the same id within one Tracer; "" is id 0.
+     * Re-interning the most recently queried label (the common case:
+     * one kernel launched in a loop) skips the hash lookup.
+     */
+    LabelId
+    intern(std::string_view name)
+    {
+        if (name == std::string_view(names_[last_interned_]))
+            return last_interned_;
+        return internSlow(name);
+    }
+
+    /** The string for an interned id (fatal on unknown ids). */
+    std::string_view labelName(LabelId id) const;
+
+    /** Convenience: the label string of @p event. */
+    std::string_view name(const TraceEvent &event) const
+    {
+        return labelName(event.label);
+    }
+
+    /** Record an event (label pre-set); returns its correlation id. */
+    std::uint64_t
+    record(TraceEvent event)
+    {
+        HCC_ASSERT(event.end >= event.start,
+                   "event ends before it starts");
+        if (event.correlation == 0)
+            event.correlation = next_correlation_++;
+        else
+            next_correlation_ = std::max(next_correlation_,
+                                         event.correlation + 1);
+        if (chunks_.empty()
+            || chunks_.back().size() == kChunkEvents)
+            addChunk();
+        if (size_ == 0) {
+            min_start_ = event.start;
+            max_end_ = event.end;
+        } else {
+            min_start_ = std::min(min_start_, event.start);
+            max_end_ = std::max(max_end_, event.end);
+        }
+        ++size_;
+        chunks_.back().push_back(event);
+        return event.correlation;
+    }
+
+    /** Record an event, interning @p name as its label. */
+    std::uint64_t
+    record(TraceEvent event, std::string_view name)
+    {
+        event.label = intern(name);
+        return record(event);
+    }
+
+    /** Forward iterator over the chunked event pages. */
+    class EventIterator
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = TraceEvent;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const TraceEvent *;
+        using reference = const TraceEvent &;
+
+        EventIterator() = default;
+        EventIterator(const std::vector<std::vector<TraceEvent>> *chunks,
+                      std::size_t chunk, std::size_t pos)
+            : chunks_(chunks), chunk_(chunk), pos_(pos)
+        {
+        }
+
+        reference operator*() const { return (*chunks_)[chunk_][pos_]; }
+        pointer operator->() const { return &**this; }
+
+        EventIterator &
+        operator++()
+        {
+            if (++pos_ == (*chunks_)[chunk_].size()) {
+                ++chunk_;
+                pos_ = 0;
+            }
+            return *this;
+        }
+
+        EventIterator
+        operator++(int)
+        {
+            EventIterator tmp = *this;
+            ++*this;
+            return tmp;
+        }
+
+        bool
+        operator==(const EventIterator &other) const
+        {
+            return chunk_ == other.chunk_ && pos_ == other.pos_;
+        }
+        bool
+        operator!=(const EventIterator &other) const
+        {
+            return !(*this == other);
+        }
+
+      private:
+        const std::vector<std::vector<TraceEvent>> *chunks_ = nullptr;
+        std::size_t chunk_ = 0;
+        std::size_t pos_ = 0;
+    };
+
+    /** Non-owning view over all recorded events, in record order. */
+    class EventView
+    {
+      public:
+        explicit EventView(const Tracer &tracer) : tracer_(&tracer) {}
+
+        EventIterator
+        begin() const
+        {
+            return {&tracer_->chunks_, 0, 0};
+        }
+        EventIterator
+        end() const
+        {
+            return {&tracer_->chunks_, tracer_->chunks_.size(), 0};
+        }
+
+        std::size_t size() const { return tracer_->size(); }
+        bool empty() const { return tracer_->empty(); }
+
+        const TraceEvent &
+        operator[](std::size_t i) const
+        {
+            return tracer_->chunks_[i / kChunkEvents][i % kChunkEvents];
+        }
+
+      private:
+        const Tracer *tracer_;
+    };
+
+    EventView events() const { return EventView(*this); }
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    /** All events of one kind, in record order (materialized). */
     std::vector<TraceEvent> ofKind(EventKind kind) const;
 
     /** Earliest start over all events (0 if empty). */
-    SimTime firstStart() const;
+    SimTime firstStart() const { return size_ ? min_start_ : 0; }
     /** Latest end over all events (0 if empty). */
-    SimTime lastEnd() const;
+    SimTime lastEnd() const { return size_ ? max_end_ : 0; }
     /** lastEnd - firstStart. */
     SimTime span() const { return lastEnd() - firstStart(); }
 
+    /** Drop all events (interned labels stay valid). */
     void clear();
 
   private:
-    std::vector<TraceEvent> events_;
+    LabelId internSlow(std::string_view name);
+    void addChunk();
+
+    std::vector<std::vector<TraceEvent>> chunks_;
+    std::size_t size_ = 0;
+    SimTime min_start_ = 0;
+    SimTime max_end_ = 0;
     std::uint64_t next_correlation_ = 1;
+    /** Label storage; deque keeps element addresses stable. */
+    std::deque<std::string> names_;
+    /** Views into names_ -> id.  Rebuilt on copy. */
+    std::unordered_map<std::string_view, LabelId> index_;
+    /** Id whose name matched the last intern() query. */
+    LabelId last_interned_ = 0;
 };
 
 } // namespace hcc::trace

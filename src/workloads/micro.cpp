@@ -39,7 +39,7 @@ runLaunchIndexMicro(bool cc, int n, std::uint64_t seed)
     LaunchIndexResult result;
     for (const auto &e :
          ctx.tracer().ofKind(trace::EventKind::Launch)) {
-        if (e.name == "sleep_k0")
+        if (ctx.tracer().labelName(e.label) == "sleep_k0")
             result.k0_klo.push_back(e.duration());
         else
             result.k1_klo.push_back(e.duration());

@@ -1,6 +1,7 @@
 #include "workloads/workload.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/log.hpp"
 
@@ -76,9 +77,25 @@ runWorkload(const Workload &workload, const rt::SystemConfig &config,
               workload.name().c_str());
     }
     rt::Context ctx(config);
+    const auto wall_start = std::chrono::steady_clock::now();
     {
         obs::ProfileScope profile(&ctx.obs(), "workload_run");
         workload.run(ctx, params);
+    }
+    // Self-reported simulator throughput.  host.* gauges carry
+    // wall-clock measurements and are excluded from deterministic
+    // stats dumps, so this never perturbs byte-identity.
+    const double wall_s =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+    if (wall_s > 0.0 && !ctx.tracer().empty()) {
+        ctx.obs()
+            .gauge("host.sim.events_per_sec")
+            .set(static_cast<std::int64_t>(
+                     static_cast<double>(ctx.tracer().size())
+                     / wall_s),
+                 -1);  // no timed sample: keep counter tracks clean
     }
 
     WorkloadResult result;

@@ -22,31 +22,28 @@ sampleTrace()
     Tracer t;
     TraceEvent launch;
     launch.kind = EventKind::Launch;
-    launch.name = "my_kernel";
     launch.start = time::us(10.0);
     launch.end = time::us(18.0);
     launch.stream = 0;
     launch.queue_wait = time::us(2.0);
-    const auto corr = t.record(launch);
+    const auto corr = t.record(launch, "my_kernel");
 
     TraceEvent kernel;
     kernel.kind = EventKind::Kernel;
-    kernel.name = "my_kernel";
     kernel.start = time::us(20.0);
     kernel.end = time::us(120.0);
     kernel.stream = 0;
     kernel.correlation = corr;
     kernel.queue_wait = time::us(3.0);
-    t.record(kernel);
+    t.record(kernel, "my_kernel");
 
     TraceEvent copy;
     copy.kind = EventKind::MemcpyH2D;
-    copy.name = "memcpy";
     copy.start = time::us(130.0);
     copy.end = time::us(200.0);
     copy.bytes = 4096;
     copy.encrypted_paging = true;
-    t.record(copy);
+    t.record(copy, "memcpy");
     return t;
 }
 
@@ -78,10 +75,9 @@ TEST(ChromeExport, EscapesSpecialCharacters)
     Tracer t;
     TraceEvent e;
     e.kind = EventKind::Kernel;
-    e.name = "weird\"name\\with\nstuff";
     e.start = 0;
     e.end = 1;
-    t.record(e);
+    t.record(e, "weird\"name\\with\nstuff");
     const auto json = chromeTraceJson(t);
     EXPECT_NE(json.find("weird\\\"name\\\\with\\nstuff"),
               std::string::npos);
@@ -154,10 +150,9 @@ TEST(CsvExport, QuotesNamesWithCommasAndQuotes)
     Tracer t;
     TraceEvent e;
     e.kind = EventKind::Kernel;
-    e.name = "gemm<float, 32>(\"tiled\")";
     e.start = 0;
     e.end = 1;
-    t.record(e);
+    t.record(e, "gemm<float, 32>(\"tiled\")");
     std::ostringstream oss;
     exportCsv(t, oss);
     // RFC 4180: the whole field quoted, embedded quotes doubled.
@@ -175,16 +170,14 @@ mkTrace(SimTime launch_dur, SimTime kernel_dur, int n)
     for (int i = 0; i < n; ++i) {
         TraceEvent l;
         l.kind = EventKind::Launch;
-        l.name = "k";
         l.start = cursor;
         l.end = cursor + launch_dur;
-        t.record(l);
+        t.record(l, "k");
         TraceEvent k;
         k.kind = EventKind::Kernel;
-        k.name = "k";
         k.start = l.end;
         k.end = l.end + kernel_dur;
-        t.record(k);
+        t.record(k, "k");
         cursor = k.end;
     }
     return t;
@@ -213,16 +206,14 @@ TEST(Compare, TopEventsAreWorstRegressions)
     // Inject one big regression into b.
     TraceEvent big;
     big.kind = EventKind::Launch;
-    big.name = "spike";
     big.start = time::ms(1);
     big.end = time::ms(3);
-    b.record(big);
+    b.record(big, "spike");
     TraceEvent small;
     small.kind = EventKind::Launch;
-    small.name = "spike";
     small.start = time::ms(1);
     small.end = time::ms(1) + time::us(5);
-    a.record(small);
+    a.record(small, "spike");
     const auto d = compareTraces(a, b, 3);
     ASSERT_FALSE(d.top_events.empty());
     EXPECT_EQ(d.top_events.front().name, "spike");

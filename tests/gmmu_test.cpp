@@ -7,7 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <unordered_map>
+
 #include "common/log.hpp"
+#include "common/rng.hpp"
 #include "gpu/gmmu.hpp"
 #include "gpu/uvm.hpp"
 #include "pcie/link.hpp"
@@ -108,6 +112,70 @@ TEST(GmmuTest, StatsAccumulate)
 TEST(GmmuTest, RejectsEmptyTlb)
 {
     EXPECT_THROW(Gmmu{0}, FatalError);
+}
+
+TEST(GmmuTest, RangeOpsMatchPerPageReference)
+{
+    // Interval-map range operations against a brute-force page map:
+    // a random map/unmap workload with overlapping, splitting and
+    // overwriting ranges must leave both models agreeing page by
+    // page.
+    Gmmu mmu;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    Rng rng(0x6a77);
+    constexpr std::uint64_t kSpan = 512;
+    std::uint64_t next_pfn = 10000;
+    for (int op = 0; op < 400; ++op) {
+        const auto vpn = static_cast<std::uint64_t>(
+            rng.uniformInt(0, kSpan - 1));
+        const auto pages = std::min<std::uint64_t>(
+            static_cast<std::uint64_t>(rng.uniformInt(1, 48)),
+            kSpan - vpn);
+        if (rng.uniformInt(0, 2) != 0) {
+            const std::uint64_t pfn = next_pfn;
+            next_pfn += pages;
+            mmu.map(vpn, pfn, pages);
+            for (std::uint64_t i = 0; i < pages; ++i)
+                ref[vpn + i] = pfn + i;
+        } else {
+            mmu.unmap(vpn, pages);
+            for (std::uint64_t i = 0; i < pages; ++i)
+                ref.erase(vpn + i);
+        }
+        ASSERT_EQ(mmu.mappedPages(), ref.size()) << "after op " << op;
+    }
+    EXPECT_LE(mmu.mappedRanges(), mmu.mappedPages());
+    for (std::uint64_t vpn = 0; vpn < kSpan; ++vpn) {
+        const auto it = ref.find(vpn);
+        ASSERT_EQ(mmu.isMapped(vpn), it != ref.end()) << "vpn " << vpn;
+        const auto t = mmu.translate(vpn);
+        if (it == ref.end()) {
+            EXPECT_EQ(t.result, TranslateResult::FarFault);
+        } else {
+            ASSERT_NE(t.result, TranslateResult::FarFault);
+            EXPECT_EQ(t.pfn, it->second) << "vpn " << vpn;
+        }
+    }
+}
+
+TEST(GmmuTest, CoalescesAdjacentRanges)
+{
+    Gmmu mmu;
+    // Contiguous vpn *and* pfn: one range.
+    mmu.map(0, 100, 4);
+    mmu.map(4, 104, 4);
+    EXPECT_EQ(mmu.mappedRanges(), 1u);
+    // Contiguous vpn, discontiguous pfn: must stay separate.
+    mmu.map(8, 500, 4);
+    EXPECT_EQ(mmu.mappedRanges(), 2u);
+    // Punch a hole: the covering range splits.
+    mmu.unmap(1, 2);
+    EXPECT_EQ(mmu.mappedRanges(), 3u);
+    EXPECT_EQ(mmu.mappedPages(), 10u);
+    EXPECT_TRUE(mmu.isMapped(0));
+    EXPECT_FALSE(mmu.isMapped(1));
+    EXPECT_FALSE(mmu.isMapped(2));
+    EXPECT_EQ(mmu.translate(3).pfn, 103u);
 }
 
 // ---------------------------------------------- uvm integration

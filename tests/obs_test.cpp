@@ -67,15 +67,54 @@ TEST(Registry, GaugeCoalescesEqualLevelsAndUntimedUpdates)
     EXPECT_EQ(g.value(), 9);
 }
 
-TEST(Registry, GaugeDropsSamplesBeyondCap)
+TEST(Registry, GaugeKeepsEveryChangeBelowCap)
 {
     Registry reg;
     Gauge &g = reg.gauge("g");
-    for (std::size_t i = 0; i < Gauge::kMaxSamples + 5; ++i)
+    for (std::size_t i = 0; i < Gauge::kMaxSamples - 1; ++i)
         g.set(static_cast<std::int64_t>(i % 2),
               static_cast<SimTime>(i));
-    EXPECT_EQ(g.samples().size(), Gauge::kMaxSamples);
-    EXPECT_EQ(g.droppedSamples(), 5u);
+    EXPECT_EQ(g.samples().size(), Gauge::kMaxSamples - 1);
+    EXPECT_EQ(g.droppedSamples(), 0u);
+    EXPECT_EQ(g.sampleStride(), 1u);
+}
+
+TEST(Registry, GaugeDownsamplesAtCapWithDoublingStride)
+{
+    Registry reg;
+    Gauge &g = reg.gauge("g");
+    const std::size_t total = Gauge::kMaxSamples * 3;
+    for (std::size_t i = 0; i < total; ++i)
+        g.set(static_cast<std::int64_t>(i % 2),
+              static_cast<SimTime>(i));
+    // Bounded retention, coverage of the whole series.
+    EXPECT_LT(g.samples().size(), Gauge::kMaxSamples);
+    EXPECT_GE(g.samples().size(), Gauge::kMaxSamples / 4);
+    EXPECT_EQ(g.samples().size() + g.droppedSamples(), total);
+    EXPECT_GE(g.sampleStride(), 4u);
+    // Retained samples stay in time order and start at the origin.
+    EXPECT_EQ(g.samples().front().ts, 0);
+    for (std::size_t i = 1; i < g.samples().size(); ++i)
+        EXPECT_LT(g.samples()[i - 1].ts, g.samples()[i].ts);
+    EXPECT_GT(g.samples().back().ts,
+              static_cast<SimTime>(total / 2));
+}
+
+TEST(Registry, GaugeDownsamplingIsDeterministic)
+{
+    Registry reg;
+    Gauge &a = reg.gauge("a");
+    Gauge &b = reg.gauge("b");
+    for (std::size_t i = 0; i < Gauge::kMaxSamples + 777; ++i) {
+        const auto v = static_cast<std::int64_t>((i * 7) % 5);
+        a.set(v, static_cast<SimTime>(i));
+        b.set(v, static_cast<SimTime>(i));
+    }
+    ASSERT_EQ(a.samples().size(), b.samples().size());
+    for (std::size_t i = 0; i < a.samples().size(); ++i) {
+        EXPECT_EQ(a.samples()[i].ts, b.samples()[i].ts);
+        EXPECT_EQ(a.samples()[i].value, b.samples()[i].value);
+    }
 }
 
 TEST(Registry, ProfileScopeRecordsUnderHostPrefix)

@@ -21,7 +21,6 @@ ev(trace::EventKind kind, SimTime start, SimTime end,
 {
     trace::TraceEvent e;
     e.kind = kind;
-    e.name = "e";
     e.start = start;
     e.end = end;
     e.queue_wait = wait;

@@ -229,7 +229,9 @@ TEST(Determinism, IdenticalSeedsIdenticalTraces)
             ctx.launchKernel(k);
         }
         ctx.deviceSynchronize();
-        return ctx.tracer().events();
+        const auto view = ctx.tracer().events();
+        return std::vector<trace::TraceEvent>(view.begin(),
+                                              view.end());
     };
     const auto a = run();
     const auto b = run();

@@ -183,7 +183,7 @@ TEST(SpecRun, ParsedSpecRunsEndToEnd)
     double max_klo = 0.0;
     for (const auto &e :
          rc.trace.ofKind(trace::EventKind::Launch)) {
-        if (e.name == "final_k")
+        if (rc.trace.labelName(e.label) == "final_k")
             max_klo = std::max(max_klo,
                                static_cast<double>(e.duration()));
     }

@@ -18,7 +18,6 @@ mk(EventKind kind, SimTime start, SimTime end, SimTime wait = 0,
 {
     TraceEvent e;
     e.kind = kind;
-    e.name = eventKindName(kind);
     e.start = start;
     e.end = end;
     e.queue_wait = wait;

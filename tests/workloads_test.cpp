@@ -84,7 +84,8 @@ TEST(EventAnchors, ThreeDConvLaunchesOneKernel254Times)
     // All launches carry the same kernel symbol.
     for (const auto &e :
          res.trace.ofKind(trace::EventKind::Launch)) {
-        EXPECT_EQ(e.name, "convolution3d_kernel");
+        EXPECT_EQ(res.trace.labelName(e.label),
+                  "convolution3d_kernel");
     }
 }
 

@@ -206,7 +206,7 @@ BM_SecureChannelFunctional(benchmark::State &state)
         static_cast<std::size_t>(state.range(0)), 0xab);
     std::vector<std::uint8_t> dst(src.size());
     for (auto _ : state) {
-        const bool ok = ch.transferFunctional(src, dst);
+        const bool ok = ch.transferFunctional(src, dst).ok();
         benchmark::DoNotOptimize(ok);
     }
     state.SetBytesProcessed(

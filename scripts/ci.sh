@@ -18,12 +18,14 @@ cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j"$jobs"
 ctest --preset asan-ubsan -j"$jobs"
 
-# ThreadSanitizer over the parallel sweep engine: the determinism
-# and isolation tests race real workers over shared queues, so TSan
-# gates the pool's synchronization and the per-cell isolation claim.
+# ThreadSanitizer over the parallel engines: the sweep and fault
+# campaign determinism tests race real workers over shared queues, so
+# TSan gates the pool's synchronization and the per-cell isolation
+# claim (each campaign cell owns its Context/Registry/Injector).
 cmake --preset tsan
-cmake --build --preset tsan -j"$jobs" --target sweep_test
+cmake --build --preset tsan -j"$jobs" --target sweep_test fault_test
 build-tsan/tests/sweep_test
+build-tsan/tests/fault_test
 
 hccsim=build/tools/hccsim
 tmp="$(mktemp -d)"
@@ -83,6 +85,28 @@ cmp "$tmp/sweep1.json" "$tmp/sweep4.json"
     --stats-out "$tmp/c.json" >/dev/null
 if "$hccsim" stats-diff "$tmp/a.json" "$tmp/c.json" >/dev/null; then
     echo "ERROR: stats-diff did not flag a perturbed run" >&2
+    exit 1
+fi
+
+# Fault-campaign smoke + determinism: the sites x rates x seeds grid
+# must merge byte-identically for any --jobs, and an armed fault site
+# must actually perturb the run (stats-diff flags it vs unfaulted).
+"$hccsim" faults --app gaussian --rates 0.5 --seeds 42 --jobs 1 \
+    --out "$tmp/faults1.csv" --format csv \
+    --stats-out "$tmp/faults1.json" >/dev/null
+"$hccsim" faults --app gaussian --rates 0.5 --seeds 42 --jobs 4 \
+    --out "$tmp/faults4.csv" --format csv \
+    --stats-out "$tmp/faults4.json" >/dev/null
+cmp "$tmp/faults1.csv" "$tmp/faults4.csv"
+cmp "$tmp/faults1.json" "$tmp/faults4.json"
+"$hccsim" stats-diff bench/baselines/faults_gaussian_stats.json \
+    "$tmp/faults1.json"
+cmp bench/baselines/faults_gaussian_stats.json "$tmp/faults1.json"
+"$hccsim" run --app gaussian --cc --faults channel.tag_mismatch=1 \
+    --stats-out "$tmp/faulted.json" >/dev/null
+if "$hccsim" stats-diff "$tmp/a.json" "$tmp/faulted.json" \
+    >/dev/null; then
+    echo "ERROR: injected faults did not change the run" >&2
     exit 1
 fi
 

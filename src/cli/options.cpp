@@ -1,6 +1,7 @@
 #include "cli/options.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -9,6 +10,8 @@
 #include "common/table.hpp"
 #include "crypto/calibrate.hpp"
 #include "crypto/impl.hpp"
+#include "fault/campaign.hpp"
+#include "fault/fault.hpp"
 #include "obs/stats_io.hpp"
 #include "perfmodel/model.hpp"
 #include "perfmodel/projector.hpp"
@@ -20,6 +23,382 @@
 #include "workloads/workload.hpp"
 
 namespace hcc::cli {
+
+namespace {
+
+// ------------------------------------------------- the flag table
+
+/** Bit for one command in a FlagSpec applicability mask. */
+constexpr unsigned
+bit(Command c)
+{
+    return 1u << static_cast<unsigned>(c);
+}
+
+/** Commands that run a single workload through the runtime. */
+constexpr unsigned kRunLike = bit(Command::Run) | bit(Command::Compare)
+    | bit(Command::Trace) | bit(Command::Project);
+constexpr unsigned kEveryCommand = ~0u;
+
+/**
+ * One declared flag: where it applies, whether it takes a value, how
+ * to store it.  The whole CLI surface is this table — parsing, value
+ * validation, "--x does not apply to 'cmd'" rejection and the
+ * per-subcommand --help all iterate it, so a new flag (or a new
+ * subcommand bit on an old flag) is one entry, not five code paths.
+ */
+struct FlagSpec
+{
+    const char *name;
+    /** bit() mask of the subcommands accepting this flag. */
+    unsigned commands;
+    /** Value placeholder for help ("N", "FILE"); null: boolean. */
+    const char *value_name;
+    const char *help;
+    /** Validate + store; sets @p error and returns false on bad
+     *  values.  @p value is empty for boolean flags. */
+    bool (*apply)(Options &opt, const std::string &value,
+                  std::string &error);
+};
+
+bool
+applyInt(int &out, int min, const char *flag,
+         const std::string &value, std::string &error)
+{
+    try {
+        out = std::stoi(value);
+    } catch (...) {
+        error = std::string("bad ") + flag + " value '" + value + "'";
+        return false;
+    }
+    if (out < min) {
+        error = std::string(flag) + " must be >= "
+            + std::to_string(min);
+        return false;
+    }
+    return true;
+}
+
+bool
+applyMode(std::string &out, const char *flag, const std::string &value,
+          std::string &error)
+{
+    if (value != "on" && value != "off" && value != "both") {
+        error = std::string("bad ") + flag + " value '" + value
+            + "' (on|off|both)";
+        return false;
+    }
+    out = value;
+    return true;
+}
+
+/** Comma-split with empty items dropped. */
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream iss(csv);
+    while (std::getline(iss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+const FlagSpec kFlags[] = {
+    {"--app", kRunLike | bit(Command::Faults), "NAME",
+     "workload name (see `hccsim list`)",
+     [](Options &o, const std::string &v, std::string &) {
+         o.app = v;
+         return true;
+     }},
+    {"--spec", kRunLike | bit(Command::Sweep), "FILE",
+     "user spec file (or sweep grid file)",
+     [](Options &o, const std::string &v, std::string &) {
+         o.spec_file = v;
+         return true;
+     }},
+    {"--cc", kRunLike, nullptr, "run inside a TD (CC mode)",
+     [](Options &o, const std::string &, std::string &) {
+         o.cc = true;
+         return true;
+     }},
+    {"--uvm", kRunLike | bit(Command::Faults), nullptr,
+     "use the managed-memory variant",
+     [](Options &o, const std::string &, std::string &) {
+         o.uvm = true;
+         return true;
+     }},
+    {"--scale", kRunLike | bit(Command::Faults), "X",
+     "problem-size multiplier (default 1.0)",
+     [](Options &o, const std::string &v, std::string &error) {
+         try {
+             o.scale = std::stod(v);
+         } catch (...) {
+             error = "bad --scale value '" + v + "'";
+             return false;
+         }
+         if (o.scale <= 0.0) {
+             error = "--scale must be positive";
+             return false;
+         }
+         return true;
+     }},
+    {"--seed", kRunLike, "N", "RNG seed (default 42)",
+     [](Options &o, const std::string &v, std::string &error) {
+         try {
+             o.seed = std::stoull(v);
+         } catch (...) {
+             error = "bad --seed value '" + v + "'";
+             return false;
+         }
+         return true;
+     }},
+    {"--format",
+     kRunLike | bit(Command::Sweep) | bit(Command::Faults), "json|csv",
+     "trace/results format (default json)",
+     [](Options &o, const std::string &v, std::string &error) {
+         if (v != "json" && v != "csv") {
+             error = "--format must be json or csv";
+             return false;
+         }
+         o.format = v;
+         return true;
+     }},
+    {"--crypto-workers",
+     kRunLike | bit(Command::Sweep) | bit(Command::Faults), "N",
+     "parallel encryption threads (CC)",
+     [](Options &o, const std::string &v, std::string &error) {
+         return applyInt(o.crypto_workers, 1, "--crypto-workers", v,
+                         error);
+     }},
+    {"--tee-io", kRunLike | bit(Command::Sweep) | bit(Command::Faults),
+     nullptr, "model the TEE-IO hardware path (CC)",
+     [](Options &o, const std::string &, std::string &) {
+         o.tee_io = true;
+         return true;
+     }},
+    {"--faults",
+     bit(Command::Run) | bit(Command::Compare) | bit(Command::Trace),
+     "SITE=RATE,...",
+     "inject faults, e.g. channel.tag_mismatch=0.05",
+     [](Options &o, const std::string &v, std::string &error) {
+         const auto parsed = fault::parseFaultSpec(v);
+         if (!parsed.ok()) {
+             error = "bad --faults value: "
+                 + parsed.status().toString();
+             return false;
+         }
+         o.fault_spec = v;
+         return true;
+     }},
+    {"--sites", bit(Command::Faults), "S1,S2|all",
+     "fault sites to campaign over (default all)",
+     [](Options &o, const std::string &v, std::string &error) {
+         if (v != "all") {
+             for (const auto &name : splitList(v)) {
+                 if (!fault::parseSite(name)) {
+                     error = "bad --sites value '" + name + "'";
+                     return false;
+                 }
+             }
+             if (splitList(v).empty()) {
+                 error = "empty --sites list";
+                 return false;
+             }
+         }
+         o.fault_sites = v;
+         return true;
+     }},
+    {"--rates", bit(Command::Faults), "R1,R2",
+     "injection rates in (0,1] (default 0.01)",
+     [](Options &o, const std::string &v, std::string &error) {
+         const auto items = splitList(v);
+         if (items.empty()) {
+             error = "empty --rates list";
+             return false;
+         }
+         for (const auto &item : items) {
+             double r = 0.0;
+             try {
+                 r = std::stod(item);
+             } catch (...) {
+                 error = "bad --rates value '" + item + "'";
+                 return false;
+             }
+             if (r <= 0.0 || r > 1.0) {
+                 error = "--rates values must be in (0, 1]";
+                 return false;
+             }
+         }
+         o.fault_rates = v;
+         return true;
+     }},
+    {"--stats-out",
+     bit(Command::Run) | bit(Command::Compare) | bit(Command::Trace)
+         | bit(Command::Sweep) | bit(Command::Faults)
+         | bit(Command::CryptoCalibrate),
+     "FILE", "write the stats registry as JSON",
+     [](Options &o, const std::string &v, std::string &) {
+         o.stats_out = v;
+         return true;
+     }},
+    {"--trace-out", bit(Command::Trace), "FILE",
+     "write the trace to a file instead of stdout",
+     [](Options &o, const std::string &v, std::string &) {
+         o.trace_out = v;
+         return true;
+     }},
+    {"--out", bit(Command::Sweep) | bit(Command::Faults), "FILE",
+     "per-cell results (CSV, or JSON with --format json)",
+     [](Options &o, const std::string &v, std::string &) {
+         o.out_file = v;
+         return true;
+     }},
+    {"--apps", bit(Command::Sweep), "A,B|all",
+     "apps to grid over (or --spec GRIDFILE)",
+     [](Options &o, const std::string &v, std::string &) {
+         o.sweep_apps = v;
+         return true;
+     }},
+    {"--cc-modes", bit(Command::Sweep), "M",
+     "on|off|both (default both)",
+     [](Options &o, const std::string &v, std::string &error) {
+         return applyMode(o.sweep_cc, "--cc-modes", v, error);
+     }},
+    {"--uvm-modes", bit(Command::Sweep), "M",
+     "on|off|both (default off)",
+     [](Options &o, const std::string &v, std::string &error) {
+         return applyMode(o.sweep_uvm, "--uvm-modes", v, error);
+     }},
+    {"--scales", bit(Command::Sweep), "X,Y",
+     "problem-size multipliers (default 1)",
+     [](Options &o, const std::string &v, std::string &) {
+         o.sweep_scales = v;
+         return true;
+     }},
+    {"--seeds", bit(Command::Sweep) | bit(Command::Faults), "N,M",
+     "RNG seeds (default 42)",
+     [](Options &o, const std::string &v, std::string &) {
+         o.sweep_seeds = v;
+         return true;
+     }},
+    {"--jobs",
+     bit(Command::Compare) | bit(Command::Sweep)
+         | bit(Command::Faults),
+     "N", "worker threads (default: all cores)",
+     [](Options &o, const std::string &v, std::string &error) {
+         return applyInt(o.jobs, 1, "--jobs", v, error);
+     }},
+    {"--log-level", kEveryCommand, "LEVEL",
+     "debug|info|warn|error|silent",
+     [](Options &o, const std::string &v, std::string &error) {
+         if (!parseLogLevel(v)) {
+             error = "bad --log-level value '" + v
+                 + "' (debug|info|warn|error|silent)";
+             return false;
+         }
+         o.log_level = v;
+         return true;
+     }},
+    {"--crypto-impl", kEveryCommand, "NAME",
+     "functional crypto: scalar|ttable|aesni",
+     [](Options &o, const std::string &v, std::string &error) {
+         if (!crypto::parseCryptoImpl(v)) {
+             error = "bad --crypto-impl value '" + v
+                 + "' (scalar|ttable|aesni)";
+             return false;
+         }
+         o.crypto_impl = v;
+         return true;
+     }},
+    {"--tolerance", bit(Command::StatsDiff), "X",
+     "relative tolerance before a change is drift",
+     [](Options &o, const std::string &v, std::string &error) {
+         try {
+             o.tolerance = std::stod(v);
+         } catch (...) {
+             error = "bad --tolerance value '" + v + "'";
+             return false;
+         }
+         if (o.tolerance < 0.0) {
+             error = "--tolerance must be >= 0";
+             return false;
+         }
+         return true;
+     }},
+    {"--ms", bit(Command::CryptoCalibrate), "N",
+     "wall-clock budget per algorithm in ms (default 50)",
+     [](Options &o, const std::string &v, std::string &error) {
+         try {
+             o.calib_ms = std::stod(v);
+         } catch (...) {
+             error = "bad --ms value '" + v + "'";
+             return false;
+         }
+         if (o.calib_ms <= 0.0) {
+             error = "--ms must be positive";
+             return false;
+         }
+         return true;
+     }},
+};
+
+const FlagSpec *
+findFlag(const std::string &name)
+{
+    for (const FlagSpec &flag : kFlags)
+        if (name == flag.name)
+            return &flag;
+    return nullptr;
+}
+
+/** (name, command) pairs; Help is resolved before the table runs. */
+const std::pair<const char *, Command> kCommands[] = {
+    {"list", Command::List},
+    {"run", Command::Run},
+    {"compare", Command::Compare},
+    {"trace", Command::Trace},
+    {"project", Command::Project},
+    {"sweep", Command::Sweep},
+    {"faults", Command::Faults},
+    {"stats-diff", Command::StatsDiff},
+    {"crypto-calibrate", Command::CryptoCalibrate},
+};
+
+} // namespace
+
+const char *
+commandName(Command command)
+{
+    for (const auto &[name, cmd] : kCommands)
+        if (cmd == command)
+            return name;
+    return "help";
+}
+
+std::string
+commandHelp(Command command)
+{
+    std::string out = std::string("usage: hccsim ")
+        + commandName(command);
+    if (command == Command::StatsDiff)
+        out += " BASELINE CURRENT";
+    out += " [options]\n\noptions:\n";
+    for (const FlagSpec &flag : kFlags) {
+        if (!(flag.commands & bit(command)))
+            continue;
+        std::string left = std::string("  ") + flag.name;
+        if (flag.value_name)
+            left += std::string(" ") + flag.value_name;
+        if (left.size() < 26)
+            left.resize(26, ' ');
+        else
+            left += ' ';
+        out += left + flag.help + "\n";
+    }
+    return out;
+}
 
 std::string
 usage()
@@ -37,46 +416,27 @@ usage()
         "  hccsim sweep --apps A,B|all [opts]\n"
         "                                   run a grid of simulations\n"
         "                                   in parallel (see --jobs)\n"
+        "  hccsim faults --app NAME [opts]  fault-injection campaign:\n"
+        "                                   a (site, rate, seed) grid\n"
+        "                                   vs unfaulted baselines\n"
         "  hccsim stats-diff BASE CURRENT   diff two --stats-out dumps;\n"
         "                                   exit 1 if stats drifted\n"
         "  hccsim crypto-calibrate [opts]   measure this host's\n"
         "                                   functional crypto GB/s\n"
         "\n"
-        "sweep options:\n"
-        "  --apps A,B|all   apps to grid over (or --spec GRIDFILE\n"
-        "                   with apps/cc/uvm/scales/seeds keys)\n"
-        "  --cc-modes M     on|off|both (default both)\n"
-        "  --uvm-modes M    on|off|both (default off)\n"
-        "  --scales X,Y     problem-size multipliers (default 1)\n"
-        "  --seeds N,M      RNG seeds (default 42)\n"
-        "  --jobs N         worker threads (default: all cores;\n"
-        "                   also parallelizes compare)\n"
-        "  --out FILE       per-cell results (CSV, or JSON with\n"
-        "                   --format json); byte-identical for any\n"
-        "                   --jobs value\n"
-        "\n"
-        "options:\n"
-        "  --spec FILE      run a user-defined spec file instead\n"
-        "                   of a built-in --app workload\n"
+        "`hccsim COMMAND --help` lists the options of one command.\n"
+        "Common options:\n"
         "  --cc             run inside a TD (CC mode)\n"
         "  --uvm            use the managed-memory variant\n"
         "  --scale X        problem-size multiplier (default 1.0)\n"
         "  --seed N         RNG seed (default 42)\n"
-        "  --format json|csv   trace format (default json)\n"
-        "  --crypto-workers N  parallel encryption threads (CC)\n"
-        "  --tee-io            model the TEE-IO hardware path (CC)\n"
-        "  --stats-out FILE    write the stats registry as JSON\n"
-        "                      (run/compare/trace/sweep)\n"
-        "  --trace-out FILE    trace: write the trace to a file\n"
-        "                      instead of stdout\n"
-        "  --log-level LEVEL   debug|info|warn|error|silent\n"
-        "  --tolerance X       stats-diff: relative tolerance before\n"
-        "                      a change counts as drift (default 0)\n"
-        "  --crypto-impl NAME  functional crypto implementation:\n"
-        "                      scalar|ttable|aesni (default: fastest\n"
-        "                      supported; HCC_CRYPTO_IMPL also works)\n"
-        "  --ms N              crypto-calibrate: wall-clock budget\n"
-        "                      per algorithm in ms (default 50)\n";
+        "  --faults SITE=RATE,...\n"
+        "                   inject deterministic faults on the CC\n"
+        "                   stack (run/compare/trace); `hccsim\n"
+        "                   faults` sweeps sites x rates x seeds\n"
+        "  --jobs N         worker threads (compare/sweep/faults)\n"
+        "  --stats-out FILE write the stats registry as JSON\n"
+        "  --log-level L    debug|info|warn|error|silent\n";
 }
 
 std::optional<Options>
@@ -88,240 +448,73 @@ parseArgs(const std::vector<std::string> &args, std::string &error)
         return std::nullopt;
     }
     const std::string &cmd = args[0];
-    if (cmd == "list") {
-        opt.command = Command::List;
-    } else if (cmd == "run") {
-        opt.command = Command::Run;
-    } else if (cmd == "compare") {
-        opt.command = Command::Compare;
-    } else if (cmd == "trace") {
-        opt.command = Command::Trace;
-    } else if (cmd == "project") {
-        opt.command = Command::Project;
-    } else if (cmd == "sweep") {
-        opt.command = Command::Sweep;
-    } else if (cmd == "stats-diff") {
-        opt.command = Command::StatsDiff;
-    } else if (cmd == "crypto-calibrate") {
-        opt.command = Command::CryptoCalibrate;
-    } else if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
         opt.command = Command::Help;
         return opt;
-    } else {
+    }
+    bool known = false;
+    for (const auto &[name, command] : kCommands) {
+        if (cmd == name) {
+            opt.command = command;
+            known = true;
+            break;
+        }
+    }
+    if (!known) {
         error = "unknown command '" + cmd + "'";
         return std::nullopt;
     }
 
     for (std::size_t i = 1; i < args.size(); ++i) {
         const std::string &a = args[i];
-        auto next = [&](const char *what) -> const std::string * {
-            if (i + 1 >= args.size()) {
-                error = std::string(what) + " requires a value";
-                return nullptr;
+        if (a == "--help" || a == "-h") {
+            // Per-subcommand help short-circuits validation: `hccsim
+            // faults --help` must work without --app.
+            opt.show_help = true;
+            return opt;
+        }
+        const FlagSpec *flag = findFlag(a);
+        if (!flag) {
+            if (opt.command == Command::StatsDiff && !a.empty()
+                && a[0] != '-') {
+                if (opt.diff_baseline.empty()) {
+                    opt.diff_baseline = a;
+                } else if (opt.diff_current.empty()) {
+                    opt.diff_current = a;
+                } else {
+                    error = "unexpected argument '" + a + "'";
+                    return std::nullopt;
+                }
+                continue;
             }
-            return &args[++i];
-        };
-        if (a == "--app") {
-            const auto *v = next("--app");
-            if (!v)
-                return std::nullopt;
-            opt.app = *v;
-        } else if (a == "--spec") {
-            const auto *v = next("--spec");
-            if (!v)
-                return std::nullopt;
-            opt.spec_file = *v;
-        } else if (a == "--cc") {
-            opt.cc = true;
-        } else if (a == "--tee-io") {
-            opt.tee_io = true;
-        } else if (a == "--crypto-workers") {
-            const auto *v = next("--crypto-workers");
-            if (!v)
-                return std::nullopt;
-            try {
-                opt.crypto_workers = std::stoi(*v);
-            } catch (...) {
-                error = "bad --crypto-workers value '" + *v + "'";
-                return std::nullopt;
-            }
-            if (opt.crypto_workers < 1) {
-                error = "--crypto-workers must be >= 1";
-                return std::nullopt;
-            }
-        } else if (a == "--uvm") {
-            opt.uvm = true;
-        } else if (a == "--scale") {
-            const auto *v = next("--scale");
-            if (!v)
-                return std::nullopt;
-            try {
-                opt.scale = std::stod(*v);
-            } catch (...) {
-                error = "bad --scale value '" + *v + "'";
-                return std::nullopt;
-            }
-            if (opt.scale <= 0.0) {
-                error = "--scale must be positive";
-                return std::nullopt;
-            }
-        } else if (a == "--seed") {
-            const auto *v = next("--seed");
-            if (!v)
-                return std::nullopt;
-            try {
-                opt.seed = std::stoull(*v);
-            } catch (...) {
-                error = "bad --seed value '" + *v + "'";
-                return std::nullopt;
-            }
-        } else if (a == "--format") {
-            const auto *v = next("--format");
-            if (!v)
-                return std::nullopt;
-            opt.format = *v;
-            if (opt.format != "json" && opt.format != "csv") {
-                error = "--format must be json or csv";
-                return std::nullopt;
-            }
-        } else if (a == "--stats-out") {
-            const auto *v = next("--stats-out");
-            if (!v)
-                return std::nullopt;
-            opt.stats_out = *v;
-        } else if (a == "--trace-out") {
-            const auto *v = next("--trace-out");
-            if (!v)
-                return std::nullopt;
-            opt.trace_out = *v;
-        } else if (a == "--out") {
-            const auto *v = next("--out");
-            if (!v)
-                return std::nullopt;
-            opt.out_file = *v;
-        } else if (a == "--apps") {
-            const auto *v = next("--apps");
-            if (!v)
-                return std::nullopt;
-            opt.sweep_apps = *v;
-        } else if (a == "--cc-modes") {
-            const auto *v = next("--cc-modes");
-            if (!v)
-                return std::nullopt;
-            if (*v != "on" && *v != "off" && *v != "both") {
-                error = "bad --cc-modes value '" + *v
-                    + "' (on|off|both)";
-                return std::nullopt;
-            }
-            opt.sweep_cc = *v;
-        } else if (a == "--uvm-modes") {
-            const auto *v = next("--uvm-modes");
-            if (!v)
-                return std::nullopt;
-            if (*v != "on" && *v != "off" && *v != "both") {
-                error = "bad --uvm-modes value '" + *v
-                    + "' (on|off|both)";
-                return std::nullopt;
-            }
-            opt.sweep_uvm = *v;
-        } else if (a == "--scales") {
-            const auto *v = next("--scales");
-            if (!v)
-                return std::nullopt;
-            opt.sweep_scales = *v;
-        } else if (a == "--seeds") {
-            const auto *v = next("--seeds");
-            if (!v)
-                return std::nullopt;
-            opt.sweep_seeds = *v;
-        } else if (a == "--jobs") {
-            const auto *v = next("--jobs");
-            if (!v)
-                return std::nullopt;
-            try {
-                opt.jobs = std::stoi(*v);
-            } catch (...) {
-                error = "bad --jobs value '" + *v + "'";
-                return std::nullopt;
-            }
-            if (opt.jobs < 1) {
-                error = "--jobs must be >= 1";
-                return std::nullopt;
-            }
-        } else if (a == "--log-level") {
-            const auto *v = next("--log-level");
-            if (!v)
-                return std::nullopt;
-            if (!parseLogLevel(*v)) {
-                error = "bad --log-level value '" + *v
-                    + "' (debug|info|warn|error|silent)";
-                return std::nullopt;
-            }
-            opt.log_level = *v;
-        } else if (a == "--crypto-impl") {
-            const auto *v = next("--crypto-impl");
-            if (!v)
-                return std::nullopt;
-            if (!crypto::parseCryptoImpl(*v)) {
-                error = "bad --crypto-impl value '" + *v
-                    + "' (scalar|ttable|aesni)";
-                return std::nullopt;
-            }
-            opt.crypto_impl = *v;
-        } else if (a == "--ms") {
-            const auto *v = next("--ms");
-            if (!v)
-                return std::nullopt;
-            try {
-                opt.calib_ms = std::stod(*v);
-            } catch (...) {
-                error = "bad --ms value '" + *v + "'";
-                return std::nullopt;
-            }
-            if (opt.calib_ms <= 0.0) {
-                error = "--ms must be positive";
-                return std::nullopt;
-            }
-        } else if (a == "--tolerance") {
-            const auto *v = next("--tolerance");
-            if (!v)
-                return std::nullopt;
-            try {
-                opt.tolerance = std::stod(*v);
-            } catch (...) {
-                error = "bad --tolerance value '" + *v + "'";
-                return std::nullopt;
-            }
-            if (opt.tolerance < 0.0) {
-                error = "--tolerance must be >= 0";
-                return std::nullopt;
-            }
-        } else if (opt.command == Command::StatsDiff && !a.empty()
-                   && a[0] != '-') {
-            if (opt.diff_baseline.empty()) {
-                opt.diff_baseline = a;
-            } else if (opt.diff_current.empty()) {
-                opt.diff_current = a;
-            } else {
-                error = "unexpected argument '" + a + "'";
-                return std::nullopt;
-            }
-        } else {
             error = "unknown option '" + a + "'";
             return std::nullopt;
         }
+        if (!(flag->commands & bit(opt.command))) {
+            error = std::string(flag->name) + " does not apply to '"
+                + commandName(opt.command) + "'";
+            return std::nullopt;
+        }
+        std::string value;
+        if (flag->value_name) {
+            if (i + 1 >= args.size()) {
+                error = std::string(flag->name) + " requires a value";
+                return std::nullopt;
+            }
+            value = args[++i];
+        }
+        if (!flag->apply(opt, value, error))
+            return std::nullopt;
     }
 
-    if (opt.command == Command::StatsDiff) {
+    switch (opt.command) {
+      case Command::StatsDiff:
         if (opt.diff_baseline.empty() || opt.diff_current.empty()) {
             error = "stats-diff requires BASELINE and CURRENT files";
             return std::nullopt;
         }
-        return opt;
-    }
-    if (opt.command == Command::CryptoCalibrate)
-        return opt;
-    if (opt.command == Command::Sweep) {
+        break;
+      case Command::Sweep:
         if (opt.sweep_apps.empty() && opt.spec_file.empty()) {
             error = "sweep requires --apps or --spec GRIDFILE";
             return std::nullopt;
@@ -330,30 +523,30 @@ parseArgs(const std::vector<std::string> &args, std::string &error)
             error = "--apps and --spec are mutually exclusive";
             return std::nullopt;
         }
-        return opt;
-    }
-    if (!opt.out_file.empty()) {
-        error = "--out only applies to sweep";
-        return std::nullopt;
-    }
-    if (!opt.trace_out.empty() && opt.command != Command::Trace) {
-        error = "--trace-out only applies to trace";
-        return std::nullopt;
-    }
-    if (opt.command != Command::List && opt.app.empty()
-        && opt.spec_file.empty()) {
-        error = "this command requires --app or --spec";
-        return std::nullopt;
-    }
-    if (!opt.app.empty() && !opt.spec_file.empty()) {
-        error = "--app and --spec are mutually exclusive";
-        return std::nullopt;
-    }
-    if (!opt.stats_out.empty() && opt.command != Command::Run
-        && opt.command != Command::Compare
-        && opt.command != Command::Trace) {
-        error = "--stats-out only applies to run/compare/trace/sweep";
-        return std::nullopt;
+        break;
+      case Command::Faults:
+        if (opt.app.empty()) {
+            error = "faults requires --app";
+            return std::nullopt;
+        }
+        break;
+      case Command::Run:
+      case Command::Compare:
+      case Command::Trace:
+      case Command::Project:
+        if (opt.app.empty() && opt.spec_file.empty()) {
+            error = "this command requires --app or --spec";
+            return std::nullopt;
+        }
+        if (!opt.app.empty() && !opt.spec_file.empty()) {
+            error = "--app and --spec are mutually exclusive";
+            return std::nullopt;
+        }
+        break;
+      case Command::List:
+      case Command::CryptoCalibrate:
+      case Command::Help:
+        break;
     }
     return opt;
 }
@@ -368,13 +561,23 @@ runOnce(const Options &opt, bool cc)
     sys.seed = opt.seed;
     sys.channel.crypto_workers = opt.crypto_workers;
     sys.channel.tee_io = opt.tee_io;
+    if (!opt.fault_spec.empty()) {
+        // Revalidated here because runCli() is also a library entry
+        // point: tests and tools build Options directly.
+        const auto faults = fault::parseFaultSpec(opt.fault_spec);
+        if (!faults.ok())
+            fatal("%s", faults.status().toString().c_str());
+        sys.faults = faults.value();
+    }
     workloads::WorkloadParams params;
     params.uvm = opt.uvm;
     params.scale = opt.scale;
     params.seed = opt.seed;
     if (!opt.spec_file.empty()) {
-        const workloads::SpecWorkload workload(
-            workloads::loadSpecFile(opt.spec_file));
+        auto spec = workloads::loadSpecFile(opt.spec_file);
+        if (!spec.ok())
+            fatal("%s", spec.status().toString().c_str());
+        const workloads::SpecWorkload workload(spec.take());
         return workloads::runWorkload(workload, sys, params);
     }
     return workloads::runWorkload(opt.app, sys, params);
@@ -400,6 +603,11 @@ printSummary(const workloads::WorkloadResult &res, std::ostream &os)
                                     + m.alloc_managed)
                              + " / " + formatTime(m.free_time)});
     t.row({"tdx hypercalls", std::to_string(res.tdx.hypercalls)});
+    if (m.fault_recoveries > 0) {
+        t.row({"fault recoveries",
+               std::to_string(m.fault_recoveries) + " ("
+                   + formatTime(m.fault_time) + ")"});
+    }
     t.print(os);
 }
 
@@ -488,6 +696,72 @@ gridFromFlags(const Options &opt)
     return grid;
 }
 
+/** Build the campaign grid from CLI flags (fatal on bad lists —
+ *  parseArgs already validated flag-sourced values). */
+fault::CampaignSpec
+campaignFromFlags(const Options &opt)
+{
+    fault::CampaignSpec spec;
+    spec.app = opt.app;
+    spec.uvm = opt.uvm;
+    spec.scale = opt.scale;
+    spec.crypto_workers = opt.crypto_workers;
+    spec.tee_io = opt.tee_io;
+    if (opt.fault_sites == "all") {
+        spec.sites.assign(fault::allSites().begin(),
+                          fault::allSites().end());
+    } else {
+        std::istringstream iss(opt.fault_sites);
+        std::string item;
+        while (std::getline(iss, item, ',')) {
+            if (item.empty())
+                continue;
+            const auto site = fault::parseSite(item);
+            if (!site)
+                fatal("unknown fault site '%s'", item.c_str());
+            spec.sites.push_back(*site);
+        }
+    }
+    spec.rates = sweep::parseScaleList(opt.fault_rates);
+    for (const double r : spec.rates)
+        if (r > 1.0)
+            fatal("fault rate %g out of (0, 1]", r);
+    spec.seeds = sweep::parseSeedList(opt.sweep_seeds);
+    return spec;
+}
+
+/** Fixed-precision slowdown for the campaign table. */
+std::string
+formatSlowdown(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3fx", v);
+    return buf;
+}
+
+/** Human summary of a finished fault campaign. */
+void
+printCampaignSummary(const fault::CampaignResult &r, std::ostream &os)
+{
+    TextTable t("fault campaign: " + r.spec.app + " ("
+                + std::to_string(r.cells.size()) + " cells, --jobs "
+                + std::to_string(r.jobs) + ")");
+    t.header({"cell", "status", "end-to-end", "slowdown", "injected",
+              "recovered"});
+    for (const auto &c : r.cells) {
+        t.row({c.cell.label(r.spec),
+               c.ok ? "ok" : "FAIL: " + c.error,
+               c.ok ? formatTime(c.result.end_to_end) : "-",
+               c.ok ? formatSlowdown(c.slowdown) : "-",
+               c.ok ? std::to_string(c.injected) : "-",
+               c.ok ? std::to_string(c.recovered) : "-"});
+    }
+    t.print(os);
+    os << "\n" << (r.cells.size() - r.failures()) << "/"
+       << r.cells.size() << " cells ok, wall " << formatMs(r.wall_us)
+       << " ms\n";
+}
+
 } // namespace
 
 int
@@ -500,6 +774,11 @@ runCli(const Options &opt, std::ostream &os)
     if (!opt.crypto_impl.empty())
         crypto::setActiveCryptoImpl(
             crypto::parseCryptoImpl(opt.crypto_impl));
+    if (opt.show_help) {
+        os << (opt.command == Command::Help ? usage()
+                                            : commandHelp(opt.command));
+        return 0;
+    }
     switch (opt.command) {
       case Command::Help:
         os << usage();
@@ -532,10 +811,10 @@ runCli(const Options &opt, std::ostream &os)
         // two-cell sweep grid: --jobs 2 overlaps them on two
         // workers, and the merge order (base first) is fixed by the
         // grid expansion, not by which finishes first.  User spec
-        // files stay on the serial path (a SpecWorkload is built
-        // from the file per run).
+        // files and faulted runs stay on the serial path (grid cells
+        // carry neither a spec file nor a fault config).
         workloads::WorkloadResult base, cc;
-        if (!opt.spec_file.empty()) {
+        if (!opt.spec_file.empty() || !opt.fault_spec.empty()) {
             base = runOnce(opt, false);
             cc = runOnce(opt, true);
         } else {
@@ -592,9 +871,15 @@ runCli(const Options &opt, std::ostream &os)
       }
 
       case Command::Sweep: {
-        const sweep::GridSpec grid = opt.spec_file.empty()
-            ? gridFromFlags(opt)
-            : sweep::loadGridFile(opt.spec_file);
+        sweep::GridSpec grid;
+        if (opt.spec_file.empty()) {
+            grid = gridFromFlags(opt);
+        } else {
+            auto loaded = sweep::loadGridFile(opt.spec_file);
+            if (!loaded.ok())
+                fatal("%s", loaded.status().toString().c_str());
+            grid = loaded.take();
+        }
         const int jobs =
             opt.jobs > 0 ? opt.jobs : ThreadPool::defaultJobs();
         obs::Registry reg;
@@ -614,6 +899,30 @@ runCli(const Options &opt, std::ostream &os)
                              [&](std::ostream &out) {
                                  sweep::writeMergedStats(result, out);
                              });
+        }
+        return result.allOk() ? 0 : 1;
+      }
+
+      case Command::Faults: {
+        const auto spec = campaignFromFlags(opt);
+        const int jobs =
+            opt.jobs > 0 ? opt.jobs : ThreadPool::defaultJobs();
+        const auto result = fault::runFaultCampaign(spec, jobs);
+        printCampaignSummary(result, os);
+        if (!opt.out_file.empty()) {
+            writeFileChecked(
+                opt.out_file, "results file", [&](std::ostream &out) {
+                    if (opt.format == "csv")
+                        fault::writeCampaignCsv(result, out);
+                    else
+                        fault::writeCampaignJson(result, out);
+                });
+        }
+        if (!opt.stats_out.empty()) {
+            writeFileChecked(
+                opt.stats_out, "stats file", [&](std::ostream &out) {
+                    fault::writeCampaignStats(result, out);
+                });
         }
         return result.allOk() ? 0 : 1;
       }
@@ -663,9 +972,14 @@ runCli(const Options &opt, std::ostream &os)
 
       case Command::StatsDiff: {
         const auto baseline = obs::loadStatsFile(opt.diff_baseline);
+        if (!baseline.ok())
+            fatal("%s", baseline.status().toString().c_str());
         const auto current = obs::loadStatsFile(opt.diff_current);
-        const auto diff =
-            obs::diffStats(baseline, current, opt.tolerance);
+        if (!current.ok())
+            fatal("%s", current.status().toString().c_str());
+        const auto diff = obs::diffStats(baseline.value(),
+                                         current.value(),
+                                         opt.tolerance);
         os << diff.report();
         return diff.pass() ? 0 : 1;
       }

@@ -1,9 +1,16 @@
 /**
  * @file
  * Command-line interface of the `hccsim` tool: list workloads, run
- * one under a chosen configuration, compare base vs CC, or export a
- * trace.  Parsing and execution are library functions so they are
- * unit-testable; tools/hccsim.cpp is a thin main().
+ * one under a chosen configuration, compare base vs CC, export a
+ * trace, or drive a fault-injection campaign.  Parsing and execution
+ * are library functions so they are unit-testable; tools/hccsim.cpp
+ * is a thin main().
+ *
+ * All subcommands share one declarative flag table (options.cpp): a
+ * flag is declared once with the set of subcommands it applies to,
+ * so value parsing, "--x requires a value", "--x does not apply to
+ * 'cmd'", unknown-flag errors and the per-subcommand `--help` output
+ * are uniform by construction.
  */
 
 #ifndef HCC_CLI_OPTIONS_HPP
@@ -25,6 +32,7 @@ enum class Command
     Trace,
     Project,
     Sweep,
+    Faults,
     StatsDiff,
     CryptoCalibrate,
     Help,
@@ -82,6 +90,14 @@ struct Options
     std::string out_file;
     /** trace: write the trace to this file instead of stdout. */
     std::string trace_out;
+    /** run/compare/trace: "site=rate,..." fault-injection spec. */
+    std::string fault_spec;
+    /** faults: comma-separated fault-site list, or "all". */
+    std::string fault_sites = "all";
+    /** faults: comma-separated injection rates, each in (0, 1]. */
+    std::string fault_rates = "0.01";
+    /** A subcommand `--help` was requested (print help, exit 0). */
+    bool show_help = false;
 };
 
 /**
@@ -97,6 +113,13 @@ int runCli(const Options &options, std::ostream &os);
 
 /** The usage/help text. */
 std::string usage();
+
+/** Canonical subcommand name ("run", "stats-diff", ...). */
+const char *commandName(Command command);
+
+/** Per-subcommand help: the flags that apply to @p command, straight
+ *  from the flag table. */
+std::string commandHelp(Command command);
 
 } // namespace hcc::cli
 

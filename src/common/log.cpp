@@ -122,6 +122,11 @@ panic(const char *fmt, ...)
     std::string msg = vformat(fmt, ap);
     va_end(ap);
     std::fprintf(stderr, "[panic] %s\n", msg.c_str());
+    // abort() skips atexit/stream teardown; flush every open stdio
+    // stream first so a dying campaign worker's buffered lines (and
+    // this panic message, when stderr is redirected to a full-buffered
+    // file) reach the sink before the process dies.
+    std::fflush(nullptr);
     std::abort();
 }
 

@@ -1,0 +1,295 @@
+#include "fault/campaign.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+#include "common/log.hpp"
+#include "obs/stats_io.hpp"
+#include "runtime/context.hpp"
+
+namespace hcc::fault {
+
+namespace {
+
+/** Shortest deterministic rendering of a rate/scale factor. */
+std::string
+formatDouble(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+/** RFC-4180 field quoting (quote when a comma/quote/newline occurs). */
+std::string
+csvField(const std::string &field)
+{
+    if (field.find_first_of(",\"\n\r") == std::string::npos)
+        return field;
+    std::string quoted = "\"";
+    for (char c : field) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+/** JSON string escaping for cell labels and error messages. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+double
+elapsedUs(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/**
+ * Read a counter out of a finished cell's registry without creating
+ * it: rate-zero cells never inject, so their registries must stay
+ * untouched for the byte-identity guarantee.
+ */
+std::uint64_t
+counterValue(const obs::Registry &reg, const std::string &name)
+{
+    const auto it = reg.entries().find(name);
+    if (it == reg.entries().end() || !it->second.counter)
+        return 0;
+    return it->second.counter->value();
+}
+
+} // namespace
+
+std::size_t
+CampaignSpec::cellCount() const
+{
+    return seeds.size() * (1 + sites.size() * rates.size());
+}
+
+std::string
+CampaignCell::label(const CampaignSpec &spec) const
+{
+    std::string out = spec.app;
+    if (baseline) {
+        out += ".baseline";
+    } else {
+        out += ".";
+        out += siteName(site);
+        out += ".r" + formatDouble(rate);
+    }
+    out += ".s" + std::to_string(seed);
+    return out;
+}
+
+std::size_t
+CampaignResult::failures() const
+{
+    std::size_t n = 0;
+    for (const auto &c : cells)
+        n += c.ok ? 0 : 1;
+    return n;
+}
+
+std::vector<CampaignCell>
+expandCampaign(const CampaignSpec &spec)
+{
+    std::vector<CampaignCell> cells;
+    cells.reserve(spec.cellCount());
+    for (std::uint64_t seed : spec.seeds) {
+        CampaignCell base;
+        base.index = cells.size();
+        base.baseline = true;
+        base.seed = seed;
+        cells.push_back(base);
+        for (Site site : spec.sites) {
+            for (double rate : spec.rates) {
+                CampaignCell cell;
+                cell.index = cells.size();
+                cell.site = site;
+                cell.rate = rate;
+                cell.seed = seed;
+                cells.push_back(cell);
+            }
+        }
+    }
+    return cells;
+}
+
+CampaignResult
+runFaultCampaign(const CampaignSpec &spec, int jobs)
+{
+    if (spec.sites.empty())
+        fatal("fault campaign needs at least one site");
+    if (spec.rates.empty())
+        fatal("fault campaign needs at least one rate");
+    if (spec.seeds.empty())
+        fatal("fault campaign needs at least one seed");
+    for (double rate : spec.rates)
+        if (rate <= 0.0 || rate > 1.0)
+            fatal("campaign rate %g out of (0, 1]", rate);
+
+    const auto cells = expandCampaign(spec);
+    // Finish suite registration on this thread before workers look
+    // apps up (same reasoning as runSweep()).
+    workloads::WorkloadRegistry::instance();
+
+    CampaignResult result;
+    result.spec = spec;
+    result.jobs = jobs < 1 ? 1 : jobs;
+    result.cells.resize(cells.size());
+
+    const auto start = std::chrono::steady_clock::now();
+    result.pool = runIndexed(
+        cells.size(), result.jobs, [&](std::size_t i) {
+            const CampaignCell &cell = cells[i];
+            CampaignCellResult &out = result.cells[i];
+            out.cell = cell;
+            const auto cell_start = std::chrono::steady_clock::now();
+            try {
+                rt::SystemConfig sys;
+                sys.cc = true;
+                sys.seed = cell.seed;
+                sys.channel.crypto_workers = spec.crypto_workers;
+                sys.channel.tee_io = spec.tee_io;
+                if (!cell.baseline)
+                    sys.faults.set(cell.site, cell.rate);
+                workloads::WorkloadParams params;
+                params.uvm = spec.uvm;
+                params.scale = spec.scale;
+                params.seed = cell.seed;
+                out.result =
+                    workloads::runWorkload(spec.app, sys, params);
+                out.ok = true;
+            } catch (const FatalError &e) {
+                out.error = e.what();
+            }
+            out.wall_us = elapsedUs(cell_start);
+        });
+    result.wall_us = elapsedUs(start);
+
+    // Post-pool, main-thread: pull the fault counters out of each
+    // cell and anchor slowdowns to the same-seed baseline.
+    std::map<std::uint64_t, SimTime> baseline_e2e;
+    for (const auto &c : result.cells)
+        if (c.ok && c.cell.baseline)
+            baseline_e2e[c.cell.seed] = c.result.end_to_end;
+    for (auto &c : result.cells) {
+        if (!c.ok)
+            continue;
+        if (!c.cell.baseline && c.result.stats) {
+            const std::string prefix =
+                std::string("fault.") + siteName(c.cell.site);
+            const auto &reg = *c.result.stats;
+            c.injected = counterValue(reg, prefix + ".injected");
+            c.recovered = counterValue(reg, prefix + ".recovered");
+            c.retry_time_ps =
+                counterValue(reg, prefix + ".retry_time_ps");
+        }
+        const auto it = baseline_e2e.find(c.cell.seed);
+        if (it != baseline_e2e.end() && it->second > 0)
+            c.slowdown = static_cast<double>(c.result.end_to_end)
+                / static_cast<double>(it->second);
+    }
+    return result;
+}
+
+void
+writeCampaignCsv(const CampaignResult &result, std::ostream &os)
+{
+    os << "index,label,site,rate,seed,status,end_to_end_ps,slowdown,"
+          "injected,recovered,retry_time_ps,error\n";
+    for (const auto &c : result.cells) {
+        os << c.cell.index << ','
+           << csvField(c.cell.label(result.spec)) << ','
+           << (c.cell.baseline ? "baseline" : siteName(c.cell.site))
+           << ',' << formatDouble(c.cell.rate) << ',' << c.cell.seed
+           << ',' << (c.ok ? "ok" : "failed") << ',';
+        if (c.ok) {
+            char slow[32];
+            std::snprintf(slow, sizeof(slow), "%.6f", c.slowdown);
+            os << c.result.end_to_end << ',' << slow << ','
+               << c.injected << ',' << c.recovered << ','
+               << c.retry_time_ps << ',';
+        } else {
+            os << ",,,,,";
+        }
+        os << csvField(c.error) << '\n';
+    }
+}
+
+void
+writeCampaignJson(const CampaignResult &result, std::ostream &os)
+{
+    os << "[\n";
+    bool first = true;
+    for (const auto &c : result.cells) {
+        os << (first ? "" : ",\n");
+        first = false;
+        os << "  {\"index\": " << c.cell.index << ", \"label\": \""
+           << jsonEscape(c.cell.label(result.spec))
+           << "\", \"site\": \""
+           << (c.cell.baseline ? "baseline"
+                               : siteName(c.cell.site))
+           << "\", \"rate\": " << formatDouble(c.cell.rate)
+           << ", \"seed\": " << c.cell.seed << ", \"ok\": "
+           << (c.ok ? "true" : "false");
+        if (c.ok) {
+            char slow[32];
+            std::snprintf(slow, sizeof(slow), "%.6f", c.slowdown);
+            os << ", \"end_to_end_ps\": " << c.result.end_to_end
+               << ", \"slowdown\": " << slow
+               << ", \"injected\": " << c.injected
+               << ", \"recovered\": " << c.recovered
+               << ", \"retry_time_ps\": " << c.retry_time_ps;
+        } else {
+            os << ", \"error\": \"" << jsonEscape(c.error) << "\"";
+        }
+        os << "}";
+    }
+    os << "\n]\n";
+}
+
+void
+writeCampaignStats(const CampaignResult &result, std::ostream &os)
+{
+    obs::StatsSections sections;
+    sections.reserve(result.cells.size());
+    for (const auto &c : result.cells) {
+        if (!c.ok)
+            continue;
+        sections.emplace_back(
+            "cell" + std::to_string(c.cell.index) + "."
+                + c.cell.label(result.spec) + ".",
+            c.result.stats.get());
+    }
+    obs::writeStatsJson(os, sections, /*include_host=*/false);
+}
+
+} // namespace hcc::fault

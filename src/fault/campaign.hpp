@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Fault-injection campaigns: run one workload across a (site, rate,
+ * seed) grid and measure how each injected failure mode stretches the
+ * end-to-end time relative to an unfaulted baseline of the same seed.
+ *
+ * A campaign expands to one rate-zero *baseline* cell per seed plus
+ * one cell per (site, rate, seed) triple, in deterministic input
+ * order.  Cells run through the same work-stealing pool as `hccsim
+ * sweep` (common/thread_pool.hpp); each cell owns its Context /
+ * Registry / Injector, so outputs are byte-identical regardless of
+ * the job count.  After the pool joins, each cell's `fault.*`
+ * counters are read back out of its stats registry and its slowdown
+ * is computed against the same-seed baseline.
+ */
+
+#ifndef HCC_FAULT_CAMPAIGN_HPP
+#define HCC_FAULT_CAMPAIGN_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "fault/fault.hpp"
+#include "workloads/workload.hpp"
+
+namespace hcc::fault {
+
+/** What to run: one app, one shape, a sites x rates x seeds grid. */
+struct CampaignSpec
+{
+    /** Workload name (see `hccsim list`). */
+    std::string app = "cnn";
+    /** Run the UVM variant of the app. */
+    bool uvm = false;
+    /** Problem-size multiplier. */
+    double scale = 1.0;
+    /** Crypto worker threads inside each cell's SecureChannel. */
+    int crypto_workers = 1;
+    /** Model TEE-I/O (TDISP) instead of bounce-buffer CC. */
+    bool tee_io = false;
+    /** Fault sites to exercise (empty is invalid; the CLI defaults
+     *  to allSites()). */
+    std::vector<Site> sites;
+    /** Per-site injection probabilities to exercise, each in (0,1].
+     *  Zero rates are redundant: every seed already gets a baseline
+     *  cell. */
+    std::vector<double> rates;
+    /** Master seeds; each gets its own baseline cell. */
+    std::vector<std::uint64_t> seeds;
+
+    /** Baseline cells + grid cells. */
+    std::size_t cellCount() const;
+};
+
+/** One run of the campaign grid. */
+struct CampaignCell
+{
+    std::size_t index = 0;
+    /** Unfaulted reference run (site/rate are meaningless). */
+    bool baseline = false;
+    Site site = Site::ChannelTagMismatch;
+    double rate = 0.0;
+    std::uint64_t seed = 1;
+
+    /** "cnn.baseline.s1" / "cnn.channel.tag_mismatch.r0.01.s1". */
+    std::string label(const CampaignSpec &spec) const;
+};
+
+/** Outcome of one cell. */
+struct CampaignCellResult
+{
+    CampaignCell cell;
+    bool ok = false;
+    /** FatalError message when !ok. */
+    std::string error;
+    workloads::WorkloadResult result;
+
+    // Read back from the cell's "fault.<site>.*" counters (zero for
+    // baseline cells, whose injector never creates them).
+    std::uint64_t injected = 0;
+    std::uint64_t recovered = 0;
+    std::uint64_t retry_time_ps = 0;
+
+    /** end_to_end / same-seed baseline end_to_end (0 when the
+     *  baseline failed or this cell failed). */
+    double slowdown = 0.0;
+
+    /** Host wall-clock for this cell, microseconds. */
+    double wall_us = 0.0;
+};
+
+/** Everything `hccsim faults` reports. */
+struct CampaignResult
+{
+    CampaignSpec spec;
+    std::vector<CampaignCellResult> cells;
+    int jobs = 1;
+    /** Host wall-clock for the whole campaign, microseconds. */
+    double wall_us = 0.0;
+    ThreadPool::Stats pool;
+
+    std::size_t failures() const;
+    bool allOk() const { return failures() == 0; }
+};
+
+/** Deterministic cell order: per seed, baseline first, then
+ *  site-major x rate-minor in spec order. */
+std::vector<CampaignCell> expandCampaign(const CampaignSpec &spec);
+
+/**
+ * Run the whole campaign across @p jobs workers.  Per-cell
+ * FatalErrors become failed cells, not process death.  Output is a
+ * pure function of @p spec — independent of @p jobs.
+ */
+CampaignResult runFaultCampaign(const CampaignSpec &spec, int jobs);
+
+/** One row per cell (stable column set; failed cells keep their
+ *  row with empty measurement fields). */
+void writeCampaignCsv(const CampaignResult &result, std::ostream &os);
+
+/** Same rows as the CSV, as a JSON array. */
+void writeCampaignJson(const CampaignResult &result, std::ostream &os);
+
+/** Merged per-cell stats dump ("cell<i>.<label>." sections), for
+ *  stats-diff gating of campaign baselines. */
+void writeCampaignStats(const CampaignResult &result, std::ostream &os);
+
+} // namespace hcc::fault
+
+#endif // HCC_FAULT_CAMPAIGN_HPP

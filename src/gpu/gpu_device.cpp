@@ -7,12 +7,13 @@
 
 namespace hcc::gpu {
 
-GpuDevice::GpuDevice(const GpuConfig &config, obs::Registry *obs)
+GpuDevice::GpuDevice(const GpuConfig &config, obs::Registry *obs,
+                     fault::Injector *fault)
     : config_(config),
       cmd_proc_(config.cc_mode, config.seed ^ 0xdec0deULL),
       compute_(config.concurrent_kernels),
       copy_(config.copy_engines, obs),
-      uvm_(config.uvm, obs),
+      uvm_(config.uvm, obs, fault),
       rng_(config.seed)
 {
     if (obs)

@@ -19,6 +19,8 @@
 #include "gpu/kernel.hpp"
 #include "gpu/uvm.hpp"
 
+namespace hcc::fault { class Injector; }
+
 namespace hcc::gpu {
 
 /** Static device configuration. */
@@ -46,9 +48,12 @@ class GpuDevice
      * @param obs optional stats sink, threaded through to the copy
      *        engines and UVM manager; the device itself publishes
      *        "gpu.kernels.executed".
+     * @param fault optional injector, threaded through to the UVM
+     *        manager ("uvm.thrash" site).
      */
     explicit GpuDevice(const GpuConfig &config = GpuConfig{},
-                       obs::Registry *obs = nullptr);
+                       obs::Registry *obs = nullptr,
+                       fault::Injector *fault = nullptr);
 
     /**
      * Execute a kernel whose launch command arrives at

@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "fault/fault.hpp"
 
 namespace hcc::gpu {
 
-UvmManager::UvmManager(const UvmConfig &config, obs::Registry *obs)
-    : config_(config), gmmu_(64, obs)
+UvmManager::UvmManager(const UvmConfig &config, obs::Registry *obs,
+                       fault::Injector *fault)
+    : config_(config), gmmu_(64, obs), fault_(fault)
 {
     if (config_.batch_pages_base <= 0 || config_.batch_pages_cc <= 0)
         fatal("UVM batch sizes must be positive");
@@ -202,6 +204,7 @@ UvmManager::touchOnDevice(std::uint64_t handle, Bytes touch_bytes,
     // identical to the per-batch loop this replaces.
     const Bytes last_batch =
         miss_bytes - static_cast<Bytes>(batches - 1) * batch_bytes;
+    const SimTime pre_service = svc.added;
     svc.added += config_.fault_latency * batches;
     if (ctx.cc()) {
         // Fault report + mapping update cross the TD boundary, then
@@ -223,11 +226,21 @@ UvmManager::touchOnDevice(std::uint64_t handle, Bytes touch_bytes,
     }
     svc.batches = batches;
     svc.migrated = miss_bytes;
+    if (fault_ && fault_->shouldInject(fault::Site::UvmThrash)) {
+        // Thrash: the batches just migrated are faulted straight
+        // back and must be serviced a second time — the whole
+        // batched service cost (sans eviction) repeats.
+        const SimTime rework = svc.added - pre_service;
+        svc.added += rework;
+        svc.batches *= 2;
+        fault_->recordRecovery(fault::Site::UvmThrash, rework);
+    }
     syncMappings(alloc, touch_bytes);
-    total_batches_ += static_cast<std::uint64_t>(batches);
+    total_batches_ += static_cast<std::uint64_t>(svc.batches);
     total_migrated_ += miss_bytes;
     if (obs_fault_batches_) {
-        obs_fault_batches_->bump(static_cast<std::uint64_t>(batches));
+        obs_fault_batches_->bump(
+            static_cast<std::uint64_t>(svc.batches));
         obs_bytes_migrated_->bump(miss_bytes);
         obs_bytes_evicted_->bump(svc.evicted);
         obs_fault_time_ps_->bump(static_cast<std::uint64_t>(svc.added));

@@ -25,6 +25,8 @@
 #include "gpu/gmmu.hpp"
 #include "obs/registry.hpp"
 
+namespace hcc::fault { class Injector; }
+
 namespace hcc::gpu {
 
 /** Tunables of the UVM subsystem (defaults from calibration). */
@@ -65,9 +67,13 @@ class UvmManager
      *        "gpu.uvm.{allocations,fault_batches,bytes_migrated,
      *        bytes_evicted,fault_time_ps}" and threads through to the
      *        owned GMMU's "gpu.gmmu.*" stats.
+     * @param fault optional injector arming the "uvm.thrash" site: a
+     *        thrash event re-services a kernel's fault batches once
+     *        (the migrated pages were immediately faulted back).
      */
     explicit UvmManager(const UvmConfig &config = UvmConfig{},
-                        obs::Registry *obs = nullptr);
+                        obs::Registry *obs = nullptr,
+                        fault::Injector *fault = nullptr);
 
     /** Register a managed allocation; returns its handle. */
     std::uint64_t createAllocation(Bytes bytes);
@@ -163,6 +169,7 @@ class UvmManager
     obs::Counter *obs_bytes_migrated_ = nullptr;
     obs::Counter *obs_bytes_evicted_ = nullptr;
     obs::Counter *obs_fault_time_ps_ = nullptr;
+    fault::Injector *fault_ = nullptr;
 };
 
 } // namespace hcc::gpu

@@ -103,21 +103,24 @@ statsJson(const Registry &registry, bool include_host)
     return oss.str();
 }
 
-StatsMap
+Result<StatsMap>
 parseStatsJson(const std::string &text)
 {
     json::Value doc;
     std::string error;
     if (!json::parse(text, doc, error))
-        fatal("malformed stats JSON: %s", error.c_str());
+        return errorf(ErrorCode::ParseError,
+                      "malformed stats JSON: %s", error.c_str());
     const json::Value *stats = doc.find("stats");
     if (stats == nullptr || !stats->isObject())
-        fatal("stats JSON has no \"stats\" object");
+        return errorf(ErrorCode::ParseError,
+                      "stats JSON has no \"stats\" object");
 
     StatsMap out;
     for (const auto &[name, body] : stats->object) {
         if (!body.isObject())
-            fatal("stat '%s' is not an object", name.c_str());
+            return errorf(ErrorCode::ParseError,
+                          "stat '%s' is not an object", name.c_str());
         StatSnapshot snap;
         for (const auto &[field, v] : body.object) {
             if (field == "type" && v.isString())
@@ -125,22 +128,27 @@ parseStatsJson(const std::string &text)
             else if (v.isNumber())
                 snap.fields[field] = v.number;
             else
-                fatal("stat '%s' field '%s' is not numeric",
-                      name.c_str(), field.c_str());
+                return errorf(ErrorCode::ParseError,
+                              "stat '%s' field '%s' is not numeric",
+                              name.c_str(), field.c_str());
         }
         out[name] = std::move(snap);
     }
     return out;
 }
 
-StatsMap
+Result<StatsMap>
 loadStatsFile(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        fatal("cannot open stats file '%s'", path.c_str());
+        return errorf(ErrorCode::IoError,
+                      "cannot open stats file '%s'", path.c_str());
     std::ostringstream oss;
     oss << in.rdbuf();
+    if (in.bad())
+        return errorf(ErrorCode::IoError,
+                      "failed reading stats file '%s'", path.c_str());
     return parseStatsJson(oss.str());
 }
 

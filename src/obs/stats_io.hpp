@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.hpp"
 #include "obs/registry.hpp"
 
 namespace hcc::obs {
@@ -65,12 +66,12 @@ using StatsMap = std::map<std::string, StatSnapshot>;
 
 /**
  * Parse a dump produced by writeStatsJson.
- * @throws FatalError on malformed input.
+ * @return the map, or a ParseError status on malformed input.
  */
-StatsMap parseStatsJson(const std::string &text);
+Result<StatsMap> parseStatsJson(const std::string &text);
 
-/** Load and parse a dump file.  @throws FatalError on I/O failure. */
-StatsMap loadStatsFile(const std::string &path);
+/** Load and parse a dump file (IoError when unreadable). */
+Result<StatsMap> loadStatsFile(const std::string &path);
 
 /** One detected difference between two dumps. */
 struct StatDrift

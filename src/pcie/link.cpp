@@ -3,11 +3,14 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "fault/fault.hpp"
 
 namespace hcc::pcie {
 
-PcieLink::PcieLink(const LinkConfig &config, obs::Registry *obs)
-    : config_(config), h2d_("pcie.h2d"), d2h_("pcie.d2h")
+PcieLink::PcieLink(const LinkConfig &config, obs::Registry *obs,
+                   fault::Injector *fault)
+    : config_(config), h2d_("pcie.h2d"), d2h_("pcie.d2h"),
+      fault_(fault)
 {
     if (config_.effective_gbps <= 0.0)
         fatal("pcie link bandwidth must be positive");
@@ -47,8 +50,20 @@ PcieLink::dmaDuration(Bytes bytes, double gbps) const
 sim::Interval
 PcieLink::dma(SimTime ready, Bytes bytes, Direction dir, double gbps)
 {
-    const sim::Interval iv =
-        lane(dir).reserve(ready, dmaDuration(bytes, gbps));
+    SimTime duration = dmaDuration(bytes, gbps);
+    SimTime replay_extra = 0;
+    if (fault_ && fault_->shouldInject(fault::Site::PcieReplay)) {
+        // Link-layer replay: the whole payload goes over the wire
+        // again (another dmaDuration) plus a fixed recovery penalty,
+        // all inside this transaction's occupancy.
+        replay_extra = dmaDuration(bytes, gbps)
+            + fault::kPcieReplayLatency;
+        duration += replay_extra;
+    }
+    const sim::Interval iv = lane(dir).reserve(ready, duration);
+    if (replay_extra > 0)
+        fault_->recordRecoverySpan(fault::Site::PcieReplay,
+                                   iv.end - replay_extra, iv.end);
     DirStats &stats =
         dir == Direction::HostToDevice ? obs_h2d_ : obs_d2h_;
     if (stats.transactions) {

@@ -18,6 +18,8 @@
 #include "obs/registry.hpp"
 #include "sim/timeline.hpp"
 
+namespace hcc::fault { class Injector; }
+
 namespace hcc::pcie {
 
 /** Transfer direction over the link. */
@@ -46,9 +48,13 @@ class PcieLink
     /**
      * @p obs (optional) receives per-direction DMA stats under
      * "pcie.link.{transactions,bytes,busy_ps}_{h2d,d2h}".
+     * @p fault (optional) arms the "pcie.replay" fault site: an
+     * injected replay retransmits the payload and pays a fixed
+     * link-layer penalty inside the granted interval.
      */
     explicit PcieLink(const LinkConfig &config = LinkConfig{},
-                      obs::Registry *obs = nullptr);
+                      obs::Registry *obs = nullptr,
+                      fault::Injector *fault = nullptr);
 
     /**
      * Schedule a DMA of @p bytes in @p dir becoming ready at
@@ -90,6 +96,7 @@ class PcieLink
     sim::Timeline d2h_;
     DirStats obs_h2d_;
     DirStats obs_d2h_;
+    fault::Injector *fault_ = nullptr;
 };
 
 } // namespace hcc::pcie

@@ -79,6 +79,10 @@ decompose(const trace::Tracer &tracer)
           case EventKind::Sync:
             sync_spans.emplace_back(e.start, e.end);
             break;
+          case EventKind::Fault:
+            // Recovery spans overlap the transfers they retried;
+            // their cost is already inside the memcpy durations.
+            break;
         }
     }
 

@@ -185,6 +185,7 @@ projectCc(const trace::Tracer &base_trace)
                 - rt::freeCost(e.bytes, vm);
             break;
           case EventKind::Sync:
+          case EventKind::Fault:
             break;
         }
     }

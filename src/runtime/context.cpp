@@ -37,11 +37,15 @@ deriveGpuConfig(const SystemConfig &config)
 Context::Context(const SystemConfig &config)
     : config_(config),
       obs_(std::make_shared<obs::Registry>()),
-      tdx_(config.cc, obs_.get()),
-      link_(config.link, obs_.get()),
-      gpu_(deriveGpuConfig(config), obs_.get()),
+      fault_(std::make_unique<fault::Injector>(config.faults,
+                                               config.seed,
+                                               obs_.get())),
+      tdx_(config.cc, obs_.get(), fault_.get()),
+      link_(config.link, obs_.get(), fault_.get()),
+      gpu_(deriveGpuConfig(config), obs_.get(), fault_.get()),
       rng_(config.seed)
 {
+    fault_->attachTracer(&tracer_);
     obs_api_allocs_ = &obs_->counter("runtime.api.allocs");
     obs_api_frees_ = &obs_->counter("runtime.api.frees");
     obs_api_memcpys_ = &obs_->counter("runtime.api.memcpys");
@@ -69,11 +73,29 @@ Context::Context(const SystemConfig &config)
         // Binding a CC-mode GPU to the TD: SPDM attestation and
         // session-key establishment, plus generating and verifying
         // the platform quote the tenant demands before trusting the
-        // session (Sec. III).
-        const auto session = tee::SpdmSession::establish(config_.seed);
-        channel_ = std::make_unique<tee::SecureChannel>(
-            config_.channel, session, obs_.get());
-        host_now_ += tee::SpdmSession::kHandshakeCost;
+        // session (Sec. III).  A failed handshake (spdm.handshake
+        // fault site) is recovered by re-attesting from scratch —
+        // every attempt pays the full handshake cost.
+        for (int attempt = 1;; ++attempt) {
+            auto session =
+                tee::SpdmSession::establish(config_.seed, fault_.get());
+            host_now_ += tee::SpdmSession::kHandshakeCost;
+            if (session.ok()) {
+                channel_ = std::make_unique<tee::SecureChannel>(
+                    config_.channel, session.value(), obs_.get(),
+                    fault_.get());
+                if (attempt > 1)
+                    fault_->recordRecoverySpan(
+                        fault::Site::SpdmHandshake, 0,
+                        (attempt - 1)
+                            * tee::SpdmSession::kHandshakeCost);
+                break;
+            }
+            if (attempt >= fault::kMaxHandshakeAttempts)
+                fatal("SPDM session setup failed after %d attempts: "
+                      "%s",
+                      attempt, session.status().message().c_str());
+        }
         host_now_ += tee::AttestationService::kQuoteGenCost;
         host_now_ += tee::AttestationService::kQuoteVerifyCost;
     }

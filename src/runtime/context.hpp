@@ -37,6 +37,7 @@
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "fault/fault.hpp"
 #include "gpu/gpu_device.hpp"
 #include "obs/registry.hpp"
 #include "pcie/link.hpp"
@@ -62,6 +63,9 @@ struct SystemConfig
     gpu::GpuConfig gpu;
     /** Master seed for all stochastic costs. */
     std::uint64_t seed = 1;
+    /** Fault-injection rates (all zero: no faults, byte-identical
+     *  behaviour to a build without the fault subsystem). */
+    fault::FaultConfig faults;
 };
 
 /** Opaque stream handle. */
@@ -229,6 +233,10 @@ class Context
     pcie::PcieLink &link() { return link_; }
     tee::SecureChannel *channel() { return channel_.get(); }
 
+    /** The context's fault injector (always present; unarmed when
+     *  all configured rates are zero). */
+    fault::Injector &faultInjector() { return *fault_; }
+
     /** Live driver allocations (leak checking in tests). */
     std::size_t liveAllocations() const { return allocs_.size(); }
 
@@ -264,6 +272,9 @@ class Context
     // The registry must be the first member: every component below
     // captures stat pointers into it at construction.
     std::shared_ptr<obs::Registry> obs_;
+    // The injector comes right after: the components below hold a
+    // pointer to it for their fault sites.
+    std::unique_ptr<fault::Injector> fault_;
     tee::TdxModule tdx_;
     pcie::PcieLink link_;
     std::unique_ptr<tee::SecureChannel> channel_;

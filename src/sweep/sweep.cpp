@@ -276,8 +276,16 @@ parseSeedList(const std::string &csv)
     return out;
 }
 
+namespace {
+
+/**
+ * Throwing parse body: fatal() doubles as the parse-abort mechanism
+ * so the shared list parsers (parseModeList, parseScaleList, ...)
+ * need no error plumbing.  The public surface converts the throw to
+ * a typed Status — callers never see the exception.
+ */
 GridSpec
-parseGridSpec(const std::string &text)
+parseGridSpecImpl(const std::string &text)
 {
     GridSpec grid;
     bool have_apps = false;
@@ -339,16 +347,31 @@ parseGridSpec(const std::string &text)
     return grid;
 }
 
-GridSpec
+} // namespace
+
+Result<GridSpec>
+parseGridSpec(const std::string &text)
+{
+    try {
+        return parseGridSpecImpl(text);
+    } catch (const FatalError &e) {
+        return errorf(ErrorCode::ParseError, "%s", e.what());
+    }
+}
+
+Result<GridSpec>
 loadGridFile(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        fatal("cannot open grid spec file '%s'", path.c_str());
+        return errorf(ErrorCode::IoError,
+                      "cannot open grid spec file '%s'", path.c_str());
     std::ostringstream oss;
     oss << in.rdbuf();
     if (in.bad())
-        fatal("failed reading grid spec file '%s'", path.c_str());
+        return errorf(ErrorCode::IoError,
+                      "failed reading grid spec file '%s'",
+                      path.c_str());
     return parseGridSpec(oss.str());
 }
 

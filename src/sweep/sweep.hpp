@@ -121,9 +121,10 @@ SweepResult runSweep(const GridSpec &grid, int jobs,
  * comments; keys: apps (comma list or "all"), cc (on|off|both),
  * uvm (on|off|both), scales (comma list), seeds (comma list),
  * crypto-workers (int), tee-io (on|off).
- * @throws FatalError on unknown keys or bad values.
+ * @return the grid, or a ParseError status with a line-numbered
+ *         message on unknown keys or bad values.
  */
-GridSpec parseGridSpec(const std::string &text);
+Result<GridSpec> parseGridSpec(const std::string &text);
 
 /** Parse "on"/"off"/"both" into a mode list.  @throws FatalError. */
 std::vector<bool> parseModeList(const std::string &name);
@@ -140,8 +141,8 @@ std::vector<double> parseScaleList(const std::string &csv);
 /** Parse a comma list of seeds.  @throws FatalError. */
 std::vector<std::uint64_t> parseSeedList(const std::string &csv);
 
-/** Load and parse a grid spec file.  @throws FatalError on I/O. */
-GridSpec loadGridFile(const std::string &path);
+/** Load and parse a grid spec file (IoError when unreadable). */
+Result<GridSpec> loadGridFile(const std::string &path);
 
 /**
  * Deterministic per-cell CSV (RFC-4180 quoting): one row per cell in

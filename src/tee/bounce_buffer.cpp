@@ -1,5 +1,7 @@
 #include "tee/bounce_buffer.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace hcc::tee {
@@ -71,6 +73,7 @@ BounceBufferPool::release(const BounceSlot &slot, SimTime when)
     // free list only holds never-used slots, so the two sets stay
     // disjoint by construction.
     busy_until_heap_.emplace(when, slot.index);
+    latest_release_ = std::max(latest_release_, when);
     --in_use_;
     if (obs_occupancy_)
         obs_occupancy_->set(in_use_, when);

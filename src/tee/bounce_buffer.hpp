@@ -71,6 +71,13 @@ class BounceBufferPool
     /** Total time callers spent waiting for slots. */
     SimTime contentionTime() const { return contention_time_; }
 
+    /**
+     * Latest release time seen so far (0 before any release) — the
+     * point at which the whole pool has drained.  The fault layer's
+     * bounce.exhausted recovery stalls an acquisition to here.
+     */
+    SimTime latestRelease() const { return latest_release_; }
+
   private:
     Bytes slot_bytes_;
     std::vector<std::vector<std::uint8_t>> buffers_;
@@ -81,6 +88,7 @@ class BounceBufferPool
                         std::greater<>> busy_until_heap_;
     std::uint64_t contention_ = 0;
     SimTime contention_time_ = 0;
+    SimTime latest_release_ = 0;
     int in_use_ = 0;
     obs::Counter *obs_acquires_ = nullptr;
     obs::Counter *obs_contention_events_ = nullptr;

@@ -5,12 +5,14 @@
 #include <thread>
 
 #include "common/log.hpp"
+#include "fault/fault.hpp"
 
 namespace hcc::tee {
 
 SecureChannel::SecureChannel(const ChannelConfig &config,
                              const SpdmSession &session,
-                             obs::Registry *obs)
+                             obs::Registry *obs,
+                             fault::Injector *fault)
     : config_(config),
       cpu_model_(config.cpu),
       crypto_workers_("cc.crypto", std::max(1, config.crypto_workers)),
@@ -18,7 +20,8 @@ SecureChannel::SecureChannel(const ChannelConfig &config,
       pool_(config.chunk_bytes, config.bounce_slots, obs),
       gcm_(session.key(), obs),
       iv_seq_(static_cast<std::uint32_t>(session.sessionId())),
-      obs_(obs)
+      obs_(obs),
+      fault_(fault)
 {
     if (config.chunk_bytes == 0)
         fatal("secure channel chunk size must be positive");
@@ -103,28 +106,78 @@ SecureChannel::scheduleTransfer(SimTime ready, Bytes bytes,
             std::min<Bytes>(remaining, config_.chunk_bytes);
         remaining -= chunk;
         ++timing.chunks;
-        if (obs_chunks_) {
-            obs_chunks_->add(1);
-            // One 16-byte AES block per 16 ciphertext bytes, rounded
-            // up -- the work both the CPU and GPU crypto stages do.
-            obs_gcm_blocks_->add((chunk + 15) / 16);
+
+        // A chunk whose tag fails authentication on the GPU is
+        // re-encrypted (fresh IV), re-staged and re-sent, so every
+        // attempt re-occupies all three stages; retries start after
+        // an exponential backoff, and exhaustion tears the session
+        // down for a full re-attestation before the channel moves on.
+        SimTime chunk_ready = t;
+        SimTime first_try_end = 0;
+        for (int attempt = 1;; ++attempt) {
+            if (obs_chunks_) {
+                obs_chunks_->add(1);
+                // One 16-byte AES block per 16 ciphertext bytes,
+                // rounded up -- the work both the CPU and GPU crypto
+                // stages do.
+                obs_gcm_blocks_->add((chunk + 15) / 16);
+            }
+
+            const auto worker = crypto_workers_.reserve(
+                chunk_ready, workerChunkCost(chunk, dir));
+            timing.encrypt_busy += worker.duration();
+
+            // The ciphertext needs a bounce slot from the moment the
+            // copy lands until the DMA drains it.
+            auto slot = pool_.acquire(worker.end);
+            if (fault_
+                && fault_->shouldInject(fault::Site::BounceExhausted)) {
+                // Slot exhaustion: the swiotlb allocator found no
+                // slot and the driver stalls until the whole pool
+                // has drained before retrying the mapping.
+                const SimTime drained = std::max(
+                    slot.acquired_at, pool_.latestRelease());
+                if (drained > slot.acquired_at) {
+                    fault_->recordRecoverySpan(
+                        fault::Site::BounceExhausted,
+                        slot.acquired_at, drained);
+                    slot.acquired_at = drained;
+                }
+            }
+            const auto dma = link.dma(slot.acquired_at, chunk, dir);
+            timing.dma_busy += dma.duration();
+            pool_.release(slot, dma.end);
+
+            const auto gpu = gpu_crypto_.reserve(
+                dma.end, transferTime(chunk, config_.gpu_crypto_gbps));
+            timing.gpu_crypto_busy += gpu.duration();
+
+            const bool tag_failed = fault_
+                && fault_->shouldInject(fault::Site::ChannelTagMismatch);
+            if (!tag_failed) {
+                if (attempt > 1)
+                    fault_->recordRecoverySpan(
+                        fault::Site::ChannelTagMismatch,
+                        first_try_end, gpu.end);
+                done = std::max(done, gpu.end);
+                break;
+            }
+            if (attempt == 1)
+                first_try_end = gpu.end;
+            if (attempt >= fault::kMaxTransferAttempts) {
+                // Give up on the session key: full re-attestation
+                // blocks the channel before any further chunk.
+                const SimTime resume =
+                    gpu.end + SpdmSession::kHandshakeCost;
+                fault_->recordRecoverySpan(
+                    fault::Site::ChannelTagMismatch,
+                    first_try_end, resume);
+                t = resume;
+                done = std::max(done, resume);
+                break;
+            }
+            chunk_ready = gpu.end + fault::retryBackoff(attempt);
         }
-
-        const auto worker =
-            crypto_workers_.reserve(t, workerChunkCost(chunk, dir));
-        timing.encrypt_busy += worker.duration();
-
-        // The ciphertext needs a bounce slot from the moment the
-        // copy lands until the DMA drains it.
-        auto slot = pool_.acquire(worker.end);
-        const auto dma = link.dma(slot.acquired_at, chunk, dir);
-        timing.dma_busy += dma.duration();
-        pool_.release(slot, dma.end);
-
-        const auto gpu = gpu_crypto_.reserve(
-            dma.end, transferTime(chunk, config_.gpu_crypto_gbps));
-        timing.gpu_crypto_busy += gpu.duration();
-        done = std::max(done, gpu.end);
     }
 
     timing.total = {ready, done};
@@ -174,10 +227,9 @@ SecureChannel::transferDuration(Bytes bytes, const pcie::PcieLink &link,
     return total;
 }
 
-bool
-SecureChannel::transferFunctional(
-    std::span<const std::uint8_t> src, std::span<std::uint8_t> dst,
-    const std::function<void(std::vector<std::uint8_t> &)> &tamper)
+Status
+SecureChannel::transferFunctional(std::span<const std::uint8_t> src,
+                                  std::span<std::uint8_t> dst)
 {
     HCC_ASSERT(dst.size() >= src.size(),
                "functional transfer destination too small");
@@ -185,55 +237,93 @@ SecureChannel::transferFunctional(
     obs::ProfileScope profile(obs_, "channel_functional");
     if (config_.crypto_workers > 1
         && src.size() > config_.chunk_bytes)
-        return transferFunctionalParallel(src, dst, tamper);
-    return transferFunctionalSequential(src, dst, tamper);
+        return transferFunctionalParallel(src, dst);
+    return transferFunctionalSequential(src, dst);
 }
 
-bool
-SecureChannel::transferFunctionalSequential(
-    std::span<const std::uint8_t> src, std::span<std::uint8_t> dst,
-    const std::function<void(std::vector<std::uint8_t> &)> &tamper)
+void
+SecureChannel::stageFaults(std::vector<std::uint8_t> &stage)
 {
-    bool ok = true;
-    std::size_t off = 0;
-    while (off < src.size()) {
-        const std::size_t chunk = std::min<std::size_t>(
-            config_.chunk_bytes, src.size() - off);
+    // Step c/d: the ciphertext sits in untrusted shared memory; a
+    // malicious hypervisor may do anything to it here.  The injector
+    // models that adversary: an injected tag mismatch flips a bit,
+    // and the stage hook lets tests and campaigns observe or tamper
+    // with the exact wire bytes.
+    if (!fault_)
+        return;
+    if (fault_->shouldInject(fault::Site::ChannelTagMismatch))
+        fault_->corrupt(stage);
+    if (fault_->stageHook())
+        fault_->stageHook()(stage);
+}
 
-        // Step b: seal the chunk.
+Status
+SecureChannel::transferChunk(std::span<const std::uint8_t> src,
+                             std::span<std::uint8_t> dst,
+                             std::size_t off, int attempts)
+{
+    for (int attempt = 1; attempt <= attempts; ++attempt) {
+        // Step b: seal the chunk.  Retries re-seal under a fresh IV:
+        // the failed ciphertext is torn down, never re-sent.
         const auto iv = iv_seq_.next();
         auto slot = pool_.acquire(0);
         auto &stage = pool_.storage(slot);
-        if (stage.size() < chunk + crypto::kGcmTagLen)
-            stage.resize(chunk + crypto::kGcmTagLen);
+        // Exactly ciphertext || tag: the fault layer (corruption and
+        // the stage hook) must see only live wire bytes, never a
+        // stale slot tail.  Shrinking keeps the slot's capacity.
+        stage.resize(src.size() + crypto::kGcmTagLen);
         std::uint8_t tag[crypto::kGcmTagLen];
-        gcm_.seal(iv, {}, src.subspan(off, chunk),
-                  std::span<std::uint8_t>(stage.data(), chunk), tag);
+        gcm_.seal(iv, {}, src,
+                  std::span<std::uint8_t>(stage.data(), src.size()),
+                  tag);
         std::copy(tag, tag + crypto::kGcmTagLen,
-                  stage.begin() + static_cast<std::ptrdiff_t>(chunk));
+                  stage.begin()
+                      + static_cast<std::ptrdiff_t>(src.size()));
 
-        // Step c/d: the ciphertext sits in untrusted shared memory;
-        // a malicious hypervisor may do anything to it here.
-        if (tamper)
-            tamper(stage);
+        stageFaults(stage);
 
         // Step e: the far side authenticates and decrypts.
         const bool chunk_ok = gcm_.open(
             iv, {},
-            std::span<const std::uint8_t>(stage.data(), chunk),
-            stage.data() + chunk, dst.subspan(off, chunk));
-        ok = ok && chunk_ok;
-
+            std::span<const std::uint8_t>(stage.data(), src.size()),
+            stage.data() + src.size(), dst);
         pool_.release(slot, 0);
-        off += chunk;
+
+        if (chunk_ok) {
+            if (attempt > 1 && fault_
+                && fault_->armed(fault::Site::ChannelTagMismatch))
+                fault_->recordRecovery(
+                    fault::Site::ChannelTagMismatch, 0);
+            return Status();
+        }
     }
-    return ok;
+    return errorf(ErrorCode::IntegrityError,
+                  "chunk at offset %zu failed authentication after "
+                  "%d attempts",
+                  off, attempts);
 }
 
-bool
+Status
+SecureChannel::transferFunctionalSequential(
+    std::span<const std::uint8_t> src, std::span<std::uint8_t> dst)
+{
+    std::size_t off = 0;
+    while (off < src.size()) {
+        const std::size_t chunk = std::min<std::size_t>(
+            config_.chunk_bytes, src.size() - off);
+        Status st = transferChunk(src.subspan(off, chunk),
+                                  dst.subspan(off, chunk), off,
+                                  fault::kMaxTransferAttempts);
+        if (!st.ok())
+            return st;
+        off += chunk;
+    }
+    return Status();
+}
+
+Status
 SecureChannel::transferFunctionalParallel(
-    std::span<const std::uint8_t> src, std::span<std::uint8_t> dst,
-    const std::function<void(std::vector<std::uint8_t> &)> &tamper)
+    std::span<const std::uint8_t> src, std::span<std::uint8_t> dst)
 {
     // Chunk layout and IVs are fixed up front, in chunk order, so
     // the wire bytes are identical to the sequential path no matter
@@ -286,14 +376,13 @@ SecureChannel::transferFunctionalParallel(
     });
 
     // Phase 2 (sequential, chunk order): stage through the bounce
-    // pool and expose each ciphertext to the tamper hook exactly as
+    // pool and expose each ciphertext to the fault layer exactly as
     // the single-worker path does.
     for (std::size_t i = 0; i < chunks.size(); ++i) {
         auto slot = pool_.acquire(0);
         auto &stage = pool_.storage(slot);
         stage.swap(staging[i]);
-        if (tamper)
-            tamper(stage);
+        stageFaults(stage);
         stage.swap(staging[i]);
         pool_.release(slot, 0);
     }
@@ -314,10 +403,23 @@ SecureChannel::transferFunctionalParallel(
             : 0;
     });
 
-    bool ok = true;
-    for (const std::uint8_t good : chunk_ok)
-        ok = ok && good != 0;
-    return ok;
+    // Chunks that failed authentication retry through the sequential
+    // per-chunk path (fresh IV each attempt, same bounce slots); the
+    // parallel phases above already consumed the first attempt.
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+        if (chunk_ok[i])
+            continue;
+        const Chunk &c = chunks[i];
+        Status st = transferChunk(src.subspan(c.off, c.len),
+                                  dst.subspan(c.off, c.len), c.off,
+                                  fault::kMaxTransferAttempts - 1);
+        if (!st.ok())
+            return errorf(ErrorCode::IntegrityError,
+                          "chunk at offset %zu failed authentication "
+                          "after %d attempts",
+                          c.off, fault::kMaxTransferAttempts);
+    }
+    return Status();
 }
 
 } // namespace hcc::tee

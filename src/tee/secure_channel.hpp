@@ -18,19 +18,22 @@
  *
  * The class also implements the path *functionally*: real bytes are
  * sealed with the from-scratch AES-GCM, staged through real bounce
- * slots, and opened on the other side, with a tamper hook so tests
- * can prove the integrity guarantee.
+ * slots, and opened on the other side.  The fault::Injector's stage
+ * hook exposes every staged ciphertext chunk while it sits in
+ * untrusted shared memory, so integrity tests and fault campaigns
+ * prove the guarantee through one mechanism; authentication failures
+ * surface as recoverable Status values after bounded retry.
  */
 
 #ifndef HCC_TEE_SECURE_CHANNEL_HPP
 #define HCC_TEE_SECURE_CHANNEL_HPP
 
 #include <cstdint>
-#include <functional>
 #include <span>
 #include <vector>
 
 #include "common/calibration.hpp"
+#include "common/status.hpp"
 #include "common/units.hpp"
 #include "crypto/cpu_crypto_model.hpp"
 #include "crypto/gcm.hpp"
@@ -92,10 +95,14 @@ class SecureChannel
      *        the "tee.bounce.*" and "crypto.aes_gcm.*" stats.  The
      *        internal timelines attach as
      *        "sim.timeline.cc_{crypto,gpu_crypto}.*".
+     * @param fault optional injector arming the
+     *        "channel.tag_mismatch" and "bounce.exhausted" sites and
+     *        carrying the stage hook of the functional path.
      */
     SecureChannel(const ChannelConfig &config,
                   const SpdmSession &session,
-                  obs::Registry *obs = nullptr);
+                  obs::Registry *obs = nullptr,
+                  fault::Injector *fault = nullptr);
 
     /**
      * Schedule a transfer of @p bytes in direction @p dir, ready at
@@ -135,21 +142,22 @@ class SecureChannel
      * std::thread worker pool (chunks are independent: each gets its
      * own pre-assigned IV and disjoint src/dst ranges), so the
      * PipeLLM-style ablation parallelizes actual byte work, not just
-     * the timing model.  The tamper hook always runs sequentially in
-     * chunk order, between the phases.  Results are bit-identical to
-     * the single-worker path.
+     * the timing model.  The injector's stage hook always runs
+     * sequentially in chunk order, between the phases.  Results are
+     * bit-identical to the single-worker path.
+     *
+     * A chunk that fails authentication (a tampered stage or an
+     * injected tag mismatch) is retried with a fresh IV up to
+     * fault::kMaxTransferAttempts times; persistent failure returns
+     * an IntegrityError Status identifying the chunk.
      *
      * @param src plaintext source.
      * @param dst destination, same size.
-     * @param tamper optional hook invoked on each staged ciphertext
-     *        chunk while it sits in the (untrusted) bounce buffer.
-     * @return true iff every chunk authenticated on the far side.
+     * @return Ok iff every chunk authenticated on the far side.
      */
-    [[nodiscard]] bool transferFunctional(
+    [[nodiscard]] Status transferFunctional(
         std::span<const std::uint8_t> src,
-        std::span<std::uint8_t> dst,
-        const std::function<void(std::vector<std::uint8_t> &)> &tamper
-            = nullptr);
+        std::span<std::uint8_t> dst);
 
     const ChannelConfig &config() const { return config_; }
     const BounceBufferPool &bouncePool() const { return pool_; }
@@ -161,19 +169,26 @@ class SecureChannel
     /** Worker time for encrypt + bounce copy of @p bytes. */
     SimTime workerChunkCost(Bytes bytes, pcie::Direction dir) const;
 
+    /**
+     * Seal/stage/open one chunk, retrying with fresh IVs up to
+     * @p attempts times before giving up with IntegrityError.
+     */
+    Status transferChunk(std::span<const std::uint8_t> src,
+                         std::span<std::uint8_t> dst,
+                         std::size_t off, int attempts);
+
+    /** Expose a staged chunk to the fault layer (corrupt + hook). */
+    void stageFaults(std::vector<std::uint8_t> &stage);
+
     /** Single-worker functional path (chunk-at-a-time). */
-    bool transferFunctionalSequential(
+    Status transferFunctionalSequential(
         std::span<const std::uint8_t> src,
-        std::span<std::uint8_t> dst,
-        const std::function<void(std::vector<std::uint8_t> &)>
-            &tamper);
+        std::span<std::uint8_t> dst);
 
     /** Multi-worker functional path (parallel seal/open phases). */
-    bool transferFunctionalParallel(
+    Status transferFunctionalParallel(
         std::span<const std::uint8_t> src,
-        std::span<std::uint8_t> dst,
-        const std::function<void(std::vector<std::uint8_t> &)>
-            &tamper);
+        std::span<std::uint8_t> dst);
 
     ChannelConfig config_;
     crypto::CpuCryptoModel cpu_model_;
@@ -184,6 +199,7 @@ class SecureChannel
     crypto::GcmIvSequence iv_seq_;
     Bytes bytes_ = 0;
     obs::Registry *obs_ = nullptr;
+    fault::Injector *fault_ = nullptr;
     obs::Counter *obs_transfers_ = nullptr;
     obs::Counter *obs_chunks_ = nullptr;
     obs::Counter *obs_bytes_h2d_ = nullptr;

@@ -1,6 +1,7 @@
 #include "tee/spdm.hpp"
 
 #include "common/rng.hpp"
+#include "fault/fault.hpp"
 
 namespace hcc::tee {
 
@@ -13,6 +14,16 @@ SpdmSession::establish(std::uint64_t seed)
     for (auto &b : s.key_)
         b = static_cast<std::uint8_t>(rng.next32());
     return s;
+}
+
+Result<SpdmSession>
+SpdmSession::establish(std::uint64_t seed, fault::Injector *fault)
+{
+    if (fault && fault->shouldInject(fault::Site::SpdmHandshake))
+        return errorf(ErrorCode::HandshakeError,
+                      "SPDM measurement verification failed "
+                      "(injected handshake fault)");
+    return establish(seed);
 }
 
 } // namespace hcc::tee

@@ -15,7 +15,10 @@
 #include <array>
 #include <cstdint>
 
+#include "common/status.hpp"
 #include "common/units.hpp"
+
+namespace hcc::fault { class Injector; }
 
 namespace hcc::tee {
 
@@ -31,6 +34,17 @@ class SpdmSession
      * @param seed deterministic seed standing in for the DH exchange.
      */
     static SpdmSession establish(std::uint64_t seed);
+
+    /**
+     * Fallible handshake: the "spdm.handshake" fault site can fail
+     * one attempt, returning a HandshakeError Status the caller
+     * recovers from by re-attesting (Context retries up to
+     * fault::kMaxHandshakeAttempts, charging kHandshakeCost per
+     * attempt).  With @p fault null or the site unarmed this is
+     * exactly establish(seed).
+     */
+    static Result<SpdmSession> establish(std::uint64_t seed,
+                                         fault::Injector *fault);
 
     /** One-time wall-clock cost of the handshake (measurement, cert
      *  chain verification, key schedule). */

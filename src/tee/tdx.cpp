@@ -1,11 +1,13 @@
 #include "tee/tdx.hpp"
 
 #include "common/log.hpp"
+#include "fault/fault.hpp"
 
 namespace hcc::tee {
 
-TdxModule::TdxModule(bool cc_enabled, obs::Registry *obs)
-    : cc_(cc_enabled)
+TdxModule::TdxModule(bool cc_enabled, obs::Registry *obs,
+                     fault::Injector *fault)
+    : cc_(cc_enabled), fault_(fault)
 {
     if (obs) {
         obs_hypercalls_ = {&obs->counter("tee.tdx.hypercalls"),
@@ -28,6 +30,15 @@ TdxModule::guestHostRoundTrips(int count)
     HCC_ASSERT(count >= 0, "negative round-trip count");
     if (count == 0)
         return 0;
+    if (fault_ && fault_->shouldInject(fault::Site::TdxEptStorm)) {
+        // EPT-violation storm: the batch of exits re-faults, costing
+        // a burst of extra transitions before forward progress.
+        const SimTime per = cc_ ? calib::kTdxHypercallLatency
+                                : calib::kVmcallLatency;
+        fault_->recordRecovery(fault::Site::TdxEptStorm,
+                               per * fault::kEptStormExits);
+        count += fault::kEptStormExits;
+    }
     if (cc_) {
         const SimTime t = calib::kTdxHypercallLatency * count;
         stats_.hypercalls += static_cast<std::uint64_t>(count);

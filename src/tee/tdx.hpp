@@ -23,6 +23,8 @@
 #include "common/units.hpp"
 #include "obs/registry.hpp"
 
+namespace hcc::fault { class Injector; }
+
 namespace hcc::tee {
 
 /** Counters of TDX-related transitions, for Fig. 8-style breakdowns. */
@@ -59,8 +61,12 @@ class TdxModule
      * @param cc_enabled true for a TD, false for a regular VM.
      * @param obs optional stats sink; mirrors TdxStats as
      *        "tee.tdx.*" counters (transition counts and *_time_ps).
+     * @param fault optional injector arming the "tdx.ept_storm"
+     *        site: a storm charges fault::kEptStormExits extra
+     *        guest<->host round trips on top of the requested count.
      */
-    explicit TdxModule(bool cc_enabled, obs::Registry *obs = nullptr);
+    explicit TdxModule(bool cc_enabled, obs::Registry *obs = nullptr,
+                       fault::Injector *fault = nullptr);
 
     bool ccEnabled() const { return cc_; }
 
@@ -112,6 +118,7 @@ class TdxModule
 
     bool cc_;
     TdxStats stats_;
+    fault::Injector *fault_ = nullptr;
     ObsPair obs_hypercalls_;
     ObsPair obs_seamcalls_;
     ObsPair obs_vmexits_;

@@ -51,6 +51,10 @@ analyze(const Tracer &tracer)
           case EventKind::Sync:
             m.sync_time += e.duration();
             break;
+          case EventKind::Fault:
+            m.fault_time += e.duration();
+            ++m.fault_recoveries;
+            break;
         }
     }
     m.end_to_end = tracer.span();

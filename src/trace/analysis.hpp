@@ -40,10 +40,13 @@ struct AppMetrics
     SimTime alloc_managed = 0;
     SimTime free_time = 0;
     SimTime sync_time = 0;
+    /** Injected-fault recovery time (hcc::fault spans). */
+    SimTime fault_time = 0;
     /** End-to-end span of the trace. */
     SimTime end_to_end = 0;
     int launches = 0;
     int kernels = 0;
+    int fault_recoveries = 0;
 
     SimTime copyTotal() const { return copy_h2d + copy_d2h + copy_d2d; }
     SimTime sumKlo() const { return static_cast<SimTime>(klo.sum()); }

@@ -15,7 +15,7 @@ allKinds()
         EventKind::MemcpyH2D, EventKind::MemcpyD2H,
         EventKind::MemcpyD2D, EventKind::MallocDevice,
         EventKind::MallocHost, EventKind::MallocManaged,
-        EventKind::Free, EventKind::Sync,
+        EventKind::Free, EventKind::Sync, EventKind::Fault,
     };
     return kinds;
 }

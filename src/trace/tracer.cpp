@@ -21,6 +21,7 @@ eventKindName(EventKind kind)
       case EventKind::Free: return "Free";
       case EventKind::Sync: return "Sync";
       case EventKind::GraphLaunch: return "GraphLaunch";
+      case EventKind::Fault: return "Fault";
     }
     return "?";
 }

@@ -47,6 +47,7 @@ enum class EventKind
     Free,          //!< cudaFree
     Sync,          //!< host blocked in a synchronize call
     GraphLaunch,   //!< cudaGraphLaunch batch submission
+    Fault,         //!< injected-fault recovery span (hcc::fault)
 };
 
 /** Printable kind name (view into static storage). */

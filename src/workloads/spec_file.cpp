@@ -86,8 +86,16 @@ parseDuration(const std::string &token)
           unit.c_str(), token.c_str());
 }
 
+namespace {
+
+/**
+ * Throwing parse body: fatal() doubles as the parse-abort mechanism
+ * so the deeply nested literal parsers (parseSize, parseDuration)
+ * need no error plumbing.  The public surface converts the throw to
+ * a typed Status — callers never see the exception.
+ */
 AppSpec
-parseSpecText(const std::string &text)
+parseSpecTextImpl(const std::string &text)
 {
     AppSpec spec;
     spec.suite = "custom";
@@ -190,14 +198,30 @@ parseSpecText(const std::string &text)
     return spec;
 }
 
-AppSpec
+} // namespace
+
+Result<AppSpec>
+parseSpecText(const std::string &text)
+{
+    try {
+        return parseSpecTextImpl(text);
+    } catch (const FatalError &e) {
+        return errorf(ErrorCode::ParseError, "%s", e.what());
+    }
+}
+
+Result<AppSpec>
 loadSpecFile(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        fatal("cannot open spec file '%s'", path.c_str());
+        return errorf(ErrorCode::IoError,
+                      "cannot open spec file '%s'", path.c_str());
     std::ostringstream buf;
     buf << in.rdbuf();
+    if (in.bad())
+        return errorf(ErrorCode::IoError,
+                      "failed reading spec file '%s'", path.c_str());
     return parseSpecText(buf.str());
 }
 

@@ -28,19 +28,20 @@
 
 #include <string>
 
+#include "common/status.hpp"
 #include "workloads/spec.hpp"
 
 namespace hcc::workloads {
 
 /**
  * Parse the spec text format.
- * @throws FatalError with a line-numbered message on any syntax or
- *         semantic error.
+ * @return the spec, or a ParseError status with a line-numbered
+ *         message on any syntax or semantic error.
  */
-AppSpec parseSpecText(const std::string &text);
+Result<AppSpec> parseSpecText(const std::string &text);
 
-/** Load and parse a spec file from disk. */
-AppSpec loadSpecFile(const std::string &path);
+/** Load and parse a spec file from disk (IoError when unreadable). */
+Result<AppSpec> loadSpecFile(const std::string &path);
 
 /** Parse "64MiB"-style size literals. */
 Bytes parseSize(const std::string &token);

@@ -485,5 +485,140 @@ TEST(CliRun, CompareParallelMatchesSerial)
         << "compare output must not depend on --jobs";
 }
 
+// ---------------------------------------------------------- faults
+
+TEST(CliParse, FaultsFlagOnRunLikeCommands)
+{
+    const auto o = parse({"run", "--app", "sc", "--faults",
+                          "channel.tag_mismatch=0.05"});
+    ASSERT_TRUE(o);
+    EXPECT_EQ(o->fault_spec, "channel.tag_mismatch=0.05");
+
+    std::string err;
+    EXPECT_FALSE(parse({"run", "--app", "sc", "--faults",
+                        "bogus.site=0.1"}, &err));
+    EXPECT_NE(err.find("--faults"), std::string::npos);
+}
+
+TEST(CliParse, FaultsCampaignFlags)
+{
+    const auto o = parse({"faults", "--app", "atax", "--sites",
+                          "channel.tag_mismatch,pcie.replay",
+                          "--rates", "0.1,0.5", "--seeds", "1,2",
+                          "--jobs", "2"});
+    ASSERT_TRUE(o);
+    EXPECT_EQ(o->command, Command::Faults);
+    EXPECT_EQ(o->app, "atax");
+    EXPECT_EQ(o->fault_sites, "channel.tag_mismatch,pcie.replay");
+    EXPECT_EQ(o->fault_rates, "0.1,0.5");
+    EXPECT_EQ(o->sweep_seeds, "1,2");
+    EXPECT_EQ(o->jobs, 2);
+}
+
+TEST(CliParse, FaultsRequiresAppAndValidGrid)
+{
+    std::string err;
+    EXPECT_FALSE(parse({"faults"}, &err));
+    EXPECT_NE(err.find("--app"), std::string::npos);
+    EXPECT_FALSE(parse({"faults", "--app", "atax", "--sites",
+                        "bogus.site"}, &err));
+    EXPECT_NE(err.find("bogus.site"), std::string::npos);
+    EXPECT_FALSE(parse({"faults", "--app", "atax", "--rates",
+                        "1.5"}, &err));
+    EXPECT_NE(err.find("--rates"), std::string::npos);
+}
+
+TEST(CliParse, PerCommandHelpShortCircuitsValidation)
+{
+    // `faults --help` must work without --app; every subcommand
+    // answers --help/-h the same way.
+    for (const char *h : {"--help", "-h"}) {
+        const auto o = parse({"faults", h});
+        ASSERT_TRUE(o);
+        EXPECT_EQ(o->command, Command::Faults);
+        EXPECT_TRUE(o->show_help);
+    }
+    const auto o = parse({"run", "--help"});
+    ASSERT_TRUE(o);
+    EXPECT_TRUE(o->show_help);
+}
+
+TEST(CliParse, InapplicableFlagNamesTheCommand)
+{
+    // Campaign cells are always CC runs; --cc belongs to run-like
+    // commands only, and the error must name both sides.
+    std::string err;
+    EXPECT_FALSE(parse({"faults", "--app", "atax", "--cc"}, &err));
+    EXPECT_NE(err.find("--cc"), std::string::npos);
+    EXPECT_NE(err.find("does not apply"), std::string::npos);
+    EXPECT_NE(err.find("faults"), std::string::npos);
+}
+
+TEST(CliRun, PerCommandHelpPrintsFlagTable)
+{
+    Options o;
+    o.command = Command::Faults;
+    o.show_help = true;
+    std::ostringstream oss;
+    EXPECT_EQ(runCli(o, oss), 0);
+    const auto out = oss.str();
+    EXPECT_NE(out.find("--sites"), std::string::npos);
+    EXPECT_NE(out.find("--rates"), std::string::npos);
+    EXPECT_NE(out.find("--jobs"), std::string::npos);
+    EXPECT_EQ(out.find("--tolerance"), std::string::npos)
+        << "stats-diff-only flags must not leak into faults help";
+}
+
+TEST(CliRun, FaultsCampaignPrintsSummaryTable)
+{
+    Options o;
+    o.command = Command::Faults;
+    o.app = "atax";
+    o.fault_sites = "channel.tag_mismatch";
+    o.fault_rates = "1";
+    o.sweep_seeds = "1";
+    o.jobs = 1;
+    std::ostringstream oss;
+    EXPECT_EQ(runCli(o, oss), 0);
+    const auto out = oss.str();
+    EXPECT_NE(out.find("fault campaign: atax"), std::string::npos);
+    EXPECT_NE(out.find("atax.baseline.s1"), std::string::npos);
+    EXPECT_NE(out.find("atax.channel.tag_mismatch.r1.s1"),
+              std::string::npos);
+    EXPECT_NE(out.find("2/2 cells ok"), std::string::npos);
+}
+
+TEST(CliRun, FaultsCampaignFailedCellSetsExitCode)
+{
+    Options o;
+    o.command = Command::Faults;
+    o.app = "atax";
+    o.fault_sites = "spdm.handshake";
+    o.fault_rates = "1";   // handshake can never succeed
+    o.sweep_seeds = "1";
+    o.jobs = 1;
+    std::ostringstream oss;
+    EXPECT_EQ(runCli(o, oss), 1);
+    EXPECT_NE(oss.str().find("failed"), std::string::npos);
+}
+
+TEST(CliRun, FaultedRunIsDeterministicAndSlower)
+{
+    Options o;
+    o.command = Command::Compare;
+    o.app = "atax";
+    std::ostringstream base;
+    EXPECT_EQ(runCli(o, base), 0);
+    o.fault_spec = "channel.tag_mismatch=1";
+    std::ostringstream f1, f2;
+    EXPECT_EQ(runCli(o, f1), 0);
+    EXPECT_EQ(runCli(o, f2), 0);
+    EXPECT_EQ(f1.str(), f2.str())
+        << "faulted runs must be deterministic";
+    EXPECT_NE(f1.str(), base.str())
+        << "a rate-1.0 fault must change the CC timing";
+    EXPECT_NE(f1.str().find("fault recoveries"), std::string::npos);
+}
+
 } // namespace
 } // namespace hcc::cli

@@ -157,7 +157,8 @@ TEST(StatsIo, DumpExcludesHostStatsByDefault)
 TEST(StatsIo, DumpParsesBackWithMatchingFields)
 {
     Registry reg;
-    const auto map = parseStatsJson(statsJson(sampleRegistry(reg)));
+    const auto map =
+        parseStatsJson(statsJson(sampleRegistry(reg))).take();
     ASSERT_EQ(map.count("tee.bounce.acquires"), 1u);
     EXPECT_EQ(map.at("tee.bounce.acquires").type, "counter");
     EXPECT_EQ(map.at("tee.bounce.acquires").fields.at("value"), 3.0);
@@ -190,7 +191,7 @@ TEST(StatsIo, SameSeedRunsDumpByteIdentically)
 TEST(StatsIo, CcRunCoversManyComponents)
 {
     const auto res = runSeeded(true);
-    const auto map = parseStatsJson(statsJson(*res.stats));
+    const auto map = parseStatsJson(statsJson(*res.stats)).take();
     std::set<std::string> components;
     for (const auto &[name, snap] : map)
         components.insert(name.substr(0, name.find('.')));
@@ -237,7 +238,7 @@ TEST(Json, RejectsMalformedInput)
 StatsMap
 mapOf(Registry &reg)
 {
-    return parseStatsJson(statsJson(reg));
+    return parseStatsJson(statsJson(reg)).take();
 }
 
 TEST(StatsDiff, IdenticalDumpsPass)

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "fault/fault.hpp"
 #include "pcie/link.hpp"
 #include "runtime/context.hpp"
 #include "tee/secure_channel.hpp"
@@ -272,22 +273,26 @@ TEST(SecureChannelReplay, ReplayedChunkFailsAuthentication)
     // replay fail authentication on the receiving side.
     tee::ChannelConfig cfg;
     cfg.chunk_bytes = 4096;
-    tee::SecureChannel ch(cfg, tee::SpdmSession::establish(21));
+    fault::Injector inj;
+    tee::SecureChannel ch(cfg, tee::SpdmSession::establish(21),
+                          nullptr, &inj);
 
     std::vector<std::uint8_t> first(4096, 0x11);
     std::vector<std::uint8_t> out(4096);
     std::vector<std::uint8_t> recorded;
-    ASSERT_TRUE(ch.transferFunctional(
-        first, out, [&](std::vector<std::uint8_t> &stage) {
-            recorded = stage;  // hypervisor snapshots the wire data
-        }));
+    inj.setStageHook([&](std::vector<std::uint8_t> &stage) {
+        recorded = stage;  // hypervisor snapshots the wire data
+    });
+    ASSERT_TRUE(ch.transferFunctional(first, out).ok());
 
     std::vector<std::uint8_t> second(4096, 0x22);
-    const bool ok = ch.transferFunctional(
-        second, out, [&](std::vector<std::uint8_t> &stage) {
-            stage = recorded;  // replay the old chunk
-        });
-    EXPECT_FALSE(ok) << "replayed ciphertext must not authenticate";
+    inj.setStageHook([&](std::vector<std::uint8_t> &stage) {
+        stage = recorded;  // replay the old chunk
+    });
+    const Status st = ch.transferFunctional(second, out);
+    EXPECT_FALSE(st.ok())
+        << "replayed ciphertext must not authenticate";
+    EXPECT_EQ(st.code(), ErrorCode::IntegrityError);
 }
 
 TEST(SecureChannelReplay, EveryChunkGetsAFreshIv)
@@ -296,15 +301,17 @@ TEST(SecureChannelReplay, EveryChunkGetsAFreshIv)
     // ciphertext on the wire (IVs never repeat).
     tee::ChannelConfig cfg;
     cfg.chunk_bytes = 4096;
-    tee::SecureChannel ch(cfg, tee::SpdmSession::establish(22));
+    fault::Injector inj;
+    tee::SecureChannel ch(cfg, tee::SpdmSession::establish(22),
+                          nullptr, &inj);
     std::vector<std::uint8_t> pt(4096, 0x33), out(4096);
     std::vector<std::uint8_t> wire1, wire2;
-    ASSERT_TRUE(ch.transferFunctional(
-        pt, out,
-        [&](std::vector<std::uint8_t> &s) { wire1 = s; }));
-    ASSERT_TRUE(ch.transferFunctional(
-        pt, out,
-        [&](std::vector<std::uint8_t> &s) { wire2 = s; }));
+    inj.setStageHook(
+        [&](std::vector<std::uint8_t> &s) { wire1 = s; });
+    ASSERT_TRUE(ch.transferFunctional(pt, out).ok());
+    inj.setStageHook(
+        [&](std::vector<std::uint8_t> &s) { wire2 = s; });
+    ASSERT_TRUE(ch.transferFunctional(pt, out).ok());
     EXPECT_NE(wire1, wire2);
 }
 

@@ -71,7 +71,7 @@ phase final_k 1 2ms 0.05 0 6MiB
 
 TEST(SpecParse, FullDocument)
 {
-    const auto spec = parseSpecText(kGood);
+    const auto spec = parseSpecText(kGood).take();
     EXPECT_EQ(spec.name, "test_app");
     EXPECT_EQ(spec.suite, "my_suite");
     EXPECT_TRUE(spec.pinned_host);
@@ -95,14 +95,15 @@ TEST(SpecParse, CommentsAndBlanksIgnored)
 {
     const auto spec = parseSpecText(
         "# header\n\nname x\n  # indented comment\n"
-        "phase k 1 1us  # trailing comment\n");
+        "phase k 1 1us  # trailing comment\n").take();
     EXPECT_EQ(spec.name, "x");
     ASSERT_EQ(spec.phases.size(), 1u);
 }
 
 TEST(SpecParse, DefaultsApplied)
 {
-    const auto spec = parseSpecText("name d\nphase k 2 5us\n");
+    const auto spec =
+        parseSpecText("name d\nphase k 2 5us\n").take();
     EXPECT_EQ(spec.suite, "custom");
     EXPECT_FALSE(spec.pinned_host);
     EXPECT_TRUE(spec.uvm_capable);
@@ -112,27 +113,32 @@ TEST(SpecParse, DefaultsApplied)
 
 TEST(SpecParse, Errors)
 {
-    EXPECT_THROW(parseSpecText(""), FatalError);
-    EXPECT_THROW(parseSpecText("phase k 1 1us\n"), FatalError)
+    const auto bad = parseSpecText("");
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), ErrorCode::ParseError);
+    EXPECT_FALSE(parseSpecText("phase k 1 1us\n").ok())
         << "missing name";
-    EXPECT_THROW(parseSpecText("name x\n"), FatalError)
+    EXPECT_FALSE(parseSpecText("name x\n").ok())
         << "missing phases";
-    EXPECT_THROW(parseSpecText("name x\nbogus 1\nphase k 1 1us\n"),
-                 FatalError)
-        << "unknown key";
-    EXPECT_THROW(parseSpecText("name x\nphase k 0 1us\n"),
-                 FatalError)
+    const auto unknown =
+        parseSpecText("name x\nbogus 1\nphase k 1 1us\n");
+    EXPECT_FALSE(unknown.ok()) << "unknown key";
+    EXPECT_NE(unknown.status().message().find("bogus"),
+              std::string::npos)
+        << "error message names the offending key";
+    EXPECT_FALSE(parseSpecText("name x\nphase k 0 1us\n").ok())
         << "zero launches";
-    EXPECT_THROW(parseSpecText("name x\nphase k\n"), FatalError)
+    EXPECT_FALSE(parseSpecText("name x\nphase k\n").ok())
         << "truncated phase";
-    EXPECT_THROW(parseSpecText("name x\npinned_host maybe\n"
-                               "phase k 1 1us\n"),
-                 FatalError);
+    EXPECT_FALSE(parseSpecText("name x\npinned_host maybe\n"
+                               "phase k 1 1us\n").ok());
 }
 
-TEST(SpecParse, MissingFileIsFatal)
+TEST(SpecParse, MissingFileIsIoError)
 {
-    EXPECT_THROW(loadSpecFile("/nonexistent/path.spec"), FatalError);
+    const auto spec = loadSpecFile("/nonexistent/path.spec");
+    EXPECT_FALSE(spec.ok());
+    EXPECT_EQ(spec.status().code(), ErrorCode::IoError);
 }
 
 TEST(SpecParse, RooflinePhases)
@@ -140,15 +146,14 @@ TEST(SpecParse, RooflinePhases)
     const auto spec = parseSpecText(
         "name r\n"
         "rphase gemm_k 4 1200 256MiB\n"
-        "rphase stream_k 2 0.5 1GiB 1048576\n");
+        "rphase stream_k 2 0.5 1GiB 1048576\n").take();
     ASSERT_EQ(spec.phases.size(), 2u);
     EXPECT_EQ(spec.phases[0].ket, 0);
     EXPECT_DOUBLE_EQ(spec.phases[0].gflops, 1200.0);
     EXPECT_EQ(spec.phases[0].mem_bytes, size::mib(256));
     EXPECT_EQ(spec.phases[1].threads, 1048576);
-    EXPECT_THROW(parseSpecText("name r\nrphase k 0 1 1MiB\n"),
-                 FatalError);
-    EXPECT_THROW(parseSpecText("name r\nrphase k 1\n"), FatalError);
+    EXPECT_FALSE(parseSpecText("name r\nrphase k 0 1 1MiB\n").ok());
+    EXPECT_FALSE(parseSpecText("name r\nrphase k 1\n").ok());
 }
 
 TEST(SpecRun, RooflinePhaseGetsDeviceDerivedKet)
@@ -156,7 +161,7 @@ TEST(SpecRun, RooflinePhaseGetsDeviceDerivedKet)
     const auto spec = parseSpecText(
         "name roofline_app\n"
         "input 1MiB\n"
-        "rphase stream_k 1 0 1GiB\n");
+        "rphase stream_k 1 0 1GiB\n").take();
     const SpecWorkload workload(spec);
     rt::SystemConfig cfg;
     const auto res = runWorkload(workload, cfg);
@@ -171,7 +176,7 @@ TEST(SpecRun, RooflinePhaseGetsDeviceDerivedKet)
 
 TEST(SpecRun, ParsedSpecRunsEndToEnd)
 {
-    const auto spec = parseSpecText(kGood);
+    const auto spec = parseSpecText(kGood).take();
     const SpecWorkload workload(spec);
     rt::SystemConfig base, cc;
     cc.cc = true;
@@ -192,7 +197,7 @@ TEST(SpecRun, ParsedSpecRunsEndToEnd)
 
 TEST(SpecRun, UvmVariantOfParsedSpec)
 {
-    const auto spec = parseSpecText(kGood);
+    const auto spec = parseSpecText(kGood).take();
     const SpecWorkload workload(spec);
     rt::SystemConfig cfg;
     WorkloadParams p;

@@ -13,6 +13,7 @@
 #include "common/calibration.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "fault/fault.hpp"
 #include "pcie/link.hpp"
 #include "tee/bounce_buffer.hpp"
 #include "tee/mee.hpp"
@@ -303,42 +304,45 @@ TEST_F(SecureChannelTest, FunctionalRoundTrip)
     for (auto &b : src)
         b = static_cast<std::uint8_t>(rng.next32());
     std::vector<std::uint8_t> dst(src.size());
-    EXPECT_TRUE(ch.transferFunctional(src, dst));
+    EXPECT_TRUE(ch.transferFunctional(src, dst).ok());
     EXPECT_EQ(src, dst);
 }
 
 TEST_F(SecureChannelTest, BounceBufferCarriesOnlyCiphertext)
 {
-    SecureChannel ch(cfg_, session_);
     // A recognizable plaintext pattern must never appear in the
-    // staged (hypervisor-visible) buffer.
+    // staged (hypervisor-visible) buffer.  The injector's stage hook
+    // is the hypervisor's observation point.
+    fault::Injector inj;
+    bool saw_plaintext = false;
+    inj.setStageHook([&](std::vector<std::uint8_t> &stage) {
+        std::size_t run = 0;
+        for (auto b : stage) {
+            run = (b == 0x5a) ? run + 1 : 0;
+            if (run >= 32)
+                saw_plaintext = true;
+        }
+    });
+    SecureChannel ch(cfg_, session_, nullptr, &inj);
     std::vector<std::uint8_t> src(4096, 0x5a);
     std::vector<std::uint8_t> dst(src.size());
-    bool saw_plaintext = false;
-    const bool ok = ch.transferFunctional(
-        src, dst, [&](std::vector<std::uint8_t> &stage) {
-            std::size_t run = 0;
-            for (auto b : stage) {
-                run = (b == 0x5a) ? run + 1 : 0;
-                if (run >= 32)
-                    saw_plaintext = true;
-            }
-        });
-    EXPECT_TRUE(ok);
+    EXPECT_TRUE(ch.transferFunctional(src, dst).ok());
     EXPECT_FALSE(saw_plaintext);
     EXPECT_EQ(src, dst);
 }
 
 TEST_F(SecureChannelTest, HypervisorTamperingIsDetected)
 {
-    SecureChannel ch(cfg_, session_);
+    fault::Injector inj;
+    inj.setStageHook([](std::vector<std::uint8_t> &stage) {
+        stage[100] ^= 0x01;  // malicious single-bit flip
+    });
+    SecureChannel ch(cfg_, session_, nullptr, &inj);
     std::vector<std::uint8_t> src(8192, 0x33);
     std::vector<std::uint8_t> dst(src.size());
-    const bool ok = ch.transferFunctional(
-        src, dst, [](std::vector<std::uint8_t> &stage) {
-            stage[100] ^= 0x01;  // malicious single-bit flip
-        });
-    EXPECT_FALSE(ok) << "integrity violation must be detected";
+    const Status st = ch.transferFunctional(src, dst);
+    EXPECT_FALSE(st.ok()) << "integrity violation must be detected";
+    EXPECT_EQ(st.code(), ErrorCode::IntegrityError);
 }
 
 TEST_F(SecureChannelTest, RejectsBadConfig)
@@ -368,7 +372,7 @@ TEST_P(ChannelSizeSweep, FunctionalRoundTrip)
     for (auto &b : src)
         b = static_cast<std::uint8_t>(rng.next32());
     std::vector<std::uint8_t> dst(src.size());
-    EXPECT_TRUE(ch.transferFunctional(src, dst));
+    EXPECT_TRUE(ch.transferFunctional(src, dst).ok());
     EXPECT_EQ(src, dst);
 }
 
@@ -382,33 +386,39 @@ TEST_F(SecureChannelTest, EveryCorruptedByteIsDetected)
     // ciphertext-plus-tag in turn; every single position must fail
     // authentication and bump the auth-failure counter.  GCM's tag
     // covers the whole chunk, so there is no "slack" byte whose
-    // corruption could slip through.
+    // corruption could slip through.  The stage hook re-corrupts
+    // every retry, so each transfer burns the full attempt budget
+    // and counts one auth failure per attempt.
     obs::Registry reg;
+    fault::Injector inj;
     cfg_.chunk_bytes = 64;  // small chunk: sweep stays fast
-    SecureChannel ch(cfg_, session_, &reg);
+    SecureChannel ch(cfg_, session_, &reg, &inj);
     std::vector<std::uint8_t> src(48);
     for (std::size_t i = 0; i < src.size(); ++i)
         src[i] = static_cast<std::uint8_t>(i * 7 + 1);
     std::vector<std::uint8_t> dst(src.size());
 
     // Untampered baseline: works, no failures.
-    ASSERT_TRUE(ch.transferFunctional(src, dst));
+    ASSERT_TRUE(ch.transferFunctional(src, dst).ok());
     ASSERT_EQ(reg.counter("crypto.aes_gcm.auth_failures").value(), 0u);
 
+    const auto attempts =
+        static_cast<std::uint64_t>(fault::kMaxTransferAttempts);
     const std::size_t staged = src.size() + crypto::kGcmTagLen;
     for (std::size_t pos = 0; pos < staged; ++pos) {
         const auto before =
             reg.counter("crypto.aes_gcm.auth_failures").value();
-        const bool ok = ch.transferFunctional(
-            src, dst, [pos](std::vector<std::uint8_t> &stage) {
-                ASSERT_GT(stage.size(), pos);
-                stage[pos] ^= 0x80;
-            });
-        EXPECT_FALSE(ok) << "corruption at byte " << pos
-                         << " went undetected";
+        inj.setStageHook([pos](std::vector<std::uint8_t> &stage) {
+            ASSERT_GT(stage.size(), pos);
+            stage[pos] ^= 0x80;
+        });
+        const Status st = ch.transferFunctional(src, dst);
+        EXPECT_FALSE(st.ok()) << "corruption at byte " << pos
+                              << " went undetected";
+        EXPECT_EQ(st.code(), ErrorCode::IntegrityError);
         EXPECT_EQ(
             reg.counter("crypto.aes_gcm.auth_failures").value(),
-            before + 1)
+            before + attempts)
             << "auth failure at byte " << pos << " not counted";
     }
 }
@@ -426,51 +436,51 @@ TEST_F(SecureChannelTest, ParallelWorkersRoundTrip)
     for (auto &b : src)
         b = static_cast<std::uint8_t>(rng.next32());
     std::vector<std::uint8_t> dst(src.size());
-    EXPECT_TRUE(ch.transferFunctional(src, dst));
+    EXPECT_TRUE(ch.transferFunctional(src, dst).ok());
     EXPECT_EQ(src, dst);
 
     ChannelConfig seq = cfg_;
     seq.crypto_workers = 1;
     SecureChannel ref(seq, session_);
     std::vector<std::uint8_t> dst2(src.size());
-    EXPECT_TRUE(ref.transferFunctional(src, dst2));
+    EXPECT_TRUE(ref.transferFunctional(src, dst2).ok());
     EXPECT_EQ(dst, dst2);
 }
 
 TEST_F(SecureChannelTest, ParallelWorkersDetectTampering)
 {
     obs::Registry reg;
+    fault::Injector inj;
+    inj.setStageHook([](std::vector<std::uint8_t> &stage) {
+        stage[stage.size() / 2] ^= 0x01;
+    });
     cfg_.crypto_workers = 4;
     cfg_.chunk_bytes = 4096;
-    SecureChannel ch(cfg_, session_, &reg);
+    SecureChannel ch(cfg_, session_, &reg, &inj);
     std::vector<std::uint8_t> src(8 * 4096, 0x66);
     std::vector<std::uint8_t> dst(src.size());
-    const bool ok = ch.transferFunctional(
-        src, dst, [](std::vector<std::uint8_t> &stage) {
-            stage[stage.size() / 2] ^= 0x01;
-        });
-    EXPECT_FALSE(ok);
+    EXPECT_FALSE(ch.transferFunctional(src, dst).ok());
     EXPECT_GE(reg.counter("crypto.aes_gcm.auth_failures").value(), 1u);
 }
 
 TEST_F(SecureChannelTest, ParallelWorkersHideNoPlaintext)
 {
+    fault::Injector inj;
+    bool saw_plaintext = false;
+    inj.setStageHook([&](std::vector<std::uint8_t> &stage) {
+        std::size_t run = 0;
+        for (auto b : stage) {
+            run = (b == 0x5a) ? run + 1 : 0;
+            if (run >= 32)
+                saw_plaintext = true;
+        }
+    });
     cfg_.crypto_workers = 4;
     cfg_.chunk_bytes = 4096;
-    SecureChannel ch(cfg_, session_);
+    SecureChannel ch(cfg_, session_, nullptr, &inj);
     std::vector<std::uint8_t> src(6 * 4096, 0x5a);
     std::vector<std::uint8_t> dst(src.size());
-    bool saw_plaintext = false;
-    const bool ok = ch.transferFunctional(
-        src, dst, [&](std::vector<std::uint8_t> &stage) {
-            std::size_t run = 0;
-            for (auto b : stage) {
-                run = (b == 0x5a) ? run + 1 : 0;
-                if (run >= 32)
-                    saw_plaintext = true;
-            }
-        });
-    EXPECT_TRUE(ok);
+    EXPECT_TRUE(ch.transferFunctional(src, dst).ok());
     EXPECT_FALSE(saw_plaintext);
     EXPECT_EQ(src, dst);
 }

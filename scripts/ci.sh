@@ -23,9 +23,11 @@ ctest --preset asan-ubsan -j"$jobs"
 # TSan gates the pool's synchronization and the per-cell isolation
 # claim (each campaign cell owns its Context/Registry/Injector).
 cmake --preset tsan
-cmake --build --preset tsan -j"$jobs" --target sweep_test fault_test
+cmake --build --preset tsan -j"$jobs" \
+    --target sweep_test fault_test critpath_test
 build-tsan/tests/sweep_test
 build-tsan/tests/fault_test
+build-tsan/tests/critpath_test
 
 hccsim=build/tools/hccsim
 tmp="$(mktemp -d)"
@@ -61,6 +63,18 @@ test -s "$tmp/bench_sim.json"
 "$hccsim" stats-diff bench/baselines/cnn_cc_stats.json \
     "$tmp/cnn_cc.json"
 cmp bench/baselines/cnn_cc_stats.json "$tmp/cnn_cc.json"
+
+# Critical-path gate: the Fig. 14 LLM cell's stats (which embed the
+# critical_path block, the critpath.* counters and so the bottleneck
+# label) must reproduce the committed baseline exactly, and the
+# human report must be byte-identical across repeated runs.
+"$hccsim" critical --app llm --cc \
+    --stats-out "$tmp/fig14.json" > "$tmp/crit1.txt"
+"$hccsim" stats-diff bench/baselines/critpath_fig14.json \
+    "$tmp/fig14.json"
+cmp bench/baselines/critpath_fig14.json "$tmp/fig14.json"
+"$hccsim" critical --app llm --cc > "$tmp/crit2.txt"
+cmp "$tmp/crit1.txt" "$tmp/crit2.txt"
 
 # The calibration subcommand must run end to end.
 "$hccsim" crypto-calibrate --ms 1 >/dev/null

@@ -17,6 +17,7 @@
 #include "perfmodel/projector.hpp"
 #include "sweep/sweep.hpp"
 #include "trace/compare.hpp"
+#include "trace/critpath.hpp"
 #include "trace/export.hpp"
 #include "workloads/spec.hpp"
 #include "workloads/spec_file.hpp"
@@ -37,7 +38,8 @@ bit(Command c)
 
 /** Commands that run a single workload through the runtime. */
 constexpr unsigned kRunLike = bit(Command::Run) | bit(Command::Compare)
-    | bit(Command::Trace) | bit(Command::Project);
+    | bit(Command::Trace) | bit(Command::Critical)
+    | bit(Command::Project);
 constexpr unsigned kEveryCommand = ~0u;
 
 /**
@@ -179,7 +181,8 @@ const FlagSpec kFlags[] = {
          return true;
      }},
     {"--faults",
-     bit(Command::Run) | bit(Command::Compare) | bit(Command::Trace),
+     bit(Command::Run) | bit(Command::Compare) | bit(Command::Trace)
+         | bit(Command::Critical),
      "SITE=RATE,...",
      "inject faults, e.g. channel.tag_mismatch=0.05",
      [](Options &o, const std::string &v, std::string &error) {
@@ -236,8 +239,8 @@ const FlagSpec kFlags[] = {
      }},
     {"--stats-out",
      bit(Command::Run) | bit(Command::Compare) | bit(Command::Trace)
-         | bit(Command::Sweep) | bit(Command::Faults)
-         | bit(Command::CryptoCalibrate),
+         | bit(Command::Critical) | bit(Command::Sweep)
+         | bit(Command::Faults) | bit(Command::CryptoCalibrate),
      "FILE", "write the stats registry as JSON",
      [](Options &o, const std::string &v, std::string &) {
          o.stats_out = v;
@@ -247,6 +250,17 @@ const FlagSpec kFlags[] = {
      "write the trace to a file instead of stdout",
      [](Options &o, const std::string &v, std::string &) {
          o.trace_out = v;
+         return true;
+     }},
+    {"--top", bit(Command::Critical), "N",
+     "rows in the contributor/slack tables (default 10)",
+     [](Options &o, const std::string &v, std::string &error) {
+         return applyInt(o.top, 1, "--top", v, error);
+     }},
+    {"--critical-out", bit(Command::Critical), "FILE",
+     "write the full critical-path JSON (segments + slack)",
+     [](Options &o, const std::string &v, std::string &) {
+         o.critical_out = v;
          return true;
      }},
     {"--out", bit(Command::Sweep) | bit(Command::Faults), "FILE",
@@ -359,6 +373,7 @@ const std::pair<const char *, Command> kCommands[] = {
     {"run", Command::Run},
     {"compare", Command::Compare},
     {"trace", Command::Trace},
+    {"critical", Command::Critical},
     {"project", Command::Project},
     {"sweep", Command::Sweep},
     {"faults", Command::Faults},
@@ -411,6 +426,10 @@ usage()
         "  hccsim run --app NAME [opts]     run one workload\n"
         "  hccsim compare --app NAME [opts] run base and CC, diff\n"
         "  hccsim trace --app NAME [opts]   dump the event trace\n"
+        "  hccsim critical --app NAME [opts]\n"
+        "                                   critical-path report +\n"
+        "                                   bottleneck label (--top N,\n"
+        "                                   --critical-out FILE)\n"
         "  hccsim project --app NAME [opts] predict the CC slowdown\n"
         "                                   from a base run\n"
         "  hccsim sweep --apps A,B|all [opts]\n"
@@ -533,6 +552,7 @@ parseArgs(const std::vector<std::string> &args, std::string &error)
       case Command::Run:
       case Command::Compare:
       case Command::Trace:
+      case Command::Critical:
       case Command::Project:
         if (opt.app.empty() && opt.spec_file.empty()) {
             error = "this command requires --app or --spec";
@@ -630,15 +650,47 @@ writeFileChecked(const std::string &path, const char *what,
         fatal("failed writing %s '%s'", what, path.c_str());
 }
 
-/** Write the registry sections of a finished run to --stats-out. */
+/** Write the registry sections of a finished run to --stats-out.
+ *  @p extra_members: pre-rendered top-level JSON (the critical_path
+ *  block), passed through to writeStatsJson. */
 void
 writeStatsFile(const std::string &path,
                const obs::StatsSections &sections,
-               bool include_host = false)
+               bool include_host = false,
+               const std::string &extra_members = "")
 {
     writeFileChecked(path, "stats file", [&](std::ostream &out) {
-        obs::writeStatsJson(out, sections, include_host);
+        obs::writeStatsJson(out, sections, include_host,
+                            extra_members);
     });
+}
+
+/** Per-category base-vs-CC critical-path delta (compare). */
+void
+printCriticalDelta(const trace::CriticalPath &base,
+                   const trace::CriticalPath &cc, std::ostream &os)
+{
+    TextTable t("critical-path delta (base -> cc)");
+    t.header({"category", "base", "cc", "delta", "cc share"});
+    for (std::size_t c = 0; c < trace::kPathCategoryCount; ++c) {
+        const auto cat = static_cast<trace::PathCategory>(c);
+        const SimTime b = base.shares[c];
+        const SimTime k = cc.shares[c];
+        if (b == 0 && k == 0)
+            continue;
+        const std::string delta = (k >= b ? "+" : "-")
+            + formatTime(k >= b ? k - b : b - k);
+        const double share = cc.end_to_end > 0
+            ? 100.0 * static_cast<double>(k)
+                  / static_cast<double>(cc.end_to_end)
+            : 0.0;
+        t.row({std::string(trace::pathCategoryName(cat)),
+               formatTime(b), formatTime(k), delta,
+               TextTable::pct(share)});
+    }
+    t.print(os);
+    os << "bottleneck: " << trace::bottleneckName(base.bottleneck)
+       << " -> " << trace::bottleneckName(cc.bottleneck) << "\n";
 }
 
 /** Fixed-precision double for table cells. */
@@ -801,8 +853,16 @@ runCli(const Options &opt, std::ostream &os)
         printSummary(res, os);
         const auto d = perfmodel::decompose(res.trace);
         os << "\nperformance-model decomposition:\n" << d.report();
+        os << "\ncritical path: "
+           << trace::bottleneckName(res.critical.bottleneck)
+           << " (on-path " << formatTime(res.critical.on_path_ps)
+           << " of " << formatTime(res.critical.end_to_end)
+           << "; see `hccsim critical`)\n";
         if (!opt.stats_out.empty())
-            writeStatsFile(opt.stats_out, {{"", res.stats.get()}});
+            writeStatsFile(
+                opt.stats_out, {{"", res.stats.get()}},
+                /*include_host=*/false,
+                trace::criticalPathJsonMember(res.critical));
         return 0;
       }
 
@@ -843,11 +903,19 @@ runCli(const Options &opt, std::ostream &os)
             / static_cast<double>(base.end_to_end);
         os << "\nCC slowdown: " << TextTable::ratio(r) << "\n\n"
            << "event-level diff (Sec. VI-B style):\n"
-           << trace::compareTraces(base.trace, cc.trace, 5).report();
+           << trace::compareTraces(base.trace, cc.trace, 5).report()
+           << "\n";
+        printCriticalDelta(base.critical, cc.critical, os);
         if (!opt.stats_out.empty()) {
-            writeStatsFile(opt.stats_out,
-                           {{"base.", base.stats.get()},
-                            {"cc.", cc.stats.get()}});
+            writeStatsFile(
+                opt.stats_out,
+                {{"base.", base.stats.get()},
+                 {"cc.", cc.stats.get()}},
+                /*include_host=*/false,
+                "\"critical_path\": {\"base\": "
+                    + trace::criticalPathJson(base.critical)
+                    + ", \"cc\": "
+                    + trace::criticalPathJson(cc.critical) + "}");
         }
         return 0;
       }
@@ -859,14 +927,38 @@ runCli(const Options &opt, std::ostream &os)
                 trace::exportCsv(res.trace, out);
             else
                 trace::exportChromeTrace(res.trace, out,
-                                         res.stats.get());
+                                         res.stats.get(),
+                                         &res.critical);
         };
         if (!opt.trace_out.empty())
             writeFileChecked(opt.trace_out, "trace file", writeTrace);
         else
             writeTrace(os);
         if (!opt.stats_out.empty())
-            writeStatsFile(opt.stats_out, {{"", res.stats.get()}});
+            writeStatsFile(
+                opt.stats_out, {{"", res.stats.get()}},
+                /*include_host=*/false,
+                trace::criticalPathJsonMember(res.critical));
+        return 0;
+      }
+
+      case Command::Critical: {
+        const auto res = runOnce(opt, opt.cc);
+        os << trace::criticalReport(res.critical, res.trace,
+                                    opt.top);
+        if (!opt.critical_out.empty()) {
+            writeFileChecked(
+                opt.critical_out, "critical-path file",
+                [&](std::ostream &out) {
+                    trace::writeCriticalJson(res.critical, res.trace,
+                                             out);
+                });
+        }
+        if (!opt.stats_out.empty())
+            writeStatsFile(
+                opt.stats_out, {{"", res.stats.get()}},
+                /*include_host=*/false,
+                trace::criticalPathJsonMember(res.critical));
         return 0;
       }
 
@@ -939,6 +1031,25 @@ runCli(const Options &opt, std::ostream &os)
             / static_cast<double>(base.end_to_end);
         os << "actual CC run: " << formatTime(actual.end_to_end)
            << " (" << TextTable::ratio(actual_slowdown) << ")\n";
+        // Slack-aware hint: how much device work could still be
+        // hidden (PipeLLM-style) before the projection's serial
+        // arithmetic becomes the wrong model.
+        SimTime max_slack = 0;
+        const auto ev = base.trace.events();
+        for (std::size_t i = 0; i < base.critical.slack.size(); ++i) {
+            const auto kind = ev[i].kind;
+            if (kind == trace::EventKind::Kernel
+                || kind == trace::EventKind::MemcpyH2D
+                || kind == trace::EventKind::MemcpyD2H
+                || kind == trace::EventKind::MemcpyD2D)
+                max_slack = std::max(max_slack,
+                                     base.critical.slack[i]);
+        }
+        os << "base critical path: "
+           << trace::bottleneckName(base.critical.bottleneck)
+           << "; largest single-event slack "
+           << formatTime(max_slack)
+           << " (overlap headroom, see `hccsim critical`)\n";
         return 0;
       }
 

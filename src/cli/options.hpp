@@ -30,6 +30,7 @@ enum class Command
     Run,
     Compare,
     Trace,
+    Critical,
     Project,
     Sweep,
     Faults,
@@ -92,6 +93,10 @@ struct Options
     std::string trace_out;
     /** run/compare/trace: "site=rate,..." fault-injection spec. */
     std::string fault_spec;
+    /** critical: rows in the contributor/slack report tables. */
+    int top = 10;
+    /** critical: write the full critical-path JSON to this file. */
+    std::string critical_out;
     /** faults: comma-separated fault-site list, or "all". */
     std::string fault_sites = "all";
     /** faults: comma-separated injection rates, each in (0, 1]. */

@@ -224,7 +224,8 @@ void
 writeCampaignCsv(const CampaignResult &result, std::ostream &os)
 {
     os << "index,label,site,rate,seed,status,end_to_end_ps,slowdown,"
-          "injected,recovered,retry_time_ps,error\n";
+          "injected,recovered,retry_time_ps,bottleneck,"
+          "critical_path_ps,error\n";
     for (const auto &c : result.cells) {
         os << c.cell.index << ','
            << csvField(c.cell.label(result.spec)) << ','
@@ -236,9 +237,11 @@ writeCampaignCsv(const CampaignResult &result, std::ostream &os)
             std::snprintf(slow, sizeof(slow), "%.6f", c.slowdown);
             os << c.result.end_to_end << ',' << slow << ','
                << c.injected << ',' << c.recovered << ','
-               << c.retry_time_ps << ',';
+               << c.retry_time_ps << ','
+               << trace::bottleneckName(c.result.critical.bottleneck)
+               << ',' << c.result.critical.on_path_ps << ',';
         } else {
-            os << ",,,,,";
+            os << ",,,,,,,";
         }
         os << csvField(c.error) << '\n';
     }
@@ -267,7 +270,11 @@ writeCampaignJson(const CampaignResult &result, std::ostream &os)
                << ", \"slowdown\": " << slow
                << ", \"injected\": " << c.injected
                << ", \"recovered\": " << c.recovered
-               << ", \"retry_time_ps\": " << c.retry_time_ps;
+               << ", \"retry_time_ps\": " << c.retry_time_ps
+               << ", \"bottleneck\": \""
+               << trace::bottleneckName(c.result.critical.bottleneck)
+               << "\", \"critical_path_ps\": "
+               << c.result.critical.on_path_ps;
         } else {
             os << ", \"error\": \"" << jsonEscape(c.error) << "\"";
         }

@@ -77,9 +77,12 @@ writeEntry(std::ostream &os, const Registry::Entry &e)
 
 void
 writeStatsJson(std::ostream &os, const StatsSections &sections,
-               bool include_host)
+               bool include_host, const std::string &extra_members)
 {
-    os << "{\n  \"hccsim_stats_version\": 1,\n  \"stats\": {";
+    os << "{\n  \"hccsim_stats_version\": 1,\n";
+    if (!extra_members.empty())
+        os << "  " << extra_members << ",\n";
+    os << "  \"stats\": {";
     bool first = true;
     for (const auto &[prefix, registry] : sections) {
         HCC_ASSERT(registry != nullptr, "null registry in dump");

@@ -45,9 +45,16 @@ namespace hcc::obs {
 using StatsSections =
     std::vector<std::pair<std::string, const Registry *>>;
 
-/** Write the deterministic JSON dump. */
+/**
+ * Write the deterministic JSON dump.
+ * @param extra_members pre-rendered top-level JSON member text (e.g.
+ *        `"critical_path": {...}`) emitted verbatim between the
+ *        version field and "stats"; "" emits nothing.  The parser
+ *        ignores unknown top-level members, so dumps stay loadable.
+ */
 void writeStatsJson(std::ostream &os, const StatsSections &sections,
-                    bool include_host = false);
+                    bool include_host = false,
+                    const std::string &extra_members = "");
 
 /** Single-registry convenience, as a string. */
 std::string statsJson(const Registry &registry,

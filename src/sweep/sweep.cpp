@@ -381,7 +381,7 @@ writeCellsCsv(const SweepResult &result, std::ostream &os)
     os << "index,label,app,cc,uvm,scale,seed,status,end_to_end_ps,"
           "launches,kernels,sum_klo_ps,sum_lqt_ps,sum_kqt_ps,"
           "sum_ket_ps,copy_h2d_ps,copy_d2h_ps,copy_d2d_ps,"
-          "tdx_hypercalls,error\n";
+          "tdx_hypercalls,bottleneck,critical_path_ps,error\n";
     for (const auto &c : result.cells) {
         const auto &m = c.result.metrics;
         os << c.cell.index << ',' << csvField(c.cell.label()) << ','
@@ -395,9 +395,11 @@ writeCellsCsv(const SweepResult &result, std::ostream &os)
                << m.sumLqt() << ',' << m.sumKqt() << ','
                << m.sumKet() << ',' << m.copy_h2d << ','
                << m.copy_d2h << ',' << m.copy_d2d << ','
-               << c.result.tdx.hypercalls << ',';
+               << c.result.tdx.hypercalls << ','
+               << trace::bottleneckName(c.result.critical.bottleneck)
+               << ',' << c.result.critical.on_path_ps << ',';
         } else {
-            os << ",,,,,,,,,,";
+            os << ",,,,,,,,,,,,";
         }
         os << csvField(c.error) << '\n';
     }
@@ -432,7 +434,11 @@ writeCellsJson(const SweepResult &result, std::ostream &os)
                << ", \"copy_d2h_ps\": " << m.copy_d2h
                << ", \"copy_d2d_ps\": " << m.copy_d2d
                << ", \"tdx_hypercalls\": "
-               << c.result.tdx.hypercalls;
+               << c.result.tdx.hypercalls
+               << ", \"bottleneck\": \""
+               << trace::bottleneckName(c.result.critical.bottleneck)
+               << "\", \"critical_path_ps\": "
+               << c.result.critical.on_path_ps;
         } else {
             os << ", \"error\": \"" << jsonEscape(c.error) << "\"";
         }

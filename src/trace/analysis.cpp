@@ -5,61 +5,8 @@
 
 namespace hcc::trace {
 
-AppMetrics
-analyze(const Tracer &tracer)
-{
-    AppMetrics m;
-    for (const auto &e : tracer.events()) {
-        const auto d = static_cast<double>(e.duration());
-        switch (e.kind) {
-          case EventKind::Launch:
-            m.klo.add(d);
-            m.lqt.add(static_cast<double>(e.queue_wait));
-            ++m.launches;
-            break;
-          case EventKind::GraphLaunch:
-            m.klo.add(d);
-            m.lqt.add(static_cast<double>(e.queue_wait));
-            ++m.launches;
-            break;
-          case EventKind::Kernel:
-            m.kqt.add(static_cast<double>(e.queue_wait));
-            m.ket.add(d);
-            ++m.kernels;
-            break;
-          case EventKind::MemcpyH2D:
-            m.copy_h2d += e.duration();
-            break;
-          case EventKind::MemcpyD2H:
-            m.copy_d2h += e.duration();
-            break;
-          case EventKind::MemcpyD2D:
-            m.copy_d2d += e.duration();
-            break;
-          case EventKind::MallocDevice:
-            m.alloc_device += e.duration();
-            break;
-          case EventKind::MallocHost:
-            m.alloc_host += e.duration();
-            break;
-          case EventKind::MallocManaged:
-            m.alloc_managed += e.duration();
-            break;
-          case EventKind::Free:
-            m.free_time += e.duration();
-            break;
-          case EventKind::Sync:
-            m.sync_time += e.duration();
-            break;
-          case EventKind::Fault:
-            m.fault_time += e.duration();
-            ++m.fault_recoveries;
-            break;
-        }
-    }
-    m.end_to_end = tracer.span();
-    return m;
-}
+// analyze() lives in critpath.cpp: the Fig. 3 metrics and the
+// critical path share one pass over the events (see critpath.hpp).
 
 SimTime
 unionCoverage(std::vector<std::pair<SimTime, SimTime>> spans)

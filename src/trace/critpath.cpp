@@ -1,0 +1,770 @@
+/**
+ * @file
+ * Critical-path engine: shared trace scan, longest-path walk, slack,
+ * bottleneck classifier and reporters.  See critpath.hpp for the
+ * model; docs/CRITICAL_PATH.md for the edge rules and thresholds.
+ */
+
+#include "trace/critpath.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/table.hpp"
+
+namespace hcc::trace {
+namespace {
+
+constexpr std::uint32_t kNone = 0xffffffffu;
+
+std::size_t
+idx(PathCategory c)
+{
+    return static_cast<std::size_t>(c);
+}
+
+/**
+ * Host-serialized events: the calling thread cannot issue the next
+ * API call before these return.  Blocking copies (stream < 0) ride
+ * the host; async copies and kernels live on device chains instead.
+ */
+bool
+isHostSerial(const TraceEvent &e)
+{
+    switch (e.kind) {
+      case EventKind::Launch:
+      case EventKind::GraphLaunch:
+      case EventKind::MallocDevice:
+      case EventKind::MallocHost:
+      case EventKind::MallocManaged:
+      case EventKind::Free:
+      case EventKind::Sync:
+        return true;
+      case EventKind::MemcpyH2D:
+      case EventKind::MemcpyD2H:
+      case EventKind::MemcpyD2D:
+        return e.stream < 0;
+      case EventKind::Kernel:
+      case EventKind::Fault:
+        return false;
+    }
+    return false;
+}
+
+bool
+isDeviceSide(const TraceEvent &e)
+{
+    switch (e.kind) {
+      case EventKind::Kernel:
+        return true;
+      case EventKind::MemcpyH2D:
+      case EventKind::MemcpyD2H:
+      case EventKind::MemcpyD2D:
+        return e.stream >= 0;
+      case EventKind::Launch:
+      case EventKind::GraphLaunch:
+      case EventKind::MallocDevice:
+      case EventKind::MallocHost:
+      case EventKind::MallocManaged:
+      case EventKind::Free:
+      case EventKind::Sync:
+      case EventKind::Fault:
+        return false;
+    }
+    return false;
+}
+
+bool
+isCopy(EventKind k)
+{
+    return k == EventKind::MemcpyH2D || k == EventKind::MemcpyD2H
+           || k == EventKind::MemcpyD2D;
+}
+
+/** Managed/prefetch traffic counts as UVM, not link. */
+bool
+isUvmCopy(const Tracer &t, const TraceEvent &e)
+{
+    if (e.encrypted_paging)
+        return true;
+    const auto name = t.name(e);
+    return name == "memPrefetch" || name == "memcpy-managed";
+}
+
+PathCategory
+copyCategory(const Tracer &t, const TraceEvent &e)
+{
+    if (isUvmCopy(t, e))
+        return PathCategory::Uvm;
+    if (e.kind == EventKind::MemcpyD2D)
+        return PathCategory::Compute; // device-local blit
+    return PathCategory::Link;
+}
+
+/** Category charged for the on-path slice of an event. */
+PathCategory
+eventCategory(const Tracer &t, const TraceEvent &e)
+{
+    switch (e.kind) {
+      case EventKind::Kernel:
+        return PathCategory::Compute;
+      case EventKind::MemcpyH2D:
+      case EventKind::MemcpyD2H:
+      case EventKind::MemcpyD2D:
+        return copyCategory(t, e);
+      case EventKind::Launch:
+      case EventKind::GraphLaunch:
+        return PathCategory::Launch;
+      case EventKind::MallocDevice:
+      case EventKind::MallocHost:
+      case EventKind::MallocManaged:
+      case EventKind::Free:
+        return PathCategory::Alloc;
+      case EventKind::Sync:
+        return PathCategory::Sync;
+      case EventKind::Fault:
+        return PathCategory::Fault;
+    }
+    return PathCategory::Other;
+}
+
+/** The single pass shared by analyze() and analyzeCritical(). */
+struct Scan
+{
+    AppMetrics metrics;
+    /** Program-order predecessor (host chain or stream chain). */
+    std::vector<std::uint32_t> chain;
+    /** Kernel -> its Launch/GraphLaunch (via correlation). */
+    std::vector<std::uint32_t> corr;
+    /** (sync event, waited-on device event), ascending sync index. */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> sync_edges;
+    /** Merged fault-recovery coverage, sorted and disjoint. */
+    std::vector<std::pair<SimTime, SimTime>> fault_spans;
+    /** Walk start: latest-ending non-fault event (tie: higher idx). */
+    std::uint32_t tail = kNone;
+    SimTime last_nonfault_end = 0;
+};
+
+Scan
+scanTrace(const Tracer &tracer, bool build_graph)
+{
+    Scan s;
+    AppMetrics &m = s.metrics;
+    const auto ev = tracer.events();
+    const std::size_t n = ev.size();
+    if (build_graph) {
+        s.chain.assign(n, kNone);
+        s.corr.assign(n, kNone);
+    }
+    std::vector<std::pair<SimTime, SimTime>> sync_spans;
+    std::uint32_t last_host = kNone;
+    std::vector<std::uint32_t> last_dev; // per stream id
+    std::unordered_map<std::uint64_t, std::uint32_t> launch_of;
+
+    std::uint32_t i = 0;
+    for (auto it = ev.begin(); it != ev.end(); ++it, ++i) {
+        const TraceEvent &e = *it;
+        const auto d = static_cast<double>(e.duration());
+        switch (e.kind) {
+          case EventKind::Launch:
+          case EventKind::GraphLaunch:
+            m.klo.add(d);
+            m.lqt.add(static_cast<double>(e.queue_wait));
+            ++m.launches;
+            break;
+          case EventKind::Kernel:
+            m.kqt.add(static_cast<double>(e.queue_wait));
+            m.ket.add(d);
+            ++m.kernels;
+            break;
+          case EventKind::MemcpyH2D:
+            m.copy_h2d += e.duration();
+            break;
+          case EventKind::MemcpyD2H:
+            m.copy_d2h += e.duration();
+            break;
+          case EventKind::MemcpyD2D:
+            m.copy_d2d += e.duration();
+            break;
+          case EventKind::MallocDevice:
+            m.alloc_device += e.duration();
+            break;
+          case EventKind::MallocHost:
+            m.alloc_host += e.duration();
+            break;
+          case EventKind::MallocManaged:
+            m.alloc_managed += e.duration();
+            break;
+          case EventKind::Free:
+            m.free_time += e.duration();
+            break;
+          case EventKind::Sync:
+            m.sync_time += e.duration();
+            sync_spans.emplace_back(e.start, e.end);
+            break;
+          case EventKind::Fault:
+            m.fault_time += e.duration();
+            ++m.fault_recoveries;
+            s.fault_spans.emplace_back(e.start, e.end);
+            break;
+        }
+        if (e.kind != EventKind::Fault
+            && (s.tail == kNone || e.end >= s.last_nonfault_end)) {
+            s.tail = i;
+            s.last_nonfault_end = e.end;
+        }
+        if (!build_graph)
+            continue;
+
+        // DAG edges.  Every edge source has a lower index than its
+        // target and is timestamp-consistent, so record order is a
+        // topological order.  Fault spans join no chain.
+        if (isDeviceSide(e)) {
+            const auto st = static_cast<std::size_t>(e.stream);
+            if (st >= last_dev.size())
+                last_dev.resize(st + 1, kNone);
+            if (last_dev[st] != kNone
+                && ev[last_dev[st]].end <= e.start)
+                s.chain[i] = last_dev[st];
+            last_dev[st] = i;
+            if (e.kind == EventKind::Kernel) {
+                const auto f = launch_of.find(e.correlation);
+                if (f != launch_of.end()
+                    && ev[f->second].end <= e.start)
+                    s.corr[i] = f->second;
+            }
+        } else if (isHostSerial(e)) {
+            if (last_host != kNone
+                && ev[last_host].end <= e.start)
+                s.chain[i] = last_host;
+            if (e.kind == EventKind::Sync) {
+                // Join edges: the sync retires only after the device
+                // work it waits on.  These are finish-time edges —
+                // the predecessor gates e.end, not e.start.
+                if (e.stream >= 0) {
+                    const auto st =
+                        static_cast<std::size_t>(e.stream);
+                    if (st < last_dev.size()
+                        && last_dev[st] != kNone
+                        && ev[last_dev[st]].end <= e.end)
+                        s.sync_edges.emplace_back(i, last_dev[st]);
+                } else {
+                    for (const auto dv : last_dev) {
+                        if (dv != kNone && ev[dv].end <= e.end)
+                            s.sync_edges.emplace_back(i, dv);
+                    }
+                }
+            }
+            last_host = i;
+            if (e.kind == EventKind::Launch
+                || e.kind == EventKind::GraphLaunch)
+                launch_of[e.correlation] = i;
+        }
+    }
+    m.end_to_end = tracer.span();
+
+    // Satellite fix: fault-recovery spans overlapping a Sync window
+    // were double-counted in both fault_time and sync_time.  The
+    // recovery owns that wall time; subtract the overlap from sync.
+    if (!s.fault_spans.empty()) {
+        std::sort(s.fault_spans.begin(), s.fault_spans.end());
+        std::vector<std::pair<SimTime, SimTime>> merged;
+        for (const auto &sp : s.fault_spans) {
+            if (!merged.empty() && sp.first <= merged.back().second)
+                merged.back().second =
+                    std::max(merged.back().second, sp.second);
+            else
+                merged.push_back(sp);
+        }
+        s.fault_spans = std::move(merged);
+        for (const auto &[a, b] : sync_spans)
+            m.sync_time -= overlapWith(a, b, s.fault_spans);
+    }
+    return s;
+}
+
+std::uint64_t
+counterValue(const obs::Registry *reg, const std::string &name)
+{
+    if (reg == nullptr)
+        return 0;
+    const auto it = reg->entries().find(name);
+    if (it == reg->entries().end() || !it->second.counter)
+        return 0;
+    return it->second.counter->value();
+}
+
+} // namespace
+
+std::string_view
+pathCategoryName(PathCategory category)
+{
+    switch (category) {
+      case PathCategory::Compute: return "compute";
+      case PathCategory::Crypto: return "crypto";
+      case PathCategory::Link: return "link";
+      case PathCategory::Launch: return "launch";
+      case PathCategory::Uvm: return "uvm";
+      case PathCategory::Sync: return "sync";
+      case PathCategory::Alloc: return "alloc";
+      case PathCategory::Fault: return "fault";
+      case PathCategory::Other: return "other";
+    }
+    return "other";
+}
+
+std::string_view
+bottleneckName(Bottleneck bottleneck)
+{
+    switch (bottleneck) {
+      case Bottleneck::ComputeBound: return "compute-bound";
+      case Bottleneck::CryptoBound: return "crypto-bound";
+      case Bottleneck::LinkBound: return "link-bound";
+      case Bottleneck::LaunchBound: return "launch-bound";
+      case Bottleneck::UvmThrash: return "uvm-thrash";
+      case Bottleneck::FaultBound: return "fault-bound";
+    }
+    return "compute-bound";
+}
+
+AppMetrics
+analyze(const Tracer &tracer)
+{
+    return scanTrace(tracer, /*build_graph=*/false).metrics;
+}
+
+Bottleneck
+classifyShares(const std::array<SimTime, kPathCategoryCount> &shares,
+               SimTime end_to_end, SimTime uvm_fault_ps)
+{
+    if (end_to_end <= 0)
+        return Bottleneck::ComputeBound;
+    // All comparisons are exact integer "share >= N% of end_to_end";
+    // SimTime tops out around 10^16 ps (hours), so *100 cannot
+    // overflow int64.  Rules fire in priority order.
+    const auto atLeast = [&](SimTime part, SimTime percent) {
+        return part * 100 >= end_to_end * percent;
+    };
+    const SimTime crypto = shares[idx(PathCategory::Crypto)];
+    const SimTime link = shares[idx(PathCategory::Link)];
+    const SimTime uvm = shares[idx(PathCategory::Uvm)];
+    if (atLeast(shares[idx(PathCategory::Fault)], 10))
+        return Bottleneck::FaultBound;
+    if (atLeast(uvm, 20)
+        || (atLeast(uvm, 5) && atLeast(uvm_fault_ps, 20)))
+        return Bottleneck::UvmThrash;
+    if (atLeast(crypto, 15) && crypto >= link)
+        return Bottleneck::CryptoBound;
+    if (atLeast(link, 15))
+        return Bottleneck::LinkBound;
+    if (atLeast(shares[idx(PathCategory::Launch)], 30)
+        && shares[idx(PathCategory::Launch)]
+               > shares[idx(PathCategory::Compute)])
+        return Bottleneck::LaunchBound;
+    return Bottleneck::ComputeBound;
+}
+
+CriticalAnalysis
+analyzeCritical(const Tracer &tracer, const obs::Registry *obs)
+{
+    Scan s = scanTrace(tracer, /*build_graph=*/true);
+    CriticalAnalysis out;
+    out.metrics = std::move(s.metrics);
+    CriticalPath &cp = out.path;
+    cp.end_to_end = out.metrics.end_to_end;
+    const auto ev = tracer.events();
+    const std::size_t n = ev.size();
+    cp.slack.assign(n, 0);
+    const SimTime uvm_faults =
+        static_cast<SimTime>(counterValue(obs,
+                                          "gpu.uvm.fault_time_ps"));
+    if (n == 0)
+        return out;
+
+    if (s.tail == kNone) {
+        // Degenerate trace of only fault spans: all recovery.
+        cp.shares[idx(PathCategory::Fault)] = cp.end_to_end;
+        cp.bottleneck =
+            classifyShares(cp.shares, cp.end_to_end, uvm_faults);
+        return out;
+    }
+
+    // ---- CPM latest-finish pass -> per-event slack ---------------
+    // Record order is a topological order (all edge sources have
+    // lower indices), so one reverse sweep relaxes every successor
+    // before its predecessors are visited.
+    std::vector<SimTime> lf(n, s.last_nonfault_end);
+    std::size_t se = s.sync_edges.size();
+    for (std::uint32_t i2 = static_cast<std::uint32_t>(n); i2-- > 0;) {
+        const TraceEvent &e = ev[i2];
+        if (e.kind == EventKind::Fault)
+            continue;
+        const SimTime latest_start = lf[i2] - e.duration();
+        if (s.chain[i2] != kNone)
+            lf[s.chain[i2]] =
+                std::min(lf[s.chain[i2]], latest_start);
+        if (s.corr[i2] != kNone)
+            lf[s.corr[i2]] = std::min(lf[s.corr[i2]], latest_start);
+        while (se > 0 && s.sync_edges[se - 1].first == i2) {
+            // Finish-time edge: the waitee may grow by however much
+            // the sync's own finish could slip.
+            const auto p = s.sync_edges[--se].second;
+            lf[p] = std::min(lf[p], ev[p].end + (lf[i2] - e.end));
+        }
+        cp.slack[i2] = std::max<SimTime>(0, lf[i2] - e.end);
+    }
+
+    // ---- crypto/link split of CC copy time -----------------------
+    // The trace shows one opaque copy span; the registry knows how
+    // busy the crypto engines vs the PCIe wire were.  Split on-path
+    // link time by that global ratio, exactly, in integer ps.
+    const std::uint64_t crypto_busy =
+        counterValue(obs, "sim.timeline.cc_crypto.busy_ps")
+        + counterValue(obs, "sim.timeline.cc_gpu_crypto.busy_ps");
+    const std::uint64_t link_busy =
+        counterValue(obs, "pcie.link.busy_ps_h2d")
+        + counterValue(obs, "pcie.link.busy_ps_d2h");
+    const std::uint64_t split_den = crypto_busy + link_busy;
+    const PathCategory copy_display =
+        (split_den > 0 && crypto_busy >= link_busy)
+            ? PathCategory::Crypto
+            : PathCategory::Link;
+
+    const auto &faults = s.fault_spans;
+    const auto addShare = [&](SimTime a, SimTime b, PathCategory c) {
+        if (b <= a)
+            return;
+        SimTime v = b - a;
+        if (!faults.empty() && c != PathCategory::Fault) {
+            // Recovery spans overlay other events; the overlapped
+            // path time belongs to the fault, not the carrier.
+            const SimTime f = overlapWith(a, b, faults);
+            cp.shares[idx(PathCategory::Fault)] += f;
+            v -= f;
+        }
+        if (c == PathCategory::Link && split_den > 0) {
+            const auto cpart = static_cast<SimTime>(
+                static_cast<unsigned __int128>(v) * crypto_busy
+                / split_den);
+            cp.shares[idx(PathCategory::Crypto)] += cpart;
+            cp.shares[idx(PathCategory::Link)] += v - cpart;
+        } else {
+            cp.shares[idx(c)] += v;
+        }
+    };
+
+    // Gap before an event: what the waiting event was blocked on.
+    const auto addGap = [&](SimTime a, SimTime b,
+                            const TraceEvent &e) {
+        if (b <= a)
+            return;
+        switch (e.kind) {
+          case EventKind::Kernel:
+            // KQT: enqueued but not yet dispatched.
+            addShare(a, b, PathCategory::Launch);
+            break;
+          case EventKind::Launch:
+          case EventKind::GraphLaunch: {
+            // The measured LQT part of the gap is queue
+            // back-pressure; anything beyond it is untraced host
+            // work between launches.
+            const SimTime lqt =
+                std::min(b - a, std::max<SimTime>(0, e.queue_wait));
+            addShare(b - lqt, b, PathCategory::Launch);
+            addShare(a, b - lqt, PathCategory::Other);
+            break;
+          }
+          case EventKind::Sync:
+            addShare(a, b, PathCategory::Sync);
+            break;
+          case EventKind::MemcpyH2D:
+          case EventKind::MemcpyD2H:
+          case EventKind::MemcpyD2D:
+            addShare(a, b, copyCategory(tracer, e));
+            break;
+          case EventKind::MallocDevice:
+          case EventKind::MallocHost:
+          case EventKind::MallocManaged:
+          case EventKind::Free:
+          case EventKind::Fault:
+            addShare(a, b, PathCategory::Other);
+            break;
+        }
+    };
+
+    // ---- backward binding walk -----------------------------------
+    // From the latest-ending event, repeatedly bind to the candidate
+    // predecessor that released it: the latest-finishing one with
+    // end <= the current path time; ties break to the higher event
+    // index.  The visited segments and gaps telescope over
+    // [firstStart, lastEnd] with no overlap, so shares sum exactly.
+    std::uint32_t cur = s.tail;
+    SimTime cur_t = ev[cur].end;
+
+    // Fault spans may outlast the last real event (or precede the
+    // first one, handled at termination).
+    addShare(cur_t, tracer.lastEnd(), PathCategory::Fault);
+
+    for (;;) {
+        const TraceEvent &e = ev[cur];
+        std::uint32_t best = kNone;
+        SimTime best_end = std::numeric_limits<SimTime>::min();
+        const auto consider = [&](std::uint32_t p) {
+            if (p == kNone)
+                return;
+            const SimTime pe = ev[p].end;
+            if (pe > cur_t)
+                return;
+            if (best == kNone || pe > best_end
+                || (pe == best_end && p > best)) {
+                best = p;
+                best_end = pe;
+            }
+        };
+        consider(s.chain[cur]);
+        consider(s.corr[cur]);
+        if (e.kind == EventKind::Sync) {
+            const auto range = std::equal_range(
+                s.sync_edges.begin(), s.sync_edges.end(),
+                std::make_pair(cur, std::uint32_t{0}),
+                [](const auto &a, const auto &b) {
+                    return a.first < b.first;
+                });
+            for (auto it = range.first; it != range.second; ++it)
+                consider(it->second);
+        }
+
+        const SimTime seg_begin =
+            best == kNone ? e.start : std::max(e.start, best_end);
+        cp.segments.push_back({cur, seg_begin, cur_t,
+                               eventCategory(tracer, e)
+                                       == PathCategory::Link
+                                   ? copy_display
+                                   : eventCategory(tracer, e)});
+        addShare(seg_begin, cur_t, eventCategory(tracer, e));
+        cp.on_path_ps += cur_t - seg_begin;
+
+        if (best == kNone) {
+            // Head: time before the walk's first event (other
+            // streams' ramp-up, or fault spans before t0).
+            addShare(tracer.firstStart(), e.start,
+                     PathCategory::Other);
+            break;
+        }
+        addGap(best_end, e.start, e);
+        cur = best;
+        cur_t = best_end;
+    }
+    // The walk visits strictly decreasing indices; flip to
+    // ascending time order for exporters.
+    std::reverse(cp.segments.begin(), cp.segments.end());
+
+    SimTime total = 0;
+    for (const auto sh : cp.shares)
+        total += sh;
+    HCC_ASSERT(total == cp.end_to_end,
+               "critical-path shares must partition end_to_end");
+    cp.bottleneck = classifyShares(cp.shares, cp.end_to_end,
+                                   uvm_faults);
+    return out;
+}
+
+void
+publishCriticalPath(const CriticalPath &path, obs::Registry &registry)
+{
+    registry.counter("critpath.end_to_end_ps")
+        .add(static_cast<std::uint64_t>(path.end_to_end));
+    registry.counter("critpath.on_path_ps")
+        .add(static_cast<std::uint64_t>(path.on_path_ps));
+    registry.counter("critpath.events_on_path")
+        .add(path.segments.size());
+    registry.counter("critpath.bottleneck_code")
+        .add(static_cast<std::uint64_t>(path.bottleneck));
+    for (std::size_t c = 0; c < kPathCategoryCount; ++c) {
+        const auto cat = static_cast<PathCategory>(c);
+        registry
+            .counter("critpath.share."
+                     + std::string(pathCategoryName(cat)) + "_ps")
+            .add(static_cast<std::uint64_t>(path.shares[c]));
+    }
+}
+
+std::string
+criticalPathJson(const CriticalPath &path)
+{
+    std::ostringstream os;
+    os << "{\"bottleneck\": \"" << bottleneckName(path.bottleneck)
+       << "\", \"end_to_end_ps\": " << path.end_to_end
+       << ", \"on_path_ps\": " << path.on_path_ps
+       << ", \"events_on_path\": " << path.segments.size()
+       << ", \"shares\": {";
+    for (std::size_t c = 0; c < kPathCategoryCount; ++c) {
+        if (c != 0)
+            os << ", ";
+        os << '"'
+           << pathCategoryName(static_cast<PathCategory>(c))
+           << "_ps\": " << path.shares[c];
+    }
+    os << "}}";
+    return os.str();
+}
+
+std::string
+criticalPathJsonMember(const CriticalPath &path)
+{
+    return "\"critical_path\": " + criticalPathJson(path);
+}
+
+namespace {
+
+std::string
+sharePct(SimTime part, SimTime whole)
+{
+    if (whole <= 0)
+        return TextTable::pct(0.0);
+    return TextTable::pct(100.0 * static_cast<double>(part)
+                          / static_cast<double>(whole));
+}
+
+} // namespace
+
+std::string
+criticalReport(const CriticalPath &path, const Tracer &tracer,
+               int top_n)
+{
+    const auto ev = tracer.events();
+    std::ostringstream os;
+
+    TextTable sum("critical path");
+    sum.header({"metric", "value"});
+    sum.row({"end-to-end", formatTime(path.end_to_end)});
+    sum.row({"on-path (in events)",
+             formatTime(path.on_path_ps) + "  ("
+                 + sharePct(path.on_path_ps, path.end_to_end) + ")"});
+    sum.row({"path segments",
+             std::to_string(path.segments.size())});
+    sum.row({"bottleneck",
+             std::string(bottleneckName(path.bottleneck))});
+    sum.print(os);
+    os << "\n";
+
+    TextTable shares("critical-path shares");
+    shares.header({"category", "time", "share"});
+    for (std::size_t c = 0; c < kPathCategoryCount; ++c) {
+        if (path.shares[c] == 0)
+            continue;
+        shares.row({std::string(pathCategoryName(
+                        static_cast<PathCategory>(c))),
+                    formatTime(path.shares[c]),
+                    sharePct(path.shares[c], path.end_to_end)});
+    }
+    if (shares.rowCount() == 0)
+        shares.row({"compute", formatTime(0), sharePct(0, 1)});
+    shares.print(os);
+    os << "\n";
+
+    // Top on-path contributors, grouped by (kind, label).
+    struct Contrib
+    {
+        SimTime ps = 0;
+        std::size_t count = 0;
+    };
+    std::map<std::pair<EventKind, LabelId>, Contrib> by_label;
+    for (const auto &seg : path.segments) {
+        const TraceEvent &e = ev[seg.event];
+        auto &c = by_label[{e.kind, e.label}];
+        c.ps += seg.duration();
+        ++c.count;
+    }
+    std::vector<std::pair<std::pair<EventKind, LabelId>, Contrib>>
+        ranked(by_label.begin(), by_label.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second.ps != b.second.ps)
+                      return a.second.ps > b.second.ps;
+                  return a.first < b.first;
+              });
+    TextTable top("top on-path contributors");
+    top.header({"kind", "label", "segments", "time", "share"});
+    const auto limit = static_cast<std::size_t>(std::max(top_n, 1));
+    for (std::size_t r = 0; r < ranked.size() && r < limit; ++r) {
+        const auto &[key, c] = ranked[r];
+        std::string label(tracer.labelName(key.second));
+        if (label.empty())
+            label = "-";
+        top.row({std::string(eventKindName(key.first)), label,
+                 std::to_string(c.count), formatTime(c.ps),
+                 sharePct(c.ps, path.end_to_end)});
+    }
+    top.print(os);
+    os << "\n";
+
+    // Largest slack among device-side work: these are the overlap
+    // candidates a PipeLLM-style mitigation could hide.
+    std::vector<std::uint32_t> idle;
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(path.slack.size()); ++i) {
+        const TraceEvent &e = ev[i];
+        if (path.slack[i] > 0
+            && (e.kind == EventKind::Kernel || isCopy(e.kind)))
+            idle.push_back(i);
+    }
+    std::sort(idle.begin(), idle.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  if (path.slack[a] != path.slack[b])
+                      return path.slack[a] > path.slack[b];
+                  return a < b;
+              });
+    if (idle.size() > limit)
+        idle.resize(limit);
+    TextTable slack("largest slack (overlap candidates)");
+    slack.header({"kind", "label", "start", "duration", "slack"});
+    for (const auto i : idle) {
+        const TraceEvent &e = ev[i];
+        std::string label(tracer.name(e));
+        if (label.empty())
+            label = "-";
+        slack.row({std::string(eventKindName(e.kind)), label,
+                   formatTime(e.start), formatTime(e.duration()),
+                   formatTime(path.slack[i])});
+    }
+    if (slack.rowCount() > 0) {
+        slack.print(os);
+        os << "\n";
+    }
+    return os.str();
+}
+
+void
+writeCriticalJson(const CriticalPath &path, const Tracer &tracer,
+                  std::ostream &os)
+{
+    const auto ev = tracer.events();
+    os << "{\n  \"hccsim_critical_version\": 1,\n  "
+       << criticalPathJsonMember(path) << ",\n  \"segments\": [";
+    bool first = true;
+    for (const auto &seg : path.segments) {
+        const TraceEvent &e = ev[seg.event];
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "    {\"event\": " << seg.event << ", \"kind\": \""
+           << eventKindName(e.kind) << "\", \"label\": \""
+           << tracer.name(e) << "\", \"category\": \""
+           << pathCategoryName(seg.category)
+           << "\", \"begin_ps\": " << seg.begin
+           << ", \"end_ps\": " << seg.end << ", \"slack_ps\": "
+           << (seg.event < path.slack.size()
+                   ? path.slack[seg.event]
+                   : 0)
+           << "}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+} // namespace hcc::trace

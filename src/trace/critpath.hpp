@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Trace-derived critical-path analysis and bottleneck classifier.
+ *
+ * The Fig. 3 decomposition (analysis.hpp) is additive: it sums KLO,
+ * queue waits, copies and kernel time without asking which of them
+ * actually *gated* the end-to-end span once streams overlap.  This
+ * layer answers that question from the recorded trace alone:
+ *
+ *  1. A DAG over the events of one run, built in a single pass over
+ *     the chunk-paged EventView.  Edges:
+ *       - per-stream program order (kernels/async copies serialize on
+ *         their stream),
+ *       - Launch -> Kernel via the `correlation` id (GraphLaunch
+ *         fans out to every node kernel),
+ *       - Sync join points (a synchronize cannot retire before the
+ *         device work it waits on),
+ *       - timestamp-implied host serialization (the host API chain:
+ *         launches, allocs, frees, syncs and blocking copies).
+ *     Fault recovery spans are annotations *inside* other events and
+ *     join no chain; their time is re-attributed by overlap instead.
+ *
+ *  2. A longest-path walk: starting from the event that ends last,
+ *     repeatedly bind to the predecessor that released it (latest
+ *     finishing candidate; ties break to the higher event index, so
+ *     the walk is deterministic).  The walk telescopes the full
+ *     [firstStart, lastEnd] span into integer-picosecond segments, so
+ *     the per-category shares sum *exactly* to `end_to_end`.
+ *
+ *  3. CPM-style slack per event (how much an event could grow
+ *     without moving the end of the run) for overlap what-ifs.
+ *
+ *  4. A deterministic rule-based classifier mapping the shares to a
+ *     bottleneck label (crypto-bound, link-bound, launch-bound,
+ *     uvm-thrash, fault-bound, compute-bound).  Thresholds are
+ *     documented in docs/CRITICAL_PATH.md.
+ *
+ * analyze() (analysis.hpp) is implemented on the same single
+ * traversal, so every sweep cell gets metrics + critical path for
+ * one pass over its events.
+ */
+
+#ifndef HCC_TRACE_CRITPATH_HPP
+#define HCC_TRACE_CRITPATH_HPP
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+#include "obs/registry.hpp"
+#include "trace/analysis.hpp"
+#include "trace/tracer.hpp"
+
+namespace hcc::trace {
+
+/** Where one picosecond of the critical path is spent. */
+enum class PathCategory
+{
+    Compute,  //!< kernel execution (and plain device-local blits)
+    Crypto,   //!< AES/MEE share of CC copy time (busy-ratio split)
+    Link,     //!< PCIe wire + staging share of copy time
+    Launch,   //!< launch operations, LQT gaps and dispatch waits
+    Uvm,      //!< managed paging: prefetch/writeback/encrypted paging
+    Sync,     //!< synchronize API tails on the path
+    Alloc,    //!< device/host/managed allocation and free calls
+    Fault,    //!< injected-fault recovery spans overlapping the path
+    Other,    //!< untraced host time between API calls
+};
+
+constexpr std::size_t kPathCategoryCount = 9;
+
+/** Lower-case category name ("compute", "crypto", ...). */
+std::string_view pathCategoryName(PathCategory category);
+
+/** Deterministic bottleneck labels (codes are stable, see docs). */
+enum class Bottleneck
+{
+    ComputeBound = 0,
+    CryptoBound = 1,
+    LinkBound = 2,
+    LaunchBound = 3,
+    UvmThrash = 4,
+    FaultBound = 5,
+};
+
+/** Label as reported ("compute-bound", "uvm-thrash", ...). */
+std::string_view bottleneckName(Bottleneck bottleneck);
+
+/** One on-path slice of a traced event. */
+struct PathSegment
+{
+    /** Event index into Tracer::events(). */
+    std::uint32_t event = 0;
+    /** The slice of the event that lies on the path. */
+    SimTime begin = 0;
+    SimTime end = 0;
+    /** Display category (crypto/link copies carry the larger side). */
+    PathCategory category = PathCategory::Other;
+
+    SimTime duration() const { return end - begin; }
+};
+
+/** The critical path of one run. */
+struct CriticalPath
+{
+    /** lastEnd - firstStart of the trace (= AppMetrics.end_to_end). */
+    SimTime end_to_end = 0;
+    /** Path time spent inside traced events (gaps excluded). */
+    SimTime on_path_ps = 0;
+    /** Exact partition of end_to_end by category (sums to it). */
+    std::array<SimTime, kPathCategoryCount> shares{};
+    Bottleneck bottleneck = Bottleneck::ComputeBound;
+    /** On-path slices, ascending in time and event index. */
+    std::vector<PathSegment> segments;
+    /** Per-event slack (ps an event can grow without moving the
+     *  end), indexed like Tracer::events(). */
+    std::vector<SimTime> slack;
+
+    SimTime share(PathCategory c) const
+    {
+        return shares[static_cast<std::size_t>(c)];
+    }
+};
+
+/** Metrics and critical path from one traversal of the trace. */
+struct CriticalAnalysis
+{
+    AppMetrics metrics;
+    CriticalPath path;
+};
+
+/**
+ * Run the shared single pass: Fig. 3 metrics plus the critical path.
+ * @param obs when given, the run's registry supplies the crypto/link
+ *        busy ratio used to split CC copy time and the UVM fault
+ *        signal for the classifier; counters are only read, never
+ *        created.
+ */
+CriticalAnalysis analyzeCritical(const Tracer &tracer,
+                                 const obs::Registry *obs = nullptr);
+
+/**
+ * The classifier alone (exposed for tests): maps exact shares to a
+ * label.  @p uvm_fault_ps is the registry's gpu.uvm.fault_time_ps
+ * (demand faults inside kernels leave no trace events).
+ */
+Bottleneck
+classifyShares(const std::array<SimTime, kPathCategoryCount> &shares,
+               SimTime end_to_end, SimTime uvm_fault_ps = 0);
+
+/** Publish the path as critpath.* counters in @p registry. */
+void publishCriticalPath(const CriticalPath &path,
+                         obs::Registry &registry);
+
+/** The path as a one-line JSON object (deterministic field order). */
+std::string criticalPathJson(const CriticalPath &path);
+
+/** `"critical_path": {...}` member text for stats dumps. */
+std::string criticalPathJsonMember(const CriticalPath &path);
+
+/**
+ * Human report: summary, per-category shares, top-N on-path
+ * contributors and top-N slack carriers (overlap candidates).
+ */
+std::string criticalReport(const CriticalPath &path,
+                           const Tracer &tracer, int top_n);
+
+/** Full machine-readable dump for `hccsim critical --critical-out`. */
+void writeCriticalJson(const CriticalPath &path, const Tracer &tracer,
+                       std::ostream &os);
+
+} // namespace hcc::trace
+
+#endif // HCC_TRACE_CRITPATH_HPP

@@ -82,10 +82,17 @@ emitCounterTracks(const obs::Registry &obs, std::ostream &os,
 
 void
 exportChromeTrace(const Tracer &tracer, std::ostream &os,
-                  const obs::Registry *obs)
+                  const obs::Registry *obs,
+                  const CriticalPath *critical)
 {
     os << "[\n";
     bool first = true;
+    // Segment events come out of the walk in ascending event-index
+    // order, so one cursor tracks membership during the event loop.
+    std::size_t seg_cursor = 0;
+    const std::size_t seg_count =
+        critical ? critical->segments.size() : 0;
+    std::size_t i = 0;
     for (const auto &e : tracer.events()) {
         if (!first)
             os << ",\n";
@@ -101,9 +108,59 @@ exportChromeTrace(const Tracer &tracer, std::ostream &os,
            << "\"pid\": " << pid << ", \"tid\": " << tid << ", "
            << "\"args\": {\"bytes\": " << e.bytes
            << ", \"queue_wait_us\": " << time::toUs(e.queue_wait)
-           << ", \"correlation\": " << e.correlation
-           << ", \"encrypted_paging\": "
+           << ", \"queue_wait_ps\": " << e.queue_wait
+           << ", \"correlation\": " << e.correlation;
+        if (e.kind == EventKind::Kernel)
+            os << ", \"kqt_ps\": " << e.queue_wait;
+        else if (e.kind == EventKind::Launch
+                 || e.kind == EventKind::GraphLaunch)
+            os << ", \"lqt_ps\": " << e.queue_wait;
+        if (critical) {
+            bool on_path = false;
+            while (seg_cursor < seg_count
+                   && critical->segments[seg_cursor].event < i)
+                ++seg_cursor;
+            if (seg_cursor < seg_count
+                && critical->segments[seg_cursor].event == i)
+                on_path = true;
+            os << ", \"on_critical_path\": "
+               << (on_path ? "true" : "false");
+            if (i < critical->slack.size())
+                os << ", \"slack_ps\": " << critical->slack[i];
+        }
+        os << ", \"encrypted_paging\": "
            << (e.encrypted_paging ? "true" : "false") << "}}";
+        ++i;
+    }
+    if (critical) {
+        // Flow arrows linking consecutive on-path spans: a "s"tart
+        // binds to the slice enclosing its ts, the matching
+        // "f"inish (bp "e") binds to the next on-path slice.
+        const auto ev = tracer.events();
+        for (std::size_t k = 1; k < seg_count; ++k) {
+            const auto &a = critical->segments[k - 1];
+            const auto &b = critical->segments[k];
+            const TraceEvent &ea = ev[a.event];
+            const TraceEvent &eb = ev[b.event];
+            const bool ha = isHostSide(ea.kind);
+            const bool hb = isHostSide(eb.kind);
+            if (!first)
+                os << ",\n";
+            first = false;
+            os << "  {\"name\": \"critical_path\", "
+               << "\"cat\": \"critpath\", \"ph\": \"s\", \"id\": "
+               << k << ", \"ts\": " << time::toUs(ea.start)
+               << ", \"pid\": " << (ha ? 1 : 2) << ", \"tid\": "
+               << (ha ? 0 : (ea.stream < 0 ? 0 : ea.stream))
+               << "},\n";
+            os << "  {\"name\": \"critical_path\", "
+               << "\"cat\": \"critpath\", \"ph\": \"f\", "
+               << "\"bp\": \"e\", \"id\": " << k << ", \"ts\": "
+               << time::toUs(eb.start) << ", \"pid\": "
+               << (hb ? 1 : 2) << ", \"tid\": "
+               << (hb ? 0 : (eb.stream < 0 ? 0 : eb.stream))
+               << "}";
+        }
     }
     if (obs)
         emitCounterTracks(*obs, os, first);
@@ -111,10 +168,11 @@ exportChromeTrace(const Tracer &tracer, std::ostream &os,
 }
 
 std::string
-chromeTraceJson(const Tracer &tracer, const obs::Registry *obs)
+chromeTraceJson(const Tracer &tracer, const obs::Registry *obs,
+                const CriticalPath *critical)
 {
     std::ostringstream oss;
-    exportChromeTrace(tracer, oss, obs);
+    exportChromeTrace(tracer, oss, obs, critical);
     return oss.str();
 }
 

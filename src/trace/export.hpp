@@ -12,6 +12,7 @@
 #include <string>
 
 #include "obs/registry.hpp"
+#include "trace/critpath.hpp"
 #include "trace/tracer.hpp"
 
 namespace hcc::trace {
@@ -20,16 +21,24 @@ namespace hcc::trace {
  * Emit the trace as a Chrome trace-event JSON array of complete ("X")
  * events.  Tracks: host API activity (launch/alloc/sync, pid 1) and
  * device activity per stream (kernels/copies, pid 2, tid = stream).
+ * Every event carries its exact queue_wait_ps and correlation as
+ * args (Kernel events also as kqt_ps, Launch/GraphLaunch as lqt_ps)
+ * so KQT/LQT are inspectable per-span in the Perfetto UI.
  * When @p obs is given, every gauge with recorded samples is
  * additionally rendered as a Perfetto counter track (ph "C", pid 3)
  * so stats like bounce-buffer occupancy plot over simulated time.
+ * When @p critical is given, on-path events carry
+ * on_critical_path/slack_ps args and consecutive on-path spans are
+ * linked with Perfetto flow events (cat "critpath").
  */
 void exportChromeTrace(const Tracer &tracer, std::ostream &os,
-                       const obs::Registry *obs = nullptr);
+                       const obs::Registry *obs = nullptr,
+                       const CriticalPath *critical = nullptr);
 
 /** Convenience: render the Chrome trace to a string. */
 std::string chromeTraceJson(const Tracer &tracer,
-                            const obs::Registry *obs = nullptr);
+                            const obs::Registry *obs = nullptr,
+                            const CriticalPath *critical = nullptr);
 
 /**
  * Emit the raw events as CSV (one row per event, RFC 4180: fields

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * ML serving apps in the workload registry.
+ *
+ * "llm" mirrors the fig14 microbench's slowest column — Llama-3-8B
+ * on HuggingFace with BF16 weights at batch 8 (224 launches per
+ * decode step) — so `hccsim run/critical --app llm` reproduces the
+ * cell whose CPU-GPU serialization the paper's Sec. VII-B dissects.
+ */
+
+#include <algorithm>
+#include <memory>
+
+#include "ml/llm.hpp"
+#include "workloads/workload.hpp"
+
+namespace hcc::workloads {
+namespace {
+
+class LlmWorkload final : public Workload
+{
+  public:
+    std::string name() const override { return "llm"; }
+    std::string suite() const override { return "ml"; }
+    bool supportsUvm() const override { return false; }
+
+    void
+    run(rt::Context &ctx, const WorkloadParams &params) const override
+    {
+        ml::LlmConfig cfg;
+        cfg.backend = ml::LlmBackend::HuggingFace;
+        cfg.quant = ml::LlmQuant::Bf16;
+        cfg.batch = 8;
+        // scale stretches the serving session, not the model.
+        cfg.gen_len = std::max(
+            1, static_cast<int>(static_cast<double>(cfg.gen_len)
+                                * params.scale));
+        ml::serveLlm(ctx, cfg);
+    }
+};
+
+} // namespace
+
+void
+registerMlApps()
+{
+    WorkloadRegistry::instance().add(
+        std::make_unique<LlmWorkload>());
+}
+
+} // namespace hcc::workloads

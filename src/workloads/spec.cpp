@@ -15,6 +15,7 @@ namespace hcc::workloads {
 void registerPolybench();
 void registerRodinia();
 void registerGraphSuites();
+void registerMlApps();
 
 void
 ensureSuitesRegistered()
@@ -32,6 +33,7 @@ ensureSuitesRegistered()
     registerPolybench();
     registerRodinia();
     registerGraphSuites();
+    registerMlApps();
 }
 
 Bytes

@@ -103,7 +103,12 @@ runWorkload(const Workload &workload, const rt::SystemConfig &config,
     result.cc = config.cc;
     result.uvm = params.uvm;
     result.trace = ctx.tracer();
-    result.metrics = trace::analyze(result.trace);
+    // One traversal yields the Fig. 3 metrics *and* the critical
+    // path; the registry supplies the crypto/link busy split.
+    auto crit = trace::analyzeCritical(result.trace, &ctx.obs());
+    result.metrics = std::move(crit.metrics);
+    result.critical = std::move(crit.path);
+    trace::publishCriticalPath(result.critical, ctx.obs());
     result.tdx = ctx.tdx().stats();
     result.end_to_end = result.metrics.end_to_end;
     result.stats = ctx.obsPtr();

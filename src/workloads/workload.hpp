@@ -20,6 +20,7 @@
 #include "runtime/context.hpp"
 #include "tee/tdx.hpp"
 #include "trace/analysis.hpp"
+#include "trace/critpath.hpp"
 #include "trace/tracer.hpp"
 
 namespace hcc::workloads {
@@ -44,6 +45,8 @@ struct WorkloadResult
     bool uvm = false;
     trace::Tracer trace;
     trace::AppMetrics metrics;
+    /** Critical path + bottleneck label (critpath.hpp). */
+    trace::CriticalPath critical;
     tee::TdxStats tdx;
     SimTime end_to_end = 0;
     /** The run's stats registry (shared out of the dead Context). */

@@ -620,5 +620,117 @@ TEST(CliRun, FaultedRunIsDeterministicAndSlower)
     EXPECT_NE(f1.str().find("fault recoveries"), std::string::npos);
 }
 
+TEST(CliParse, CriticalCommandAndFlags)
+{
+    const auto o = parse({"critical", "--app", "atax", "--cc",
+                          "--top", "3", "--critical-out",
+                          "/tmp/x.json"});
+    ASSERT_TRUE(o);
+    EXPECT_EQ(o->command, Command::Critical);
+    EXPECT_EQ(o->app, "atax");
+    EXPECT_TRUE(o->cc);
+    EXPECT_EQ(o->top, 3);
+    EXPECT_EQ(o->critical_out, "/tmp/x.json");
+}
+
+TEST(CliParse, CriticalRequiresAppAndValidTop)
+{
+    std::string err;
+    EXPECT_FALSE(parse({"critical"}, &err));
+    EXPECT_NE(err.find("--app"), std::string::npos);
+    EXPECT_FALSE(parse({"critical", "--app", "atax", "--top", "0"},
+                       &err));
+    EXPECT_FALSE(parse({"run", "--app", "atax", "--top", "3"},
+                       &err));
+    EXPECT_NE(err.find("does not apply"), std::string::npos);
+}
+
+TEST(CliRun, CriticalPrintsReportAndWritesJson)
+{
+    Options o;
+    o.command = Command::Critical;
+    o.app = "atax";
+    o.cc = true;
+    o.top = 5;
+    const std::string out_path =
+        std::string(::testing::TempDir()) + "critical_out.json";
+    o.critical_out = out_path;
+    std::ostringstream oss;
+    EXPECT_EQ(runCli(o, oss), 0);
+    const auto out = oss.str();
+    EXPECT_NE(out.find("critical path"), std::string::npos);
+    EXPECT_NE(out.find("bottleneck"), std::string::npos);
+    EXPECT_NE(out.find("crypto-bound"), std::string::npos);
+    std::ifstream in(out_path);
+    ASSERT_TRUE(in.good());
+    std::stringstream file;
+    file << in.rdbuf();
+    EXPECT_NE(file.str().find("\"hccsim_critical_version\": 1"),
+              std::string::npos);
+    EXPECT_NE(file.str().find("\"bottleneck\": \"crypto-bound\""),
+              std::string::npos);
+    std::remove(out_path.c_str());
+}
+
+TEST(CliRun, CriticalIsByteIdenticalAcrossRuns)
+{
+    Options o;
+    o.command = Command::Critical;
+    o.app = "gaussian";
+    o.cc = true;
+    std::ostringstream a, b;
+    EXPECT_EQ(runCli(o, a), 0);
+    EXPECT_EQ(runCli(o, b), 0);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(CliRun, RunMentionsBottleneckLine)
+{
+    Options o;
+    o.command = Command::Run;
+    o.app = "atax";
+    std::ostringstream oss;
+    EXPECT_EQ(runCli(o, oss), 0);
+    EXPECT_NE(oss.str().find("critical path:"), std::string::npos);
+    EXPECT_NE(oss.str().find("link-bound"), std::string::npos);
+}
+
+TEST(CliRun, CompareShowsCriticalPathDelta)
+{
+    Options o;
+    o.command = Command::Compare;
+    o.app = "atax";
+    std::ostringstream oss;
+    EXPECT_EQ(runCli(o, oss), 0);
+    const auto out = oss.str();
+    EXPECT_NE(out.find("critical-path delta"), std::string::npos);
+    EXPECT_NE(out.find("bottleneck: link-bound -> crypto-bound"),
+              std::string::npos);
+}
+
+TEST(CliRun, SweepEmitsBottleneckColumns)
+{
+    Options o;
+    o.command = Command::Sweep;
+    o.sweep_apps = "atax";
+    o.sweep_cc = "both";
+    o.jobs = 1;
+    const std::string out_path =
+        std::string(::testing::TempDir()) + "sweep_critical.csv";
+    o.out_file = out_path;
+    o.format = "csv";
+    std::ostringstream oss;
+    EXPECT_EQ(runCli(o, oss), 0);
+    std::ifstream in(out_path);
+    ASSERT_TRUE(in.good());
+    std::stringstream file;
+    file << in.rdbuf();
+    EXPECT_NE(file.str().find(",bottleneck,critical_path_ps,"),
+              std::string::npos);
+    EXPECT_NE(file.str().find("link-bound"), std::string::npos);
+    EXPECT_NE(file.str().find("crypto-bound"), std::string::npos);
+    std::remove(out_path.c_str());
+}
+
 } // namespace
 } // namespace hcc::cli

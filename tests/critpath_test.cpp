@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Tests for the critical-path engine (trace/critpath.hpp): DAG
+ * construction on hand-built multi-stream traces with known critical
+ * paths, tie-breaking determinism, the exact share partition, slack,
+ * the crypto/link split, the classifier rules, and the end-to-end
+ * classification claim on real workload cells (native copy cells are
+ * link-bound, the same cells under CC are crypto-bound, the ML cells
+ * stay compute-bound — the paper's Fig. 4/13/14 story).
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+#include "obs/registry.hpp"
+#include "trace/critpath.hpp"
+#include "trace/tracer.hpp"
+#include "workloads/workload.hpp"
+
+namespace hcc::trace {
+namespace {
+
+TraceEvent
+mk(EventKind kind, SimTime start, SimTime end, int stream = -1,
+   std::uint64_t correlation = 0, SimTime wait = 0)
+{
+    TraceEvent e;
+    e.kind = kind;
+    e.start = start;
+    e.end = end;
+    e.stream = stream;
+    e.correlation = correlation;
+    e.queue_wait = wait;
+    return e;
+}
+
+SimTime
+sharesSum(const CriticalPath &p)
+{
+    return std::accumulate(p.shares.begin(), p.shares.end(),
+                           SimTime{0});
+}
+
+// ------------------------------------------------ DAG and the walk
+
+TEST(CritPath, EmptyTraceIsComputeBoundZero)
+{
+    Tracer t;
+    const auto a = analyzeCritical(t);
+    EXPECT_EQ(a.path.end_to_end, 0);
+    EXPECT_EQ(a.path.on_path_ps, 0);
+    EXPECT_TRUE(a.path.segments.empty());
+    EXPECT_EQ(a.path.bottleneck, Bottleneck::ComputeBound);
+}
+
+TEST(CritPath, SingleChainLaunchKernelPartitionsExactly)
+{
+    Tracer t;
+    const auto c = t.record(mk(EventKind::Launch, 0, 10), "k");
+    t.record(mk(EventKind::Kernel, 15, 115, 0, c, 5), "k");
+    const auto p = analyzeCritical(t).path;
+    EXPECT_EQ(p.end_to_end, 115);
+    // Kernel [15,115] bound to its launch; the [10,15] gap before a
+    // Kernel is queue time (KQT -> launch); launch span [0,10].
+    EXPECT_EQ(p.share(PathCategory::Compute), 100);
+    EXPECT_EQ(p.share(PathCategory::Launch), 15);
+    EXPECT_EQ(sharesSum(p), p.end_to_end);
+    EXPECT_EQ(p.on_path_ps, 110);
+    ASSERT_EQ(p.segments.size(), 2u);
+    // Segments come back in ascending time order.
+    EXPECT_EQ(p.segments[0].event, 0u);
+    EXPECT_EQ(p.segments[1].event, 1u);
+}
+
+TEST(CritPath, ForkJoinPicksTheLongerBranch)
+{
+    Tracer t;
+    const auto c0 = t.record(mk(EventKind::Launch, 0, 10), "a");
+    t.record(mk(EventKind::Kernel, 10, 110, 0, c0), "a"); // long
+    const auto c1 = t.record(mk(EventKind::Launch, 10, 18), "b");
+    t.record(mk(EventKind::Kernel, 20, 50, 1, c1), "b"); // short
+    // Device-wide sync joins both streams.
+    t.record(mk(EventKind::Sync, 18, 115), "sync");
+    const auto p = analyzeCritical(t).path;
+    EXPECT_EQ(p.end_to_end, 115);
+    EXPECT_EQ(sharesSum(p), p.end_to_end);
+    // Path: launch a -> kernel a -> sync tail; kernel b off-path.
+    EXPECT_EQ(p.share(PathCategory::Compute), 100);
+    EXPECT_EQ(p.share(PathCategory::Launch), 10);
+    EXPECT_EQ(p.share(PathCategory::Sync), 5);
+    bool kernel_b_on_path = false;
+    for (const auto &seg : p.segments)
+        kernel_b_on_path |= seg.event == 3;
+    EXPECT_FALSE(kernel_b_on_path);
+    // The critical events carry no slack.
+    EXPECT_EQ(p.slack[0], 0);
+    EXPECT_EQ(p.slack[1], 0);
+    EXPECT_EQ(p.slack[4], 0);
+}
+
+TEST(CritPath, StreamChainSlackOnTheShorterStream)
+{
+    Tracer t;
+    t.record(mk(EventKind::Kernel, 10, 110, 0), "long");
+    t.record(mk(EventKind::Kernel, 20, 50, 1), "short");
+    t.record(mk(EventKind::MemcpyD2H, 110, 120, 0), "memcpy");
+    const auto p = analyzeCritical(t).path;
+    EXPECT_EQ(p.end_to_end, 110);
+    EXPECT_EQ(sharesSum(p), p.end_to_end);
+    // The short kernel could grow until the run's end.
+    EXPECT_EQ(p.slack[1], 70);
+    EXPECT_EQ(p.slack[0], 0);
+    EXPECT_EQ(p.slack[2], 0);
+}
+
+TEST(CritPath, TieBreaksToHigherIndexDeterministically)
+{
+    Tracer t;
+    // Two async copies end at the same instant; the sync that waits
+    // on both must bind to the higher event index.
+    t.record(mk(EventKind::MemcpyH2D, 0, 100, 0), "memcpy");
+    t.record(mk(EventKind::MemcpyH2D, 0, 100, 1), "memcpy");
+    t.record(mk(EventKind::Sync, 100, 110), "sync");
+    const auto p = analyzeCritical(t).path;
+    ASSERT_EQ(p.segments.size(), 2u);
+    EXPECT_EQ(p.segments[0].event, 1u);
+    EXPECT_EQ(p.segments[1].event, 2u);
+    EXPECT_EQ(sharesSum(p), p.end_to_end);
+    // Determinism: the same trace analyzes to the same JSON.
+    EXPECT_EQ(criticalPathJson(p),
+              criticalPathJson(analyzeCritical(t).path));
+}
+
+TEST(CritPath, ZeroDurationEventsStayWellFormed)
+{
+    Tracer t;
+    const auto c = t.record(mk(EventKind::Launch, 10, 10), "k");
+    t.record(mk(EventKind::Kernel, 10, 20, 0, c), "k");
+    t.record(mk(EventKind::Sync, 20, 20), "sync");
+    const auto p = analyzeCritical(t).path;
+    EXPECT_EQ(p.end_to_end, 10);
+    EXPECT_EQ(sharesSum(p), p.end_to_end);
+    EXPECT_EQ(p.share(PathCategory::Compute), 10);
+    // All three events appear; the zero-width ones as empty slices.
+    EXPECT_EQ(p.segments.size(), 3u);
+}
+
+TEST(CritPath, OrphanLaunchAndUnmatchedKernelDoNotCrash)
+{
+    Tracer t;
+    t.record(mk(EventKind::Launch, 0, 5, -1, 77), "orphan");
+    t.record(mk(EventKind::Kernel, 10, 20, 0, 99), "stray");
+    const auto p = analyzeCritical(t).path;
+    EXPECT_EQ(p.end_to_end, 20);
+    EXPECT_EQ(sharesSum(p), p.end_to_end);
+    EXPECT_EQ(p.share(PathCategory::Compute), 10);
+    // No correlation edge exists, so the time before the stray
+    // kernel is untraced host ramp-up, not queue wait.
+    EXPECT_EQ(p.share(PathCategory::Other), 10);
+}
+
+TEST(CritPath, LqtGapSplitsIntoLaunchAndOther)
+{
+    Tracer t;
+    t.record(mk(EventKind::MallocDevice, 0, 10), "cudaMalloc");
+    // Gap [10,40] before a launch with queue_wait 12: the measured
+    // LQT rides the launch category, the rest is host framework time.
+    const auto c =
+        t.record(mk(EventKind::Launch, 40, 50, -1, 0, 12), "k");
+    t.record(mk(EventKind::Kernel, 50, 90, 0, c), "k");
+    const auto p = analyzeCritical(t).path;
+    EXPECT_EQ(p.end_to_end, 90);
+    EXPECT_EQ(sharesSum(p), p.end_to_end);
+    EXPECT_EQ(p.share(PathCategory::Launch), 10 + 12);
+    EXPECT_EQ(p.share(PathCategory::Other), 30 - 12);
+    EXPECT_EQ(p.share(PathCategory::Alloc), 10);
+    EXPECT_EQ(p.share(PathCategory::Compute), 40);
+}
+
+// ----------------------------------------- faults and the partition
+
+TEST(CritPath, FaultOverlapReattributedToFault)
+{
+    Tracer t;
+    t.record(mk(EventKind::Kernel, 0, 100, 0), "k");
+    t.record(mk(EventKind::Fault, 50, 80), "fault");
+    const auto p = analyzeCritical(t).path;
+    EXPECT_EQ(p.end_to_end, 100);
+    EXPECT_EQ(p.share(PathCategory::Compute), 70);
+    EXPECT_EQ(p.share(PathCategory::Fault), 30);
+    EXPECT_EQ(sharesSum(p), p.end_to_end);
+}
+
+TEST(CritPath, FaultTailBeyondLastEventIsOnPath)
+{
+    Tracer t;
+    t.record(mk(EventKind::Kernel, 0, 100, 0), "k");
+    t.record(mk(EventKind::Fault, 90, 130), "fault");
+    const auto p = analyzeCritical(t).path;
+    EXPECT_EQ(p.end_to_end, 130);
+    // [90,100] overlaps the kernel, [100,130] extends past it.
+    EXPECT_EQ(p.share(PathCategory::Fault), 40);
+    EXPECT_EQ(p.share(PathCategory::Compute), 90);
+    EXPECT_EQ(sharesSum(p), p.end_to_end);
+}
+
+TEST(CritPath, MessyMultiStreamTraceStillPartitionsExactly)
+{
+    Tracer t;
+    t.record(mk(EventKind::MallocManaged, 0, 7), "cudaMallocManaged");
+    TraceEvent uvm = mk(EventKind::MemcpyH2D, 10, 60, 0);
+    uvm.encrypted_paging = true;
+    t.record(uvm, "memcpy");
+    const auto c = t.record(mk(EventKind::Launch, 7, 15), "k");
+    t.record(mk(EventKind::Kernel, 60, 160, 0, c, 45), "k");
+    t.record(mk(EventKind::MemcpyD2H, 160, 200, 0), "memcpy");
+    t.record(mk(EventKind::Fault, 150, 170), "fault");
+    t.record(mk(EventKind::Sync, 15, 205), "sync");
+    const auto p = analyzeCritical(t).path;
+    EXPECT_EQ(p.end_to_end, 205);
+    EXPECT_EQ(sharesSum(p), p.end_to_end);
+    EXPECT_GT(p.share(PathCategory::Fault), 0);
+    EXPECT_GT(p.share(PathCategory::Uvm), 0);
+}
+
+// ------------------------------------------------ crypto/link split
+
+TEST(CritPath, CopyTimeSplitsByRegistryBusyRatio)
+{
+    Tracer t;
+    t.record(mk(EventKind::MemcpyH2D, 0, 100, -1), "memcpy");
+    obs::Registry reg;
+    reg.counter("sim.timeline.cc_crypto.busy_ps").add(3000);
+    reg.counter("pcie.link.busy_ps_h2d").add(1000);
+    const auto p = analyzeCritical(t, &reg).path;
+    // 3:1 busy ratio -> 75 ps crypto, 25 ps link, exactly.
+    EXPECT_EQ(p.share(PathCategory::Crypto), 75);
+    EXPECT_EQ(p.share(PathCategory::Link), 25);
+    EXPECT_EQ(sharesSum(p), p.end_to_end);
+    ASSERT_EQ(p.segments.size(), 1u);
+    EXPECT_EQ(p.segments[0].category, PathCategory::Crypto);
+}
+
+TEST(CritPath, NoRegistryMeansPureLink)
+{
+    Tracer t;
+    t.record(mk(EventKind::MemcpyH2D, 0, 100, -1), "memcpy");
+    const auto p = analyzeCritical(t).path;
+    EXPECT_EQ(p.share(PathCategory::Link), 100);
+    EXPECT_EQ(p.share(PathCategory::Crypto), 0);
+}
+
+// ------------------------------------------------------- classifier
+
+using Shares = std::array<SimTime, kPathCategoryCount>;
+
+Shares
+shares(PathCategory c, SimTime v, SimTime rest_compute)
+{
+    Shares s{};
+    s[static_cast<std::size_t>(c)] = v;
+    s[static_cast<std::size_t>(PathCategory::Compute)] +=
+        rest_compute;
+    return s;
+}
+
+TEST(Classifier, RulesFireInPriorityOrder)
+{
+    EXPECT_EQ(classifyShares(shares(PathCategory::Fault, 10, 90),
+                             100),
+              Bottleneck::FaultBound);
+    EXPECT_EQ(classifyShares(shares(PathCategory::Fault, 9, 91), 100),
+              Bottleneck::ComputeBound);
+    EXPECT_EQ(classifyShares(shares(PathCategory::Uvm, 20, 80), 100),
+              Bottleneck::UvmThrash);
+    // 5% UVM share alone is not thrash unless the registry saw
+    // substantial in-kernel fault servicing time.
+    EXPECT_EQ(classifyShares(shares(PathCategory::Uvm, 5, 95), 100),
+              Bottleneck::ComputeBound);
+    EXPECT_EQ(classifyShares(shares(PathCategory::Uvm, 5, 95), 100,
+                             /*uvm_fault_ps=*/20),
+              Bottleneck::UvmThrash);
+    EXPECT_EQ(classifyShares(shares(PathCategory::Crypto, 15, 85),
+                             100),
+              Bottleneck::CryptoBound);
+    EXPECT_EQ(classifyShares(shares(PathCategory::Link, 15, 85), 100),
+              Bottleneck::LinkBound);
+    EXPECT_EQ(classifyShares(shares(PathCategory::Launch, 31, 30),
+                             100),
+              Bottleneck::LaunchBound);
+    // Launch-heavy but compute still larger -> compute-bound.
+    EXPECT_EQ(classifyShares(shares(PathCategory::Launch, 31, 69),
+                             100),
+              Bottleneck::ComputeBound);
+    EXPECT_EQ(classifyShares(Shares{}, 0), Bottleneck::ComputeBound);
+}
+
+TEST(Classifier, CryptoMustMatchOrBeatLink)
+{
+    Shares s{};
+    s[static_cast<std::size_t>(PathCategory::Crypto)] = 20;
+    s[static_cast<std::size_t>(PathCategory::Link)] = 30;
+    s[static_cast<std::size_t>(PathCategory::Compute)] = 50;
+    EXPECT_EQ(classifyShares(s, 100), Bottleneck::LinkBound);
+    s[static_cast<std::size_t>(PathCategory::Crypto)] = 30;
+    s[static_cast<std::size_t>(PathCategory::Link)] = 20;
+    EXPECT_EQ(classifyShares(s, 100), Bottleneck::CryptoBound);
+}
+
+TEST(Classifier, StableCodes)
+{
+    EXPECT_EQ(static_cast<int>(Bottleneck::ComputeBound), 0);
+    EXPECT_EQ(static_cast<int>(Bottleneck::CryptoBound), 1);
+    EXPECT_EQ(static_cast<int>(Bottleneck::LinkBound), 2);
+    EXPECT_EQ(static_cast<int>(Bottleneck::LaunchBound), 3);
+    EXPECT_EQ(static_cast<int>(Bottleneck::UvmThrash), 4);
+    EXPECT_EQ(static_cast<int>(Bottleneck::FaultBound), 5);
+    EXPECT_EQ(bottleneckName(Bottleneck::CryptoBound),
+              "crypto-bound");
+    EXPECT_EQ(bottleneckName(Bottleneck::UvmThrash), "uvm-thrash");
+}
+
+// -------------------------------------------- metrics share the pass
+
+TEST(CritPath, MetricsMatchLegacyAnalyze)
+{
+    Tracer t;
+    const auto c = t.record(mk(EventKind::Launch, 0, 10, -1, 0, 2),
+                            "k");
+    t.record(mk(EventKind::Kernel, 12, 112, 0, c, 2), "k");
+    t.record(mk(EventKind::MemcpyH2D, 112, 212, -1), "memcpy");
+    t.record(mk(EventKind::Sync, 212, 222), "sync");
+    const auto legacy = analyze(t);
+    const auto both = analyzeCritical(t).metrics;
+    EXPECT_EQ(legacy.launches, both.launches);
+    EXPECT_EQ(legacy.kernels, both.kernels);
+    EXPECT_EQ(legacy.sumKlo(), both.sumKlo());
+    EXPECT_EQ(legacy.copy_h2d, both.copy_h2d);
+    EXPECT_EQ(legacy.sync_time, both.sync_time);
+    EXPECT_EQ(legacy.end_to_end, both.end_to_end);
+}
+
+// --------------------------------------------------- obs publishing
+
+TEST(CritPath, PublishesCountersToRegistry)
+{
+    Tracer t;
+    t.record(mk(EventKind::MemcpyH2D, 0, 100, -1), "memcpy");
+    const auto p = analyzeCritical(t).path;
+    obs::Registry reg;
+    publishCriticalPath(p, reg);
+    EXPECT_EQ(reg.counter("critpath.end_to_end_ps").value(), 100u);
+    EXPECT_EQ(reg.counter("critpath.on_path_ps").value(), 100u);
+    EXPECT_EQ(reg.counter("critpath.events_on_path").value(), 1u);
+    EXPECT_EQ(reg.counter("critpath.bottleneck_code").value(),
+              static_cast<std::uint64_t>(Bottleneck::LinkBound));
+    EXPECT_EQ(reg.counter("critpath.share.link_ps").value(), 100u);
+    EXPECT_EQ(reg.counter("critpath.share.compute_ps").value(), 0u);
+}
+
+// ----------------------------------------------------- report / JSON
+
+TEST(CritPath, ReportAndJsonAreWellFormed)
+{
+    Tracer t;
+    const auto c = t.record(mk(EventKind::Launch, 0, 10), "k");
+    t.record(mk(EventKind::Kernel, 10, 110, 0, c), "k");
+    t.record(mk(EventKind::Kernel, 20, 50, 1), "idle");
+    const auto p = analyzeCritical(t).path;
+    const auto report = criticalReport(p, t, 5);
+    EXPECT_NE(report.find("critical path"), std::string::npos);
+    EXPECT_NE(report.find("bottleneck"), std::string::npos);
+    EXPECT_NE(report.find("top on-path contributors"),
+              std::string::npos);
+    EXPECT_NE(report.find("largest slack"), std::string::npos);
+    const auto json = criticalPathJson(p);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"bottleneck\": \"compute-bound\""),
+              std::string::npos);
+    std::ostringstream full;
+    writeCriticalJson(p, t, full);
+    EXPECT_NE(full.str().find("\"hccsim_critical_version\": 1"),
+              std::string::npos);
+    EXPECT_NE(full.str().find("\"segments\""), std::string::npos);
+}
+
+// ------------------------------------- the paper's classification
+
+workloads::WorkloadResult
+runCell(const std::string &app, bool cc)
+{
+    rt::SystemConfig sys;
+    sys.cc = cc;
+    workloads::WorkloadParams params;
+    return workloads::runWorkload(app, sys, params);
+}
+
+TEST(CritPathWorkloads, CopyHeavyCellFlipsLinkToCryptoUnderCC)
+{
+    const auto base = runCell("atax", false);
+    const auto cc = runCell("atax", true);
+    // Native: PCIe wire time gates the run; no crypto exists at all.
+    EXPECT_EQ(base.critical.bottleneck, Bottleneck::LinkBound);
+    EXPECT_EQ(base.critical.share(PathCategory::Crypto), 0);
+    // CC: the same copies now pay AES-GCM; crypto takes over.
+    EXPECT_EQ(cc.critical.bottleneck, Bottleneck::CryptoBound);
+    EXPECT_GT(cc.critical.share(PathCategory::Crypto),
+              cc.critical.share(PathCategory::Link));
+    // Both partitions are exact.
+    EXPECT_EQ(sharesSum(base.critical), base.critical.end_to_end);
+    EXPECT_EQ(sharesSum(cc.critical), cc.critical.end_to_end);
+}
+
+TEST(CritPathWorkloads, ComputeBoundCellStaysComputeBoundUnderCC)
+{
+    // Fig. 13/14: ML training/serving is compute-dominant, so CC
+    // only nibbles at the edges (alloc, copies) of the path.
+    const auto base = runCell("cnn", false);
+    const auto cc = runCell("cnn", true);
+    EXPECT_EQ(base.critical.bottleneck, Bottleneck::ComputeBound);
+    EXPECT_EQ(cc.critical.bottleneck, Bottleneck::ComputeBound);
+    EXPECT_EQ(base.critical.share(PathCategory::Crypto), 0);
+    EXPECT_EQ(sharesSum(cc.critical), cc.critical.end_to_end);
+}
+
+TEST(CritPathWorkloads, RepeatedRunsAreByteIdentical)
+{
+    const auto a = runCell("atax", true);
+    const auto b = runCell("atax", true);
+    EXPECT_EQ(criticalPathJson(a.critical),
+              criticalPathJson(b.critical));
+    std::ostringstream ja, jb;
+    writeCriticalJson(a.critical, a.trace, ja);
+    writeCriticalJson(b.critical, b.trace, jb);
+    EXPECT_EQ(ja.str(), jb.str());
+}
+
+} // namespace
+} // namespace hcc::trace

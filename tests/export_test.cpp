@@ -134,6 +134,70 @@ TEST(ChromeExport, OutputIsParseableJson)
     EXPECT_EQ(v.array.size(), 4u);  // 3 "X" events + 1 "C" sample
 }
 
+TEST(ChromeExport, QueueWaitArgsPerEvent)
+{
+    const auto json = chromeTraceJson(sampleTrace());
+    // Exact-ps queue wait on every event, plus the kind-specific
+    // LQT/KQT aliases the paper's figures are built from.
+    EXPECT_NE(json.find("\"queue_wait_ps\": 2000000"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"lqt_ps\": 2000000"), std::string::npos);
+    EXPECT_NE(json.find("\"kqt_ps\": 3000000"), std::string::npos);
+    EXPECT_NE(json.find("\"correlation\": "), std::string::npos);
+    // The plain copy gets neither alias.
+    EXPECT_EQ(json.find("\"kqt_ps\": 0"), std::string::npos);
+}
+
+TEST(ChromeExport, CriticalPathArgsAndFlowEvents)
+{
+    const auto t = sampleTrace();
+    const auto crit = analyzeCritical(t).path;
+    const auto json = chromeTraceJson(t, nullptr, &crit);
+    EXPECT_NE(json.find("\"on_critical_path\": true"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"slack_ps\": "), std::string::npos);
+    // Flow arrows between consecutive on-path spans.
+    EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\": \"critpath\""), std::string::npos);
+    // Still parseable JSON with balanced pairs per flow id.
+    obs::json::Value v;
+    std::string err;
+    ASSERT_TRUE(obs::json::parse(json, v, err)) << err;
+    int starts = 0, finishes = 0;
+    for (const auto &e : v.array) {
+        const auto *ph = e.find("ph");
+        if (ph && ph->string == "s")
+            ++starts;
+        if (ph && ph->string == "f")
+            ++finishes;
+    }
+    EXPECT_EQ(starts, finishes);
+    EXPECT_EQ(starts,
+              static_cast<int>(crit.segments.size()) - 1);
+}
+
+TEST(ChromeExport, OffPathEventMarkedFalse)
+{
+    Tracer t;
+    TraceEvent long_k;
+    long_k.kind = EventKind::Kernel;
+    long_k.start = time::us(10);
+    long_k.end = time::us(110);
+    long_k.stream = 0;
+    t.record(long_k, "gating");
+    TraceEvent idle;
+    idle.kind = EventKind::Kernel;
+    idle.start = time::us(20);
+    idle.end = time::us(50);
+    idle.stream = 1;
+    t.record(idle, "idle");
+    const auto crit = analyzeCritical(t).path;
+    const auto json = chromeTraceJson(t, nullptr, &crit);
+    EXPECT_NE(json.find("\"on_critical_path\": false"),
+              std::string::npos);
+}
+
 TEST(CsvExport, HeaderAndRows)
 {
     std::ostringstream oss;

@@ -110,6 +110,43 @@ TEST(Analysis, GraphLaunchCountsAsLaunch)
     EXPECT_EQ(m.sumKlo(), 8);
 }
 
+TEST(Analysis, FaultOverlapNotDoubleCountedInSync)
+{
+    // Regression: a fault-recovery span overlapping a Sync window
+    // used to be counted in both fault_time and sync_time.  The
+    // recovery owns that wall time; sync keeps only the rest.
+    Tracer t;
+    t.record(mk(EventKind::Sync, 150, 250));
+    t.record(mk(EventKind::Fault, 100, 200));
+    const auto m = analyze(t);
+    EXPECT_EQ(m.fault_time, 100);
+    EXPECT_EQ(m.fault_recoveries, 1);
+    EXPECT_EQ(m.sync_time, 50);
+}
+
+TEST(Analysis, OverlappingFaultSpansMergeBeforeSyncCorrection)
+{
+    Tracer t;
+    t.record(mk(EventKind::Sync, 150, 250));
+    // Two overlapping recoveries covering [100, 200] in union; the
+    // sync overlap must be subtracted once, not twice.
+    t.record(mk(EventKind::Fault, 100, 180));
+    t.record(mk(EventKind::Fault, 160, 200));
+    const auto m = analyze(t);
+    EXPECT_EQ(m.fault_recoveries, 2);
+    EXPECT_EQ(m.sync_time, 50);
+}
+
+TEST(Analysis, FaultCoveringWholeSyncZeroesIt)
+{
+    Tracer t;
+    t.record(mk(EventKind::Sync, 150, 250));
+    t.record(mk(EventKind::Fault, 100, 300));
+    const auto m = analyze(t);
+    EXPECT_EQ(m.sync_time, 0);
+    EXPECT_EQ(m.fault_time, 200);
+}
+
 TEST(Analysis, UnionCoverageMergesOverlaps)
 {
     EXPECT_EQ(unionCoverage({{0, 10}, {5, 15}}), 15);

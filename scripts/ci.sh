@@ -124,4 +124,52 @@ if "$hccsim" stats-diff "$tmp/a.json" "$tmp/faulted.json" \
     exit 1
 fi
 
+# Fork-vs-cold gate: a snapshot-forked campaign must be byte-identical
+# to the cold-split control (same late arming point, no shared state)
+# for every output — per-cell CSV and merged stats — and across
+# worker counts.  This is the hard bar of the snapshot engine: replay
+# from a restored snapshot may not shift a single counter or draw.
+"$hccsim" faults --app gaussian --rates 0.25,0.5 --seeds 41,42 \
+    --fork-point auto --jobs 1 \
+    --out "$tmp/fork.csv" --format csv \
+    --stats-out "$tmp/fork.json" >/dev/null
+"$hccsim" faults --app gaussian --rates 0.25,0.5 --seeds 41,42 \
+    --fork-point auto --jobs 4 \
+    --out "$tmp/fork4.csv" --format csv \
+    --stats-out "$tmp/fork4.json" >/dev/null
+"$hccsim" faults --app gaussian --rates 0.25,0.5 --seeds 41,42 \
+    --fork-point auto --no-snapshot --jobs 4 \
+    --out "$tmp/cold.csv" --format csv \
+    --stats-out "$tmp/cold.json" >/dev/null
+cmp "$tmp/fork.csv" "$tmp/fork4.csv"
+cmp "$tmp/fork.json" "$tmp/fork4.json"
+cmp "$tmp/fork.csv" "$tmp/cold.csv"
+cmp "$tmp/fork.json" "$tmp/cold.json"
+"$hccsim" stats-diff "$tmp/cold.json" "$tmp/fork.json"
+
+# Snapshot subcommand smoke: capture a prefix snapshot to disk and
+# inspect it back (the file must carry the app and section table).
+"$hccsim" snapshot --app llm --cc --out "$tmp/llm.snap" >/dev/null
+"$hccsim" snapshot --inspect "$tmp/llm.snap" | grep -q "app: *llm"
+"$hccsim" snapshot --inspect "$tmp/llm.snap" | grep -q "trace"
+
+# Campaign-throughput smoke: a short fork-point campaign must finish
+# and its bench JSON must materialize (the tracked ≥5x fork-vs-cold
+# numbers live in BENCH_campaign.json, measured on a quiet host with
+# the Release binary — same policy as BENCH_sim.json).
+release_hccsim=build-release/tools/hccsim
+cmake --build --preset release -j"$jobs" --target hccsim
+t_fork_us="$("$release_hccsim" faults --app llm --seeds 1,2,3 \
+    --rates 0.1,0.5 --fork-point auto --jobs 1 \
+    --out "$tmp/camp_fork.csv" --format csv \
+    | sed -n 's/.*wall \([0-9.]*\) \(m\?s\)$/\1 \2/p')"
+t_cold_us="$("$release_hccsim" faults --app llm --seeds 1,2,3 \
+    --rates 0.1,0.5 --fork-point auto --no-snapshot --jobs 1 \
+    --out "$tmp/camp_cold.csv" --format csv \
+    | sed -n 's/.*wall \([0-9.]*\) \(m\?s\)$/\1 \2/p')"
+cmp "$tmp/camp_fork.csv" "$tmp/camp_cold.csv"
+printf '{\n  "fork_wall": "%s",\n  "cold_wall": "%s"\n}\n' \
+    "$t_fork_us" "$t_cold_us" > "$tmp/bench_campaign.json"
+test -s "$tmp/bench_campaign.json"
+
 echo "ci: all checks passed"

@@ -15,6 +15,8 @@
 #include "obs/stats_io.hpp"
 #include "perfmodel/model.hpp"
 #include "perfmodel/projector.hpp"
+#include "snap/fork.hpp"
+#include "snap/snap.hpp"
 #include "sweep/sweep.hpp"
 #include "trace/compare.hpp"
 #include "trace/critpath.hpp"
@@ -108,8 +110,8 @@ splitList(const std::string &csv)
 }
 
 const FlagSpec kFlags[] = {
-    {"--app", kRunLike | bit(Command::Faults), "NAME",
-     "workload name (see `hccsim list`)",
+    {"--app", kRunLike | bit(Command::Faults) | bit(Command::Snapshot),
+     "NAME", "workload name (see `hccsim list`)",
      [](Options &o, const std::string &v, std::string &) {
          o.app = v;
          return true;
@@ -120,18 +122,22 @@ const FlagSpec kFlags[] = {
          o.spec_file = v;
          return true;
      }},
-    {"--cc", kRunLike, nullptr, "run inside a TD (CC mode)",
+    {"--cc", kRunLike | bit(Command::Snapshot), nullptr,
+     "run inside a TD (CC mode)",
      [](Options &o, const std::string &, std::string &) {
          o.cc = true;
          return true;
      }},
-    {"--uvm", kRunLike | bit(Command::Faults), nullptr,
+    {"--uvm",
+     kRunLike | bit(Command::Faults) | bit(Command::Snapshot),
+     nullptr,
      "use the managed-memory variant",
      [](Options &o, const std::string &, std::string &) {
          o.uvm = true;
          return true;
      }},
-    {"--scale", kRunLike | bit(Command::Faults), "X",
+    {"--scale",
+     kRunLike | bit(Command::Faults) | bit(Command::Snapshot), "X",
      "problem-size multiplier (default 1.0)",
      [](Options &o, const std::string &v, std::string &error) {
          try {
@@ -146,7 +152,8 @@ const FlagSpec kFlags[] = {
          }
          return true;
      }},
-    {"--seed", kRunLike, "N", "RNG seed (default 42)",
+    {"--seed", kRunLike | bit(Command::Snapshot), "N",
+     "RNG seed (default 42)",
      [](Options &o, const std::string &v, std::string &error) {
          try {
              o.seed = std::stoull(v);
@@ -168,13 +175,17 @@ const FlagSpec kFlags[] = {
          return true;
      }},
     {"--crypto-workers",
-     kRunLike | bit(Command::Sweep) | bit(Command::Faults), "N",
+     kRunLike | bit(Command::Sweep) | bit(Command::Faults)
+         | bit(Command::Snapshot),
+     "N",
      "parallel encryption threads (CC)",
      [](Options &o, const std::string &v, std::string &error) {
          return applyInt(o.crypto_workers, 1, "--crypto-workers", v,
                          error);
      }},
-    {"--tee-io", kRunLike | bit(Command::Sweep) | bit(Command::Faults),
+    {"--tee-io",
+     kRunLike | bit(Command::Sweep) | bit(Command::Faults)
+         | bit(Command::Snapshot),
      nullptr, "model the TEE-IO hardware path (CC)",
      [](Options &o, const std::string &, std::string &) {
          o.tee_io = true;
@@ -263,8 +274,11 @@ const FlagSpec kFlags[] = {
          o.critical_out = v;
          return true;
      }},
-    {"--out", bit(Command::Sweep) | bit(Command::Faults), "FILE",
-     "per-cell results (CSV, or JSON with --format json)",
+    {"--out",
+     bit(Command::Sweep) | bit(Command::Faults)
+         | bit(Command::Snapshot),
+     "FILE",
+     "per-cell results (CSV/JSON), or the snapshot output file",
      [](Options &o, const std::string &v, std::string &) {
          o.out_file = v;
          return true;
@@ -303,6 +317,33 @@ const FlagSpec kFlags[] = {
      "N", "worker threads (default: all cores)",
      [](Options &o, const std::string &v, std::string &error) {
          return applyInt(o.jobs, 1, "--jobs", v, error);
+     }},
+    {"--fork-point",
+     bit(Command::Sweep) | bit(Command::Faults)
+         | bit(Command::Snapshot),
+     "none|auto|F",
+     "prefix/suffix cut for fork/replay (see docs/SNAPSHOT.md)",
+     [](Options &o, const std::string &v, std::string &error) {
+         const auto parsed = snap::parseForkPoint(v);
+         if (!parsed.ok()) {
+             error = parsed.status().message();
+             return false;
+         }
+         o.fork_point_spec = v;
+         return true;
+     }},
+    {"--no-snapshot", bit(Command::Sweep) | bit(Command::Faults),
+     nullptr,
+     "run split cells cold instead of snapshot-forking them",
+     [](Options &o, const std::string &, std::string &) {
+         o.no_snapshot = true;
+         return true;
+     }},
+    {"--inspect", bit(Command::Snapshot), "FILE",
+     "print a snapshot file's meta and section table",
+     [](Options &o, const std::string &v, std::string &) {
+         o.snapshot_in = v;
+         return true;
      }},
     {"--log-level", kEveryCommand, "LEVEL",
      "debug|info|warn|error|silent",
@@ -379,6 +420,7 @@ const std::pair<const char *, Command> kCommands[] = {
     {"faults", Command::Faults},
     {"stats-diff", Command::StatsDiff},
     {"crypto-calibrate", Command::CryptoCalibrate},
+    {"snapshot", Command::Snapshot},
 };
 
 } // namespace
@@ -442,6 +484,10 @@ usage()
         "                                   exit 1 if stats drifted\n"
         "  hccsim crypto-calibrate [opts]   measure this host's\n"
         "                                   functional crypto GB/s\n"
+        "  hccsim snapshot --app NAME --out FILE\n"
+        "                                   capture a fork-point\n"
+        "                                   snapshot (--inspect FILE\n"
+        "                                   prints one)\n"
         "\n"
         "`hccsim COMMAND --help` lists the options of one command.\n"
         "Common options:\n"
@@ -454,6 +500,9 @@ usage()
         "                   stack (run/compare/trace); `hccsim\n"
         "                   faults` sweeps sites x rates x seeds\n"
         "  --jobs N         worker threads (compare/sweep/faults)\n"
+        "  --fork-point P   none|auto|FRACTION: where sweep/faults\n"
+        "                   cut cells into a shared prefix and a\n"
+        "                   replayed suffix (docs/SNAPSHOT.md)\n"
         "  --stats-out FILE write the stats registry as JSON\n"
         "  --log-level L    debug|info|warn|error|silent\n";
 }
@@ -546,6 +595,21 @@ parseArgs(const std::vector<std::string> &args, std::string &error)
       case Command::Faults:
         if (opt.app.empty()) {
             error = "faults requires --app";
+            return std::nullopt;
+        }
+        break;
+      case Command::Snapshot:
+        if (opt.app.empty() && opt.snapshot_in.empty()) {
+            error = "snapshot requires --app (capture) or "
+                    "--inspect FILE";
+            return std::nullopt;
+        }
+        if (!opt.app.empty() && !opt.snapshot_in.empty()) {
+            error = "--app and --inspect are mutually exclusive";
+            return std::nullopt;
+        }
+        if (!opt.app.empty() && opt.out_file.empty()) {
+            error = "snapshot capture requires --out FILE";
             return std::nullopt;
         }
         break;
@@ -733,6 +797,19 @@ printSweepSummary(const sweep::SweepResult &r, std::ostream &os)
        << r.pool.stolen << " steals)\n";
 }
 
+/** CLI fork point, or @p fallback when --fork-point was not given.
+ *  Revalidated here because runCli() is also a library entry point. */
+snap::ForkPoint
+forkPointFromFlags(const Options &opt, snap::ForkPoint fallback)
+{
+    if (opt.fork_point_spec.empty())
+        return fallback;
+    const auto parsed = snap::parseForkPoint(opt.fork_point_spec);
+    if (!parsed.ok())
+        fatal("%s", parsed.status().message().c_str());
+    return parsed.value();
+}
+
 /** Build the sweep grid from CLI flags (not a --spec grid file). */
 sweep::GridSpec
 gridFromFlags(const Options &opt)
@@ -779,6 +856,11 @@ campaignFromFlags(const Options &opt)
         if (r > 1.0)
             fatal("fault rate %g out of (0, 1]", r);
     spec.seeds = sweep::parseSeedList(opt.sweep_seeds);
+    // Default "none" keeps the original semantics (faults armed at
+    // Context construction); --fork-point auto opts a campaign into
+    // fork/replay, which arms at the fork point instead.
+    spec.fork_point = forkPointFromFlags(opt, snap::ForkPoint{});
+    spec.no_snapshot = opt.no_snapshot;
     return spec;
 }
 
@@ -972,6 +1054,9 @@ runCli(const Options &opt, std::ostream &os)
                 fatal("%s", loaded.status().toString().c_str());
             grid = loaded.take();
         }
+        grid.fork_point = forkPointFromFlags(opt, grid.fork_point);
+        if (opt.no_snapshot)
+            grid.no_snapshot = true;
         const int jobs =
             opt.jobs > 0 ? opt.jobs : ThreadPool::defaultJobs();
         obs::Registry reg;
@@ -1050,6 +1135,53 @@ runCli(const Options &opt, std::ostream &os)
            << "; largest single-event slack "
            << formatTime(max_slack)
            << " (overlap headroom, see `hccsim critical`)\n";
+        return 0;
+      }
+
+      case Command::Snapshot: {
+        if (!opt.snapshot_in.empty()) {
+            const auto loaded =
+                snap::readSnapshotFile(opt.snapshot_in);
+            if (!loaded.ok())
+                fatal("%s", loaded.status().toString().c_str());
+            snap::printSnapshot(os, loaded.value());
+            return 0;
+        }
+        const auto &w =
+            workloads::WorkloadRegistry::instance().get(opt.app);
+        if (opt.uvm && !w.supportsUvm())
+            fatal("workload '%s' has no UVM variant",
+                  opt.app.c_str());
+        if (!w.forkable())
+            fatal("workload '%s' is not forkable", opt.app.c_str());
+        const auto fork_point = forkPointFromFlags(
+            opt, snap::ForkPoint{snap::ForkPoint::Mode::Auto, 0.0});
+        const double fraction = fork_point.resolve(w);
+        if (fraction < 0.0)
+            fatal("--fork-point none captures nothing; use auto or "
+                  "a fraction");
+        rt::SystemConfig sys;
+        sys.cc = opt.cc;
+        sys.seed = opt.seed;
+        sys.channel.crypto_workers = opt.crypto_workers;
+        sys.channel.tee_io = opt.tee_io;
+        workloads::WorkloadParams params;
+        params.uvm = opt.uvm;
+        params.scale = opt.scale;
+        params.seed = opt.seed;
+        rt::Context ctx(sys);
+        (void)w.runPrefix(ctx, params, fraction);
+        snap::Snapshot snapshot;
+        ctx.captureSnapshot(snapshot);
+        snapshot.meta.app = opt.app;
+        snapshot.meta.uvm = opt.uvm;
+        snapshot.meta.fork_point = fork_point.str();
+        const auto status =
+            snap::writeSnapshotFile(opt.out_file, snapshot);
+        if (!status.ok())
+            fatal("%s", status.toString().c_str());
+        snap::printSnapshot(os, snapshot);
+        os << "wrote " << opt.out_file << "\n";
         return 0;
       }
 

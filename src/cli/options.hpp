@@ -36,6 +36,7 @@ enum class Command
     Faults,
     StatsDiff,
     CryptoCalibrate,
+    Snapshot,
     Help,
 };
 
@@ -101,6 +102,18 @@ struct Options
     std::string fault_sites = "all";
     /** faults: comma-separated injection rates, each in (0, 1]. */
     std::string fault_rates = "0.01";
+    /**
+     * sweep/faults/snapshot: prefix/suffix cut spec
+     * (none|auto|FRACTION).  Empty keeps the per-command default:
+     * sweep forks duplicates automatically ("auto"), faults keeps
+     * the original construction-time arming ("none"), snapshot
+     * captures at the workload's fork_after marker ("auto").
+     */
+    std::string fork_point_spec;
+    /** sweep/faults: run split cells cold (no snapshot replay). */
+    bool no_snapshot = false;
+    /** snapshot: inspect this snapshot file instead of capturing. */
+    std::string snapshot_in;
     /** A subcommand `--help` was requested (print help, exit 0). */
     bool show_help = false;
 };

@@ -102,6 +102,22 @@ class Rng
     /** Fork a child generator with an independent stream. */
     Rng fork(std::uint64_t stream_salt);
 
+    /**
+     * Snapshot support (snap/archive.hpp): the full draw position —
+     * PCG state and stream plus the Box-Muller spare cache, so a
+     * restored generator replays the exact same sequence, including
+     * an interrupted normal() pair.
+     */
+    template <class Ar>
+    void
+    snapState(Ar &ar)
+    {
+        ar.pod(state_);
+        ar.pod(inc_);
+        ar.pod(hasSpare_);
+        ar.pod(spare_);
+    }
+
   private:
     /** Generate a fresh Box-Muller pair; caches one, returns one. */
     double normalPair();

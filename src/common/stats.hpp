@@ -32,6 +32,18 @@ class RunningStats
     double max() const { return n_ ? max_ : 0.0; }
     double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
 
+    /** Snapshot support (snap/archive.hpp): full Welford state. */
+    template <class Ar>
+    void
+    snapState(Ar &ar)
+    {
+        ar.pod(n_);
+        ar.pod(mean_);
+        ar.pod(m2_);
+        ar.pod(min_);
+        ar.pod(max_);
+    }
+
   private:
     std::size_t n_ = 0;
     double mean_ = 0.0;

@@ -123,6 +123,15 @@ class GcmIvSequence
 
     std::uint64_t issued() const { return counter_; }
 
+    /** Snapshot support: the invocation counter (the channel id is
+     *  construction-fixed). */
+    template <class Ar>
+    void
+    snapState(Ar &ar)
+    {
+        ar.pod(counter_);
+    }
+
   private:
     std::uint32_t channel_;
     std::uint64_t counter_ = 0;

@@ -165,34 +165,78 @@ runFaultCampaign(const CampaignSpec &spec, int jobs)
     result.jobs = jobs < 1 ? 1 : jobs;
     result.cells.resize(cells.size());
 
-    const auto start = std::chrono::steady_clock::now();
-    result.pool = runIndexed(
-        cells.size(), result.jobs, [&](std::size_t i) {
-            const CampaignCell &cell = cells[i];
-            CampaignCellResult &out = result.cells[i];
-            out.cell = cell;
-            const auto cell_start = std::chrono::steady_clock::now();
-            try {
-                rt::SystemConfig sys;
-                sys.cc = true;
-                sys.seed = cell.seed;
-                sys.channel.crypto_workers = spec.crypto_workers;
-                sys.channel.tee_io = spec.tee_io;
-                if (!cell.baseline)
-                    sys.faults.set(cell.site, cell.rate);
-                workloads::WorkloadParams params;
-                params.uvm = spec.uvm;
-                params.scale = spec.scale;
-                params.seed = cell.seed;
-                out.result =
-                    workloads::runWorkload(spec.app, sys, params);
-                out.ok = true;
-            } catch (const FatalError &e) {
-                out.error = e.what();
+    // Group cells by seed: every cell of one seed shares its entire
+    // unfaulted schedule (same app/scale/config, faults armed only at
+    // the fork point), so one simulated prefix serves the whole
+    // block.  When the pool is wider than the group count, groups
+    // split into contiguous shards — each shard redoes the prefix,
+    // trading some replay savings for parallelism.  Cell outputs are
+    // a pure function of the cell spec either way, so sharding (and
+    // therefore --jobs) never changes a byte of output.
+    struct Shard
+    {
+        snap::ForkGroupSpec group;
+        std::vector<std::size_t> indices;
+    };
+    std::vector<Shard> shards;
+    const std::size_t n_groups = spec.seeds.size();
+    const std::size_t per_group =
+        1 + spec.sites.size() * spec.rates.size();
+    const std::size_t shards_per_group = std::min(
+        per_group,
+        std::max<std::size_t>(
+            1, static_cast<std::size_t>(result.jobs) / n_groups));
+    const std::size_t chunk =
+        (per_group + shards_per_group - 1) / shards_per_group;
+    for (std::size_t g = 0; g < n_groups; ++g) {
+        const std::size_t begin = g * per_group;
+        const std::size_t end = begin + per_group;
+        for (std::size_t s = begin; s < end; s += chunk) {
+            Shard shard;
+            shard.group.app = spec.app;
+            shard.group.sys.cc = true;
+            shard.group.sys.seed = spec.seeds[g];
+            shard.group.sys.channel.crypto_workers =
+                spec.crypto_workers;
+            shard.group.sys.channel.tee_io = spec.tee_io;
+            shard.group.params.uvm = spec.uvm;
+            shard.group.params.scale = spec.scale;
+            shard.group.params.seed = spec.seeds[g];
+            for (std::size_t i = s; i < std::min(end, s + chunk);
+                 ++i) {
+                snap::ForkCell fork_cell;
+                if (!cells[i].baseline)
+                    fork_cell.faults.set(cells[i].site,
+                                         cells[i].rate);
+                shard.group.cells.push_back(fork_cell);
+                shard.indices.push_back(i);
             }
-            out.wall_us = elapsedUs(cell_start);
+            shards.push_back(std::move(shard));
+        }
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<snap::ForkGroupOutcome> outcomes(shards.size());
+    result.pool = runIndexed(
+        shards.size(), result.jobs, [&](std::size_t si) {
+            outcomes[si] = snap::runForkGroup(
+                shards[si].group, spec.fork_point, spec.no_snapshot);
         });
     result.wall_us = elapsedUs(start);
+
+    for (std::size_t si = 0; si < shards.size(); ++si) {
+        result.snapshot_hits += outcomes[si].snapshot_hits;
+        for (std::size_t j = 0; j < shards[si].indices.size(); ++j) {
+            const std::size_t idx = shards[si].indices[j];
+            auto &cell_outcome = outcomes[si].cells[j];
+            CampaignCellResult &out = result.cells[idx];
+            out.cell = cells[idx];
+            out.ok = cell_outcome.ok;
+            out.error = std::move(cell_outcome.error);
+            out.result = std::move(cell_outcome.result);
+            out.wall_us = cell_outcome.wall_us;
+        }
+    }
 
     // Post-pool, main-thread: pull the fault counters out of each
     // cell and anchor slowdowns to the same-seed baseline.

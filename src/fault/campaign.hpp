@@ -24,6 +24,7 @@
 
 #include "common/thread_pool.hpp"
 #include "fault/fault.hpp"
+#include "snap/fork.hpp"
 #include "workloads/workload.hpp"
 
 namespace hcc::fault {
@@ -50,6 +51,22 @@ struct CampaignSpec
     std::vector<double> rates;
     /** Master seeds; each gets its own baseline cell. */
     std::vector<std::uint64_t> seeds;
+
+    /**
+     * Where to cut each cell into a shared prefix and a per-cell
+     * suffix (snap/fork.hpp).  All cells of one seed share their
+     * entire unfaulted schedule, so any non-`none` fork point lets
+     * the engine simulate that prefix once per seed and replay only
+     * suffixes.  `none` (the default) keeps the original semantics:
+     * faults armed at Context construction, every cell simulated in
+     * full — note the *arming point* is part of the semantics, so
+     * `none` and the split modes are different experiments (see
+     * docs/SNAPSHOT.md).
+     */
+    snap::ForkPoint fork_point;
+    /** Run split cells cold instead of snapshot-forking them (the
+     *  byte-identity control arm; same outputs, no speedup). */
+    bool no_snapshot = false;
 
     /** Baseline cells + grid cells. */
     std::size_t cellCount() const;
@@ -101,6 +118,9 @@ struct CampaignResult
     /** Host wall-clock for the whole campaign, microseconds. */
     double wall_us = 0.0;
     ThreadPool::Stats pool;
+    /** Cells replayed from an in-memory snapshot (0 in legacy and
+     *  cold-split modes). */
+    std::size_t snapshot_hits = 0;
 
     std::size_t failures() const;
     bool allOk() const { return failures() == 0; }

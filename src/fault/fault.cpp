@@ -92,6 +92,13 @@ Injector::Injector(const FaultConfig &config, std::uint64_t seed,
                    obs::Registry *obs)
     : config_(config), corrupt_rng_(0, 0), obs_(obs)
 {
+    arm(config, seed);
+}
+
+void
+Injector::arm(const FaultConfig &config, std::uint64_t seed)
+{
+    config_ = config;
     Rng master(seed, kFaultStream);
     for (int i = 0; i < kSiteCount; ++i) {
         auto &st = sites_[static_cast<std::size_t>(i)];
@@ -101,6 +108,12 @@ Injector::Injector(const FaultConfig &config, std::uint64_t seed,
         // Fork unconditionally so adding a site later never reseeds
         // the streams of existing ones.
         st.rng = master.fork(static_cast<std::uint64_t>(i) + 1);
+        st.injected = 0;
+        st.recovered = 0;
+        st.retry_time = 0;
+        st.obs_injected = nullptr;
+        st.obs_recovered = nullptr;
+        st.obs_retry_time_ps = nullptr;
     }
     corrupt_rng_ = master.fork(0xc0ffee);
 }

@@ -204,6 +204,42 @@ class Injector
 
     const FaultConfig &config() const { return config_; }
 
+    /**
+     * Re-arm the injector with a new config and seed, exactly as if
+     * it had been constructed with them: all site streams and the
+     * corruption stream are re-forked from @p seed, injection counts
+     * reset, and the lazy `fault.<site>.*` counter pointers cleared
+     * (they are re-resolved on first injection).  Used by campaign
+     * forking to arm a cell's faults at the fork point so every cell
+     * shares one unarmed warmup prefix.
+     */
+    void arm(const FaultConfig &config, std::uint64_t seed);
+
+    /**
+     * Snapshot support: config, per-site rate/stream/counts and the
+     * corruption stream.  Cached counter pointers are nulled on load;
+     * they re-resolve lazily against the (restored) registry.
+     */
+    template <class Ar>
+    void
+    snapState(Ar &ar)
+    {
+        ar.pod(config_.rates);
+        for (auto &st : sites_) {
+            ar.pod(st.rate);
+            st.rng.snapState(ar);
+            ar.pod(st.injected);
+            ar.pod(st.recovered);
+            ar.pod(st.retry_time);
+            if constexpr (Ar::kLoading) {
+                st.obs_injected = nullptr;
+                st.obs_recovered = nullptr;
+                st.obs_retry_time_ps = nullptr;
+            }
+        }
+        corrupt_rng_.snapState(ar);
+    }
+
   private:
     struct SiteState
     {

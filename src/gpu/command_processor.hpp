@@ -61,6 +61,15 @@ class CommandProcessor
     SimTime busyTime() const { return decoder_.busyTime(); }
     void reset() { decoder_.reset(); }
 
+    /** Snapshot support: decoder timeline + jitter RNG position. */
+    template <class Ar>
+    void
+    snapState(Ar &ar)
+    {
+        decoder_.snapState(ar);
+        rng_.snapState(ar);
+    }
+
   private:
     bool cc_;
     sim::Timeline decoder_;

@@ -40,6 +40,14 @@ class ComputeEngine
     SimTime earliestFree() const { return slots_.earliestFree(); }
     void reset() { slots_.reset(); }
 
+    /** Snapshot support. */
+    template <class Ar>
+    void
+    snapState(Ar &ar)
+    {
+        slots_.snapState(ar);
+    }
+
   private:
     sim::TimelinePool slots_;
 };

@@ -73,6 +73,15 @@ class CopyEngine
 
     int engineCount() const { return engines_.size(); }
 
+    /** Snapshot support: engine pool + staging timeline positions. */
+    template <class Ar>
+    void
+    snapState(Ar &ar)
+    {
+        engines_.snapState(ar);
+        staging_.snapState(ar);
+    }
+
   private:
     CopyTiming basePinned(SimTime ready, Bytes bytes,
                           pcie::Direction dir, TransferContext &ctx);

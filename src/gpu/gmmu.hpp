@@ -95,6 +95,52 @@ class Gmmu
     /** Radix levels walked on a TLB miss. */
     static constexpr int kWalkLevels = 4;
 
+    /**
+     * Snapshot support: the interval map, the TLB contents in LRU
+     * order, and the hit/miss/fault totals.  tlb_index_ is a lookup
+     * structure over tlb_lru_ and is rebuilt on restore.
+     */
+    template <class Ar>
+    void
+    snapState(Ar &ar)
+    {
+        std::size_t n = ar.size(ranges_.size());
+        if constexpr (Ar::kLoading) {
+            ranges_.clear();
+            for (std::size_t i = 0; i < n; ++i) {
+                std::uint64_t vpn = 0;
+                Range r{};
+                ar.pod(vpn);
+                ar.pod(r);
+                ranges_.emplace(vpn, r);
+            }
+        } else {
+            for (auto &[vpn, r] : ranges_) {
+                std::uint64_t v = vpn;
+                ar.pod(v);
+                ar.pod(r);
+            }
+        }
+        ar.pod(mapped_pages_);
+        n = ar.size(tlb_lru_.size());
+        if constexpr (Ar::kLoading) {
+            tlb_lru_.clear();
+            tlb_index_.clear();
+            for (std::size_t i = 0; i < n; ++i) {
+                std::pair<std::uint64_t, std::uint64_t> e;
+                ar.pod(e);
+                tlb_lru_.push_back(e);
+                tlb_index_[e.first] = std::prev(tlb_lru_.end());
+            }
+        } else {
+            for (auto &e : tlb_lru_)
+                ar.pod(e);
+        }
+        ar.pod(tlb_hits_);
+        ar.pod(tlb_misses_);
+        ar.pod(far_faults_);
+    }
+
   private:
     /** One contiguous mapping: [start, start+pages) -> pfn.. */
     struct Range

@@ -84,6 +84,18 @@ class GpuDevice
     UvmManager &uvm() { return uvm_; }
     const UvmManager &uvm() const { return uvm_; }
 
+    /** Snapshot support: every engine plus the jitter RNG. */
+    template <class Ar>
+    void
+    snapState(Ar &ar)
+    {
+        cmd_proc_.snapState(ar);
+        compute_.snapState(ar);
+        copy_.snapState(ar);
+        uvm_.snapState(ar);
+        rng_.snapState(ar);
+    }
+
   private:
     /** Per-kernel execution-time perturbation under CC. */
     SimTime perturbDuration(SimTime duration);

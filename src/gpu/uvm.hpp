@@ -126,6 +126,40 @@ class UvmManager
     Bytes totalEvicted() const { return total_evicted_; }
     const UvmConfig &config() const { return config_; }
 
+    /** Snapshot support: allocations, LRU order, migration totals,
+     *  handle/vpn/pfn allocators and the owned GMMU. */
+    template <class Ar>
+    void
+    snapState(Ar &ar)
+    {
+        const std::size_t n = ar.size(allocs_.size());
+        if constexpr (Ar::kLoading) {
+            allocs_.clear();
+            for (std::size_t i = 0; i < n; ++i) {
+                std::uint64_t handle = 0;
+                Allocation a{};
+                ar.pod(handle);
+                ar.pod(a);
+                allocs_.emplace(handle, a);
+            }
+        } else {
+            for (auto &[handle, a] : allocs_) {
+                std::uint64_t h = handle;
+                ar.pod(h);
+                ar.pod(a);
+            }
+        }
+        ar.podVec(lru_);
+        ar.pod(next_handle_);
+        ar.pod(total_batches_);
+        ar.pod(total_migrated_);
+        ar.pod(total_resident_);
+        ar.pod(total_evicted_);
+        gmmu_.snapState(ar);
+        ar.pod(next_vpn_);
+        ar.pod(next_pfn_);
+    }
+
   private:
     struct Allocation
     {

@@ -69,8 +69,34 @@ llmQuantName(LlmQuant quant)
     return quant == LlmQuant::Awq4 ? "AWQ" : "BF16";
 }
 
-LlmResult
-serveLlm(rt::Context &ctx, const LlmConfig &config)
+namespace {
+
+/** Decode steps [state.next_step, to_step). */
+void
+llmServeSteps(rt::Context &ctx, const LlmConfig &config,
+              LlmServeState &state, int to_step)
+{
+    gpu::KernelDesc decode_kd;
+    decode_kd.name = llmBackendName(config.backend) + "_decode";
+    decode_kd.duration = state.per_kernel;
+    for (int step = state.next_step; step < to_step; ++step) {
+        for (int k = 0; k < state.launches; ++k)
+            ctx.launchKernel(decode_kd);
+        ctx.deviceSynchronize();
+        // Sampled token ids come back every step.
+        ctx.memcpy(state.token_host, state.token_dev,
+                   static_cast<Bytes>(config.batch) * 8);
+        state.framework_total +=
+            frameworkStepCost(config.backend, config.batch);
+    }
+    state.next_step = to_step;
+}
+
+} // namespace
+
+LlmServeState
+llmServePrefix(rt::Context &ctx, const LlmConfig &config,
+               int warm_steps)
 {
     if (config.batch <= 0 || config.gen_len <= 0)
         fatal("llm serving needs positive batch and generation len");
@@ -78,7 +104,9 @@ serveLlm(rt::Context &ctx, const LlmConfig &config)
     const Bytes weights = weightBytes(config.quant);
     const double tflops =
         effTflops(config.backend, config.quant);
-    const int launches = launchesPerStep(config.backend);
+
+    LlmServeState state;
+    state.launches = launchesPerStep(config.backend);
 
     // Decode-step device time: memory-bound term (stream all weights
     // once per token) vs compute-bound term (2*P FLOPs per token per
@@ -91,28 +119,29 @@ serveLlm(rt::Context &ctx, const LlmConfig &config)
     SimTime device_step = std::max(weight_stream, compute);
     if (config.quant == LlmQuant::Awq4)
         device_step += kAwqDequantFixed;
-    const SimTime per_kernel = std::max<SimTime>(
-        time::us(2.0), device_step / launches);
+    state.per_kernel = std::max<SimTime>(
+        time::us(2.0), device_step / state.launches);
 
     // Device state: weights + KV cache.
-    auto weights_dev = ctx.mallocDevice(weights);
+    state.weights_dev = ctx.mallocDevice(weights);
     const Bytes kv_bytes = static_cast<Bytes>(config.batch)
         * static_cast<Bytes>(config.prompt_len + config.gen_len)
         * size::kib(128.0) / 1024;  // ~128 B/token/layer x 32 layers
-    auto kv_dev = ctx.mallocDevice(std::max<Bytes>(kv_bytes, 4096));
+    state.kv_dev = ctx.mallocDevice(std::max<Bytes>(kv_bytes, 4096));
 
     // Request ingress: prompts cross the host-device boundary.
     const Bytes prompt_bytes = static_cast<Bytes>(config.batch)
         * static_cast<Bytes>(config.prompt_len) * 4;
-    auto prompt_host = ctx.hostPageable(std::max<Bytes>(prompt_bytes,
-                                                        4096));
-    auto prompt_dev =
+    state.prompt_host =
+        ctx.hostPageable(std::max<Bytes>(prompt_bytes, 4096));
+    state.prompt_dev =
         ctx.mallocDevice(std::max<Bytes>(prompt_bytes, 4096));
-    auto token_dev = ctx.mallocDevice(4096);
-    auto token_host = ctx.hostPageable(4096);
+    state.token_dev = ctx.mallocDevice(4096);
+    state.token_host = ctx.hostPageable(4096);
 
-    const SimTime serve_start = ctx.now();
-    ctx.memcpy(prompt_dev, prompt_host, prompt_dev.bytes);
+    state.serve_start = ctx.now();
+    ctx.memcpy(state.prompt_dev, state.prompt_host,
+               state.prompt_dev.bytes);
 
     // Prefill: one compute-bound pass over the prompt.
     const double prefill_gflop = 2.0 * kLlamaParams * config.batch
@@ -127,23 +156,18 @@ serveLlm(rt::Context &ctx, const LlmConfig &config)
         ctx.deviceSynchronize();
     }
 
-    // Decode loop.
-    SimTime framework_total = 0;
-    gpu::KernelDesc decode_kd;
-    decode_kd.name = llmBackendName(config.backend) + "_decode";
-    decode_kd.duration = per_kernel;
-    for (int step = 0; step < config.gen_len; ++step) {
-        for (int k = 0; k < launches; ++k)
-            ctx.launchKernel(decode_kd);
-        ctx.deviceSynchronize();
-        // Sampled token ids come back every step.
-        ctx.memcpy(token_host, token_dev,
-                   static_cast<Bytes>(config.batch) * 8);
-        framework_total += frameworkStepCost(config.backend,
-                                             config.batch);
-    }
+    llmServeSteps(ctx, config, state,
+                  std::clamp(warm_steps, 0, config.gen_len));
+    return state;
+}
+
+LlmResult
+llmServeFinish(rt::Context &ctx, const LlmConfig &config,
+               LlmServeState state)
+{
+    llmServeSteps(ctx, config, state, config.gen_len);
     const SimTime total =
-        (ctx.now() - serve_start) + framework_total;
+        (ctx.now() - state.serve_start) + state.framework_total;
 
     LlmResult result;
     result.step_time = total / config.gen_len;
@@ -151,13 +175,20 @@ serveLlm(rt::Context &ctx, const LlmConfig &config)
         static_cast<double>(config.batch) * config.gen_len
         / time::toSec(total);
 
-    ctx.free(weights_dev);
-    ctx.free(kv_dev);
-    ctx.free(prompt_host);
-    ctx.free(prompt_dev);
-    ctx.free(token_dev);
-    ctx.free(token_host);
+    ctx.free(state.weights_dev);
+    ctx.free(state.kv_dev);
+    ctx.free(state.prompt_host);
+    ctx.free(state.prompt_dev);
+    ctx.free(state.token_dev);
+    ctx.free(state.token_host);
     return result;
+}
+
+LlmResult
+serveLlm(rt::Context &ctx, const LlmConfig &config)
+{
+    return llmServeFinish(ctx, config,
+                          llmServePrefix(ctx, config, 0));
 }
 
 std::vector<LlmResult>

@@ -58,6 +58,37 @@ struct LlmResult
 /** Run the serving loop for @p config inside @p ctx. */
 LlmResult serveLlm(rt::Context &ctx, const LlmConfig &config);
 
+/**
+ * Split-phase serving, for the campaign fork engine: the serving
+ * loop's state crossing a prefix/suffix cut at a decode-step
+ * boundary.  serveLlm() is exactly
+ * llmServeFinish(ctx, cfg, llmServePrefix(ctx, cfg, 0)).
+ */
+struct LlmServeState
+{
+    /** Per-decode-kernel duration derived from the config. */
+    SimTime per_kernel = 0;
+    /** Kernel launches per decode step. */
+    int launches = 0;
+    rt::Buffer weights_dev, kv_dev, prompt_host, prompt_dev;
+    rt::Buffer token_dev, token_host;
+    SimTime serve_start = 0;
+    SimTime framework_total = 0;
+    /** Next decode step to run. */
+    int next_step = 0;
+};
+
+/**
+ * Allocations, prompt ingress, prefill and the first @p warm_steps
+ * decode steps.
+ */
+LlmServeState llmServePrefix(rt::Context &ctx, const LlmConfig &config,
+                             int warm_steps);
+
+/** The remaining decode steps, result computation and frees. */
+LlmResult llmServeFinish(rt::Context &ctx, const LlmConfig &config,
+                         LlmServeState state);
+
 /** One cell of an LLM serving sweep (own rt::Context per cell). */
 struct LlmSweepCell
 {

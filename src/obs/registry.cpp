@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "snap/archive.hpp"
 
 namespace hcc::obs {
 
@@ -83,6 +84,35 @@ bool
 Registry::contains(const std::string &name) const
 {
     return stats_.find(name) != stats_.end();
+}
+
+std::unique_ptr<Registry>
+Registry::clone() const
+{
+    // Direct deep copy (the fork engine clones once per campaign
+    // cell, so this skips the archive round-trip).  Entries arrive
+    // in map order, so inserting with an end() hint is O(1) each.
+    auto out = std::make_unique<Registry>();
+    for (const auto &[name, e] : stats_) {
+        Entry copy;
+        copy.kind = e.kind;
+        switch (e.kind) {
+          case Kind::Counter:
+            copy.counter = std::make_unique<Counter>();
+            copy.counter->bump(e.counter->value());
+            break;
+          case Kind::Gauge:
+            copy.gauge = std::make_unique<Gauge>(*e.gauge);
+            break;
+          case Kind::Distribution:
+            copy.distribution =
+                std::make_unique<Distribution>(*e.distribution);
+            break;
+        }
+        out->stats_.emplace_hint(out->stats_.end(), name,
+                                 std::move(copy));
+    }
+    return out;
 }
 
 Registry &

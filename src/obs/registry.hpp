@@ -82,6 +82,17 @@ class Counter
         return value_.load(std::memory_order_relaxed);
     }
 
+    /** Snapshot support: the count (atomics archive by value). */
+    template <class Ar>
+    void
+    snapState(Ar &ar)
+    {
+        std::uint64_t v = value();
+        ar.pod(v);
+        if constexpr (Ar::kLoading)
+            value_.store(v, std::memory_order_relaxed);
+    }
+
   private:
     std::atomic<std::uint64_t> value_{0};
 };
@@ -154,6 +165,23 @@ class Gauge
     /** Current retention stride (1 until kMaxSamples is first hit). */
     std::uint64_t sampleStride() const { return stride_; }
 
+    /** Snapshot support: level, watermarks, and the whole decimator
+     *  state (retained samples, stride, skip phase) — a restored
+     *  gauge continues the identical deterministic sample series. */
+    template <class Ar>
+    void
+    snapState(Ar &ar)
+    {
+        ar.pod(value_);
+        ar.pod(min_);
+        ar.pod(max_);
+        ar.pod(touched_);
+        ar.podVec(samples_);
+        ar.pod(dropped_);
+        ar.pod(stride_);
+        ar.pod(skip_);
+    }
+
   private:
     /** Halve the retained series in place and double the stride. */
     void decimate();
@@ -180,6 +208,14 @@ class Distribution
     double mean() const { return stats_.mean(); }
     double min() const { return stats_.min(); }
     double max() const { return stats_.max(); }
+
+    /** Snapshot support. */
+    template <class Ar>
+    void
+    snapState(Ar &ar)
+    {
+        stats_.snapState(ar);
+    }
 
   private:
     RunningStats stats_;
@@ -228,6 +264,72 @@ class Registry
      * constructed on parallel sweep workers.
      */
     static Registry &discard();
+
+    /**
+     * Snapshot support.  Saving records every entry's name, kind and
+     * value state.  Restoring writes the captured values back into
+     * the *same* entries — handles returned before the capture stay
+     * valid — and erases entries created after the capture (lazily
+     * registered fault.* or critpath.* stats from a replayed
+     * suffix), so a restored run can never see or dump a stat its
+     * prefix did not create.  Holders of handles to post-capture
+     * entries must drop them on restore (fault::Injector does).
+     */
+    template <class Ar>
+    void
+    snapState(Ar &ar)
+    {
+        if constexpr (Ar::kLoading) {
+            const std::size_t n = ar.size(0);
+            // Names arrive in map (sorted) order; walk both sorted
+            // sequences and drop live entries the archive lacks.
+            auto it = stats_.begin();
+            for (std::size_t i = 0; i < n; ++i) {
+                std::string name;
+                std::uint32_t kind = 0;
+                ar.str(name);
+                ar.pod(kind);
+                while (it != stats_.end() && it->first < name)
+                    it = stats_.erase(it);
+                Entry &e = entry(name, static_cast<Kind>(kind));
+                if (it == stats_.end() || it->first != name)
+                    it = stats_.find(name);
+                ++it;
+                switch (e.kind) {
+                  case Kind::Counter: e.counter->snapState(ar); break;
+                  case Kind::Gauge: e.gauge->snapState(ar); break;
+                  case Kind::Distribution:
+                    e.distribution->snapState(ar);
+                    break;
+                }
+            }
+            while (it != stats_.end())
+                it = stats_.erase(it);
+        } else {
+            ar.size(stats_.size());
+            for (auto &[name, e] : stats_) {
+                std::string n = name;
+                ar.str(n);
+                std::uint32_t kind = static_cast<std::uint32_t>(e.kind);
+                ar.pod(kind);
+                switch (e.kind) {
+                  case Kind::Counter: e.counter->snapState(ar); break;
+                  case Kind::Gauge: e.gauge->snapState(ar); break;
+                  case Kind::Distribution:
+                    e.distribution->snapState(ar);
+                    break;
+                }
+            }
+        }
+    }
+
+    /**
+     * Deep value copy (fresh Counter/Gauge/Distribution objects).
+     * Forked campaign cells share one live registry; each cell's
+     * published stats must survive the next cell's restore, so the
+     * engine clones the registry into every WorkloadResult.
+     */
+    std::unique_ptr<Registry> clone() const;
 
   private:
     Entry &entry(const std::string &name, Kind kind);

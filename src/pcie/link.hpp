@@ -79,6 +79,15 @@ class PcieLink
 
     void reset();
 
+    /** Snapshot support: both direction timelines. */
+    template <class Ar>
+    void
+    snapState(Ar &ar)
+    {
+        h2d_.snapState(ar);
+        d2h_.snapState(ar);
+    }
+
   private:
     sim::Timeline &lane(Direction dir);
     const sim::Timeline &lane(Direction dir) const;

@@ -5,6 +5,8 @@
 #include "common/calibration.hpp"
 #include "common/log.hpp"
 #include "runtime/host_costs.hpp"
+#include "snap/archive.hpp"
+#include "snap/snap.hpp"
 #include "tee/attestation.hpp"
 
 namespace hcc::rt {
@@ -98,6 +100,81 @@ Context::Context(const SystemConfig &config)
         }
         host_now_ += tee::AttestationService::kQuoteGenCost;
         host_now_ += tee::AttestationService::kQuoteVerifyCost;
+    }
+}
+
+// -------------------------------------------------------- snapshots
+
+void
+Context::captureSnapshot(snap::Snapshot &out)
+{
+    out.meta.cc = config_.cc;
+    out.meta.seed = config_.seed;
+    out.meta.sim_time = host_now_;
+    const auto save = [&out](const char *name, auto &&fill) {
+        snap::Saver ar;
+        fill(ar);
+        out.add(name) = ar.take();
+    };
+    save("runtime",
+         [this](snap::Saver &ar) { snapRuntimeState(ar); });
+    save("obs", [this](snap::Saver &ar) { obs_->snapState(ar); });
+    save("fault", [this](snap::Saver &ar) { fault_->snapState(ar); });
+    save("tdx", [this](snap::Saver &ar) { tdx_.snapState(ar); });
+    save("pcie", [this](snap::Saver &ar) { link_.snapState(ar); });
+    if (channel_)
+        save("channel",
+             [this](snap::Saver &ar) { channel_->snapState(ar); });
+    save("gpu", [this](snap::Saver &ar) { gpu_.snapState(ar); });
+    save("trace", [this](snap::Saver &ar) { tracer_.snapState(ar); });
+    // Arm the truncation fast path for restores of *this* capture on
+    // *this* Context; any earlier capture's token goes stale here.
+    out.origin = this;
+    out.origin_token = ++snap_token_seq_;
+    snap_token_ = out.origin_token;
+    snap_trace_mark_ = tracer_.mark();
+}
+
+void
+Context::restoreSnapshot(const snap::Snapshot &snap)
+{
+    if (snap.meta.cc != config_.cc)
+        fatal("snapshot mode (%s) does not match this context (%s)",
+              snap.meta.cc ? "cc" : "base",
+              config_.cc ? "cc" : "base");
+    const auto load = [&snap](const char *name, auto &&fill) {
+        const auto *sec = snap.find(name);
+        if (!sec)
+            fatal("snapshot is missing section '%s'", name);
+        snap::Loader ar(sec->bytes);
+        fill(ar);
+        if (!ar.exhausted())
+            fatal("snapshot section '%s' has %zu trailing bytes",
+                  name, sec->bytes.size() - ar.consumed());
+    };
+    load("runtime",
+         [this](snap::Loader &ar) { snapRuntimeState(ar); });
+    load("obs", [this](snap::Loader &ar) { obs_->snapState(ar); });
+    load("fault",
+         [this](snap::Loader &ar) { fault_->snapState(ar); });
+    load("tdx", [this](snap::Loader &ar) { tdx_.snapState(ar); });
+    load("pcie", [this](snap::Loader &ar) { link_.snapState(ar); });
+    if (channel_)
+        load("channel",
+             [this](snap::Loader &ar) { channel_->snapState(ar); });
+    load("gpu", [this](snap::Loader &ar) { gpu_.snapState(ar); });
+    if (snap.origin == this && snap.origin_token != 0
+        && snap.origin_token == snap_token_) {
+        // This capture's prefix is still an unchanged prefix of the
+        // append-only tracer (recording only appends, and no other
+        // capture has been restored since): rewind by truncation.
+        tracer_.truncateTo(snap_trace_mark_);
+    } else {
+        load("trace",
+             [this](snap::Loader &ar) { tracer_.snapState(ar); });
+        // The byte load rewrote the pages; the live capture's mark
+        // no longer describes a prefix of what's in the tracer.
+        snap_token_ = 0;
     }
 }
 

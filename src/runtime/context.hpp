@@ -48,6 +48,8 @@
 #include "tee/tdx.hpp"
 #include "trace/tracer.hpp"
 
+namespace hcc::snap { struct Snapshot; }
+
 namespace hcc::rt {
 
 /** Whole-system configuration (Table I knobs that matter). */
@@ -240,6 +242,41 @@ class Context
     /** Live driver allocations (leak checking in tests). */
     std::size_t liveAllocations() const { return allocs_.size(); }
 
+    // ---------------------------------------------------- snapshots
+
+    /**
+     * Capture the full deterministic simulator state — host clock,
+     * streams, allocations, RNG streams, GPU engines, GMMU/UVM maps,
+     * trace buffer and stats registry — into @p out as named
+     * per-subsystem sections.  Restore-in-place contract: the capture
+     * is only valid for restoreSnapshot() on this same Context (or a
+     * Context constructed from the identical SystemConfig and driven
+     * through the identical call sequence), because cached stat
+     * pointers and interned labels are not serialized, only values.
+     */
+    void captureSnapshot(snap::Snapshot &out);
+
+    /**
+     * Restore state captured by captureSnapshot().  Fatal when the
+     * snapshot's mode does not match this context's configuration or
+     * a section is missing/truncated.
+     */
+    void restoreSnapshot(const snap::Snapshot &snap);
+
+    /**
+     * Re-arm fault injection with @p faults as if the Context had
+     * been constructed with them (streams re-forked from this
+     * context's seed, counts cleared).  The campaign fork engine
+     * calls this after restoring a cell so every cell shares one
+     * unarmed warmup prefix.
+     */
+    void
+    armFaults(const fault::FaultConfig &faults)
+    {
+        config_.faults = faults;
+        fault_->arm(faults, config_.seed);
+    }
+
   private:
     struct StreamState
     {
@@ -267,6 +304,60 @@ class Context
     /** Shared launch body; returns the kernel completion time. */
     SimTime launchImpl(const gpu::KernelDesc &kernel,
                        StreamState &stream);
+
+    /**
+     * Snapshot support for the runtime-local state (the "runtime"
+     * section); subsystems serialize into their own sections.
+     */
+    template <class Ar>
+    void
+    snapRuntimeState(Ar &ar)
+    {
+        ar.pod(host_now_);
+        const std::size_t nstreams = ar.size(streams_.size());
+        if constexpr (Ar::kLoading)
+            streams_.resize(nstreams);
+        for (auto &s : streams_) {
+            ar.pod(s.device_ready);
+            const std::size_t npending = ar.size(s.pending.size());
+            if constexpr (Ar::kLoading) {
+                s.pending.clear();
+                for (std::size_t i = 0; i < npending; ++i) {
+                    SimTime t = 0;
+                    ar.pod(t);
+                    s.pending.push_back(t);
+                }
+            } else {
+                for (SimTime t : s.pending)
+                    ar.pod(t);
+            }
+        }
+        const std::size_t nallocs = ar.size(allocs_.size());
+        if constexpr (Ar::kLoading) {
+            allocs_.clear();
+            for (std::size_t i = 0; i < nallocs; ++i) {
+                std::uint64_t id = 0;
+                AllocInfo info{};
+                ar.pod(id);
+                ar.pod(info);
+                allocs_.emplace(id, info);
+            }
+        } else {
+            for (auto &kv : allocs_) {
+                std::uint64_t id = kv.first;
+                ar.pod(id);
+                ar.pod(kv.second);
+            }
+        }
+        ar.pod(next_buffer_id_);
+        ar.pod(next_graph_id_);
+        ar.pod(next_event_id_);
+        ar.pod(next_event_seq_);
+        rng_.snapState(ar);
+        ar.podVec(kernel_launch_counts_);
+        ar.pod(launch_index_);
+        ar.pod(any_launch_);
+    }
 
     SystemConfig config_;
     // The registry must be the first member: every component below
@@ -312,6 +403,17 @@ class Context
         trace::LabelId device_sync;
     };
     ApiLabels labels_{};
+
+    /**
+     * Restore-in-place fast path: the trace watermark of the live
+     * capture (the one whose token matches snap_token_).  Restoring
+     * that capture on this Context truncates the append-only tracer
+     * to the mark instead of replaying ~MBs of section bytes.  A
+     * newer capture or a foreign-snapshot restore invalidates it.
+     */
+    trace::Tracer::Mark snap_trace_mark_{};
+    std::uint64_t snap_token_ = 0;
+    std::uint64_t snap_token_seq_ = 0;
 
     /**
      * Launches seen per kernel symbol (first-launch extras), indexed

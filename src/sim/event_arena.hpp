@@ -96,7 +96,24 @@ class EventArena
         live_blocks_ = 0;
     }
 
-    /** Slabs ever allocated (never shrinks until destruction). */
+    /**
+     * Return the slabs the bump cursor has not reached to the OS.
+     * Slabs above `active_` hold no live blocks and no free-list
+     * nodes (free nodes are carved from allocated blocks, which only
+     * ever come from slabs at or below the cursor), so dropping them
+     * is always safe.  Long campaigns call this on cell teardown —
+     * after a reset() it trims the arena back to one slab instead of
+     * holding the peak-watermark footprint for the whole run.
+     */
+    void
+    releaseFreeSlabs()
+    {
+        if (slabs_.size() > active_ + 1)
+            slabs_.resize(active_ + 1);
+    }
+
+    /** Slabs currently held (grows to the peak watermark; shrinks
+     *  only via releaseFreeSlabs()). */
     std::size_t slabCount() const { return slabs_.size(); }
     /** Blocks currently handed out. */
     std::size_t liveBlocks() const { return live_blocks_; }

@@ -65,6 +65,8 @@ class EventQueue
         e.invoke = [](void *state, SimTime now) {
             (*static_cast<Fn *>(state))(now);
         };
+        e.trivial = std::is_trivially_copyable_v<Fn>;
+        e.state_bytes = static_cast<std::uint32_t>(sizeof(Fn));
         if constexpr (std::is_trivially_copyable_v<Fn>
                       && sizeof(Fn) <= kInlineBytes
                       && alignof(Fn) <= alignof(std::max_align_t)) {
@@ -128,6 +130,73 @@ class EventQueue
         return arena_.liveBlocks();
     }
 
+    /** Trim untouched arena slabs back to the OS (cell teardown in
+     *  long campaigns; see EventArena::releaseFreeSlabs). */
+    void releaseFreeSlabs() { arena_.releaseFreeSlabs(); }
+
+    /**
+     * Whether the pending set can be snapshotted: every scheduled
+     * callback must be trivially copyable, since a snapshot restores
+     * captures by byte copy.  All simulator-scheduled callbacks are;
+     * only hand-written test callables with non-trivial captures
+     * are not.
+     */
+    bool
+    canSnapshot() const
+    {
+        for (const auto &e : heap_)
+            if (!e.trivial)
+                return false;
+        return true;
+    }
+
+    /**
+     * Snapshot support (in-process restore only: entries carry their
+     * invoke/destroy function pointers verbatim).  Saves the clock,
+     * the tie-break sequence counter, and every pending entry with
+     * its capture bytes; restoring drops the current pending set and
+     * rebuilds the heap and arena from the archive.
+     */
+    template <class Ar>
+    void
+    snapState(Ar &ar)
+    {
+        if constexpr (Ar::kLoading) {
+            destroyPending();
+            heap_.clear();
+            arena_.reset();
+        } else {
+            HCC_ASSERT(canSnapshot(),
+                       "pending event callback is not snapshottable");
+        }
+        ar.pod(now_);
+        ar.pod(seq_);
+        const std::size_t n = ar.size(heap_.size());
+        if constexpr (Ar::kLoading)
+            heap_.resize(n);
+        // The vector *is* the heap (a valid heap array); saving it in
+        // index order restores the identical pop order.
+        for (auto &e : heap_) {
+            ar.pod(e.when);
+            ar.pod(e.seq);
+            ar.pod(e.invoke);
+            ar.pod(e.destroy);
+            ar.pod(e.trivial);
+            ar.pod(e.state_bytes);
+            if constexpr (Ar::kLoading) {
+                if (e.destroy != nullptr) {
+                    e.state = arena_.allocate(e.state_bytes);
+                    ar.raw(e.state, e.state_bytes);
+                } else {
+                    e.state = nullptr;
+                    ar.raw(e.inline_buf, e.state_bytes);
+                }
+            } else {
+                ar.raw(e.statePtr(), e.state_bytes);
+            }
+        }
+    }
+
   private:
     /**
      * One scheduled event.  Trivially copyable by construction: the
@@ -143,6 +212,10 @@ class EventQueue
         void (*destroy)(EventArena &arena, void *state);
         /** Arena block, or nullptr when the capture is inline. */
         void *state;
+        /** sizeof the capture (snapshot byte-copy length). */
+        std::uint32_t state_bytes;
+        /** Capture is trivially copyable (snapshot-eligible). */
+        bool trivial;
         alignas(std::max_align_t) unsigned char
             inline_buf[kInlineBytes];
 

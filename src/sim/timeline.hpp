@@ -93,6 +93,19 @@ class Timeline
     /** Reset to an idle state at time zero. */
     void reset();
 
+    /** Snapshot support: the scheduling position (free_at_) and the
+     *  accumulated busy/queuing/count stats.  Attached obs counters
+     *  are registry entries and are restored by the registry. */
+    template <class Ar>
+    void
+    snapState(Ar &ar)
+    {
+        ar.pod(free_at_);
+        ar.pod(busy_);
+        ar.pod(queuing_);
+        ar.pod(count_);
+    }
+
   private:
     std::string name_;
     SimTime free_at_ = 0;
@@ -174,6 +187,17 @@ class TimelinePool
     const Timeline &member(int i) const { return members_.at(i); }
     SimTime earliestFree() const;
     void reset();
+
+    /** Snapshot support: every member plus the round-robin cursor
+     *  (the cursor is part of the deterministic pick order). */
+    template <class Ar>
+    void
+    snapState(Ar &ar)
+    {
+        for (auto &m : members_)
+            m.snapState(ar);
+        ar.pod(rr_cursor_);
+    }
 
   private:
     std::string name_;

@@ -1,0 +1,286 @@
+#include "snap/fork.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "obs/registry.hpp"
+#include "snap/snap.hpp"
+#include "trace/critpath.hpp"
+
+namespace hcc::snap {
+
+namespace {
+
+double
+elapsedUs(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/**
+ * Everything runWorkload() does after the workload body: throughput
+ * gauge, one-pass metrics + critical path, TDX stats.  The split
+ * modes replicate it per cell so a forked cell's WorkloadResult
+ * matches a cold runWorkload()'s in every field a campaign consumes.
+ *
+ * Split-mode results are deliberately *light*: the trace is analyzed
+ * in place and `result.trace` stays empty (only `--fork-point none`
+ * retains per-cell traces).  That keeps a 10k-cell campaign's memory
+ * flat, and in fork mode it leaves the tracer's chunk pages and
+ * intern table allocated so the next cell's restore is a plain
+ * in-place overwrite instead of a reallocation.  The per-event slack
+ * pass and the segment list are skipped too — no campaign output
+ * reads them.
+ *
+ * In fork mode the group's cells share one live registry, and the
+ * next cell's restore rewinds it to the fork point — so the result
+ * deep-copies the registry instead of sharing it.  Cold cells own
+ * their registry and share it out of the dying Context, exactly like
+ * runWorkload().  @p analyzer (fork mode only) reuses the group's
+ * prefix scan so each cell pays for its suffix, not the full trace.
+ */
+workloads::WorkloadResult
+collectCellResult(rt::Context &ctx, const workloads::Workload &w,
+                  const workloads::WorkloadParams &params, bool cc,
+                  std::chrono::steady_clock::time_point wall_start,
+                  bool clone_stats,
+                  trace::ForkAnalyzer *analyzer = nullptr)
+{
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                      - wall_start)
+            .count();
+    if (wall_s > 0.0 && !ctx.tracer().empty()) {
+        ctx.obs()
+            .gauge("host.sim.events_per_sec")
+            .set(static_cast<std::int64_t>(
+                     static_cast<double>(ctx.tracer().size()) / wall_s),
+                 -1);
+    }
+
+    workloads::WorkloadResult result;
+    result.name = w.name();
+    result.cc = cc;
+    result.uvm = params.uvm;
+    auto crit = analyzer != nullptr
+        ? analyzer->analyze(ctx.tracer(), &ctx.obs())
+        : trace::analyzeCritical(ctx.tracer(), &ctx.obs(),
+                                 /*with_slack=*/false);
+    result.metrics = std::move(crit.metrics);
+    // Light metrics for both arms: campaign writers only read the
+    // integer counts and the sample sums, so collapse each sample
+    // vector to its total (the analyzer already returns them
+    // compacted; this makes the cold arm byte-identical).
+    trace::compactSampleMetrics(result.metrics);
+    result.critical = std::move(crit.path);
+    // The cold arm materializes segments (the analyzer never does);
+    // drop them for the same light-result contract either way.
+    result.critical.segments.clear();
+    result.critical.segments.shrink_to_fit();
+    trace::publishCriticalPath(result.critical, ctx.obs());
+    result.tdx = ctx.tdx().stats();
+    result.end_to_end = result.metrics.end_to_end;
+    result.stats = clone_stats
+        ? std::shared_ptr<obs::Registry>(ctx.obs().clone())
+        : ctx.obsPtr();
+    return result;
+}
+
+/** Legacy mode: construction-time arming, full runWorkload(). */
+void
+runLegacyCell(const ForkGroupSpec &group, const ForkCell &cell,
+              ForkCellOutcome &out)
+{
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        rt::SystemConfig sys = group.sys;
+        sys.faults = cell.faults;
+        out.result =
+            workloads::runWorkload(group.app, sys, group.params);
+        out.ok = true;
+    } catch (const FatalError &e) {
+        out.error = e.what();
+    }
+    out.wall_us = elapsedUs(start);
+}
+
+/** Cold-split mode: own Context, full prefix, arm, suffix. */
+void
+runColdSplitCell(const workloads::Workload &w,
+                 const ForkGroupSpec &group, const ForkCell &cell,
+                 double fraction, ForkCellOutcome &out)
+{
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        rt::SystemConfig sys = group.sys;
+        sys.faults = fault::FaultConfig{};
+        rt::Context ctx(sys);
+        {
+            obs::ProfileScope profile(&ctx.obs(), "workload_run");
+            const auto resume =
+                w.runPrefix(ctx, group.params, fraction);
+            ctx.armFaults(cell.faults);
+            w.runSuffix(ctx, group.params, *resume);
+        }
+        out.result = collectCellResult(ctx, w, group.params,
+                                       group.sys.cc, start,
+                                       /*clone_stats=*/false);
+        out.ok = true;
+    } catch (const FatalError &e) {
+        out.error = e.what();
+    }
+    out.wall_us = elapsedUs(start);
+}
+
+} // namespace
+
+double
+ForkPoint::resolve(const workloads::Workload &workload) const
+{
+    if (mode == Mode::None || !workload.forkable())
+        return -1.0;
+    const double f = mode == Mode::Auto ? workload.defaultForkPoint()
+                                        : fraction;
+    return std::clamp(f, 0.0, 1.0);
+}
+
+std::string
+ForkPoint::str() const
+{
+    switch (mode) {
+      case Mode::None: return "none";
+      case Mode::Auto: return "auto";
+      case Mode::Fraction: {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%g", fraction);
+          return buf;
+      }
+    }
+    return "none";
+}
+
+Result<ForkPoint>
+parseForkPoint(const std::string &text)
+{
+    ForkPoint fp;
+    if (text == "none") {
+        fp.mode = ForkPoint::Mode::None;
+        return fp;
+    }
+    if (text == "auto") {
+        fp.mode = ForkPoint::Mode::Auto;
+        return fp;
+    }
+    double v = 0.0;
+    try {
+        std::size_t pos = 0;
+        v = std::stod(text, &pos);
+        if (pos != text.size())
+            throw std::invalid_argument(text);
+    } catch (...) {
+        return errorf(ErrorCode::ParseError,
+                      "bad fork point '%s' (none|auto|fraction)",
+                      text.c_str());
+    }
+    if (v < 0.0 || v > 1.0)
+        return errorf(ErrorCode::ParseError,
+                      "fork point fraction %g out of [0, 1]", v);
+    fp.mode = ForkPoint::Mode::Fraction;
+    fp.fraction = v;
+    return fp;
+}
+
+ForkGroupOutcome
+runForkGroup(const ForkGroupSpec &group, const ForkPoint &fork_point,
+             bool no_snapshot)
+{
+    ForkGroupOutcome out;
+    out.cells.resize(group.cells.size());
+    if (group.cells.empty())
+        return out;
+
+    const workloads::Workload *w =
+        workloads::WorkloadRegistry::instance().find(group.app);
+
+    // Unknown app / unsupported UVM fail every cell through the
+    // legacy path's own error handling (one message per cell keeps
+    // the per-cell reporting contract of the callers).
+    const bool splittable =
+        w != nullptr && !(group.params.uvm && !w->supportsUvm());
+    const double fraction =
+        splittable ? fork_point.resolve(*w) : -1.0;
+    if (fraction < 0.0) {
+        for (std::size_t i = 0; i < group.cells.size(); ++i)
+            runLegacyCell(group, group.cells[i], out.cells[i]);
+        return out;
+    }
+
+    if (no_snapshot || group.cells.size() == 1) {
+        // Cold-split: same arming point as fork mode, no shared
+        // state.  Also the right call for singleton groups, where a
+        // snapshot would only add capture/restore overhead.
+        for (std::size_t i = 0; i < group.cells.size(); ++i)
+            runColdSplitCell(*w, group, group.cells[i], fraction,
+                             out.cells[i]);
+        return out;
+    }
+
+    // Fork mode: one Context, one prefix, N suffix replays.
+    rt::SystemConfig sys = group.sys;
+    sys.faults = fault::FaultConfig{};
+    rt::Context ctx(sys);
+
+    Snapshot snapshot;
+    try {
+        std::unique_ptr<workloads::Workload::Resume> resume;
+        {
+            obs::ProfileScope profile(&ctx.obs(), "fork_prefix");
+            resume = w->runPrefix(ctx, group.params, fraction);
+        }
+        ctx.captureSnapshot(snapshot);
+        snapshot.meta.app = group.app;
+        snapshot.meta.uvm = group.params.uvm;
+        snapshot.meta.fork_point = fork_point.str();
+        // One prefix scan for the whole group; each cell's analysis
+        // then costs its suffix only.
+        trace::ForkAnalyzer analyzer;
+        analyzer.capture(ctx.tracer());
+
+        for (std::size_t i = 0; i < group.cells.size(); ++i) {
+            ForkCellOutcome &cell_out = out.cells[i];
+            const auto start = std::chrono::steady_clock::now();
+            try {
+                ctx.restoreSnapshot(snapshot);
+                ctx.armFaults(group.cells[i].faults);
+                {
+                    obs::ProfileScope profile(&ctx.obs(),
+                                              "workload_run");
+                    w->runSuffix(ctx, group.params, *resume);
+                }
+                cell_out.result = collectCellResult(
+                    ctx, *w, group.params, group.sys.cc, start,
+                    /*clone_stats=*/true, &analyzer);
+                cell_out.ok = true;
+            } catch (const FatalError &e) {
+                cell_out.error = e.what();
+            }
+            cell_out.wall_us = elapsedUs(start);
+            cell_out.from_snapshot = true;
+            ++out.snapshot_hits;
+        }
+    } catch (const FatalError &e) {
+        // Prefix (or capture) died: every cell inherits the error.
+        for (auto &cell_out : out.cells) {
+            if (!cell_out.ok && cell_out.error.empty())
+                cell_out.error = e.what();
+        }
+    }
+    return out;
+}
+
+} // namespace hcc::snap

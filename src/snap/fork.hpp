@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Fork/replay engine: run a group of campaign cells that share a
+ * common warmup prefix by simulating the prefix once, capturing an
+ * in-memory Snapshot, and replaying only the per-cell suffix.
+ *
+ * The engine understands three execution modes per group:
+ *
+ *  - *fork* (the fast path): one Context runs the prefix, the engine
+ *    captures it, and every cell restores the snapshot, arms its
+ *    fault config and runs the suffix.
+ *  - *cold-split* (`--no-snapshot`): every cell gets its own fresh
+ *    Context, runs the full prefix itself, arms at the fork point
+ *    and runs the suffix.  Semantically identical to fork mode —
+ *    this pair is the byte-identity gate CI enforces with `cmp`.
+ *  - *legacy* (`--fork-point none`, or a non-forkable workload): the
+ *    pre-fork behaviour — faults are armed at Context construction
+ *    and the workload runs start to finish via runWorkload().
+ *
+ * Mode note: fork and cold-split arm faults *at the fork point*, so
+ * fault processes only act on the suffix; legacy arms at
+ * construction, so warmup activity (including the SPDM handshake)
+ * can fault too.  Fault campaigns therefore produce different —
+ * equally valid — outputs under `none` vs the split modes; the
+ * split modes always match each other exactly.
+ */
+
+#ifndef HCC_SNAP_FORK_HPP
+#define HCC_SNAP_FORK_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "fault/fault.hpp"
+#include "runtime/context.hpp"
+#include "workloads/workload.hpp"
+
+namespace hcc::snap {
+
+/** Where a campaign places the prefix/suffix cut. */
+struct ForkPoint
+{
+    enum class Mode {
+        /** No split: construction-time arming, full run(). */
+        None,
+        /** Use the workload's fork_after marker. */
+        Auto,
+        /** Explicit launch fraction in [0, 1]. */
+        Fraction,
+    };
+
+    Mode mode = Mode::None;
+    /** Launch fraction when mode == Fraction. */
+    double fraction = 0.0;
+
+    /**
+     * The effective prefix fraction for @p workload: negative when
+     * this fork point (or the workload) does not support splitting,
+     * otherwise the fraction of launches the shared prefix covers.
+     */
+    double resolve(const workloads::Workload &workload) const;
+
+    /** Spec string ("none", "auto", "0.75") for logs and metadata. */
+    std::string str() const;
+};
+
+/** Parse "none" | "auto" | a fraction in [0, 1]. */
+Result<ForkPoint> parseForkPoint(const std::string &text);
+
+/**
+ * One cell of a fork group: everything that may differ between cells
+ * branched from the same prefix.  Today that is exactly the fault
+ * config armed at the fork point (rate-zero for baseline / sweep
+ * cells).
+ */
+struct ForkCell
+{
+    fault::FaultConfig faults;
+};
+
+/** A group of cells sharing one simulation prefix. */
+struct ForkGroupSpec
+{
+    /** Workload to run (must be registered). */
+    std::string app;
+    /**
+     * System config for every cell.  `sys.faults` is only honoured
+     * in legacy mode; the split modes construct unfaulted and arm
+     * each cell's ForkCell::faults at the fork point.
+     */
+    rt::SystemConfig sys;
+    workloads::WorkloadParams params;
+    std::vector<ForkCell> cells;
+};
+
+/** Outcome of one cell of a group. */
+struct ForkCellOutcome
+{
+    bool ok = false;
+    /** FatalError message when !ok. */
+    std::string error;
+    workloads::WorkloadResult result;
+    /** Host wall-clock of this cell (suffix only in fork mode). */
+    double wall_us = 0.0;
+    /** True when the cell replayed from the in-memory snapshot. */
+    bool from_snapshot = false;
+};
+
+/** Outcome of a whole group, cells in input order. */
+struct ForkGroupOutcome
+{
+    std::vector<ForkCellOutcome> cells;
+    /** Cells served by snapshot restore instead of a cold prefix. */
+    std::size_t snapshot_hits = 0;
+};
+
+/**
+ * Run every cell of @p group.  A FatalError in the shared prefix
+ * fails all cells; a FatalError in one cell's suffix fails that cell
+ * alone (the next cell re-restores the snapshot, which rewinds any
+ * partial suffix state).  Outputs are a pure function of the spec,
+ * fork point and snapshot flag — never of wall-clock or the caller's
+ * threading.
+ *
+ * @param no_snapshot  force cold-split mode even when a usable fork
+ *                     point resolves (the CI identity gate).
+ */
+ForkGroupOutcome runForkGroup(const ForkGroupSpec &group,
+                              const ForkPoint &fork_point,
+                              bool no_snapshot);
+
+} // namespace hcc::snap
+
+#endif // HCC_SNAP_FORK_HPP

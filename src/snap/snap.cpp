@@ -1,0 +1,159 @@
+#include "snap/snap.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+
+#include "snap/archive.hpp"
+
+namespace hcc::snap {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'C', 'C', 'S', 'N', 'A', 'P', '1'};
+constexpr std::uint32_t kVersion = 1;
+
+void
+saveMeta(Saver &ar, const SnapshotMeta &meta)
+{
+    ar.pod(meta.cc);
+    ar.pod(meta.uvm);
+    ar.pod(meta.seed);
+    ar.pod(meta.sim_time);
+    ar.str(meta.app);
+    ar.str(meta.fork_point);
+}
+
+void
+loadMeta(Loader &ar, SnapshotMeta &meta)
+{
+    ar.pod(meta.cc);
+    ar.pod(meta.uvm);
+    ar.pod(meta.seed);
+    ar.pod(meta.sim_time);
+    ar.str(meta.app);
+    ar.str(meta.fork_point);
+}
+
+} // namespace
+
+Status
+writeSnapshotFile(const std::string &path, const Snapshot &snap)
+{
+    Saver ar;
+    ar.raw(kMagic, sizeof(kMagic));
+    ar.pod(kVersion);
+    saveMeta(ar, snap.meta);
+    ar.pod(static_cast<std::uint64_t>(snap.sections.size()));
+    for (const auto &s : snap.sections) {
+        ar.str(s.name);
+        ar.pod(static_cast<std::uint64_t>(s.bytes.size()));
+    }
+    for (const auto &s : snap.sections)
+        ar.raw(s.bytes.data(), s.bytes.size());
+
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return errorf(ErrorCode::IoError,
+                      "cannot open '%s' for writing", path.c_str());
+    const auto &bytes = ar.bytes();
+    const std::size_t written =
+        std::fwrite(bytes.data(), 1, bytes.size(), f);
+    const int rc = std::fclose(f);
+    if (written != bytes.size() || rc != 0)
+        return errorf(ErrorCode::IoError,
+                      "short write to '%s'", path.c_str());
+    return Status{};
+}
+
+Result<Snapshot>
+readSnapshotFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return errorf(ErrorCode::IoError, "cannot open '%s'",
+                      path.c_str());
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buf[1 << 16];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    std::fclose(f);
+
+    if (bytes.size() < sizeof(kMagic) + sizeof(kVersion))
+        return errorf(ErrorCode::ParseError,
+                      "'%s' is too short to be a snapshot",
+                      path.c_str());
+    Loader ar(bytes);
+    char magic[sizeof(kMagic)];
+    ar.raw(magic, sizeof(magic));
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return errorf(ErrorCode::ParseError,
+                      "'%s' has no HCCSNAP1 magic", path.c_str());
+    std::uint32_t version = 0;
+    ar.pod(version);
+    if (version != kVersion)
+        return errorf(ErrorCode::ParseError,
+                      "'%s' is snapshot version %u, expected %u",
+                      path.c_str(), version, kVersion);
+
+    Snapshot snap;
+    loadMeta(ar, snap.meta);
+    std::uint64_t count = 0;
+    ar.pod(count);
+    // Sanity bound: each table entry needs at least its two length
+    // words, so a corrupt count cannot drive a huge allocation.
+    if (count > bytes.size())
+        return errorf(ErrorCode::ParseError,
+                      "'%s' section count %llu is implausible",
+                      path.c_str(),
+                      static_cast<unsigned long long>(count));
+    std::vector<std::uint64_t> sizes;
+    sizes.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Section s;
+        ar.str(s.name);
+        std::uint64_t sz = 0;
+        ar.pod(sz);
+        if (sz > bytes.size())
+            return errorf(ErrorCode::ParseError,
+                          "'%s' section '%s' size %llu exceeds file",
+                          path.c_str(), s.name.c_str(),
+                          static_cast<unsigned long long>(sz));
+        sizes.push_back(sz);
+        snap.sections.push_back(std::move(s));
+    }
+    for (std::uint64_t i = 0; i < count; ++i) {
+        auto &s = snap.sections[static_cast<std::size_t>(i)];
+        s.bytes.resize(static_cast<std::size_t>(
+            sizes[static_cast<std::size_t>(i)]));
+        ar.raw(s.bytes.data(), s.bytes.size());
+    }
+    if (!ar.exhausted())
+        return errorf(ErrorCode::ParseError,
+                      "'%s' has trailing bytes after the sections",
+                      path.c_str());
+    return snap;
+}
+
+void
+printSnapshot(std::ostream &os, const Snapshot &snap)
+{
+    const auto &m = snap.meta;
+    os << "snapshot v" << kVersion << "\n"
+       << "  app:        " << (m.app.empty() ? "(library)" : m.app)
+       << "\n"
+       << "  mode:       " << (m.cc ? "cc" : "base")
+       << (m.uvm ? "+uvm" : "") << "\n"
+       << "  seed:       " << m.seed << "\n"
+       << "  fork point: "
+       << (m.fork_point.empty() ? "(none)" : m.fork_point) << "\n"
+       << "  sim time:   " << formatTime(m.sim_time) << "\n"
+       << "  sections:   " << snap.sections.size() << " ("
+       << snap.totalBytes() << " bytes)\n";
+    for (const auto &s : snap.sections)
+        os << "    " << s.name << ": " << s.bytes.size()
+           << " bytes\n";
+}
+
+} // namespace hcc::snap

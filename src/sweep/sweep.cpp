@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <ostream>
 #include <sstream>
 
@@ -166,32 +167,60 @@ runSweep(const GridSpec &grid, int jobs, obs::Registry *sweep_obs)
     result.jobs = jobs < 1 ? 1 : jobs;
     result.cells.resize(cells.size());
 
+    // Prefix-group the grid: cells sharing their entire simulation
+    // schedule (same app/cc/uvm/scale/seed — i.e. exact duplicates,
+    // since every grid axis perturbs the schedule from the first
+    // event) form one fork group; the engine runs each group's
+    // prefix once and replays duplicates from the snapshot.  The
+    // label is the identity key (crypto_workers/tee_io are
+    // grid-wide constants).
+    std::vector<std::vector<std::size_t>> groups;
+    {
+        std::map<std::string, std::size_t> by_label;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const auto [it, fresh] =
+                by_label.emplace(cells[i].label(), groups.size());
+            if (fresh)
+                groups.emplace_back();
+            groups[it->second].push_back(i);
+        }
+    }
+
     const auto start = std::chrono::steady_clock::now();
+    std::vector<snap::ForkGroupOutcome> outcomes(groups.size());
     result.pool = runIndexed(
-        cells.size(), result.jobs, [&](std::size_t i) {
-            const RunCell &cell = cells[i];
-            CellResult &out = result.cells[i];
-            out.cell = cell;
-            const auto cell_start = std::chrono::steady_clock::now();
-            try {
-                rt::SystemConfig sys;
-                sys.cc = cell.cc;
-                sys.seed = cell.seed;
-                sys.channel.crypto_workers = cell.crypto_workers;
-                sys.channel.tee_io = cell.tee_io;
-                workloads::WorkloadParams params;
-                params.uvm = cell.uvm;
-                params.scale = cell.scale;
-                params.seed = cell.seed;
-                out.result =
-                    workloads::runWorkload(cell.app, sys, params);
-                out.ok = true;
-            } catch (const FatalError &e) {
-                out.error = e.what();
-            }
-            out.wall_us = elapsedUs(cell_start);
+        groups.size(), result.jobs, [&](std::size_t g) {
+            const RunCell &first = cells[groups[g].front()];
+            snap::ForkGroupSpec fork_group;
+            fork_group.app = first.app;
+            fork_group.sys.cc = first.cc;
+            fork_group.sys.seed = first.seed;
+            fork_group.sys.channel.crypto_workers =
+                first.crypto_workers;
+            fork_group.sys.channel.tee_io = first.tee_io;
+            fork_group.params.uvm = first.uvm;
+            fork_group.params.scale = first.scale;
+            fork_group.params.seed = first.seed;
+            // Sweep cells arm no faults: default ForkCells.
+            fork_group.cells.resize(groups[g].size());
+            outcomes[g] = snap::runForkGroup(
+                fork_group, grid.fork_point, grid.no_snapshot);
         });
     result.wall_us = elapsedUs(start);
+
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        result.snapshot_hits += outcomes[g].snapshot_hits;
+        for (std::size_t j = 0; j < groups[g].size(); ++j) {
+            const std::size_t i = groups[g][j];
+            auto &cell_outcome = outcomes[g].cells[j];
+            CellResult &out = result.cells[i];
+            out.cell = cells[i];
+            out.ok = cell_outcome.ok;
+            out.error = std::move(cell_outcome.error);
+            out.result = std::move(cell_outcome.result);
+            out.wall_us = cell_outcome.wall_us;
+        }
+    }
 
     if (sweep_obs != nullptr) {
         // All updates happen here on the caller's thread, after the
@@ -213,6 +242,16 @@ runSweep(const GridSpec &grid, int jobs, obs::Registry *sweep_obs)
         sweep_obs->gauge("host.sweep.pool.utilization_pct")
             .set(static_cast<std::int64_t>(
                 result.pool.utilization(result.wall_us) * 100.0));
+        // Campaign throughput + fork-engine effectiveness.  host.*
+        // wall-clock gauges, excluded from deterministic dumps.
+        if (result.wall_us > 0.0) {
+            sweep_obs->gauge("host.sweep.cells_per_sec")
+                .set(static_cast<std::int64_t>(
+                    static_cast<double>(result.cells.size())
+                    / (result.wall_us / 1e6)));
+        }
+        sweep_obs->gauge("host.sweep.snapshot_hits")
+            .set(static_cast<std::int64_t>(result.snapshot_hits));
     }
     return result;
 }
@@ -329,6 +368,20 @@ parseGridSpecImpl(const std::string &text)
                 fatal("grid spec line %d: crypto-workers must be "
                       ">= 1", lineno);
             grid.crypto_workers = v;
+        } else if (key == "fork-point") {
+            const auto fp = snap::parseForkPoint(value);
+            if (!fp.ok())
+                fatal("grid spec line %d: %s", lineno,
+                      fp.status().message().c_str());
+            grid.fork_point = *fp;
+        } else if (key == "snapshot") {
+            if (value == "on")
+                grid.no_snapshot = false;
+            else if (value == "off")
+                grid.no_snapshot = true;
+            else
+                fatal("grid spec line %d: snapshot must be on|off",
+                      lineno);
         } else if (key == "tee-io") {
             if (value == "on")
                 grid.tee_io = true;

@@ -27,6 +27,7 @@
 #include "common/thread_pool.hpp"
 #include "obs/registry.hpp"
 #include "obs/stats_io.hpp"
+#include "snap/fork.hpp"
 #include "workloads/workload.hpp"
 
 namespace hcc::sweep {
@@ -52,6 +53,18 @@ struct GridSpec
     int crypto_workers = 1;
     /** Model the hypothetical TEE-IO hardware path. */
     bool tee_io = false;
+    /**
+     * Prefix/suffix cut for the fork engine (snap/fork.hpp).  Sweep
+     * cells share a prefix only when they are exact duplicates
+     * (every grid axis changes the schedule from the first event),
+     * so grouping is by full cell identity: repeated seeds/scales
+     * replay from one snapshot, unique cells run cold.  Sweep cells
+     * arm no faults, so every mode produces identical output; `none`
+     * disables the split entirely.
+     */
+    snap::ForkPoint fork_point = {snap::ForkPoint::Mode::Auto, 0.0};
+    /** Run duplicate cells cold instead of snapshot-forking them. */
+    bool no_snapshot = false;
 
     /** Number of cells the grid expands to. */
     std::size_t cellCount() const;
@@ -98,6 +111,10 @@ struct SweepResult
     double wall_us = 0.0;
     /** Pool execution counters (steals, busy time, ...). */
     ThreadPool::Stats pool;
+    /** Cells replayed from an in-memory snapshot: every cell of a
+     *  duplicate-identity group (the prefix runs once per group and
+     *  all its cells, including the first, restore + replay). */
+    std::size_t snapshot_hits = 0;
 
     std::size_t failures() const;
     bool allOk() const { return failures() == 0; }
@@ -120,7 +137,8 @@ SweepResult runSweep(const GridSpec &grid, int jobs,
  * Parse a sweep grid spec.  Line-oriented `key = value` pairs, '#'
  * comments; keys: apps (comma list or "all"), cc (on|off|both),
  * uvm (on|off|both), scales (comma list), seeds (comma list),
- * crypto-workers (int), tee-io (on|off).
+ * crypto-workers (int), tee-io (on|off), fork-point
+ * (none|auto|fraction), snapshot (on|off).
  * @return the grid, or a ParseError status with a line-numbered
  *         message on unknown keys or bad values.
  */

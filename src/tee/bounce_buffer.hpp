@@ -78,6 +78,38 @@ class BounceBufferPool
      */
     SimTime latestRelease() const { return latest_release_; }
 
+    /**
+     * Snapshot support: free list, busy heap (re-pushed in sorted
+     * order on restore — heap layout is not observable, only pop
+     * order is), and the contention totals.  Slot byte storage is
+     * per-transfer scratch, fully rewritten before each use, so its
+     * content is not captured.
+     */
+    template <class Ar>
+    void
+    snapState(Ar &ar)
+    {
+        ar.podVec(free_);
+        std::vector<std::pair<SimTime, int>> busy;
+        if constexpr (Ar::kLoading) {
+            ar.podVec(busy);
+            busy_until_heap_ = {};
+            for (const auto &b : busy)
+                busy_until_heap_.push(b);
+        } else {
+            auto copy = busy_until_heap_;
+            while (!copy.empty()) {
+                busy.push_back(copy.top());
+                copy.pop();
+            }
+            ar.podVec(busy);
+        }
+        ar.pod(contention_);
+        ar.pod(contention_time_);
+        ar.pod(latest_release_);
+        ar.pod(in_use_);
+    }
+
   private:
     Bytes slot_bytes_;
     std::vector<std::vector<std::uint8_t>> buffers_;

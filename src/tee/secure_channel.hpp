@@ -165,6 +165,23 @@ class SecureChannel
     /** Total bytes scheduled through the channel so far. */
     Bytes bytesTransferred() const { return bytes_; }
 
+    /**
+     * Snapshot support: worker/engine timeline positions, the bounce
+     * pool, the IV sequence counter and the byte total.  The AES-GCM
+     * context is keyed at construction from the SPDM session and is
+     * immutable afterwards, so it is not captured.
+     */
+    template <class Ar>
+    void
+    snapState(Ar &ar)
+    {
+        crypto_workers_.snapState(ar);
+        gpu_crypto_.snapState(ar);
+        pool_.snapState(ar);
+        iv_seq_.snapState(ar);
+        ar.pod(bytes_);
+    }
+
   private:
     /** Worker time for encrypt + bounce copy of @p bytes. */
     SimTime workerChunkCost(Bytes bytes, pcie::Direction dir) const;

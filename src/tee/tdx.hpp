@@ -99,6 +99,14 @@ class TdxModule
     const TdxStats &stats() const { return stats_; }
     void resetStats() { stats_ = TdxStats{}; }
 
+    /** Snapshot support: the accumulated transition stats. */
+    template <class Ar>
+    void
+    snapState(Ar &ar)
+    {
+        ar.pod(stats_);
+    }
+
   private:
     /** Count + accumulated-time counter pair for one transition kind. */
     struct ObsPair

@@ -8,6 +8,23 @@ namespace hcc::trace {
 // analyze() lives in critpath.cpp: the Fig. 3 metrics and the
 // critical path share one pass over the events (see critpath.hpp).
 
+void
+compactSampleMetrics(AppMetrics &metrics)
+{
+    const auto compact = [](SampleSet &set) {
+        if (set.empty())
+            return;
+        const double total = set.sum();
+        SampleSet one;
+        one.add(total);
+        set = std::move(one);
+    };
+    compact(metrics.klo);
+    compact(metrics.lqt);
+    compact(metrics.kqt);
+    compact(metrics.ket);
+}
+
 SimTime
 unionCoverage(std::vector<std::pair<SimTime, SimTime>> spans)
 {

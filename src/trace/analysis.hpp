@@ -59,6 +59,21 @@ struct AppMetrics
 AppMetrics analyze(const Tracer &tracer);
 
 /**
+ * Collapse each per-launch/per-kernel sample set to a single sample
+ * carrying its insertion-order total.  sumKlo()/sumLqt()/sumKqt()/
+ * sumKet() are unchanged bit for bit (the total is the same
+ * left-to-right accumulation sum() would have produced); counts,
+ * means and percentiles over the individual samples are lost.
+ *
+ * Campaign cells use this: sweep/fault writers only consume the sums
+ * and the integer launch/kernel counts, and dropping the vectors
+ * keeps a 10k-cell campaign's result memory (and the per-cell
+ * copy-out cost) flat.  The full-detail paths (`hccsim run`,
+ * `critical`, reports) never compact.
+ */
+void compactSampleMetrics(AppMetrics &metrics);
+
+/**
  * Merge intervals and return total covered time — used for the
  * overlap (alpha/beta) estimation in the performance model.
  */

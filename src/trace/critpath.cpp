@@ -134,7 +134,12 @@ eventCategory(const Tracer &t, const TraceEvent &e)
     return PathCategory::Other;
 }
 
-/** The single pass shared by analyze() and analyzeCritical(). */
+/**
+ * The single pass shared by analyze(), analyzeCritical() and
+ * ForkAnalyzer.  Resumable: scanRange() carries every piece of loop
+ * state in the struct, so the fork engine scans the shared prefix
+ * once, copies the state per cell and scans only the suffix.
+ */
 struct Scan
 {
     AppMetrics metrics;
@@ -144,32 +149,60 @@ struct Scan
     std::vector<std::uint32_t> corr;
     /** (sync event, waited-on device event), ascending sync index. */
     std::vector<std::pair<std::uint32_t, std::uint32_t>> sync_edges;
-    /** Merged fault-recovery coverage, sorted and disjoint. */
+    /** Merged fault-recovery coverage, sorted and disjoint (raw and
+     *  unmerged until finalizeScan()). */
     std::vector<std::pair<SimTime, SimTime>> fault_spans;
     /** Walk start: latest-ending non-fault event (tie: higher idx). */
     std::uint32_t tail = kNone;
     SimTime last_nonfault_end = 0;
-};
 
-Scan
-scanTrace(const Tracer &tracer, bool build_graph)
-{
-    Scan s;
-    AppMetrics &m = s.metrics;
-    const auto ev = tracer.events();
-    const std::size_t n = ev.size();
-    if (build_graph) {
-        s.chain.assign(n, kNone);
-        s.corr.assign(n, kNone);
-    }
+    // Mid-scan carry state (loop locals of the classic one-shot
+    // scan, kept here so a later scanRange() call can resume).
+    /** Sync windows, for the fault-overlap fixup in finalizeScan. */
     std::vector<std::pair<SimTime, SimTime>> sync_spans;
     std::uint32_t last_host = kNone;
     std::vector<std::uint32_t> last_dev; // per stream id
+    // Correlation -> launch index.  Ids are handed out sequentially
+    // by the tracer (one per recorded event at most), so a flat
+    // array indexed by id covers every in-range correlation without
+    // hashing; the map only backs the (never seen in practice) case
+    // of an id beyond the event count.
+    std::vector<std::uint32_t> launch_flat;
     std::unordered_map<std::uint64_t, std::uint32_t> launch_of;
+};
 
-    std::uint32_t i = 0;
-    for (auto it = ev.begin(); it != ev.end(); ++it, ++i) {
-        const TraceEvent &e = *it;
+/** Scan events [from, to), resuming from @p s's carry state. */
+void
+scanRange(Scan &s, const Tracer &tracer, std::size_t from,
+          std::size_t to, bool build_graph)
+{
+    AppMetrics &m = s.metrics;
+    const auto ev = tracer.events();
+    if (build_graph) {
+        s.chain.resize(to, kNone);
+        s.corr.resize(to, kNone);
+        s.launch_flat.resize(to + 2, kNone);
+    }
+    const auto launchLookup =
+        [&](std::uint64_t c) -> std::uint32_t {
+        if (c < s.launch_flat.size())
+            return s.launch_flat[c];
+        const auto f = s.launch_of.find(c);
+        return f == s.launch_of.end() ? kNone : f->second;
+    };
+    const auto launchStore = [&](std::uint64_t c, std::uint32_t i) {
+        if (c < s.launch_flat.size())
+            s.launch_flat[c] = i;
+        else
+            s.launch_of[c] = i;
+    };
+    auto &sync_spans = s.sync_spans;
+    auto &last_host = s.last_host;
+    auto &last_dev = s.last_dev;
+
+    for (std::size_t pos = from; pos < to; ++pos) {
+        const auto i = static_cast<std::uint32_t>(pos);
+        const TraceEvent &e = ev[pos];
         const auto d = static_cast<double>(e.duration());
         switch (e.kind) {
           case EventKind::Launch:
@@ -234,10 +267,9 @@ scanTrace(const Tracer &tracer, bool build_graph)
                 s.chain[i] = last_dev[st];
             last_dev[st] = i;
             if (e.kind == EventKind::Kernel) {
-                const auto f = launch_of.find(e.correlation);
-                if (f != launch_of.end()
-                    && ev[f->second].end <= e.start)
-                    s.corr[i] = f->second;
+                const auto f = launchLookup(e.correlation);
+                if (f != kNone && ev[f].end <= e.start)
+                    s.corr[i] = f;
             }
         } else if (isHostSerial(e)) {
             if (last_host != kNone
@@ -264,9 +296,16 @@ scanTrace(const Tracer &tracer, bool build_graph)
             last_host = i;
             if (e.kind == EventKind::Launch
                 || e.kind == EventKind::GraphLaunch)
-                launch_of[e.correlation] = i;
+                launchStore(e.correlation, i);
         }
     }
+}
+
+/** End-of-scan fixups (once, after the last scanRange call). */
+void
+finalizeScan(Scan &s, const Tracer &tracer)
+{
+    AppMetrics &m = s.metrics;
     m.end_to_end = tracer.span();
 
     // Satellite fix: fault-recovery spans overlapping a Sync window
@@ -283,9 +322,17 @@ scanTrace(const Tracer &tracer, bool build_graph)
                 merged.push_back(sp);
         }
         s.fault_spans = std::move(merged);
-        for (const auto &[a, b] : sync_spans)
+        for (const auto &[a, b] : s.sync_spans)
             m.sync_time -= overlapWith(a, b, s.fault_spans);
     }
+}
+
+Scan
+scanTrace(const Tracer &tracer, bool build_graph)
+{
+    Scan s;
+    scanRange(s, tracer, 0, tracer.size(), build_graph);
+    finalizeScan(s, tracer);
     return s;
 }
 
@@ -298,6 +345,117 @@ counterValue(const obs::Registry *reg, const std::string &name)
     if (it == reg->entries().end() || !it->second.counter)
         return 0;
     return it->second.counter->value();
+}
+
+/**
+ * The backward binding walk shared by analyzeCritical() and
+ * ForkAnalyzer: from @p start_cur, repeatedly bind to the candidate
+ * predecessor that released the current event (latest finishing end
+ * <= the current path time; ties to the higher index).  The visited
+ * segments and gaps telescope over [firstStart, lastEnd] with no
+ * overlap, so the emitted charges sum exactly to the span.
+ *
+ * Hooks (all charging goes through them):
+ *   segment(event, begin, end, raw_cat) — an on-path slice; the hook
+ *       charges it (walker never does).  Called even for zero-length
+ *       slices: they count as path events.
+ *   share(a, b, cat) — a gap or head charge.
+ *   handoff(best) -> bool — called after the gap to @p best has been
+ *       charged; return true to stop the walk and let the caller
+ *       account for everything from @p best down (memoized replay).
+ */
+template <typename SegmentFn, typename ShareFn, typename HandoffFn>
+void
+walkCritical(const Tracer &tracer, const Scan &s,
+             std::uint32_t start_cur, SegmentFn &&segment,
+             ShareFn &&share, HandoffFn &&handoff)
+{
+    const auto ev = tracer.events();
+    std::uint32_t cur = start_cur;
+    SimTime cur_t = ev[cur].end;
+    for (;;) {
+        const TraceEvent &e = ev[cur];
+        std::uint32_t best = kNone;
+        SimTime best_end = std::numeric_limits<SimTime>::min();
+        const auto consider = [&](std::uint32_t p) {
+            if (p == kNone)
+                return;
+            const SimTime pe = ev[p].end;
+            if (pe > cur_t)
+                return;
+            if (best == kNone || pe > best_end
+                || (pe == best_end && p > best)) {
+                best = p;
+                best_end = pe;
+            }
+        };
+        consider(s.chain[cur]);
+        consider(s.corr[cur]);
+        if (e.kind == EventKind::Sync) {
+            const auto range = std::equal_range(
+                s.sync_edges.begin(), s.sync_edges.end(),
+                std::make_pair(cur, std::uint32_t{0}),
+                [](const auto &a, const auto &b) {
+                    return a.first < b.first;
+                });
+            for (auto it = range.first; it != range.second; ++it)
+                consider(it->second);
+        }
+
+        const SimTime seg_begin =
+            best == kNone ? e.start : std::max(e.start, best_end);
+        segment(cur, seg_begin, cur_t, eventCategory(tracer, e));
+
+        if (best == kNone) {
+            // Head: time before the walk's first event (other
+            // streams' ramp-up, or fault spans before t0).
+            share(tracer.firstStart(), e.start, PathCategory::Other);
+            return;
+        }
+
+        // Gap before the event: what the waiting event was blocked
+        // on.
+        const SimTime a = best_end;
+        const SimTime b = e.start;
+        if (b > a) {
+            switch (e.kind) {
+              case EventKind::Kernel:
+                // KQT: enqueued but not yet dispatched.
+                share(a, b, PathCategory::Launch);
+                break;
+              case EventKind::Launch:
+              case EventKind::GraphLaunch: {
+                // The measured LQT part of the gap is queue
+                // back-pressure; anything beyond it is untraced host
+                // work between launches.
+                const SimTime lqt = std::min(
+                    b - a, std::max<SimTime>(0, e.queue_wait));
+                share(b - lqt, b, PathCategory::Launch);
+                share(a, b - lqt, PathCategory::Other);
+                break;
+              }
+              case EventKind::Sync:
+                share(a, b, PathCategory::Sync);
+                break;
+              case EventKind::MemcpyH2D:
+              case EventKind::MemcpyD2H:
+              case EventKind::MemcpyD2D:
+                share(a, b, copyCategory(tracer, e));
+                break;
+              case EventKind::MallocDevice:
+              case EventKind::MallocHost:
+              case EventKind::MallocManaged:
+              case EventKind::Free:
+              case EventKind::Fault:
+                share(a, b, PathCategory::Other);
+                break;
+            }
+        }
+        if (handoff(best))
+            return;
+        cur = best;
+        cur_t = best_end;
+    }
 }
 
 } // namespace
@@ -371,7 +529,8 @@ classifyShares(const std::array<SimTime, kPathCategoryCount> &shares,
 }
 
 CriticalAnalysis
-analyzeCritical(const Tracer &tracer, const obs::Registry *obs)
+analyzeCritical(const Tracer &tracer, const obs::Registry *obs,
+                bool with_slack)
 {
     Scan s = scanTrace(tracer, /*build_graph=*/true);
     CriticalAnalysis out;
@@ -380,7 +539,8 @@ analyzeCritical(const Tracer &tracer, const obs::Registry *obs)
     cp.end_to_end = out.metrics.end_to_end;
     const auto ev = tracer.events();
     const std::size_t n = ev.size();
-    cp.slack.assign(n, 0);
+    if (with_slack)
+        cp.slack.assign(n, 0);
     const SimTime uvm_faults =
         static_cast<SimTime>(counterValue(obs,
                                           "gpu.uvm.fault_time_ps"));
@@ -398,26 +558,31 @@ analyzeCritical(const Tracer &tracer, const obs::Registry *obs)
     // ---- CPM latest-finish pass -> per-event slack ---------------
     // Record order is a topological order (all edge sources have
     // lower indices), so one reverse sweep relaxes every successor
-    // before its predecessors are visited.
-    std::vector<SimTime> lf(n, s.last_nonfault_end);
-    std::size_t se = s.sync_edges.size();
-    for (std::uint32_t i2 = static_cast<std::uint32_t>(n); i2-- > 0;) {
-        const TraceEvent &e = ev[i2];
-        if (e.kind == EventKind::Fault)
-            continue;
-        const SimTime latest_start = lf[i2] - e.duration();
-        if (s.chain[i2] != kNone)
-            lf[s.chain[i2]] =
-                std::min(lf[s.chain[i2]], latest_start);
-        if (s.corr[i2] != kNone)
-            lf[s.corr[i2]] = std::min(lf[s.corr[i2]], latest_start);
-        while (se > 0 && s.sync_edges[se - 1].first == i2) {
-            // Finish-time edge: the waitee may grow by however much
-            // the sync's own finish could slip.
-            const auto p = s.sync_edges[--se].second;
-            lf[p] = std::min(lf[p], ev[p].end + (lf[i2] - e.end));
+    // before its predecessors are visited.  The binding walk below
+    // never reads lf/slack, so bulk callers skip this pass.
+    if (with_slack) {
+        std::vector<SimTime> lf(n, s.last_nonfault_end);
+        std::size_t se = s.sync_edges.size();
+        for (std::uint32_t i2 = static_cast<std::uint32_t>(n);
+             i2-- > 0;) {
+            const TraceEvent &e = ev[i2];
+            if (e.kind == EventKind::Fault)
+                continue;
+            const SimTime latest_start = lf[i2] - e.duration();
+            if (s.chain[i2] != kNone)
+                lf[s.chain[i2]] =
+                    std::min(lf[s.chain[i2]], latest_start);
+            if (s.corr[i2] != kNone)
+                lf[s.corr[i2]] =
+                    std::min(lf[s.corr[i2]], latest_start);
+            while (se > 0 && s.sync_edges[se - 1].first == i2) {
+                // Finish-time edge: the waitee may grow by however
+                // much the sync's own finish could slip.
+                const auto p = s.sync_edges[--se].second;
+                lf[p] = std::min(lf[p], ev[p].end + (lf[i2] - e.end));
+            }
+            cp.slack[i2] = std::max<SimTime>(0, lf[i2] - e.end);
         }
-        cp.slack[i2] = std::max<SimTime>(0, lf[i2] - e.end);
     }
 
     // ---- crypto/link split of CC copy time -----------------------
@@ -459,108 +624,23 @@ analyzeCritical(const Tracer &tracer, const obs::Registry *obs)
         }
     };
 
-    // Gap before an event: what the waiting event was blocked on.
-    const auto addGap = [&](SimTime a, SimTime b,
-                            const TraceEvent &e) {
-        if (b <= a)
-            return;
-        switch (e.kind) {
-          case EventKind::Kernel:
-            // KQT: enqueued but not yet dispatched.
-            addShare(a, b, PathCategory::Launch);
-            break;
-          case EventKind::Launch:
-          case EventKind::GraphLaunch: {
-            // The measured LQT part of the gap is queue
-            // back-pressure; anything beyond it is untraced host
-            // work between launches.
-            const SimTime lqt =
-                std::min(b - a, std::max<SimTime>(0, e.queue_wait));
-            addShare(b - lqt, b, PathCategory::Launch);
-            addShare(a, b - lqt, PathCategory::Other);
-            break;
-          }
-          case EventKind::Sync:
-            addShare(a, b, PathCategory::Sync);
-            break;
-          case EventKind::MemcpyH2D:
-          case EventKind::MemcpyD2H:
-          case EventKind::MemcpyD2D:
-            addShare(a, b, copyCategory(tracer, e));
-            break;
-          case EventKind::MallocDevice:
-          case EventKind::MallocHost:
-          case EventKind::MallocManaged:
-          case EventKind::Free:
-          case EventKind::Fault:
-            addShare(a, b, PathCategory::Other);
-            break;
-        }
-    };
-
     // ---- backward binding walk -----------------------------------
-    // From the latest-ending event, repeatedly bind to the candidate
-    // predecessor that released it: the latest-finishing one with
-    // end <= the current path time; ties break to the higher event
-    // index.  The visited segments and gaps telescope over
-    // [firstStart, lastEnd] with no overlap, so shares sum exactly.
-    std::uint32_t cur = s.tail;
-    SimTime cur_t = ev[cur].end;
-
     // Fault spans may outlast the last real event (or precede the
-    // first one, handled at termination).
-    addShare(cur_t, tracer.lastEnd(), PathCategory::Fault);
+    // first one, handled at the walker's head charge).
+    addShare(ev[s.tail].end, tracer.lastEnd(), PathCategory::Fault);
 
-    for (;;) {
-        const TraceEvent &e = ev[cur];
-        std::uint32_t best = kNone;
-        SimTime best_end = std::numeric_limits<SimTime>::min();
-        const auto consider = [&](std::uint32_t p) {
-            if (p == kNone)
-                return;
-            const SimTime pe = ev[p].end;
-            if (pe > cur_t)
-                return;
-            if (best == kNone || pe > best_end
-                || (pe == best_end && p > best)) {
-                best = p;
-                best_end = pe;
-            }
-        };
-        consider(s.chain[cur]);
-        consider(s.corr[cur]);
-        if (e.kind == EventKind::Sync) {
-            const auto range = std::equal_range(
-                s.sync_edges.begin(), s.sync_edges.end(),
-                std::make_pair(cur, std::uint32_t{0}),
-                [](const auto &a, const auto &b) {
-                    return a.first < b.first;
-                });
-            for (auto it = range.first; it != range.second; ++it)
-                consider(it->second);
-        }
-
-        const SimTime seg_begin =
-            best == kNone ? e.start : std::max(e.start, best_end);
-        cp.segments.push_back({cur, seg_begin, cur_t,
-                               eventCategory(tracer, e)
-                                       == PathCategory::Link
-                                   ? copy_display
-                                   : eventCategory(tracer, e)});
-        addShare(seg_begin, cur_t, eventCategory(tracer, e));
-        cp.on_path_ps += cur_t - seg_begin;
-
-        if (best == kNone) {
-            // Head: time before the walk's first event (other
-            // streams' ramp-up, or fault spans before t0).
-            addShare(tracer.firstStart(), e.start,
-                     PathCategory::Other);
-            break;
-        }
-        addGap(best_end, e.start, e);
-        cur = best;
-        cur_t = best_end;
-    }
+    walkCritical(
+        tracer, s, s.tail,
+        [&](std::uint32_t e_idx, SimTime a, SimTime b,
+            PathCategory raw) {
+            cp.segments.push_back(
+                {e_idx, a, b,
+                 raw == PathCategory::Link ? copy_display : raw});
+            addShare(a, b, raw);
+            cp.on_path_ps += b - a;
+        },
+        addShare, [](std::uint32_t) { return false; });
+    cp.on_path_events = cp.segments.size();
     // The walk visits strictly decreasing indices; flip to
     // ascending time order for exporters.
     std::reverse(cp.segments.begin(), cp.segments.end());
@@ -575,6 +655,319 @@ analyzeCritical(const Tracer &tracer, const obs::Registry *obs)
     return out;
 }
 
+// ---- ForkAnalyzer ------------------------------------------------
+
+namespace {
+
+/**
+ * Memoized replay of the prefix portion of the walk, keyed by the
+ * event where the walk crossed into the prefix.  The walk below an
+ * entry event is a pure function of the prefix graph (all edges
+ * point to lower indices), so it is recorded once; only the charges
+ * depend on the cell (fault overlap, crypto/link split) and are
+ * reapplied from the records.
+ */
+struct PrefixWalk
+{
+    /** One recorded share charge (post gap-split, pre fault/link). */
+    struct Rec
+    {
+        SimTime a = 0;
+        SimTime b = 0;
+        PathCategory cat = PathCategory::Other;
+    };
+    SimTime on_path = 0;       //!< sum of on-path slice lengths
+    std::size_t events = 0;    //!< number of slices (incl. empty)
+    /** Per-category sums of every non-Link record — the fast path
+     *  when no cell fault span reaches back into the prefix. */
+    std::array<SimTime, kPathCategoryCount> sums{};
+    /** Link records always replay: the crypto/link busy split uses
+     *  the cell's final counters. */
+    std::vector<Rec> link;
+    /** Every record, ascending in time (the walk emits them
+     *  tail-to-head; build reverses once).  The records partition
+     *  [firstStart, entry end] contiguously, so ends are sorted and
+     *  fault overlap localizes to a binary-searchable index range. */
+    std::vector<Rec> all;
+    SimTime max_end = 0;       //!< latest end over all records
+};
+
+} // namespace
+
+struct ForkAnalyzer::Impl
+{
+    std::size_t n_prefix = 0;
+    Scan base;
+    /** Per-cell working copy of `base`.  Copy-assigned (not
+     *  constructed) every analyze() call so its vectors keep their
+     *  full-trace capacity: after the first cell, extending the
+     *  prefix state is pure memcpy into warm pages — no allocation,
+     *  no first-touch page faults. */
+    Scan scratch;
+    std::unordered_map<std::uint32_t, PrefixWalk> walks;
+
+    const PrefixWalk &
+    walkFrom(const Tracer &tracer, std::uint32_t entry)
+    {
+        auto it = walks.find(entry);
+        if (it != walks.end())
+            return it->second;
+        PrefixWalk w;
+        const auto record = [&](SimTime a, SimTime b,
+                                PathCategory cat) {
+            if (b <= a)
+                return;
+            w.all.push_back({a, b, cat});
+            w.max_end = std::max(w.max_end, b);
+            if (cat == PathCategory::Link)
+                w.link.push_back({a, b, cat});
+            else
+                w.sums[idx(cat)] += b - a;
+        };
+        // Prefix events and their edges are identical in every
+        // cell's tracer, so recording against whichever cell asked
+        // first is sound.
+        walkCritical(
+            tracer, base, entry,
+            [&](std::uint32_t, SimTime a, SimTime b,
+                PathCategory raw) {
+                ++w.events;
+                w.on_path += b - a;
+                record(a, b, raw);
+            },
+            record, [](std::uint32_t) { return false; });
+        std::reverse(w.all.begin(), w.all.end());
+        return walks.emplace(entry, std::move(w)).first->second;
+    }
+};
+
+ForkAnalyzer::ForkAnalyzer() = default;
+ForkAnalyzer::~ForkAnalyzer() = default;
+ForkAnalyzer::ForkAnalyzer(ForkAnalyzer &&) noexcept = default;
+ForkAnalyzer &
+ForkAnalyzer::operator=(ForkAnalyzer &&) noexcept = default;
+
+bool
+ForkAnalyzer::captured() const
+{
+    return impl_ != nullptr;
+}
+
+void
+ForkAnalyzer::capture(const Tracer &prefix_tracer)
+{
+    impl_ = std::make_unique<Impl>();
+    impl_->n_prefix = prefix_tracer.size();
+    // Unfinalized on purpose: the fault merge and the sync-overlap
+    // fixup run once per cell over the complete span sets, exactly
+    // like the one-shot scan would.
+    scanRange(impl_->base, prefix_tracer, 0, impl_->n_prefix,
+              /*build_graph=*/true);
+}
+
+CriticalAnalysis
+ForkAnalyzer::analyze(const Tracer &tracer, const obs::Registry *obs)
+{
+    HCC_ASSERT(impl_ != nullptr, "ForkAnalyzer used before capture");
+    Impl &im = *impl_;
+    const std::size_t n = tracer.size();
+    HCC_ASSERT(n >= im.n_prefix,
+               "fork trace shorter than its captured prefix");
+
+    Scan &s = im.scratch;
+    s = im.base;
+    scanRange(s, tracer, im.n_prefix, n, /*build_graph=*/true);
+    finalizeScan(s, tracer);
+
+    CriticalAnalysis out;
+    // Light metrics: copy the scalars only, with the four sample
+    // vectors swapped aside so the struct copy is cheap and the
+    // scratch keeps its warm buffers for the next cell, then compact
+    // each set to its insertion-order total (bit-identical sums to
+    // compacting a cold run's full set — see compactSampleMetrics).
+    {
+        AppMetrics &sm = s.metrics;
+        SampleSet klo, lqt, kqt, ket;
+        std::swap(klo, sm.klo);
+        std::swap(lqt, sm.lqt);
+        std::swap(kqt, sm.kqt);
+        std::swap(ket, sm.ket);
+        out.metrics = sm;
+        std::swap(klo, sm.klo);
+        std::swap(lqt, sm.lqt);
+        std::swap(kqt, sm.kqt);
+        std::swap(ket, sm.ket);
+        const auto compact = [](const SampleSet &src, SampleSet &dst) {
+            if (!src.empty())
+                dst.add(src.sum());
+        };
+        compact(sm.klo, out.metrics.klo);
+        compact(sm.lqt, out.metrics.lqt);
+        compact(sm.kqt, out.metrics.kqt);
+        compact(sm.ket, out.metrics.ket);
+    }
+    CriticalPath &cp = out.path;
+    cp.end_to_end = out.metrics.end_to_end;
+    const SimTime uvm_faults =
+        static_cast<SimTime>(counterValue(obs,
+                                          "gpu.uvm.fault_time_ps"));
+    if (n == 0)
+        return out;
+    if (s.tail == kNone) {
+        cp.shares[idx(PathCategory::Fault)] = cp.end_to_end;
+        cp.bottleneck =
+            classifyShares(cp.shares, cp.end_to_end, uvm_faults);
+        return out;
+    }
+
+    const std::uint64_t crypto_busy =
+        counterValue(obs, "sim.timeline.cc_crypto.busy_ps")
+        + counterValue(obs, "sim.timeline.cc_gpu_crypto.busy_ps");
+    const std::uint64_t link_busy =
+        counterValue(obs, "pcie.link.busy_ps_h2d")
+        + counterValue(obs, "pcie.link.busy_ps_d2h");
+    const std::uint64_t split_den = crypto_busy + link_busy;
+
+    const auto &faults = s.fault_spans;
+    const auto addShare = [&](SimTime a, SimTime b, PathCategory c) {
+        if (b <= a)
+            return;
+        SimTime v = b - a;
+        if (!faults.empty() && c != PathCategory::Fault) {
+            const SimTime f = overlapWith(a, b, faults);
+            cp.shares[idx(PathCategory::Fault)] += f;
+            v -= f;
+        }
+        if (c == PathCategory::Link && split_den > 0) {
+            const auto cpart = static_cast<SimTime>(
+                static_cast<unsigned __int128>(v) * crypto_busy
+                / split_den);
+            cp.shares[idx(PathCategory::Crypto)] += cpart;
+            cp.shares[idx(PathCategory::Link)] += v - cpart;
+        } else {
+            cp.shares[idx(c)] += v;
+        }
+    };
+
+    const auto applyPrefix = [&](std::uint32_t entry) {
+        const PrefixWalk &w = im.walkFrom(tracer, entry);
+        cp.on_path_ps += w.on_path;
+        cp.on_path_events += w.events;
+        const auto splitLink = [&](SimTime v) {
+            return split_den > 0
+                ? static_cast<SimTime>(
+                      static_cast<unsigned __int128>(v) * crypto_busy
+                      / split_den)
+                : SimTime{0};
+        };
+        // Charge every record as if no fault span touched it: plain
+        // per-category sums, plus the cell-ratio crypto/link split
+        // of each Link record (the per-record floor division must be
+        // replayed — it does not distribute over the sum).
+        for (std::size_t c = 0; c < kPathCategoryCount; ++c)
+            cp.shares[c] += w.sums[c];
+        for (const auto &r : w.link) {
+            const SimTime v = r.b - r.a;
+            if (split_den > 0) {
+                const SimTime cpart = splitLink(v);
+                cp.shares[idx(PathCategory::Crypto)] += cpart;
+                cp.shares[idx(PathCategory::Link)] += v - cpart;
+            } else {
+                cp.shares[idx(PathCategory::Link)] += v;
+            }
+        }
+        // Fault spans are armed after the fork point, so they reach
+        // back into the walk's interval only through in-flight
+        // device events (the entry event's slice can end deep in the
+        // suffix).  Re-attribute exactly for the few records the
+        // spans actually touch — the records ascend in time with
+        // sorted ends, so each span binary-searches its first record
+        // and a shared cursor keeps the whole sweep linear.
+        if (faults.empty() || faults.front().first >= w.max_end)
+            return;
+        const auto adjust = [&](const PrefixWalk::Rec &r) {
+            if (r.cat == PathCategory::Fault)
+                return; // charged in full either way
+            const SimTime f = overlapWith(r.a, r.b, faults);
+            if (f == 0)
+                return;
+            cp.shares[idx(PathCategory::Fault)] += f;
+            if (r.cat == PathCategory::Link && split_den > 0) {
+                const SimTime v = r.b - r.a;
+                const SimTime cpart_full = splitLink(v);
+                const SimTime cpart = splitLink(v - f);
+                cp.shares[idx(PathCategory::Crypto)] +=
+                    cpart - cpart_full;
+                cp.shares[idx(PathCategory::Link)] +=
+                    (v - f - cpart) - (v - cpart_full);
+            } else {
+                cp.shares[idx(r.cat)] -= f;
+            }
+        };
+        std::size_t ri = 0;
+        std::size_t last = w.all.size(); // no record processed yet
+        for (const auto &[fa, fb] : faults) {
+            if (fa >= w.max_end)
+                break;
+            if (ri >= w.all.size())
+                break;
+            if (w.all[ri].b <= fa) {
+                const auto it = std::upper_bound(
+                    w.all.begin()
+                        + static_cast<std::ptrdiff_t>(ri),
+                    w.all.end(), fa,
+                    [](SimTime v, const PrefixWalk::Rec &r) {
+                        return v < r.b;
+                    });
+                ri = static_cast<std::size_t>(it - w.all.begin());
+            }
+            while (ri < w.all.size() && w.all[ri].a < fb) {
+                if (ri != last) {
+                    adjust(w.all[ri]);
+                    last = ri;
+                }
+                if (w.all[ri].b <= fb)
+                    ++ri;
+                else
+                    break;
+            }
+        }
+    };
+
+    const auto ev = tracer.events();
+    addShare(ev[s.tail].end, tracer.lastEnd(), PathCategory::Fault);
+    if (s.tail < im.n_prefix) {
+        // Degenerate suffix (fraction 1.0): the whole walk is the
+        // memoized prefix replay.
+        applyPrefix(s.tail);
+    } else {
+        walkCritical(
+            tracer, s, s.tail,
+            [&](std::uint32_t, SimTime a, SimTime b,
+                PathCategory raw) {
+                ++cp.on_path_events;
+                cp.on_path_ps += b - a;
+                addShare(a, b, raw);
+            },
+            addShare,
+            [&](std::uint32_t best) {
+                if (best >= im.n_prefix)
+                    return false;
+                applyPrefix(best);
+                return true;
+            });
+    }
+
+    SimTime total = 0;
+    for (const auto sh : cp.shares)
+        total += sh;
+    HCC_ASSERT(total == cp.end_to_end,
+               "fork-analyzed shares must partition end_to_end");
+    cp.bottleneck = classifyShares(cp.shares, cp.end_to_end,
+                                   uvm_faults);
+    return out;
+}
+
 void
 publishCriticalPath(const CriticalPath &path, obs::Registry &registry)
 {
@@ -583,7 +976,7 @@ publishCriticalPath(const CriticalPath &path, obs::Registry &registry)
     registry.counter("critpath.on_path_ps")
         .add(static_cast<std::uint64_t>(path.on_path_ps));
     registry.counter("critpath.events_on_path")
-        .add(path.segments.size());
+        .add(path.on_path_events);
     registry.counter("critpath.bottleneck_code")
         .add(static_cast<std::uint64_t>(path.bottleneck));
     for (std::size_t c = 0; c < kPathCategoryCount; ++c) {
@@ -602,7 +995,7 @@ criticalPathJson(const CriticalPath &path)
     os << "{\"bottleneck\": \"" << bottleneckName(path.bottleneck)
        << "\", \"end_to_end_ps\": " << path.end_to_end
        << ", \"on_path_ps\": " << path.on_path_ps
-       << ", \"events_on_path\": " << path.segments.size()
+       << ", \"events_on_path\": " << path.on_path_events
        << ", \"shares\": {";
     for (std::size_t c = 0; c < kPathCategoryCount; ++c) {
         if (c != 0)

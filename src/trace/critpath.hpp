@@ -46,6 +46,7 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -114,7 +115,12 @@ struct CriticalPath
     /** Exact partition of end_to_end by category (sums to it). */
     std::array<SimTime, kPathCategoryCount> shares{};
     Bottleneck bottleneck = Bottleneck::ComputeBound;
-    /** On-path slices, ascending in time and event index. */
+    /** Number of on-path slices.  Equals segments.size() when the
+     *  segment list is materialized; ForkAnalyzer counts without
+     *  building the list. */
+    std::size_t on_path_events = 0;
+    /** On-path slices, ascending in time and event index.  Left
+     *  empty by ForkAnalyzer (campaign cells never export them). */
     std::vector<PathSegment> segments;
     /** Per-event slack (ps an event can grow without moving the
      *  end), indexed like Tracer::events(). */
@@ -139,9 +145,64 @@ struct CriticalAnalysis
  *        busy ratio used to split CC copy time and the UVM fault
  *        signal for the classifier; counters are only read, never
  *        created.
+ * @param with_slack also run the CPM latest-finish sweep that fills
+ *        CriticalPath::slack.  The path, shares and bottleneck never
+ *        depend on it — only the slack report tables and the JSON
+ *        export do — so bulk consumers (the campaign fork engine,
+ *        which analyzes thousands of cells) pass false and skip one
+ *        full O(events) pass; `slack` is then left empty.
  */
 CriticalAnalysis analyzeCritical(const Tracer &tracer,
-                                 const obs::Registry *obs = nullptr);
+                                 const obs::Registry *obs = nullptr,
+                                 bool with_slack = true);
+
+/**
+ * Incremental re-analysis for the snapshot fork engine.
+ *
+ * A fork group runs one shared prefix and replays N per-cell
+ * suffixes on top of it; analyzeCritical() would rescan the full
+ * trace for every cell even though the prefix events never change.
+ * capture() scans the prefix once and keeps the scan state (metrics
+ * accumulators, DAG chains, correlation map); analyze() then copies
+ * that state, scans only the appended suffix events, and walks the
+ * path backward until it crosses into the prefix, where a memoized
+ * replay of the prefix walk (keyed by entry event, built on first
+ * use) supplies the remaining shares.  The result is bit-identical
+ * to analyzeCritical() with with_slack = false, except that
+ * `segments` and `slack` stay empty (on_path_events still counts the
+ * slices) and the metrics sample sets come back compacted to their
+ * totals (compactSampleMetrics) — campaign cells only consume the
+ * sums, shares, bottleneck and the published critpath.* counters.
+ *
+ * Per-cell fault spans and crypto/link busy ratios are applied live,
+ * so faulted cells that perturb the suffix (or even overlap cached
+ * prefix slices) stay exact.  Not thread-safe: use one instance per
+ * fork group, on the group's worker.
+ */
+class ForkAnalyzer
+{
+  public:
+    ForkAnalyzer();
+    ~ForkAnalyzer();
+    ForkAnalyzer(ForkAnalyzer &&) noexcept;
+    ForkAnalyzer &operator=(ForkAnalyzer &&) noexcept;
+
+    /** Scan the fork-point prefix (the tracer as captured). */
+    void capture(const Tracer &prefix_tracer);
+    bool captured() const;
+
+    /**
+     * Analyze a trace that extends the captured prefix.  @p tracer
+     * must contain the prefix events unchanged (the restore-in-place
+     * snapshot engine guarantees this).
+     */
+    CriticalAnalysis analyze(const Tracer &tracer,
+                             const obs::Registry *obs);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
 
 /**
  * The classifier alone (exposed for tests): maps exact shares to a

@@ -109,4 +109,28 @@ Tracer::clear()
     next_correlation_ = 1;
 }
 
+void
+Tracer::truncateTo(const Mark &m)
+{
+    HCC_ASSERT(m.events <= size_ && m.labels <= names_.size()
+                   && m.labels >= 1,
+               "trace mark does not describe a prefix of this tracer");
+    // Newest-first, so each index_ view stays valid until its erase.
+    while (names_.size() > m.labels) {
+        index_.erase(std::string_view(names_.back()));
+        names_.pop_back();
+    }
+    const std::size_t keep_chunks =
+        (m.events + kChunkEvents - 1) / kChunkEvents;
+    chunks_.resize(keep_chunks);
+    if (keep_chunks > 0)
+        chunks_.back().resize(m.events
+                              - (keep_chunks - 1) * kChunkEvents);
+    size_ = m.events;
+    min_start_ = m.min_start;
+    max_end_ = m.max_end;
+    next_correlation_ = m.next_correlation;
+    last_interned_ = m.last_interned;
+}
+
 } // namespace hcc::trace

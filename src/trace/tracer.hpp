@@ -260,6 +260,77 @@ class Tracer
     /** Drop all events (interned labels stay valid). */
     void clear();
 
+    /**
+     * A watermark of the append-only state: everything truncateTo()
+     * needs to rewind this tracer to an earlier point.  Only valid
+     * for the tracer it was taken from, while the marked events are
+     * still an unchanged prefix (recording only appends, so that
+     * holds until a restore from a *different* capture rewrites the
+     * pages).
+     */
+    struct Mark
+    {
+        std::size_t events = 0;
+        std::size_t labels = 0;
+        SimTime min_start = 0;
+        SimTime max_end = 0;
+        std::uint64_t next_correlation = 1;
+        LabelId last_interned = 0;
+    };
+
+    Mark mark() const
+    {
+        return {size_,          names_.size(),     min_start_,
+                max_end_,       next_correlation_, last_interned_};
+    }
+
+    /**
+     * Rewind to @p m by truncating the chunk pages and the intern
+     * table — the restore-in-place fast path (snapState's byte load
+     * rebuilds the same state from a full copy).  The caller owns
+     * the prefix-unchanged guarantee; see Mark.
+     */
+    void truncateTo(const Mark &m);
+
+    /**
+     * Snapshot support: event chunk pages, the intern table (ids are
+     * table positions, so they remain valid across a restore), span
+     * watermarks and the correlation counter.  Restoring into the
+     * tracer that was captured amounts to truncating the append-only
+     * chunk pages and intern table back to the capture point; the
+     * self-contained byte form also restores into a fresh Tracer.
+     */
+    template <class Ar>
+    void
+    snapState(Ar &ar)
+    {
+        ar.pod(size_);
+        ar.pod(min_start_);
+        ar.pod(max_end_);
+        ar.pod(next_correlation_);
+        ar.pod(last_interned_);
+        const std::size_t n_names = ar.size(names_.size());
+        if constexpr (Ar::kLoading) {
+            names_.clear();
+            index_.clear();
+            for (std::size_t i = 0; i < n_names; ++i) {
+                std::string s;
+                ar.str(s);
+                names_.push_back(std::move(s));
+                index_.emplace(std::string_view(names_.back()),
+                               static_cast<LabelId>(i));
+            }
+        } else {
+            for (auto &s : names_)
+                ar.str(s);
+        }
+        const std::size_t n_chunks = ar.size(chunks_.size());
+        if constexpr (Ar::kLoading)
+            chunks_.resize(n_chunks);
+        for (auto &chunk : chunks_)
+            ar.podVec(chunk);
+    }
+
   private:
     LabelId internSlow(std::string_view name);
     void addChunk();

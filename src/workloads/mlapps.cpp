@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "common/log.hpp"
 #include "ml/llm.hpp"
 #include "workloads/workload.hpp"
 
@@ -27,6 +28,49 @@ class LlmWorkload final : public Workload
     void
     run(rt::Context &ctx, const WorkloadParams &params) const override
     {
+        ml::serveLlm(ctx, configFor(params));
+    }
+
+    bool forkable() const override { return true; }
+
+    // Decode launches dominate the serving session, so nearly the
+    // whole schedule is shareable warmup.
+    double defaultForkPoint() const override { return 0.9; }
+
+    std::unique_ptr<Resume>
+    runPrefix(rt::Context &ctx, const WorkloadParams &params,
+              double fraction) const override
+    {
+        const ml::LlmConfig cfg = configFor(params);
+        const double f = std::clamp(fraction, 0.0, 1.0);
+        // The prefix cuts at a decode-step boundary: prefill plus
+        // the first ~fraction of the generated tokens.
+        const int warm = static_cast<int>(
+            static_cast<double>(cfg.gen_len) * f);
+        auto resume = std::make_unique<LlmResume>();
+        resume->state = ml::llmServePrefix(ctx, cfg, warm);
+        return resume;
+    }
+
+    void
+    runSuffix(rt::Context &ctx, const WorkloadParams &params,
+              const Resume &resume) const override
+    {
+        const auto *r = dynamic_cast<const LlmResume *>(&resume);
+        if (!r)
+            fatal("llm runSuffix got a foreign resume state");
+        ml::llmServeFinish(ctx, configFor(params), r->state);
+    }
+
+  private:
+    struct LlmResume final : Resume
+    {
+        ml::LlmServeState state;
+    };
+
+    static ml::LlmConfig
+    configFor(const WorkloadParams &params)
+    {
         ml::LlmConfig cfg;
         cfg.backend = ml::LlmBackend::HuggingFace;
         cfg.quant = ml::LlmQuant::Bf16;
@@ -35,7 +79,7 @@ class LlmWorkload final : public Workload
         cfg.gen_len = std::max(
             1, static_cast<int>(static_cast<double>(cfg.gen_len)
                                 * params.scale));
-        ml::serveLlm(ctx, cfg);
+        return cfg;
     }
 };
 

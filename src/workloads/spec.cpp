@@ -89,75 +89,113 @@ ketRng(const AppSpec &spec, const WorkloadParams &params)
 
 } // namespace
 
-void
-SpecWorkload::run(rt::Context &ctx, const WorkloadParams &params) const
+/**
+ * Workload state crossing the prefix/suffix cut: buffer handles, the
+ * KET jitter stream position and the launch cursor.  Buffer handles
+ * are plain ids into the Context's allocation map, which the
+ * snapshot restores, so a Resume captured against one Context state
+ * replays against every cell restored from it.
+ */
+struct SpecWorkload::SpecResume final : Workload::Resume
 {
-    if (params.uvm) {
-        if (!spec_.uvm_capable)
-            fatal("workload '%s' has no UVM variant",
-                  spec_.name.c_str());
-        runUvm(ctx, params);
-    } else {
-        runExplicit(ctx, params);
-    }
-}
+    bool uvm = false;
+    Rng rng{0, 0};
+    std::vector<rt::Buffer> host_in, host_out, dev_in, dev_out;
+    std::vector<rt::Buffer> d2d_bufs;
+    rt::Buffer scratch, iter_dev, iter_host;
+    rt::Buffer managed;
+    /** Managed bytes each kernel touches (UVM mode). */
+    Bytes touch = 0;
+    /** Ordinal of the next launch to issue. */
+    int next_launch = 0;
+};
 
-void
-SpecWorkload::runExplicit(rt::Context &ctx,
-                          const WorkloadParams &params) const
+SpecWorkload::SpecResume
+SpecWorkload::setup(rt::Context &ctx,
+                    const WorkloadParams &params) const
 {
-    Rng rng = ketRng(spec_, params);
+    SpecResume st;
+    st.uvm = params.uvm;
+    st.rng = ketRng(spec_, params);
+
+    if (params.uvm) {
+        // One managed region covers inputs + outputs; pages fault
+        // over on first kernel touch instead of explicit copies.
+        const Bytes data_bytes = scaled(
+            spec_.totalInputBytes() + spec_.totalOutputBytes(),
+            params.scale);
+        st.managed =
+            ctx.mallocManaged(std::max<Bytes>(data_bytes, 4096));
+        if (spec_.scratch > 0)
+            st.scratch =
+                ctx.mallocDevice(scaled(spec_.scratch, params.scale));
+        st.touch = spec_.uvm_touch_override > 0
+            ? scaled(spec_.uvm_touch_override, params.scale)
+            : scaled(spec_.totalInputBytes(), params.scale);
+        return st;
+    }
 
     // Allocate host and device buffers.
-    std::vector<rt::Buffer> host_in, host_out, dev_in, dev_out;
     for (Bytes b : spec_.inputs) {
         const Bytes n = scaled(b, params.scale);
-        host_in.push_back(spec_.pinned_host ? ctx.mallocHost(n)
-                                            : ctx.hostPageable(n));
-        dev_in.push_back(ctx.mallocDevice(n));
+        st.host_in.push_back(spec_.pinned_host
+                                 ? ctx.mallocHost(n)
+                                 : ctx.hostPageable(n));
+        st.dev_in.push_back(ctx.mallocDevice(n));
     }
     for (Bytes b : spec_.outputs) {
         const Bytes n = scaled(b, params.scale);
-        host_out.push_back(spec_.pinned_host ? ctx.mallocHost(n)
-                                             : ctx.hostPageable(n));
-        dev_out.push_back(ctx.mallocDevice(n));
+        st.host_out.push_back(spec_.pinned_host
+                                  ? ctx.mallocHost(n)
+                                  : ctx.hostPageable(n));
+        st.dev_out.push_back(ctx.mallocDevice(n));
     }
-    rt::Buffer scratch;
     if (spec_.scratch > 0)
-        scratch = ctx.mallocDevice(scaled(spec_.scratch, params.scale));
+        st.scratch =
+            ctx.mallocDevice(scaled(spec_.scratch, params.scale));
 
     // Per-iteration readback staging, if any phase needs it.
     Bytes iter_bytes = 0;
     for (const auto &p : spec_.phases)
         iter_bytes = std::max(iter_bytes, p.d2h_per_iter);
-    rt::Buffer iter_dev, iter_host;
     if (iter_bytes > 0) {
-        iter_dev = ctx.mallocDevice(iter_bytes);
-        iter_host = spec_.pinned_host ? ctx.mallocHost(iter_bytes)
-                                      : ctx.hostPageable(iter_bytes);
+        st.iter_dev = ctx.mallocDevice(iter_bytes);
+        st.iter_host = spec_.pinned_host
+            ? ctx.mallocHost(iter_bytes)
+            : ctx.hostPageable(iter_bytes);
     }
 
     // Copy-then-execute: H2D inputs, optional D2D shuffles.
-    for (std::size_t i = 0; i < dev_in.size(); ++i)
-        ctx.memcpy(dev_in[i], host_in[i], dev_in[i].bytes);
-    std::vector<rt::Buffer> d2d_bufs;
+    for (std::size_t i = 0; i < st.dev_in.size(); ++i)
+        ctx.memcpy(st.dev_in[i], st.host_in[i], st.dev_in[i].bytes);
     for (Bytes b : spec_.d2d_copies) {
         const Bytes n = scaled(b, params.scale);
         auto src = ctx.mallocDevice(n);
         auto dst = ctx.mallocDevice(n);
         ctx.memcpy(dst, src, n);
-        d2d_bufs.push_back(src);
-        d2d_bufs.push_back(dst);
+        st.d2d_bufs.push_back(src);
+        st.d2d_bufs.push_back(dst);
     }
+    return st;
+}
 
-    // Kernel phases.
+void
+SpecWorkload::runLaunchRange(rt::Context &ctx,
+                             const WorkloadParams &params,
+                             SpecResume &st, int to_launch) const
+{
+    const int from = st.next_launch;
+    int ordinal = 0;
     for (const auto &phase : spec_.phases) {
-        for (int i = 0; i < phase.launches; ++i) {
+        const int phase_end = ordinal + phase.launches;
+        for (int i = 0; i < phase.launches; ++i, ++ordinal) {
+            if (ordinal < from || ordinal >= to_launch)
+                continue;
             gpu::KernelDesc k;
             k.name = phase.kernel;
             k.module_bytes = phase.module_bytes;
             if (phase.ket > 0) {
-                k.duration = static_cast<SimTime>(rng.lognormal(
+                k.duration = static_cast<SimTime>(st.rng.lognormal(
                     static_cast<double>(
                         scaledTime(phase.ket, params.scale)),
                     phase.jitter_sigma));
@@ -170,86 +208,95 @@ SpecWorkload::runExplicit(rt::Context &ctx,
                     phase.threads / 256);
                 k.dims.block_x = 256;
             }
+            if (st.uvm) {
+                k.uvm_alloc = st.managed.uvm_handle;
+                k.uvm_touch_bytes =
+                    std::min(st.touch, st.managed.bytes);
+            }
             ctx.launchKernel(k);
-            if (phase.d2h_per_iter > 0) {
-                ctx.memcpy(iter_host, iter_dev, phase.d2h_per_iter);
+            if (!st.uvm && phase.d2h_per_iter > 0) {
+                ctx.memcpy(st.iter_host, st.iter_dev,
+                           phase.d2h_per_iter);
             }
         }
-        if (phase.sync_after)
+        // The phase barrier belongs to whichever range completed the
+        // phase, so any split replays it exactly once.
+        if (phase.sync_after && phase_end > from
+            && phase_end <= to_launch)
             ctx.deviceSynchronize();
     }
+    st.next_launch = std::min(to_launch, spec_.totalLaunches());
+}
+
+void
+SpecWorkload::teardown(rt::Context &ctx, SpecResume &st) const
+{
     ctx.deviceSynchronize();
 
+    if (st.uvm) {
+        if (st.scratch.valid())
+            ctx.free(st.scratch);
+        ctx.free(st.managed);
+        return;
+    }
+
     // Results home, then teardown.
-    for (std::size_t i = 0; i < dev_out.size(); ++i)
-        ctx.memcpy(host_out[i], dev_out[i], dev_out[i].bytes);
-    for (auto &b : dev_in)
+    for (std::size_t i = 0; i < st.dev_out.size(); ++i)
+        ctx.memcpy(st.host_out[i], st.dev_out[i],
+                   st.dev_out[i].bytes);
+    for (auto &b : st.dev_in)
         ctx.free(b);
-    for (auto &b : dev_out)
+    for (auto &b : st.dev_out)
         ctx.free(b);
-    for (auto &b : d2d_bufs)
+    for (auto &b : st.d2d_bufs)
         ctx.free(b);
-    if (scratch.valid())
-        ctx.free(scratch);
-    if (iter_dev.valid())
-        ctx.free(iter_dev);
-    if (iter_host.valid())
-        ctx.free(iter_host);
-    for (auto &b : host_in)
+    if (st.scratch.valid())
+        ctx.free(st.scratch);
+    if (st.iter_dev.valid())
+        ctx.free(st.iter_dev);
+    if (st.iter_host.valid())
+        ctx.free(st.iter_host);
+    for (auto &b : st.host_in)
         ctx.free(b);
-    for (auto &b : host_out)
+    for (auto &b : st.host_out)
         ctx.free(b);
 }
 
 void
-SpecWorkload::runUvm(rt::Context &ctx,
-                     const WorkloadParams &params) const
+SpecWorkload::run(rt::Context &ctx, const WorkloadParams &params) const
 {
-    Rng rng = ketRng(spec_, params);
+    if (params.uvm && !spec_.uvm_capable)
+        fatal("workload '%s' has no UVM variant", spec_.name.c_str());
+    SpecResume st = setup(ctx, params);
+    runLaunchRange(ctx, params, st, spec_.totalLaunches());
+    teardown(ctx, st);
+}
 
-    // One managed region covers inputs + outputs; pages fault over on
-    // first kernel touch instead of explicit copies.
-    const Bytes data_bytes = scaled(
-        spec_.totalInputBytes() + spec_.totalOutputBytes(),
-        params.scale);
-    auto managed = ctx.mallocManaged(std::max<Bytes>(data_bytes, 4096));
-    rt::Buffer scratch;
-    if (spec_.scratch > 0)
-        scratch = ctx.mallocDevice(scaled(spec_.scratch, params.scale));
+std::unique_ptr<Workload::Resume>
+SpecWorkload::runPrefix(rt::Context &ctx, const WorkloadParams &params,
+                        double fraction) const
+{
+    if (params.uvm && !spec_.uvm_capable)
+        fatal("workload '%s' has no UVM variant", spec_.name.c_str());
+    const double f = std::clamp(fraction, 0.0, 1.0);
+    const int warm = static_cast<int>(
+        static_cast<double>(spec_.totalLaunches()) * f);
+    auto st = std::make_unique<SpecResume>(setup(ctx, params));
+    runLaunchRange(ctx, params, *st, warm);
+    return st;
+}
 
-    const Bytes touch = spec_.uvm_touch_override > 0
-        ? scaled(spec_.uvm_touch_override, params.scale)
-        : scaled(spec_.totalInputBytes(), params.scale);
-
-    for (const auto &phase : spec_.phases) {
-        for (int i = 0; i < phase.launches; ++i) {
-            gpu::KernelDesc k;
-            k.name = phase.kernel;
-            k.module_bytes = phase.module_bytes;
-            if (phase.ket > 0) {
-                k.duration = static_cast<SimTime>(rng.lognormal(
-                    static_cast<double>(
-                        scaledTime(phase.ket, params.scale)),
-                    phase.jitter_sigma));
-            } else {
-                k.gflops = phase.gflops * params.scale;
-                k.mem_bytes = scaled(phase.mem_bytes, params.scale);
-                k.dims.grid_x = static_cast<int>(
-                    phase.threads / 256);
-                k.dims.block_x = 256;
-            }
-            k.uvm_alloc = managed.uvm_handle;
-            k.uvm_touch_bytes = std::min(touch, managed.bytes);
-            ctx.launchKernel(k);
-        }
-        if (phase.sync_after)
-            ctx.deviceSynchronize();
-    }
-    ctx.deviceSynchronize();
-
-    if (scratch.valid())
-        ctx.free(scratch);
-    ctx.free(managed);
+void
+SpecWorkload::runSuffix(rt::Context &ctx, const WorkloadParams &params,
+                        const Resume &resume) const
+{
+    const auto *spec_resume =
+        dynamic_cast<const SpecResume *>(&resume);
+    if (!spec_resume)
+        fatal("runSuffix got a foreign resume state");
+    SpecResume st = *spec_resume;  // each cell replays its own copy
+    runLaunchRange(ctx, params, st, spec_.totalLaunches());
+    teardown(ctx, st);
 }
 
 void

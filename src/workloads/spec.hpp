@@ -70,6 +70,13 @@ struct AppSpec
      * of the input buffers.
      */
     Bytes uvm_touch_override = 0;
+    /**
+     * fork_after warmup marker: fraction of launches a
+     * `--fork-point auto` campaign prefix covers.  The default keeps
+     * almost the whole launch schedule shareable; specs whose suffix
+     * must retain more work can lower it.
+     */
+    double fork_after = 0.9;
 
     Bytes totalInputBytes() const;
     Bytes totalOutputBytes() const;
@@ -88,12 +95,31 @@ class SpecWorkload : public Workload
     void run(rt::Context &ctx, const WorkloadParams &params)
         const override;
 
+    bool forkable() const override { return true; }
+    double defaultForkPoint() const override
+    {
+        return spec_.fork_after;
+    }
+    std::unique_ptr<Resume>
+    runPrefix(rt::Context &ctx, const WorkloadParams &params,
+              double fraction) const override;
+    void runSuffix(rt::Context &ctx, const WorkloadParams &params,
+                   const Resume &resume) const override;
+
     const AppSpec &spec() const { return spec_; }
 
   private:
-    void runExplicit(rt::Context &ctx, const WorkloadParams &params)
-        const;
-    void runUvm(rt::Context &ctx, const WorkloadParams &params) const;
+    struct SpecResume;
+
+    /** Allocations + input transfers; returns the launch cursor. */
+    SpecResume setup(rt::Context &ctx,
+                     const WorkloadParams &params) const;
+    /** Launches with ordinal in [st.next_launch, to_launch). */
+    void runLaunchRange(rt::Context &ctx,
+                        const WorkloadParams &params, SpecResume &st,
+                        int to_launch) const;
+    /** Final sync, output transfers, frees. */
+    void teardown(rt::Context &ctx, SpecResume &st) const;
 
     AppSpec spec_;
 };

@@ -19,6 +19,20 @@ WorkloadRegistry::instance()
     return registry;
 }
 
+std::unique_ptr<Workload::Resume>
+Workload::runPrefix(rt::Context &, const WorkloadParams &,
+                    double) const
+{
+    fatal("workload '%s' is not forkable", name().c_str());
+}
+
+void
+Workload::runSuffix(rt::Context &, const WorkloadParams &,
+                    const Resume &) const
+{
+    fatal("workload '%s' is not forkable", name().c_str());
+}
+
 void
 WorkloadRegistry::add(std::unique_ptr<Workload> workload)
 {
@@ -102,7 +116,9 @@ runWorkload(const Workload &workload, const rt::SystemConfig &config,
     result.name = workload.name();
     result.cc = config.cc;
     result.uvm = params.uvm;
-    result.trace = ctx.tracer();
+    // The Context dies with this frame, so take the trace rather
+    // than copying the full event store.
+    result.trace = std::move(ctx.tracer());
     // One traversal yields the Fig. 3 metrics *and* the critical
     // path; the registry supplies the crypto/link busy split.
     auto crit = trace::analyzeCritical(result.trace, &ctx.obs());

@@ -70,6 +70,53 @@ class Workload
     /** Issue the app's API calls against @p ctx. */
     virtual void run(rt::Context &ctx, const WorkloadParams &params)
         const = 0;
+
+    // ------------------------------------------ split-phase running
+    //
+    // A forkable workload can run as a *prefix* (allocations, input
+    // transfers and the first warm launches) followed by a *suffix*
+    // (the remaining launches, final sync, output transfers and
+    // frees), with the hard contract that
+    //
+    //     run(ctx, p)
+    //  == { auto r = runPrefix(ctx, p, f); runSuffix(ctx, p, *r); }
+    //
+    // issues the *identical* API call sequence for every fraction f
+    // in [0, 1].  The campaign fork engine (snap/fork.hpp) runs the
+    // prefix once per cell group, snapshots the Context, and replays
+    // only the suffix per cell.  The Resume object carries the
+    // workload-local state crossing the cut (buffer handles, the KET
+    // jitter stream position); it is immutable after runPrefix so one
+    // instance can serve every cell forked from the same snapshot.
+
+    /** Opaque workload state handed from runPrefix to runSuffix. */
+    struct Resume
+    {
+        virtual ~Resume() = default;
+    };
+
+    /** Whether the split-phase protocol is implemented. */
+    virtual bool forkable() const { return false; }
+
+    /**
+     * The workload's fork_after marker: the fraction of launches a
+     * `--fork-point auto` prefix covers.  High for launch-dominated
+     * apps (long shareable warmup), only meaningful when forkable().
+     */
+    virtual double defaultForkPoint() const { return 0.9; }
+
+    /**
+     * Run setup plus the first floor(total_launches * fraction)
+     * launches.  Only valid when forkable().
+     */
+    virtual std::unique_ptr<Resume>
+    runPrefix(rt::Context &ctx, const WorkloadParams &params,
+              double fraction) const;
+
+    /** Run everything run() does after the prefix cut. */
+    virtual void runSuffix(rt::Context &ctx,
+                           const WorkloadParams &params,
+                           const Resume &resume) const;
 };
 
 /**

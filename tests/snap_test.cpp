@@ -1,0 +1,503 @@
+/**
+ * @file
+ * Tests for the snapshot/fork layer: the archive primitives, each
+ * subsystem's snapState round-trip (RNG stream position, trace
+ * intern table, stats registry erase-after-capture), the EventArena
+ * slab-trim hook, the snapshot file format, and the headline
+ * property — a forked cell is indistinguishable from a cold run —
+ * exercised over every registered workload under base, CC and UVM.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "common/rng.hpp"
+#include "fault/campaign.hpp"
+#include "obs/registry.hpp"
+#include "obs/stats_io.hpp"
+#include "sim/event_queue.hpp"
+#include "snap/archive.hpp"
+#include "snap/fork.hpp"
+#include "snap/snap.hpp"
+#include "sweep/sweep.hpp"
+#include "trace/critpath.hpp"
+#include "trace/tracer.hpp"
+#include "workloads/workload.hpp"
+
+namespace hcc::snap {
+namespace {
+
+// -------------------------------------------------- fork-point spec
+
+TEST(ForkPoint, ParsesTheThreeSpellings)
+{
+    auto none = parseForkPoint("none");
+    ASSERT_TRUE(none.ok());
+    EXPECT_EQ(none->mode, ForkPoint::Mode::None);
+
+    auto aut = parseForkPoint("auto");
+    ASSERT_TRUE(aut.ok());
+    EXPECT_EQ(aut->mode, ForkPoint::Mode::Auto);
+
+    auto frac = parseForkPoint("0.25");
+    ASSERT_TRUE(frac.ok());
+    EXPECT_EQ(frac->mode, ForkPoint::Mode::Fraction);
+    EXPECT_DOUBLE_EQ(frac->fraction, 0.25);
+    EXPECT_EQ(frac->str(), "0.25");
+}
+
+TEST(ForkPoint, RejectsGarbageAndOutOfRange)
+{
+    EXPECT_FALSE(parseForkPoint("").ok());
+    EXPECT_FALSE(parseForkPoint("half").ok());
+    EXPECT_FALSE(parseForkPoint("0.5x").ok());
+    EXPECT_FALSE(parseForkPoint("-0.1").ok());
+    EXPECT_FALSE(parseForkPoint("1.5").ok());
+}
+
+TEST(ForkPoint, NoneNeverResolves)
+{
+    const auto &w = workloads::WorkloadRegistry::instance().get("2mm");
+    ForkPoint fp{ForkPoint::Mode::None, 0.0};
+    EXPECT_LT(fp.resolve(w), 0.0);
+}
+
+// ------------------------------------------------ RNG stream position
+
+TEST(SnapRng, RestoreReplaysTheExactDrawSequence)
+{
+    Rng rng(1234, 7);
+    for (int i = 0; i < 17; ++i)
+        (void)rng.uniform();
+
+    Saver saver;
+    rng.snapState(saver);
+    const auto bytes = saver.take();
+
+    std::vector<double> expected;
+    for (int i = 0; i < 32; ++i)
+        expected.push_back(rng.uniform());
+
+    Loader loader(bytes);
+    rng.snapState(loader);
+    EXPECT_TRUE(loader.exhausted());
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(rng.uniform(), expected[i]) << "draw " << i;
+}
+
+TEST(SnapRng, RestoreCarriesTheBoxMullerSpare)
+{
+    Rng rng(99);
+    (void)rng.normal(); // generates a pair, caches the spare
+
+    Saver saver;
+    rng.snapState(saver);
+    const auto bytes = saver.take();
+
+    const double expected_spare = rng.normal();
+    const double expected_next = rng.normal();
+
+    Loader loader(bytes);
+    rng.snapState(loader);
+    EXPECT_EQ(rng.normal(), expected_spare);
+    EXPECT_EQ(rng.normal(), expected_next);
+}
+
+// -------------------------------------------------- trace intern table
+
+TEST(SnapTracer, RestoreTruncatesInternTableAndKeepsOldIds)
+{
+    trace::Tracer tracer;
+    const auto a = tracer.intern("kernel_a");
+    const auto b = tracer.intern("kernel_b");
+
+    Saver saver;
+    tracer.snapState(saver);
+    const auto bytes = saver.take();
+
+    const auto c = tracer.intern("kernel_c");
+    EXPECT_NE(c, a);
+    EXPECT_NE(c, b);
+
+    Loader loader(bytes);
+    tracer.snapState(loader);
+
+    // Pre-capture ids still resolve; the post-capture label is gone
+    // and a deterministic replay re-interning the same string gets
+    // the same id it got the first time.
+    EXPECT_EQ(tracer.labelName(a), "kernel_a");
+    EXPECT_EQ(tracer.labelName(b), "kernel_b");
+    EXPECT_EQ(tracer.intern("kernel_c"), c);
+    EXPECT_EQ(tracer.intern("kernel_a"), a);
+}
+
+TEST(SnapTracer, RestoreRewindsEventsIntoAFreshReplay)
+{
+    trace::Tracer tracer;
+    trace::TraceEvent ev;
+    ev.start = 10;
+    ev.end = 20;
+    tracer.record(ev, "warmup");
+
+    Saver saver;
+    tracer.snapState(saver);
+    const auto bytes = saver.take();
+
+    for (int i = 0; i < 100; ++i) {
+        ev.start = 100 + i;
+        ev.end = 101 + i;
+        tracer.record(ev, "suffix");
+    }
+    EXPECT_EQ(tracer.size(), 101u);
+
+    Loader loader(bytes);
+    tracer.snapState(loader);
+    EXPECT_EQ(tracer.size(), 1u);
+    EXPECT_EQ(tracer.lastEnd(), 20);
+}
+
+// --------------------------------------------------- stats registry
+
+TEST(SnapRegistry, RestorePutsValuesBackAndKeepsHandlesValid)
+{
+    obs::Registry reg;
+    auto &ctr = reg.counter("a.count");
+    auto &gauge = reg.gauge("b.level");
+    ctr.bump(5);
+    gauge.set(3, 0);
+
+    Saver saver;
+    reg.snapState(saver);
+    const auto bytes = saver.take();
+
+    ctr.bump(100);
+    gauge.set(42, 1);
+
+    Loader loader(bytes);
+    reg.snapState(loader);
+    EXPECT_EQ(ctr.value(), 5);
+    EXPECT_EQ(gauge.value(), 3);
+
+    // The pre-capture handle still points at the live entry.
+    ctr.bump(1);
+    EXPECT_EQ(reg.counter("a.count").value(), 6);
+}
+
+TEST(SnapRegistry, RestoreErasesEntriesCreatedAfterCapture)
+{
+    obs::Registry reg;
+    reg.counter("early").bump(1);
+
+    Saver saver;
+    reg.snapState(saver);
+    const auto bytes = saver.take();
+
+    reg.counter("fault.late.injected").bump(9);
+    EXPECT_TRUE(reg.contains("fault.late.injected"));
+
+    Loader loader(bytes);
+    reg.snapState(loader);
+    EXPECT_FALSE(reg.contains("fault.late.injected"));
+    EXPECT_TRUE(reg.contains("early"));
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(SnapRegistry, CloneIsADeepValueCopy)
+{
+    obs::Registry reg;
+    reg.counter("x").bump(7);
+    auto clone = reg.clone();
+    reg.counter("x").bump(100);
+    EXPECT_EQ(clone->counter("x").value(), 7);
+    EXPECT_EQ(reg.counter("x").value(), 107);
+}
+
+// ------------------------------------------- event arena slab trim
+
+TEST(EventArena, ReleaseFreeSlabsTrimsToTheActiveSlab)
+{
+    sim::EventQueue q;
+    // Big non-inline captures force arena slab growth.
+    struct Fat
+    {
+        char pad[256];
+        void operator()(SimTime) const {}
+    };
+    for (int i = 0; i < 2000; ++i)
+        q.schedule(i, Fat{});
+    const std::size_t peak = q.arenaSlabs();
+    EXPECT_GT(peak, 1u);
+
+    q.runAll();
+    q.reset();
+    EXPECT_EQ(q.arenaLiveBlocks(), 0u);
+
+    // reset() keeps the peak watermark; the trim hook releases it.
+    EXPECT_EQ(q.arenaSlabs(), peak);
+    q.releaseFreeSlabs();
+    EXPECT_EQ(q.arenaSlabs(), 1u);
+
+    // The queue still works after the trim.
+    int ran = 0;
+    q.schedule(5, [&ran](SimTime) { ++ran; });
+    q.runAll();
+    EXPECT_EQ(ran, 1);
+}
+
+// ------------------------------------------------ snapshot file I/O
+
+TEST(SnapshotFile, WriteReadRoundTrip)
+{
+    Snapshot snap;
+    snap.meta.cc = true;
+    snap.meta.uvm = false;
+    snap.meta.seed = 77;
+    snap.meta.sim_time = 123456;
+    snap.meta.app = "gaussian";
+    snap.meta.fork_point = "auto";
+    snap.add("runtime") = {1, 2, 3};
+    snap.add("trace") = {9, 8, 7, 6};
+
+    const std::string path =
+        testing::TempDir() + "snap_roundtrip.hccsnap";
+    ASSERT_TRUE(writeSnapshotFile(path, snap).ok());
+
+    auto loaded = readSnapshotFile(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+    EXPECT_EQ(loaded->meta.cc, true);
+    EXPECT_EQ(loaded->meta.seed, 77u);
+    EXPECT_EQ(loaded->meta.sim_time, 123456);
+    EXPECT_EQ(loaded->meta.app, "gaussian");
+    EXPECT_EQ(loaded->meta.fork_point, "auto");
+    ASSERT_EQ(loaded->sections.size(), 2u);
+    EXPECT_EQ(loaded->sections[0].name, "runtime");
+    EXPECT_EQ(loaded->sections[0].bytes, snap.sections[0].bytes);
+    EXPECT_EQ(loaded->sections[1].bytes, snap.sections[1].bytes);
+
+    std::ostringstream os;
+    printSnapshot(os, *loaded);
+    EXPECT_NE(os.str().find("gaussian"), std::string::npos);
+    EXPECT_NE(os.str().find("trace"), std::string::npos);
+
+    std::remove(path.c_str());
+}
+
+TEST(SnapshotFile, RejectsAForeignFile)
+{
+    const std::string path = testing::TempDir() + "not_a_snapshot";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("definitely not a snapshot", f);
+        std::fclose(f);
+    }
+    EXPECT_FALSE(readSnapshotFile(path).ok());
+    std::remove(path.c_str());
+}
+
+// ------------------------------------- the fork/replay property
+
+/** Deterministic fingerprint of one run: the full stats dump (host.*
+ *  excluded) plus the headline metric and critical-path facts.
+ *  Split-mode results are light (no retained trace), so the metric
+ *  accumulators and the critpath counters carry the comparison. */
+std::string
+fingerprint(const workloads::WorkloadResult &r)
+{
+    std::ostringstream os;
+    os << "end_to_end=" << r.end_to_end
+       << " launches=" << r.metrics.launches
+       << " kernels=" << r.metrics.kernels
+       << " klo_sum=" << r.metrics.sumKlo()
+       << " kqt_sum=" << r.metrics.sumKqt()
+       << " copy=" << r.metrics.copyTotal()
+       << " sync=" << r.metrics.sync_time
+       << " fault=" << r.metrics.fault_time
+       << " on_path_ps=" << r.critical.on_path_ps
+       << " on_path_events=" << r.critical.on_path_events
+       << " bottleneck="
+       << trace::bottleneckName(r.critical.bottleneck) << '\n';
+    os << obs::statsJson(*r.stats, /*include_host=*/false);
+    return os.str();
+}
+
+/**
+ * The hard bar of the fork engine: a cell replayed from a snapshot
+ * is indistinguishable from the same cell simulated from a cold
+ * start.  Runs every registered workload under base and CC (and UVM
+ * where supported), forks two identical cells from one prefix, and
+ * requires both to match the cold-split control exactly.
+ */
+TEST(ForkReplay, ForkedCellsMatchColdStartForEveryWorkload)
+{
+    const auto all = workloads::WorkloadRegistry::instance().all();
+    ASSERT_FALSE(all.empty());
+    std::size_t forked_workloads = 0;
+
+    for (const auto *w : all) {
+        if (!w->forkable())
+            continue;
+        ++forked_workloads;
+        for (const bool cc : {false, true}) {
+            for (const bool uvm : {false, true}) {
+                if (uvm && !w->supportsUvm())
+                    continue;
+
+                ForkGroupSpec group;
+                group.app = w->name();
+                group.sys.cc = cc;
+                group.sys.seed = 42;
+                group.params.uvm = uvm;
+                group.params.seed = 42;
+                group.cells.resize(2); // fault-free duplicate cells
+
+                const ForkPoint auto_fp{ForkPoint::Mode::Auto, 0.0};
+                const auto cold = runForkGroup(group, auto_fp,
+                                               /*no_snapshot=*/true);
+                const auto fork = runForkGroup(group, auto_fp,
+                                               /*no_snapshot=*/false);
+
+                ASSERT_EQ(cold.cells.size(), 2u);
+                ASSERT_EQ(fork.cells.size(), 2u);
+                EXPECT_EQ(cold.snapshot_hits, 0u);
+                EXPECT_EQ(fork.snapshot_hits, 2u);
+
+                const std::string tag = w->name()
+                    + (cc ? "/cc" : "/base") + (uvm ? "/uvm" : "");
+                ASSERT_TRUE(cold.cells[0].ok)
+                    << tag << ": " << cold.cells[0].error;
+                const std::string want =
+                    fingerprint(cold.cells[0].result);
+                for (const auto &cell : fork.cells) {
+                    ASSERT_TRUE(cell.ok)
+                        << tag << ": " << cell.error;
+                    EXPECT_TRUE(cell.from_snapshot) << tag;
+                    EXPECT_EQ(fingerprint(cell.result), want) << tag;
+                }
+            }
+        }
+    }
+    // The suite must actually exercise the property.
+    EXPECT_GT(forked_workloads, 0u);
+}
+
+/** Fractional fork points place the cut elsewhere but must preserve
+ *  the identical-sequence contract. */
+TEST(ForkReplay, FractionCutsProduceTheSameRun)
+{
+    ForkGroupSpec group;
+    group.app = "gaussian";
+    group.sys.cc = true;
+    group.cells.resize(2);
+
+    const auto base = runForkGroup(
+        group, ForkPoint{ForkPoint::Mode::Auto, 0.0}, true);
+    ASSERT_TRUE(base.cells[0].ok) << base.cells[0].error;
+    const std::string want = fingerprint(base.cells[0].result);
+
+    for (const double f : {0.0, 0.3, 1.0}) {
+        const auto got = runForkGroup(
+            group, ForkPoint{ForkPoint::Mode::Fraction, f}, false);
+        ASSERT_TRUE(got.cells[0].ok)
+            << "f=" << f << ": " << got.cells[0].error;
+        EXPECT_EQ(fingerprint(got.cells[0].result), want)
+            << "f=" << f;
+    }
+}
+
+TEST(ForkReplay, FaultedSuffixDoesNotLeakIntoTheNextCell)
+{
+    ForkGroupSpec group;
+    group.app = "gaussian";
+    group.sys.cc = true;
+    group.cells.resize(3);
+    // Middle cell injects heavily; its neighbours run fault-free and
+    // must be identical to each other.
+    group.cells[1].faults.set(fault::Site::PcieReplay, 0.9);
+
+    const auto out = runForkGroup(
+        group, ForkPoint{ForkPoint::Mode::Auto, 0.0}, false);
+    ASSERT_TRUE(out.cells[0].ok);
+    ASSERT_TRUE(out.cells[1].ok);
+    ASSERT_TRUE(out.cells[2].ok);
+    EXPECT_EQ(fingerprint(out.cells[0].result),
+              fingerprint(out.cells[2].result));
+    EXPECT_NE(fingerprint(out.cells[0].result),
+              fingerprint(out.cells[1].result));
+}
+
+// ----------------------------------------- campaign + sweep wiring
+
+TEST(ForkCampaign, ForkAndColdCampaignsAreIdentical)
+{
+    fault::CampaignSpec spec;
+    spec.app = "gaussian";
+    spec.sites = {fault::Site::PcieReplay,
+                  fault::Site::ChannelTagMismatch};
+    spec.rates = {0.5};
+    spec.seeds = {1, 2};
+    spec.fork_point = {ForkPoint::Mode::Auto, 0.0};
+
+    spec.no_snapshot = false;
+    const auto fork = fault::runFaultCampaign(spec, 1);
+    spec.no_snapshot = true;
+    const auto cold = fault::runFaultCampaign(spec, 2);
+
+    ASSERT_EQ(fork.cells.size(), cold.cells.size());
+    EXPECT_GT(fork.snapshot_hits, 0u);
+    EXPECT_EQ(cold.snapshot_hits, 0u);
+    for (std::size_t i = 0; i < fork.cells.size(); ++i) {
+        ASSERT_TRUE(fork.cells[i].ok) << fork.cells[i].error;
+        ASSERT_TRUE(cold.cells[i].ok) << cold.cells[i].error;
+        EXPECT_EQ(fingerprint(fork.cells[i].result),
+                  fingerprint(cold.cells[i].result))
+            << "cell " << i;
+    }
+}
+
+TEST(ForkCampaign, DefaultForkPointKeepsLegacyArming)
+{
+    // spdm.handshake fires during Context construction — before any
+    // fork point — so only construction-time arming (the default)
+    // can make it fail a cell.  This pins the legacy default.
+    fault::CampaignSpec spec;
+    spec.app = "gaussian";
+    spec.sites = {fault::Site::SpdmHandshake};
+    spec.rates = {1.0};
+    spec.seeds = {42};
+    const auto out = fault::runFaultCampaign(spec, 1);
+    ASSERT_EQ(out.cells.size(), 2u); // baseline + faulted
+    EXPECT_EQ(out.snapshot_hits, 0u);
+    EXPECT_TRUE(out.cells[0].ok);
+    EXPECT_FALSE(out.cells[1].ok);
+}
+
+TEST(ForkSweep, DuplicateCellsReplayFromOneSnapshot)
+{
+    sweep::GridSpec grid;
+    grid.apps = {"gaussian"};
+    grid.cc_modes = {true};
+    grid.seeds = {7, 7, 7};
+
+    const auto result = sweep::runSweep(grid, 1);
+    ASSERT_EQ(result.cells.size(), 3u);
+    EXPECT_EQ(result.snapshot_hits, 3u);
+    for (const auto &cell : result.cells)
+        ASSERT_TRUE(cell.ok) << cell.error;
+    const std::string want = fingerprint(result.cells[0].result);
+    EXPECT_EQ(fingerprint(result.cells[1].result), want);
+    EXPECT_EQ(fingerprint(result.cells[2].result), want);
+
+    // The unique-cell grid takes the cold path: no hits, same rows.
+    grid.seeds = {7};
+    const auto solo = sweep::runSweep(grid, 1);
+    EXPECT_EQ(solo.snapshot_hits, 0u);
+    ASSERT_TRUE(solo.cells[0].ok);
+    EXPECT_EQ(fingerprint(solo.cells[0].result), want);
+}
+
+} // namespace
+} // namespace hcc::snap

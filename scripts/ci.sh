@@ -24,10 +24,11 @@ ctest --preset asan-ubsan -j"$jobs"
 # claim (each campaign cell owns its Context/Registry/Injector).
 cmake --preset tsan
 cmake --build --preset tsan -j"$jobs" \
-    --target sweep_test fault_test critpath_test
+    --target sweep_test fault_test critpath_test overlap_test
 build-tsan/tests/sweep_test
 build-tsan/tests/fault_test
 build-tsan/tests/critpath_test
+build-tsan/tests/overlap_test
 
 hccsim=build/tools/hccsim
 tmp="$(mktemp -d)"
@@ -101,6 +102,23 @@ if "$hccsim" stats-diff "$tmp/a.json" "$tmp/c.json" >/dev/null; then
     echo "ERROR: stats-diff did not flag a perturbed run" >&2
     exit 1
 fi
+
+# Overlap ablation gate: the bigxfer grid across all three copy-
+# pipeline tiers must merge byte-identically for any --jobs and
+# reproduce the committed baseline exactly — the staged pipeline,
+# the speculative IV engine and the per-stage counters may not shift
+# a single draw (docs/OVERLAP.md).
+"$hccsim" sweep --apps bigxfer --cc-modes both --overlap all \
+    --jobs 1 --out "$tmp/overlap1.csv" --format csv \
+    --stats-out "$tmp/overlap1.json" >/dev/null
+"$hccsim" sweep --apps bigxfer --cc-modes both --overlap all \
+    --jobs 4 --out "$tmp/overlap4.csv" --format csv \
+    --stats-out "$tmp/overlap4.json" >/dev/null
+cmp "$tmp/overlap1.csv" "$tmp/overlap4.csv"
+cmp "$tmp/overlap1.json" "$tmp/overlap4.json"
+"$hccsim" stats-diff bench/baselines/overlap_ablation_stats.json \
+    "$tmp/overlap1.json"
+cmp bench/baselines/overlap_ablation_stats.json "$tmp/overlap1.json"
 
 # Fault-campaign smoke + determinism: the sites x rates x seeds grid
 # must merge byte-identically for any --jobs, and an armed fault site

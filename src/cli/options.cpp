@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/calibration.hpp"
 #include "common/log.hpp"
 #include "common/table.hpp"
 #include "crypto/calibrate.hpp"
@@ -189,6 +190,32 @@ const FlagSpec kFlags[] = {
      nullptr, "model the TEE-IO hardware path (CC)",
      [](Options &o, const std::string &, std::string &) {
          o.tee_io = true;
+         return true;
+     }},
+    {"--overlap",
+     kRunLike | bit(Command::Sweep) | bit(Command::Faults)
+         | bit(Command::Snapshot),
+     "MODE",
+     "channel overlap tier: none|double-buffer|speculative "
+     "(sweep: comma list or \"all\", gridded as an axis)",
+     [](Options &o, const std::string &v, std::string &error) {
+         // Sweep accepts a list; validation of the list shape
+         // happens at grid build.  Single-run commands validate the
+         // one mode here so errors surface at parse time.
+         if (v != "all") {
+             for (const auto &name : splitList(v)) {
+                 if (!tee::parseOverlapMode(name)) {
+                     error = "bad --overlap value '" + name
+                         + "' (none|double-buffer|speculative)";
+                     return false;
+                 }
+             }
+             if (splitList(v).empty()) {
+                 error = "empty --overlap value";
+                 return false;
+             }
+         }
+         o.overlap = v;
          return true;
      }},
     {"--faults",
@@ -499,6 +526,9 @@ usage()
         "                   inject deterministic faults on the CC\n"
         "                   stack (run/compare/trace); `hccsim\n"
         "                   faults` sweeps sites x rates x seeds\n"
+        "  --overlap M      CC copy-pipeline tier: none|double-\n"
+        "                   buffer|speculative (sweep grids a comma\n"
+        "                   list or `all`; see docs/OVERLAP.md)\n"
         "  --jobs N         worker threads (compare/sweep/faults)\n"
         "  --fork-point P   none|auto|FRACTION: where sweep/faults\n"
         "                   cut cells into a shared prefix and a\n"
@@ -632,10 +662,34 @@ parseArgs(const std::vector<std::string> &args, std::string &error)
       case Command::Help:
         break;
     }
+    // Only sweep grids --overlap as an axis; everywhere else it must
+    // resolve to exactly one tier.
+    if (!opt.overlap.empty() && opt.command != Command::Sweep
+        && !tee::parseOverlapMode(opt.overlap)) {
+        error = "--overlap takes a single mode outside sweep "
+                "(none|double-buffer|speculative)";
+        return std::nullopt;
+    }
     return opt;
 }
 
 namespace {
+
+/** Resolve --overlap to the one tier single-run commands take.
+ *  Revalidated here because runCli() is also a library entry point:
+ *  tests and tools build Options directly. */
+tee::OverlapMode
+singleOverlap(const Options &opt)
+{
+    if (opt.overlap.empty())
+        return tee::OverlapMode::None;
+    const auto mode = tee::parseOverlapMode(opt.overlap);
+    if (!mode)
+        fatal("--overlap '%s' is not a single overlap tier "
+              "(none|double-buffer|speculative)",
+              opt.overlap.c_str());
+    return *mode;
+}
 
 workloads::WorkloadResult
 runOnce(const Options &opt, bool cc)
@@ -645,6 +699,7 @@ runOnce(const Options &opt, bool cc)
     sys.seed = opt.seed;
     sys.channel.crypto_workers = opt.crypto_workers;
     sys.channel.tee_io = opt.tee_io;
+    sys.channel.overlap = singleOverlap(opt);
     if (!opt.fault_spec.empty()) {
         // Revalidated here because runCli() is also a library entry
         // point: tests and tools build Options directly.
@@ -820,6 +875,8 @@ gridFromFlags(const Options &opt)
     grid.uvm_modes = sweep::parseModeList(opt.sweep_uvm);
     grid.scales = sweep::parseScaleList(opt.sweep_scales);
     grid.seeds = sweep::parseSeedList(opt.sweep_seeds);
+    if (!opt.overlap.empty())
+        grid.overlaps = sweep::parseOverlapList(opt.overlap);
     grid.crypto_workers = opt.crypto_workers;
     grid.tee_io = opt.tee_io;
     return grid;
@@ -836,6 +893,7 @@ campaignFromFlags(const Options &opt)
     spec.scale = opt.scale;
     spec.crypto_workers = opt.crypto_workers;
     spec.tee_io = opt.tee_io;
+    spec.overlap = singleOverlap(opt);
     if (opt.fault_sites == "all") {
         spec.sites.assign(fault::allSites().begin(),
                           fault::allSites().end());
@@ -966,6 +1024,7 @@ runCli(const Options &opt, std::ostream &os)
             grid.uvm_modes = {opt.uvm};
             grid.scales = {opt.scale};
             grid.seeds = {opt.seed};
+            grid.overlaps = {singleOverlap(opt)};
             grid.crypto_workers = opt.crypto_workers;
             grid.tee_io = opt.tee_io;
             const int jobs = std::min(
@@ -1135,6 +1194,46 @@ runCli(const Options &opt, std::ostream &os)
            << "; largest single-event slack "
            << formatTime(max_slack)
            << " (overlap headroom, see `hccsim critical`)\n";
+        // Predicted-vs-achieved overlap mitigation: the analytic CC
+        // copy rate of each tier (perfmodel) next to an actual CC
+        // run of that tier.  "Recovery" is the fraction of CC
+        // overhead a tier wins back — predicted on per-byte H2D cost
+        // above the pinned-PCIe floor, achieved on end-to-end time
+        // above the base run.
+        os << "\n";
+        TextTable ot("overlap mitigation (predicted vs achieved)");
+        ot.header({"overlap", "pred h2d GB/s", "pred d2h GB/s",
+                   "pred recovery", "cc end-to-end", "achieved"});
+        const double none_cost = 1.0
+            / perfmodel::ccPredictedRateGbps(tee::OverlapMode::None,
+                                             /*d2h=*/false);
+        const double link_cost = 1.0 / calib::kPciePinnedGBs;
+        SimTime none_e2e = 0;
+        for (const tee::OverlapMode mode :
+             {tee::OverlapMode::None, tee::OverlapMode::DoubleBuffer,
+              tee::OverlapMode::Speculative}) {
+            Options cell = opt;
+            cell.overlap = tee::overlapModeName(mode);
+            const auto run = runOnce(cell, true);
+            if (mode == tee::OverlapMode::None)
+                none_e2e = run.end_to_end;
+            const double rate = perfmodel::ccPredictedRateGbps(
+                mode, /*d2h=*/false);
+            const double pred = none_cost > link_cost
+                ? (none_cost - 1.0 / rate) / (none_cost - link_cost)
+                : 0.0;
+            const double achieved = none_e2e > base.end_to_end
+                ? static_cast<double>(none_e2e - run.end_to_end)
+                    / static_cast<double>(none_e2e - base.end_to_end)
+                : 0.0;
+            ot.row({tee::overlapModeName(mode), formatGbs(rate),
+                    formatGbs(perfmodel::ccPredictedRateGbps(
+                        mode, /*d2h=*/true)),
+                    TextTable::pct(100.0 * pred),
+                    formatTime(run.end_to_end),
+                    TextTable::pct(100.0 * achieved)});
+        }
+        ot.print(os);
         return 0;
       }
 
@@ -1165,6 +1264,7 @@ runCli(const Options &opt, std::ostream &os)
         sys.seed = opt.seed;
         sys.channel.crypto_workers = opt.crypto_workers;
         sys.channel.tee_io = opt.tee_io;
+        sys.channel.overlap = singleOverlap(opt);
         workloads::WorkloadParams params;
         params.uvm = opt.uvm;
         params.scale = opt.scale;

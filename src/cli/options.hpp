@@ -62,6 +62,12 @@ struct Options
     int crypto_workers = 1;
     /** Model the hypothetical TEE-IO hardware path. */
     bool tee_io = false;
+    /**
+     * Channel overlap tier (none|double-buffer|speculative).  For
+     * sweep this is a comma list (or "all") gridded as its own axis;
+     * everywhere else a single tier.  Empty = "none".
+     */
+    std::string overlap;
     /** Write the run's stats registry as JSON (run/compare/trace). */
     std::string stats_out;
     /** Global log threshold name ("" = leave the default). */

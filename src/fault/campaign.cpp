@@ -199,6 +199,7 @@ runFaultCampaign(const CampaignSpec &spec, int jobs)
             shard.group.sys.channel.crypto_workers =
                 spec.crypto_workers;
             shard.group.sys.channel.tee_io = spec.tee_io;
+            shard.group.sys.channel.overlap = spec.overlap;
             shard.group.params.uvm = spec.uvm;
             shard.group.params.scale = spec.scale;
             shard.group.params.seed = spec.seeds[g];

@@ -25,6 +25,7 @@
 #include "common/thread_pool.hpp"
 #include "fault/fault.hpp"
 #include "snap/fork.hpp"
+#include "tee/secure_channel.hpp"
 #include "workloads/workload.hpp"
 
 namespace hcc::fault {
@@ -42,6 +43,9 @@ struct CampaignSpec
     int crypto_workers = 1;
     /** Model TEE-I/O (TDISP) instead of bounce-buffer CC. */
     bool tee_io = false;
+    /** Channel overlap tier every cell runs under (the spec.miss
+     *  site only fires in Speculative mode). */
+    tee::OverlapMode overlap = tee::OverlapMode::None;
     /** Fault sites to exercise (empty is invalid; the CLI defaults
      *  to allSites()). */
     std::vector<Site> sites;

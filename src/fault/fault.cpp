@@ -19,6 +19,7 @@ const char *const kSiteNames[kSiteCount] = {
     "pcie.replay",
     "tdx.ept_storm",
     "uvm.thrash",
+    "spec.miss",
 };
 
 } // namespace
@@ -30,6 +31,7 @@ allSites()
         Site::ChannelTagMismatch, Site::SpdmHandshake,
         Site::BounceExhausted,    Site::PcieReplay,
         Site::TdxEptStorm,        Site::UvmThrash,
+        Site::SpecMiss,
     };
     return sites;
 }

@@ -51,9 +51,10 @@ enum class Site
     PcieReplay,         //!< link-layer replay: payload retransmitted
     TdxEptStorm,        //!< EPT-violation storm: extra guest exits
     UvmThrash,          //!< migrated pages faulted right back
+    SpecMiss,           //!< speculative IV prediction missed; re-seal
 };
 
-inline constexpr int kSiteCount = 6;
+inline constexpr int kSiteCount = 7;
 
 /** All sites, in enum order. */
 const std::array<Site, kSiteCount> &allSites();

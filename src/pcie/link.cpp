@@ -10,7 +10,7 @@ namespace hcc::pcie {
 PcieLink::PcieLink(const LinkConfig &config, obs::Registry *obs,
                    fault::Injector *fault)
     : config_(config), h2d_("pcie.h2d"), d2h_("pcie.d2h"),
-      fault_(fault)
+      obs_(obs), fault_(fault)
 {
     if (config_.effective_gbps <= 0.0)
         fatal("pcie link bandwidth must be positive");
@@ -70,6 +70,17 @@ PcieLink::dma(SimTime ready, Bytes bytes, Direction dir, double gbps)
         stats.transactions->add(1);
         stats.bytes->add(bytes);
         stats.busy_ps->add(static_cast<std::uint64_t>(iv.duration()));
+        if (replay_extra > 0) {
+            // The replayed payload went over the wire a second time;
+            // account it separately so bytes_* keeps counting the
+            // logical payload exactly once.
+            if (!stats.replay_bytes)
+                stats.replay_bytes = &obs_->counter(
+                    dir == Direction::HostToDevice
+                        ? "pcie.link.replay_bytes_h2d"
+                        : "pcie.link.replay_bytes_d2h");
+            stats.replay_bytes->add(bytes);
+        }
     }
     return iv;
 }

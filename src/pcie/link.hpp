@@ -47,7 +47,10 @@ class PcieLink
   public:
     /**
      * @p obs (optional) receives per-direction DMA stats under
-     * "pcie.link.{transactions,bytes,busy_ps}_{h2d,d2h}".
+     * "pcie.link.{transactions,bytes,busy_ps}_{h2d,d2h}", plus
+     * "pcie.link.replay_bytes_{h2d,d2h}" (lazily, on the first
+     * injected replay) counting payload bytes retransmitted by the
+     * pcie.replay fault site.
      * @p fault (optional) arms the "pcie.replay" fault site: an
      * injected replay retransmits the payload and pays a fixed
      * link-layer penalty inside the granted interval.
@@ -79,13 +82,21 @@ class PcieLink
 
     void reset();
 
-    /** Snapshot support: both direction timelines. */
+    /** Snapshot support: both direction timelines.  The lazily
+     *  created replay counters may post-date the capture — the
+     *  registry erases such entries on restore, so drop the handles
+     *  and let the next replay re-create them (same contract as
+     *  fault::Injector::snapState). */
     template <class Ar>
     void
     snapState(Ar &ar)
     {
         h2d_.snapState(ar);
         d2h_.snapState(ar);
+        if constexpr (Ar::kLoading) {
+            obs_h2d_.replay_bytes = nullptr;
+            obs_d2h_.replay_bytes = nullptr;
+        }
     }
 
   private:
@@ -98,6 +109,15 @@ class PcieLink
         obs::Counter *transactions = nullptr;
         obs::Counter *bytes = nullptr;
         obs::Counter *busy_ps = nullptr;
+        /**
+         * Payload bytes re-sent by injected pcie.replay faults.
+         * Kept out of `bytes` (which counts the logical payload
+         * once) so bytes/busy utilization derivations can subtract
+         * the replay traffic explicitly.  Created lazily on the
+         * first replay so unarmed runs keep their stats dumps
+         * byte-identical.
+         */
+        obs::Counter *replay_bytes = nullptr;
     };
 
     LinkConfig config_;
@@ -105,6 +125,7 @@ class PcieLink
     sim::Timeline d2h_;
     DirStats obs_h2d_;
     DirStats obs_d2h_;
+    obs::Registry *obs_ = nullptr;
     fault::Injector *fault_ = nullptr;
 };
 

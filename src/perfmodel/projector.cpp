@@ -17,22 +17,12 @@ namespace {
 using namespace calib;
 
 /** Effective CC transfer rate per direction (the pipeline
- *  bottleneck, see SecureChannel::workerChunkCost). */
+ *  bottleneck at the serial baseline, see
+ *  SecureChannel::workerChunkCost). */
 double
 ccRateGbps(bool d2h)
 {
-    crypto::CpuCryptoModel model(crypto::CpuKind::IntelEmr);
-    const double gcm =
-        model.throughputGBs(crypto::CipherAlgo::AesGcm128);
-    // Per-MiB worker time: encrypt + bounce copy (+ inbound page
-    // scrubbing on D2H).
-    const double mib = 1024.0 * 1024.0;
-    double us_per_mib = mib / (gcm * 1e3) + mib / (kBounceCopyGBs * 1e3);
-    if (d2h) {
-        us_per_mib += static_cast<double>(kCcInboundPerPage) * 1e-6
-            * (mib / static_cast<double>(kUvmPageBytes));
-    }
-    return mib / (us_per_mib * 1e3);
+    return ccPredictedRateGbps(tee::OverlapMode::None, d2h);
 }
 
 /** Expected (deterministic) part of a warm launch's cost. */
@@ -53,6 +43,41 @@ warmLaunchMean(bool cc)
 }
 
 } // namespace
+
+double
+ccPredictedRateGbps(tee::OverlapMode mode, bool d2h, int spec_depth)
+{
+    crypto::CpuCryptoModel model(crypto::CpuKind::IntelEmr);
+    const double gcm =
+        model.throughputGBs(crypto::CipherAlgo::AesGcm128);
+    // Per-MiB stage times: encrypt, and the bounce copy (+ inbound
+    // page scrubbing on D2H).
+    const double mib = 1024.0 * 1024.0;
+    const double seal_us = mib / (gcm * 1e3);
+    double copy_us = mib / (kBounceCopyGBs * 1e3);
+    if (d2h) {
+        copy_us += static_cast<double>(kCcInboundPerPage) * 1e-6
+            * (mib / static_cast<double>(kUvmPageBytes));
+    }
+    const double seal_rate = mib / (seal_us * 1e3);
+    const double copy_rate = mib / (copy_us * 1e3);
+    // The software stage(s) feeding the link.
+    double front = 0.0;
+    switch (mode) {
+    case tee::OverlapMode::None:
+        front = mib / ((seal_us + copy_us) * 1e3);
+        break;
+    case tee::OverlapMode::DoubleBuffer:
+        front = std::min(seal_rate, copy_rate);
+        break;
+    case tee::OverlapMode::Speculative:
+        front = std::min(
+            seal_rate * static_cast<double>(std::max(1, spec_depth)),
+            copy_rate);
+        break;
+    }
+    return std::min({front, kPciePinnedGBs, kGpuCryptoGBs});
+}
 
 std::string
 CcProjection::report() const

@@ -20,9 +20,23 @@
 #include <string>
 
 #include "common/units.hpp"
+#include "tee/secure_channel.hpp"
 #include "trace/tracer.hpp"
 
 namespace hcc::perfmodel {
+
+/**
+ * Predicted steady-state CC transfer rate in GB/s for an overlap
+ * tier, from the calibrated constants alone (no simulation): the
+ * analytic mirror of SecureChannel::steadyStateGbps at one crypto
+ * worker.  None fuses seal + bounce copy into one serial stage;
+ * DoubleBuffer overlaps them but keeps seals serialized; Speculative
+ * runs up to @p spec_depth seals concurrently.  `hccsim project`
+ * compares these against achieved per-mode rates to report
+ * predicted-vs-achieved recovery.
+ */
+double ccPredictedRateGbps(tee::OverlapMode mode, bool d2h,
+                           int spec_depth = 4);
 
 /** Outcome of projecting a base trace into CC mode. */
 struct CcProjection

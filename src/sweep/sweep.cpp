@@ -102,7 +102,7 @@ std::size_t
 GridSpec::cellCount() const
 {
     return apps.size() * cc_modes.size() * uvm_modes.size()
-        * scales.size() * seeds.size();
+        * scales.size() * seeds.size() * overlaps.size();
 }
 
 std::string
@@ -114,6 +114,11 @@ RunCell::label() const
         out += ".uvm";
     out += ".x" + formatScale(scale);
     out += ".s" + std::to_string(seed);
+    // The serial tier is elided so pre-overlap labels stay stable.
+    if (overlap != tee::OverlapMode::None) {
+        out += '.';
+        out += tee::overlapModeName(overlap);
+    }
     return out;
 }
 
@@ -136,16 +141,21 @@ expandGrid(const GridSpec &grid)
             for (bool uvm : grid.uvm_modes) {
                 for (double scale : grid.scales) {
                     for (std::uint64_t seed : grid.seeds) {
-                        RunCell cell;
-                        cell.index = cells.size();
-                        cell.app = app;
-                        cell.cc = cc;
-                        cell.uvm = uvm;
-                        cell.scale = scale;
-                        cell.seed = seed;
-                        cell.crypto_workers = grid.crypto_workers;
-                        cell.tee_io = grid.tee_io;
-                        cells.push_back(std::move(cell));
+                        for (tee::OverlapMode overlap :
+                             grid.overlaps) {
+                            RunCell cell;
+                            cell.index = cells.size();
+                            cell.app = app;
+                            cell.cc = cc;
+                            cell.uvm = uvm;
+                            cell.scale = scale;
+                            cell.seed = seed;
+                            cell.overlap = overlap;
+                            cell.crypto_workers =
+                                grid.crypto_workers;
+                            cell.tee_io = grid.tee_io;
+                            cells.push_back(std::move(cell));
+                        }
                     }
                 }
             }
@@ -198,6 +208,7 @@ runSweep(const GridSpec &grid, int jobs, obs::Registry *sweep_obs)
             fork_group.sys.channel.crypto_workers =
                 first.crypto_workers;
             fork_group.sys.channel.tee_io = first.tee_io;
+            fork_group.sys.channel.overlap = first.overlap;
             fork_group.params.uvm = first.uvm;
             fork_group.params.scale = first.scale;
             fork_group.params.seed = first.seed;
@@ -299,6 +310,26 @@ parseScaleList(const std::string &csv)
     return out;
 }
 
+std::vector<tee::OverlapMode>
+parseOverlapList(const std::string &csv)
+{
+    if (trim(csv) == "all")
+        return {tee::OverlapMode::None, tee::OverlapMode::DoubleBuffer,
+                tee::OverlapMode::Speculative};
+    std::vector<tee::OverlapMode> out;
+    for (const auto &item : splitCsv(csv)) {
+        const auto mode = tee::parseOverlapMode(item);
+        if (!mode)
+            fatal("bad overlap mode '%s' "
+                  "(none|double-buffer|speculative|all)",
+                  item.c_str());
+        out.push_back(*mode);
+    }
+    if (out.empty())
+        fatal("empty overlap list '%s'", csv.c_str());
+    return out;
+}
+
 std::vector<std::uint64_t>
 parseSeedList(const std::string &csv)
 {
@@ -356,6 +387,8 @@ parseGridSpecImpl(const std::string &text)
             grid.scales = parseScaleList(value);
         } else if (key == "seeds") {
             grid.seeds = parseSeedList(value);
+        } else if (key == "overlap") {
+            grid.overlaps = parseOverlapList(value);
         } else if (key == "crypto-workers") {
             int v = 0;
             try {

@@ -28,14 +28,15 @@
 #include "obs/registry.hpp"
 #include "obs/stats_io.hpp"
 #include "snap/fork.hpp"
+#include "tee/secure_channel.hpp"
 #include "workloads/workload.hpp"
 
 namespace hcc::sweep {
 
 /**
  * Declarative run-grid.  Cells are expanded in input order: apps
- * (outer) x cc_modes x uvm_modes x scales x seeds (inner); that
- * order is the merge order of every output.
+ * (outer) x cc_modes x uvm_modes x scales x seeds x overlaps
+ * (inner); that order is the merge order of every output.
  */
 struct GridSpec
 {
@@ -49,6 +50,8 @@ struct GridSpec
     std::vector<double> scales = {1.0};
     /** RNG seeds. */
     std::vector<std::uint64_t> seeds = {42};
+    /** Channel overlap tiers to run each cell under. */
+    std::vector<tee::OverlapMode> overlaps = {tee::OverlapMode::None};
     /** Parallel encryption workers in the CC transfer path. */
     int crypto_workers = 1;
     /** Model the hypothetical TEE-IO hardware path. */
@@ -80,10 +83,13 @@ struct RunCell
     bool uvm = false;
     double scale = 1.0;
     std::uint64_t seed = 42;
+    tee::OverlapMode overlap = tee::OverlapMode::None;
     int crypto_workers = 1;
     bool tee_io = false;
 
-    /** Stable human/machine id, e.g. "2mm.cc.uvm.x2.s7". */
+    /** Stable human/machine id, e.g. "2mm.cc.uvm.x2.s7"; an overlap
+     *  tier other than `none` appends its name, e.g.
+     *  "2mm.cc.x1.s42.speculative". */
     std::string label() const;
 };
 
@@ -137,6 +143,7 @@ SweepResult runSweep(const GridSpec &grid, int jobs,
  * Parse a sweep grid spec.  Line-oriented `key = value` pairs, '#'
  * comments; keys: apps (comma list or "all"), cc (on|off|both),
  * uvm (on|off|both), scales (comma list), seeds (comma list),
+ * overlap (comma list of none|double-buffer|speculative),
  * crypto-workers (int), tee-io (on|off), fork-point
  * (none|auto|fraction), snapshot (on|off).
  * @return the grid, or a ParseError status with a line-numbered
@@ -158,6 +165,13 @@ std::vector<double> parseScaleList(const std::string &csv);
 
 /** Parse a comma list of seeds.  @throws FatalError. */
 std::vector<std::uint64_t> parseSeedList(const std::string &csv);
+
+/**
+ * Parse a comma list of overlap tiers
+ * (none|double-buffer|speculative), or "all" for every tier in
+ * enum order.  @throws FatalError.
+ */
+std::vector<tee::OverlapMode> parseOverlapList(const std::string &csv);
 
 /** Load and parse a grid spec file (IoError when unreadable). */
 Result<GridSpec> loadGridFile(const std::string &path);

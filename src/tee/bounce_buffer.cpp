@@ -34,25 +34,33 @@ BounceBufferPool::acquire(SimTime ready)
         slot.index = free_.back();
         free_.pop_back();
         slot.acquired_at = ready;
-    } else {
+    } else if (!busy_until_heap_.empty()) {
         // Wait for the earliest release.
-        HCC_ASSERT(!busy_until_heap_.empty(),
-                   "pool has no slots at all");
         const auto [release_time, index] = busy_until_heap_.top();
         busy_until_heap_.pop();
         slot.index = index;
         slot.acquired_at = std::max(ready, release_time);
-        if (slot.acquired_at > ready) {
-            ++contention_;
-            contention_time_ += slot.acquired_at - ready;
-            if (obs_contention_events_) {
-                obs_contention_events_->add(1);
-                obs_contention_wait_ps_->add(
-                    static_cast<std::uint64_t>(slot.acquired_at
-                                               - ready));
-            }
+    } else {
+        // Every slot is currently *held* — acquired, release not yet
+        // recorded.  That is a legitimate state once bounce_slots
+        // transfers are genuinely in flight; queue behind the oldest
+        // hold.  Its release time is unknown in program order, so the
+        // best deterministic bound is the latest release recorded so
+        // far (the pool cannot fully recycle before it has drained).
+        HCC_ASSERT(!held_.empty(), "pool has no slots at all");
+        slot.index = held_.front();
+        slot.acquired_at = std::max(ready, latest_release_);
+    }
+    if (slot.acquired_at > ready) {
+        ++contention_;
+        contention_time_ += slot.acquired_at - ready;
+        if (obs_contention_events_) {
+            obs_contention_events_->add(1);
+            obs_contention_wait_ps_->add(
+                static_cast<std::uint64_t>(slot.acquired_at - ready));
         }
     }
+    held_.push_back(slot.index);
     ++in_use_;
     if (obs_acquires_) {
         obs_acquires_->add(1);
@@ -67,12 +75,19 @@ BounceBufferPool::release(const BounceSlot &slot, SimTime when)
     HCC_ASSERT(slot.index >= 0
                && slot.index < static_cast<int>(buffers_.size()),
                "invalid bounce slot");
+    const auto it = std::find(held_.begin(), held_.end(), slot.index);
+    HCC_ASSERT(it != held_.end(), "release of a slot never acquired");
+    held_.erase(it);
     // Released slots park on the min-heap keyed by release time and
     // are recycled by acquire(): the heap pop hands back the slot
     // with the earliest release, waiting for it if necessary.  The
     // free list only holds never-used slots, so the two sets stay
-    // disjoint by construction.
-    busy_until_heap_.emplace(when, slot.index);
+    // disjoint by construction.  When the same index is still held by
+    // a queued acquisition (oversubscribed pool), the slot is not yet
+    // recyclable — only the final release parks it.
+    if (std::find(held_.begin(), held_.end(), slot.index)
+        == held_.end())
+        busy_until_heap_.emplace(when, slot.index);
     latest_release_ = std::max(latest_release_, when);
     --in_use_;
     if (obs_occupancy_)

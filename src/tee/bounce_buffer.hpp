@@ -16,6 +16,7 @@
 #define HCC_TEE_BOUNCE_BUFFER_HPP
 
 #include <cstdint>
+#include <deque>
 #include <queue>
 #include <vector>
 
@@ -52,6 +53,11 @@ class BounceBufferPool
     /**
      * Acquire a slot at time @p ready; if all slots are busy, the
      * acquisition time is pushed to the earliest outstanding release.
+     * When every slot is *held* (acquired, release not yet recorded —
+     * a deep pipeline with bounce_slots transfers genuinely in
+     * flight), the acquisition queues behind the oldest hold and is
+     * pushed to the latest release recorded so far (the earliest
+     * deterministic bound for a future release).
      */
     BounceSlot acquire(SimTime ready);
 
@@ -62,9 +68,11 @@ class BounceBufferPool
     std::vector<std::uint8_t> &storage(const BounceSlot &slot);
 
     Bytes slotBytes() const { return slot_bytes_; }
-    int slotCount() const { return static_cast<int>(free_.size()
-        + busy_until_heap_.size()); }
+    int slotCount() const { return static_cast<int>(buffers_.size()); }
     int freeSlots() const { return static_cast<int>(free_.size()); }
+
+    /** Holds outstanding right now (acquired, not yet released). */
+    int heldSlots() const { return static_cast<int>(held_.size()); }
 
     /** Total times a caller had to wait for a slot. */
     std::uint64_t contentionEvents() const { return contention_; }
@@ -81,15 +89,19 @@ class BounceBufferPool
     /**
      * Snapshot support: free list, busy heap (re-pushed in sorted
      * order on restore — heap layout is not observable, only pop
-     * order is), and the contention totals.  Slot byte storage is
-     * per-transfer scratch, fully rewritten before each use, so its
-     * content is not captured.
+     * order is), the outstanding-hold FIFO and the contention
+     * totals.  Slot byte storage is per-transfer scratch, fully
+     * rewritten before each use, so its content is not captured.
      */
     template <class Ar>
     void
     snapState(Ar &ar)
     {
         ar.podVec(free_);
+        std::vector<int> held(held_.begin(), held_.end());
+        ar.podVec(held);
+        if constexpr (Ar::kLoading)
+            held_.assign(held.begin(), held.end());
         std::vector<std::pair<SimTime, int>> busy;
         if constexpr (Ar::kLoading) {
             ar.podVec(busy);
@@ -114,6 +126,10 @@ class BounceBufferPool
     Bytes slot_bytes_;
     std::vector<std::vector<std::uint8_t>> buffers_;
     std::vector<int> free_;
+    // Outstanding holds in acquisition order (may repeat an index
+    // when acquisitions queue behind a held slot).  A slot is in
+    // exactly one place: free list, busy heap, or here.
+    std::deque<int> held_;
     // Min-heap of (release_time, slot) for busy slots.
     std::priority_queue<std::pair<SimTime, int>,
                         std::vector<std::pair<SimTime, int>>,

@@ -9,14 +9,77 @@
 
 namespace hcc::tee {
 
+namespace {
+
+/**
+ * Crypto-worker pool width for a config: Speculative mode widens the
+ * pool to the speculation depth so that many seals can actually run
+ * ahead of the link.
+ */
+int
+cryptoPoolWidth(const ChannelConfig &config)
+{
+    const int workers = std::max(1, config.crypto_workers);
+    if (config.overlap == OverlapMode::Speculative)
+        return std::max(workers, config.spec_depth);
+    return workers;
+}
+
+/**
+ * IV for retry attempt @p attempt (1-based) of a chunk whose primary
+ * sequence draw is @p primary.  Attempt 1 is the primary itself;
+ * retries re-key byte 4 (the top byte of the 64-bit counter) with
+ * the attempt index.  The variants are unique as long as fewer than
+ * 2^56 IVs have been issued on the channel — far beyond any transfer
+ * volume the model sees — and, crucially, derivation consumes no
+ * extra sequence positions, so the IV stream advances by exactly one
+ * per chunk on every functional path.
+ */
+crypto::GcmIv
+ivForAttempt(const crypto::GcmIv &primary, int attempt)
+{
+    crypto::GcmIv iv = primary;
+    if (attempt > 1)
+        iv[4] = static_cast<std::uint8_t>(attempt - 1);
+    return iv;
+}
+
+} // namespace
+
+const char *
+overlapModeName(OverlapMode mode)
+{
+    switch (mode) {
+    case OverlapMode::None:
+        return "none";
+    case OverlapMode::DoubleBuffer:
+        return "double-buffer";
+    case OverlapMode::Speculative:
+        return "speculative";
+    }
+    return "none";
+}
+
+std::optional<OverlapMode>
+parseOverlapMode(const std::string &name)
+{
+    for (const OverlapMode mode :
+         {OverlapMode::None, OverlapMode::DoubleBuffer,
+          OverlapMode::Speculative})
+        if (name == overlapModeName(mode))
+            return mode;
+    return std::nullopt;
+}
+
 SecureChannel::SecureChannel(const ChannelConfig &config,
                              const SpdmSession &session,
                              obs::Registry *obs,
                              fault::Injector *fault)
     : config_(config),
       cpu_model_(config.cpu),
-      crypto_workers_("cc.crypto", std::max(1, config.crypto_workers)),
+      crypto_workers_("cc.crypto", cryptoPoolWidth(config)),
       gpu_crypto_("cc.gpu_crypto"),
+      stage_("cc.stage"),
       pool_(config.chunk_bytes, config.bounce_slots, obs),
       gcm_(session.key(), obs),
       iv_seq_(static_cast<std::uint32_t>(session.sessionId())),
@@ -27,6 +90,9 @@ SecureChannel::SecureChannel(const ChannelConfig &config,
         fatal("secure channel chunk size must be positive");
     if (config.crypto_workers < 1)
         fatal("secure channel needs at least one crypto worker");
+    if (config.overlap == OverlapMode::Speculative
+        && config.spec_depth < 1)
+        fatal("speculative overlap needs a positive spec depth");
     if (obs) {
         crypto_workers_.attachObs(obs, "sim.timeline.cc_crypto");
         gpu_crypto_.attachObs(obs, "sim.timeline.cc_gpu_crypto");
@@ -35,16 +101,31 @@ SecureChannel::SecureChannel(const ChannelConfig &config,
         obs_bytes_h2d_ = &obs->counter("tee.bounce.bytes_h2d");
         obs_bytes_d2h_ = &obs->counter("tee.bounce.bytes_d2h");
         obs_gcm_blocks_ = &obs->counter("crypto.aes_gcm.blocks");
+        if (config_.overlap != OverlapMode::None) {
+            stage_.attachObs(obs, "sim.timeline.cc_stage");
+            obs_pipe_seal_ =
+                &obs->counter("tee.channel.pipeline.seal_busy_ps");
+            obs_pipe_stage_ =
+                &obs->counter("tee.channel.pipeline.stage_busy_ps");
+            obs_pipe_dma_ =
+                &obs->counter("tee.channel.pipeline.dma_busy_ps");
+            obs_pipe_open_ =
+                &obs->counter("tee.channel.pipeline.open_busy_ps");
+            obs_pipe_hidden_ = &obs->counter(
+                "tee.channel.pipeline.hidden_crypto_ps");
+            obs_pipe_spec_hits_ =
+                &obs->counter("tee.channel.pipeline.spec_hits");
+            obs_pipe_spec_misses_ =
+                &obs->counter("tee.channel.pipeline.spec_misses");
+        }
     }
 }
 
 SimTime
-SecureChannel::workerChunkCost(Bytes bytes, pcie::Direction dir) const
+SecureChannel::stageCopyCost(Bytes bytes, pcie::Direction dir) const
 {
-    // Steps b + c run serially on one worker: authenticated
-    // encryption at the modeled single-core rate, then a streaming
-    // copy of the ciphertext into the shared slot.
-    const SimTime encrypt = cpu_model_.cost(config_.algo, bytes, 1);
+    // Step c: a streaming copy of the ciphertext into (or out of)
+    // the shared slot.
     SimTime copy = transferTime(bytes, config_.bounce_copy_gbps);
     if (dir == pcie::Direction::DeviceToHost) {
         // Inbound data lands in shared bounce pages and must be
@@ -54,7 +135,17 @@ SecureChannel::workerChunkCost(Bytes bytes, pcie::Direction dir) const
         copy += calib::kCcInboundPerPage
             * static_cast<SimTime>(pages);
     }
-    return encrypt + copy;
+    return copy;
+}
+
+SimTime
+SecureChannel::workerChunkCost(Bytes bytes, pcie::Direction dir) const
+{
+    // Steps b + c run serially on one worker: authenticated
+    // encryption at the modeled single-core rate, then the staging
+    // copy.
+    return cpu_model_.cost(config_.algo, bytes, 1)
+        + stageCopyCost(bytes, dir);
 }
 
 TransferTiming
@@ -95,6 +186,18 @@ SecureChannel::scheduleTransfer(SimTime ready, Bytes bytes,
         return timing;
     }
 
+    const SimTime done = config_.overlap == OverlapMode::None
+        ? scheduleSerial(timing, t, bytes, dir, link)
+        : schedulePipelined(timing, t, bytes, dir, link);
+    timing.total = {ready, done};
+    return timing;
+}
+
+SimTime
+SecureChannel::scheduleSerial(TransferTiming &timing, SimTime t,
+                              Bytes bytes, pcie::Direction dir,
+                              pcie::PcieLink &link)
+{
     // Chunked pipeline: worker (encrypt+copy) -> DMA -> GPU crypto.
     // For D2H the stages run in the reverse order with the same
     // bottleneck structure; we model both with the same three-stage
@@ -180,8 +283,149 @@ SecureChannel::scheduleTransfer(SimTime ready, Bytes bytes,
         }
     }
 
-    timing.total = {ready, done};
-    return timing;
+    return done;
+}
+
+SimTime
+SecureChannel::schedulePipelined(TransferTiming &timing, SimTime t,
+                                 Bytes bytes, pcie::Direction dir,
+                                 pcie::PcieLink &link)
+{
+    // Explicit staged pipeline: seal -> bounce-stage -> DMA -> GPU
+    // open, each stage on its own timeline so successive chunks
+    // overlap per stage.  DoubleBuffer keeps seals serialized behind
+    // each other (the classic one-buffer-ahead scheme); Speculative
+    // seals at chunk readiness under predicted IVs, so up to the
+    // widened worker-pool depth run concurrently ahead of the link.
+    const bool speculative =
+        config_.overlap == OverlapMode::Speculative;
+    SimTime done = t;
+    sim::Interval prev_dma{0, 0};
+    Bytes remaining = bytes;
+    while (remaining > 0) {
+        const Bytes chunk =
+            std::min<Bytes>(remaining, config_.chunk_bytes);
+        remaining -= chunk;
+        ++timing.chunks;
+
+        // Retry structure mirrors the serial path: an authentication
+        // failure re-runs all stages after an exponential backoff,
+        // and exhaustion tears the session down for re-attestation.
+        SimTime chunk_ready = t;
+        SimTime first_try_end = 0;
+        for (int attempt = 1;; ++attempt) {
+            if (obs_chunks_) {
+                obs_chunks_->add(1);
+                obs_gcm_blocks_->add((chunk + 15) / 16);
+            }
+
+            // Step b: seal on a crypto worker (encryption only; the
+            // staging copy is its own stage below).
+            const SimTime seal_cost =
+                cpu_model_.cost(config_.algo, chunk, 1);
+            SimTime seal_ready = chunk_ready;
+            if (!speculative)
+                seal_ready = std::max(seal_ready, seal_tail_);
+            auto seal =
+                crypto_workers_.reserve(seal_ready, seal_cost);
+            if (speculative && attempt == 1 && fault_
+                && fault_->shouldInject(fault::Site::SpecMiss)) {
+                // The predicted IV/sequence number was wrong: the
+                // speculatively sealed ciphertext is useless and the
+                // chunk re-seals under the real IV.  The wasted pass
+                // stays charged to the worker pool.
+                const auto reseal =
+                    crypto_workers_.reserve(seal.end, seal_cost);
+                fault_->recordRecoverySpan(fault::Site::SpecMiss,
+                                           seal.end, reseal.end);
+                timing.encrypt_busy += seal.duration();
+                if (obs_pipe_spec_misses_)
+                    obs_pipe_spec_misses_->add(1);
+                seal = reseal;
+            } else if (speculative && attempt == 1
+                       && obs_pipe_spec_hits_) {
+                obs_pipe_spec_hits_->add(1);
+            }
+            seal_tail_ = std::max(seal_tail_, seal.end);
+            timing.encrypt_busy += seal.duration();
+            // Seal time hidden behind the wire: the part of this
+            // seal overlapping the previous chunk's DMA interval.
+            if (prev_dma.end > prev_dma.start) {
+                const SimTime lo =
+                    std::max(seal.start, prev_dma.start);
+                const SimTime hi = std::min(seal.end, prev_dma.end);
+                if (hi > lo)
+                    timing.hidden_crypto += hi - lo;
+            }
+
+            // Step c: copy the ciphertext into a bounce slot; the
+            // slot is pinned from the copy until the DMA drains it.
+            auto slot = pool_.acquire(seal.end);
+            if (fault_
+                && fault_->shouldInject(fault::Site::BounceExhausted)) {
+                const SimTime drained = std::max(
+                    slot.acquired_at, pool_.latestRelease());
+                if (drained > slot.acquired_at) {
+                    fault_->recordRecoverySpan(
+                        fault::Site::BounceExhausted,
+                        slot.acquired_at, drained);
+                    slot.acquired_at = drained;
+                }
+            }
+            const auto stg = stage_.reserve(
+                slot.acquired_at, stageCopyCost(chunk, dir));
+            timing.stage_busy += stg.duration();
+
+            // Step d: DMA out of the slot.
+            const auto dma = link.dma(stg.end, chunk, dir);
+            timing.dma_busy += dma.duration();
+            pool_.release(slot, dma.end);
+
+            // Step e: the GPU engine authenticates and decrypts.
+            const auto gpu = gpu_crypto_.reserve(
+                dma.end, transferTime(chunk, config_.gpu_crypto_gbps));
+            timing.gpu_crypto_busy += gpu.duration();
+
+            const bool tag_failed = fault_
+                && fault_->shouldInject(fault::Site::ChannelTagMismatch);
+            if (!tag_failed) {
+                if (attempt > 1)
+                    fault_->recordRecoverySpan(
+                        fault::Site::ChannelTagMismatch,
+                        first_try_end, gpu.end);
+                prev_dma = dma;
+                done = std::max(done, gpu.end);
+                break;
+            }
+            if (attempt == 1)
+                first_try_end = gpu.end;
+            if (attempt >= fault::kMaxTransferAttempts) {
+                const SimTime resume =
+                    gpu.end + SpdmSession::kHandshakeCost;
+                fault_->recordRecoverySpan(
+                    fault::Site::ChannelTagMismatch,
+                    first_try_end, resume);
+                t = resume;
+                done = std::max(done, resume);
+                break;
+            }
+            chunk_ready = gpu.end + fault::retryBackoff(attempt);
+        }
+    }
+
+    if (obs_pipe_seal_) {
+        obs_pipe_seal_->add(
+            static_cast<std::uint64_t>(timing.encrypt_busy));
+        obs_pipe_stage_->add(
+            static_cast<std::uint64_t>(timing.stage_busy));
+        obs_pipe_dma_->add(
+            static_cast<std::uint64_t>(timing.dma_busy));
+        obs_pipe_open_->add(
+            static_cast<std::uint64_t>(timing.gpu_crypto_busy));
+        obs_pipe_hidden_->add(
+            static_cast<std::uint64_t>(timing.hidden_crypto));
+    }
+    return done;
 }
 
 double
@@ -190,16 +434,36 @@ SecureChannel::steadyStateGbps(const pcie::PcieLink &link,
 {
     if (config_.tee_io)
         return link.config().effective_gbps * calib::kTeeIoEfficiency;
-    // One worker processes a chunk in workerChunkCost; with w workers
-    // w chunks are in flight, scaling the stage rate by w.
-    const double one_worker_gbps =
-        static_cast<double>(config_.chunk_bytes)
+    const double link_gbps = link.config().effective_gbps;
+    const double chunk = static_cast<double>(config_.chunk_bytes);
+    if (config_.overlap == OverlapMode::None) {
+        // One worker processes a chunk in workerChunkCost; with w
+        // workers w chunks are in flight, scaling the stage rate by w.
+        const double one_worker_gbps = chunk
+            / (static_cast<double>(
+                   workerChunkCost(config_.chunk_bytes, dir))
+               * 1e-3);
+        const double worker_stage = one_worker_gbps
+            * static_cast<double>(crypto_workers_.size());
+        return std::min(
+            {worker_stage, link_gbps, config_.gpu_crypto_gbps});
+    }
+    // Pipelined modes: seal and staging copy are separate stages.
+    // DoubleBuffer serializes seals (one in flight); Speculative
+    // runs one per worker-pool lane.
+    const double seal_one = chunk
         / (static_cast<double>(
-               workerChunkCost(config_.chunk_bytes, dir))
+               cpu_model_.cost(config_.algo, config_.chunk_bytes, 1))
            * 1e-3);
-    const double worker_stage = one_worker_gbps
-        * static_cast<double>(crypto_workers_.size());
-    return std::min({worker_stage, link.config().effective_gbps,
+    const double seal_stage =
+        config_.overlap == OverlapMode::Speculative
+        ? seal_one * static_cast<double>(crypto_workers_.size())
+        : seal_one;
+    const double copy_stage = chunk
+        / (static_cast<double>(
+               stageCopyCost(config_.chunk_bytes, dir))
+           * 1e-3);
+    return std::min({seal_stage, copy_stage, link_gbps,
                      config_.gpu_crypto_gbps});
 }
 
@@ -260,12 +524,18 @@ SecureChannel::stageFaults(std::vector<std::uint8_t> &stage)
 Status
 SecureChannel::transferChunk(std::span<const std::uint8_t> src,
                              std::span<std::uint8_t> dst,
-                             std::size_t off, int attempts)
+                             std::size_t off,
+                             const crypto::GcmIv &primary,
+                             int first_attempt)
 {
-    for (int attempt = 1; attempt <= attempts; ++attempt) {
-        // Step b: seal the chunk.  Retries re-seal under a fresh IV:
-        // the failed ciphertext is torn down, never re-sent.
-        const auto iv = iv_seq_.next();
+    for (int attempt = first_attempt;
+         attempt <= fault::kMaxTransferAttempts; ++attempt) {
+        // Step b: seal the chunk.  Retries re-seal under the
+        // attempt-derived IV (never the failed one — that ciphertext
+        // is torn down, never re-sent) without consuming further
+        // sequence positions, so the IV stream advances identically
+        // whether or not faults fired and on which functional path.
+        const auto iv = ivForAttempt(primary, attempt);
         auto slot = pool_.acquire(0);
         auto &stage = pool_.storage(slot);
         // Exactly ciphertext || tag: the fault layer (corruption and
@@ -300,7 +570,7 @@ SecureChannel::transferChunk(std::span<const std::uint8_t> src,
     return errorf(ErrorCode::IntegrityError,
                   "chunk at offset %zu failed authentication after "
                   "%d attempts",
-                  off, attempts);
+                  off, fault::kMaxTransferAttempts);
 }
 
 Status
@@ -311,9 +581,10 @@ SecureChannel::transferFunctionalSequential(
     while (off < src.size()) {
         const std::size_t chunk = std::min<std::size_t>(
             config_.chunk_bytes, src.size() - off);
+        const auto primary = iv_seq_.next();
         Status st = transferChunk(src.subspan(off, chunk),
                                   dst.subspan(off, chunk), off,
-                                  fault::kMaxTransferAttempts);
+                                  primary, 1);
         if (!st.ok())
             return st;
         off += chunk;
@@ -404,20 +675,19 @@ SecureChannel::transferFunctionalParallel(
     });
 
     // Chunks that failed authentication retry through the sequential
-    // per-chunk path (fresh IV each attempt, same bounce slots); the
-    // parallel phases above already consumed the first attempt.
+    // per-chunk path (attempt-derived IVs off the chunk's original
+    // draw, same bounce slots); the parallel phases above already
+    // consumed attempt 1, so retries resume at attempt 2 — exactly
+    // the IVs the sequential path would have used.
     for (std::size_t i = 0; i < chunks.size(); ++i) {
         if (chunk_ok[i])
             continue;
         const Chunk &c = chunks[i];
         Status st = transferChunk(src.subspan(c.off, c.len),
                                   dst.subspan(c.off, c.len), c.off,
-                                  fault::kMaxTransferAttempts - 1);
+                                  c.iv, 2);
         if (!st.ok())
-            return errorf(ErrorCode::IntegrityError,
-                          "chunk at offset %zu failed authentication "
-                          "after %d attempts",
-                          c.off, fault::kMaxTransferAttempts);
+            return st;
     }
     return Status();
 }

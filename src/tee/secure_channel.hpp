@@ -29,7 +29,9 @@
 #define HCC_TEE_SECURE_CHANNEL_HPP
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/calibration.hpp"
@@ -44,6 +46,32 @@
 #include "tee/tdx.hpp"
 
 namespace hcc::tee {
+
+/**
+ * Transfer/compute overlap tier of the channel scheduler.
+ *
+ *  - None: the serial baseline of Sec. VI-A — chunk N+1's encryption
+ *    starts only once chunk N has fully landed on the GPU.
+ *  - DoubleBuffer: the paper's coarse mitigation — the next chunk may
+ *    seal while the previous one occupies the wire, but seals stay
+ *    serialized (one staging buffer ahead).
+ *  - Speculative: PipeLLM-style IV/sequence-number prediction — up to
+ *    spec_depth chunks seal concurrently ahead of the link; a missed
+ *    prediction (fault::Site::SpecMiss) re-seals the chunk under the
+ *    real IV and is charged as a recovery span.
+ */
+enum class OverlapMode
+{
+    None,
+    DoubleBuffer,
+    Speculative,
+};
+
+/** Canonical flag spelling: "none", "double-buffer", "speculative". */
+const char *overlapModeName(OverlapMode mode);
+
+/** Parse a canonical overlap-mode name; nullopt when unknown. */
+std::optional<OverlapMode> parseOverlapMode(const std::string &name);
 
 /** Tunables of the secure transfer path. */
 struct ChannelConfig
@@ -68,16 +96,34 @@ struct ChannelConfig
     bool tee_io = false;
     /** CPU whose crypto throughput is modeled. */
     crypto::CpuKind cpu = crypto::CpuKind::IntelEmr;
+    /** Scheduler overlap tier (see OverlapMode). */
+    OverlapMode overlap = OverlapMode::None;
+    /**
+     * Speculation depth: chunks sealed ahead under predicted IVs
+     * (Speculative mode only; the crypto-worker pool is widened to at
+     * least this many lanes so the depth is actually reachable).
+     */
+    int spec_depth = 4;
 };
 
-/** Timing breakdown of one scheduled secure transfer. */
+/**
+ * Timing breakdown of one scheduled secure transfer.
+ *
+ * Under OverlapMode::None, encrypt_busy carries the fused steps b+c
+ * (encrypt + bounce copy) and stage_busy stays 0; the pipelined
+ * modes split them: encrypt_busy is the seal stage alone (including
+ * wasted speculative passes) and stage_busy the bounce-copy stage.
+ */
 struct TransferTiming
 {
     sim::Interval total;
-    SimTime encrypt_busy = 0;   //!< CPU worker busy time (steps b+c)
+    SimTime encrypt_busy = 0;   //!< CPU worker busy time (step b [+c])
+    SimTime stage_busy = 0;     //!< bounce-copy stage busy (step c)
     SimTime dma_busy = 0;       //!< link occupancy (step d)
     SimTime gpu_crypto_busy = 0;//!< GPU engine busy time (step e)
     SimTime fixed_overhead = 0; //!< hypercalls, doorbell, setup
+    /** Seal time hidden behind the previous chunk's DMA interval. */
+    SimTime hidden_crypto = 0;
     int chunks = 0;
 };
 
@@ -94,10 +140,17 @@ class SecureChannel
      *        "crypto.aes_gcm.blocks" and, via the owned pool/GCM,
      *        the "tee.bounce.*" and "crypto.aes_gcm.*" stats.  The
      *        internal timelines attach as
-     *        "sim.timeline.cc_{crypto,gpu_crypto}.*".
+     *        "sim.timeline.cc_{crypto,gpu_crypto}.*"; the pipelined
+     *        overlap modes additionally attach the bounce-copy stage
+     *        as "sim.timeline.cc_stage.*" and publish the per-stage
+     *        "tee.channel.pipeline.{seal_busy_ps,stage_busy_ps,
+     *        dma_busy_ps,open_busy_ps,hidden_crypto_ps,spec_hits,
+     *        spec_misses}" counters (absent under OverlapMode::None
+     *        so serial stats dumps stay byte-identical).
      * @param fault optional injector arming the
-     *        "channel.tag_mismatch" and "bounce.exhausted" sites and
-     *        carrying the stage hook of the functional path.
+     *        "channel.tag_mismatch", "bounce.exhausted" and (in
+     *        Speculative mode) "spec.miss" sites and carrying the
+     *        stage hook of the functional path.
      */
     SecureChannel(const ChannelConfig &config,
                   const SpdmSession &session,
@@ -147,9 +200,12 @@ class SecureChannel
      * bit-identical to the single-worker path.
      *
      * A chunk that fails authentication (a tampered stage or an
-     * injected tag mismatch) is retried with a fresh IV up to
-     * fault::kMaxTransferAttempts times; persistent failure returns
-     * an IntegrityError Status identifying the chunk.
+     * injected tag mismatch) is retried under an attempt-derived IV
+     * up to fault::kMaxTransferAttempts times; persistent failure
+     * returns an IntegrityError Status identifying the chunk.  Each
+     * chunk consumes exactly one IV-sequence draw no matter how many
+     * retries it takes, so subsequent transfers emit identical wire
+     * bytes regardless of crypto_workers.
      *
      * @param src plaintext source.
      * @param dst destination, same size.
@@ -177,22 +233,54 @@ class SecureChannel
     {
         crypto_workers_.snapState(ar);
         gpu_crypto_.snapState(ar);
+        stage_.snapState(ar);
+        ar.pod(seal_tail_);
         pool_.snapState(ar);
         iv_seq_.snapState(ar);
         ar.pod(bytes_);
+        // The lazily created pipeline counters may post-date the
+        // capture; the registry erases such entries on restore, so
+        // drop the handles and let the next pipelined transfer
+        // re-create them (same contract as fault::Injector).
+        if constexpr (Ar::kLoading) {
+            obs_pipe_seal_ = nullptr;
+            obs_pipe_stage_ = nullptr;
+            obs_pipe_dma_ = nullptr;
+            obs_pipe_open_ = nullptr;
+            obs_pipe_hidden_ = nullptr;
+            obs_pipe_spec_hits_ = nullptr;
+            obs_pipe_spec_misses_ = nullptr;
+        }
     }
 
   private:
     /** Worker time for encrypt + bounce copy of @p bytes. */
     SimTime workerChunkCost(Bytes bytes, pcie::Direction dir) const;
 
+    /** Bounce-copy (+ D2H scrub) time for @p bytes: step c alone. */
+    SimTime stageCopyCost(Bytes bytes, pcie::Direction dir) const;
+
+    /** The serial (OverlapMode::None) chunk loop; returns done time. */
+    SimTime scheduleSerial(TransferTiming &timing, SimTime t,
+                           Bytes bytes, pcie::Direction dir,
+                           pcie::PcieLink &link);
+
+    /** The per-stage overlapped chunk pipeline; returns done time. */
+    SimTime schedulePipelined(TransferTiming &timing, SimTime t,
+                              Bytes bytes, pcie::Direction dir,
+                              pcie::PcieLink &link);
+
     /**
-     * Seal/stage/open one chunk, retrying with fresh IVs up to
-     * @p attempts times before giving up with IntegrityError.
+     * Seal/stage/open one chunk, starting at @p first_attempt of the
+     * fault::kMaxTransferAttempts budget.  Every attempt derives its
+     * IV from the chunk's single @p primary sequence draw, so retries
+     * never consume extra IV-stream positions.
      */
     Status transferChunk(std::span<const std::uint8_t> src,
                          std::span<std::uint8_t> dst,
-                         std::size_t off, int attempts);
+                         std::size_t off,
+                         const crypto::GcmIv &primary,
+                         int first_attempt);
 
     /** Expose a staged chunk to the fault layer (corrupt + hook). */
     void stageFaults(std::vector<std::uint8_t> &stage);
@@ -211,6 +299,10 @@ class SecureChannel
     crypto::CpuCryptoModel cpu_model_;
     sim::TimelinePool crypto_workers_;
     sim::Timeline gpu_crypto_;
+    /** Bounce-copy stage timeline (pipelined overlap modes only). */
+    sim::Timeline stage_;
+    /** End of the latest seal; serializes DoubleBuffer seals. */
+    SimTime seal_tail_ = 0;
     BounceBufferPool pool_;
     crypto::AesGcm gcm_;
     crypto::GcmIvSequence iv_seq_;
@@ -222,6 +314,15 @@ class SecureChannel
     obs::Counter *obs_bytes_h2d_ = nullptr;
     obs::Counter *obs_bytes_d2h_ = nullptr;
     obs::Counter *obs_gcm_blocks_ = nullptr;
+    // Per-stage pipeline counters; created only under the pipelined
+    // overlap modes so OverlapMode::None dumps stay byte-identical.
+    obs::Counter *obs_pipe_seal_ = nullptr;
+    obs::Counter *obs_pipe_stage_ = nullptr;
+    obs::Counter *obs_pipe_dma_ = nullptr;
+    obs::Counter *obs_pipe_open_ = nullptr;
+    obs::Counter *obs_pipe_hidden_ = nullptr;
+    obs::Counter *obs_pipe_spec_hits_ = nullptr;
+    obs::Counter *obs_pipe_spec_misses_ = nullptr;
 };
 
 } // namespace hcc::tee

@@ -348,6 +348,33 @@ counterValue(const obs::Registry *reg, const std::string &name)
 }
 
 /**
+ * Crypto vs link busy time for the CC copy split.  Crypto is the CPU
+ * seal plus GPU open engines, minus the seal time the pipelined
+ * overlap modes hid behind the wire (tee.channel.pipeline.
+ * hidden_crypto_ps — overlapped crypto isn't a serial cost, so
+ * attributing it to the Crypto share would double-charge the copy).
+ * Link is the PCIe occupancy plus the bounce-copy stage, which in
+ * the pipelined modes occupies its own timeline on the datapath
+ * side.  All counters read 0 when absent, so OverlapMode::None runs
+ * see exactly the historical split.
+ */
+std::pair<std::uint64_t, std::uint64_t>
+ccCopySplitBusy(const obs::Registry *obs)
+{
+    std::uint64_t crypto =
+        counterValue(obs, "sim.timeline.cc_crypto.busy_ps")
+        + counterValue(obs, "sim.timeline.cc_gpu_crypto.busy_ps");
+    const std::uint64_t hidden = counterValue(
+        obs, "tee.channel.pipeline.hidden_crypto_ps");
+    crypto -= std::min(crypto, hidden);
+    const std::uint64_t link =
+        counterValue(obs, "pcie.link.busy_ps_h2d")
+        + counterValue(obs, "pcie.link.busy_ps_d2h")
+        + counterValue(obs, "sim.timeline.cc_stage.busy_ps");
+    return {crypto, link};
+}
+
+/**
  * The backward binding walk shared by analyzeCritical() and
  * ForkAnalyzer: from @p start_cur, repeatedly bind to the candidate
  * predecessor that released the current event (latest finishing end
@@ -588,13 +615,9 @@ analyzeCritical(const Tracer &tracer, const obs::Registry *obs,
     // ---- crypto/link split of CC copy time -----------------------
     // The trace shows one opaque copy span; the registry knows how
     // busy the crypto engines vs the PCIe wire were.  Split on-path
-    // link time by that global ratio, exactly, in integer ps.
-    const std::uint64_t crypto_busy =
-        counterValue(obs, "sim.timeline.cc_crypto.busy_ps")
-        + counterValue(obs, "sim.timeline.cc_gpu_crypto.busy_ps");
-    const std::uint64_t link_busy =
-        counterValue(obs, "pcie.link.busy_ps_h2d")
-        + counterValue(obs, "pcie.link.busy_ps_d2h");
+    // link time by that global ratio, exactly, in integer ps
+    // (overlap-hidden crypto is deducted — see ccCopySplitBusy).
+    const auto [crypto_busy, link_busy] = ccCopySplitBusy(obs);
     const std::uint64_t split_den = crypto_busy + link_busy;
     const PathCategory copy_display =
         (split_den > 0 && crypto_busy >= link_busy)
@@ -820,12 +843,7 @@ ForkAnalyzer::analyze(const Tracer &tracer, const obs::Registry *obs)
         return out;
     }
 
-    const std::uint64_t crypto_busy =
-        counterValue(obs, "sim.timeline.cc_crypto.busy_ps")
-        + counterValue(obs, "sim.timeline.cc_gpu_crypto.busy_ps");
-    const std::uint64_t link_busy =
-        counterValue(obs, "pcie.link.busy_ps_h2d")
-        + counterValue(obs, "pcie.link.busy_ps_d2h");
+    const auto [crypto_busy, link_busy] = ccCopySplitBusy(obs);
     const std::uint64_t split_den = crypto_busy + link_busy;
 
     const auto &faults = s.fault_spans;

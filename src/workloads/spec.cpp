@@ -16,6 +16,7 @@ void registerPolybench();
 void registerRodinia();
 void registerGraphSuites();
 void registerMlApps();
+void registerTransferApps();
 
 void
 ensureSuitesRegistered()
@@ -34,6 +35,7 @@ ensureSuitesRegistered()
     registerRodinia();
     registerGraphSuites();
     registerMlApps();
+    registerTransferApps();
 }
 
 Bytes
@@ -154,10 +156,12 @@ SpecWorkload::setup(rt::Context &ctx,
         st.scratch =
             ctx.mallocDevice(scaled(spec_.scratch, params.scale));
 
-    // Per-iteration readback staging, if any phase needs it.
+    // Per-iteration streaming/readback staging, if any phase needs
+    // it (one buffer serves both directions).
     Bytes iter_bytes = 0;
     for (const auto &p : spec_.phases)
-        iter_bytes = std::max(iter_bytes, p.d2h_per_iter);
+        iter_bytes = std::max({iter_bytes, p.d2h_per_iter,
+                               p.h2d_per_iter});
     if (iter_bytes > 0) {
         st.iter_dev = ctx.mallocDevice(iter_bytes);
         st.iter_host = spec_.pinned_host
@@ -212,6 +216,10 @@ SpecWorkload::runLaunchRange(rt::Context &ctx,
                 k.uvm_alloc = st.managed.uvm_handle;
                 k.uvm_touch_bytes =
                     std::min(st.touch, st.managed.bytes);
+            }
+            if (!st.uvm && phase.h2d_per_iter > 0) {
+                ctx.memcpy(st.iter_dev, st.iter_host,
+                           phase.h2d_per_iter);
             }
             ctx.launchKernel(k);
             if (!st.uvm && phase.d2h_per_iter > 0) {

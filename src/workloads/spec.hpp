@@ -44,6 +44,14 @@ struct KernelPhase
     Bytes mem_bytes = 0;
     /** Threads per launch (occupancy for the roofline model). */
     std::int64_t threads = 256 * 1024;
+    /**
+     * Per-iteration host-to-device streaming copy, issued before
+     * each launch through a reused staging buffer (bigxfer style):
+     * moves launches x h2d_per_iter bytes while allocating only one
+     * buffer, so transfer time scales independently of the CC
+     * pinned-allocation tax.
+     */
+    Bytes h2d_per_iter = 0;
 };
 
 /** Declarative description of one application. */

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Transfer-dominated microbench apps for the overlap ablation
+ * (docs/OVERLAP.md).
+ *
+ * "bigxfer" is the fig04a large-size regime distilled into one app:
+ * hundreds of MiB of pinned H2D/D2H traffic around a near-zero
+ * kernel, so the CC bounce-buffer pipeline *is* the end-to-end time
+ * and the `--overlap` tiers separate cleanly.  It is deliberately
+ * not part of the paper's evaluation app list ("all") — grids opt in
+ * by name.
+ */
+
+#include "common/units.hpp"
+#include "workloads/spec.hpp"
+
+namespace hcc::workloads {
+
+namespace {
+
+using hcc::size::mib;
+using hcc::time::us;
+
+} // namespace
+
+void
+registerTransferApps()
+{
+    // bigxfer: stream 8 x 64 MiB of pinned H2D traffic through one
+    // reused buffer around a near-zero kernel, with a small pinned
+    // result out.  H2D dominates by construction: the streaming loop
+    // keeps the CC pinned-allocation tax off the ablation's
+    // denominator, and a large output would pay the per-page D2H
+    // scrub no overlap tier can hide.  Base runs at the pinned-PCIe
+    // rate; CC runs expose the seal/stage/DMA/open pipeline of every
+    // 4 MiB bounce chunk.
+    registerSpec(AppSpec{
+        .name = "bigxfer",
+        .suite = "micro",
+        .pinned_host = true,
+        .inputs = {mib(64)},
+        .outputs = {mib(8)},
+        .d2d_copies = {},
+        .scratch = 0,
+        .phases = {KernelPhase{.kernel = "xfer_stream_kernel",
+                               .launches = 8,
+                               .ket = us(25.0),
+                               .jitter_sigma = 0.05,
+                               .h2d_per_iter = mib(64)}},
+        .uvm_capable = false,
+        .uvm_touch_override = 0,
+    });
+}
+
+} // namespace hcc::workloads

@@ -105,6 +105,27 @@ TEST(CliParse, ChannelKnobs)
                         "many"}));
 }
 
+TEST(CliParse, OverlapFlag)
+{
+    const auto o =
+        parse({"run", "--app", "x", "--overlap", "speculative"});
+    ASSERT_TRUE(o);
+    EXPECT_EQ(o->overlap, "speculative");
+    // Sweep grids the axis, so it alone takes lists and `all`.
+    EXPECT_TRUE(parse({"sweep", "--apps", "atax", "--overlap",
+                       "none,double-buffer"}));
+    EXPECT_TRUE(parse({"sweep", "--apps", "atax", "--overlap",
+                       "all"}));
+    std::string err;
+    EXPECT_FALSE(parse({"run", "--app", "x", "--overlap",
+                        "none,speculative"}, &err));
+    EXPECT_NE(err.find("single mode"), std::string::npos);
+    EXPECT_FALSE(parse({"run", "--app", "x", "--overlap", "all"}));
+    EXPECT_FALSE(parse({"run", "--app", "x", "--overlap", "warp"}));
+    EXPECT_FALSE(parse({"list", "--overlap", "none"}))
+        << "list takes no channel knobs";
+}
+
 TEST(CliRun, WorkersReduceCcSlowdown)
 {
     auto slowdown = [](int workers) {

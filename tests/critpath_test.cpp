@@ -15,6 +15,7 @@
 #include <sstream>
 
 #include "obs/registry.hpp"
+#include "tee/secure_channel.hpp"
 #include "trace/critpath.hpp"
 #include "trace/tracer.hpp"
 #include "workloads/workload.hpp"
@@ -412,6 +413,36 @@ TEST(CritPathWorkloads, CopyHeavyCellFlipsLinkToCryptoUnderCC)
     // Both partitions are exact.
     EXPECT_EQ(sharesSum(base.critical), base.critical.end_to_end);
     EXPECT_EQ(sharesSum(cc.critical), cc.critical.end_to_end);
+}
+
+TEST(CritPathWorkloads, SpeculationMovesCryptoOffTheCriticalPath)
+{
+    // Overlap-hidden seals must not be charged to Crypto: under the
+    // speculative tier the copy-heavy cell's crypto path time
+    // collapses and the crypto:link balance tilts back toward the
+    // wire (docs/OVERLAP.md).
+    const auto overlapped = [](tee::OverlapMode mode) {
+        rt::SystemConfig sys;
+        sys.cc = true;
+        sys.channel.overlap = mode;
+        workloads::WorkloadParams params;
+        return workloads::runWorkload("atax", sys, params);
+    };
+    const auto serial = overlapped(tee::OverlapMode::None);
+    const auto spec = overlapped(tee::OverlapMode::Speculative);
+    const auto ratio = [](const CriticalPath &p) {
+        return static_cast<double>(p.share(PathCategory::Crypto))
+            / static_cast<double>(p.share(PathCategory::Link));
+    };
+    EXPECT_GT(serial.critical.share(PathCategory::Crypto),
+              2 * spec.critical.share(PathCategory::Crypto));
+    EXPECT_GT(spec.critical.share(PathCategory::Link), 0);
+    EXPECT_GT(ratio(serial.critical), ratio(spec.critical));
+    EXPECT_LT(spec.end_to_end, serial.end_to_end);
+    // The partition stays exact in both tiers.
+    EXPECT_EQ(sharesSum(serial.critical),
+              serial.critical.end_to_end);
+    EXPECT_EQ(sharesSum(spec.critical), spec.critical.end_to_end);
 }
 
 TEST(CritPathWorkloads, ComputeBoundCellStaysComputeBoundUnderCC)

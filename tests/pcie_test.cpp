@@ -9,6 +9,8 @@
 
 #include "common/calibration.hpp"
 #include "common/log.hpp"
+#include "fault/fault.hpp"
+#include "obs/registry.hpp"
 #include "pcie/link.hpp"
 
 namespace hcc::pcie {
@@ -96,6 +98,40 @@ TEST(PcieLink, RejectsNonPositiveBandwidth)
     LinkConfig cfg;
     cfg.effective_gbps = 0.0;
     EXPECT_THROW(PcieLink{cfg}, FatalError);
+}
+
+TEST(PcieLink, ReplayBytesAccountedSeparately)
+{
+    // Regression: replayed payload used to vanish from the byte
+    // accounting.  It now lands in replay_bytes_* while bytes_*
+    // keeps counting goodput only.
+    obs::Registry reg;
+    fault::FaultConfig fc;
+    fc.set(fault::Site::PcieReplay, 1.0);
+    fault::Injector inj(fc, 3, &reg);
+    PcieLink link(LinkConfig{}, &reg, &inj);
+    const Bytes b = size::mib(8);
+    link.dma(0, b, Direction::HostToDevice);
+    const auto &entries = reg.entries();
+    const auto replay = entries.find("pcie.link.replay_bytes_h2d");
+    ASSERT_NE(replay, entries.end());
+    EXPECT_EQ(replay->second.counter->value(), b)
+        << "one replay retransmits the whole payload once";
+    const auto good = entries.find("pcie.link.bytes_h2d");
+    ASSERT_NE(good, entries.end());
+    EXPECT_EQ(good->second.counter->value(), b)
+        << "goodput must not double-count the replayed wire bytes";
+    EXPECT_EQ(entries.count("pcie.link.replay_bytes_d2h"), 0u)
+        << "untouched directions create no counter";
+}
+
+TEST(PcieLink, NoReplayCounterWithoutReplays)
+{
+    obs::Registry reg;
+    PcieLink link(LinkConfig{}, &reg);
+    link.dma(0, size::mib(1), Direction::HostToDevice);
+    EXPECT_EQ(reg.entries().count("pcie.link.replay_bytes_h2d"), 0u)
+        << "lazy creation keeps unfaulted dumps byte-identical";
 }
 
 } // namespace

@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "common/calibration.hpp"
 #include "perfmodel/projector.hpp"
+#include "tee/secure_channel.hpp"
 #include "runtime/context.hpp"
 #include "workloads/workload.hpp"
 
@@ -19,6 +23,37 @@ run(const std::string &app, bool cc)
     rt::SystemConfig cfg;
     cfg.cc = cc;
     return workloads::runWorkload(app, cfg);
+}
+
+TEST(Projector, PredictedOverlapRatesFollowTheTierModel)
+{
+    using tee::OverlapMode;
+    // H2D: serial pays seal+copy back to back; double-buffer is
+    // seal-limited; depth-4 speculation quadruples the seal
+    // front-end but stays under the pinned-PCIe line rate.
+    const double none = ccPredictedRateGbps(OverlapMode::None, false);
+    const double db =
+        ccPredictedRateGbps(OverlapMode::DoubleBuffer, false);
+    const double spec =
+        ccPredictedRateGbps(OverlapMode::Speculative, false);
+    EXPECT_NEAR(none, 3.02, 0.05);
+    EXPECT_NEAR(db, calib::kEmrAesGcm128GBs, 0.01);
+    EXPECT_NEAR(spec, 4 * calib::kEmrAesGcm128GBs, 0.01);
+    EXPECT_LT(spec, calib::kPciePinnedGBs);
+    // Absurd depth saturates at the wire, never beyond it.
+    EXPECT_DOUBLE_EQ(
+        ccPredictedRateGbps(OverlapMode::Speculative, false, 1000),
+        std::min(calib::kBounceCopyGBs, calib::kPciePinnedGBs));
+    // D2H: the per-page inbound scrub caps both pipelined tiers at
+    // the same bounce-copy rate — overlap cannot hide scrubbing.
+    const double db_d2h =
+        ccPredictedRateGbps(OverlapMode::DoubleBuffer, true);
+    const double spec_d2h =
+        ccPredictedRateGbps(OverlapMode::Speculative, true);
+    EXPECT_DOUBLE_EQ(db_d2h, spec_d2h);
+    EXPECT_LT(spec_d2h, db);
+    EXPECT_GT(spec_d2h,
+              ccPredictedRateGbps(OverlapMode::None, true));
 }
 
 TEST(Projector, EmptyTraceProjectsToItself)

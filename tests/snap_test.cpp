@@ -458,6 +458,35 @@ TEST(ForkCampaign, ForkAndColdCampaignsAreIdentical)
     }
 }
 
+/** Regression: two pcie.replay cells in one fork group.  The first
+ *  cell lazily creates pcie.link.replay_bytes_* and the next cell's
+ *  restore erases that post-capture entry — the link (and likewise
+ *  the channel's pipeline counters) must drop its cached handle at
+ *  restore instead of writing through it on the next replay. */
+TEST(ForkCampaign, LazyReplayCountersSurviveRepeatedRestores)
+{
+    fault::CampaignSpec spec;
+    spec.app = "gaussian";
+    spec.sites = {fault::Site::PcieReplay};
+    spec.rates = {0.25, 0.5, 0.9};
+    spec.seeds = {41};
+    spec.fork_point = {ForkPoint::Mode::Auto, 0.0};
+
+    spec.no_snapshot = false;
+    const auto fork = fault::runFaultCampaign(spec, 1);
+    spec.no_snapshot = true;
+    const auto cold = fault::runFaultCampaign(spec, 1);
+    ASSERT_EQ(fork.cells.size(), 4u); // baseline + three rates
+    EXPECT_GT(fork.snapshot_hits, 0u);
+    for (std::size_t i = 0; i < fork.cells.size(); ++i) {
+        ASSERT_TRUE(fork.cells[i].ok) << fork.cells[i].error;
+        ASSERT_TRUE(cold.cells[i].ok) << cold.cells[i].error;
+        EXPECT_EQ(fingerprint(fork.cells[i].result),
+                  fingerprint(cold.cells[i].result))
+            << "cell " << i;
+    }
+}
+
 TEST(ForkCampaign, DefaultForkPointKeepsLegacyArming)
 {
     // spdm.handshake fires during Context construction — before any
@@ -473,6 +502,46 @@ TEST(ForkCampaign, DefaultForkPointKeepsLegacyArming)
     EXPECT_EQ(out.snapshot_hits, 0u);
     EXPECT_TRUE(out.cells[0].ok);
     EXPECT_FALSE(out.cells[1].ok);
+}
+
+/** The overlap axis joins the byte-identity contract: a grid that
+ *  spins all three pipeline tiers must merge to the same bytes
+ *  whether cells replay from snapshots or cold-start. */
+TEST(ForkSweep, OverlapAxisForkMatchesColdStart)
+{
+    sweep::GridSpec grid;
+    grid.apps = {"gaussian"};
+    grid.cc_modes = {true};
+    grid.overlaps = {tee::OverlapMode::None,
+                     tee::OverlapMode::DoubleBuffer,
+                     tee::OverlapMode::Speculative};
+
+    auto merged = [](const sweep::SweepResult &r) {
+        std::ostringstream oss;
+        sweep::writeMergedStats(r, oss);
+        return oss.str();
+    };
+
+    grid.no_snapshot = true;
+    const auto cold = sweep::runSweep(grid, 1);
+    grid.no_snapshot = false;
+    const auto fork = sweep::runSweep(grid, 4);
+    ASSERT_EQ(cold.cells.size(), 3u);
+    ASSERT_EQ(fork.cells.size(), 3u);
+    for (const auto &cell : cold.cells)
+        ASSERT_TRUE(cell.ok) << cell.error;
+    for (const auto &cell : fork.cells)
+        ASSERT_TRUE(cell.ok) << cell.error;
+    EXPECT_EQ(merged(cold), merged(fork));
+    // The tiers really differ: a shared snapshot must not collapse
+    // the pipeline timing into one answer.
+    const auto e2e = [](const sweep::SweepResult &r, std::size_t i) {
+        return r.cells[i].result.end_to_end;
+    };
+    EXPECT_LT(e2e(fork, 2), e2e(fork, 0))
+        << "speculative beats serial even under fork/replay";
+    EXPECT_EQ(e2e(fork, 0), e2e(cold, 0));
+    EXPECT_EQ(e2e(fork, 2), e2e(cold, 2));
 }
 
 TEST(ForkSweep, DuplicateCellsReplayFromOneSnapshot)

@@ -117,6 +117,41 @@ TEST(GridSpecTest, LabelEncodesTheCell)
     EXPECT_EQ(cells[0].label(), "2mm.cc.uvm.x2.s7");
 }
 
+TEST(GridSpecTest, OverlapIsTheInnermostAxis)
+{
+    GridSpec grid;
+    grid.apps = {"a"};
+    grid.cc_modes = {true};
+    grid.seeds = {1, 2};
+    grid.overlaps = {tee::OverlapMode::None,
+                     tee::OverlapMode::Speculative};
+    EXPECT_EQ(grid.cellCount(), 4u);
+    const auto cells = expandGrid(grid);
+    ASSERT_EQ(cells.size(), 4u);
+    EXPECT_EQ(cells[0].overlap, tee::OverlapMode::None);
+    EXPECT_EQ(cells[1].overlap, tee::OverlapMode::Speculative);
+    EXPECT_EQ(cells[1].seed, 1u)
+        << "overlap spins faster than seeds";
+    EXPECT_EQ(cells[2].seed, 2u);
+    EXPECT_EQ(cells[3].overlap, tee::OverlapMode::Speculative);
+}
+
+TEST(GridSpecTest, LabelAppendsOnlyPipelinedTiers)
+{
+    GridSpec grid;
+    grid.apps = {"2mm"};
+    grid.cc_modes = {true};
+    grid.overlaps = {tee::OverlapMode::None,
+                     tee::OverlapMode::DoubleBuffer,
+                     tee::OverlapMode::Speculative};
+    const auto cells = expandGrid(grid);
+    ASSERT_EQ(cells.size(), 3u);
+    EXPECT_EQ(cells[0].label(), "2mm.cc.x1.s42")
+        << "serial tier keeps the pre-overlap label stable";
+    EXPECT_EQ(cells[1].label(), "2mm.cc.x1.s42.double-buffer");
+    EXPECT_EQ(cells[2].label(), "2mm.cc.x1.s42.speculative");
+}
+
 // ------------------------------------------------------ spec parsing
 
 TEST(ParseGridSpec, ParsesKeysAndComments)
@@ -159,6 +194,34 @@ TEST(ParseGridSpec, AllExpandsToEvaluationApps)
 {
     const auto apps = parseAppList("all");
     EXPECT_GT(apps.size(), 10u);
+}
+
+TEST(ParseOverlapList, ListAllAndErrors)
+{
+    EXPECT_EQ(parseOverlapList("none,speculative"),
+              (std::vector<tee::OverlapMode>{
+                  tee::OverlapMode::None,
+                  tee::OverlapMode::Speculative}));
+    EXPECT_EQ(parseOverlapList("all"),
+              (std::vector<tee::OverlapMode>{
+                  tee::OverlapMode::None,
+                  tee::OverlapMode::DoubleBuffer,
+                  tee::OverlapMode::Speculative}));
+    EXPECT_THROW(parseOverlapList("warp"), FatalError);
+    EXPECT_THROW(parseOverlapList(""), FatalError);
+}
+
+TEST(ParseGridSpec, OverlapKey)
+{
+    const auto grid = parseGridSpec("apps = atax\n"
+                                    "overlap = none, double-buffer\n")
+                          .take();
+    EXPECT_EQ(grid.overlaps,
+              (std::vector<tee::OverlapMode>{
+                  tee::OverlapMode::None,
+                  tee::OverlapMode::DoubleBuffer}));
+    EXPECT_EQ(grid.cellCount(), 4u) << "overlap multiplies cc=both";
+    EXPECT_FALSE(parseGridSpec("apps = atax\noverlap = warp\n").ok());
 }
 
 // ------------------------------------------------------- determinism

@@ -137,6 +137,39 @@ TEST(BounceBuffer, RejectsDegenerateConfig)
     EXPECT_THROW(BounceBufferPool(64, 0), FatalError);
 }
 
+TEST(BounceBuffer, AllSlotsHeldAcquiresWithoutRelease)
+{
+    // Regression: taking more holds than slots before any release
+    // used to trip the pending-release assert.  Oversubscription
+    // must reuse the oldest hold instead.
+    BounceBufferPool pool(4096, 2);
+    auto a = pool.acquire(0);
+    auto b = pool.acquire(0);
+    EXPECT_EQ(pool.heldSlots(), 2u);
+    const auto c = pool.acquire(10);
+    EXPECT_EQ(pool.heldSlots(), 3u);
+    EXPECT_EQ(c.acquired_at, 10) << "no release watermark yet";
+    pool.release(a, 100);
+    pool.release(b, 200);
+    // a's slot is still held through c, so only b's is free-able.
+    const auto d = pool.acquire(0);
+    EXPECT_EQ(d.acquired_at, 200);
+}
+
+TEST(BounceBuffer, OversubscribedHoldWaitsForReleaseWatermark)
+{
+    BounceBufferPool pool(4096, 1);
+    auto a = pool.acquire(0);
+    pool.release(a, 500);
+    auto b = pool.acquire(0);
+    EXPECT_EQ(b.acquired_at, 500) << "waits for the pending release";
+    const auto c = pool.acquire(0);
+    EXPECT_EQ(c.acquired_at, 500)
+        << "held path starts no earlier than the latest release";
+    EXPECT_EQ(pool.heldSlots(), 2u);
+    EXPECT_EQ(pool.slotCount(), 1u);
+}
+
 // ----------------------------------------------------------------- mee
 
 TEST(Mee, PrivateLinesAreUnintelligible)
@@ -329,6 +362,65 @@ TEST_F(SecureChannelTest, BounceBufferCarriesOnlyCiphertext)
     EXPECT_TRUE(ch.transferFunctional(src, dst).ok());
     EXPECT_FALSE(saw_plaintext);
     EXPECT_EQ(src, dst);
+}
+
+TEST_F(SecureChannelTest, RetriesKeepIvStreamAlignedAcrossWorkers)
+{
+    // Regression: a retried chunk used to advance the IV sequence on
+    // the sequential path but not the parallel one, so later wire
+    // bytes diverged between crypto_workers settings.  One sequence
+    // draw per chunk (retries derive their IV from the attempt
+    // ordinal) keeps both paths aligned.
+    const std::size_t n = 10 * 1024 * 1024;  // three 4 MiB chunks
+    Rng rng(11);
+    std::vector<std::uint8_t> src(n);
+    for (auto &b : src)
+        b = static_cast<std::uint8_t>(rng.next32());
+    const auto wireAfterRetry = [&](int workers) {
+        ChannelConfig cfg = cfg_;
+        cfg.crypto_workers = workers;
+        fault::Injector inj;
+        int seen = 0;
+        inj.setStageHook([&](std::vector<std::uint8_t> &stage) {
+            // Tamper the second staged chunk once: both paths must
+            // re-seal it under the attempt-derived IV.
+            if (++seen == 2)
+                stage[0] ^= 0x80;
+        });
+        SecureChannel ch(cfg, session_, nullptr, &inj);
+        std::vector<std::uint8_t> dst(n);
+        EXPECT_TRUE(ch.transferFunctional(src, dst).ok());
+        EXPECT_EQ(src, dst);
+        // The next transfer's wire bytes depend only on the IV
+        // stream position, so both worker counts must emit
+        // byte-identical ciphertext.
+        std::vector<std::uint8_t> wire;
+        inj.setStageHook([&](std::vector<std::uint8_t> &stage) {
+            wire.insert(wire.end(), stage.begin(), stage.end());
+        });
+        EXPECT_TRUE(ch.transferFunctional(src, dst).ok());
+        return wire;
+    };
+    EXPECT_EQ(wireAfterRetry(1), wireAfterRetry(4));
+}
+
+TEST_F(SecureChannelTest, ArmedFaultsRecoverOnBothFunctionalPaths)
+{
+    Rng rng(5);
+    std::vector<std::uint8_t> src(12 * 1024 * 1024);
+    for (auto &b : src)
+        b = static_cast<std::uint8_t>(rng.next32());
+    for (int workers : {1, 4}) {
+        ChannelConfig cfg = cfg_;
+        cfg.crypto_workers = workers;
+        fault::FaultConfig fc;
+        fc.set(fault::Site::ChannelTagMismatch, 0.2);
+        fault::Injector inj(fc, 1);
+        SecureChannel ch(cfg, session_, nullptr, &inj);
+        std::vector<std::uint8_t> dst(src.size());
+        ASSERT_TRUE(ch.transferFunctional(src, dst).ok());
+        EXPECT_EQ(src, dst) << "workers=" << workers;
+    }
 }
 
 TEST_F(SecureChannelTest, HypervisorTamperingIsDetected)

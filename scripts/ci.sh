@@ -172,7 +172,7 @@ cmp "$tmp/fork.json" "$tmp/cold.json"
 "$hccsim" snapshot --inspect "$tmp/llm.snap" | grep -q "trace"
 
 # Campaign-throughput smoke: a short fork-point campaign must finish
-# and its bench JSON must materialize (the tracked ≥5x fork-vs-cold
+# and its bench JSON must materialize (the tracked ≥15x fork-vs-cold
 # numbers live in BENCH_campaign.json, measured on a quiet host with
 # the Release binary — same policy as BENCH_sim.json).
 release_hccsim=build-release/tools/hccsim
@@ -189,5 +189,53 @@ cmp "$tmp/camp_fork.csv" "$tmp/camp_cold.csv"
 printf '{\n  "fork_wall": "%s",\n  "cold_wall": "%s"\n}\n' \
     "$t_fork_us" "$t_cold_us" > "$tmp/bench_campaign.json"
 test -s "$tmp/bench_campaign.json"
+
+# Snapshot-tree gate: the nested 12168-cell overlap x site x rate x
+# seed llm grid (the BENCH_campaign.json grid) must be byte-identical
+# between fork mode and the cold-split control, stable across --jobs,
+# and >= 15x faster.  Fork mode builds one cross-seed snapshot tree
+# per overlap tier; cold re-simulates the full chain per cell, so
+# this is the one long step of the script (~1 min of cold cells).
+tree_rates="$(seq -s, 0.01 0.01 0.24)"
+tree_seeds="$(seq -s, 1 24)"
+# Best-of-2 for the fork arm: its ~3 s wall is where scheduler noise
+# shows up; the ~55 s cold arm is long enough to be stable.
+tree_fork_ms=""
+for _ in 1 2; do
+    ms="$("$release_hccsim" faults --app llm \
+        --seeds "$tree_seeds" --rates "$tree_rates" --overlap all \
+        --fork-point auto/0.99 --jobs 1 \
+        --out "$tmp/tree_fork.csv" --format csv \
+        --stats-out "$tmp/tree_fork.json" \
+        | sed -n 's/.*wall \([0-9.]*\) ms$/\1/p')"
+    tree_fork_ms="$(awk -v a="$tree_fork_ms" -v b="$ms" \
+        'BEGIN { print (a == "" || b + 0 < a + 0) ? b : a }')"
+done
+"$release_hccsim" faults --app llm \
+    --seeds "$tree_seeds" --rates "$tree_rates" --overlap all \
+    --fork-point auto/0.99 --jobs 4 \
+    --out "$tmp/tree_fork4.csv" --format csv \
+    --stats-out "$tmp/tree_fork4.json" >/dev/null
+tree_cold_ms="$("$release_hccsim" faults --app llm \
+    --seeds "$tree_seeds" --rates "$tree_rates" --overlap all \
+    --fork-point auto/0.99 --no-snapshot --jobs 1 \
+    --out "$tmp/tree_cold.csv" --format csv \
+    --stats-out "$tmp/tree_cold.json" \
+    | sed -n 's/.*wall \([0-9.]*\) ms$/\1/p')"
+cmp "$tmp/tree_fork.csv" "$tmp/tree_fork4.csv"
+cmp "$tmp/tree_fork.json" "$tmp/tree_fork4.json"
+cmp "$tmp/tree_fork.csv" "$tmp/tree_cold.csv"
+cmp "$tmp/tree_fork.json" "$tmp/tree_cold.json"
+"$release_hccsim" stats-diff "$tmp/tree_cold.json" \
+    "$tmp/tree_fork.json"
+awk -v c="$tree_cold_ms" -v f="$tree_fork_ms" 'BEGIN {
+    if (!(c > 0) || !(f > 0)) {
+        print "ci: could not parse tree campaign wall times";
+        exit 1;
+    }
+    s = c / f;
+    printf "ci: snapshot-tree speedup %.2fx (cold %.1f ms / fork %.1f ms)\n", s, c, f;
+    exit (s >= 15.0 ? 0 : 1);
+}'
 
 echo "ci: all checks passed"

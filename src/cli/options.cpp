@@ -197,11 +197,11 @@ const FlagSpec kFlags[] = {
          | bit(Command::Snapshot),
      "MODE",
      "channel overlap tier: none|double-buffer|speculative "
-     "(sweep: comma list or \"all\", gridded as an axis)",
+     "(sweep/faults: comma list or \"all\", gridded as an axis)",
      [](Options &o, const std::string &v, std::string &error) {
-         // Sweep accepts a list; validation of the list shape
-         // happens at grid build.  Single-run commands validate the
-         // one mode here so errors surface at parse time.
+         // Sweep and faults accept a list; validation of the list
+         // shape happens at grid build.  Single-run commands validate
+         // the one mode here so errors surface at parse time.
          if (v != "all") {
              for (const auto &name : splitList(v)) {
                  if (!tee::parseOverlapMode(name)) {
@@ -348,8 +348,9 @@ const FlagSpec kFlags[] = {
     {"--fork-point",
      bit(Command::Sweep) | bit(Command::Faults)
          | bit(Command::Snapshot),
-     "none|auto|F",
-     "prefix/suffix cut for fork/replay (see docs/SNAPSHOT.md)",
+     "none|auto|F[/F..]",
+     "prefix/suffix cut path for fork/replay; '/'-chained cuts build "
+     "a snapshot tree (see docs/SNAPSHOT.md)",
      [](Options &o, const std::string &v, std::string &error) {
          const auto parsed = snap::parseForkPoint(v);
          if (!parsed.ok()) {
@@ -358,6 +359,14 @@ const FlagSpec kFlags[] = {
          }
          o.fork_point_spec = v;
          return true;
+     }},
+    {"--snapshot-budget", bit(Command::Sweep) | bit(Command::Faults),
+     "MIB",
+     "resident snapshot ceiling per fork group in MiB "
+     "(0 = unlimited; default 512)",
+     [](Options &o, const std::string &v, std::string &error) {
+         return applyInt(o.snapshot_budget_mib, 0,
+                         "--snapshot-budget", v, error);
      }},
     {"--no-snapshot", bit(Command::Sweep) | bit(Command::Faults),
      nullptr,
@@ -527,12 +536,14 @@ usage()
         "                   stack (run/compare/trace); `hccsim\n"
         "                   faults` sweeps sites x rates x seeds\n"
         "  --overlap M      CC copy-pipeline tier: none|double-\n"
-        "                   buffer|speculative (sweep grids a comma\n"
-        "                   list or `all`; see docs/OVERLAP.md)\n"
+        "                   buffer|speculative (sweep/faults grid a\n"
+        "                   comma list or `all`; see docs/OVERLAP.md)\n"
         "  --jobs N         worker threads (compare/sweep/faults)\n"
-        "  --fork-point P   none|auto|FRACTION: where sweep/faults\n"
-        "                   cut cells into a shared prefix and a\n"
-        "                   replayed suffix (docs/SNAPSHOT.md)\n"
+        "  --fork-point P   none|auto|FRACTION, '/'-chainable\n"
+        "                   (e.g. auto/0.95): where sweep/faults cut\n"
+        "                   cells into a shared prefix, optional\n"
+        "                   snapshot-tree segments and a replayed\n"
+        "                   suffix (docs/SNAPSHOT.md)\n"
         "  --stats-out FILE write the stats registry as JSON\n"
         "  --log-level L    debug|info|warn|error|silent\n";
 }
@@ -662,9 +673,10 @@ parseArgs(const std::vector<std::string> &args, std::string &error)
       case Command::Help:
         break;
     }
-    // Only sweep grids --overlap as an axis; everywhere else it must
-    // resolve to exactly one tier.
+    // Only sweep and faults grid --overlap as an axis; everywhere
+    // else it must resolve to exactly one tier.
     if (!opt.overlap.empty() && opt.command != Command::Sweep
+        && opt.command != Command::Faults
         && !tee::parseOverlapMode(opt.overlap)) {
         error = "--overlap takes a single mode outside sweep "
                 "(none|double-buffer|speculative)";
@@ -893,7 +905,8 @@ campaignFromFlags(const Options &opt)
     spec.scale = opt.scale;
     spec.crypto_workers = opt.crypto_workers;
     spec.tee_io = opt.tee_io;
-    spec.overlap = singleOverlap(opt);
+    if (!opt.overlap.empty())
+        spec.overlaps = sweep::parseOverlapList(opt.overlap);
     if (opt.fault_sites == "all") {
         spec.sites.assign(fault::allSites().begin(),
                           fault::allSites().end());
@@ -919,6 +932,9 @@ campaignFromFlags(const Options &opt)
     // fork/replay, which arms at the fork point instead.
     spec.fork_point = forkPointFromFlags(opt, snap::ForkPoint{});
     spec.no_snapshot = opt.no_snapshot;
+    if (opt.snapshot_budget_mib >= 0)
+        spec.snapshot_budget_bytes =
+            static_cast<std::size_t>(opt.snapshot_budget_mib) << 20;
     return spec;
 }
 
@@ -952,6 +968,9 @@ printCampaignSummary(const fault::CampaignResult &r, std::ostream &os)
     os << "\n" << (r.cells.size() - r.failures()) << "/"
        << r.cells.size() << " cells ok, wall " << formatMs(r.wall_us)
        << " ms\n";
+    if (r.snapshot_hits > 0)
+        os << r.snapshot_hits << " cells forked from snapshots, peak "
+           << r.peak_resident_bytes << " resident snapshot bytes\n";
 }
 
 } // namespace
@@ -1116,6 +1135,10 @@ runCli(const Options &opt, std::ostream &os)
         grid.fork_point = forkPointFromFlags(opt, grid.fork_point);
         if (opt.no_snapshot)
             grid.no_snapshot = true;
+        if (opt.snapshot_budget_mib >= 0)
+            grid.snapshot_budget_bytes =
+                static_cast<std::size_t>(opt.snapshot_budget_mib)
+                << 20;
         const int jobs =
             opt.jobs > 0 ? opt.jobs : ThreadPool::defaultJobs();
         obs::Registry reg;
@@ -1143,7 +1166,8 @@ runCli(const Options &opt, std::ostream &os)
         const auto spec = campaignFromFlags(opt);
         const int jobs =
             opt.jobs > 0 ? opt.jobs : ThreadPool::defaultJobs();
-        const auto result = fault::runFaultCampaign(spec, jobs);
+        obs::Registry reg;
+        const auto result = fault::runFaultCampaign(spec, jobs, &reg);
         printCampaignSummary(result, os);
         if (!opt.out_file.empty()) {
             writeFileChecked(
@@ -1255,8 +1279,8 @@ runCli(const Options &opt, std::ostream &os)
             fatal("workload '%s' is not forkable", opt.app.c_str());
         const auto fork_point = forkPointFromFlags(
             opt, snap::ForkPoint{snap::ForkPoint::Mode::Auto, 0.0});
-        const double fraction = fork_point.resolve(w);
-        if (fraction < 0.0)
+        const auto cuts = fork_point.resolvePath(w);
+        if (cuts.empty())
             fatal("--fork-point none captures nothing; use auto or "
                   "a fraction");
         rt::SystemConfig sys;
@@ -1270,12 +1294,22 @@ runCli(const Options &opt, std::ostream &os)
         params.scale = opt.scale;
         params.seed = opt.seed;
         rt::Context ctx(sys);
-        (void)w.runPrefix(ctx, params, fraction);
+        // A chained path captures the *deepest* cut: run the prefix
+        // to the first cut, then each segment to the next.  The
+        // parent link records the path this capture chains from.
+        auto resume = w.runPrefix(ctx, params, cuts[0]);
+        for (std::size_t d = 1; d < cuts.size(); ++d)
+            resume = w.runSegment(ctx, params, *resume, cuts[d]);
         snap::Snapshot snapshot;
         ctx.captureSnapshot(snapshot);
         snapshot.meta.app = opt.app;
         snapshot.meta.uvm = opt.uvm;
         snapshot.meta.fork_point = fork_point.str();
+        if (cuts.size() > 1) {
+            const std::string spec_str = fork_point.str();
+            snapshot.meta.parent =
+                spec_str.substr(0, spec_str.rfind('/'));
+        }
         const auto status =
             snap::writeSnapshotFile(opt.out_file, snapshot);
         if (!status.ok())

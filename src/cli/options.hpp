@@ -64,8 +64,8 @@ struct Options
     bool tee_io = false;
     /**
      * Channel overlap tier (none|double-buffer|speculative).  For
-     * sweep this is a comma list (or "all") gridded as its own axis;
-     * everywhere else a single tier.  Empty = "none".
+     * sweep and faults this is a comma list (or "all") gridded as its
+     * own axis; everywhere else a single tier.  Empty = "none".
      */
     std::string overlap;
     /** Write the run's stats registry as JSON (run/compare/trace). */
@@ -118,6 +118,9 @@ struct Options
     std::string fork_point_spec;
     /** sweep/faults: run split cells cold (no snapshot replay). */
     bool no_snapshot = false;
+    /** sweep/faults: resident snapshot ceiling in MiB (0 =
+     *  unlimited, -1 = flag not given, keep the spec default). */
+    int snapshot_budget_mib = -1;
     /** snapshot: inspect this snapshot file instead of capturing. */
     std::string snapshot_in;
     /** A subcommand `--help` was requested (print help, exit 0). */

@@ -1,8 +1,10 @@
 #include "fault/campaign.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <map>
+#include <utility>
 
 #include "common/log.hpp"
 #include "obs/stats_io.hpp"
@@ -90,7 +92,8 @@ counterValue(const obs::Registry &reg, const std::string &name)
 std::size_t
 CampaignSpec::cellCount() const
 {
-    return seeds.size() * (1 + sites.size() * rates.size());
+    return overlaps.size() * seeds.size()
+        * (1 + sites.size() * rates.size());
 }
 
 std::string
@@ -105,6 +108,11 @@ CampaignCell::label(const CampaignSpec &spec) const
         out += ".r" + formatDouble(rate);
     }
     out += ".s" + std::to_string(seed);
+    // Single-tier `none` campaigns keep their historical labels.
+    if (overlap != tee::OverlapMode::None) {
+        out += ".";
+        out += tee::overlapModeName(overlap);
+    }
     return out;
 }
 
@@ -122,20 +130,24 @@ expandCampaign(const CampaignSpec &spec)
 {
     std::vector<CampaignCell> cells;
     cells.reserve(spec.cellCount());
-    for (std::uint64_t seed : spec.seeds) {
-        CampaignCell base;
-        base.index = cells.size();
-        base.baseline = true;
-        base.seed = seed;
-        cells.push_back(base);
-        for (Site site : spec.sites) {
-            for (double rate : spec.rates) {
-                CampaignCell cell;
-                cell.index = cells.size();
-                cell.site = site;
-                cell.rate = rate;
-                cell.seed = seed;
-                cells.push_back(cell);
+    for (tee::OverlapMode tier : spec.overlaps) {
+        for (std::uint64_t seed : spec.seeds) {
+            CampaignCell base;
+            base.index = cells.size();
+            base.baseline = true;
+            base.seed = seed;
+            base.overlap = tier;
+            cells.push_back(base);
+            for (Site site : spec.sites) {
+                for (double rate : spec.rates) {
+                    CampaignCell cell;
+                    cell.index = cells.size();
+                    cell.site = site;
+                    cell.rate = rate;
+                    cell.seed = seed;
+                    cell.overlap = tier;
+                    cells.push_back(cell);
+                }
             }
         }
     }
@@ -143,7 +155,8 @@ expandCampaign(const CampaignSpec &spec)
 }
 
 CampaignResult
-runFaultCampaign(const CampaignSpec &spec, int jobs)
+runFaultCampaign(const CampaignSpec &spec, int jobs,
+                 obs::Registry *campaign_obs)
 {
     if (spec.sites.empty())
         fatal("fault campaign needs at least one site");
@@ -151,6 +164,8 @@ runFaultCampaign(const CampaignSpec &spec, int jobs)
         fatal("fault campaign needs at least one rate");
     if (spec.seeds.empty())
         fatal("fault campaign needs at least one seed");
+    if (spec.overlaps.empty())
+        fatal("fault campaign needs at least one overlap tier");
     for (double rate : spec.rates)
         if (rate <= 0.0 || rate > 1.0)
             fatal("campaign rate %g out of (0, 1]", rate);
@@ -165,54 +180,100 @@ runFaultCampaign(const CampaignSpec &spec, int jobs)
     result.jobs = jobs < 1 ? 1 : jobs;
     result.cells.resize(cells.size());
 
-    // Group cells by seed: every cell of one seed shares its entire
-    // unfaulted schedule (same app/scale/config, faults armed only at
-    // the fork point), so one simulated prefix serves the whole
-    // block.  When the pool is wider than the group count, groups
-    // split into contiguous shards — each shard redoes the prefix,
-    // trading some replay savings for parallelism.  Cell outputs are
-    // a pure function of the cell spec either way, so sharding (and
-    // therefore --jobs) never changes a byte of output.
     struct Shard
     {
         snap::ForkGroupSpec group;
         std::vector<std::size_t> indices;
     };
     std::vector<Shard> shards;
-    const std::size_t n_groups = spec.seeds.size();
     const std::size_t per_group =
         1 + spec.sites.size() * spec.rates.size();
-    const std::size_t shards_per_group = std::min(
-        per_group,
-        std::max<std::size_t>(
-            1, static_cast<std::size_t>(result.jobs) / n_groups));
-    const std::size_t chunk =
-        (per_group + shards_per_group - 1) / shards_per_group;
-    for (std::size_t g = 0; g < n_groups; ++g) {
-        const std::size_t begin = g * per_group;
-        const std::size_t end = begin + per_group;
-        for (std::size_t s = begin; s < end; s += chunk) {
+    const std::size_t per_tier = spec.seeds.size() * per_group;
+
+    auto baseGroup = [&](tee::OverlapMode tier) {
+        snap::ForkGroupSpec group;
+        group.app = spec.app;
+        group.sys.cc = true;
+        group.sys.channel.crypto_workers = spec.crypto_workers;
+        group.sys.channel.tee_io = spec.tee_io;
+        group.sys.channel.overlap = tier;
+        group.params.uvm = spec.uvm;
+        group.params.scale = spec.scale;
+        group.snapshot_budget_bytes = spec.snapshot_budget_bytes;
+        return group;
+    };
+
+    if (spec.fork_point.mode != snap::ForkPoint::Mode::None) {
+        // Split modes: one snapshot tree per overlap tier.  The
+        // tier's whole (seed x site x rate) block forks off one
+        // prefix simulated under a seed-independent identity seed;
+        // every cell carries a Reseed arm that switches the restored
+        // state to its own seed at the fork point, then arms its
+        // faults (cross-seed prefix sharing).  The cold control
+        // (--no-snapshot) replays the identical derivation inside
+        // runForkGroup, so grouping must not depend on the snapshot
+        // flag.
+        for (std::size_t t = 0; t < spec.overlaps.size(); ++t) {
             Shard shard;
-            shard.group.app = spec.app;
-            shard.group.sys.cc = true;
-            shard.group.sys.seed = spec.seeds[g];
-            shard.group.sys.channel.crypto_workers =
-                spec.crypto_workers;
-            shard.group.sys.channel.tee_io = spec.tee_io;
-            shard.group.sys.channel.overlap = spec.overlap;
-            shard.group.params.uvm = spec.uvm;
-            shard.group.params.scale = spec.scale;
-            shard.group.params.seed = spec.seeds[g];
-            for (std::size_t i = s; i < std::min(end, s + chunk);
-                 ++i) {
+            shard.group = baseGroup(spec.overlaps[t]);
+            const std::uint64_t ident = snap::identitySeed(
+                spec.app, shard.group.sys, shard.group.params);
+            shard.group.sys.seed = ident;
+            shard.group.params.seed = ident;
+            const std::size_t begin = t * per_tier;
+            for (std::size_t i = begin; i < begin + per_tier; ++i) {
                 snap::ForkCell fork_cell;
+                snap::ForkArm arm;
+                arm.kind = snap::ForkArm::Kind::Reseed;
+                arm.seed = cells[i].seed;
+                fork_cell.arms.push_back(arm);
                 if (!cells[i].baseline)
                     fork_cell.faults.set(cells[i].site,
                                          cells[i].rate);
-                shard.group.cells.push_back(fork_cell);
+                shard.group.cells.push_back(std::move(fork_cell));
                 shard.indices.push_back(i);
             }
             shards.push_back(std::move(shard));
+        }
+    } else {
+        // Legacy mode: group by (tier, seed) — every cell of one
+        // group shares its entire unfaulted schedule.  When the pool
+        // is wider than the group count, groups split into contiguous
+        // shards — each shard redoes the prefix, trading some replay
+        // savings for parallelism.  Cell outputs are a pure function
+        // of the cell spec either way, so sharding (and therefore
+        // --jobs) never changes a byte of output.
+        const std::size_t n_groups =
+            spec.overlaps.size() * spec.seeds.size();
+        const std::size_t shards_per_group = std::min(
+            per_group,
+            std::max<std::size_t>(
+                1, static_cast<std::size_t>(result.jobs) / n_groups));
+        const std::size_t chunk =
+            (per_group + shards_per_group - 1) / shards_per_group;
+        for (std::size_t g = 0; g < n_groups; ++g) {
+            const std::size_t begin = g * per_group;
+            const std::size_t end = begin + per_group;
+            const tee::OverlapMode tier =
+                spec.overlaps[g / spec.seeds.size()];
+            const std::uint64_t seed =
+                spec.seeds[g % spec.seeds.size()];
+            for (std::size_t s = begin; s < end; s += chunk) {
+                Shard shard;
+                shard.group = baseGroup(tier);
+                shard.group.sys.seed = seed;
+                shard.group.params.seed = seed;
+                for (std::size_t i = s; i < std::min(end, s + chunk);
+                     ++i) {
+                    snap::ForkCell fork_cell;
+                    if (!cells[i].baseline)
+                        fork_cell.faults.set(cells[i].site,
+                                             cells[i].rate);
+                    shard.group.cells.push_back(fork_cell);
+                    shard.indices.push_back(i);
+                }
+                shards.push_back(std::move(shard));
+            }
         }
     }
 
@@ -227,6 +288,9 @@ runFaultCampaign(const CampaignSpec &spec, int jobs)
 
     for (std::size_t si = 0; si < shards.size(); ++si) {
         result.snapshot_hits += outcomes[si].snapshot_hits;
+        result.peak_resident_bytes =
+            std::max(result.peak_resident_bytes,
+                     outcomes[si].peak_resident_bytes);
         for (std::size_t j = 0; j < shards[si].indices.size(); ++j) {
             const std::size_t idx = shards[si].indices[j];
             auto &cell_outcome = outcomes[si].cells[j];
@@ -240,11 +304,12 @@ runFaultCampaign(const CampaignSpec &spec, int jobs)
     }
 
     // Post-pool, main-thread: pull the fault counters out of each
-    // cell and anchor slowdowns to the same-seed baseline.
-    std::map<std::uint64_t, SimTime> baseline_e2e;
+    // cell and anchor slowdowns to the same-tier, same-seed baseline.
+    std::map<std::pair<int, std::uint64_t>, SimTime> baseline_e2e;
     for (const auto &c : result.cells)
         if (c.ok && c.cell.baseline)
-            baseline_e2e[c.cell.seed] = c.result.end_to_end;
+            baseline_e2e[{static_cast<int>(c.cell.overlap),
+                          c.cell.seed}] = c.result.end_to_end;
     for (auto &c : result.cells) {
         if (!c.ok)
             continue;
@@ -257,10 +322,22 @@ runFaultCampaign(const CampaignSpec &spec, int jobs)
             c.retry_time_ps =
                 counterValue(reg, prefix + ".retry_time_ps");
         }
-        const auto it = baseline_e2e.find(c.cell.seed);
+        const auto it = baseline_e2e.find(
+            {static_cast<int>(c.cell.overlap), c.cell.seed});
         if (it != baseline_e2e.end() && it->second > 0)
             c.slowdown = static_cast<double>(c.result.end_to_end)
                 / static_cast<double>(it->second);
+    }
+
+    if (campaign_obs != nullptr) {
+        // Post-join, caller's thread only: gauges are not
+        // thread-safe by design.  host.* wall-clock telemetry,
+        // excluded from deterministic dumps.
+        campaign_obs->gauge("host.sweep.snapshot_hits")
+            .set(static_cast<std::int64_t>(result.snapshot_hits));
+        campaign_obs->gauge("host.sweep.snapshot_resident_bytes")
+            .set(static_cast<std::int64_t>(
+                result.peak_resident_bytes));
     }
     return result;
 }

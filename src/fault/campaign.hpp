@@ -4,14 +4,22 @@
  * seed) grid and measure how each injected failure mode stretches the
  * end-to-end time relative to an unfaulted baseline of the same seed.
  *
- * A campaign expands to one rate-zero *baseline* cell per seed plus
- * one cell per (site, rate, seed) triple, in deterministic input
- * order.  Cells run through the same work-stealing pool as `hccsim
- * sweep` (common/thread_pool.hpp); each cell owns its Context /
- * Registry / Injector, so outputs are byte-identical regardless of
- * the job count.  After the pool joins, each cell's `fault.*`
- * counters are read back out of its stats registry and its slowdown
- * is computed against the same-seed baseline.
+ * A campaign expands to one rate-zero *baseline* cell per (overlap
+ * tier, seed) plus one cell per (site, rate) pair under it, in
+ * deterministic input order.  Cells run through the same
+ * work-stealing pool as `hccsim sweep` (common/thread_pool.hpp);
+ * each cell owns its Context / Registry / Injector, so outputs are
+ * byte-identical regardless of the job count.  After the pool joins,
+ * each cell's `fault.*` counters are read back out of its stats
+ * registry and its slowdown is computed against the same-tier,
+ * same-seed baseline.
+ *
+ * With a non-`none` fork point the cells of one tier form a single
+ * snapshot tree: the prefix is simulated once under a
+ * seed-independent identity seed, each seed reseeds at the fork
+ * point (cross-seed prefix sharing), and each (site, rate) leaf arms
+ * its faults on the restored state — so a 10k-cell campaign pays for
+ * one prefix per tier instead of one per cell.
  */
 
 #ifndef HCC_FAULT_CAMPAIGN_HPP
@@ -24,6 +32,7 @@
 
 #include "common/thread_pool.hpp"
 #include "fault/fault.hpp"
+#include "obs/registry.hpp"
 #include "snap/fork.hpp"
 #include "tee/secure_channel.hpp"
 #include "workloads/workload.hpp"
@@ -43,9 +52,10 @@ struct CampaignSpec
     int crypto_workers = 1;
     /** Model TEE-I/O (TDISP) instead of bounce-buffer CC. */
     bool tee_io = false;
-    /** Channel overlap tier every cell runs under (the spec.miss
-     *  site only fires in Speculative mode). */
-    tee::OverlapMode overlap = tee::OverlapMode::None;
+    /** Channel overlap tiers to exercise; each tier gets its own
+     *  baseline + grid block (the spec.miss site only fires in
+     *  Speculative mode). */
+    std::vector<tee::OverlapMode> overlaps = {tee::OverlapMode::None};
     /** Fault sites to exercise (empty is invalid; the CLI defaults
      *  to allSites()). */
     std::vector<Site> sites;
@@ -71,8 +81,15 @@ struct CampaignSpec
     /** Run split cells cold instead of snapshot-forking them (the
      *  byte-identity control arm; same outputs, no speedup). */
     bool no_snapshot = false;
+    /**
+     * Ceiling on resident in-memory snapshot bytes per fork group
+     * (0 = unlimited); over it the engine LRU-evicts interior tree
+     * snapshots and deterministically rebuilds them on demand.
+     */
+    std::size_t snapshot_budget_bytes =
+        snap::kDefaultSnapshotBudgetBytes;
 
-    /** Baseline cells + grid cells. */
+    /** Per tier: baseline cells + grid cells. */
     std::size_t cellCount() const;
 };
 
@@ -85,8 +102,12 @@ struct CampaignCell
     Site site = Site::ChannelTagMismatch;
     double rate = 0.0;
     std::uint64_t seed = 1;
+    /** Channel overlap tier this cell runs under. */
+    tee::OverlapMode overlap = tee::OverlapMode::None;
 
-    /** "cnn.baseline.s1" / "cnn.channel.tag_mismatch.r0.01.s1". */
+    /** "cnn.baseline.s1" / "cnn.channel.tag_mismatch.r0.01.s1"; an
+     *  overlap tier other than `none` appends its name, e.g.
+     *  "cnn.baseline.s1.speculative". */
     std::string label(const CampaignSpec &spec) const;
 };
 
@@ -125,21 +146,29 @@ struct CampaignResult
     /** Cells replayed from an in-memory snapshot (0 in legacy and
      *  cold-split modes). */
     std::size_t snapshot_hits = 0;
+    /** High-water mark of resident snapshot bytes over all fork
+     *  groups (also published as host.sweep.snapshot_resident_bytes
+     *  when a registry is passed to runFaultCampaign). */
+    std::size_t peak_resident_bytes = 0;
 
     std::size_t failures() const;
     bool allOk() const { return failures() == 0; }
 };
 
-/** Deterministic cell order: per seed, baseline first, then
- *  site-major x rate-minor in spec order. */
+/** Deterministic cell order: per overlap tier, per seed, baseline
+ *  first, then site-major x rate-minor in spec order. */
 std::vector<CampaignCell> expandCampaign(const CampaignSpec &spec);
 
 /**
  * Run the whole campaign across @p jobs workers.  Per-cell
  * FatalErrors become failed cells, not process death.  Output is a
- * pure function of @p spec — independent of @p jobs.
+ * pure function of @p spec — independent of @p jobs.  Host-side
+ * campaign telemetry (peak resident snapshot bytes) is published
+ * into @p campaign_obs (may be null) under "host.sweep.*", excluded
+ * from deterministic dumps.
  */
-CampaignResult runFaultCampaign(const CampaignSpec &spec, int jobs);
+CampaignResult runFaultCampaign(const CampaignSpec &spec, int jobs,
+                                obs::Registry *campaign_obs = nullptr);
 
 /** One row per cell (stable column set; failed cells keep their
  *  row with empty measurement fields). */

@@ -61,6 +61,10 @@ class CommandProcessor
     SimTime busyTime() const { return decoder_.busyTime(); }
     void reset() { decoder_.reset(); }
 
+    /** Reseed-at-fork: put the decode-jitter RNG exactly where a
+     *  processor constructed with @p seed would start. */
+    void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
+
     /** Snapshot support: decoder timeline + jitter RNG position. */
     template <class Ar>
     void

@@ -84,6 +84,19 @@ class GpuDevice
     UvmManager &uvm() { return uvm_; }
     const UvmManager &uvm() const { return uvm_; }
 
+    /**
+     * Reseed-at-fork support (snap::runForkGroup): move the jitter
+     * RNGs to the exact state a device constructed with @p seed in
+     * its GpuConfig would hold, without touching engine timelines.
+     */
+    void
+    reseedAtFork(std::uint64_t seed)
+    {
+        config_.seed = seed;
+        rng_ = Rng(seed);
+        cmd_proc_.reseed(seed ^ 0xdec0deULL);
+    }
+
     /** Snapshot support: every engine plus the jitter RNG. */
     template <class Ar>
     void

@@ -69,12 +69,9 @@ llmQuantName(LlmQuant quant)
     return quant == LlmQuant::Awq4 ? "AWQ" : "BF16";
 }
 
-namespace {
-
-/** Decode steps [state.next_step, to_step). */
 void
-llmServeSteps(rt::Context &ctx, const LlmConfig &config,
-              LlmServeState &state, int to_step)
+llmServeSegment(rt::Context &ctx, const LlmConfig &config,
+                LlmServeState &state, int to_step)
 {
     gpu::KernelDesc decode_kd;
     decode_kd.name = llmBackendName(config.backend) + "_decode";
@@ -91,8 +88,6 @@ llmServeSteps(rt::Context &ctx, const LlmConfig &config,
     }
     state.next_step = to_step;
 }
-
-} // namespace
 
 LlmServeState
 llmServePrefix(rt::Context &ctx, const LlmConfig &config,
@@ -156,7 +151,7 @@ llmServePrefix(rt::Context &ctx, const LlmConfig &config,
         ctx.deviceSynchronize();
     }
 
-    llmServeSteps(ctx, config, state,
+    llmServeSegment(ctx, config, state,
                   std::clamp(warm_steps, 0, config.gen_len));
     return state;
 }
@@ -165,7 +160,7 @@ LlmResult
 llmServeFinish(rt::Context &ctx, const LlmConfig &config,
                LlmServeState state)
 {
-    llmServeSteps(ctx, config, state, config.gen_len);
+    llmServeSegment(ctx, config, state, config.gen_len);
     const SimTime total =
         (ctx.now() - state.serve_start) + state.framework_total;
 

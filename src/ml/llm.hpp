@@ -85,6 +85,15 @@ struct LlmServeState
 LlmServeState llmServePrefix(rt::Context &ctx, const LlmConfig &config,
                              int warm_steps);
 
+/**
+ * Advance the serving loop in place: decode steps
+ * [state.next_step, to_step).  Chained fork points cut the session
+ * at several step boundaries; prefix + segments + finish issues the
+ * identical call sequence as serveLlm().
+ */
+void llmServeSegment(rt::Context &ctx, const LlmConfig &config,
+                     LlmServeState &state, int to_step);
+
 /** The remaining decode steps, result computation and frees. */
 LlmResult llmServeFinish(rt::Context &ctx, const LlmConfig &config,
                          LlmServeState state);

@@ -128,11 +128,13 @@ Context::captureSnapshot(snap::Snapshot &out)
     save("gpu", [this](snap::Saver &ar) { gpu_.snapState(ar); });
     save("trace", [this](snap::Saver &ar) { tracer_.snapState(ar); });
     // Arm the truncation fast path for restores of *this* capture on
-    // *this* Context; any earlier capture's token goes stale here.
+    // *this* Context.  Earlier captures stay armed too — their
+    // events are still a prefix of the append-only tracer — so a
+    // snapshot-tree DFS can bounce between ancestor captures without
+    // ever replaying trace bytes.
     out.origin = this;
     out.origin_token = ++snap_token_seq_;
-    snap_token_ = out.origin_token;
-    snap_trace_mark_ = tracer_.mark();
+    snap_marks_.emplace_back(out.origin_token, tracer_.mark());
 }
 
 void
@@ -163,19 +165,42 @@ Context::restoreSnapshot(const snap::Snapshot &snap)
         load("channel",
              [this](snap::Loader &ar) { channel_->snapState(ar); });
     load("gpu", [this](snap::Loader &ar) { gpu_.snapState(ar); });
-    if (snap.origin == this && snap.origin_token != 0
-        && snap.origin_token == snap_token_) {
-        // This capture's prefix is still an unchanged prefix of the
-        // append-only tracer (recording only appends, and no other
-        // capture has been restored since): rewind by truncation.
-        tracer_.truncateTo(snap_trace_mark_);
-    } else {
+    bool truncated = false;
+    if (snap.origin == this && snap.origin_token != 0) {
+        for (std::size_t i = 0; i < snap_marks_.size(); ++i) {
+            if (snap_marks_[i].first != snap.origin_token)
+                continue;
+            // This capture's events are still an unchanged prefix of
+            // the append-only tracer (recording only appends, and no
+            // foreign snapshot has been restored since): rewind by
+            // truncation.  Deeper captures' marks stop being
+            // prefixes the moment new events land past this one —
+            // drop them now.
+            tracer_.truncateTo(snap_marks_[i].second);
+            snap_marks_.resize(i + 1);
+            truncated = true;
+            break;
+        }
+    }
+    if (!truncated) {
         load("trace",
              [this](snap::Loader &ar) { tracer_.snapState(ar); });
-        // The byte load rewrote the pages; the live capture's mark
-        // no longer describes a prefix of what's in the tracer.
-        snap_token_ = 0;
+        // The byte load rewrote the pages; no live capture's mark
+        // describes a prefix of what's in the tracer any more.
+        snap_marks_.clear();
     }
+}
+
+void
+Context::reseedAtFork(std::uint64_t seed)
+{
+    config_.seed = seed;
+    // Mirror construction-time derivation exactly (see the Context
+    // constructor and deriveGpuConfig): each component's generator
+    // lands on the state it would hold freshly seeded with `seed`.
+    rng_ = Rng(seed);
+    gpu_.reseedAtFork(seed ^ 0x9e3779b97f4a7c15ULL);
+    fault_->arm(config_.faults, seed);
 }
 
 Context::StreamState &

@@ -277,6 +277,20 @@ class Context
         fault_->arm(faults, config_.seed);
     }
 
+    /**
+     * Switch every seed-derived stochastic stream to @p seed,
+     * leaving them exactly where a Context constructed with @p seed
+     * would start: the runtime jitter RNG, the GPU's KET/decode
+     * jitter RNGs and the fault injector's site streams.  This is
+     * the cross-seed fork-point step of snap::runForkGroup — a group
+     * runs one prefix under a seed-independent identity seed, then
+     * each cell reseeds to its own seed here; the cold control
+     * replays the same derivation, so fork and cold stay
+     * byte-identical.  Deterministic state (clocks, timelines,
+     * allocations, trace) is untouched.
+     */
+    void reseedAtFork(std::uint64_t seed);
+
   private:
     struct StreamState
     {
@@ -314,6 +328,18 @@ class Context
     snapRuntimeState(Ar &ar)
     {
         ar.pod(host_now_);
+        // The mutable slice of config_: armFaults() and
+        // reseedAtFork() write these, and reseedAtFork() re-arms the
+        // injector from config_.faults — a restore must rewind them
+        // or a snapshot-tree node materialized after a faulted leaf
+        // would re-arm that leaf's stale rates into its segment.
+        ar.pod(config_.seed);
+        ar.pod(config_.faults.rates);
+        // The mutable slice of config_: armFaults() and
+        // reseedAtFork() write these, and reseedAtFork() re-arms the
+        // injector from config_.faults — a restore must rewind them
+        // or a snapshot-tree node materialized after a faulted leaf
+        // would re-arm that leaf's stale rates into its segment.
         const std::size_t nstreams = ar.size(streams_.size());
         if constexpr (Ar::kLoading)
             streams_.resize(nstreams);
@@ -405,14 +431,20 @@ class Context
     ApiLabels labels_{};
 
     /**
-     * Restore-in-place fast path: the trace watermark of the live
-     * capture (the one whose token matches snap_token_).  Restoring
-     * that capture on this Context truncates the append-only tracer
-     * to the mark instead of replaying ~MBs of section bytes.  A
-     * newer capture or a foreign-snapshot restore invalidates it.
+     * Restore-in-place fast path: the trace watermarks of the live
+     * captures, in capture order.  Each capture on this Context
+     * pushes its token + mark; as long as no foreign snapshot was
+     * restored since, every stacked capture's events are still an
+     * unchanged prefix of the append-only tracer, so restoring *any*
+     * of them truncates to its mark instead of replaying ~MBs of
+     * section bytes.  Restoring entry i pops everything deeper than
+     * i (their marks no longer describe a prefix once new events are
+     * appended); a foreign-snapshot restore clears the stack.  The
+     * snapshot-tree executor leans on this: a DFS over tree nodes
+     * restores ancestors repeatedly and always hits the fast path.
      */
-    trace::Tracer::Mark snap_trace_mark_{};
-    std::uint64_t snap_token_ = 0;
+    std::vector<std::pair<std::uint64_t, trace::Tracer::Mark>>
+        snap_marks_;
     std::uint64_t snap_token_seq_ = 0;
 
     /**

@@ -101,9 +101,12 @@ class EventArena
      * Slabs above `active_` hold no live blocks and no free-list
      * nodes (free nodes are carved from allocated blocks, which only
      * ever come from slabs at or below the cursor), so dropping them
-     * is always safe.  Long campaigns call this on cell teardown —
-     * after a reset() it trims the arena back to one slab instead of
-     * holding the peak-watermark footprint for the whole run.
+     * is always safe.  Long campaigns call this on cell teardown,
+     * and every snapshot capture calls it too (EventQueue::snapState)
+     * — after a reset() it trims the arena back to one slab instead
+     * of holding the peak-watermark footprint for the whole run, and
+     * at capture time it keeps each live snapshot-tree Context at
+     * its working-set footprint rather than its historical peak.
      */
     void
     releaseFreeSlabs()

@@ -131,7 +131,8 @@ class EventQueue
     }
 
     /** Trim untouched arena slabs back to the OS (cell teardown in
-     *  long campaigns; see EventArena::releaseFreeSlabs). */
+     *  long campaigns; also invoked automatically by every snapshot
+     *  capture — see EventArena::releaseFreeSlabs). */
     void releaseFreeSlabs() { arena_.releaseFreeSlabs(); }
 
     /**
@@ -168,6 +169,13 @@ class EventQueue
         } else {
             HCC_ASSERT(canSnapshot(),
                        "pending event callback is not snapshottable");
+            // A capture marks a quiet point (the fork engine drains
+            // queues before cutting), so trim arena slabs the bump
+            // cursor left behind: a snapshot-tree campaign holds many
+            // captured Contexts alive at once, and without this each
+            // would pin its peak-watermark slab footprint for the
+            // whole campaign.
+            arena_.releaseFreeSlabs();
         }
         ar.pod(now_);
         ar.pod(seq_);

@@ -1,5 +1,6 @@
 #include "snap/snap.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <ostream>
@@ -11,7 +12,8 @@ namespace hcc::snap {
 namespace {
 
 constexpr char kMagic[8] = {'H', 'C', 'C', 'S', 'N', 'A', 'P', '1'};
-constexpr std::uint32_t kVersion = 1;
+// v2: meta gained the parent link (chained-fork tree provenance).
+constexpr std::uint32_t kVersion = 2;
 
 void
 saveMeta(Saver &ar, const SnapshotMeta &meta)
@@ -22,6 +24,7 @@ saveMeta(Saver &ar, const SnapshotMeta &meta)
     ar.pod(meta.sim_time);
     ar.str(meta.app);
     ar.str(meta.fork_point);
+    ar.str(meta.parent);
 }
 
 void
@@ -33,6 +36,7 @@ loadMeta(Loader &ar, SnapshotMeta &meta)
     ar.pod(meta.sim_time);
     ar.str(meta.app);
     ar.str(meta.fork_point);
+    ar.str(meta.parent);
 }
 
 } // namespace
@@ -147,13 +151,30 @@ printSnapshot(std::ostream &os, const Snapshot &snap)
        << (m.uvm ? "+uvm" : "") << "\n"
        << "  seed:       " << m.seed << "\n"
        << "  fork point: "
-       << (m.fork_point.empty() ? "(none)" : m.fork_point) << "\n"
-       << "  sim time:   " << formatTime(m.sim_time) << "\n"
+       << (m.fork_point.empty() ? "(none)" : m.fork_point) << "\n";
+    if (!m.parent.empty())
+        os << "  parent:     " << m.parent
+           << " (chained tree node)\n";
+    os << "  sim time:   " << formatTime(m.sim_time) << "\n"
        << "  sections:   " << snap.sections.size() << " ("
        << snap.totalBytes() << " bytes)\n";
+    // Per-section size table with each section's share of the
+    // archive payload — where tree-node memory goes at a glance.
+    std::size_t name_w = 0;
     for (const auto &s : snap.sections)
-        os << "    " << s.name << ": " << s.bytes.size()
-           << " bytes\n";
+        name_w = std::max(name_w, s.name.size());
+    const double total =
+        static_cast<double>(std::max<std::size_t>(
+            snap.totalBytes(), 1));
+    for (const auto &s : snap.sections) {
+        char pct[16];
+        std::snprintf(pct, sizeof(pct), "%5.1f%%",
+                      100.0 * static_cast<double>(s.bytes.size())
+                          / total);
+        os << "    " << s.name << ": "
+           << std::string(name_w - s.name.size(), ' ')
+           << s.bytes.size() << " bytes " << pct << "\n";
+    }
 }
 
 } // namespace hcc::snap

@@ -42,6 +42,14 @@ struct SnapshotMeta
     SimTime sim_time = 0;       //!< host clock at the fork point
     std::string app;            //!< workload name (empty: library use)
     std::string fork_point;     //!< fork-point spec that placed the cut
+    /**
+     * Parent link for snapshot-tree nodes: the fork-point path of
+     * the capture this one chains from (the cut path minus its last
+     * component), empty for a root capture.  Purely provenance — the
+     * in-memory tree holds real pointers; this records the tree
+     * shape for `hccsim snapshot` inspection.
+     */
+    std::string parent;
 };
 
 /** One named state blob (a subsystem's snapState output). */

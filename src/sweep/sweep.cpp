@@ -1,5 +1,6 @@
 #include "sweep/sweep.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -96,6 +97,37 @@ splitCsv(const std::string &csv)
     return out;
 }
 
+/**
+ * Cell identity without the seed — the cross-seed fork-group key.
+ * Mirrors RunCell::label() minus the ".s<seed>" component
+ * (crypto_workers/tee_io are grid-wide constants).
+ */
+std::string
+seedlessKey(const RunCell &cell)
+{
+    std::string out = cell.app;
+    out += cell.cc ? ".cc" : ".base";
+    if (cell.uvm)
+        out += ".uvm";
+    out += ".x" + formatScale(cell.scale);
+    if (cell.overlap != tee::OverlapMode::None) {
+        out += '.';
+        out += tee::overlapModeName(cell.overlap);
+    }
+    return out;
+}
+
+/** Whether the fork engine can actually split this cell (the seed
+ *  may then be deferred to a reseed-at-fork arm). */
+bool
+crossSeedEligible(const RunCell &cell)
+{
+    const workloads::Workload *w =
+        workloads::WorkloadRegistry::instance().find(cell.app);
+    return w != nullptr && w->forkable()
+        && !(cell.uvm && !w->supportsUvm());
+}
+
 } // namespace
 
 std::size_t
@@ -177,19 +209,25 @@ runSweep(const GridSpec &grid, int jobs, obs::Registry *sweep_obs)
     result.jobs = jobs < 1 ? 1 : jobs;
     result.cells.resize(cells.size());
 
-    // Prefix-group the grid: cells sharing their entire simulation
-    // schedule (same app/cc/uvm/scale/seed — i.e. exact duplicates,
-    // since every grid axis perturbs the schedule from the first
-    // event) form one fork group; the engine runs each group's
-    // prefix once and replays duplicates from the snapshot.  The
-    // label is the identity key (crypto_workers/tee_io are
-    // grid-wide constants).
+    // Prefix-group the grid.  Cells of a forkable app that differ
+    // only in their seed share one prefix (cross-seed sharing: the
+    // prefix runs under a seed-independent identity seed and each
+    // cell carries a reseed-at-fork arm); everything else groups by
+    // full cell identity, so only exact duplicates share.  The same
+    // grouping applies under --no-snapshot — the cold control must
+    // replay the identical derivation for the byte-identity gate.
+    const bool split_on =
+        grid.fork_point.mode != snap::ForkPoint::Mode::None;
     std::vector<std::vector<std::size_t>> groups;
     {
-        std::map<std::string, std::size_t> by_label;
+        std::map<std::string, std::size_t> by_key;
         for (std::size_t i = 0; i < cells.size(); ++i) {
+            const std::string key =
+                split_on && crossSeedEligible(cells[i])
+                    ? seedlessKey(cells[i])
+                    : cells[i].label();
             const auto [it, fresh] =
-                by_label.emplace(cells[i].label(), groups.size());
+                by_key.emplace(key, groups.size());
             if (fresh)
                 groups.emplace_back();
             groups[it->second].push_back(i);
@@ -200,20 +238,46 @@ runSweep(const GridSpec &grid, int jobs, obs::Registry *sweep_obs)
     std::vector<snap::ForkGroupOutcome> outcomes(groups.size());
     result.pool = runIndexed(
         groups.size(), result.jobs, [&](std::size_t g) {
-            const RunCell &first = cells[groups[g].front()];
+            const auto &members = groups[g];
+            const RunCell &first = cells[members.front()];
             snap::ForkGroupSpec fork_group;
             fork_group.app = first.app;
             fork_group.sys.cc = first.cc;
-            fork_group.sys.seed = first.seed;
             fork_group.sys.channel.crypto_workers =
                 first.crypto_workers;
             fork_group.sys.channel.tee_io = first.tee_io;
             fork_group.sys.channel.overlap = first.overlap;
             fork_group.params.uvm = first.uvm;
             fork_group.params.scale = first.scale;
-            fork_group.params.seed = first.seed;
-            // Sweep cells arm no faults: default ForkCells.
-            fork_group.cells.resize(groups[g].size());
+            fork_group.snapshot_budget_bytes =
+                grid.snapshot_budget_bytes;
+            // Sweep cells arm no faults: default ForkCell faults.
+            fork_group.cells.resize(members.size());
+            bool multi_seed = false;
+            for (const std::size_t i : members)
+                multi_seed |= cells[i].seed != first.seed;
+            if (multi_seed) {
+                // Cross-seed group: construct from the identity
+                // seed; each cell's own seed enters via its reseed
+                // arm at the fork point.
+                const std::uint64_t ident = snap::identitySeed(
+                    fork_group.app, fork_group.sys,
+                    fork_group.params);
+                fork_group.sys.seed = ident;
+                fork_group.params.seed = ident;
+                for (std::size_t j = 0; j < members.size(); ++j) {
+                    snap::ForkArm arm;
+                    arm.kind = snap::ForkArm::Kind::Reseed;
+                    arm.seed = cells[members[j]].seed;
+                    fork_group.cells[j].arms.push_back(arm);
+                }
+            } else {
+                // Single-seed group (exact duplicates): construct
+                // from the cell seed, exactly as before cross-seed
+                // sharing existed.
+                fork_group.sys.seed = first.seed;
+                fork_group.params.seed = first.seed;
+            }
             outcomes[g] = snap::runForkGroup(
                 fork_group, grid.fork_point, grid.no_snapshot);
         });
@@ -221,6 +285,9 @@ runSweep(const GridSpec &grid, int jobs, obs::Registry *sweep_obs)
 
     for (std::size_t g = 0; g < groups.size(); ++g) {
         result.snapshot_hits += outcomes[g].snapshot_hits;
+        result.peak_resident_bytes =
+            std::max(result.peak_resident_bytes,
+                     outcomes[g].peak_resident_bytes);
         for (std::size_t j = 0; j < groups[g].size(); ++j) {
             const std::size_t i = groups[g][j];
             auto &cell_outcome = outcomes[g].cells[j];
@@ -263,6 +330,9 @@ runSweep(const GridSpec &grid, int jobs, obs::Registry *sweep_obs)
         }
         sweep_obs->gauge("host.sweep.snapshot_hits")
             .set(static_cast<std::int64_t>(result.snapshot_hits));
+        sweep_obs->gauge("host.sweep.snapshot_resident_bytes")
+            .set(static_cast<std::int64_t>(
+                result.peak_resident_bytes));
     }
     return result;
 }
@@ -415,6 +485,19 @@ parseGridSpecImpl(const std::string &text)
             else
                 fatal("grid spec line %d: snapshot must be on|off",
                       lineno);
+        } else if (key == "snapshot-budget") {
+            long long v = -1;
+            try {
+                v = std::stoll(value);
+            } catch (...) {
+                v = -1;
+            }
+            if (v < 0)
+                fatal("grid spec line %d: snapshot-budget must be a "
+                      "MiB count >= 0 (0 = unlimited), got '%s'",
+                      lineno, value.c_str());
+            grid.snapshot_budget_bytes =
+                static_cast<std::size_t>(v) << 20;
         } else if (key == "tee-io") {
             if (value == "on")
                 grid.tee_io = true;

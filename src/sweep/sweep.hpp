@@ -57,17 +57,28 @@ struct GridSpec
     /** Model the hypothetical TEE-IO hardware path. */
     bool tee_io = false;
     /**
-     * Prefix/suffix cut for the fork engine (snap/fork.hpp).  Sweep
-     * cells share a prefix only when they are exact duplicates
-     * (every grid axis changes the schedule from the first event),
-     * so grouping is by full cell identity: repeated seeds/scales
-     * replay from one snapshot, unique cells run cold.  Sweep cells
-     * arm no faults, so every mode produces identical output; `none`
-     * disables the split entirely.
+     * Prefix/suffix cut for the fork engine (snap/fork.hpp).  Cells
+     * of a forkable app that differ only in their seed share one
+     * prefix: the group simulates it once under a seed-independent
+     * identity seed and each cell reseeds to its own seed at the
+     * fork point (cross-seed prefix sharing); chained fork points
+     * ("auto/0.95") deepen the share into a snapshot tree.  Every
+     * other axis changes the schedule from the first event, so those
+     * cells group only with exact duplicates, as before.  Sweep
+     * cells arm no faults, so fork and cold-split produce identical
+     * output; `none` disables the split entirely (and restores the
+     * pre-fork per-seed derivation).
      */
     snap::ForkPoint fork_point = {snap::ForkPoint::Mode::Auto, 0.0};
     /** Run duplicate cells cold instead of snapshot-forking them. */
     bool no_snapshot = false;
+    /**
+     * Ceiling on resident in-memory snapshot bytes per fork group
+     * (0 = unlimited); over it the engine LRU-evicts interior tree
+     * snapshots and deterministically rebuilds them on demand.
+     */
+    std::size_t snapshot_budget_bytes =
+        snap::kDefaultSnapshotBudgetBytes;
 
     /** Number of cells the grid expands to. */
     std::size_t cellCount() const;
@@ -121,6 +132,9 @@ struct SweepResult
      *  duplicate-identity group (the prefix runs once per group and
      *  all its cells, including the first, restore + replay). */
     std::size_t snapshot_hits = 0;
+    /** High-water mark of resident snapshot bytes over all groups
+     *  (also published as host.sweep.snapshot_resident_bytes). */
+    std::size_t peak_resident_bytes = 0;
 
     std::size_t failures() const;
     bool allOk() const { return failures() == 0; }
@@ -145,7 +159,8 @@ SweepResult runSweep(const GridSpec &grid, int jobs,
  * uvm (on|off|both), scales (comma list), seeds (comma list),
  * overlap (comma list of none|double-buffer|speculative),
  * crypto-workers (int), tee-io (on|off), fork-point
- * (none|auto|fraction), snapshot (on|off).
+ * (none|auto|fraction, optionally '/'-chained), snapshot (on|off),
+ * snapshot-budget (resident snapshot ceiling in MiB, 0 = unlimited).
  * @return the grid, or a ParseError status with a line-numbered
  *         message on unknown keys or bad values.
  */

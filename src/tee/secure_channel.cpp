@@ -93,6 +93,23 @@ SecureChannel::SecureChannel(const ChannelConfig &config,
     if (config.overlap == OverlapMode::Speculative
         && config.spec_depth < 1)
         fatal("speculative overlap needs a positive spec depth");
+    if (config_.overlap == OverlapMode::Speculative
+        && config_.spec_depth > std::max(1, config_.crypto_workers)) {
+        // The seal pool is silently widened (cryptoPoolWidth) past
+        // the configured worker count so the requested depth is
+        // reachable.  Warn once per process and count the condition
+        // per channel, so ablation dumps show which cells depended
+        // on the implicit widening rather than on --crypto-workers.
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            warn("speculative spec_depth %d exceeds the %d "
+                 "configured crypto worker(s); widening the seal "
+                 "pool to the depth",
+                 config_.spec_depth,
+                 std::max(1, config_.crypto_workers));
+        if (obs)
+            obs->counter("tee.channel.spec_depth_clamped").add(1);
+    }
     if (obs) {
         crypto_workers_.attachObs(obs, "sim.timeline.cc_crypto");
         gpu_crypto_.attachObs(obs, "sim.timeline.cc_gpu_crypto");

@@ -238,18 +238,41 @@ class SecureChannel
         pool_.snapState(ar);
         iv_seq_.snapState(ar);
         ar.pod(bytes_);
-        // The lazily created pipeline counters may post-date the
-        // capture; the registry erases such entries on restore, so
-        // drop the handles and let the next pipelined transfer
-        // re-create them (same contract as fault::Injector).
+        // Re-acquire the pipeline counter handles after a restore:
+        // the constructor registers them eagerly for the pipelined
+        // overlap modes, so they pre-date every capture and survive
+        // the registry's restore (which only erases entries that
+        // post-date it).  The registry's "obs" section loads before
+        // this "channel" section (Context::restoreSnapshot order),
+        // so counter() resolves against restored state.  Dropping
+        // the handles instead would silently lose the replayed
+        // suffix's pipeline accounting in fork/replay campaigns.
         if constexpr (Ar::kLoading) {
-            obs_pipe_seal_ = nullptr;
-            obs_pipe_stage_ = nullptr;
-            obs_pipe_dma_ = nullptr;
-            obs_pipe_open_ = nullptr;
-            obs_pipe_hidden_ = nullptr;
-            obs_pipe_spec_hits_ = nullptr;
-            obs_pipe_spec_misses_ = nullptr;
+            if (obs_ != nullptr
+                && config_.overlap != OverlapMode::None) {
+                obs_pipe_seal_ = &obs_->counter(
+                    "tee.channel.pipeline.seal_busy_ps");
+                obs_pipe_stage_ = &obs_->counter(
+                    "tee.channel.pipeline.stage_busy_ps");
+                obs_pipe_dma_ = &obs_->counter(
+                    "tee.channel.pipeline.dma_busy_ps");
+                obs_pipe_open_ = &obs_->counter(
+                    "tee.channel.pipeline.open_busy_ps");
+                obs_pipe_hidden_ = &obs_->counter(
+                    "tee.channel.pipeline.hidden_crypto_ps");
+                obs_pipe_spec_hits_ = &obs_->counter(
+                    "tee.channel.pipeline.spec_hits");
+                obs_pipe_spec_misses_ = &obs_->counter(
+                    "tee.channel.pipeline.spec_misses");
+            } else {
+                obs_pipe_seal_ = nullptr;
+                obs_pipe_stage_ = nullptr;
+                obs_pipe_dma_ = nullptr;
+                obs_pipe_open_ = nullptr;
+                obs_pipe_hidden_ = nullptr;
+                obs_pipe_spec_hits_ = nullptr;
+                obs_pipe_spec_misses_ = nullptr;
+            }
         }
     }
 

@@ -776,6 +776,28 @@ ForkAnalyzer::captured() const
     return impl_ != nullptr;
 }
 
+ForkAnalyzer
+ForkAnalyzer::clone() const
+{
+    HCC_ASSERT(impl_ != nullptr,
+               "ForkAnalyzer cloned before capture");
+    ForkAnalyzer out;
+    out.impl_ = std::make_unique<Impl>(*impl_);
+    return out;
+}
+
+void
+ForkAnalyzer::extendCapture(const Tracer &tracer)
+{
+    HCC_ASSERT(impl_ != nullptr,
+               "ForkAnalyzer extended before capture");
+    HCC_ASSERT(tracer.size() >= impl_->n_prefix,
+               "fork trace shorter than its captured prefix");
+    scanRange(impl_->base, tracer, impl_->n_prefix, tracer.size(),
+              /*build_graph=*/true);
+    impl_->n_prefix = tracer.size();
+}
+
 void
 ForkAnalyzer::capture(const Tracer &prefix_tracer)
 {

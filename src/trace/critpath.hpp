@@ -192,6 +192,24 @@ class ForkAnalyzer
     bool captured() const;
 
     /**
+     * Snapshot-tree support: a deep copy carrying the captured
+     * prefix scan and the memoized prefix walks.  A tree node clones
+     * its parent's analyzer and extendCapture()s it over the node's
+     * segment, so incremental critical-path analysis telescopes
+     * along the fork chain instead of rescanning deeper prefixes
+     * from scratch.
+     */
+    ForkAnalyzer clone() const;
+
+    /**
+     * Grow the captured prefix over events appended since capture()
+     * (the chained segment just run on the restored Context).
+     * Memoized prefix walks stay valid: the old prefix events are
+     * unchanged and walks only descend toward lower indices.
+     */
+    void extendCapture(const Tracer &tracer);
+
+    /**
      * Analyze a trace that extends the captured prefix.  @p tracer
      * must contain the prefix events unchanged (the restore-in-place
      * snapshot engine guarantees this).

@@ -62,6 +62,29 @@ class LlmWorkload final : public Workload
         ml::llmServeFinish(ctx, configFor(params), r->state);
     }
 
+    std::unique_ptr<Resume>
+    runSegment(rt::Context &ctx, const WorkloadParams &params,
+               const Resume &from, double to_fraction) const override
+    {
+        const auto *r = dynamic_cast<const LlmResume *>(&from);
+        if (!r)
+            fatal("llm runSegment got a foreign resume state");
+        const ml::LlmConfig cfg = configFor(params);
+        // Same decode-step rounding as runPrefix, so chained cuts
+        // tile the serving session without gaps or overlaps.
+        const double f = std::clamp(to_fraction, 0.0, 1.0);
+        const int to_step = static_cast<int>(
+            static_cast<double>(cfg.gen_len) * f);
+        auto next = std::make_unique<LlmResume>();
+        next->state = r->state;
+        ml::llmServeSegment(ctx, cfg, next->state, to_step);
+        return next;
+    }
+
+    // No reseedResume override: the serving loop keeps no
+    // workload-local stochastic state (decode durations are derived
+    // from the config, jitter lives in the Context's streams).
+
   private:
     struct LlmResume final : Resume
     {

@@ -307,6 +307,39 @@ SpecWorkload::runSuffix(rt::Context &ctx, const WorkloadParams &params,
     teardown(ctx, st);
 }
 
+std::unique_ptr<Workload::Resume>
+SpecWorkload::runSegment(rt::Context &ctx,
+                         const WorkloadParams &params,
+                         const Resume &from, double to_fraction) const
+{
+    const auto *spec_resume = dynamic_cast<const SpecResume *>(&from);
+    if (!spec_resume)
+        fatal("runSegment got a foreign resume state");
+    // Same rounding as runPrefix, so an increasing cut path tiles
+    // the launch schedule without gaps or overlaps.
+    const double f = std::clamp(to_fraction, 0.0, 1.0);
+    const int to_launch = static_cast<int>(
+        static_cast<double>(spec_.totalLaunches()) * f);
+    auto st = std::make_unique<SpecResume>(*spec_resume);
+    runLaunchRange(ctx, params, *st, to_launch);
+    return st;
+}
+
+std::unique_ptr<Workload::Resume>
+SpecWorkload::reseedResume(const Resume &resume,
+                           const WorkloadParams &params) const
+{
+    const auto *spec_resume =
+        dynamic_cast<const SpecResume *>(&resume);
+    if (!spec_resume)
+        fatal("reseedResume got a foreign resume state");
+    auto st = std::make_unique<SpecResume>(*spec_resume);
+    // Exactly what setup() under params.seed would have derived; the
+    // position state (buffers, launch cursor) carries over as-is.
+    st->rng = ketRng(spec_, params);
+    return st;
+}
+
 void
 registerSpec(AppSpec spec)
 {

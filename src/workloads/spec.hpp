@@ -113,6 +113,12 @@ class SpecWorkload : public Workload
               double fraction) const override;
     void runSuffix(rt::Context &ctx, const WorkloadParams &params,
                    const Resume &resume) const override;
+    std::unique_ptr<Resume>
+    runSegment(rt::Context &ctx, const WorkloadParams &params,
+               const Resume &from, double to_fraction) const override;
+    std::unique_ptr<Resume>
+    reseedResume(const Resume &resume,
+                 const WorkloadParams &params) const override;
 
     const AppSpec &spec() const { return spec_; }
 

@@ -33,6 +33,21 @@ Workload::runSuffix(rt::Context &, const WorkloadParams &,
     fatal("workload '%s' is not forkable", name().c_str());
 }
 
+std::unique_ptr<Workload::Resume>
+Workload::runSegment(rt::Context &, const WorkloadParams &,
+                     const Resume &, double) const
+{
+    fatal("workload '%s' is not forkable", name().c_str());
+}
+
+std::unique_ptr<Workload::Resume>
+Workload::reseedResume(const Resume &, const WorkloadParams &) const
+{
+    // No workload-local stochastic state by default; the Context's
+    // reseedAtFork() already covered everything.
+    return nullptr;
+}
+
 void
 WorkloadRegistry::add(std::unique_ptr<Workload> workload)
 {

@@ -117,6 +117,35 @@ class Workload
     virtual void runSuffix(rt::Context &ctx,
                            const WorkloadParams &params,
                            const Resume &resume) const;
+
+    /**
+     * Chained-fork support: advance @p from (the state at some cut)
+     * to the state at @p to_fraction, issuing exactly the launches
+     * run() issues between the two cuts.  The returned Resume is a
+     * new object; @p from is untouched, so a snapshot-tree node can
+     * keep handing it to every child.  The composition invariant
+     * extends the split-phase contract: for any increasing cut path
+     * f0 < f1 < ... < 1, prefix(f0) + segment(f1) + ... + suffix
+     * issues the identical API call sequence as run().  Only valid
+     * when forkable(); the default is fatal.
+     */
+    virtual std::unique_ptr<Resume>
+    runSegment(rt::Context &ctx, const WorkloadParams &params,
+               const Resume &from, double to_fraction) const;
+
+    /**
+     * Cross-seed fork support: re-derive the workload-local
+     * stochastic state of @p resume (e.g. the KET jitter stream) for
+     * @p params.seed, exactly as runPrefix under that seed would
+     * have derived it.  Deterministic position state (buffer
+     * handles, launch cursor) is copied unchanged.  Returns nullptr
+     * when the workload keeps no seed-derived state of its own — the
+     * caller then continues with @p resume as-is.  Called by the
+     * fork engine right after rt::Context::reseedAtFork().
+     */
+    virtual std::unique_ptr<Resume>
+    reseedResume(const Resume &resume,
+                 const WorkloadParams &params) const;
 };
 
 /**

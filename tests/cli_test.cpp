@@ -126,6 +126,60 @@ TEST(CliParse, OverlapFlag)
         << "list takes no channel knobs";
 }
 
+TEST(CliParse, OverlapListOnFaults)
+{
+    // The faults campaign grids the overlap axis like sweep does.
+    EXPECT_TRUE(parse({"faults", "--app", "atax", "--overlap",
+                       "none,speculative"}));
+    EXPECT_TRUE(parse({"faults", "--app", "atax", "--overlap",
+                       "all"}));
+    std::string err;
+    EXPECT_FALSE(parse({"compare", "--app", "atax", "--overlap",
+                        "all"}, &err));
+    EXPECT_NE(err.find("single mode"), std::string::npos);
+}
+
+TEST(CliParse, ForkPointPathsValidateAtParseTime)
+{
+    const auto o = parse({"faults", "--app", "atax", "--fork-point",
+                          "auto/0.95"});
+    ASSERT_TRUE(o);
+    EXPECT_EQ(o->fork_point_spec, "auto/0.95");
+
+    std::string err;
+    EXPECT_FALSE(parse({"faults", "--app", "atax", "--fork-point",
+                        "none/0.5"}, &err));
+    EXPECT_NE(err.find("cannot chain"), std::string::npos);
+    EXPECT_FALSE(parse({"faults", "--app", "atax", "--fork-point",
+                        "0.5/0.4"}, &err));
+    EXPECT_NE(err.find("strictly"), std::string::npos);
+    EXPECT_FALSE(parse({"faults", "--app", "atax", "--fork-point",
+                        "0.5/1.5"}, &err));
+    EXPECT_FALSE(parse({"faults", "--app", "atax", "--fork-point",
+                        "0.5/"}, &err));
+    EXPECT_FALSE(parse({"run", "--app", "atax", "--fork-point",
+                        "auto"}, &err));
+    EXPECT_NE(err.find("does not apply"), std::string::npos);
+}
+
+TEST(CliParse, SnapshotBudgetFlag)
+{
+    const auto o = parse({"sweep", "--apps", "atax",
+                          "--snapshot-budget", "64"});
+    ASSERT_TRUE(o);
+    EXPECT_EQ(o->snapshot_budget_mib, 64);
+    EXPECT_TRUE(parse({"faults", "--app", "atax",
+                       "--snapshot-budget", "0"}));
+    EXPECT_FALSE(parse({"sweep", "--apps", "a",
+                        "--snapshot-budget", "-1"}));
+    EXPECT_FALSE(parse({"sweep", "--apps", "a",
+                        "--snapshot-budget", "much"}));
+    std::string err;
+    EXPECT_FALSE(parse({"run", "--app", "sc", "--snapshot-budget",
+                        "64"}, &err));
+    EXPECT_NE(err.find("does not apply"), std::string::npos);
+}
+
 TEST(CliRun, WorkersReduceCcSlowdown)
 {
     auto slowdown = [](int workers) {
@@ -751,6 +805,74 @@ TEST(CliRun, SweepEmitsBottleneckColumns)
     EXPECT_NE(file.str().find("link-bound"), std::string::npos);
     EXPECT_NE(file.str().find("crypto-bound"), std::string::npos);
     std::remove(out_path.c_str());
+}
+
+// -------------------------------------------------------- snapshot
+
+TEST(CliRun, SnapshotChainedCaptureRecordsParentAndSections)
+{
+    const auto path =
+        std::string(::testing::TempDir()) + "chained.hccsnap";
+    Options cap;
+    cap.command = Command::Snapshot;
+    cap.app = "gaussian";
+    cap.cc = true;
+    cap.fork_point_spec = "auto/0.95";
+    cap.out_file = path;
+    std::ostringstream cos;
+    EXPECT_EQ(runCli(cap, cos), 0);
+    EXPECT_NE(cos.str().find("wrote"), std::string::npos);
+
+    Options ins;
+    ins.command = Command::Snapshot;
+    ins.snapshot_in = path;
+    std::ostringstream ios;
+    EXPECT_EQ(runCli(ins, ios), 0);
+    const auto out = ios.str();
+    EXPECT_NE(out.find("app:        gaussian"), std::string::npos);
+    EXPECT_NE(out.find("fork point: auto/0.95"), std::string::npos);
+    EXPECT_NE(out.find("parent:     auto"), std::string::npos)
+        << "a chained capture must record the path it forks from:\n"
+        << out;
+    // The per-section byte-size table names each subsystem.
+    EXPECT_NE(out.find("channel"), std::string::npos);
+    EXPECT_NE(out.find("trace"), std::string::npos);
+    EXPECT_NE(out.find("%"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(CliRun, SnapshotRejectsNoneForkPoint)
+{
+    Options o;
+    o.command = Command::Snapshot;
+    o.app = "gaussian";
+    o.fork_point_spec = "none";
+    o.out_file = std::string(::testing::TempDir()) + "none.hccsnap";
+    std::ostringstream oss;
+    EXPECT_THROW(runCli(o, oss), hcc::FatalError);
+}
+
+TEST(CliRun, FaultsOverlapGridPrintsTieredCellsAndForkSummary)
+{
+    Options o;
+    o.command = Command::Faults;
+    o.app = "gaussian";
+    o.fault_sites = "pcie.replay";
+    o.fault_rates = "0.5";
+    o.sweep_seeds = "1,2";
+    o.overlap = "none,speculative";
+    o.fork_point_spec = "auto";
+    o.jobs = 2;
+    std::ostringstream oss;
+    EXPECT_EQ(runCli(o, oss), 0);
+    const auto out = oss.str();
+    EXPECT_NE(out.find("gaussian.baseline.s1"), std::string::npos);
+    EXPECT_NE(out.find("gaussian.baseline.s1.speculative"),
+              std::string::npos);
+    EXPECT_NE(out.find("8/8 cells ok"), std::string::npos);
+    EXPECT_NE(out.find("forked from snapshots"), std::string::npos);
+    EXPECT_NE(out.find("resident snapshot bytes"),
+              std::string::npos);
 }
 
 } // namespace

@@ -434,6 +434,124 @@ TEST(Campaign, OutputsAreByteIdenticalAcrossJobs)
         << "merged stats must be byte-identical across --jobs";
 }
 
+TEST(Campaign, OverlapAxisExpandsTierOuterWithTierLabels)
+{
+    auto spec = smallCampaign();
+    spec.overlaps = {tee::OverlapMode::None,
+                     tee::OverlapMode::Speculative};
+    EXPECT_EQ(spec.cellCount(), 12u);
+    const auto cells = fault::expandCampaign(spec);
+    ASSERT_EQ(cells.size(), 12u);
+    // Tier is the outermost axis; the serial tier keeps the
+    // pre-overlap labels byte-stable, pipelined tiers append their
+    // name after the seed.
+    EXPECT_EQ(cells[0].overlap, tee::OverlapMode::None);
+    EXPECT_EQ(cells[0].label(spec), "atax.baseline.s1");
+    EXPECT_EQ(cells[5].overlap, tee::OverlapMode::None);
+    EXPECT_EQ(cells[6].overlap, tee::OverlapMode::Speculative);
+    EXPECT_TRUE(cells[6].baseline);
+    EXPECT_EQ(cells[6].label(spec), "atax.baseline.s1.speculative");
+    EXPECT_EQ(cells[7].label(spec),
+              "atax.channel.tag_mismatch.r1.s1.speculative");
+    EXPECT_EQ(cells[9].seed, 2u) << "seed spins inside the tier";
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        EXPECT_EQ(cells[i].index, i);
+}
+
+TEST(Campaign, RejectsEmptyOverlapList)
+{
+    auto spec = smallCampaign();
+    spec.overlaps.clear();
+    EXPECT_THROW(runFaultCampaign(spec, 1), FatalError);
+}
+
+TEST(Campaign, SlowdownAnchorsToTheSameTierBaseline)
+{
+    fault::CampaignSpec spec;
+    spec.app = "atax";
+    spec.sites = {Site::PcieReplay};
+    spec.rates = {1.0};
+    spec.seeds = {1};
+    spec.overlaps = {tee::OverlapMode::None,
+                     tee::OverlapMode::Speculative};
+    const auto res = runFaultCampaign(spec, 2);
+    ASSERT_TRUE(res.allOk());
+    ASSERT_EQ(res.cells.size(), 4u);
+    // [0]=none baseline, [1]=none faulted, [2]=spec baseline,
+    // [3]=spec faulted.  Each faulted cell divides by its own
+    // tier's baseline, and the tiers genuinely differ.
+    const auto e2e = [&](std::size_t i) {
+        return static_cast<double>(res.cells[i].result.end_to_end);
+    };
+    EXPECT_DOUBLE_EQ(res.cells[1].slowdown, e2e(1) / e2e(0));
+    EXPECT_DOUBLE_EQ(res.cells[3].slowdown, e2e(3) / e2e(2));
+    EXPECT_NE(e2e(0), e2e(2))
+        << "the speculative tier must change the baseline timing";
+    EXPECT_DOUBLE_EQ(res.cells[0].slowdown, 1.0);
+    EXPECT_DOUBLE_EQ(res.cells[2].slowdown, 1.0);
+}
+
+/** Snapshot-tree campaign: a multi-tier, multi-seed grid with a
+ *  chained fork point merges byte-identically to the cold-split
+ *  control, across worker counts. */
+TEST(Campaign, OverlapAxisForkMatchesColdAcrossJobs)
+{
+    fault::CampaignSpec spec;
+    spec.app = "gaussian";
+    spec.sites = {Site::PcieReplay};
+    spec.rates = {0.5};
+    spec.seeds = {1, 2};
+    spec.overlaps = {tee::OverlapMode::None,
+                     tee::OverlapMode::DoubleBuffer,
+                     tee::OverlapMode::Speculative};
+    spec.fork_point = {snap::ForkPoint::Mode::Auto, 0.0, {0.95}};
+
+    spec.no_snapshot = false;
+    const auto fork = runFaultCampaign(spec, 4);
+    spec.no_snapshot = true;
+    const auto cold = runFaultCampaign(spec, 1);
+
+    ASSERT_EQ(fork.cells.size(), 12u);
+    ASSERT_EQ(cold.cells.size(), 12u);
+    EXPECT_EQ(fork.snapshot_hits, 12u)
+        << "every cell of every tier forks from the tree";
+    EXPECT_EQ(cold.snapshot_hits, 0u);
+    EXPECT_GT(fork.peak_resident_bytes, 0u);
+
+    std::ostringstream csv_f, csv_c, json_f, json_c, st_f, st_c;
+    writeCampaignCsv(fork, csv_f);
+    writeCampaignCsv(cold, csv_c);
+    EXPECT_EQ(csv_f.str(), csv_c.str());
+    writeCampaignJson(fork, json_f);
+    writeCampaignJson(cold, json_c);
+    EXPECT_EQ(json_f.str(), json_c.str());
+    writeCampaignStats(fork, st_f);
+    writeCampaignStats(cold, st_c);
+    EXPECT_EQ(st_f.str(), st_c.str())
+        << "merged stats must be byte-identical fork vs cold";
+}
+
+TEST(Campaign, PublishesSnapshotGauges)
+{
+    fault::CampaignSpec spec;
+    spec.app = "gaussian";
+    spec.sites = {Site::PcieReplay};
+    spec.rates = {0.5};
+    spec.seeds = {1, 2};
+    spec.fork_point = {snap::ForkPoint::Mode::Auto, 0.0};
+    obs::Registry reg;
+    const auto res = runFaultCampaign(spec, 1, &reg);
+    ASSERT_TRUE(res.allOk());
+    EXPECT_GT(res.snapshot_hits, 0u);
+    EXPECT_EQ(static_cast<std::size_t>(
+                  reg.gauge("host.sweep.snapshot_hits").value()),
+              res.snapshot_hits);
+    EXPECT_EQ(
+        static_cast<std::size_t>(
+            reg.gauge("host.sweep.snapshot_resident_bytes").value()),
+        res.peak_resident_bytes);
+}
+
 TEST(Campaign, FaultedCellsInjectAndSlowDown)
 {
     const auto res = runFaultCampaign(smallCampaign(), 2);

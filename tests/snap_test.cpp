@@ -14,6 +14,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "fault/campaign.hpp"
 #include "obs/registry.hpp"
@@ -63,6 +64,56 @@ TEST(ForkPoint, NoneNeverResolves)
     const auto &w = workloads::WorkloadRegistry::instance().get("2mm");
     ForkPoint fp{ForkPoint::Mode::None, 0.0};
     EXPECT_LT(fp.resolve(w), 0.0);
+    EXPECT_TRUE(fp.resolvePath(w).empty());
+}
+
+TEST(ForkPoint, ParsesChainedPaths)
+{
+    auto p = parseForkPoint("auto/0.95");
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p->mode, ForkPoint::Mode::Auto);
+    EXPECT_EQ(p->chain, (std::vector<double>{0.95}));
+    EXPECT_EQ(p->str(), "auto/0.95");
+
+    auto q = parseForkPoint("0.5/0.8/0.9");
+    ASSERT_TRUE(q.ok());
+    EXPECT_EQ(q->mode, ForkPoint::Mode::Fraction);
+    EXPECT_DOUBLE_EQ(q->fraction, 0.5);
+    EXPECT_EQ(q->chain, (std::vector<double>{0.8, 0.9}));
+    EXPECT_EQ(q->str(), "0.5/0.8/0.9");
+}
+
+TEST(ForkPoint, RejectsBadPathsWithoutClamping)
+{
+    // Every bad path is a hard parse error — never silently clamped
+    // or reordered into something runnable.
+    EXPECT_FALSE(parseForkPoint("none/0.5").ok());
+    EXPECT_FALSE(parseForkPoint("0.5/").ok());
+    EXPECT_FALSE(parseForkPoint("0.5/x").ok());
+    EXPECT_FALSE(parseForkPoint("0.5/1.5").ok());
+    EXPECT_FALSE(parseForkPoint("0.5/0.5").ok());
+    const auto decreasing = parseForkPoint("0.5/0.4");
+    ASSERT_FALSE(decreasing.ok());
+    EXPECT_NE(decreasing.status().message().find("strictly"),
+              std::string::npos);
+    const auto chained_none = parseForkPoint("none/0.5");
+    EXPECT_NE(chained_none.status().message().find("cannot chain"),
+              std::string::npos);
+}
+
+TEST(ForkPoint, ResolvePathOrdersAutoCutPerWorkload)
+{
+    const auto &w = workloads::WorkloadRegistry::instance().get("2mm");
+    ForkPoint fp{ForkPoint::Mode::Auto, 0.0, {0.95}};
+    const auto cuts = fp.resolvePath(w);
+    ASSERT_EQ(cuts.size(), 2u);
+    EXPECT_DOUBLE_EQ(cuts[0], w.defaultForkPoint());
+    EXPECT_DOUBLE_EQ(cuts[1], 0.95);
+
+    // An auto head can only be ordered against the chain once the
+    // workload is known; a non-increasing resolved path is fatal.
+    ForkPoint bad{ForkPoint::Mode::Auto, 0.0, {0.1}};
+    EXPECT_THROW(bad.resolvePath(w), FatalError);
 }
 
 // ------------------------------------------------ RNG stream position
@@ -247,6 +298,29 @@ TEST(EventArena, ReleaseFreeSlabsTrimsToTheActiveSlab)
     EXPECT_EQ(ran, 1);
 }
 
+/** Regression: a snapshot capture trims the arena automatically, so
+ *  the many Contexts a snapshot-tree campaign keeps alive hold their
+ *  working set, not their historical peak. */
+TEST(EventArena, SnapshotCaptureReleasesFreeSlabs)
+{
+    sim::EventQueue q;
+    struct Fat
+    {
+        char pad[256];
+        void operator()(SimTime) const {}
+    };
+    for (int i = 0; i < 2000; ++i)
+        q.schedule(i, Fat{});
+    q.runAll();
+    q.reset();
+    EXPECT_GT(q.arenaSlabs(), 1u) << "reset keeps the watermark";
+
+    Saver saver;
+    q.snapState(saver);
+    EXPECT_EQ(q.arenaSlabs(), 1u)
+        << "capture must invoke releaseFreeSlabs()";
+}
+
 // ------------------------------------------------ snapshot file I/O
 
 TEST(SnapshotFile, WriteReadRoundTrip)
@@ -427,6 +501,298 @@ TEST(ForkReplay, FaultedSuffixDoesNotLeakIntoTheNextCell)
               fingerprint(out.cells[2].result));
     EXPECT_NE(fingerprint(out.cells[0].result),
               fingerprint(out.cells[1].result));
+}
+
+// ---------------------------------------- cross-seed prefix sharing
+
+/** The reseed-at-fork contract, stated on the Context itself: after
+ *  reseedAtFork(s) every seed-derived stream sits exactly where a
+ *  Context freshly constructed with s would start, so the two
+ *  snapshots agree byte for byte, section by section. */
+TEST(ReseedAtFork, MatchesFreshConstructionByteForByte)
+{
+    rt::SystemConfig fresh_sys;
+    fresh_sys.seed = 111;
+    rt::Context fresh(fresh_sys);
+    Snapshot want;
+    fresh.captureSnapshot(want);
+
+    rt::SystemConfig other_sys;
+    other_sys.seed = 222;
+    rt::Context reseeded(other_sys);
+    reseeded.reseedAtFork(111);
+    Snapshot got;
+    reseeded.captureSnapshot(got);
+
+    ASSERT_EQ(got.sections.size(), want.sections.size());
+    for (std::size_t i = 0; i < want.sections.size(); ++i) {
+        EXPECT_EQ(got.sections[i].name, want.sections[i].name);
+        EXPECT_TRUE(got.sections[i].bytes == want.sections[i].bytes)
+            << "section " << want.sections[i].name << " diverged";
+    }
+}
+
+TEST(ReseedAtFork, DistinctSeedsStillDiverge)
+{
+    rt::SystemConfig sys;
+    sys.seed = 111;
+    rt::Context a(sys), b(sys);
+    a.reseedAtFork(5);
+    b.reseedAtFork(6);
+    Snapshot sa, sb;
+    a.captureSnapshot(sa);
+    b.captureSnapshot(sb);
+    ASSERT_EQ(sa.sections.size(), sb.sections.size());
+    bool all_equal = true;
+    for (std::size_t i = 0; i < sa.sections.size(); ++i)
+        all_equal = all_equal
+            && sa.sections[i].bytes == sb.sections[i].bytes;
+    EXPECT_FALSE(all_equal)
+        << "reseeding to different seeds must derive different streams";
+}
+
+/** Regression: armFaults() mutates the Context's config, and
+ *  reseedAtFork() re-arms the injector from it.  A restore must
+ *  rewind that mutable config slice too, or a reseed after the
+ *  restore re-arms the previously armed rates into state that a
+ *  fresh construction would never hold. */
+TEST(ReseedAtFork, RestoreRewindsArmedFaultConfig)
+{
+    rt::SystemConfig sys;
+    sys.seed = 111;
+    rt::Context fresh(sys);
+    fresh.reseedAtFork(77);
+    Snapshot want;
+    fresh.captureSnapshot(want);
+
+    rt::Context ctx(sys);
+    Snapshot unarmed;
+    ctx.captureSnapshot(unarmed);
+    fault::FaultConfig armed;
+    armed.set(fault::Site::SpecMiss, 0.6);
+    ctx.armFaults(armed);
+    ctx.restoreSnapshot(unarmed);
+    ctx.reseedAtFork(77);
+    Snapshot got;
+    ctx.captureSnapshot(got);
+
+    ASSERT_EQ(got.sections.size(), want.sections.size());
+    for (std::size_t i = 0; i < want.sections.size(); ++i) {
+        EXPECT_EQ(got.sections[i].name, want.sections[i].name);
+        EXPECT_TRUE(got.sections[i].bytes == want.sections[i].bytes)
+            << "section " << want.sections[i].name
+            << " kept the stale armed rates across the restore";
+    }
+}
+
+TEST(IdentitySeed, IgnoresSeedsButNotIdentity)
+{
+    ForkGroupSpec g;
+    g.app = "gaussian";
+    g.sys.cc = true;
+    g.sys.seed = 1;
+    g.params.seed = 1;
+    const auto a = identitySeed(g.app, g.sys, g.params);
+    g.sys.seed = 99;
+    g.params.seed = 99;
+    EXPECT_EQ(identitySeed(g.app, g.sys, g.params), a)
+        << "per-cell seeds must not reach the identity hash";
+    g.params.scale = 2.0;
+    EXPECT_NE(identitySeed(g.app, g.sys, g.params), a);
+    g.params.scale = 1.0;
+    g.app = "atax";
+    EXPECT_NE(identitySeed(g.app, g.sys, g.params), a);
+}
+
+/** Cross-seed sharing: one identity-seeded prefix serves cells with
+ *  different Reseed arms, and the cold control replaying the same
+ *  derivation matches byte for byte. */
+TEST(ForkReplay, CrossSeedGroupMatchesColdControl)
+{
+    ForkGroupSpec group;
+    group.app = "gaussian";
+    group.sys.cc = true;
+    const std::uint64_t ident =
+        identitySeed(group.app, group.sys, group.params);
+    group.sys.seed = ident;
+    group.params.seed = ident;
+    group.cells.resize(3);
+    group.cells[0].arms = {ForkArm{ForkArm::Kind::Reseed, 7, {}}};
+    group.cells[1].arms = {ForkArm{ForkArm::Kind::Reseed, 9, {}}};
+    group.cells[2].arms = {ForkArm{ForkArm::Kind::Reseed, 7, {}}};
+
+    const ForkPoint fp{ForkPoint::Mode::Auto, 0.0};
+    const auto cold = runForkGroup(group, fp, /*no_snapshot=*/true);
+    const auto fork = runForkGroup(group, fp, /*no_snapshot=*/false);
+    ASSERT_EQ(cold.cells.size(), 3u);
+    ASSERT_EQ(fork.cells.size(), 3u);
+    EXPECT_EQ(fork.snapshot_hits, 3u)
+        << "distinct seeds share one prefix now";
+    EXPECT_GT(fork.peak_resident_bytes, 0u);
+    EXPECT_EQ(cold.peak_resident_bytes, 0u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        ASSERT_TRUE(cold.cells[i].ok) << cold.cells[i].error;
+        ASSERT_TRUE(fork.cells[i].ok) << fork.cells[i].error;
+        EXPECT_EQ(fingerprint(fork.cells[i].result),
+                  fingerprint(cold.cells[i].result))
+            << "cell " << i;
+    }
+    // Equal seeds agree; different seeds are a genuinely different
+    // run — the reseed must not collapse the seed axis.
+    EXPECT_EQ(fingerprint(fork.cells[0].result),
+              fingerprint(fork.cells[2].result));
+    EXPECT_NE(fingerprint(fork.cells[0].result),
+              fingerprint(fork.cells[1].result));
+}
+
+/** Regression: a faulted leaf runs before the next seed node of the
+ *  tree materializes, on the one shared Context.  The later node's
+ *  segment must not inherit the leaf's armed rates through the
+ *  reseed (speculative tier: a stale spec.miss rate injects misses
+ *  into the shared segment and shifts every cell of that seed). */
+TEST(ForkReplay, FaultedLeafDoesNotLeakIntoSiblingSeedNode)
+{
+    ForkGroupSpec group;
+    group.app = "llm";
+    group.sys.cc = true;
+    group.sys.channel.overlap = tee::OverlapMode::Speculative;
+    const std::uint64_t ident =
+        identitySeed(group.app, group.sys, group.params);
+    group.sys.seed = ident;
+    group.params.seed = ident;
+    group.cells.resize(3);
+    // Seed 12's leaf arms spec.miss; seed 13's node materializes
+    // right after it on the same Context, and its long segment
+    // seals enough chunks that a leaked rate is certain to inject.
+    group.cells[0].arms = {ForkArm{ForkArm::Kind::Reseed, 12, {}}};
+    group.cells[0].faults.set(fault::Site::SpecMiss, 0.24);
+    group.cells[1].arms = {ForkArm{ForkArm::Kind::Reseed, 13, {}}};
+    group.cells[2].arms = {ForkArm{ForkArm::Kind::Reseed, 13, {}}};
+    group.cells[2].faults.set(fault::Site::PcieReplay, 0.5);
+
+    const ForkPoint chained{ForkPoint::Mode::Auto, 0.0, {0.99}};
+    const auto cold = runForkGroup(group, chained, true);
+    const auto fork = runForkGroup(group, chained, false);
+    ASSERT_EQ(fork.cells.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        ASSERT_TRUE(cold.cells[i].ok) << cold.cells[i].error;
+        ASSERT_TRUE(fork.cells[i].ok) << fork.cells[i].error;
+        EXPECT_EQ(fingerprint(fork.cells[i].result),
+                  fingerprint(cold.cells[i].result))
+            << "cell " << i;
+    }
+}
+
+/** Satellite property: forked-from-forked equals cold.  Chained fork
+ *  points build a two-level snapshot tree (prefix -> per-seed node
+ *  -> leaf); every forkable workload under base and CC (and UVM
+ *  where supported) and every overlap tier must replay from it
+ *  byte-identically to the cold-split control. */
+TEST(ForkReplay, ChainedForksMatchColdForEveryWorkloadAndTier)
+{
+    const auto all = workloads::WorkloadRegistry::instance().all();
+    ASSERT_FALSE(all.empty());
+    const ForkPoint chained{ForkPoint::Mode::Auto, 0.0, {0.95}};
+    std::size_t exercised = 0;
+
+    for (const auto *w : all) {
+        if (!w->forkable())
+            continue;
+        for (const tee::OverlapMode tier :
+             {tee::OverlapMode::None, tee::OverlapMode::DoubleBuffer,
+              tee::OverlapMode::Speculative}) {
+            for (const bool uvm : {false, true}) {
+                if (uvm && !w->supportsUvm())
+                    continue;
+                ForkGroupSpec group;
+                group.app = w->name();
+                group.sys.cc = true;
+                group.sys.channel.overlap = tier;
+                group.params.uvm = uvm;
+                const std::uint64_t ident = identitySeed(
+                    group.app, group.sys, group.params);
+                group.sys.seed = ident;
+                group.params.seed = ident;
+                group.cells.resize(2);
+                group.cells[0].arms = {
+                    ForkArm{ForkArm::Kind::Reseed, 5, {}}};
+                group.cells[1].arms = {
+                    ForkArm{ForkArm::Kind::Reseed, 6, {}}};
+
+                const auto cold =
+                    runForkGroup(group, chained, true);
+                const auto fork =
+                    runForkGroup(group, chained, false);
+                const std::string tag = w->name() + "/"
+                    + tee::overlapModeName(tier)
+                    + (uvm ? "/uvm" : "");
+                ASSERT_EQ(fork.cells.size(), 2u) << tag;
+                EXPECT_EQ(fork.snapshot_hits, 2u) << tag;
+                for (std::size_t i = 0; i < 2; ++i) {
+                    ASSERT_TRUE(cold.cells[i].ok)
+                        << tag << ": " << cold.cells[i].error;
+                    ASSERT_TRUE(fork.cells[i].ok)
+                        << tag << ": " << fork.cells[i].error;
+                    EXPECT_TRUE(fork.cells[i].from_snapshot) << tag;
+                    EXPECT_EQ(fingerprint(fork.cells[i].result),
+                              fingerprint(cold.cells[i].result))
+                        << tag << " cell " << i;
+                }
+                ++exercised;
+            }
+        }
+    }
+    EXPECT_GT(exercised, 0u);
+}
+
+/** The snapshot budget bounds memory, never output.  Two seeds, each
+ *  with two mid-run fault arms, on a three-cut chain: every seed
+ *  node has two children, so a one-byte budget evicts the seed node
+ *  while its first child runs and must rematerialize it from the
+ *  root for the second — and the bytes still match the roomy run
+ *  (and the cold-split control) exactly. */
+TEST(ForkReplay, TinyBudgetEvictsWithoutChangingOutputs)
+{
+    ForkGroupSpec group;
+    group.app = "gaussian";
+    group.sys.cc = true;
+    const std::uint64_t ident =
+        identitySeed(group.app, group.sys, group.params);
+    group.sys.seed = ident;
+    group.params.seed = ident;
+    group.cells.resize(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+        ForkArm reseed{ForkArm::Kind::Reseed, 3 + i / 2, {}};
+        ForkArm mid{ForkArm::Kind::Faults, 0, {}};
+        if (i % 2 == 1) {
+            mid.faults.set(fault::Site::PcieReplay, 0.5);
+            group.cells[i].faults.set(fault::Site::PcieReplay, 0.5);
+        }
+        group.cells[i].arms = {reseed, mid};
+    }
+    const ForkPoint chained{ForkPoint::Mode::Auto, 0.0,
+                            {0.93, 0.96}};
+
+    const auto cold = runForkGroup(group, chained, true);
+    const auto roomy = runForkGroup(group, chained, false);
+    group.snapshot_budget_bytes = 1; // evict everything evictable
+    const auto tight = runForkGroup(group, chained, false);
+
+    ASSERT_EQ(roomy.cells.size(), tight.cells.size());
+    EXPECT_GT(tight.peak_resident_bytes, 0u);
+    EXPECT_LE(tight.peak_resident_bytes, roomy.peak_resident_bytes);
+    EXPECT_EQ(tight.snapshot_hits, 4u);
+    for (std::size_t i = 0; i < roomy.cells.size(); ++i) {
+        ASSERT_TRUE(cold.cells[i].ok) << cold.cells[i].error;
+        ASSERT_TRUE(roomy.cells[i].ok) << roomy.cells[i].error;
+        ASSERT_TRUE(tight.cells[i].ok) << tight.cells[i].error;
+        EXPECT_EQ(fingerprint(roomy.cells[i].result),
+                  fingerprint(cold.cells[i].result))
+            << "cell " << i;
+        EXPECT_EQ(fingerprint(tight.cells[i].result),
+                  fingerprint(roomy.cells[i].result))
+            << "cell " << i;
+    }
 }
 
 // ----------------------------------------- campaign + sweep wiring

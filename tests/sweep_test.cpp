@@ -274,6 +274,43 @@ TEST(SweepDeterminism, ResultsComeBackInInputOrder)
         EXPECT_EQ(result.cells[i].cell.index, i);
 }
 
+/** Cross-seed prefix sharing: cells differing only in their seed now
+ *  share one identity-seeded prefix, so every one of them replays
+ *  from the snapshot — and still matches the cold control exactly. */
+TEST(SweepDeterminism, DistinctSeedsShareOnePrefix)
+{
+    GridSpec grid;
+    grid.apps = {"gaussian"};
+    grid.cc_modes = {true};
+    grid.seeds = {1, 2, 3};
+
+    const auto fork = runSweep(grid, 1);
+    ASSERT_EQ(fork.cells.size(), 3u);
+    EXPECT_EQ(fork.snapshot_hits, 3u)
+        << "distinct seeds must fork from one shared prefix";
+    EXPECT_GT(fork.peak_resident_bytes, 0u);
+
+    grid.no_snapshot = true;
+    const auto cold = runSweep(grid, 2);
+    EXPECT_EQ(cold.snapshot_hits, 0u);
+
+    std::ostringstream st_f, st_c, csv_f, csv_c;
+    writeMergedStats(fork, st_f);
+    writeMergedStats(cold, st_c);
+    EXPECT_EQ(st_f.str(), st_c.str());
+    writeCellsCsv(fork, csv_f);
+    writeCellsCsv(cold, csv_c);
+    EXPECT_EQ(csv_f.str(), csv_c.str());
+
+    // The seed axis survives the sharing: rows differ across seeds.
+    EXPECT_NE(fork.cells[0].result.end_to_end, 0);
+    EXPECT_TRUE(fork.cells[0].result.end_to_end
+                    != fork.cells[1].result.end_to_end
+                || fork.cells[1].result.end_to_end
+                    != fork.cells[2].result.end_to_end)
+        << "reseed-at-fork must not collapse the seed axis";
+}
+
 // -------------------------------------------------- crash isolation
 
 /** A cell that dies (FatalError) fails alone: the rest of the grid

@@ -24,11 +24,13 @@ ctest --preset asan-ubsan -j"$jobs"
 # claim (each campaign cell owns its Context/Registry/Injector).
 cmake --preset tsan
 cmake --build --preset tsan -j"$jobs" \
-    --target sweep_test fault_test critpath_test overlap_test
+    --target sweep_test fault_test critpath_test overlap_test \
+        serve_test
 build-tsan/tests/sweep_test
 build-tsan/tests/fault_test
 build-tsan/tests/critpath_test
 build-tsan/tests/overlap_test
+build-tsan/tests/serve_test
 
 hccsim=build/tools/hccsim
 tmp="$(mktemp -d)"
@@ -141,6 +143,26 @@ if "$hccsim" stats-diff "$tmp/a.json" "$tmp/faulted.json" \
     echo "ERROR: injected faults did not change the run" >&2
     exit 1
 fi
+
+# Serving smoke + determinism + the saturation gate: the open-loop
+# goodput curve must merge byte-identically for any --jobs and
+# reproduce the committed baseline exactly — the committed stats
+# embed the serve_curve, whose CC-vs-native goodput gap widens as
+# offered load approaches saturation (the paper-shaped result this
+# subcommand exists to produce).
+"$hccsim" serve --requests 40 --loads 2,8 --prompt-len 128 \
+    --gen-len 16 --max-batch 8 --kv-budget 64 --seed 42 --jobs 1 \
+    --out "$tmp/serve1.csv" --format csv \
+    --stats-out "$tmp/serve1.json" >/dev/null
+"$hccsim" serve --requests 40 --loads 2,8 --prompt-len 128 \
+    --gen-len 16 --max-batch 8 --kv-budget 64 --seed 42 --jobs 4 \
+    --out "$tmp/serve4.csv" --format csv \
+    --stats-out "$tmp/serve4.json" >/dev/null
+cmp "$tmp/serve1.csv" "$tmp/serve4.csv"
+cmp "$tmp/serve1.json" "$tmp/serve4.json"
+"$hccsim" stats-diff bench/baselines/serve_llm_stats.json \
+    "$tmp/serve1.json"
+cmp bench/baselines/serve_llm_stats.json "$tmp/serve1.json"
 
 # Fork-vs-cold gate: a snapshot-forked campaign must be byte-identical
 # to the cold-split control (same late arming point, no shared state)

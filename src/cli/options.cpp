@@ -11,14 +11,11 @@
 #include "common/table.hpp"
 #include "crypto/calibrate.hpp"
 #include "crypto/impl.hpp"
-#include "fault/campaign.hpp"
-#include "fault/fault.hpp"
+#include "ml/llm.hpp"
 #include "obs/stats_io.hpp"
 #include "perfmodel/model.hpp"
 #include "perfmodel/projector.hpp"
-#include "snap/fork.hpp"
 #include "snap/snap.hpp"
-#include "sweep/sweep.hpp"
 #include "trace/compare.hpp"
 #include "trace/critpath.hpp"
 #include "trace/export.hpp"
@@ -46,6 +43,93 @@ constexpr unsigned kRunLike = bit(Command::Run) | bit(Command::Compare)
 constexpr unsigned kEveryCommand = ~0u;
 
 /**
+ * Typed-field accessors: a flag shared by several subcommands (--seed,
+ * --jobs, --out, ...) resolves the per-command struct it stores into
+ * from `options.command`.  Returns null when the flag's field is not
+ * hosted by the current command's struct — callers pair these with
+ * the applicability mask, which rejects those invocations first.
+ */
+WorkloadChoice *
+workloadOf(Options &o)
+{
+    switch (o.command) {
+      case Command::Run: return &o.run.workload;
+      case Command::Compare: return &o.compare.workload;
+      case Command::Trace: return &o.trace.workload;
+      case Command::Critical: return &o.critical.workload;
+      case Command::Project: return &o.project.workload;
+      default: return nullptr;
+    }
+}
+
+SimShape *
+simOf(Options &o)
+{
+    switch (o.command) {
+      case Command::Run: return &o.run.sim;
+      case Command::Compare: return &o.compare.sim;
+      case Command::Trace: return &o.trace.sim;
+      case Command::Critical: return &o.critical.sim;
+      case Command::Project: return &o.project.sim;
+      case Command::Snapshot: return &o.snapshot.sim;
+      default: return nullptr;
+    }
+}
+
+std::string *
+statsOutOf(Options &o)
+{
+    switch (o.command) {
+      case Command::Run: return &o.run.stats_out;
+      case Command::Compare: return &o.compare.stats_out;
+      case Command::Trace: return &o.trace.stats_out;
+      case Command::Critical: return &o.critical.stats_out;
+      case Command::Sweep: return &o.sweep.stats_out;
+      case Command::Faults: return &o.faults.stats_out;
+      case Command::Serve: return &o.serve.stats_out;
+      case Command::CryptoCalibrate:
+        return &o.crypto_calibrate.stats_out;
+      default: return nullptr;
+    }
+}
+
+std::string *
+outFileOf(Options &o)
+{
+    switch (o.command) {
+      case Command::Sweep: return &o.sweep.out_file;
+      case Command::Faults: return &o.faults.out_file;
+      case Command::Serve: return &o.serve.out_file;
+      case Command::Snapshot: return &o.snapshot.out_file;
+      default: return nullptr;
+    }
+}
+
+int *
+jobsOf(Options &o)
+{
+    switch (o.command) {
+      case Command::Compare: return &o.compare.jobs;
+      case Command::Sweep: return &o.sweep.jobs;
+      case Command::Faults: return &o.faults.jobs;
+      case Command::Serve: return &o.serve.jobs;
+      default: return nullptr;
+    }
+}
+
+OutputFormat *
+formatOf(Options &o)
+{
+    switch (o.command) {
+      case Command::Trace: return &o.trace.format;
+      case Command::Sweep: return &o.sweep.format;
+      case Command::Faults: return &o.faults.format;
+      case Command::Serve: return &o.serve.format;
+      default: return nullptr;
+    }
+}
+
+/**
  * One declared flag: where it applies, whether it takes a value, how
  * to store it.  The whole CLI surface is this table — parsing, value
  * validation, "--x does not apply to 'cmd'" rejection and the
@@ -60,8 +144,9 @@ struct FlagSpec
     /** Value placeholder for help ("N", "FILE"); null: boolean. */
     const char *value_name;
     const char *help;
-    /** Validate + store; sets @p error and returns false on bad
-     *  values.  @p value is empty for boolean flags. */
+    /** Validate + store into the command's typed struct; sets
+     *  @p error and returns false on bad values.  @p value is empty
+     *  for boolean flags. */
     bool (*apply)(Options &opt, const std::string &value,
                   std::string &error);
 };
@@ -84,17 +169,19 @@ applyInt(int &out, int min, const char *flag,
     return true;
 }
 
+/** Run a throwing list parser at the CLI boundary: a FatalError
+ *  becomes the flag's error string, not a process abort. */
+template <typename Fn>
 bool
-applyMode(std::string &out, const char *flag, const std::string &value,
-          std::string &error)
+applyParsed(std::string &error, Fn &&fn)
 {
-    if (value != "on" && value != "off" && value != "both") {
-        error = std::string("bad ") + flag + " value '" + value
-            + "' (on|off|both)";
+    try {
+        fn();
+        return true;
+    } catch (const FatalError &e) {
+        error = e.what();
         return false;
     }
-    out = value;
-    return true;
 }
 
 /** Comma-split with empty items dropped. */
@@ -114,19 +201,27 @@ const FlagSpec kFlags[] = {
     {"--app", kRunLike | bit(Command::Faults) | bit(Command::Snapshot),
      "NAME", "workload name (see `hccsim list`)",
      [](Options &o, const std::string &v, std::string &) {
-         o.app = v;
+         if (WorkloadChoice *w = workloadOf(o))
+             w->app = v;
+         else if (o.command == Command::Faults)
+             o.faults.spec.app = v;
+         else
+             o.snapshot.app = v;
          return true;
      }},
     {"--spec", kRunLike | bit(Command::Sweep), "FILE",
      "user spec file (or sweep grid file)",
      [](Options &o, const std::string &v, std::string &) {
-         o.spec_file = v;
+         if (WorkloadChoice *w = workloadOf(o))
+             w->spec_file = v;
+         else
+             o.sweep.spec_file = v;
          return true;
      }},
     {"--cc", kRunLike | bit(Command::Snapshot), nullptr,
      "run inside a TD (CC mode)",
      [](Options &o, const std::string &, std::string &) {
-         o.cc = true;
+         simOf(o)->cc = true;
          return true;
      }},
     {"--uvm",
@@ -134,88 +229,127 @@ const FlagSpec kFlags[] = {
      nullptr,
      "use the managed-memory variant",
      [](Options &o, const std::string &, std::string &) {
-         o.uvm = true;
+         if (SimShape *sim = simOf(o))
+             sim->uvm = true;
+         else
+             o.faults.spec.uvm = true;
          return true;
      }},
     {"--scale",
      kRunLike | bit(Command::Faults) | bit(Command::Snapshot), "X",
      "problem-size multiplier (default 1.0)",
      [](Options &o, const std::string &v, std::string &error) {
+         double scale = 0.0;
          try {
-             o.scale = std::stod(v);
+             scale = std::stod(v);
          } catch (...) {
              error = "bad --scale value '" + v + "'";
              return false;
          }
-         if (o.scale <= 0.0) {
+         if (scale <= 0.0) {
              error = "--scale must be positive";
              return false;
          }
+         if (SimShape *sim = simOf(o))
+             sim->scale = scale;
+         else
+             o.faults.spec.scale = scale;
          return true;
      }},
-    {"--seed", kRunLike | bit(Command::Snapshot), "N",
-     "RNG seed (default 42)",
+    {"--seed", kRunLike | bit(Command::Snapshot) | bit(Command::Serve),
+     "N", "RNG seed (default 42)",
      [](Options &o, const std::string &v, std::string &error) {
+         std::uint64_t seed = 0;
          try {
-             o.seed = std::stoull(v);
+             seed = std::stoull(v);
          } catch (...) {
              error = "bad --seed value '" + v + "'";
              return false;
          }
+         if (SimShape *sim = simOf(o))
+             sim->seed = seed;
+         else
+             o.serve.spec.seed = seed;
          return true;
      }},
     {"--format",
-     kRunLike | bit(Command::Sweep) | bit(Command::Faults), "json|csv",
-     "trace/results format (default json)",
+     bit(Command::Trace) | bit(Command::Sweep) | bit(Command::Faults)
+         | bit(Command::Serve),
+     "json|csv", "trace/results format (default json)",
      [](Options &o, const std::string &v, std::string &error) {
-         if (v != "json" && v != "csv") {
+         if (v == "json")
+             *formatOf(o) = OutputFormat::Json;
+         else if (v == "csv")
+             *formatOf(o) = OutputFormat::Csv;
+         else {
              error = "--format must be json or csv";
              return false;
          }
-         o.format = v;
          return true;
      }},
     {"--crypto-workers",
      kRunLike | bit(Command::Sweep) | bit(Command::Faults)
-         | bit(Command::Snapshot),
+         | bit(Command::Snapshot) | bit(Command::Serve),
      "N",
      "parallel encryption threads (CC)",
      [](Options &o, const std::string &v, std::string &error) {
-         return applyInt(o.crypto_workers, 1, "--crypto-workers", v,
-                         error);
+         int n = 0;
+         if (!applyInt(n, 1, "--crypto-workers", v, error))
+             return false;
+         if (SimShape *sim = simOf(o))
+             sim->crypto_workers = n;
+         else if (o.command == Command::Sweep)
+             o.sweep.grid.crypto_workers = n;
+         else if (o.command == Command::Faults)
+             o.faults.spec.crypto_workers = n;
+         else
+             o.serve.spec.crypto_workers = n;
+         return true;
      }},
     {"--tee-io",
      kRunLike | bit(Command::Sweep) | bit(Command::Faults)
-         | bit(Command::Snapshot),
+         | bit(Command::Snapshot) | bit(Command::Serve),
      nullptr, "model the TEE-IO hardware path (CC)",
      [](Options &o, const std::string &, std::string &) {
-         o.tee_io = true;
+         if (SimShape *sim = simOf(o))
+             sim->tee_io = true;
+         else if (o.command == Command::Sweep)
+             o.sweep.grid.tee_io = true;
+         else if (o.command == Command::Faults)
+             o.faults.spec.tee_io = true;
+         else
+             o.serve.spec.tee_io = true;
          return true;
      }},
     {"--overlap",
      kRunLike | bit(Command::Sweep) | bit(Command::Faults)
-         | bit(Command::Snapshot),
+         | bit(Command::Snapshot) | bit(Command::Serve),
      "MODE",
      "channel overlap tier: none|double-buffer|speculative "
-     "(sweep/faults: comma list or \"all\", gridded as an axis)",
+     "(sweep/faults/serve: comma list or \"all\", gridded as an axis)",
      [](Options &o, const std::string &v, std::string &error) {
-         // Sweep and faults accept a list; validation of the list
-         // shape happens at grid build.  Single-run commands validate
-         // the one mode here so errors surface at parse time.
-         if (v != "all") {
-             for (const auto &name : splitList(v)) {
-                 if (!tee::parseOverlapMode(name)) {
-                     error = "bad --overlap value '" + name
-                         + "' (none|double-buffer|speculative)";
-                     return false;
-                 }
-             }
-             if (splitList(v).empty()) {
-                 error = "empty --overlap value";
-                 return false;
-             }
+         if (o.command == Command::Sweep
+             || o.command == Command::Faults
+             || o.command == Command::Serve) {
+             return applyParsed(error, [&] {
+                 auto list = sweep::parseOverlapList(v);
+                 if (o.command == Command::Sweep)
+                     o.sweep.grid.overlaps = std::move(list);
+                 else if (o.command == Command::Faults)
+                     o.faults.spec.overlaps = std::move(list);
+                 else
+                     o.serve.spec.overlaps = std::move(list);
+             });
          }
-         o.overlap = v;
+         const auto mode = tee::parseOverlapMode(v);
+         if (!mode) {
+             error = "--overlap '" + v
+                 + "' is not a single mode "
+                   "(none|double-buffer|speculative; only "
+                   "sweep/faults/serve grid a list)";
+             return false;
+         }
+         simOf(o)->overlap = *mode;
          return true;
      }},
     {"--faults",
@@ -230,25 +364,31 @@ const FlagSpec kFlags[] = {
                  + parsed.status().toString();
              return false;
          }
-         o.fault_spec = v;
+         simOf(o)->faults = parsed.value();
          return true;
      }},
     {"--sites", bit(Command::Faults), "S1,S2|all",
      "fault sites to campaign over (default all)",
      [](Options &o, const std::string &v, std::string &error) {
-         if (v != "all") {
-             for (const auto &name : splitList(v)) {
-                 if (!fault::parseSite(name)) {
-                     error = "bad --sites value '" + name + "'";
-                     return false;
-                 }
-             }
-             if (splitList(v).empty()) {
-                 error = "empty --sites list";
+         auto &sites = o.faults.spec.sites;
+         sites.clear();
+         if (v == "all") {
+             sites.assign(fault::allSites().begin(),
+                          fault::allSites().end());
+             return true;
+         }
+         for (const auto &name : splitList(v)) {
+             const auto site = fault::parseSite(name);
+             if (!site) {
+                 error = "bad --sites value '" + name + "'";
                  return false;
              }
+             sites.push_back(*site);
          }
-         o.fault_sites = v;
+         if (sites.empty()) {
+             error = "empty --sites list";
+             return false;
+         }
          return true;
      }},
     {"--rates", bit(Command::Faults), "R1,R2",
@@ -259,6 +399,7 @@ const FlagSpec kFlags[] = {
              error = "empty --rates list";
              return false;
          }
+         std::vector<double> rates;
          for (const auto &item : items) {
              double r = 0.0;
              try {
@@ -271,79 +412,96 @@ const FlagSpec kFlags[] = {
                  error = "--rates values must be in (0, 1]";
                  return false;
              }
+             rates.push_back(r);
          }
-         o.fault_rates = v;
+         o.faults.spec.rates = std::move(rates);
          return true;
      }},
     {"--stats-out",
      bit(Command::Run) | bit(Command::Compare) | bit(Command::Trace)
          | bit(Command::Critical) | bit(Command::Sweep)
-         | bit(Command::Faults) | bit(Command::CryptoCalibrate),
+         | bit(Command::Faults) | bit(Command::Serve)
+         | bit(Command::CryptoCalibrate),
      "FILE", "write the stats registry as JSON",
      [](Options &o, const std::string &v, std::string &) {
-         o.stats_out = v;
+         *statsOutOf(o) = v;
          return true;
      }},
     {"--trace-out", bit(Command::Trace), "FILE",
      "write the trace to a file instead of stdout",
      [](Options &o, const std::string &v, std::string &) {
-         o.trace_out = v;
+         o.trace.trace_out = v;
          return true;
      }},
     {"--top", bit(Command::Critical), "N",
      "rows in the contributor/slack tables (default 10)",
      [](Options &o, const std::string &v, std::string &error) {
-         return applyInt(o.top, 1, "--top", v, error);
+         return applyInt(o.critical.top, 1, "--top", v, error);
      }},
     {"--critical-out", bit(Command::Critical), "FILE",
      "write the full critical-path JSON (segments + slack)",
      [](Options &o, const std::string &v, std::string &) {
-         o.critical_out = v;
+         o.critical.critical_out = v;
          return true;
      }},
     {"--out",
-     bit(Command::Sweep) | bit(Command::Faults)
+     bit(Command::Sweep) | bit(Command::Faults) | bit(Command::Serve)
          | bit(Command::Snapshot),
      "FILE",
      "per-cell results (CSV/JSON), or the snapshot output file",
      [](Options &o, const std::string &v, std::string &) {
-         o.out_file = v;
+         *outFileOf(o) = v;
          return true;
      }},
     {"--apps", bit(Command::Sweep), "A,B|all",
      "apps to grid over (or --spec GRIDFILE)",
-     [](Options &o, const std::string &v, std::string &) {
-         o.sweep_apps = v;
-         return true;
+     [](Options &o, const std::string &v, std::string &error) {
+         return applyParsed(error, [&] {
+             o.sweep.grid.apps = sweep::parseAppList(v);
+         });
      }},
-    {"--cc-modes", bit(Command::Sweep), "M",
+    {"--cc-modes", bit(Command::Sweep) | bit(Command::Serve), "M",
      "on|off|both (default both)",
      [](Options &o, const std::string &v, std::string &error) {
-         return applyMode(o.sweep_cc, "--cc-modes", v, error);
+         return applyParsed(error, [&] {
+             auto modes = sweep::parseModeList(v);
+             if (o.command == Command::Sweep)
+                 o.sweep.grid.cc_modes = std::move(modes);
+             else
+                 o.serve.spec.cc_modes = std::move(modes);
+         });
      }},
     {"--uvm-modes", bit(Command::Sweep), "M",
      "on|off|both (default off)",
      [](Options &o, const std::string &v, std::string &error) {
-         return applyMode(o.sweep_uvm, "--uvm-modes", v, error);
+         return applyParsed(error, [&] {
+             o.sweep.grid.uvm_modes = sweep::parseModeList(v);
+         });
      }},
     {"--scales", bit(Command::Sweep), "X,Y",
      "problem-size multipliers (default 1)",
-     [](Options &o, const std::string &v, std::string &) {
-         o.sweep_scales = v;
-         return true;
+     [](Options &o, const std::string &v, std::string &error) {
+         return applyParsed(error, [&] {
+             o.sweep.grid.scales = sweep::parseScaleList(v);
+         });
      }},
     {"--seeds", bit(Command::Sweep) | bit(Command::Faults), "N,M",
      "RNG seeds (default 42)",
-     [](Options &o, const std::string &v, std::string &) {
-         o.sweep_seeds = v;
-         return true;
+     [](Options &o, const std::string &v, std::string &error) {
+         return applyParsed(error, [&] {
+             auto seeds = sweep::parseSeedList(v);
+             if (o.command == Command::Sweep)
+                 o.sweep.grid.seeds = std::move(seeds);
+             else
+                 o.faults.spec.seeds = std::move(seeds);
+         });
      }},
     {"--jobs",
-     bit(Command::Compare) | bit(Command::Sweep)
-         | bit(Command::Faults),
+     bit(Command::Compare) | bit(Command::Sweep) | bit(Command::Faults)
+         | bit(Command::Serve),
      "N", "worker threads (default: all cores)",
      [](Options &o, const std::string &v, std::string &error) {
-         return applyInt(o.jobs, 1, "--jobs", v, error);
+         return applyInt(*jobsOf(o), 1, "--jobs", v, error);
      }},
     {"--fork-point",
      bit(Command::Sweep) | bit(Command::Faults)
@@ -357,7 +515,12 @@ const FlagSpec kFlags[] = {
              error = parsed.status().message();
              return false;
          }
-         o.fork_point_spec = v;
+         if (o.command == Command::Sweep)
+             o.sweep.snapshot.fork_point = parsed.value();
+         else if (o.command == Command::Faults)
+             o.faults.spec.fork_point = parsed.value();
+         else
+             o.snapshot.fork_point = parsed.value();
          return true;
      }},
     {"--snapshot-budget", bit(Command::Sweep) | bit(Command::Faults),
@@ -365,20 +528,114 @@ const FlagSpec kFlags[] = {
      "resident snapshot ceiling per fork group in MiB "
      "(0 = unlimited; default 512)",
      [](Options &o, const std::string &v, std::string &error) {
-         return applyInt(o.snapshot_budget_mib, 0,
-                         "--snapshot-budget", v, error);
+         int mib = 0;
+         if (!applyInt(mib, 0, "--snapshot-budget", v, error))
+             return false;
+         const auto bytes = static_cast<std::size_t>(mib) << 20;
+         if (o.command == Command::Sweep)
+             o.sweep.snapshot.budget_bytes = bytes;
+         else
+             o.faults.spec.snapshot_budget_bytes = bytes;
+         return true;
      }},
     {"--no-snapshot", bit(Command::Sweep) | bit(Command::Faults),
      nullptr,
      "run split cells cold instead of snapshot-forking them",
      [](Options &o, const std::string &, std::string &) {
-         o.no_snapshot = true;
+         if (o.command == Command::Sweep)
+             o.sweep.snapshot.no_snapshot = true;
+         else
+             o.faults.spec.no_snapshot = true;
+         return true;
+     }},
+    {"--loads", bit(Command::Serve), "R1,R2",
+     "offered loads in requests/s (default 8,24,48,96)",
+     [](Options &o, const std::string &v, std::string &error) {
+         return applyParsed(error, [&] {
+             o.serve.spec.loads = sweep::parseScaleList(v);
+         });
+     }},
+    {"--requests", bit(Command::Serve), "N",
+     "requests per arrival trace (default 160)",
+     [](Options &o, const std::string &v, std::string &error) {
+         return applyInt(o.serve.spec.requests, 1, "--requests", v,
+                         error);
+     }},
+    {"--max-batch", bit(Command::Serve), "N",
+     "continuous-batching admission ceiling (default 32)",
+     [](Options &o, const std::string &v, std::string &error) {
+         return applyInt(o.serve.spec.max_batch, 1, "--max-batch", v,
+                         error);
+     }},
+    {"--prompt-len", bit(Command::Serve), "N",
+     "mean prompt tokens per request (default 512)",
+     [](Options &o, const std::string &v, std::string &error) {
+         return applyInt(o.serve.spec.prompt_len, 1, "--prompt-len",
+                         v, error);
+     }},
+    {"--gen-len", bit(Command::Serve), "N",
+     "mean generated tokens per request (default 64)",
+     [](Options &o, const std::string &v, std::string &error) {
+         return applyInt(o.serve.spec.gen_len, 1, "--gen-len", v,
+                         error);
+     }},
+    {"--kv-token-bytes", bit(Command::Serve), "N",
+     "KV-cache bytes per token per session (default 32768)",
+     [](Options &o, const std::string &v, std::string &error) {
+         int n = 0;
+         if (!applyInt(n, 1, "--kv-token-bytes", v, error))
+             return false;
+         o.serve.spec.kv_bytes_per_token = static_cast<Bytes>(n);
+         return true;
+     }},
+    {"--kv-budget", bit(Command::Serve), "MIB",
+     "aggregate KV budget in MiB; over it young sessions are "
+     "preempted (default 256)",
+     [](Options &o, const std::string &v, std::string &error) {
+         int mib = 0;
+         if (!applyInt(mib, 1, "--kv-budget", v, error))
+             return false;
+         o.serve.spec.kv_budget_bytes = static_cast<Bytes>(mib) << 20;
+         return true;
+     }},
+    {"--bursts", bit(Command::Serve), "B:E:M,...",
+     "arrival burst windows over the request-index fraction, e.g. "
+     "0.5:0.8:4 (default: plain Poisson)",
+     [](Options &o, const std::string &v, std::string &error) {
+         return applyParsed(error, [&] {
+             o.serve.spec.bursts = serve::parseBurstList(v);
+         });
+     }},
+    {"--backend", bit(Command::Serve), "NAME",
+     "serving framework model: hf|vllm (default vllm)",
+     [](Options &o, const std::string &v, std::string &error) {
+         if (v == "hf")
+             o.serve.spec.backend = ml::LlmBackend::HuggingFace;
+         else if (v == "vllm")
+             o.serve.spec.backend = ml::LlmBackend::Vllm;
+         else {
+             error = "bad --backend value '" + v + "' (hf|vllm)";
+             return false;
+         }
+         return true;
+     }},
+    {"--quant", bit(Command::Serve), "NAME",
+     "weight quantization: bf16|awq4 (default bf16)",
+     [](Options &o, const std::string &v, std::string &error) {
+         if (v == "bf16")
+             o.serve.spec.quant = ml::LlmQuant::Bf16;
+         else if (v == "awq4")
+             o.serve.spec.quant = ml::LlmQuant::Awq4;
+         else {
+             error = "bad --quant value '" + v + "' (bf16|awq4)";
+             return false;
+         }
          return true;
      }},
     {"--inspect", bit(Command::Snapshot), "FILE",
      "print a snapshot file's meta and section table",
      [](Options &o, const std::string &v, std::string &) {
-         o.snapshot_in = v;
+         o.snapshot.inspect = v;
          return true;
      }},
     {"--log-level", kEveryCommand, "LEVEL",
@@ -407,12 +664,12 @@ const FlagSpec kFlags[] = {
      "relative tolerance before a change is drift",
      [](Options &o, const std::string &v, std::string &error) {
          try {
-             o.tolerance = std::stod(v);
+             o.stats_diff.tolerance = std::stod(v);
          } catch (...) {
              error = "bad --tolerance value '" + v + "'";
              return false;
          }
-         if (o.tolerance < 0.0) {
+         if (o.stats_diff.tolerance < 0.0) {
              error = "--tolerance must be >= 0";
              return false;
          }
@@ -422,12 +679,12 @@ const FlagSpec kFlags[] = {
      "wall-clock budget per algorithm in ms (default 50)",
      [](Options &o, const std::string &v, std::string &error) {
          try {
-             o.calib_ms = std::stod(v);
+             o.crypto_calibrate.budget_ms = std::stod(v);
          } catch (...) {
              error = "bad --ms value '" + v + "'";
              return false;
          }
-         if (o.calib_ms <= 0.0) {
+         if (o.crypto_calibrate.budget_ms <= 0.0) {
              error = "--ms must be positive";
              return false;
          }
@@ -454,6 +711,7 @@ const std::pair<const char *, Command> kCommands[] = {
     {"project", Command::Project},
     {"sweep", Command::Sweep},
     {"faults", Command::Faults},
+    {"serve", Command::Serve},
     {"stats-diff", Command::StatsDiff},
     {"crypto-calibrate", Command::CryptoCalibrate},
     {"snapshot", Command::Snapshot},
@@ -516,6 +774,11 @@ usage()
         "  hccsim faults --app NAME [opts]  fault-injection campaign:\n"
         "                                   a (site, rate, seed) grid\n"
         "                                   vs unfaulted baselines\n"
+        "  hccsim serve [opts]              open-loop LLM serving:\n"
+        "                                   TTFT/TPOT percentiles and\n"
+        "                                   goodput vs offered load,\n"
+        "                                   native vs CC (--loads,\n"
+        "                                   --max-batch, --kv-budget)\n"
         "  hccsim stats-diff BASE CURRENT   diff two --stats-out dumps;\n"
         "                                   exit 1 if stats drifted\n"
         "  hccsim crypto-calibrate [opts]   measure this host's\n"
@@ -536,9 +799,11 @@ usage()
         "                   stack (run/compare/trace); `hccsim\n"
         "                   faults` sweeps sites x rates x seeds\n"
         "  --overlap M      CC copy-pipeline tier: none|double-\n"
-        "                   buffer|speculative (sweep/faults grid a\n"
-        "                   comma list or `all`; see docs/OVERLAP.md)\n"
-        "  --jobs N         worker threads (compare/sweep/faults)\n"
+        "                   buffer|speculative (sweep/faults/serve\n"
+        "                   grid a comma list or `all`; see\n"
+        "                   docs/OVERLAP.md)\n"
+        "  --jobs N         worker threads (compare/sweep/faults/\n"
+        "                   serve)\n"
         "  --fork-point P   none|auto|FRACTION, '/'-chainable\n"
         "                   (e.g. auto/0.95): where sweep/faults cut\n"
         "                   cells into a shared prefix, optional\n"
@@ -586,10 +851,10 @@ parseArgs(const std::vector<std::string> &args, std::string &error)
         if (!flag) {
             if (opt.command == Command::StatsDiff && !a.empty()
                 && a[0] != '-') {
-                if (opt.diff_baseline.empty()) {
-                    opt.diff_baseline = a;
-                } else if (opt.diff_current.empty()) {
-                    opt.diff_current = a;
+                if (opt.stats_diff.baseline.empty()) {
+                    opt.stats_diff.baseline = a;
+                } else if (opt.stats_diff.current.empty()) {
+                    opt.stats_diff.current = a;
                 } else {
                     error = "unexpected argument '" + a + "'";
                     return std::nullopt;
@@ -618,38 +883,43 @@ parseArgs(const std::vector<std::string> &args, std::string &error)
 
     switch (opt.command) {
       case Command::StatsDiff:
-        if (opt.diff_baseline.empty() || opt.diff_current.empty()) {
+        if (opt.stats_diff.baseline.empty()
+            || opt.stats_diff.current.empty()) {
             error = "stats-diff requires BASELINE and CURRENT files";
             return std::nullopt;
         }
         break;
       case Command::Sweep:
-        if (opt.sweep_apps.empty() && opt.spec_file.empty()) {
+        if (opt.sweep.grid.apps.empty()
+            && opt.sweep.spec_file.empty()) {
             error = "sweep requires --apps or --spec GRIDFILE";
             return std::nullopt;
         }
-        if (!opt.sweep_apps.empty() && !opt.spec_file.empty()) {
+        if (!opt.sweep.grid.apps.empty()
+            && !opt.sweep.spec_file.empty()) {
             error = "--apps and --spec are mutually exclusive";
             return std::nullopt;
         }
         break;
       case Command::Faults:
-        if (opt.app.empty()) {
+        if (opt.faults.spec.app.empty()) {
             error = "faults requires --app";
             return std::nullopt;
         }
         break;
       case Command::Snapshot:
-        if (opt.app.empty() && opt.snapshot_in.empty()) {
+        if (opt.snapshot.app.empty() && opt.snapshot.inspect.empty()) {
             error = "snapshot requires --app (capture) or "
                     "--inspect FILE";
             return std::nullopt;
         }
-        if (!opt.app.empty() && !opt.snapshot_in.empty()) {
+        if (!opt.snapshot.app.empty()
+            && !opt.snapshot.inspect.empty()) {
             error = "--app and --inspect are mutually exclusive";
             return std::nullopt;
         }
-        if (!opt.app.empty() && opt.out_file.empty()) {
+        if (!opt.snapshot.app.empty()
+            && opt.snapshot.out_file.empty()) {
             error = "snapshot capture requires --out FILE";
             return std::nullopt;
         }
@@ -658,80 +928,51 @@ parseArgs(const std::vector<std::string> &args, std::string &error)
       case Command::Compare:
       case Command::Trace:
       case Command::Critical:
-      case Command::Project:
-        if (opt.app.empty() && opt.spec_file.empty()) {
+      case Command::Project: {
+        const WorkloadChoice &w = *workloadOf(opt);
+        if (w.app.empty() && w.spec_file.empty()) {
             error = "this command requires --app or --spec";
             return std::nullopt;
         }
-        if (!opt.app.empty() && !opt.spec_file.empty()) {
+        if (!w.app.empty() && !w.spec_file.empty()) {
             error = "--app and --spec are mutually exclusive";
             return std::nullopt;
         }
         break;
+      }
       case Command::List:
+      case Command::Serve:
       case Command::CryptoCalibrate:
       case Command::Help:
         break;
-    }
-    // Only sweep and faults grid --overlap as an axis; everywhere
-    // else it must resolve to exactly one tier.
-    if (!opt.overlap.empty() && opt.command != Command::Sweep
-        && opt.command != Command::Faults
-        && !tee::parseOverlapMode(opt.overlap)) {
-        error = "--overlap takes a single mode outside sweep "
-                "(none|double-buffer|speculative)";
-        return std::nullopt;
     }
     return opt;
 }
 
 namespace {
 
-/** Resolve --overlap to the one tier single-run commands take.
- *  Revalidated here because runCli() is also a library entry point:
- *  tests and tools build Options directly. */
-tee::OverlapMode
-singleOverlap(const Options &opt)
-{
-    if (opt.overlap.empty())
-        return tee::OverlapMode::None;
-    const auto mode = tee::parseOverlapMode(opt.overlap);
-    if (!mode)
-        fatal("--overlap '%s' is not a single overlap tier "
-              "(none|double-buffer|speculative)",
-              opt.overlap.c_str());
-    return *mode;
-}
-
 workloads::WorkloadResult
-runOnce(const Options &opt, bool cc)
+runOnce(const WorkloadChoice &workload, const SimShape &sim, bool cc)
 {
     rt::SystemConfig sys;
     sys.cc = cc;
-    sys.seed = opt.seed;
-    sys.channel.crypto_workers = opt.crypto_workers;
-    sys.channel.tee_io = opt.tee_io;
-    sys.channel.overlap = singleOverlap(opt);
-    if (!opt.fault_spec.empty()) {
-        // Revalidated here because runCli() is also a library entry
-        // point: tests and tools build Options directly.
-        const auto faults = fault::parseFaultSpec(opt.fault_spec);
-        if (!faults.ok())
-            fatal("%s", faults.status().toString().c_str());
-        sys.faults = faults.value();
-    }
+    sys.seed = sim.seed;
+    sys.channel.crypto_workers = sim.crypto_workers;
+    sys.channel.tee_io = sim.tee_io;
+    sys.channel.overlap = sim.overlap;
+    sys.faults = sim.faults;
     workloads::WorkloadParams params;
-    params.uvm = opt.uvm;
-    params.scale = opt.scale;
-    params.seed = opt.seed;
-    if (!opt.spec_file.empty()) {
-        auto spec = workloads::loadSpecFile(opt.spec_file);
+    params.uvm = sim.uvm;
+    params.scale = sim.scale;
+    params.seed = sim.seed;
+    if (!workload.spec_file.empty()) {
+        auto spec = workloads::loadSpecFile(workload.spec_file);
         if (!spec.ok())
             fatal("%s", spec.status().toString().c_str());
-        const workloads::SpecWorkload workload(spec.take());
-        return workloads::runWorkload(workload, sys, params);
+        const workloads::SpecWorkload w(spec.take());
+        return workloads::runWorkload(w, sys, params);
     }
-    return workloads::runWorkload(opt.app, sys, params);
+    return workloads::runWorkload(workload.app, sys, params);
 }
 
 void
@@ -833,6 +1074,15 @@ formatGbs(double v)
     return buf;
 }
 
+/** One-decimal rate for the serve summary (tokens/s). */
+std::string
+formatRate(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+    return buf;
+}
+
 /** Milliseconds with one decimal for the sweep wall-clock column. */
 std::string
 formatMs(double us)
@@ -862,80 +1112,6 @@ printSweepSummary(const sweep::SweepResult &r, std::ostream &os)
        << r.cells.size() << " cells ok, wall " << formatMs(r.wall_us)
        << " ms, pool utilization " << util << " ("
        << r.pool.stolen << " steals)\n";
-}
-
-/** CLI fork point, or @p fallback when --fork-point was not given.
- *  Revalidated here because runCli() is also a library entry point. */
-snap::ForkPoint
-forkPointFromFlags(const Options &opt, snap::ForkPoint fallback)
-{
-    if (opt.fork_point_spec.empty())
-        return fallback;
-    const auto parsed = snap::parseForkPoint(opt.fork_point_spec);
-    if (!parsed.ok())
-        fatal("%s", parsed.status().message().c_str());
-    return parsed.value();
-}
-
-/** Build the sweep grid from CLI flags (not a --spec grid file). */
-sweep::GridSpec
-gridFromFlags(const Options &opt)
-{
-    sweep::GridSpec grid;
-    grid.apps = sweep::parseAppList(opt.sweep_apps);
-    grid.cc_modes = sweep::parseModeList(opt.sweep_cc);
-    grid.uvm_modes = sweep::parseModeList(opt.sweep_uvm);
-    grid.scales = sweep::parseScaleList(opt.sweep_scales);
-    grid.seeds = sweep::parseSeedList(opt.sweep_seeds);
-    if (!opt.overlap.empty())
-        grid.overlaps = sweep::parseOverlapList(opt.overlap);
-    grid.crypto_workers = opt.crypto_workers;
-    grid.tee_io = opt.tee_io;
-    return grid;
-}
-
-/** Build the campaign grid from CLI flags (fatal on bad lists —
- *  parseArgs already validated flag-sourced values). */
-fault::CampaignSpec
-campaignFromFlags(const Options &opt)
-{
-    fault::CampaignSpec spec;
-    spec.app = opt.app;
-    spec.uvm = opt.uvm;
-    spec.scale = opt.scale;
-    spec.crypto_workers = opt.crypto_workers;
-    spec.tee_io = opt.tee_io;
-    if (!opt.overlap.empty())
-        spec.overlaps = sweep::parseOverlapList(opt.overlap);
-    if (opt.fault_sites == "all") {
-        spec.sites.assign(fault::allSites().begin(),
-                          fault::allSites().end());
-    } else {
-        std::istringstream iss(opt.fault_sites);
-        std::string item;
-        while (std::getline(iss, item, ',')) {
-            if (item.empty())
-                continue;
-            const auto site = fault::parseSite(item);
-            if (!site)
-                fatal("unknown fault site '%s'", item.c_str());
-            spec.sites.push_back(*site);
-        }
-    }
-    spec.rates = sweep::parseScaleList(opt.fault_rates);
-    for (const double r : spec.rates)
-        if (r > 1.0)
-            fatal("fault rate %g out of (0, 1]", r);
-    spec.seeds = sweep::parseSeedList(opt.sweep_seeds);
-    // Default "none" keeps the original semantics (faults armed at
-    // Context construction); --fork-point auto opts a campaign into
-    // fork/replay, which arms at the fork point instead.
-    spec.fork_point = forkPointFromFlags(opt, snap::ForkPoint{});
-    spec.no_snapshot = opt.no_snapshot;
-    if (opt.snapshot_budget_mib >= 0)
-        spec.snapshot_budget_bytes =
-            static_cast<std::size_t>(opt.snapshot_budget_mib) << 20;
-    return spec;
 }
 
 /** Fixed-precision slowdown for the campaign table. */
@@ -973,6 +1149,33 @@ printCampaignSummary(const fault::CampaignResult &r, std::ostream &os)
            << r.peak_resident_bytes << " resident snapshot bytes\n";
 }
 
+/** Human summary of a finished serve sweep: one SLO row per cell. */
+void
+printServeSummary(const serve::ServeResult &r, std::ostream &os)
+{
+    TextTable t("serve: open-loop "
+                + ml::llmBackendName(r.spec.backend) + "/"
+                + ml::llmQuantName(r.spec.quant) + " ("
+                + std::to_string(r.cells.size()) + " cells, --jobs "
+                + std::to_string(r.jobs) + ")");
+    t.header({"cell", "status", "offered tok/s", "goodput tok/s",
+              "ttft p95", "tpot p95", "bottleneck"});
+    for (const auto &c : r.cells) {
+        const serve::ServePoint &p = c.point;
+        t.row({c.cell.label(), c.ok ? "ok" : "FAIL: " + c.error,
+               c.ok ? formatRate(p.offered_tok_s) : "-",
+               c.ok ? formatRate(p.goodput_tok_s) : "-",
+               c.ok ? formatTime(p.ttft_p95) : "-",
+               c.ok ? formatTime(p.tpot_p95) : "-",
+               c.ok ? std::string(trace::bottleneckName(p.bottleneck))
+                    : "-"});
+    }
+    t.print(os);
+    os << "\n" << (r.cells.size() - r.failures()) << "/"
+       << r.cells.size() << " cells ok, wall " << formatMs(r.wall_us)
+       << " ms\n";
+}
+
 } // namespace
 
 int
@@ -1008,7 +1211,8 @@ runCli(const Options &opt, std::ostream &os)
       }
 
       case Command::Run: {
-        const auto res = runOnce(opt, opt.cc);
+        const RunOptions &ro = opt.run;
+        const auto res = runOnce(ro.workload, ro.sim, ro.sim.cc);
         printSummary(res, os);
         const auto d = perfmodel::decompose(res.trace);
         os << "\nperformance-model decomposition:\n" << d.report();
@@ -1017,15 +1221,16 @@ runCli(const Options &opt, std::ostream &os)
            << " (on-path " << formatTime(res.critical.on_path_ps)
            << " of " << formatTime(res.critical.end_to_end)
            << "; see `hccsim critical`)\n";
-        if (!opt.stats_out.empty())
+        if (!ro.stats_out.empty())
             writeStatsFile(
-                opt.stats_out, {{"", res.stats.get()}},
+                ro.stats_out, {{"", res.stats.get()}},
                 /*include_host=*/false,
                 trace::criticalPathJsonMember(res.critical));
         return 0;
       }
 
       case Command::Compare: {
+        const CompareOptions &co = opt.compare;
         // Both runs are independent simulations, so run them as a
         // two-cell sweep grid: --jobs 2 overlaps them on two
         // workers, and the merge order (base first) is fixed by the
@@ -1033,22 +1238,21 @@ runCli(const Options &opt, std::ostream &os)
         // files and faulted runs stay on the serial path (grid cells
         // carry neither a spec file nor a fault config).
         workloads::WorkloadResult base, cc;
-        if (!opt.spec_file.empty() || !opt.fault_spec.empty()) {
-            base = runOnce(opt, false);
-            cc = runOnce(opt, true);
+        if (!co.workload.spec_file.empty() || co.sim.faults.any()) {
+            base = runOnce(co.workload, co.sim, false);
+            cc = runOnce(co.workload, co.sim, true);
         } else {
             sweep::GridSpec grid;
-            grid.apps = {opt.app};
+            grid.apps = {co.workload.app};
             grid.cc_modes = {false, true};
-            grid.uvm_modes = {opt.uvm};
-            grid.scales = {opt.scale};
-            grid.seeds = {opt.seed};
-            grid.overlaps = {singleOverlap(opt)};
-            grid.crypto_workers = opt.crypto_workers;
-            grid.tee_io = opt.tee_io;
+            grid.uvm_modes = {co.sim.uvm};
+            grid.scales = {co.sim.scale};
+            grid.seeds = {co.sim.seed};
+            grid.overlaps = {co.sim.overlap};
+            grid.crypto_workers = co.sim.crypto_workers;
+            grid.tee_io = co.sim.tee_io;
             const int jobs = std::min(
-                opt.jobs > 0 ? opt.jobs : ThreadPool::defaultJobs(),
-                2);
+                co.jobs > 0 ? co.jobs : ThreadPool::defaultJobs(), 2);
             auto sw = sweep::runSweep(grid, jobs);
             for (const auto &c : sw.cells)
                 if (!c.ok)
@@ -1066,9 +1270,9 @@ runCli(const Options &opt, std::ostream &os)
            << trace::compareTraces(base.trace, cc.trace, 5).report()
            << "\n";
         printCriticalDelta(base.critical, cc.critical, os);
-        if (!opt.stats_out.empty()) {
+        if (!co.stats_out.empty()) {
             writeStatsFile(
-                opt.stats_out,
+                co.stats_out,
                 {{"base.", base.stats.get()},
                  {"cc.", cc.stats.get()}},
                 /*include_host=*/false,
@@ -1081,80 +1285,81 @@ runCli(const Options &opt, std::ostream &os)
       }
 
       case Command::Trace: {
-        const auto res = runOnce(opt, opt.cc);
+        const TraceOptions &to = opt.trace;
+        const auto res = runOnce(to.workload, to.sim, to.sim.cc);
         const auto writeTrace = [&](std::ostream &out) {
-            if (opt.format == "csv")
+            if (to.format == OutputFormat::Csv)
                 trace::exportCsv(res.trace, out);
             else
                 trace::exportChromeTrace(res.trace, out,
                                          res.stats.get(),
                                          &res.critical);
         };
-        if (!opt.trace_out.empty())
-            writeFileChecked(opt.trace_out, "trace file", writeTrace);
+        if (!to.trace_out.empty())
+            writeFileChecked(to.trace_out, "trace file", writeTrace);
         else
             writeTrace(os);
-        if (!opt.stats_out.empty())
+        if (!to.stats_out.empty())
             writeStatsFile(
-                opt.stats_out, {{"", res.stats.get()}},
+                to.stats_out, {{"", res.stats.get()}},
                 /*include_host=*/false,
                 trace::criticalPathJsonMember(res.critical));
         return 0;
       }
 
       case Command::Critical: {
-        const auto res = runOnce(opt, opt.cc);
-        os << trace::criticalReport(res.critical, res.trace,
-                                    opt.top);
-        if (!opt.critical_out.empty()) {
+        const CriticalOptions &co = opt.critical;
+        const auto res = runOnce(co.workload, co.sim, co.sim.cc);
+        os << trace::criticalReport(res.critical, res.trace, co.top);
+        if (!co.critical_out.empty()) {
             writeFileChecked(
-                opt.critical_out, "critical-path file",
+                co.critical_out, "critical-path file",
                 [&](std::ostream &out) {
                     trace::writeCriticalJson(res.critical, res.trace,
                                              out);
                 });
         }
-        if (!opt.stats_out.empty())
+        if (!co.stats_out.empty())
             writeStatsFile(
-                opt.stats_out, {{"", res.stats.get()}},
+                co.stats_out, {{"", res.stats.get()}},
                 /*include_host=*/false,
                 trace::criticalPathJsonMember(res.critical));
         return 0;
       }
 
       case Command::Sweep: {
+        const SweepOptions &so = opt.sweep;
         sweep::GridSpec grid;
-        if (opt.spec_file.empty()) {
-            grid = gridFromFlags(opt);
+        if (so.spec_file.empty()) {
+            grid = so.grid;
         } else {
-            auto loaded = sweep::loadGridFile(opt.spec_file);
+            auto loaded = sweep::loadGridFile(so.spec_file);
             if (!loaded.ok())
                 fatal("%s", loaded.status().toString().c_str());
             grid = loaded.take();
         }
-        grid.fork_point = forkPointFromFlags(opt, grid.fork_point);
-        if (opt.no_snapshot)
+        if (so.snapshot.fork_point)
+            grid.fork_point = *so.snapshot.fork_point;
+        if (so.snapshot.no_snapshot)
             grid.no_snapshot = true;
-        if (opt.snapshot_budget_mib >= 0)
-            grid.snapshot_budget_bytes =
-                static_cast<std::size_t>(opt.snapshot_budget_mib)
-                << 20;
+        if (so.snapshot.budget_bytes)
+            grid.snapshot_budget_bytes = *so.snapshot.budget_bytes;
         const int jobs =
-            opt.jobs > 0 ? opt.jobs : ThreadPool::defaultJobs();
+            so.jobs > 0 ? so.jobs : ThreadPool::defaultJobs();
         obs::Registry reg;
         const auto result = sweep::runSweep(grid, jobs, &reg);
         printSweepSummary(result, os);
-        if (!opt.out_file.empty()) {
+        if (!so.out_file.empty()) {
             writeFileChecked(
-                opt.out_file, "results file", [&](std::ostream &out) {
-                    if (opt.format == "csv")
+                so.out_file, "results file", [&](std::ostream &out) {
+                    if (so.format == OutputFormat::Csv)
                         sweep::writeCellsCsv(result, out);
                     else
                         sweep::writeCellsJson(result, out);
                 });
         }
-        if (!opt.stats_out.empty()) {
-            writeFileChecked(opt.stats_out, "stats file",
+        if (!so.stats_out.empty()) {
+            writeFileChecked(so.stats_out, "stats file",
                              [&](std::ostream &out) {
                                  sweep::writeMergedStats(result, out);
                              });
@@ -1163,37 +1368,66 @@ runCli(const Options &opt, std::ostream &os)
       }
 
       case Command::Faults: {
-        const auto spec = campaignFromFlags(opt);
+        const FaultsOptions &fo = opt.faults;
+        fault::CampaignSpec spec = fo.spec;
+        if (spec.sites.empty())
+            spec.sites.assign(fault::allSites().begin(),
+                              fault::allSites().end());
         const int jobs =
-            opt.jobs > 0 ? opt.jobs : ThreadPool::defaultJobs();
+            fo.jobs > 0 ? fo.jobs : ThreadPool::defaultJobs();
         obs::Registry reg;
         const auto result = fault::runFaultCampaign(spec, jobs, &reg);
         printCampaignSummary(result, os);
-        if (!opt.out_file.empty()) {
+        if (!fo.out_file.empty()) {
             writeFileChecked(
-                opt.out_file, "results file", [&](std::ostream &out) {
-                    if (opt.format == "csv")
+                fo.out_file, "results file", [&](std::ostream &out) {
+                    if (fo.format == OutputFormat::Csv)
                         fault::writeCampaignCsv(result, out);
                     else
                         fault::writeCampaignJson(result, out);
                 });
         }
-        if (!opt.stats_out.empty()) {
+        if (!fo.stats_out.empty()) {
             writeFileChecked(
-                opt.stats_out, "stats file", [&](std::ostream &out) {
+                fo.stats_out, "stats file", [&](std::ostream &out) {
                     fault::writeCampaignStats(result, out);
                 });
         }
         return result.allOk() ? 0 : 1;
       }
 
+      case Command::Serve: {
+        const ServeOptions &so = opt.serve;
+        const int jobs =
+            so.jobs > 0 ? so.jobs : ThreadPool::defaultJobs();
+        const auto result = serve::runServe(so.spec, jobs);
+        printServeSummary(result, os);
+        if (!so.out_file.empty()) {
+            writeFileChecked(
+                so.out_file, "results file", [&](std::ostream &out) {
+                    if (so.format == OutputFormat::Csv)
+                        serve::writeServeCsv(result, out);
+                    else
+                        serve::writeServeJson(result, out);
+                });
+        }
+        if (!so.stats_out.empty()) {
+            writeFileChecked(
+                so.stats_out, "stats file", [&](std::ostream &out) {
+                    serve::writeServeStats(result, out);
+                });
+        }
+        return result.allOk() ? 0 : 1;
+      }
+
       case Command::Project: {
-        const auto base = runOnce(opt, false);
+        const ProjectOptions &po = opt.project;
+        const auto base = runOnce(po.workload, po.sim, false);
         const auto projection = perfmodel::projectCc(base.trace);
-        os << "projecting '" << opt.app
+        os << "projecting '" << po.workload.app
            << "' from a base (non-CC) run into CC mode:\n"
            << projection.report();
-        const auto actual = runOnce(opt, true);
+        const auto actual = runOnce(po.workload, po.sim, true);
         const double actual_slowdown =
             static_cast<double>(actual.end_to_end)
             / static_cast<double>(base.end_to_end);
@@ -1236,9 +1470,9 @@ runCli(const Options &opt, std::ostream &os)
         for (const tee::OverlapMode mode :
              {tee::OverlapMode::None, tee::OverlapMode::DoubleBuffer,
               tee::OverlapMode::Speculative}) {
-            Options cell = opt;
-            cell.overlap = tee::overlapModeName(mode);
-            const auto run = runOnce(cell, true);
+            SimShape shape = po.sim;
+            shape.overlap = mode;
+            const auto run = runOnce(po.workload, shape, true);
             if (mode == tee::OverlapMode::None)
                 none_e2e = run.end_to_end;
             const double rate = perfmodel::ccPredictedRateGbps(
@@ -1262,37 +1496,36 @@ runCli(const Options &opt, std::ostream &os)
       }
 
       case Command::Snapshot: {
-        if (!opt.snapshot_in.empty()) {
-            const auto loaded =
-                snap::readSnapshotFile(opt.snapshot_in);
+        const SnapshotOptions &so = opt.snapshot;
+        if (!so.inspect.empty()) {
+            const auto loaded = snap::readSnapshotFile(so.inspect);
             if (!loaded.ok())
                 fatal("%s", loaded.status().toString().c_str());
             snap::printSnapshot(os, loaded.value());
             return 0;
         }
         const auto &w =
-            workloads::WorkloadRegistry::instance().get(opt.app);
-        if (opt.uvm && !w.supportsUvm())
-            fatal("workload '%s' has no UVM variant",
-                  opt.app.c_str());
+            workloads::WorkloadRegistry::instance().get(so.app);
+        if (so.sim.uvm && !w.supportsUvm())
+            fatal("workload '%s' has no UVM variant", so.app.c_str());
         if (!w.forkable())
-            fatal("workload '%s' is not forkable", opt.app.c_str());
-        const auto fork_point = forkPointFromFlags(
-            opt, snap::ForkPoint{snap::ForkPoint::Mode::Auto, 0.0});
+            fatal("workload '%s' is not forkable", so.app.c_str());
+        const snap::ForkPoint fork_point = so.fork_point.value_or(
+            snap::ForkPoint{snap::ForkPoint::Mode::Auto, 0.0});
         const auto cuts = fork_point.resolvePath(w);
         if (cuts.empty())
             fatal("--fork-point none captures nothing; use auto or "
                   "a fraction");
         rt::SystemConfig sys;
-        sys.cc = opt.cc;
-        sys.seed = opt.seed;
-        sys.channel.crypto_workers = opt.crypto_workers;
-        sys.channel.tee_io = opt.tee_io;
-        sys.channel.overlap = singleOverlap(opt);
+        sys.cc = so.sim.cc;
+        sys.seed = so.sim.seed;
+        sys.channel.crypto_workers = so.sim.crypto_workers;
+        sys.channel.tee_io = so.sim.tee_io;
+        sys.channel.overlap = so.sim.overlap;
         workloads::WorkloadParams params;
-        params.uvm = opt.uvm;
-        params.scale = opt.scale;
-        params.seed = opt.seed;
+        params.uvm = so.sim.uvm;
+        params.scale = so.sim.scale;
+        params.seed = so.sim.seed;
         rt::Context ctx(sys);
         // A chained path captures the *deepest* cut: run the prefix
         // to the first cut, then each segment to the next.  The
@@ -1302,8 +1535,8 @@ runCli(const Options &opt, std::ostream &os)
             resume = w.runSegment(ctx, params, *resume, cuts[d]);
         snap::Snapshot snapshot;
         ctx.captureSnapshot(snapshot);
-        snapshot.meta.app = opt.app;
-        snapshot.meta.uvm = opt.uvm;
+        snapshot.meta.app = so.app;
+        snapshot.meta.uvm = so.sim.uvm;
         snapshot.meta.fork_point = fork_point.str();
         if (cuts.size() > 1) {
             const std::string spec_str = fork_point.str();
@@ -1311,18 +1544,18 @@ runCli(const Options &opt, std::ostream &os)
                 spec_str.substr(0, spec_str.rfind('/'));
         }
         const auto status =
-            snap::writeSnapshotFile(opt.out_file, snapshot);
+            snap::writeSnapshotFile(so.out_file, snapshot);
         if (!status.ok())
             fatal("%s", status.toString().c_str());
         snap::printSnapshot(os, snapshot);
-        os << "wrote " << opt.out_file << "\n";
+        os << "wrote " << so.out_file << "\n";
         return 0;
       }
 
       case Command::CryptoCalibrate: {
         obs::Registry reg;
-        const auto results =
-            crypto::calibrateHostCrypto(opt.calib_ms, &reg);
+        const auto results = crypto::calibrateHostCrypto(
+            opt.crypto_calibrate.budget_ms, &reg);
         crypto::CpuCryptoModel model;
         TextTable t(
             "host crypto throughput ["
@@ -1341,22 +1574,25 @@ runCli(const Options &opt, std::ostream &os)
         os << "\ncalibrated CpuCryptoModel: " << results.size()
            << " algorithm overrides would replace the paper's "
            << "Fig. 4b constants.\n";
-        if (!opt.stats_out.empty())
-            writeStatsFile(opt.stats_out, {{"", &reg}},
+        if (!opt.crypto_calibrate.stats_out.empty())
+            writeStatsFile(opt.crypto_calibrate.stats_out,
+                           {{"", &reg}},
                            /*include_host=*/true);
         return 0;
       }
 
       case Command::StatsDiff: {
-        const auto baseline = obs::loadStatsFile(opt.diff_baseline);
+        const auto baseline =
+            obs::loadStatsFile(opt.stats_diff.baseline);
         if (!baseline.ok())
             fatal("%s", baseline.status().toString().c_str());
-        const auto current = obs::loadStatsFile(opt.diff_current);
+        const auto current =
+            obs::loadStatsFile(opt.stats_diff.current);
         if (!current.ok())
             fatal("%s", current.status().toString().c_str());
         const auto diff = obs::diffStats(baseline.value(),
                                          current.value(),
-                                         opt.tolerance);
+                                         opt.stats_diff.tolerance);
         os << diff.report();
         return diff.pass() ? 0 : 1;
       }

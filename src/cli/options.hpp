@@ -2,24 +2,39 @@
  * @file
  * Command-line interface of the `hccsim` tool: list workloads, run
  * one under a chosen configuration, compare base vs CC, export a
- * trace, or drive a fault-injection campaign.  Parsing and execution
- * are library functions so they are unit-testable; tools/hccsim.cpp
- * is a thin main().
+ * trace, drive a fault-injection campaign, or serve an open-loop LLM
+ * workload.  Parsing and execution are library functions so they are
+ * unit-testable; tools/hccsim.cpp is a thin main().
  *
  * All subcommands share one declarative flag table (options.cpp): a
  * flag is declared once with the set of subcommands it applies to,
  * so value parsing, "--x requires a value", "--x does not apply to
  * 'cmd'", unknown-flag errors and the per-subcommand `--help` output
  * are uniform by construction.
+ *
+ * Options are *typed per command*: every subcommand owns a struct of
+ * already-parsed values (enums, lists, engine spec structs), filled
+ * by the flag table at the CLI boundary.  Downstream code never
+ * re-parses a string — an `Options` that parseArgs() accepted is
+ * directly executable, and tests/tools that build Options by hand
+ * get compile-time field checking instead of stringly-typed modes.
  */
 
 #ifndef HCC_CLI_OPTIONS_HPP
 #define HCC_CLI_OPTIONS_HPP
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "fault/campaign.hpp"
+#include "fault/fault.hpp"
+#include "serve/serve.hpp"
+#include "snap/fork.hpp"
+#include "sweep/sweep.hpp"
+#include "tee/secure_channel.hpp"
 
 namespace hcc::cli {
 
@@ -34,20 +49,37 @@ enum class Command
     Project,
     Sweep,
     Faults,
+    Serve,
     StatsDiff,
     CryptoCalibrate,
     Snapshot,
     Help,
 };
 
-/** Parsed invocation. */
-struct Options
+/** Structured-output format for traces and per-cell results. */
+enum class OutputFormat
 {
-    Command command = Command::Help;
-    /** Workload name (Run/Compare/Trace). */
+    Json,
+    Csv,
+};
+
+/** Workload selection shared by the single-run commands: exactly one
+ *  of @p app (registry name) or @p spec_file (user spec). */
+struct WorkloadChoice
+{
     std::string app;
-    /** Path to a user spec file (alternative to --app). */
     std::string spec_file;
+};
+
+/**
+ * The simulator shape of one single run: everything that configures
+ * the Context and the workload variant.  Shared by run-like commands
+ * and snapshot capture.  All values are parsed — the overlap tier is
+ * an enum and the fault spec a FaultConfig, so runCli() never
+ * revalidates strings.
+ */
+struct SimShape
+{
     /** Run inside a TD with the GPU in CC mode. */
     bool cc = false;
     /** Use the managed-memory (UVM) variant. */
@@ -56,75 +88,174 @@ struct Options
     double scale = 1.0;
     /** RNG seed. */
     std::uint64_t seed = 42;
-    /** Trace export format: "json" (Chrome) or "csv". */
-    std::string format = "json";
     /** Parallel encryption workers in the CC transfer path. */
     int crypto_workers = 1;
     /** Model the hypothetical TEE-IO hardware path. */
     bool tee_io = false;
-    /**
-     * Channel overlap tier (none|double-buffer|speculative).  For
-     * sweep and faults this is a comma list (or "all") gridded as its
-     * own axis; everywhere else a single tier.  Empty = "none".
-     */
-    std::string overlap;
-    /** Write the run's stats registry as JSON (run/compare/trace). */
+    /** Channel overlap tier (single-run commands take exactly one). */
+    tee::OverlapMode overlap = tee::OverlapMode::None;
+    /** Deterministic fault injection (all-zero = no faults). */
+    fault::FaultConfig faults;
+};
+
+/** `hccsim run`. */
+struct RunOptions
+{
+    WorkloadChoice workload;
+    SimShape sim;
     std::string stats_out;
-    /** Global log threshold name ("" = leave the default). */
-    std::string log_level;
-    /** stats-diff: relative tolerance before a drift is flagged. */
-    double tolerance = 0.0;
-    /** stats-diff: baseline stats dump. */
-    std::string diff_baseline;
-    /** stats-diff: current stats dump. */
-    std::string diff_current;
-    /** Functional crypto implementation ("" = auto-select). */
-    std::string crypto_impl;
-    /** crypto-calibrate: wall-clock budget per algorithm, ms. */
-    double calib_ms = 50.0;
-    /** sweep: comma-separated app list, or "all". */
-    std::string sweep_apps;
-    /** sweep: CC modes to grid over (on|off|both). */
-    std::string sweep_cc = "both";
-    /** sweep: UVM modes to grid over (on|off|both). */
-    std::string sweep_uvm = "off";
-    /** sweep: comma-separated problem-size multipliers. */
-    std::string sweep_scales = "1";
-    /** sweep: comma-separated RNG seeds. */
-    std::string sweep_seeds = "42";
-    /** Worker threads for sweep/compare (0 = hardware default). */
+};
+
+/** `hccsim compare`. */
+struct CompareOptions
+{
+    WorkloadChoice workload;
+    SimShape sim;
+    /** Worker threads (0 = hardware default). */
     int jobs = 0;
-    /** sweep: per-cell results file (CSV/JSON per --format). */
-    std::string out_file;
-    /** trace: write the trace to this file instead of stdout. */
+    std::string stats_out;
+};
+
+/** `hccsim trace`. */
+struct TraceOptions
+{
+    WorkloadChoice workload;
+    SimShape sim;
+    OutputFormat format = OutputFormat::Json;
+    /** Write the trace here instead of stdout. */
     std::string trace_out;
-    /** run/compare/trace: "site=rate,..." fault-injection spec. */
-    std::string fault_spec;
-    /** critical: rows in the contributor/slack report tables. */
+    std::string stats_out;
+};
+
+/** `hccsim critical`. */
+struct CriticalOptions
+{
+    WorkloadChoice workload;
+    SimShape sim;
+    /** Rows in the contributor/slack report tables. */
     int top = 10;
-    /** critical: write the full critical-path JSON to this file. */
+    /** Write the full critical-path JSON (segments + slack). */
     std::string critical_out;
-    /** faults: comma-separated fault-site list, or "all". */
-    std::string fault_sites = "all";
-    /** faults: comma-separated injection rates, each in (0, 1]. */
-    std::string fault_rates = "0.01";
-    /**
-     * sweep/faults/snapshot: prefix/suffix cut spec
-     * (none|auto|FRACTION).  Empty keeps the per-command default:
-     * sweep forks duplicates automatically ("auto"), faults keeps
-     * the original construction-time arming ("none"), snapshot
-     * captures at the workload's fork_after marker ("auto").
-     */
-    std::string fork_point_spec;
-    /** sweep/faults: run split cells cold (no snapshot replay). */
+    std::string stats_out;
+};
+
+/** `hccsim project`. */
+struct ProjectOptions
+{
+    WorkloadChoice workload;
+    SimShape sim;
+};
+
+/** Snapshot-engine overrides that must compose with a grid loaded
+ *  from a --spec file: unset fields keep the file's (or the
+ *  engine's) default. */
+struct SnapshotOverrides
+{
+    std::optional<snap::ForkPoint> fork_point;
     bool no_snapshot = false;
-    /** sweep/faults: resident snapshot ceiling in MiB (0 =
-     *  unlimited, -1 = flag not given, keep the spec default). */
-    int snapshot_budget_mib = -1;
-    /** snapshot: inspect this snapshot file instead of capturing. */
-    std::string snapshot_in;
+    /** Resident snapshot ceiling in bytes (0 = unlimited). */
+    std::optional<std::size_t> budget_bytes;
+};
+
+/** `hccsim sweep`.  The grid axes live in the typed
+ *  sweep::GridSpec the engine consumes; `grid.apps` empty means
+ *  --apps was not given (then @p spec_file must name a grid file). */
+struct SweepOptions
+{
+    std::string spec_file;
+    sweep::GridSpec grid;
+    SnapshotOverrides snapshot;
+    int jobs = 0;
+    OutputFormat format = OutputFormat::Json;
+    /** Per-cell results file (CSV/JSON per @p format). */
+    std::string out_file;
+    std::string stats_out;
+};
+
+/** `hccsim faults`.  The campaign axes live in the typed
+ *  fault::CampaignSpec the engine consumes; `spec.sites` empty means
+ *  --sites was not given (runCli then campaigns over allSites()). */
+struct FaultsOptions
+{
+    FaultsOptions()
+    {
+        spec.app.clear();
+        spec.rates = {0.01};
+        spec.seeds = {42};
+    }
+
+    fault::CampaignSpec spec;
+    int jobs = 0;
+    OutputFormat format = OutputFormat::Json;
+    std::string out_file;
+    std::string stats_out;
+};
+
+/** `hccsim serve`.  The experiment lives in the typed
+ *  serve::ServeSpec the engine consumes. */
+struct ServeOptions
+{
+    serve::ServeSpec spec;
+    int jobs = 0;
+    OutputFormat format = OutputFormat::Json;
+    /** Per-cell results file (CSV/JSON per @p format). */
+    std::string out_file;
+    std::string stats_out;
+};
+
+/** `hccsim snapshot`: capture (--app ... --out FILE) or inspect
+ *  (--inspect FILE). */
+struct SnapshotOptions
+{
+    std::string app;
+    SimShape sim;
+    /** Unset = the workload's fork_after marker ("auto"). */
+    std::optional<snap::ForkPoint> fork_point;
+    std::string out_file;
+    /** Snapshot file to print instead of capturing. */
+    std::string inspect;
+};
+
+/** `hccsim stats-diff BASELINE CURRENT`. */
+struct StatsDiffOptions
+{
+    std::string baseline;
+    std::string current;
+    /** Relative tolerance before a change is drift. */
+    double tolerance = 0.0;
+};
+
+/** `hccsim crypto-calibrate`. */
+struct CryptoCalibrateOptions
+{
+    /** Wall-clock budget per algorithm, ms. */
+    double budget_ms = 50.0;
+    std::string stats_out;
+};
+
+/** Parsed invocation: the selected command plus its typed options.
+ *  Only the struct matching @p command is meaningful. */
+struct Options
+{
+    Command command = Command::Help;
     /** A subcommand `--help` was requested (print help, exit 0). */
     bool show_help = false;
+    /** Global log threshold name ("" = leave the default). */
+    std::string log_level;
+    /** Functional crypto implementation ("" = auto-select). */
+    std::string crypto_impl;
+
+    RunOptions run;
+    CompareOptions compare;
+    TraceOptions trace;
+    CriticalOptions critical;
+    ProjectOptions project;
+    SweepOptions sweep;
+    FaultsOptions faults;
+    ServeOptions serve;
+    SnapshotOptions snapshot;
+    StatsDiffOptions stats_diff;
+    CryptoCalibrateOptions crypto_calibrate;
 };
 
 /**

@@ -7,7 +7,7 @@
 #include <utility>
 
 #include "common/log.hpp"
-#include "obs/stats_io.hpp"
+#include "obs/report.hpp"
 #include "runtime/context.hpp"
 
 namespace hcc::fault {
@@ -408,17 +408,16 @@ writeCampaignJson(const CampaignResult &result, std::ostream &os)
 void
 writeCampaignStats(const CampaignResult &result, std::ostream &os)
 {
-    obs::StatsSections sections;
-    sections.reserve(result.cells.size());
+    obs::ReportWriter report;
     for (const auto &c : result.cells) {
         if (!c.ok)
             continue;
-        sections.emplace_back(
+        report.addSection(
             "cell" + std::to_string(c.cell.index) + "."
                 + c.cell.label(result.spec) + ".",
             c.result.stats.get());
     }
-    obs::writeStatsJson(os, sections, /*include_host=*/false);
+    report.write(os);
 }
 
 } // namespace hcc::fault

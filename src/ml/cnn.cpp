@@ -117,85 +117,111 @@ cnnModelSpec(CnnModel model)
     panic("unreachable cnn model");
 }
 
-CnnTrainResult
-trainCnn(rt::Context &ctx, const CnnTrainConfig &config)
+namespace {
+
+/** One training step (warm-up and steady-state are identical). */
+void
+cnnStep(rt::Context &ctx, const CnnTrainConfig &config,
+        CnnTrainState &state)
+{
+    // Prefetch the next batch while this step computes.
+    auto &next = state.use_a ? state.images_dev_b
+                             : state.images_dev_a;
+    ctx.memcpyAsync(next, state.images_host, state.batch_bytes,
+                    *state.copy_stream);
+    state.use_a = !state.use_a;
+    const std::string kname = cnnModelName(config.model) + "_layer";
+    const std::string oname = cnnModelName(config.model) + "_opt";
+    for (int k = 0; k < state.layer_kernels; ++k) {
+        gpu::KernelDesc kd;
+        kd.name = kname;
+        kd.duration = state.per_kernel;
+        ctx.launchKernel(kd);
+    }
+    for (int k = 0; k < kOptimizerKernels; ++k) {
+        gpu::KernelDesc kd;
+        kd.name = oname;
+        kd.duration = time::us(25.0);
+        ctx.launchKernel(kd);
+    }
+    ctx.deviceSynchronize();
+    ctx.memcpy(state.loss_host, state.loss_dev, 4096);
+}
+
+} // namespace
+
+void
+cnnTrainSegment(rt::Context &ctx, const CnnTrainConfig &config,
+                CnnTrainState &state, int to_step)
+{
+    for (int s = state.next_step; s < to_step; ++s)
+        cnnStep(ctx, config, state);
+    state.next_step = to_step;
+}
+
+CnnTrainState
+cnnTrainPrefix(rt::Context &ctx, const CnnTrainConfig &config,
+               int warm_steps)
 {
     if (config.batch_size <= 0 || config.steps <= 0)
         fatal("cnn training needs positive batch size and steps");
     const auto &spec = cnnModelSpec(config.model);
 
+    CnnTrainState state;
     // Input payload: FP32 by default; FP16 halves it (quantized
     // pipeline feeds half-precision tensors end to end).
     const Bytes value_bytes = config.precision == Precision::Fp16
         ? 2 : 4;
-    const Bytes batch_bytes = kImageValues * value_bytes
+    state.batch_bytes = kImageValues * value_bytes
         * static_cast<Bytes>(config.batch_size);
 
     // Step compute time from the throughput model.
     const double gflop = spec.gflop_per_image
         * static_cast<double>(config.batch_size);
     double tflops = kFp32PeakTflops * fp32Utilization(config.batch_size);
-    int layer_kernels = spec.kernels_per_step;
+    state.layer_kernels = spec.kernels_per_step;
     SimTime cast_time = 0;
     if (config.precision == Precision::Amp) {
         tflops *= ampSpeedup(config.batch_size);
         const int cast_kernels = static_cast<int>(
             spec.kernels_per_step * (kAmpKernelFactor - 1.0));
-        layer_kernels += cast_kernels;
+        state.layer_kernels += cast_kernels;
         cast_time = kAmpCastKernelKet * cast_kernels;
     } else if (config.precision == Precision::Fp16) {
         tflops *= kFp16ComputeSpeedup;
     }
     const SimTime compute = time::sec(gflop / (tflops * 1e3));
-    const SimTime per_kernel =
+    state.per_kernel =
         std::max<SimTime>(time::us(2.0),
-                          (compute + cast_time) / layer_kernels);
+                          (compute + cast_time) / state.layer_kernels);
 
     // Device-side state: double-buffered batch staging (the
     // dataloader prefetches the next batch over a copy stream while
     // the current step computes, PyTorch pin_memory+non_blocking
     // style).
-    auto images_host = ctx.mallocHost(batch_bytes);
-    auto images_dev_a = ctx.mallocDevice(batch_bytes);
-    auto images_dev_b = ctx.mallocDevice(batch_bytes);
-    auto params = ctx.mallocDevice(spec.param_bytes);
-    auto loss_dev = ctx.mallocDevice(4096);
-    auto loss_host = ctx.hostPageable(4096);
-    auto copy_stream = ctx.createStream();
-
-    const std::string kname =
-        cnnModelName(config.model) + "_layer";
-    const std::string oname =
-        cnnModelName(config.model) + "_opt";
+    state.images_host = ctx.mallocHost(state.batch_bytes);
+    state.images_dev_a = ctx.mallocDevice(state.batch_bytes);
+    state.images_dev_b = ctx.mallocDevice(state.batch_bytes);
+    state.params = ctx.mallocDevice(spec.param_bytes);
+    state.loss_dev = ctx.mallocDevice(4096);
+    state.loss_host = ctx.hostPageable(4096);
+    state.copy_stream = ctx.createStream();
 
     // Warm-up step (first-launch effects excluded from steady state).
-    bool use_a = true;
-    auto run_step = [&]() {
-        // Prefetch the next batch while this step computes.
-        auto &next = use_a ? images_dev_b : images_dev_a;
-        ctx.memcpyAsync(next, images_host, batch_bytes, copy_stream);
-        use_a = !use_a;
-        for (int k = 0; k < layer_kernels; ++k) {
-            gpu::KernelDesc kd;
-            kd.name = kname;
-            kd.duration = per_kernel;
-            ctx.launchKernel(kd);
-        }
-        for (int k = 0; k < kOptimizerKernels; ++k) {
-            gpu::KernelDesc kd;
-            kd.name = oname;
-            kd.duration = time::us(25.0);
-            ctx.launchKernel(kd);
-        }
-        ctx.deviceSynchronize();
-        ctx.memcpy(loss_host, loss_dev, 4096);
-    };
-    run_step();
+    cnnStep(ctx, config, state);
 
-    const SimTime steady_start = ctx.now();
-    for (int s = 0; s < config.steps; ++s)
-        run_step();
-    const SimTime steady = ctx.now() - steady_start;
+    state.steady_start = ctx.now();
+    cnnTrainSegment(ctx, config, state,
+                    std::clamp(warm_steps, 0, config.steps));
+    return state;
+}
+
+CnnTrainResult
+cnnTrainFinish(rt::Context &ctx, const CnnTrainConfig &config,
+               CnnTrainState state)
+{
+    cnnTrainSegment(ctx, config, state, config.steps);
+    const SimTime steady = ctx.now() - state.steady_start;
 
     CnnTrainResult result;
     result.step_time = steady / config.steps;
@@ -208,13 +234,20 @@ trainCnn(rt::Context &ctx, const CnnTrainConfig &config)
         static_cast<double>(result.step_time) * steps_per_epoch
         * 200.0);
 
-    ctx.free(images_host);
-    ctx.free(images_dev_a);
-    ctx.free(images_dev_b);
-    ctx.free(params);
-    ctx.free(loss_dev);
-    ctx.free(loss_host);
+    ctx.free(state.images_host);
+    ctx.free(state.images_dev_a);
+    ctx.free(state.images_dev_b);
+    ctx.free(state.params);
+    ctx.free(state.loss_dev);
+    ctx.free(state.loss_host);
     return result;
+}
+
+CnnTrainResult
+trainCnn(rt::Context &ctx, const CnnTrainConfig &config)
+{
+    return cnnTrainFinish(ctx, config,
+                          cnnTrainPrefix(ctx, config, 0));
 }
 
 std::vector<CnnTrainResult>

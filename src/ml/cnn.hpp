@@ -14,6 +14,7 @@
 #ifndef HCC_ML_CNN_HPP
 #define HCC_ML_CNN_HPP
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,51 @@ struct CnnTrainResult
 
 /** Run @p config's training loop in @p ctx and measure. */
 CnnTrainResult trainCnn(rt::Context &ctx, const CnnTrainConfig &config);
+
+/**
+ * Split-phase training, mirroring the llm trio (llm.hpp): the
+ * training loop's state crossing a prefix/suffix cut at a step
+ * boundary.  trainCnn() is exactly
+ * cnnTrainFinish(ctx, cfg, cnnTrainPrefix(ctx, cfg, 0)).
+ */
+struct CnnTrainState
+{
+    /** Per-layer-kernel duration derived from the config. */
+    SimTime per_kernel = 0;
+    /** Layer (+ AMP cast) kernels per step. */
+    int layer_kernels = 0;
+    /** Input payload per step. */
+    Bytes batch_bytes = 0;
+    rt::Buffer images_host, images_dev_a, images_dev_b;
+    rt::Buffer params, loss_dev, loss_host;
+    /** Dataloader prefetch stream (optional: Stream has no default
+     *  construction outside a Context). */
+    std::optional<rt::Stream> copy_stream;
+    /** Double-buffer flip: which staging buffer the next prefetch
+     *  fills. */
+    bool use_a = true;
+    /** Start of the steady-state window (after the warm-up step). */
+    SimTime steady_start = 0;
+    /** Next steady-state step to run. */
+    int next_step = 0;
+};
+
+/** Allocations, the warm-up step and the first @p warm_steps
+ *  steady-state steps. */
+CnnTrainState cnnTrainPrefix(rt::Context &ctx,
+                             const CnnTrainConfig &config,
+                             int warm_steps);
+
+/** Advance the training loop in place: steady-state steps
+ *  [state.next_step, to_step).  Prefix + segments + finish issues
+ *  the identical call sequence as trainCnn(). */
+void cnnTrainSegment(rt::Context &ctx, const CnnTrainConfig &config,
+                     CnnTrainState &state, int to_step);
+
+/** The remaining steps, result computation and frees. */
+CnnTrainResult cnnTrainFinish(rt::Context &ctx,
+                              const CnnTrainConfig &config,
+                              CnnTrainState state);
 
 /** One cell of a CNN batch sweep: a config and the system to run it
  *  under.  Each cell gets its own rt::Context, so cells are

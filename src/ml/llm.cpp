@@ -11,16 +11,6 @@ namespace hcc::ml {
 
 namespace {
 
-/** Weight footprint per format. */
-Bytes
-weightBytes(LlmQuant quant)
-{
-    if (quant == LlmQuant::Bf16)
-        return static_cast<Bytes>(kLlamaParams * 2.0);
-    // 4-bit weights + per-group scales/zeros.
-    return static_cast<Bytes>(kLlamaParams * 0.5 * 1.12);
-}
-
 /** Effective dense throughput (TFLOP/s) per backend/format. */
 double
 effTflops(LlmBackend backend, LlmQuant quant)
@@ -43,9 +33,51 @@ launchesPerStep(LlmBackend backend)
     return backend == LlmBackend::Vllm ? 96 : 224;
 }
 
-/** Framework (CPU-side scheduling) overhead per decode step. */
+} // namespace
+
+Bytes
+llmWeightBytes(LlmQuant quant)
+{
+    if (quant == LlmQuant::Bf16)
+        return static_cast<Bytes>(kLlamaParams * 2.0);
+    // 4-bit weights + per-group scales/zeros.
+    return static_cast<Bytes>(kLlamaParams * 0.5 * 1.12);
+}
+
+LlmStepModel
+llmStepModel(LlmBackend backend, LlmQuant quant, int batch)
+{
+    LlmStepModel model;
+    model.launches = launchesPerStep(backend);
+
+    // Decode-step device time: memory-bound term (stream all weights
+    // once per token) vs compute-bound term (2*P FLOPs per token per
+    // sequence), plus AWQ's dequant overhead.
+    const SimTime weight_stream =
+        transferTime(llmWeightBytes(quant), calib::kHbmGBs);
+    const double step_gflop = 2.0 * kLlamaParams * batch / 1e9;
+    const double tflops = effTflops(backend, quant);
+    const SimTime compute = time::sec(step_gflop / (tflops * 1e3));
+    SimTime device_step = std::max(weight_stream, compute);
+    if (quant == LlmQuant::Awq4)
+        device_step += kAwqDequantFixed;
+    model.per_kernel = std::max<SimTime>(
+        time::us(2.0), device_step / model.launches);
+    return model;
+}
+
 SimTime
-frameworkStepCost(LlmBackend backend, int batch)
+llmPrefillTime(LlmBackend backend, LlmQuant quant,
+               double prompt_tokens)
+{
+    const double prefill_gflop =
+        2.0 * kLlamaParams * prompt_tokens / 1e9;
+    const double tflops = effTflops(backend, quant);
+    return time::sec(prefill_gflop / (tflops * 1e3));
+}
+
+SimTime
+llmFrameworkStepCost(LlmBackend backend, int batch)
 {
     if (backend == LlmBackend::Vllm) {
         // Continuous batching scheduler: cheap, mildly batch-dep.
@@ -54,8 +86,6 @@ frameworkStepCost(LlmBackend backend, int batch)
     // HF python loop + padding bookkeeping per element.
     return time::us(2500.0) + time::us(18.0) * batch;
 }
-
-} // namespace
 
 std::string
 llmBackendName(LlmBackend backend)
@@ -84,7 +114,7 @@ llmServeSegment(rt::Context &ctx, const LlmConfig &config,
         ctx.memcpy(state.token_host, state.token_dev,
                    static_cast<Bytes>(config.batch) * 8);
         state.framework_total +=
-            frameworkStepCost(config.backend, config.batch);
+            llmFrameworkStepCost(config.backend, config.batch);
     }
     state.next_step = to_step;
 }
@@ -96,26 +126,13 @@ llmServePrefix(rt::Context &ctx, const LlmConfig &config,
     if (config.batch <= 0 || config.gen_len <= 0)
         fatal("llm serving needs positive batch and generation len");
 
-    const Bytes weights = weightBytes(config.quant);
-    const double tflops =
-        effTflops(config.backend, config.quant);
+    const Bytes weights = llmWeightBytes(config.quant);
 
     LlmServeState state;
-    state.launches = launchesPerStep(config.backend);
-
-    // Decode-step device time: memory-bound term (stream all weights
-    // once per token) vs compute-bound term (2*P FLOPs per token per
-    // sequence), plus AWQ's dequant overhead.
-    const SimTime weight_stream =
-        transferTime(weights, calib::kHbmGBs);
-    const double step_gflop =
-        2.0 * kLlamaParams * config.batch / 1e9;
-    const SimTime compute = time::sec(step_gflop / (tflops * 1e3));
-    SimTime device_step = std::max(weight_stream, compute);
-    if (config.quant == LlmQuant::Awq4)
-        device_step += kAwqDequantFixed;
-    state.per_kernel = std::max<SimTime>(
-        time::us(2.0), device_step / state.launches);
+    const LlmStepModel step =
+        llmStepModel(config.backend, config.quant, config.batch);
+    state.launches = step.launches;
+    state.per_kernel = step.per_kernel;
 
     // Device state: weights + KV cache.
     state.weights_dev = ctx.mallocDevice(weights);
@@ -139,10 +156,9 @@ llmServePrefix(rt::Context &ctx, const LlmConfig &config,
                state.prompt_dev.bytes);
 
     // Prefill: one compute-bound pass over the prompt.
-    const double prefill_gflop = 2.0 * kLlamaParams * config.batch
-        * config.prompt_len / 1e9;
-    const SimTime prefill =
-        time::sec(prefill_gflop / (tflops * 1e3));
+    const SimTime prefill = llmPrefillTime(
+        config.backend, config.quant,
+        static_cast<double>(config.batch) * config.prompt_len);
     {
         gpu::KernelDesc kd;
         kd.name = llmBackendName(config.backend) + "_prefill";

@@ -55,6 +55,44 @@ struct LlmResult
     SimTime step_time = 0;
 };
 
+// ------------------------------------------------------ model terms
+//
+// The analytical pieces of the serving model, exposed so the
+// closed-loop trio below and the open-loop continuous-batching
+// scheduler (serve/) derive decode-step costs from the *same*
+// arithmetic: a scheduler iteration at batch b prices exactly like a
+// closed-loop decode step at batch b.
+
+/** Weight footprint per format (BF16, or 4-bit + group scales). */
+Bytes llmWeightBytes(LlmQuant quant);
+
+/** Per-decode-step launch plan derived from the config. */
+struct LlmStepModel
+{
+    /** Duration of each decode kernel. */
+    SimTime per_kernel = 0;
+    /** Kernel launches per decode step. */
+    int launches = 0;
+};
+
+/**
+ * Decode-step device time at batch @p batch: memory-bound term
+ * (every token streams the full weight set from HBM) vs
+ * compute-bound term (2*P FLOPs per token per sequence), plus AWQ's
+ * fixed dequantization overhead, split across the backend's launch
+ * count (>= 2 us per kernel).
+ */
+LlmStepModel llmStepModel(LlmBackend backend, LlmQuant quant,
+                          int batch);
+
+/** Prefill device time for @p prompt_tokens total prompt tokens
+ *  (across the whole batch): one compute-bound pass. */
+SimTime llmPrefillTime(LlmBackend backend, LlmQuant quant,
+                       double prompt_tokens);
+
+/** Framework (CPU-side scheduling) overhead per decode step. */
+SimTime llmFrameworkStepCost(LlmBackend backend, int batch);
+
 /** Run the serving loop for @p config inside @p ctx. */
 LlmResult serveLlm(rt::Context &ctx, const LlmConfig &config);
 

@@ -1,0 +1,69 @@
+#include "obs/report.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace hcc::obs {
+
+std::string
+ReportWriter::member(const std::string &name,
+                     const std::string &rendered_json)
+{
+    return "\"" + name + "\": " + rendered_json;
+}
+
+ReportWriter &
+ReportWriter::addSection(std::string prefix, const Registry *registry)
+{
+    sections_.emplace_back(std::move(prefix), registry);
+    return *this;
+}
+
+ReportWriter &
+ReportWriter::addMember(const std::string &name,
+                        const std::string &rendered_json)
+{
+    return addRenderedMember(member(name, rendered_json));
+}
+
+ReportWriter &
+ReportWriter::addRenderedMember(std::string member_text)
+{
+    members_.push_back(std::move(member_text));
+    return *this;
+}
+
+ReportWriter &
+ReportWriter::includeHost(bool on)
+{
+    include_host_ = on;
+    return *this;
+}
+
+void
+ReportWriter::write(std::ostream &os) const
+{
+    // Compose the members exactly as the hand-spliced extra_members
+    // strings did: writeStatsJson indents the first member and the
+    // joiner continues the same two-space indent, so a multi-member
+    // report reads `  a,\n  b,\n` — byte-identical to the historic
+    // single-member dumps when only one member is present.
+    std::string members;
+    for (const auto &m : members_) {
+        if (!members.empty())
+            members += ",\n  ";
+        members += m;
+    }
+    writeStatsJson(os, sections_, include_host_, members);
+}
+
+std::string
+ReportWriter::str() const
+{
+    std::ostringstream oss;
+    write(oss);
+    return oss.str();
+}
+
+} // namespace hcc::obs

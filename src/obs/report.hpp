@@ -1,0 +1,70 @@
+/**
+ * @file
+ * ReportWriter: builder for the deterministic stats report document.
+ *
+ * Every stats-emitting output path (`run/compare/critical --stats-out`,
+ * the faults campaign dump, the serve curve dump) produces the same
+ * document shape — a version field, optional typed top-level members
+ * (the critical-path block, the serve latency curves), then the
+ * name-ordered "stats" object.  Before this class each path spliced
+ * its members into writeStatsJson's pre-rendered `extra_members`
+ * string by hand; ReportWriter owns that composition, so adding a
+ * member is one call instead of string surgery, and every path stays
+ * byte-identical with the dumps the CI baselines were captured from
+ * (write() delegates to writeStatsJson, the single serializer).
+ */
+
+#ifndef HCC_OBS_REPORT_HPP
+#define HCC_OBS_REPORT_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/stats_io.hpp"
+
+namespace hcc::obs {
+
+/** See file comment. */
+class ReportWriter
+{
+  public:
+    /** Render one top-level member, `"name": <rendered_json>`.  The
+     *  shared renderer, so members composed outside a ReportWriter
+     *  (e.g. trace::criticalPathJsonMember) match its output. */
+    static std::string member(const std::string &name,
+                              const std::string &rendered_json);
+
+    /** Append a stats section: @p registry's stats under @p prefix
+     *  ("" for an unprefixed single-run dump, "base."/"cc." for
+     *  compare, "cell<i>.<label>." for per-cell campaign dumps).
+     *  Sections are emitted in insertion order. */
+    ReportWriter &addSection(std::string prefix,
+                             const Registry *registry);
+
+    /** Append the top-level member `"name": <rendered_json>`. */
+    ReportWriter &addMember(const std::string &name,
+                            const std::string &rendered_json);
+
+    /** Append a pre-rendered member (already `"name": ...`). */
+    ReportWriter &addRenderedMember(std::string member_text);
+
+    /** Include host.* wall-clock stats (default: excluded, so dumps
+     *  stay deterministic). */
+    ReportWriter &includeHost(bool on);
+
+    /** Write the document. */
+    void write(std::ostream &os) const;
+
+    /** The document as a string. */
+    std::string str() const;
+
+  private:
+    StatsSections sections_;
+    std::vector<std::string> members_;
+    bool include_host_ = false;
+};
+
+} // namespace hcc::obs
+
+#endif // HCC_OBS_REPORT_HPP

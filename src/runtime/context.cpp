@@ -748,4 +748,18 @@ Context::deviceSynchronize()
                     start, host_now_, -1, 0, 0, 0, false});
 }
 
+void
+Context::advanceHostTo(SimTime when)
+{
+    if (when <= host_now_)
+        return;
+    // Lazily created: closed-loop runs never call this, so their
+    // stats dumps (and the committed CI baselines diffed against
+    // them) do not grow a counter that is always zero for them.
+    if (obs_idle_waits_ == nullptr)
+        obs_idle_waits_ = &obs_->counter("runtime.api.idle_waits");
+    obs_idle_waits_->add(1);
+    host_now_ = when;
+}
+
 } // namespace hcc::rt

@@ -208,6 +208,18 @@ class Context
     /** Block until all device work drains. */
     void deviceSynchronize();
 
+    /**
+     * Idle the host clock forward to an external wall-clock point —
+     * the arrival clock of open-loop workloads (`hccsim serve`).  A
+     * serving loop with an empty batch sleeps until the next request
+     * arrival; that wait is host idle time, not an API cost, so it
+     * records no trace event and draws no RNG (a Context driven
+     * through the same API sequence stays byte-identical whether or
+     * not the idle waits happen to be zero-length).  No-op when
+     * @p when is not in the future.
+     */
+    void advanceHostTo(SimTime when);
+
     // -------------------------------------------------- inspection
 
     /** Current simulated host time. */
@@ -404,6 +416,9 @@ class Context
     obs::Counter *obs_api_memcpys_ = nullptr;
     obs::Counter *obs_api_launches_ = nullptr;
     obs::Counter *obs_api_syncs_ = nullptr;
+    /** Created lazily on the first advanceHostTo() so closed-loop
+     *  runs (and their committed stats baselines) never see it. */
+    obs::Counter *obs_idle_waits_ = nullptr;
     obs::Gauge *obs_launch_queue_depth_ = nullptr;
 
     SimTime host_now_ = 0;

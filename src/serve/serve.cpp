@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Serve-sweep driver and deterministic writers: expand the spec into
+ * cells, run each in isolation on the shared thread pool, and merge
+ * the SLO metrics into CSV / JSON / stats outputs that are
+ * byte-identical across worker counts.
+ */
+
+#include "serve/serve.hpp"
+
+#include <charconv>
+#include <chrono>
+#include <ostream>
+
+#include "common/log.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/report.hpp"
+#include "sweep/sweep.hpp"
+
+namespace hcc::serve {
+
+namespace {
+
+/** Shortest round-trip decimal form of a double (deterministic). */
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+double
+elapsedUs(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** The per-point JSON object shared by the cells array and the
+ *  "serve_curve" stats member. */
+std::string
+pointJson(const ServeCellResult &c)
+{
+    std::string out;
+    out += "{\"index\": " + std::to_string(c.cell.index);
+    out += ", \"label\": \"" + sweep::jsonEscape(c.cell.label())
+        + "\"";
+    out += ", \"load\": " + formatLoad(c.cell.load);
+    out += std::string(", \"cc\": ") + (c.cell.cc ? "true" : "false");
+    out += ", \"overlap\": \""
+        + std::string(tee::overlapModeName(c.cell.overlap)) + "\"";
+    out += std::string(", \"ok\": ") + (c.ok ? "true" : "false");
+    if (c.ok) {
+        const ServePoint &p = c.point;
+        out += ", \"requests\": " + std::to_string(p.requests);
+        out += ", \"completed\": " + std::to_string(p.completed);
+        out += ", \"preempted\": " + std::to_string(p.preempted);
+        out += ", \"prefills\": " + std::to_string(p.prefills);
+        out += ", \"tokens\": " + std::to_string(p.tokens);
+        out += ", \"makespan_ps\": " + std::to_string(p.makespan);
+        out += ", \"offered_tok_s\": " + formatDouble(p.offered_tok_s);
+        out += ", \"goodput_tok_s\": " + formatDouble(p.goodput_tok_s);
+        out += ", \"ttft_p50_ps\": " + std::to_string(p.ttft_p50);
+        out += ", \"ttft_p95_ps\": " + std::to_string(p.ttft_p95);
+        out += ", \"ttft_p99_ps\": " + std::to_string(p.ttft_p99);
+        out += ", \"tpot_p50_ps\": " + std::to_string(p.tpot_p50);
+        out += ", \"tpot_p95_ps\": " + std::to_string(p.tpot_p95);
+        out += ", \"tpot_p99_ps\": " + std::to_string(p.tpot_p99);
+        out += ", \"kv_fault_batches\": "
+            + std::to_string(p.kv_fault_batches);
+        out += ", \"kv_migrated_bytes\": "
+            + std::to_string(p.kv_migrated_bytes);
+        out += ", \"bottleneck\": \""
+            + std::string(trace::bottleneckName(p.bottleneck)) + "\"";
+        out += ", \"critical_path_ps\": "
+            + std::to_string(p.critical_path_ps);
+    } else {
+        out += ", \"error\": \"" + sweep::jsonEscape(c.error) + "\"";
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace
+
+std::size_t
+ServeSpec::cellCount() const
+{
+    return loads.size() * cc_modes.size() * overlaps.size();
+}
+
+std::string
+ServeCell::label() const
+{
+    std::string out = "l" + formatLoad(load);
+    out += cc ? ".cc" : ".base";
+    if (overlap != tee::OverlapMode::None) {
+        out += '.';
+        out += tee::overlapModeName(overlap);
+    }
+    return out;
+}
+
+std::size_t
+ServeResult::failures() const
+{
+    std::size_t n = 0;
+    for (const auto &c : cells)
+        if (!c.ok)
+            ++n;
+    return n;
+}
+
+std::vector<ServeCell>
+expandServeCells(const ServeSpec &spec)
+{
+    if (spec.loads.empty())
+        fatal("serve: no offered loads given");
+    if (spec.cc_modes.empty())
+        fatal("serve: no cc modes given");
+    if (spec.overlaps.empty())
+        fatal("serve: no overlap tiers given");
+    std::vector<ServeCell> cells;
+    cells.reserve(spec.cellCount());
+    for (double load : spec.loads)
+        for (bool cc : spec.cc_modes)
+            for (tee::OverlapMode overlap : spec.overlaps) {
+                ServeCell cell;
+                cell.index = cells.size();
+                cell.load = load;
+                cell.cc = cc;
+                cell.overlap = overlap;
+                cells.push_back(cell);
+            }
+    return cells;
+}
+
+ServeResult
+runServe(const ServeSpec &spec, int jobs)
+{
+    const auto sweep_start = std::chrono::steady_clock::now();
+    const std::vector<ServeCell> cells = expandServeCells(spec);
+
+    ServeResult result;
+    result.spec = spec;
+    result.jobs = jobs < 1 ? 1 : jobs;
+    result.cells.resize(cells.size());
+
+    runIndexed(cells.size(), jobs, [&](std::size_t i) {
+        const auto cell_start = std::chrono::steady_clock::now();
+        ServeCellResult &out = result.cells[i];
+        out.cell = cells[i];
+        try {
+            out.point = runServeCell(spec, cells[i]);
+            out.ok = true;
+        } catch (const FatalError &e) {
+            out.ok = false;
+            out.error = e.what();
+        }
+        out.wall_us = elapsedUs(cell_start);
+    });
+
+    result.wall_us = elapsedUs(sweep_start);
+    return result;
+}
+
+void
+writeServeCsv(const ServeResult &result, std::ostream &os)
+{
+    os << "index,label,load,cc,overlap,requests,completed,preempted,"
+          "prefills,tokens,makespan_ps,offered_tok_s,goodput_tok_s,"
+          "ttft_p50_ps,ttft_p95_ps,ttft_p99_ps,tpot_p50_ps,"
+          "tpot_p95_ps,tpot_p99_ps,kv_fault_batches,"
+          "kv_migrated_bytes,bottleneck,critical_path_ps,error\n";
+    for (const auto &c : result.cells) {
+        os << c.cell.index << ','
+           << sweep::csvField(c.cell.label()) << ','
+           << formatLoad(c.cell.load) << ','
+           << (c.cell.cc ? 1 : 0) << ','
+           << tee::overlapModeName(c.cell.overlap) << ',';
+        if (c.ok) {
+            const ServePoint &p = c.point;
+            os << p.requests << ',' << p.completed << ','
+               << p.preempted << ',' << p.prefills << ','
+               << p.tokens << ',' << p.makespan << ','
+               << formatDouble(p.offered_tok_s) << ','
+               << formatDouble(p.goodput_tok_s) << ','
+               << p.ttft_p50 << ',' << p.ttft_p95 << ','
+               << p.ttft_p99 << ',' << p.tpot_p50 << ','
+               << p.tpot_p95 << ',' << p.tpot_p99 << ','
+               << p.kv_fault_batches << ','
+               << p.kv_migrated_bytes << ','
+               << trace::bottleneckName(p.bottleneck) << ','
+               << p.critical_path_ps << ',';
+        } else {
+            os << ",,,,,,,,,,,,,,,,,,";
+        }
+        os << sweep::csvField(c.error) << '\n';
+    }
+}
+
+void
+writeServeJson(const ServeResult &result, std::ostream &os)
+{
+    os << "[\n";
+    bool first = true;
+    for (const auto &c : result.cells) {
+        os << (first ? "" : ",\n");
+        first = false;
+        os << "  " << pointJson(c);
+    }
+    os << "\n]\n";
+}
+
+void
+writeServeStats(const ServeResult &result, std::ostream &os)
+{
+    obs::ReportWriter report;
+    std::string curve = "[";
+    bool first = true;
+    for (const auto &c : result.cells) {
+        curve += first ? "" : ", ";
+        first = false;
+        curve += pointJson(c);
+        if (c.ok)
+            report.addSection("cell" + std::to_string(c.cell.index)
+                                  + "." + c.cell.label() + ".",
+                              c.point.stats.get());
+    }
+    curve += "]";
+    report.addMember("serve_curve", curve);
+    report.write(os);
+}
+
+} // namespace hcc::serve

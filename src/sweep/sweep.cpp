@@ -12,18 +12,6 @@
 
 namespace hcc::sweep {
 
-namespace {
-
-/** Shortest deterministic rendering of a scale factor. */
-std::string
-formatScale(double scale)
-{
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%g", scale);
-    return buf;
-}
-
-/** RFC-4180 field quoting (quote when a comma/quote/newline occurs). */
 std::string
 csvField(const std::string &field)
 {
@@ -39,7 +27,6 @@ csvField(const std::string &field)
     return quoted;
 }
 
-/** JSON string escaping for cell labels and error messages. */
 std::string
 jsonEscape(const std::string &s)
 {
@@ -63,6 +50,17 @@ jsonEscape(const std::string &s)
         }
     }
     return out;
+}
+
+namespace {
+
+/** Shortest deterministic rendering of a scale factor. */
+std::string
+formatScale(double scale)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", scale);
+    return buf;
 }
 
 double

@@ -191,6 +191,13 @@ std::vector<tee::OverlapMode> parseOverlapList(const std::string &csv);
 /** Load and parse a grid spec file (IoError when unreadable). */
 Result<GridSpec> loadGridFile(const std::string &path);
 
+/** RFC-4180 CSV field quoting (shared by the sweep/serve writers). */
+std::string csvField(const std::string &field);
+
+/** JSON string escaping for labels and error messages (shared by the
+ *  sweep/serve writers). */
+std::string jsonEscape(const std::string &s);
+
 /**
  * Deterministic per-cell CSV (RFC-4180 quoting): one row per cell in
  * input order, simulated metrics only — byte-identical across

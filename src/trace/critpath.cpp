@@ -17,6 +17,7 @@
 
 #include "common/log.hpp"
 #include "common/table.hpp"
+#include "obs/report.hpp"
 
 namespace hcc::trace {
 namespace {
@@ -1051,7 +1052,8 @@ criticalPathJson(const CriticalPath &path)
 std::string
 criticalPathJsonMember(const CriticalPath &path)
 {
-    return "\"critical_path\": " + criticalPathJson(path);
+    return obs::ReportWriter::member("critical_path",
+                                     criticalPathJson(path));
 }
 
 namespace {

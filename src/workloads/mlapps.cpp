@@ -1,98 +1,86 @@
 /**
  * @file
- * ML serving apps in the workload registry.
+ * ML apps in the workload registry, written as Sessions (session.hpp)
+ * so the fork engine, the snapshot TreeRunner and the serve scheduler
+ * all drive them through the same step-cursor API.
  *
  * "llm" mirrors the fig14 microbench's slowest column — Llama-3-8B
  * on HuggingFace with BF16 weights at batch 8 (224 launches per
  * decode step) — so `hccsim run/critical --app llm` reproduces the
  * cell whose CPU-GPU serialization the paper's Sec. VII-B dissects.
+ * "cnntrain" is the fig13 training loop (ResNet50/FP32/batch 64):
+ * launch-dominated, so like llm nearly all of it is shareable warmup.
  */
 
 #include <algorithm>
 #include <memory>
 
 #include "common/log.hpp"
+#include "ml/cnn.hpp"
 #include "ml/llm.hpp"
+#include "workloads/session.hpp"
 #include "workloads/workload.hpp"
 
 namespace hcc::workloads {
 namespace {
 
-class LlmWorkload final : public Workload
+/** The llm trio as a Session. */
+class LlmSession final : public Session
+{
+  public:
+    explicit LlmSession(const ml::LlmConfig &config)
+        : config_(config)
+    {}
+
+    int totalSteps() const override { return config_.gen_len; }
+    int cursor() const override { return state_.next_step; }
+
+    void
+    open(rt::Context &ctx) override
+    {
+        state_ = ml::llmServePrefix(ctx, config_, 0);
+    }
+
+    void
+    advance(rt::Context &ctx, int to_step) override
+    {
+        ml::llmServeSegment(ctx, config_, state_,
+                            std::max(to_step, state_.next_step));
+    }
+
+    void
+    finish(rt::Context &ctx) override
+    {
+        result_ = ml::llmServeFinish(ctx, config_, state_);
+    }
+
+    std::unique_ptr<Session>
+    clone() const override
+    {
+        return std::make_unique<LlmSession>(*this);
+    }
+
+    const ml::LlmResult &result() const { return result_; }
+
+  private:
+    ml::LlmConfig config_;
+    ml::LlmServeState state_;
+    ml::LlmResult result_;
+};
+
+class LlmWorkload final : public SessionWorkload
 {
   public:
     std::string name() const override { return "llm"; }
     std::string suite() const override { return "ml"; }
     bool supportsUvm() const override { return false; }
 
-    void
-    run(rt::Context &ctx, const WorkloadParams &params) const override
-    {
-        ml::serveLlm(ctx, configFor(params));
-    }
-
-    bool forkable() const override { return true; }
-
     // Decode launches dominate the serving session, so nearly the
     // whole schedule is shareable warmup.
     double defaultForkPoint() const override { return 0.9; }
 
-    std::unique_ptr<Resume>
-    runPrefix(rt::Context &ctx, const WorkloadParams &params,
-              double fraction) const override
-    {
-        const ml::LlmConfig cfg = configFor(params);
-        const double f = std::clamp(fraction, 0.0, 1.0);
-        // The prefix cuts at a decode-step boundary: prefill plus
-        // the first ~fraction of the generated tokens.
-        const int warm = static_cast<int>(
-            static_cast<double>(cfg.gen_len) * f);
-        auto resume = std::make_unique<LlmResume>();
-        resume->state = ml::llmServePrefix(ctx, cfg, warm);
-        return resume;
-    }
-
-    void
-    runSuffix(rt::Context &ctx, const WorkloadParams &params,
-              const Resume &resume) const override
-    {
-        const auto *r = dynamic_cast<const LlmResume *>(&resume);
-        if (!r)
-            fatal("llm runSuffix got a foreign resume state");
-        ml::llmServeFinish(ctx, configFor(params), r->state);
-    }
-
-    std::unique_ptr<Resume>
-    runSegment(rt::Context &ctx, const WorkloadParams &params,
-               const Resume &from, double to_fraction) const override
-    {
-        const auto *r = dynamic_cast<const LlmResume *>(&from);
-        if (!r)
-            fatal("llm runSegment got a foreign resume state");
-        const ml::LlmConfig cfg = configFor(params);
-        // Same decode-step rounding as runPrefix, so chained cuts
-        // tile the serving session without gaps or overlaps.
-        const double f = std::clamp(to_fraction, 0.0, 1.0);
-        const int to_step = static_cast<int>(
-            static_cast<double>(cfg.gen_len) * f);
-        auto next = std::make_unique<LlmResume>();
-        next->state = r->state;
-        ml::llmServeSegment(ctx, cfg, next->state, to_step);
-        return next;
-    }
-
-    // No reseedResume override: the serving loop keeps no
-    // workload-local stochastic state (decode durations are derived
-    // from the config, jitter lives in the Context's streams).
-
-  private:
-    struct LlmResume final : Resume
-    {
-        ml::LlmServeState state;
-    };
-
-    static ml::LlmConfig
-    configFor(const WorkloadParams &params)
+    std::unique_ptr<Session>
+    makeSession(const WorkloadParams &params) const override
     {
         ml::LlmConfig cfg;
         cfg.backend = ml::LlmBackend::HuggingFace;
@@ -102,7 +90,81 @@ class LlmWorkload final : public Workload
         cfg.gen_len = std::max(
             1, static_cast<int>(static_cast<double>(cfg.gen_len)
                                 * params.scale));
-        return cfg;
+        return std::make_unique<LlmSession>(cfg);
+    }
+
+    // No reseedResume override: the serving loop keeps no
+    // workload-local stochastic state (decode durations are derived
+    // from the config, jitter lives in the Context's streams).
+};
+
+/** The cnn trio as a Session. */
+class CnnSession final : public Session
+{
+  public:
+    explicit CnnSession(const ml::CnnTrainConfig &config)
+        : config_(config)
+    {}
+
+    int totalSteps() const override { return config_.steps; }
+    int cursor() const override { return state_.next_step; }
+
+    void
+    open(rt::Context &ctx) override
+    {
+        state_ = ml::cnnTrainPrefix(ctx, config_, 0);
+    }
+
+    void
+    advance(rt::Context &ctx, int to_step) override
+    {
+        ml::cnnTrainSegment(ctx, config_, state_,
+                            std::max(to_step, state_.next_step));
+    }
+
+    void
+    finish(rt::Context &ctx) override
+    {
+        result_ = ml::cnnTrainFinish(ctx, config_, state_);
+    }
+
+    std::unique_ptr<Session>
+    clone() const override
+    {
+        return std::make_unique<CnnSession>(*this);
+    }
+
+    const ml::CnnTrainResult &result() const { return result_; }
+
+  private:
+    ml::CnnTrainConfig config_;
+    ml::CnnTrainState state_;
+    ml::CnnTrainResult result_;
+};
+
+class CnnTrainWorkload final : public SessionWorkload
+{
+  public:
+    std::string name() const override { return "cnntrain"; }
+    std::string suite() const override { return "ml"; }
+    bool supportsUvm() const override { return false; }
+
+    // Steady-state steps dominate the schedule after one warm-up
+    // step, same shape as llm decode.
+    double defaultForkPoint() const override { return 0.9; }
+
+    std::unique_ptr<Session>
+    makeSession(const WorkloadParams &params) const override
+    {
+        ml::CnnTrainConfig cfg;
+        cfg.model = ml::CnnModel::ResNet50;
+        cfg.batch_size = 64;
+        cfg.precision = ml::Precision::Fp32;
+        // scale stretches the measured window, not the model.
+        cfg.steps = std::max(
+            1, static_cast<int>(static_cast<double>(cfg.steps)
+                                * params.scale));
+        return std::make_unique<CnnSession>(cfg);
     }
 };
 
@@ -113,6 +175,8 @@ registerMlApps()
 {
     WorkloadRegistry::instance().add(
         std::make_unique<LlmWorkload>());
+    WorkloadRegistry::instance().add(
+        std::make_unique<CnnTrainWorkload>());
 }
 
 } // namespace hcc::workloads

@@ -1,6 +1,7 @@
 /**
  * @file
- * Tests for the hccsim CLI: argument parsing and command execution.
+ * Tests for the hccsim CLI: argument parsing into the typed
+ * per-command option structs, and command execution.
  */
 
 #include <gtest/gtest.h>
@@ -45,11 +46,11 @@ TEST(CliParse, RunWithAllOptions)
                           "--scale", "2.5", "--seed", "7"});
     ASSERT_TRUE(o);
     EXPECT_EQ(o->command, Command::Run);
-    EXPECT_EQ(o->app, "sc");
-    EXPECT_TRUE(o->cc);
-    EXPECT_TRUE(o->uvm);
-    EXPECT_DOUBLE_EQ(o->scale, 2.5);
-    EXPECT_EQ(o->seed, 7u);
+    EXPECT_EQ(o->run.workload.app, "sc");
+    EXPECT_TRUE(o->run.sim.cc);
+    EXPECT_TRUE(o->run.sim.uvm);
+    EXPECT_DOUBLE_EQ(o->run.sim.scale, 2.5);
+    EXPECT_EQ(o->run.sim.seed, 7u);
 }
 
 TEST(CliParse, HelpVariants)
@@ -89,7 +90,12 @@ TEST(CliParse, BadFormat)
     EXPECT_FALSE(parse({"trace", "--app", "sc", "--format", "xml"}));
     const auto o = parse({"trace", "--app", "sc", "--format", "csv"});
     ASSERT_TRUE(o);
-    EXPECT_EQ(o->format, "csv");
+    EXPECT_EQ(o->trace.format, OutputFormat::Csv);
+    std::string err;
+    EXPECT_FALSE(parse({"run", "--app", "sc", "--format", "csv"},
+                       &err))
+        << "run has no structured output; --format must not apply";
+    EXPECT_NE(err.find("does not apply"), std::string::npos);
 }
 
 TEST(CliParse, ChannelKnobs)
@@ -97,8 +103,8 @@ TEST(CliParse, ChannelKnobs)
     const auto o = parse({"compare", "--app", "gemm",
                           "--crypto-workers", "8", "--tee-io"});
     ASSERT_TRUE(o);
-    EXPECT_EQ(o->crypto_workers, 8);
-    EXPECT_TRUE(o->tee_io);
+    EXPECT_EQ(o->compare.sim.crypto_workers, 8);
+    EXPECT_TRUE(o->compare.sim.tee_io);
     EXPECT_FALSE(parse({"run", "--app", "x", "--crypto-workers",
                         "0"}));
     EXPECT_FALSE(parse({"run", "--app", "x", "--crypto-workers",
@@ -110,10 +116,16 @@ TEST(CliParse, OverlapFlag)
     const auto o =
         parse({"run", "--app", "x", "--overlap", "speculative"});
     ASSERT_TRUE(o);
-    EXPECT_EQ(o->overlap, "speculative");
-    // Sweep grids the axis, so it alone takes lists and `all`.
-    EXPECT_TRUE(parse({"sweep", "--apps", "atax", "--overlap",
-                       "none,double-buffer"}));
+    EXPECT_EQ(o->run.sim.overlap, tee::OverlapMode::Speculative);
+    // Sweep grids the axis, so it takes lists and `all`.
+    {
+        const auto s = parse({"sweep", "--apps", "atax", "--overlap",
+                              "none,double-buffer"});
+        ASSERT_TRUE(s);
+        ASSERT_EQ(s->sweep.grid.overlaps.size(), 2u);
+        EXPECT_EQ(s->sweep.grid.overlaps[1],
+                  tee::OverlapMode::DoubleBuffer);
+    }
     EXPECT_TRUE(parse({"sweep", "--apps", "atax", "--overlap",
                        "all"}));
     std::string err;
@@ -129,8 +141,12 @@ TEST(CliParse, OverlapFlag)
 TEST(CliParse, OverlapListOnFaults)
 {
     // The faults campaign grids the overlap axis like sweep does.
-    EXPECT_TRUE(parse({"faults", "--app", "atax", "--overlap",
-                       "none,speculative"}));
+    const auto o = parse({"faults", "--app", "atax", "--overlap",
+                          "none,speculative"});
+    ASSERT_TRUE(o);
+    ASSERT_EQ(o->faults.spec.overlaps.size(), 2u);
+    EXPECT_EQ(o->faults.spec.overlaps[1],
+              tee::OverlapMode::Speculative);
     EXPECT_TRUE(parse({"faults", "--app", "atax", "--overlap",
                        "all"}));
     std::string err;
@@ -144,7 +160,7 @@ TEST(CliParse, ForkPointPathsValidateAtParseTime)
     const auto o = parse({"faults", "--app", "atax", "--fork-point",
                           "auto/0.95"});
     ASSERT_TRUE(o);
-    EXPECT_EQ(o->fork_point_spec, "auto/0.95");
+    EXPECT_EQ(o->faults.spec.fork_point.str(), "auto/0.95");
 
     std::string err;
     EXPECT_FALSE(parse({"faults", "--app", "atax", "--fork-point",
@@ -167,9 +183,15 @@ TEST(CliParse, SnapshotBudgetFlag)
     const auto o = parse({"sweep", "--apps", "atax",
                           "--snapshot-budget", "64"});
     ASSERT_TRUE(o);
-    EXPECT_EQ(o->snapshot_budget_mib, 64);
-    EXPECT_TRUE(parse({"faults", "--app", "atax",
-                       "--snapshot-budget", "0"}));
+    ASSERT_TRUE(o->sweep.snapshot.budget_bytes.has_value());
+    EXPECT_EQ(*o->sweep.snapshot.budget_bytes,
+              std::size_t{64} << 20);
+    {
+        const auto f = parse({"faults", "--app", "atax",
+                              "--snapshot-budget", "0"});
+        ASSERT_TRUE(f);
+        EXPECT_EQ(f->faults.spec.snapshot_budget_bytes, 0u);
+    }
     EXPECT_FALSE(parse({"sweep", "--apps", "a",
                         "--snapshot-budget", "-1"}));
     EXPECT_FALSE(parse({"sweep", "--apps", "a",
@@ -185,8 +207,8 @@ TEST(CliRun, WorkersReduceCcSlowdown)
     auto slowdown = [](int workers) {
         Options o;
         o.command = Command::Compare;
-        o.app = "gemm";
-        o.crypto_workers = workers;
+        o.compare.workload.app = "gemm";
+        o.compare.sim.crypto_workers = workers;
         std::ostringstream oss;
         runCli(o, oss);
         const auto out = oss.str();
@@ -207,9 +229,9 @@ TEST(CliParse, StatsDiffCommand)
                           "--tolerance", "0.05"});
     ASSERT_TRUE(o);
     EXPECT_EQ(o->command, Command::StatsDiff);
-    EXPECT_EQ(o->diff_baseline, "base.json");
-    EXPECT_EQ(o->diff_current, "cur.json");
-    EXPECT_DOUBLE_EQ(o->tolerance, 0.05);
+    EXPECT_EQ(o->stats_diff.baseline, "base.json");
+    EXPECT_EQ(o->stats_diff.current, "cur.json");
+    EXPECT_DOUBLE_EQ(o->stats_diff.tolerance, 0.05);
 
     std::string err;
     EXPECT_FALSE(parse({"stats-diff", "only-one.json"}, &err));
@@ -226,7 +248,7 @@ TEST(CliParse, StatsOutAndLogLevel)
     const auto o = parse({"run", "--app", "sc", "--stats-out",
                           "s.json", "--log-level", "debug"});
     ASSERT_TRUE(o);
-    EXPECT_EQ(o->stats_out, "s.json");
+    EXPECT_EQ(o->run.stats_out, "s.json");
     EXPECT_EQ(o->log_level, "debug");
 
     std::string err;
@@ -255,7 +277,7 @@ TEST(CliRun, RunPrintsSummaryAndModel)
 {
     Options o;
     o.command = Command::Run;
-    o.app = "2mm";
+    o.run.workload.app = "2mm";
     std::ostringstream oss;
     EXPECT_EQ(runCli(o, oss), 0);
     const auto out = oss.str();
@@ -267,7 +289,7 @@ TEST(CliRun, CompareShowsSlowdown)
 {
     Options o;
     o.command = Command::Compare;
-    o.app = "atax";
+    o.compare.workload.app = "atax";
     std::ostringstream oss;
     EXPECT_EQ(runCli(o, oss), 0);
     EXPECT_NE(oss.str().find("CC slowdown:"), std::string::npos);
@@ -277,13 +299,13 @@ TEST(CliRun, TraceJsonAndCsv)
 {
     Options o;
     o.command = Command::Trace;
-    o.app = "2mm";
+    o.trace.workload.app = "2mm";
     {
         std::ostringstream oss;
         EXPECT_EQ(runCli(o, oss), 0);
         EXPECT_EQ(oss.str().front(), '[');
     }
-    o.format = "csv";
+    o.trace.format = OutputFormat::Csv;
     {
         std::ostringstream oss;
         EXPECT_EQ(runCli(o, oss), 0);
@@ -295,7 +317,7 @@ TEST(CliRun, UnknownAppThrowsFatal)
 {
     Options o;
     o.command = Command::Run;
-    o.app = "not-a-workload";
+    o.run.workload.app = "not-a-workload";
     std::ostringstream oss;
     EXPECT_THROW(runCli(o, oss), hcc::FatalError);
 }
@@ -306,7 +328,7 @@ TEST(CliRun, HelpMentionsAllCommands)
     std::ostringstream oss;
     EXPECT_EQ(runCli(o, oss), 0);
     for (const char *cmd :
-         {"list", "run", "compare", "trace", "stats-diff"})
+         {"list", "run", "compare", "trace", "serve", "stats-diff"})
         EXPECT_NE(oss.str().find(cmd), std::string::npos) << cmd;
 }
 
@@ -328,10 +350,10 @@ runWithStatsOut(const std::string &path, double scale)
 {
     Options o;
     o.command = Command::Run;
-    o.app = "atax";
-    o.cc = true;
-    o.scale = scale;
-    o.stats_out = path;
+    o.run.workload.app = "atax";
+    o.run.sim.cc = true;
+    o.run.sim.scale = scale;
+    o.run.stats_out = path;
     std::ostringstream oss;
     ASSERT_EQ(runCli(o, oss), 0);
 }
@@ -348,21 +370,21 @@ TEST(CliRun, StatsOutAndStatsDiffRoundTrip)
 
     Options diff;
     diff.command = Command::StatsDiff;
-    diff.diff_baseline = base;
-    diff.diff_current = same;
+    diff.stats_diff.baseline = base;
+    diff.stats_diff.current = same;
     {
         std::ostringstream oss;
         EXPECT_EQ(runCli(diff, oss), 0);
         EXPECT_NE(oss.str().find("no drift"), std::string::npos);
     }
-    diff.diff_current = bigger;
+    diff.stats_diff.current = bigger;
     {
         std::ostringstream oss;
         EXPECT_EQ(runCli(diff, oss), 1);
         EXPECT_NE(oss.str().find("drifting"), std::string::npos);
     }
     // A huge tolerance forgives the size change.
-    diff.tolerance = 0.99;
+    diff.stats_diff.tolerance = 0.99;
     {
         std::ostringstream oss;
         EXPECT_EQ(runCli(diff, oss), 0);
@@ -373,8 +395,8 @@ TEST(CliRun, StatsDiffMissingFileThrowsFatal)
 {
     Options o;
     o.command = Command::StatsDiff;
-    o.diff_baseline = "/nonexistent/base.json";
-    o.diff_current = "/nonexistent/cur.json";
+    o.stats_diff.baseline = "/nonexistent/base.json";
+    o.stats_diff.current = "/nonexistent/cur.json";
     std::ostringstream oss;
     EXPECT_THROW(runCli(o, oss), hcc::FatalError);
 }
@@ -400,7 +422,7 @@ TEST(CliParse, CryptoCalibrateCommand)
     const auto o = parse({"crypto-calibrate", "--ms", "1"});
     ASSERT_TRUE(o);
     EXPECT_EQ(o->command, Command::CryptoCalibrate);
-    EXPECT_DOUBLE_EQ(o->calib_ms, 1.0);
+    EXPECT_DOUBLE_EQ(o->crypto_calibrate.budget_ms, 1.0);
     // No --app required for this command.
     EXPECT_FALSE(parse({"crypto-calibrate", "--ms", "0"}));
     EXPECT_FALSE(parse({"crypto-calibrate", "--ms", "fast"}));
@@ -410,7 +432,7 @@ TEST(CliRun, CryptoCalibratePrintsEveryAlgoAndRatio)
 {
     Options o;
     o.command = Command::CryptoCalibrate;
-    o.calib_ms = 1.0;  // keep the measurement loop short
+    o.crypto_calibrate.budget_ms = 1.0;  // keep the loop short
     o.crypto_impl = "ttable";
     std::ostringstream oss;
     EXPECT_EQ(runCli(o, oss), 0);
@@ -435,10 +457,17 @@ TEST(CliParse, SweepFlags)
                           "stats.json"});
     ASSERT_TRUE(o);
     EXPECT_EQ(o->command, Command::Sweep);
-    EXPECT_EQ(o->sweep_apps, "atax,bicg");
-    EXPECT_EQ(o->sweep_scales, "1,2");
-    EXPECT_EQ(o->jobs, 4);
-    EXPECT_EQ(o->out_file, "cells.csv");
+    EXPECT_EQ(o->sweep.grid.apps,
+              (std::vector<std::string>{"atax", "bicg"}));
+    EXPECT_EQ(o->sweep.grid.scales, (std::vector<double>{1.0, 2.0}));
+    EXPECT_EQ(o->sweep.grid.seeds,
+              (std::vector<std::uint64_t>{42, 7}));
+    EXPECT_EQ(o->sweep.grid.cc_modes,
+              (std::vector<bool>{false, true}));
+    EXPECT_EQ(o->sweep.jobs, 4);
+    EXPECT_EQ(o->sweep.format, OutputFormat::Csv);
+    EXPECT_EQ(o->sweep.out_file, "cells.csv");
+    EXPECT_EQ(o->sweep.stats_out, "stats.json");
 }
 
 TEST(CliParse, SweepRequiresAppsOrSpec)
@@ -477,8 +506,8 @@ TEST(CliRun, SweepPrintsPerCellTableAndSummary)
 {
     Options o;
     o.command = Command::Sweep;
-    o.sweep_apps = "atax";
-    o.jobs = 2;
+    o.sweep.grid.apps = {"atax"};
+    o.sweep.jobs = 2;
     std::ostringstream oss;
     EXPECT_EQ(runCli(o, oss), 0);
     const auto out = oss.str();
@@ -491,10 +520,10 @@ TEST(CliRun, SweepFailedCellSetsExitCode)
 {
     Options o;
     o.command = Command::Sweep;
-    o.sweep_apps = "gaussian";    // no UVM variant
-    o.sweep_uvm = "on";
-    o.sweep_cc = "off";
-    o.jobs = 1;
+    o.sweep.grid.apps = {"gaussian"};    // no UVM variant
+    o.sweep.grid.uvm_modes = {true};
+    o.sweep.grid.cc_modes = {false};
+    o.sweep.jobs = 1;
     std::ostringstream oss;
     EXPECT_EQ(runCli(o, oss), 1);
     EXPECT_NE(oss.str().find("FAIL"), std::string::npos);
@@ -504,14 +533,14 @@ TEST(CliRun, SweepUnwritableOutputFails)
 {
     Options o;
     o.command = Command::Sweep;
-    o.sweep_apps = "atax";
-    o.sweep_cc = "off";
-    o.jobs = 1;
-    o.out_file = "/nonexistent-dir/cells.csv";
+    o.sweep.grid.apps = {"atax"};
+    o.sweep.grid.cc_modes = {false};
+    o.sweep.jobs = 1;
+    o.sweep.out_file = "/nonexistent-dir/cells.csv";
     std::ostringstream oss;
     EXPECT_THROW(runCli(o, oss), hcc::FatalError);
-    o.out_file.clear();
-    o.stats_out = "/nonexistent-dir/stats.json";
+    o.sweep.out_file.clear();
+    o.sweep.stats_out = "/nonexistent-dir/stats.json";
     EXPECT_THROW(runCli(o, oss), hcc::FatalError);
 }
 
@@ -519,8 +548,8 @@ TEST(CliRun, RunUnwritableStatsOutFails)
 {
     Options o;
     o.command = Command::Run;
-    o.app = "atax";
-    o.stats_out = "/nonexistent-dir/stats.json";
+    o.run.workload.app = "atax";
+    o.run.stats_out = "/nonexistent-dir/stats.json";
     std::ostringstream oss;
     EXPECT_THROW(runCli(o, oss), hcc::FatalError);
 }
@@ -529,20 +558,20 @@ TEST(CliRun, TraceOutWritesFileInsteadOfStream)
 {
     Options o;
     o.command = Command::Trace;
-    o.app = "atax";
-    o.trace_out = "trace_out_test.json";
+    o.trace.workload.app = "atax";
+    o.trace.trace_out = "trace_out_test.json";
     std::ostringstream oss;
     EXPECT_EQ(runCli(o, oss), 0);
     EXPECT_TRUE(oss.str().empty());
-    std::ifstream in(o.trace_out);
+    std::ifstream in(o.trace.trace_out);
     ASSERT_TRUE(in.good());
     char first = 0;
     in >> first;
     EXPECT_EQ(first, '[');
     in.close();
-    std::remove(o.trace_out.c_str());
+    std::remove(o.trace.trace_out.c_str());
 
-    o.trace_out = "/nonexistent-dir/trace.json";
+    o.trace.trace_out = "/nonexistent-dir/trace.json";
     EXPECT_THROW(runCli(o, oss), hcc::FatalError);
 }
 
@@ -550,11 +579,11 @@ TEST(CliRun, CompareParallelMatchesSerial)
 {
     Options o;
     o.command = Command::Compare;
-    o.app = "atax";
+    o.compare.workload.app = "atax";
     std::ostringstream serial, parallel;
-    o.jobs = 1;
+    o.compare.jobs = 1;
     EXPECT_EQ(runCli(o, serial), 0);
-    o.jobs = 2;
+    o.compare.jobs = 2;
     EXPECT_EQ(runCli(o, parallel), 0);
     EXPECT_EQ(serial.str(), parallel.str())
         << "compare output must not depend on --jobs";
@@ -567,7 +596,7 @@ TEST(CliParse, FaultsFlagOnRunLikeCommands)
     const auto o = parse({"run", "--app", "sc", "--faults",
                           "channel.tag_mismatch=0.05"});
     ASSERT_TRUE(o);
-    EXPECT_EQ(o->fault_spec, "channel.tag_mismatch=0.05");
+    EXPECT_TRUE(o->run.sim.faults.any());
 
     std::string err;
     EXPECT_FALSE(parse({"run", "--app", "sc", "--faults",
@@ -583,11 +612,14 @@ TEST(CliParse, FaultsCampaignFlags)
                           "--jobs", "2"});
     ASSERT_TRUE(o);
     EXPECT_EQ(o->command, Command::Faults);
-    EXPECT_EQ(o->app, "atax");
-    EXPECT_EQ(o->fault_sites, "channel.tag_mismatch,pcie.replay");
-    EXPECT_EQ(o->fault_rates, "0.1,0.5");
-    EXPECT_EQ(o->sweep_seeds, "1,2");
-    EXPECT_EQ(o->jobs, 2);
+    EXPECT_EQ(o->faults.spec.app, "atax");
+    ASSERT_EQ(o->faults.spec.sites.size(), 2u);
+    EXPECT_EQ(o->faults.spec.sites[0],
+              *fault::parseSite("channel.tag_mismatch"));
+    EXPECT_EQ(o->faults.spec.rates, (std::vector<double>{0.1, 0.5}));
+    EXPECT_EQ(o->faults.spec.seeds,
+              (std::vector<std::uint64_t>{1, 2}));
+    EXPECT_EQ(o->faults.jobs, 2);
 }
 
 TEST(CliParse, FaultsRequiresAppAndValidGrid)
@@ -642,17 +674,19 @@ TEST(CliRun, PerCommandHelpPrintsFlagTable)
     EXPECT_NE(out.find("--jobs"), std::string::npos);
     EXPECT_EQ(out.find("--tolerance"), std::string::npos)
         << "stats-diff-only flags must not leak into faults help";
+    EXPECT_EQ(out.find("--loads"), std::string::npos)
+        << "serve-only flags must not leak into faults help";
 }
 
 TEST(CliRun, FaultsCampaignPrintsSummaryTable)
 {
     Options o;
     o.command = Command::Faults;
-    o.app = "atax";
-    o.fault_sites = "channel.tag_mismatch";
-    o.fault_rates = "1";
-    o.sweep_seeds = "1";
-    o.jobs = 1;
+    o.faults.spec.app = "atax";
+    o.faults.spec.sites = {*fault::parseSite("channel.tag_mismatch")};
+    o.faults.spec.rates = {1.0};
+    o.faults.spec.seeds = {1};
+    o.faults.jobs = 1;
     std::ostringstream oss;
     EXPECT_EQ(runCli(o, oss), 0);
     const auto out = oss.str();
@@ -667,11 +701,11 @@ TEST(CliRun, FaultsCampaignFailedCellSetsExitCode)
 {
     Options o;
     o.command = Command::Faults;
-    o.app = "atax";
-    o.fault_sites = "spdm.handshake";
-    o.fault_rates = "1";   // handshake can never succeed
-    o.sweep_seeds = "1";
-    o.jobs = 1;
+    o.faults.spec.app = "atax";
+    o.faults.spec.sites = {*fault::parseSite("spdm.handshake")};
+    o.faults.spec.rates = {1.0};   // handshake can never succeed
+    o.faults.spec.seeds = {1};
+    o.faults.jobs = 1;
     std::ostringstream oss;
     EXPECT_EQ(runCli(o, oss), 1);
     EXPECT_NE(oss.str().find("failed"), std::string::npos);
@@ -681,10 +715,11 @@ TEST(CliRun, FaultedRunIsDeterministicAndSlower)
 {
     Options o;
     o.command = Command::Compare;
-    o.app = "atax";
+    o.compare.workload.app = "atax";
     std::ostringstream base;
     EXPECT_EQ(runCli(o, base), 0);
-    o.fault_spec = "channel.tag_mismatch=1";
+    o.compare.sim.faults =
+        fault::parseFaultSpec("channel.tag_mismatch=1").value();
     std::ostringstream f1, f2;
     EXPECT_EQ(runCli(o, f1), 0);
     EXPECT_EQ(runCli(o, f2), 0);
@@ -702,10 +737,10 @@ TEST(CliParse, CriticalCommandAndFlags)
                           "/tmp/x.json"});
     ASSERT_TRUE(o);
     EXPECT_EQ(o->command, Command::Critical);
-    EXPECT_EQ(o->app, "atax");
-    EXPECT_TRUE(o->cc);
-    EXPECT_EQ(o->top, 3);
-    EXPECT_EQ(o->critical_out, "/tmp/x.json");
+    EXPECT_EQ(o->critical.workload.app, "atax");
+    EXPECT_TRUE(o->critical.sim.cc);
+    EXPECT_EQ(o->critical.top, 3);
+    EXPECT_EQ(o->critical.critical_out, "/tmp/x.json");
 }
 
 TEST(CliParse, CriticalRequiresAppAndValidTop)
@@ -724,12 +759,12 @@ TEST(CliRun, CriticalPrintsReportAndWritesJson)
 {
     Options o;
     o.command = Command::Critical;
-    o.app = "atax";
-    o.cc = true;
-    o.top = 5;
+    o.critical.workload.app = "atax";
+    o.critical.sim.cc = true;
+    o.critical.top = 5;
     const std::string out_path =
         std::string(::testing::TempDir()) + "critical_out.json";
-    o.critical_out = out_path;
+    o.critical.critical_out = out_path;
     std::ostringstream oss;
     EXPECT_EQ(runCli(o, oss), 0);
     const auto out = oss.str();
@@ -751,8 +786,8 @@ TEST(CliRun, CriticalIsByteIdenticalAcrossRuns)
 {
     Options o;
     o.command = Command::Critical;
-    o.app = "gaussian";
-    o.cc = true;
+    o.critical.workload.app = "gaussian";
+    o.critical.sim.cc = true;
     std::ostringstream a, b;
     EXPECT_EQ(runCli(o, a), 0);
     EXPECT_EQ(runCli(o, b), 0);
@@ -763,7 +798,7 @@ TEST(CliRun, RunMentionsBottleneckLine)
 {
     Options o;
     o.command = Command::Run;
-    o.app = "atax";
+    o.run.workload.app = "atax";
     std::ostringstream oss;
     EXPECT_EQ(runCli(o, oss), 0);
     EXPECT_NE(oss.str().find("critical path:"), std::string::npos);
@@ -774,7 +809,7 @@ TEST(CliRun, CompareShowsCriticalPathDelta)
 {
     Options o;
     o.command = Command::Compare;
-    o.app = "atax";
+    o.compare.workload.app = "atax";
     std::ostringstream oss;
     EXPECT_EQ(runCli(o, oss), 0);
     const auto out = oss.str();
@@ -787,13 +822,12 @@ TEST(CliRun, SweepEmitsBottleneckColumns)
 {
     Options o;
     o.command = Command::Sweep;
-    o.sweep_apps = "atax";
-    o.sweep_cc = "both";
-    o.jobs = 1;
+    o.sweep.grid.apps = {"atax"};
+    o.sweep.jobs = 1;
     const std::string out_path =
         std::string(::testing::TempDir()) + "sweep_critical.csv";
-    o.out_file = out_path;
-    o.format = "csv";
+    o.sweep.out_file = out_path;
+    o.sweep.format = OutputFormat::Csv;
     std::ostringstream oss;
     EXPECT_EQ(runCli(o, oss), 0);
     std::ifstream in(out_path);
@@ -807,6 +841,77 @@ TEST(CliRun, SweepEmitsBottleneckColumns)
     std::remove(out_path.c_str());
 }
 
+// ----------------------------------------------------------- serve
+
+TEST(CliParse, ServeFlags)
+{
+    const auto o = parse({"serve", "--loads", "2,8", "--requests",
+                          "40", "--max-batch", "8", "--prompt-len",
+                          "128", "--gen-len", "16", "--kv-budget",
+                          "64", "--kv-token-bytes", "16384",
+                          "--backend", "hf", "--quant", "awq4",
+                          "--cc-modes", "on", "--overlap",
+                          "none,speculative", "--bursts",
+                          "0.5:0.8:4", "--seed", "9", "--jobs", "2",
+                          "--format", "csv", "--out", "serve.csv",
+                          "--stats-out", "serve_stats.json"});
+    ASSERT_TRUE(o);
+    EXPECT_EQ(o->command, Command::Serve);
+    const serve::ServeSpec &s = o->serve.spec;
+    EXPECT_EQ(s.loads, (std::vector<double>{2.0, 8.0}));
+    EXPECT_EQ(s.requests, 40);
+    EXPECT_EQ(s.max_batch, 8);
+    EXPECT_EQ(s.prompt_len, 128);
+    EXPECT_EQ(s.gen_len, 16);
+    EXPECT_EQ(s.kv_budget_bytes, Bytes{64} << 20);
+    EXPECT_EQ(s.kv_bytes_per_token, 16384u);
+    EXPECT_EQ(s.backend, ml::LlmBackend::HuggingFace);
+    EXPECT_EQ(s.quant, ml::LlmQuant::Awq4);
+    EXPECT_EQ(s.cc_modes, (std::vector<bool>{true}));
+    ASSERT_EQ(s.overlaps.size(), 2u);
+    EXPECT_EQ(s.overlaps[1], tee::OverlapMode::Speculative);
+    ASSERT_EQ(s.bursts.size(), 1u);
+    EXPECT_DOUBLE_EQ(s.bursts[0].begin, 0.5);
+    EXPECT_DOUBLE_EQ(s.bursts[0].end, 0.8);
+    EXPECT_DOUBLE_EQ(s.bursts[0].multiplier, 4.0);
+    EXPECT_EQ(s.seed, 9u);
+    EXPECT_EQ(o->serve.jobs, 2);
+    EXPECT_EQ(o->serve.format, OutputFormat::Csv);
+    EXPECT_EQ(o->serve.out_file, "serve.csv");
+    EXPECT_EQ(o->serve.stats_out, "serve_stats.json");
+}
+
+TEST(CliParse, ServeNeedsNoRequiredArgs)
+{
+    const auto o = parse({"serve"});
+    ASSERT_TRUE(o);
+    EXPECT_EQ(o->command, Command::Serve);
+    // Engine defaults survive parsing untouched.
+    EXPECT_EQ(o->serve.spec.requests, 160);
+    EXPECT_EQ(o->serve.spec.cc_modes,
+              (std::vector<bool>{false, true}));
+}
+
+TEST(CliParse, ServeRejectsBadValues)
+{
+    EXPECT_FALSE(parse({"serve", "--loads", "0"}));
+    EXPECT_FALSE(parse({"serve", "--loads", "fast"}));
+    EXPECT_FALSE(parse({"serve", "--requests", "0"}));
+    EXPECT_FALSE(parse({"serve", "--max-batch", "0"}));
+    EXPECT_FALSE(parse({"serve", "--kv-budget", "0"}));
+    EXPECT_FALSE(parse({"serve", "--backend", "pytorch"}));
+    EXPECT_FALSE(parse({"serve", "--quant", "int8"}));
+    EXPECT_FALSE(parse({"serve", "--bursts", "0.8:0.5:4"}));
+    EXPECT_FALSE(parse({"serve", "--bursts", "nonsense"}));
+    std::string err;
+    EXPECT_FALSE(parse({"serve", "--app", "atax"}, &err))
+        << "serve has no workload registry app";
+    EXPECT_NE(err.find("does not apply"), std::string::npos);
+    EXPECT_FALSE(parse({"run", "--app", "sc", "--loads", "2"},
+                       &err));
+    EXPECT_NE(err.find("does not apply"), std::string::npos);
+}
+
 // -------------------------------------------------------- snapshot
 
 TEST(CliRun, SnapshotChainedCaptureRecordsParentAndSections)
@@ -815,17 +920,18 @@ TEST(CliRun, SnapshotChainedCaptureRecordsParentAndSections)
         std::string(::testing::TempDir()) + "chained.hccsnap";
     Options cap;
     cap.command = Command::Snapshot;
-    cap.app = "gaussian";
-    cap.cc = true;
-    cap.fork_point_spec = "auto/0.95";
-    cap.out_file = path;
+    cap.snapshot.app = "gaussian";
+    cap.snapshot.sim.cc = true;
+    cap.snapshot.fork_point =
+        snap::parseForkPoint("auto/0.95").value();
+    cap.snapshot.out_file = path;
     std::ostringstream cos;
     EXPECT_EQ(runCli(cap, cos), 0);
     EXPECT_NE(cos.str().find("wrote"), std::string::npos);
 
     Options ins;
     ins.command = Command::Snapshot;
-    ins.snapshot_in = path;
+    ins.snapshot.inspect = path;
     std::ostringstream ios;
     EXPECT_EQ(runCli(ins, ios), 0);
     const auto out = ios.str();
@@ -845,9 +951,10 @@ TEST(CliRun, SnapshotRejectsNoneForkPoint)
 {
     Options o;
     o.command = Command::Snapshot;
-    o.app = "gaussian";
-    o.fork_point_spec = "none";
-    o.out_file = std::string(::testing::TempDir()) + "none.hccsnap";
+    o.snapshot.app = "gaussian";
+    o.snapshot.fork_point = snap::parseForkPoint("none").value();
+    o.snapshot.out_file =
+        std::string(::testing::TempDir()) + "none.hccsnap";
     std::ostringstream oss;
     EXPECT_THROW(runCli(o, oss), hcc::FatalError);
 }
@@ -856,13 +963,14 @@ TEST(CliRun, FaultsOverlapGridPrintsTieredCellsAndForkSummary)
 {
     Options o;
     o.command = Command::Faults;
-    o.app = "gaussian";
-    o.fault_sites = "pcie.replay";
-    o.fault_rates = "0.5";
-    o.sweep_seeds = "1,2";
-    o.overlap = "none,speculative";
-    o.fork_point_spec = "auto";
-    o.jobs = 2;
+    o.faults.spec.app = "gaussian";
+    o.faults.spec.sites = {*fault::parseSite("pcie.replay")};
+    o.faults.spec.rates = {0.5};
+    o.faults.spec.seeds = {1, 2};
+    o.faults.spec.overlaps = {tee::OverlapMode::None,
+                              tee::OverlapMode::Speculative};
+    o.faults.spec.fork_point = snap::parseForkPoint("auto").value();
+    o.faults.jobs = 2;
     std::ostringstream oss;
     EXPECT_EQ(runCli(o, oss), 0);
     const auto out = oss.str();
